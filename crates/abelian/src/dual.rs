@@ -1,0 +1,227 @@
+//! Characters and orthogonal subgroups of `A = Z_{s1} × … × Z_{sr}`.
+//!
+//! The character attached to `y ∈ A` is
+//! `χ_y(x) = exp(2πi · Σᵢ xᵢ yᵢ / sᵢ)`. The Fourier-sampling step of the
+//! Abelian HSP measures characters trivial on `H`, i.e. uniform samples of
+//! `H^⊥ = {y : Σᵢ xᵢ yᵢ L/sᵢ ≡ 0 (mod L) ∀x ∈ H}`, `L = lcm(sᵢ)`.
+//! Reconstruction is then `H = (H^⊥)^⊥` — the same computation applied
+//! twice. We compute `H^⊥` exactly via the Smith normal form of the scaled
+//! pairing matrix.
+
+use nahsp_groups::AbelianProduct;
+use nahsp_numtheory::lcm;
+
+/// The least common multiple of the moduli.
+pub fn exponent(a: &AbelianProduct) -> u64 {
+    a.moduli.iter().fold(1u64, |acc, &m| lcm(acc, m))
+}
+
+/// Whether `χ_y(x) = 1` — the bilinear pairing vanishes.
+pub fn pairing_trivial(a: &AbelianProduct, x: &[u64], y: &[u64]) -> bool {
+    let l = exponent(a) as u128;
+    let mut acc: u128 = 0;
+    for i in 0..a.rank() {
+        let li = l / a.moduli[i] as u128;
+        acc = (acc + x[i] as u128 * y[i] as u128 % l * li) % l;
+    }
+    acc == 0
+}
+
+/// Character value exponent: returns `t` with `χ_y(x) = e^{2πi t / L}`.
+pub fn pairing_exponent(a: &AbelianProduct, x: &[u64], y: &[u64]) -> u64 {
+    let l = exponent(a) as u128;
+    let mut acc: u128 = 0;
+    for i in 0..a.rank() {
+        let li = l / a.moduli[i] as u128;
+        acc = (acc + x[i] as u128 * y[i] as u128 % l * li) % l;
+    }
+    acc as u64
+}
+
+/// Generators of `H^⊥` from generators of `H`.
+///
+/// Solves `M y ≡ 0 (mod L)` where `M[j][i] = hⱼ[i] · L/sᵢ` through the
+/// Howell-form kernel over `Z_L` ([`crate::howell::kernel_mod`]) — all
+/// arithmetic stays below `L`, so the computation is growth-free at any
+/// dimension (integer SNF explodes on the dense `Z₂^k` systems Theorem 13
+/// generates).
+pub fn perp(a: &AbelianProduct, h_gens: &[Vec<u64>]) -> Vec<Vec<u64>> {
+    let r = a.rank();
+    let l = exponent(a);
+    if h_gens.is_empty() || l == 1 {
+        // perp of the trivial subgroup is everything
+        return (0..r)
+            .map(|i| {
+                let mut e = vec![0u64; r];
+                e[i] = 1;
+                e
+            })
+            .collect();
+    }
+    let m: Vec<Vec<u64>> = h_gens
+        .iter()
+        .map(|h| {
+            (0..r)
+                .map(|i| {
+                    let scale = l / a.moduli[i];
+                    ((h[i] as u128 * scale as u128) % l as u128) as u64
+                })
+                .collect()
+        })
+        .collect();
+    crate::howell::kernel_mod(&m, r, l)
+        .into_iter()
+        .map(|y| {
+            y.iter()
+                .zip(&a.moduli)
+                .map(|(&c, &s)| c % s)
+                .collect::<Vec<u64>>()
+        })
+        .filter(|y| y.iter().any(|&c| c != 0))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lattice::SubgroupLattice;
+
+    fn ap(m: &[u64]) -> AbelianProduct {
+        AbelianProduct::new(m.to_vec())
+    }
+
+    /// Brute-force H^⊥ for validation.
+    fn perp_brute(a: &AbelianProduct, h: &SubgroupLattice) -> Vec<Vec<u64>> {
+        let mut out = Vec::new();
+        let helems = h.elements();
+        let mut coords = vec![0u64; a.rank()];
+        loop {
+            if helems.iter().all(|x| pairing_trivial(a, x, &coords)) {
+                out.push(coords.clone());
+            }
+            // increment mixed-radix counter
+            let mut i = 0;
+            loop {
+                if i == a.rank() {
+                    return out;
+                }
+                coords[i] += 1;
+                if coords[i] < a.moduli[i] {
+                    break;
+                }
+                coords[i] = 0;
+                i += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn pairing_basics() {
+        let a = ap(&[4, 6]);
+        assert!(pairing_trivial(&a, &[0, 0], &[3, 5]));
+        assert!(pairing_trivial(&a, &[2, 0], &[2, 1])); // 2*2/4 = 1 ∈ Z
+        assert!(!pairing_trivial(&a, &[1, 0], &[1, 0])); // 1/4 ∉ Z
+    }
+
+    #[test]
+    fn pairing_is_symmetric_bilinear() {
+        let a = ap(&[4, 6, 2]);
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        for _ in 0..50 {
+            let x: Vec<u64> = a.moduli.iter().map(|&m| rng.gen_range(0..m)).collect();
+            let y: Vec<u64> = a.moduli.iter().map(|&m| rng.gen_range(0..m)).collect();
+            assert_eq!(
+                pairing_exponent(&a, &x, &y),
+                pairing_exponent(&a, &y, &x)
+            );
+        }
+    }
+
+    #[test]
+    fn perp_of_trivial_is_full() {
+        let a = ap(&[4, 3]);
+        let gens = perp(&a, &[]);
+        let p = SubgroupLattice::from_generators(&a, &gens);
+        assert_eq!(p.order(), 12);
+    }
+
+    #[test]
+    fn perp_of_full_is_trivial() {
+        let a = ap(&[4, 3]);
+        let gens = perp(&a, &[vec![1, 0], vec![0, 1]]);
+        let p = SubgroupLattice::from_generators(&a, &gens);
+        assert_eq!(p.order(), 1);
+    }
+
+    #[test]
+    fn perp_orders_multiply_to_group_order() {
+        // |H| * |H^perp| = |A| for several subgroups.
+        let cases: Vec<(Vec<u64>, Vec<Vec<u64>>)> = vec![
+            (vec![12], vec![vec![4]]),
+            (vec![8, 8], vec![vec![2, 4]]),
+            (vec![6, 4], vec![vec![3, 2]]),
+            (vec![2, 2, 2], vec![vec![1, 1, 0], vec![0, 1, 1]]),
+            (vec![9, 3], vec![vec![3, 1]]),
+        ];
+        for (moduli, hgens) in cases {
+            let a = ap(&moduli);
+            let h = SubgroupLattice::from_generators(&a, &hgens);
+            let pgens = perp(&a, &hgens);
+            let p = SubgroupLattice::from_generators(&a, &pgens);
+            let total: u64 = moduli.iter().product();
+            assert_eq!(
+                h.order() * p.order(),
+                total,
+                "moduli {moduli:?} gens {hgens:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn perp_matches_brute_force() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+        for _ in 0..30 {
+            let r = rng.gen_range(1..4usize);
+            let moduli: Vec<u64> =
+                (0..r).map(|_| [2u64, 3, 4, 6][rng.gen_range(0..4)]).collect();
+            let a = ap(&moduli);
+            let k = rng.gen_range(0..3usize);
+            let hgens: Vec<Vec<u64>> = (0..k)
+                .map(|_| moduli.iter().map(|&m| rng.gen_range(0..m)).collect())
+                .collect();
+            let h = SubgroupLattice::from_generators(&a, &hgens);
+            let brute = perp_brute(&a, &h);
+            let computed = SubgroupLattice::from_generators(&a, &perp(&a, &hgens));
+            assert_eq!(
+                computed.order() as usize,
+                brute.len(),
+                "moduli {moduli:?} hgens {hgens:?}"
+            );
+            for y in &brute {
+                assert!(computed.contains(y), "missing {y:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn double_perp_recovers_subgroup() {
+        let a = ap(&[8, 6, 2]);
+        let hgens = vec![vec![2u64, 3, 1], vec![4, 0, 0]];
+        let h = SubgroupLattice::from_generators(&a, &hgens);
+        let p1 = perp(&a, &hgens);
+        let p2 = perp(&a, &p1);
+        let h2 = SubgroupLattice::from_generators(&a, &p2);
+        assert!(h.same_subgroup(&h2));
+    }
+
+    #[test]
+    fn perp_members_satisfy_pairing() {
+        let a = ap(&[9, 27]);
+        let hgens = vec![vec![3u64, 9]];
+        for y in perp(&a, &hgens) {
+            assert!(pairing_trivial(&a, &hgens[0], &y), "y={y:?}");
+        }
+    }
+}

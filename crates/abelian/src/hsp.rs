@@ -1,0 +1,483 @@
+//! The Abelian hidden subgroup problem (paper's Theorem 3 substrate).
+//!
+//! The standard quantum algorithm repeats one Fourier-sampling round —
+//! prepare `Σ_x |x⟩|f(x)⟩`, discard the function register, apply the QFT
+//! over `A`, measure — obtaining uniform samples of `H^⊥`, then reconstructs
+//! `H = (samples)^⊥` classically. This engine runs that loop with three
+//! interchangeable backends for the quantum round:
+//!
+//! - [`Backend::SimulatorFull`] — the verbatim circuit on the state-vector
+//!   simulator (input register ⊗ label register), for small `|A|`;
+//! - [`Backend::SimulatorCoset`] — simulates the measurement of the label
+//!   register first, so only the coset state over `A` is represented; the
+//!   output distribution is mathematically identical (checked by tests) and
+//!   the reachable `|A|` is much larger;
+//! - [`Backend::Ideal`] — draws directly from the *proven* output
+//!   distribution (uniform on `H^⊥`, computed from the oracle's ground
+//!   truth). This realizes the DESIGN.md substitution: downstream classical
+//!   reduction logic is exercised unchanged at scales no state vector can
+//!   reach.
+//!
+//! The engine is Las Vegas: the candidate subgroup is verified through the
+//! oracle (`f(g) = f(0)` for every candidate generator proves `Ĥ ⊆ H`;
+//! `H ⊆ Ĥ` holds unconditionally since samples lie in `H^⊥`), so a returned
+//! answer is always exactly `H`.
+
+use crate::dual::perp;
+use crate::lattice::SubgroupLattice;
+use nahsp_groups::AbelianProduct;
+use nahsp_qsim::layout::Layout;
+use nahsp_qsim::measure::{marginal_distribution, measure_sites, sample_from};
+use nahsp_qsim::oracle::apply_function_oracle;
+use nahsp_qsim::qft::qft_product_group;
+use nahsp_qsim::state::State;
+use rand::Rng;
+
+/// A hiding function `f : A → labels` for a subgroup of an Abelian product.
+pub trait HidingOracle: Sync {
+    /// The ambient group `A = Z_{s1} × … × Z_{sr}`.
+    fn ambient(&self) -> &AbelianProduct;
+
+    /// `f(x)` as an interned label. Must be constant on cosets of the hidden
+    /// subgroup and distinct across cosets.
+    fn label(&self, x: &[u64]) -> u64;
+
+    /// Ground-truth generators of the hidden subgroup, if the oracle can
+    /// reveal them — required by [`Backend::Ideal`] only.
+    fn ground_truth(&self) -> Option<Vec<Vec<u64>>> {
+        None
+    }
+}
+
+/// Which implementation performs the quantum Fourier-sampling round.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Backend {
+    /// Full circuit: input register and label register simulated jointly.
+    SimulatorFull,
+    /// Label register measured implicitly; coset state simulated.
+    SimulatorCoset,
+    /// Sample the proven output distribution directly.
+    Ideal,
+}
+
+/// Outcome of a solved Abelian HSP instance.
+#[derive(Clone, Debug)]
+pub struct HspResult {
+    /// The hidden subgroup, exactly.
+    pub subgroup: SubgroupLattice,
+    /// Fourier-sampling rounds used.
+    pub rounds: usize,
+    /// Superposition oracle invocations (one per round for simulator
+    /// backends; the ideal backend counts its draws here too).
+    pub quantum_queries: u64,
+    /// Classical `f` evaluations (verification).
+    pub classical_queries: u64,
+}
+
+/// The Abelian HSP engine.
+#[derive(Clone, Debug)]
+pub struct AbelianHsp {
+    pub backend: Backend,
+    /// Hard cap on sampling rounds before giving up (the Las Vegas loop
+    /// finishes in `log₂|A| + O(1)` rounds with overwhelming probability).
+    pub max_rounds: usize,
+}
+
+impl Default for AbelianHsp {
+    fn default() -> Self {
+        AbelianHsp {
+            backend: Backend::SimulatorCoset,
+            max_rounds: 0, // 0 = auto
+        }
+    }
+}
+
+impl AbelianHsp {
+    pub fn new(backend: Backend) -> Self {
+        AbelianHsp {
+            backend,
+            max_rounds: 0,
+        }
+    }
+
+    /// Solve the instance; the result is certified exact.
+    ///
+    /// # Panics
+    /// Panics if the sampling cap is exhausted (probability `≤ 2^{-40}` for
+    /// a correct oracle) or if a simulator backend is asked for an ambient
+    /// group too large to simulate.
+    pub fn solve<O: HidingOracle + ?Sized>(&self, oracle: &O, rng: &mut impl Rng) -> HspResult {
+        let a = oracle.ambient().clone();
+        let order: u64 = a.moduli.iter().product();
+        let max_rounds = if self.max_rounds > 0 {
+            self.max_rounds
+        } else {
+            (64 - order.leading_zeros() as usize) * 4 + 48
+        };
+        let mut samples: Vec<Vec<u64>> = Vec::new();
+        let mut quantum_queries = 0u64;
+        let mut classical_queries = 0u64;
+        let id = vec![0u64; a.rank()];
+        let id_label = oracle.label(&id);
+        classical_queries += 1;
+
+        for round in 1..=max_rounds {
+            // Candidate Ĥ = (samples)^⊥ — always a supergroup of H.
+            let cand_gens = perp(&a, &samples);
+            let cand = SubgroupLattice::from_generators(&a, &cand_gens);
+            // Verify Ĥ ⊆ H by evaluating f on candidate generators.
+            let mut ok = true;
+            for (g, _) in cand.cyclic_generators() {
+                classical_queries += 1;
+                if oracle.label(g) != id_label {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                return HspResult {
+                    subgroup: cand,
+                    rounds: round - 1,
+                    quantum_queries,
+                    classical_queries,
+                };
+            }
+            // Fourier-sample one more element of H^⊥.
+            let y = match self.backend {
+                Backend::SimulatorFull => {
+                    quantum_queries += 1;
+                    fourier_sample_full(oracle, rng)
+                }
+                Backend::SimulatorCoset => {
+                    quantum_queries += 1;
+                    fourier_sample_coset(oracle, rng)
+                }
+                Backend::Ideal => {
+                    quantum_queries += 1;
+                    let truth = oracle
+                        .ground_truth()
+                        .expect("Ideal backend needs oracle ground truth");
+                    let hperp = SubgroupLattice::from_generators(&a, &perp(&a, &truth));
+                    hperp.random_element(rng)
+                }
+            };
+            debug_assert!(
+                oracle
+                    .ground_truth()
+                    .map(|t| t.iter().all(|h| crate::dual::pairing_trivial(&a, h, &y)))
+                    .unwrap_or(true),
+                "sample not in H^perp: {y:?}"
+            );
+            samples.push(y);
+        }
+        panic!("Abelian HSP failed to converge within {max_rounds} rounds — oracle is inconsistent");
+    }
+}
+
+/// Mapping between ambient coordinates and simulator sites (moduli of 1
+/// carry no qubits and are skipped).
+struct SiteMap {
+    site_of_coord: Vec<Option<usize>>,
+    dims: Vec<usize>,
+}
+
+impl SiteMap {
+    fn new(a: &AbelianProduct) -> Self {
+        let mut site_of_coord = Vec::with_capacity(a.rank());
+        let mut dims = Vec::new();
+        for &m in &a.moduli {
+            if m > 1 {
+                site_of_coord.push(Some(dims.len()));
+                dims.push(m as usize);
+            } else {
+                site_of_coord.push(None);
+            }
+        }
+        assert!(!dims.is_empty(), "ambient group is trivial");
+        SiteMap {
+            site_of_coord,
+            dims,
+        }
+    }
+
+    fn digits_to_coords(&self, digits: &[usize]) -> Vec<u64> {
+        self.site_of_coord
+            .iter()
+            .map(|&s| s.map_or(0u64, |i| digits[i] as u64))
+            .collect()
+    }
+
+    fn total_dim(&self) -> usize {
+        self.dims.iter().product()
+    }
+}
+
+/// One Fourier-sampling round with the full circuit: `|0⟩|0⟩ → Σ_x |x⟩|0⟩ →
+/// Σ_x |x⟩|f(x)⟩ → (QFT ⊗ I) → measure input register`.
+///
+/// Public so ablation experiments (A1) can histogram raw samples.
+pub fn fourier_sample_full<O: HidingOracle + ?Sized>(oracle: &O, rng: &mut impl Rng) -> Vec<u64> {
+    let a = oracle.ambient();
+    let map = SiteMap::new(a);
+    let adim = map.total_dim();
+    assert!(
+        adim <= 1 << 12,
+        "SimulatorFull limited to |A| <= 4096 (have {adim}); use SimulatorCoset or Ideal"
+    );
+    // Intern labels over the whole domain (this is the f-superposition call).
+    let mut labels = Vec::with_capacity(adim);
+    let mut intern: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+    let probe_layout = Layout::new(map.dims.clone());
+    let mut digits = Vec::new();
+    for idx in 0..adim {
+        probe_layout.decode(idx, &mut digits);
+        let raw = oracle.label(&map.digits_to_coords(&digits));
+        let next = intern.len();
+        let small = *intern.entry(raw).or_insert(next);
+        labels.push(small);
+    }
+    let label_dim = intern.len().max(2);
+    let mut dims = map.dims.clone();
+    let input_sites: Vec<usize> = (0..dims.len()).collect();
+    dims.push(label_dim);
+    let label_site = dims.len() - 1;
+    let layout = Layout::new(dims);
+
+    let mut state = State::zero(layout.clone());
+    // Uniform superposition on the input register = QFT of |0⟩.
+    qft_product_group(&mut state, &input_sites, false);
+    // Oracle call.
+    let probe2 = probe_layout.clone();
+    apply_function_oracle(&mut state, &input_sites, &[label_site], move |digs| {
+        vec![labels[probe2.encode(digs)]]
+    });
+    // QFT on the input register and measurement.
+    qft_product_group(&mut state, &input_sites, false);
+    let outcome = measure_sites(&mut state, &input_sites, rng);
+    let mut odigits = Vec::new();
+    probe_layout.decode(outcome, &mut odigits);
+    map.digits_to_coords(&odigits)
+}
+
+/// One Fourier-sampling round via the coset-collapse shortcut: measuring the
+/// label register first leaves the uniform superposition over one coset
+/// `x₀ + H`; the subsequent QFT + measurement has the identical distribution
+/// (uniform on `H^⊥`).
+///
+/// Public so ablation experiments (A1) can histogram raw samples.
+pub fn fourier_sample_coset<O: HidingOracle + ?Sized>(oracle: &O, rng: &mut impl Rng) -> Vec<u64> {
+    let a = oracle.ambient();
+    let map = SiteMap::new(a);
+    let adim = map.total_dim();
+    assert!(
+        adim <= 1 << 18,
+        "SimulatorCoset limited to |A| <= 262144 (have {adim}); use Ideal"
+    );
+    let layout = Layout::new(map.dims.clone());
+    // Random coset: uniform x0.
+    let x0: Vec<u64> = a.moduli.iter().map(|&m| rng.gen_range(0..m)).collect();
+    let c = oracle.label(&x0);
+    // Collect the coset fiber.
+    let mut indices = Vec::new();
+    let mut digits = Vec::new();
+    for idx in 0..adim {
+        layout.decode(idx, &mut digits);
+        if oracle.label(&map.digits_to_coords(&digits)) == c {
+            indices.push(idx);
+        }
+    }
+    let mut state = State::uniform_over(layout.clone(), &indices);
+    let sites: Vec<usize> = (0..map.dims.len()).collect();
+    qft_product_group(&mut state, &sites, false);
+    let probs = marginal_distribution(&state, &sites);
+    let outcome = sample_from(&probs, rng);
+    let mut odigits = Vec::new();
+    layout.decode(outcome, &mut odigits);
+    map.digits_to_coords(&odigits)
+}
+
+/// Reference oracle hiding a known subgroup of an Abelian product, with
+/// labels given by canonical coset representatives. Used across the
+/// workspace's tests and benches.
+pub struct SubgroupOracle {
+    ambient: AbelianProduct,
+    subgroup: SubgroupLattice,
+    gens: Vec<Vec<u64>>,
+    intern: std::sync::Mutex<std::collections::HashMap<Vec<u64>, u64>>,
+}
+
+impl SubgroupOracle {
+    pub fn new(ambient: AbelianProduct, subgroup_gens: &[Vec<u64>]) -> Self {
+        let subgroup = SubgroupLattice::from_generators(&ambient, subgroup_gens);
+        SubgroupOracle {
+            ambient,
+            subgroup,
+            gens: subgroup_gens.to_vec(),
+            intern: std::sync::Mutex::new(std::collections::HashMap::new()),
+        }
+    }
+
+    pub fn hidden_subgroup(&self) -> &SubgroupLattice {
+        &self.subgroup
+    }
+}
+
+impl HidingOracle for SubgroupOracle {
+    fn ambient(&self) -> &AbelianProduct {
+        &self.ambient
+    }
+
+    fn label(&self, x: &[u64]) -> u64 {
+        let rep = self.subgroup.coset_representative(x);
+        let mut intern = self.intern.lock().expect("poisoned");
+        let next = intern.len() as u64;
+        *intern.entry(rep).or_insert(next)
+    }
+
+    fn ground_truth(&self) -> Option<Vec<Vec<u64>>> {
+        Some(self.gens.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nahsp_qsim::measure::total_variation;
+    use rand::SeedableRng;
+
+    type Rng64 = rand::rngs::StdRng;
+
+    fn check_solves(backend: Backend, moduli: &[u64], hgens: &[Vec<u64>], seed: u64) {
+        let a = AbelianProduct::new(moduli.to_vec());
+        let oracle = SubgroupOracle::new(a, hgens);
+        let mut rng = Rng64::seed_from_u64(seed);
+        let result = AbelianHsp::new(backend).solve(&oracle, &mut rng);
+        assert!(
+            result.subgroup.same_subgroup(oracle.hidden_subgroup()),
+            "recovered wrong subgroup for moduli {moduli:?} gens {hgens:?}"
+        );
+    }
+
+    #[test]
+    fn simon_problem_xor_mask() {
+        // Simon: A = Z_2^4, H = {0, s}.
+        for backend in [Backend::SimulatorFull, Backend::SimulatorCoset, Backend::Ideal] {
+            check_solves(backend, &[2, 2, 2, 2], &[vec![1, 0, 1, 1]], 1);
+        }
+    }
+
+    #[test]
+    fn trivial_hidden_subgroup() {
+        for backend in [Backend::SimulatorFull, Backend::SimulatorCoset, Backend::Ideal] {
+            check_solves(backend, &[4, 3], &[], 2);
+        }
+    }
+
+    #[test]
+    fn full_hidden_subgroup() {
+        for backend in [Backend::SimulatorFull, Backend::SimulatorCoset, Backend::Ideal] {
+            check_solves(backend, &[4, 3], &[vec![1, 0], vec![0, 1]], 3);
+        }
+    }
+
+    #[test]
+    fn period_finding_in_z16() {
+        // Shor-shaped instance: H = <4> in Z_16 (period 4).
+        for backend in [Backend::SimulatorFull, Backend::SimulatorCoset, Backend::Ideal] {
+            check_solves(backend, &[16], &[vec![4]], 4);
+        }
+    }
+
+    #[test]
+    fn mixed_moduli_subgroups() {
+        check_solves(Backend::SimulatorCoset, &[8, 6], &[vec![2, 3]], 5);
+        check_solves(Backend::SimulatorCoset, &[9, 3, 2], &[vec![3, 1, 0]], 6);
+        check_solves(Backend::Ideal, &[12, 10], &[vec![6, 5], vec![0, 2]], 7);
+    }
+
+    #[test]
+    fn modulus_one_components_are_tolerated() {
+        check_solves(Backend::SimulatorCoset, &[1, 6, 1, 4], &[vec![0, 3, 0, 2]], 8);
+    }
+
+    #[test]
+    fn randomized_subgroups_all_backends() {
+        use rand::Rng;
+        let mut meta = Rng64::seed_from_u64(99);
+        for trial in 0..12 {
+            let r = meta.gen_range(1..4usize);
+            let moduli: Vec<u64> =
+                (0..r).map(|_| [2u64, 3, 4, 6][meta.gen_range(0..4)]).collect();
+            let k = meta.gen_range(0..3usize);
+            let hgens: Vec<Vec<u64>> = (0..k)
+                .map(|_| moduli.iter().map(|&m| meta.gen_range(0..m)).collect())
+                .collect();
+            let backend = [Backend::SimulatorFull, Backend::SimulatorCoset, Backend::Ideal]
+                [trial % 3];
+            let adim: u64 = moduli.iter().product();
+            if backend == Backend::SimulatorFull && adim > 256 {
+                continue;
+            }
+            check_solves(backend, &moduli, &hgens, 1000 + trial as u64);
+        }
+    }
+
+    #[test]
+    fn query_counts_are_logarithmic() {
+        // |A| = 2^10; rounds should be near log2(|H^perp|) = 5, far below |A|.
+        let moduli = vec![2u64; 10];
+        let hgens: Vec<Vec<u64>> = (0..5)
+            .map(|i| {
+                let mut v = vec![0u64; 10];
+                v[i] = 1;
+                v[9 - i] = 1;
+                v
+            })
+            .collect();
+        let a = AbelianProduct::new(moduli);
+        let oracle = SubgroupOracle::new(a, &hgens);
+        let mut rng = Rng64::seed_from_u64(5);
+        let res = AbelianHsp::new(Backend::Ideal).solve(&oracle, &mut rng);
+        assert!(res.subgroup.same_subgroup(oracle.hidden_subgroup()));
+        assert!(
+            res.quantum_queries <= 40,
+            "too many rounds: {}",
+            res.quantum_queries
+        );
+    }
+
+    #[test]
+    fn backends_agree_in_distribution() {
+        // A1 ablation: histogram of Fourier samples from the two simulator
+        // paths and the ideal sampler agree within sampling error.
+        let a = AbelianProduct::new(vec![4, 4]);
+        let hgens = vec![vec![2u64, 0], vec![0u64, 2]];
+        let oracle = SubgroupOracle::new(a.clone(), &hgens);
+        let mut rng = Rng64::seed_from_u64(31);
+        let n = 3000usize;
+        let idx = |y: &[u64]| (y[0] * 4 + y[1]) as usize;
+        let mut h_full = vec![0f64; 16];
+        let mut h_coset = vec![0f64; 16];
+        let mut h_ideal = vec![0f64; 16];
+        let truth = SubgroupLattice::from_generators(&a, &perp(&a, &hgens));
+        for _ in 0..n {
+            h_full[idx(&fourier_sample_full(&oracle, &mut rng))] += 1.0 / n as f64;
+            h_coset[idx(&fourier_sample_coset(&oracle, &mut rng))] += 1.0 / n as f64;
+            h_ideal[idx(&truth.random_element(&mut rng))] += 1.0 / n as f64;
+        }
+        assert!(total_variation(&h_full, &h_coset) < 0.05);
+        assert!(total_variation(&h_full, &h_ideal) < 0.05);
+        // support must be H^perp = <(2,0),(0,2)> exactly
+        for y0 in 0..4u64 {
+            for y1 in 0..4u64 {
+                let in_perp = truth.contains(&[y0, y1]);
+                let mass = h_full[(y0 * 4 + y1) as usize];
+                if in_perp {
+                    assert!(mass > 0.15, "missing mass at {y0},{y1}");
+                } else {
+                    assert_eq!(mass, 0.0, "leakage at {y0},{y1}");
+                }
+            }
+        }
+    }
+}

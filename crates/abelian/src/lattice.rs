@@ -1,0 +1,441 @@
+//! Subgroups of `A = Z_{s1} × … × Z_{sr}` as integer lattices.
+//!
+//! A subgroup `H ≤ A` corresponds to the lattice
+//! `L = ⟨generators⟩ + S·Z^r` (rows), where `S = diag(s₁, …, s_r)`, via
+//! `H = L / S·Z^r`. This module computes, entirely with exact integer
+//! linear algebra:
+//!
+//! - a Hermite basis of `L` → membership tests and **canonical coset
+//!   representatives** (which is precisely a hiding function for `H`);
+//! - the Smith decomposition of `S` against `L` → `H ≅ ⊕ Z_{dᵢ}` with
+//!   explicit *independent* generators (uniform sampling, order);
+//!
+//! These are the classical halves of the standard Abelian HSP algorithm and
+//! of the paper's Theorems 6/10/13 post-processing.
+
+use crate::snf::{mat_mul, smith_normal_form, IMat};
+use nahsp_groups::AbelianProduct;
+
+/// A subgroup of an [`AbelianProduct`] in lattice form.
+#[derive(Clone, Debug)]
+pub struct SubgroupLattice {
+    ambient: AbelianProduct,
+    /// Upper-triangular Hermite basis of `L` (full rank `r × r`).
+    basis: IMat,
+    /// Independent cyclic generators `(element, order)` with orders > 1
+    /// forming `H = ⊕ ⟨bᵢ⟩`.
+    cyclic: Vec<(Vec<u64>, u64)>,
+}
+
+impl SubgroupLattice {
+    /// Build from subgroup generators (components reduced mod moduli).
+    pub fn from_generators(ambient: &AbelianProduct, gens: &[Vec<u64>]) -> Self {
+        let r = ambient.rank();
+        let rows: IMat = gens
+            .iter()
+            .map(|g| {
+                assert_eq!(g.len(), r, "generator rank mismatch");
+                g.iter().map(|&x| x as i128).collect()
+            })
+            .collect();
+        // Growth-free Hermite basis: the lattice contains diag(s)·Z^r, so
+        // all arithmetic happens below max(s) (see snf::hermite_basis_mod).
+        let basis = crate::snf::hermite_basis_mod(&rows, &ambient.moduli);
+        debug_assert!((0..r).all(|i| basis[i][i] > 0), "basis not full rank");
+
+        // Smith step: S = C · B with C = S · B^{-1} integral.
+        let c = solve_right_triangular(&ambient_s(ambient), &basis);
+        let smith = smith_normal_form(&c);
+        // B' = V^{-1} B, i.e. solve V · B' = B. Rather than invert V, use
+        // B' = V⁻¹B via integer solve: V is unimodular, so invert exactly.
+        let v_inv = unimodular_inverse(&smith.v);
+        let b_prime = mat_mul(&v_inv, &basis);
+        let diag = smith.diagonal();
+        let mut cyclic = Vec::new();
+        for (i, &d) in diag.iter().enumerate() {
+            let d = d.unsigned_abs() as u64;
+            if d > 1 {
+                let elem: Vec<u64> = b_prime[i]
+                    .iter()
+                    .zip(&ambient.moduli)
+                    .map(|(&x, &m)| x.rem_euclid(m as i128) as u64)
+                    .collect();
+                cyclic.push((elem, d));
+            }
+        }
+        SubgroupLattice {
+            ambient: ambient.clone(),
+            basis,
+            cyclic,
+        }
+    }
+
+    /// The trivial subgroup.
+    pub fn trivial(ambient: &AbelianProduct) -> Self {
+        Self::from_generators(ambient, &[])
+    }
+
+    pub fn ambient(&self) -> &AbelianProduct {
+        &self.ambient
+    }
+
+    /// Subgroup order `Π dᵢ`.
+    pub fn order(&self) -> u64 {
+        self.cyclic.iter().map(|&(_, d)| d).product()
+    }
+
+    /// Independent cyclic generators `(element, order)`; the subgroup is
+    /// their internal direct sum.
+    pub fn cyclic_generators(&self) -> &[(Vec<u64>, u64)] {
+        &self.cyclic
+    }
+
+    /// Membership: `x ∈ H` iff the integer vector lifts into the lattice.
+    pub fn contains(&self, x: &[u64]) -> bool {
+        self.reduce_mod_lattice(x).iter().all(|&c| c == 0)
+    }
+
+    /// Canonical representative of the coset `x + H`: reduce `x` against the
+    /// Hermite basis from the last coordinate up. Two inputs map to the same
+    /// output iff they lie in the same coset — a ready-made hiding function.
+    pub fn coset_representative(&self, x: &[u64]) -> Vec<u64> {
+        self.reduce_mod_lattice(x)
+            .iter()
+            .zip(&self.ambient.moduli)
+            .map(|(&c, &m)| c.rem_euclid(m as i128) as u64)
+            .collect()
+    }
+
+    fn reduce_mod_lattice(&self, x: &[u64]) -> Vec<i128> {
+        let r = self.ambient.rank();
+        assert_eq!(x.len(), r);
+        let mut v: Vec<i128> = x.iter().map(|&c| c as i128).collect();
+        // Forward reduction: row i has its pivot at column i and zeros to
+        // the left, so once coordinate i is reduced into [0, basis[i][i])
+        // no later row touches it — the result is the unique representative
+        // in the fundamental domain of the triangular lattice basis.
+        for i in 0..r {
+            let p = self.basis[i][i];
+            let q = v[i].div_euclid(p);
+            if q != 0 {
+                for j in i..r {
+                    v[j] -= q * self.basis[i][j];
+                }
+            }
+        }
+        v
+    }
+
+    /// Uniformly random subgroup element.
+    pub fn random_element(&self, rng: &mut impl rand::Rng) -> Vec<u64> {
+        let mut acc = self.ambient.identity_vec();
+        for (b, d) in &self.cyclic {
+            let k = rng.gen_range(0..*d);
+            let scaled = scalar_mul(&self.ambient, b, k);
+            acc = add(&self.ambient, &acc, &scaled);
+        }
+        acc
+    }
+
+    /// Enumerate all subgroup elements (use only for small orders).
+    pub fn elements(&self) -> Vec<Vec<u64>> {
+        let mut out = vec![self.ambient.identity_vec()];
+        for (b, d) in &self.cyclic {
+            let mut next = Vec::with_capacity(out.len() * *d as usize);
+            let mut power = self.ambient.identity_vec();
+            for _ in 0..*d {
+                for e in &out {
+                    next.push(add(&self.ambient, e, &power));
+                }
+                power = add(&self.ambient, &power, b);
+            }
+            out = next;
+        }
+        out
+    }
+
+    /// Whether this subgroup equals another (same ambient).
+    pub fn same_subgroup(&self, other: &SubgroupLattice) -> bool {
+        self.order() == other.order()
+            && self
+                .cyclic
+                .iter()
+                .all(|(b, _)| other.contains(b))
+    }
+}
+
+/// Componentwise helpers on ambient vectors.
+pub fn add(a: &AbelianProduct, x: &[u64], y: &[u64]) -> Vec<u64> {
+    x.iter()
+        .zip(y)
+        .zip(&a.moduli)
+        .map(|((&p, &q), &m)| (p + q) % m)
+        .collect()
+}
+
+pub fn neg(a: &AbelianProduct, x: &[u64]) -> Vec<u64> {
+    x.iter()
+        .zip(&a.moduli)
+        .map(|(&p, &m)| (m - p % m) % m)
+        .collect()
+}
+
+pub fn scalar_mul(a: &AbelianProduct, x: &[u64], k: u64) -> Vec<u64> {
+    x.iter()
+        .zip(&a.moduli)
+        .map(|(&p, &m)| ((p as u128 * k as u128) % m as u128) as u64)
+        .collect()
+}
+
+trait IdentityVec {
+    fn identity_vec(&self) -> Vec<u64>;
+}
+
+impl IdentityVec for AbelianProduct {
+    fn identity_vec(&self) -> Vec<u64> {
+        vec![0; self.rank()]
+    }
+}
+
+/// `diag(s)` of the ambient.
+fn ambient_s(a: &AbelianProduct) -> IMat {
+    let r = a.rank();
+    let mut s = vec![vec![0i128; r]; r];
+    for i in 0..r {
+        s[i][i] = a.moduli[i] as i128;
+    }
+    s
+}
+
+/// Solve `X · B = A` for integer `X` where `B` is upper triangular with
+/// nonzero diagonal (exact; panics if non-integral, which cannot happen for
+/// `A = S` since `S·Z^r ⊆ L`).
+fn solve_right_triangular(a: &IMat, b: &IMat) -> IMat {
+    let n = b.len();
+    let rows = a.len();
+    let mut x = vec![vec![0i128; n]; rows];
+    for (i, arow) in a.iter().enumerate() {
+        // back-substitute left-to-right: column j of X determined by column
+        // j of A after subtracting contributions of earlier columns.
+        for j in 0..n {
+            let mut acc = arow[j];
+            for k in 0..j {
+                acc -= x[i][k] * b[k][j];
+            }
+            debug_assert_eq!(acc % b[j][j], 0, "non-integral solve");
+            x[i][j] = acc / b[j][j];
+        }
+    }
+    x
+}
+
+/// Exact inverse of a unimodular integer matrix via adjugate-free Gaussian
+/// elimination over rationals emulated in integers (Bareiss on the
+/// augmented system). Panics if not unimodular.
+fn unimodular_inverse(m: &IMat) -> IMat {
+    let n = m.len();
+    // Solve M · X = I column by column using fraction-free elimination; for
+    // unimodular M the solutions are integral. Use i128 rational-free
+    // Cramer via LU-style elimination with pivoting on a copy carrying the
+    // identity alongside.
+    let mut a: Vec<Vec<i128>> = m.iter().cloned().collect();
+    let mut inv = crate::snf::identity(n);
+    // Forward elimination to upper triangular with row ops over Q emulated
+    // by keeping integrality: use gcd transforms (valid since row ops with
+    // unimodular 2x2 blocks preserve integrality of the augmented system).
+    for col in 0..n {
+        // gcd-combine rows below to make a[col][col] = ±gcd ≠ 0
+        for i in (col + 1)..n {
+            while a[i][col] != 0 {
+                if a[col][col] == 0 {
+                    a.swap(col, i);
+                    inv.swap(col, i);
+                    continue;
+                }
+                let q = a[i][col].div_euclid(a[col][col]);
+                for j in 0..n {
+                    a[i][j] -= q * a[col][j];
+                    inv[i][j] -= q * inv[col][j];
+                }
+                if a[i][col] != 0 {
+                    a.swap(col, i);
+                    inv.swap(col, i);
+                }
+            }
+        }
+        assert!(a[col][col] != 0, "matrix is singular");
+    }
+    // Diagonal must be ±1 for unimodular matrices after integer elimination.
+    for i in 0..n {
+        if a[i][i] < 0 {
+            for j in 0..n {
+                a[i][j] = -a[i][j];
+                inv[i][j] = -inv[i][j];
+            }
+        }
+    }
+    // Back substitution.
+    for col in (0..n).rev() {
+        assert_eq!(a[col][col], 1, "matrix is not unimodular");
+        for i in 0..col {
+            let f = a[i][col];
+            if f != 0 {
+                for j in 0..n {
+                    a[i][j] -= f * a[col][j];
+                    inv[i][j] -= f * inv[col][j];
+                }
+            }
+        }
+    }
+    inv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn ap(moduli: &[u64]) -> AbelianProduct {
+        AbelianProduct::new(moduli.to_vec())
+    }
+
+    #[test]
+    fn trivial_subgroup() {
+        let a = ap(&[4, 6]);
+        let h = SubgroupLattice::trivial(&a);
+        assert_eq!(h.order(), 1);
+        assert!(h.contains(&[0, 0]));
+        assert!(!h.contains(&[2, 0]));
+        assert_eq!(h.elements(), vec![vec![0, 0]]);
+    }
+
+    #[test]
+    fn full_group() {
+        let a = ap(&[4, 6]);
+        let h = SubgroupLattice::from_generators(&a, &[vec![1, 0], vec![0, 1]]);
+        assert_eq!(h.order(), 24);
+        assert!(h.contains(&[3, 5]));
+    }
+
+    #[test]
+    fn cyclic_subgroup_of_z12() {
+        let a = ap(&[12]);
+        let h = SubgroupLattice::from_generators(&a, &[vec![4]]);
+        assert_eq!(h.order(), 3);
+        let mut elems = h.elements();
+        elems.sort();
+        assert_eq!(elems, vec![vec![0], vec![4], vec![8]]);
+        assert!(h.contains(&[8]));
+        assert!(!h.contains(&[6]));
+    }
+
+    #[test]
+    fn diagonal_subgroup_of_z2k() {
+        // H = <(1,1)> in Z2 x Z2.
+        let a = ap(&[2, 2]);
+        let h = SubgroupLattice::from_generators(&a, &[vec![1, 1]]);
+        assert_eq!(h.order(), 2);
+        assert!(h.contains(&[1, 1]));
+        assert!(!h.contains(&[1, 0]));
+    }
+
+    #[test]
+    fn coset_representative_is_hiding_function() {
+        let a = ap(&[8, 6]);
+        let h = SubgroupLattice::from_generators(&a, &[vec![2, 3]]);
+        // check constancy on cosets and distinctness across cosets
+        let elems = h.elements();
+        let mut reps = std::collections::HashMap::new();
+        for x0 in 0..8u64 {
+            for x1 in 0..6u64 {
+                let x = vec![x0, x1];
+                let rep = h.coset_representative(&x);
+                // rep must be in the same coset: x - rep ∈ H
+                let diff = add(&a, &x, &neg(&a, &rep));
+                assert!(h.contains(&diff), "rep not in coset of {x:?}");
+                // all coset members share the rep
+                for e in &elems {
+                    let y = add(&a, &x, e);
+                    assert_eq!(h.coset_representative(&y), rep, "x={x:?} e={e:?}");
+                }
+                reps.insert(rep, ());
+            }
+        }
+        assert_eq!(reps.len() as u64, 48 / h.order());
+    }
+
+    #[test]
+    fn cyclic_decomposition_is_independent() {
+        let a = ap(&[4, 4, 4]);
+        let h = SubgroupLattice::from_generators(&a, &[vec![2, 0, 2], vec![0, 2, 2]]);
+        let total: u64 = h.cyclic_generators().iter().map(|&(_, d)| d).product();
+        assert_eq!(total, h.order());
+        // elements() relies on independence: count must match order
+        assert_eq!(h.elements().len() as u64, h.order());
+        let set: std::collections::HashSet<_> = h.elements().into_iter().collect();
+        assert_eq!(set.len() as u64, h.order(), "duplicates => not independent");
+    }
+
+    #[test]
+    fn order_by_counting_matches() {
+        use rand::Rng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        for _ in 0..40 {
+            let r = rng.gen_range(1..4usize);
+            let moduli: Vec<u64> = (0..r).map(|_| [2u64, 3, 4, 6, 8][rng.gen_range(0..5)]).collect();
+            let a = ap(&moduli);
+            let k = rng.gen_range(0..3usize);
+            let gens: Vec<Vec<u64>> = (0..k)
+                .map(|_| moduli.iter().map(|&m| rng.gen_range(0..m)).collect())
+                .collect();
+            let h = SubgroupLattice::from_generators(&a, &gens);
+            // brute-force closure
+            let mut set = std::collections::HashSet::new();
+            set.insert(vec![0u64; r]);
+            let mut frontier = vec![vec![0u64; r]];
+            while let Some(x) = frontier.pop() {
+                for g in &gens {
+                    let y = add(&a, &x, g);
+                    if set.insert(y.clone()) {
+                        frontier.push(y);
+                    }
+                }
+            }
+            assert_eq!(h.order() as usize, set.len(), "moduli={moduli:?} gens={gens:?}");
+            for x in &set {
+                assert!(h.contains(x));
+            }
+        }
+    }
+
+    #[test]
+    fn random_elements_lie_in_subgroup() {
+        let a = ap(&[9, 27]);
+        let h = SubgroupLattice::from_generators(&a, &[vec![3, 9]]);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        for _ in 0..50 {
+            let x = h.random_element(&mut rng);
+            assert!(h.contains(&x));
+        }
+    }
+
+    #[test]
+    fn same_subgroup_detects_equality() {
+        let a = ap(&[12]);
+        let h1 = SubgroupLattice::from_generators(&a, &[vec![4], vec![8]]);
+        let h2 = SubgroupLattice::from_generators(&a, &[vec![8]]);
+        assert!(h1.same_subgroup(&h2));
+        let h3 = SubgroupLattice::from_generators(&a, &[vec![6]]);
+        assert!(!h1.same_subgroup(&h3));
+    }
+
+    #[test]
+    fn non_coprime_moduli_subgroups() {
+        // Z_6 x Z_4, H = <(3, 2)> has order 2: (3,2)+(3,2) = (0,0).
+        let a = ap(&[6, 4]);
+        let h = SubgroupLattice::from_generators(&a, &[vec![3, 2]]);
+        assert_eq!(h.order(), 2);
+        assert!(h.contains(&[3, 2]));
+        assert!(!h.contains(&[3, 0]));
+    }
+}

@@ -1,0 +1,35 @@
+//! Abelian group machinery and the Abelian hidden subgroup problem.
+//!
+//! Everything in Ivanyos–Magniez–Santha reduces to Abelian primitives:
+//! Theorem 6 reduces constructive membership to an Abelian HSP instance,
+//! Theorem 8 needs presentations of Abelian (and small) quotients, Lemma 9
+//! is the Abelian HSP with a quantum oracle, and Theorem 13 solves HSP
+//! instances over `Z₂ × N`. This crate supplies:
+//!
+//! - [`snf`] — Smith and Hermite normal forms over the integers with
+//!   unimodular transforms (exact `i128` arithmetic);
+//! - [`lattice`] — subgroups of `Z_{s1} × … × Z_{sr}` represented as integer
+//!   lattices: membership, order, canonical coset representatives,
+//!   independent cyclic decomposition;
+//! - [`dual`] — characters and orthogonal subgroups `H^⊥`;
+//! - [`structure`] — the Cheung–Mosca decomposition of a black-box Abelian
+//!   group into cyclic factors of prime-power order (paper's Theorem 1);
+//! - [`hsp`] — the Abelian HSP engine (paper's Theorem 3) with three
+//!   interchangeable Fourier-sampling backends: full state-vector
+//!   simulation, coset-collapse simulation, and the ideal sampler that
+//!   draws from the *proven* output distribution (uniform on `H^⊥`);
+//! - [`orderfind`] — Shor-style order finding, both simulated through the
+//!   quantum simulator and emulated exactly (the substitution recorded in
+//!   DESIGN.md).
+
+pub mod dual;
+pub mod howell;
+pub mod hsp;
+pub mod lattice;
+pub mod orderfind;
+pub mod snf;
+pub mod structure;
+
+pub use hsp::{AbelianHsp, Backend, HidingOracle, SubgroupOracle};
+pub use lattice::SubgroupLattice;
+pub use orderfind::OrderFinder;

@@ -1,0 +1,663 @@
+//! Smith and Hermite normal forms over ℤ, with transforms.
+//!
+//! Matrices are row-major `Vec<Vec<i128>>`; rows span lattices. All
+//! arithmetic is exact `i128`; the matrices arising here (subgroup relation
+//! matrices with entries below the group exponent, dimension ≤ ~32) stay
+//! far from overflow, which `debug_assert`s watch in tests.
+
+/// An integer matrix as rows.
+pub type IMat = Vec<Vec<i128>>;
+
+/// Identity matrix.
+pub fn identity(n: usize) -> IMat {
+    (0..n)
+        .map(|i| (0..n).map(|j| i128::from(i == j)).collect())
+        .collect()
+}
+
+/// Matrix product.
+pub fn mat_mul(a: &IMat, b: &IMat) -> IMat {
+    let (ra, ca) = (a.len(), a.first().map_or(0, |r| r.len()));
+    let (rb, cb) = (b.len(), b.first().map_or(0, |r| r.len()));
+    assert_eq!(ca, rb, "dimension mismatch");
+    let mut out = vec![vec![0i128; cb]; ra];
+    for i in 0..ra {
+        for k in 0..ca {
+            let aik = a[i][k];
+            if aik == 0 {
+                continue;
+            }
+            for j in 0..cb {
+                out[i][j] = out[i][j]
+                    .checked_add(aik.checked_mul(b[k][j]).expect("mat_mul overflow"))
+                    .expect("mat_mul overflow");
+            }
+        }
+    }
+    out
+}
+
+/// Result of the Smith normal form: `u * a * v = d` with `u`, `v`
+/// unimodular and `d` diagonal with `d₁ | d₂ | …`, all `dᵢ ≥ 0`.
+#[derive(Clone, Debug)]
+pub struct Smith {
+    pub u: IMat,
+    pub v: IMat,
+    pub d: IMat,
+}
+
+impl Smith {
+    /// The diagonal entries (length `min(rows, cols)`).
+    pub fn diagonal(&self) -> Vec<i128> {
+        let k = self.d.len().min(self.d.first().map_or(0, |r| r.len()));
+        (0..k).map(|i| self.d[i][i]).collect()
+    }
+}
+
+/// Smith normal form by alternating row/column gcd elimination.
+pub fn smith_normal_form(a: &IMat) -> Smith {
+    let rows = a.len();
+    let cols = a.first().map_or(0, |r| r.len());
+    let mut d = a.clone();
+    for r in &d {
+        assert_eq!(r.len(), cols, "ragged matrix");
+    }
+    let mut u = identity(rows);
+    let mut v = identity(cols);
+
+    // Diagonalize by alternating row/column Hermite reduction. Each HNF
+    // pass keeps entries determinant-bounded (Euclidean pivoting with
+    // immediate reduction), avoiding the exponential fill-in that naive
+    // alternating single-pivot elimination exhibits on dense matrices.
+    let mut guard = 0usize;
+    loop {
+        guard += 1;
+        assert!(guard <= 200, "SNF alternation failed to converge");
+        let (h, tu) = hermite_normal_form(&d);
+        u = mat_mul(&tu, &u);
+        d = h;
+        if is_diagonal(&d) {
+            break;
+        }
+        let (h2, tv) = hermite_normal_form(&transpose(&d));
+        d = transpose(&h2);
+        v = mat_mul(&v, &transpose(&tv));
+        if is_diagonal(&d) {
+            break;
+        }
+    }
+    // Compact nonzero diagonal entries to the front (in order).
+    {
+        let k = rows.min(cols);
+        let mut front = 0usize;
+        for t in 0..k {
+            if d[t][t] != 0 {
+                swap_rows(&mut d, &mut u, front, t);
+                swap_cols(&mut d, &mut v, front, t);
+                front += 1;
+            }
+        }
+    }
+    // Positive diagonal.
+    for i in 0..rows.min(cols) {
+        if d[i][i] < 0 {
+            for j in 0..cols {
+                d[i][j] = -d[i][j];
+            }
+            for j in 0..rows {
+                u[i][j] = -u[i][j];
+            }
+        }
+    }
+    // Enforce divisibility chain d1 | d2 | ... via the standard trick:
+    // if d_i ∤ d_{i+1}, add column i+1 to column i and redo the block.
+    let k = rows.min(cols);
+    let mut i = 0;
+    while i + 1 < k {
+        let (a_, b_) = (d[i][i], d[i + 1][i + 1]);
+        if a_ != 0 && b_ % a_ != 0 {
+            // add col i+1 to col i, creating d[i+1][i] = b
+            col_axpy(&mut d, &mut v, i, i + 1, 1);
+            // re-eliminate the 2x2 block with gcd transforms
+            row_gcd_transform(&mut d, &mut u, i, i + 1);
+            // clean up the fill-in
+            loop {
+                let mut clean = true;
+                if d[i + 1][i] != 0 {
+                    if d[i][i] != 0 && d[i + 1][i] % d[i][i] == 0 {
+                        let q = d[i + 1][i] / d[i][i];
+                        row_axpy(&mut d, &mut u, i + 1, i, -q);
+                    } else {
+                        row_gcd_transform(&mut d, &mut u, i, i + 1);
+                        clean = false;
+                    }
+                }
+                if d[i][i + 1] != 0 {
+                    if d[i][i] != 0 && d[i][i + 1] % d[i][i] == 0 {
+                        let q = d[i][i + 1] / d[i][i];
+                        col_axpy(&mut d, &mut v, i + 1, i, -q);
+                    } else {
+                        col_gcd_transform(&mut d, &mut v, i, i + 1);
+                        clean = false;
+                    }
+                }
+                if d[i + 1][i] == 0 && d[i][i + 1] == 0 && clean {
+                    break;
+                }
+            }
+            if d[i][i] < 0 {
+                for j in 0..cols {
+                    d[i][j] = -d[i][j];
+                }
+                for j in 0..rows {
+                    u[i][j] = -u[i][j];
+                }
+            }
+            if d[i + 1][i + 1] < 0 {
+                for j in 0..cols {
+                    d[i + 1][j] = -d[i + 1][j];
+                }
+                for j in 0..rows {
+                    u[i + 1][j] = -u[i + 1][j];
+                }
+            }
+            // restart the chain check from the beginning of the affected
+            // prefix (a_ changed)
+            i = i.saturating_sub(1);
+            continue;
+        }
+        i += 1;
+    }
+    Smith { u, v, d }
+}
+
+/// Matrix transpose.
+pub fn transpose(m: &IMat) -> IMat {
+    let rows = m.len();
+    let cols = m.first().map_or(0, |r| r.len());
+    (0..cols)
+        .map(|j| (0..rows).map(|i| m[i][j]).collect())
+        .collect()
+}
+
+fn is_diagonal(m: &IMat) -> bool {
+    m.iter()
+        .enumerate()
+        .all(|(i, row)| row.iter().enumerate().all(|(j, &x)| i == j || x == 0))
+}
+
+fn swap_rows(d: &mut IMat, u: &mut IMat, a: usize, b: usize) {
+    if a != b {
+        d.swap(a, b);
+        u.swap(a, b);
+    }
+}
+
+fn swap_cols(d: &mut IMat, v: &mut IMat, a: usize, b: usize) {
+    if a != b {
+        for row in d.iter_mut() {
+            row.swap(a, b);
+        }
+        for row in v.iter_mut() {
+            row.swap(a, b);
+        }
+    }
+}
+
+/// `row[i] += q * row[j]` on `d` and its row transform `u`.
+fn row_axpy(d: &mut IMat, u: &mut IMat, i: usize, j: usize, q: i128) {
+    for c in 0..d[0].len() {
+        d[i][c] = d[i][c].checked_add(q.checked_mul(d[j][c]).expect("ovf")).expect("ovf");
+    }
+    for c in 0..u[0].len() {
+        u[i][c] = u[i][c].checked_add(q.checked_mul(u[j][c]).expect("ovf")).expect("ovf");
+    }
+}
+
+/// `col[i] += q * col[j]` on `d`; `v` tracks column ops as `a·v` columns —
+/// we store `v` so that `d_new = d_old * E`, hence `v_new = v_old * E`,
+/// i.e. apply the same column op to `v`.
+fn col_axpy(d: &mut IMat, v: &mut IMat, i: usize, j: usize, q: i128) {
+    for row in d.iter_mut() {
+        row[i] = row[i].checked_add(q.checked_mul(row[j]).expect("ovf")).expect("ovf");
+    }
+    for row in v.iter_mut() {
+        row[i] = row[i].checked_add(q.checked_mul(row[j]).expect("ovf")).expect("ovf");
+    }
+}
+
+/// Replace rows (t, i) by unimodular combos so that `d[t][t] := gcd` and
+/// `d[i][t] := 0` (Bezout 2×2 transform).
+fn row_gcd_transform(d: &mut IMat, u: &mut IMat, t: usize, i: usize) {
+    let (a, b) = (d[t][t], d[i][t]);
+    let (g, x, y) = nahsp_numtheory::egcd(a, b);
+    debug_assert!(g != 0);
+    let (ag, bg) = (a / g, b / g);
+    let cols = d[0].len();
+    for c in 0..cols {
+        let (rt, ri) = (d[t][c], d[i][c]);
+        d[t][c] = x * rt + y * ri;
+        d[i][c] = -bg * rt + ag * ri;
+    }
+    let ucols = u[0].len();
+    for c in 0..ucols {
+        let (rt, ri) = (u[t][c], u[i][c]);
+        u[t][c] = x * rt + y * ri;
+        u[i][c] = -bg * rt + ag * ri;
+    }
+}
+
+/// Column analogue of [`row_gcd_transform`] on columns (t, j).
+fn col_gcd_transform(d: &mut IMat, v: &mut IMat, t: usize, j: usize) {
+    let (a, b) = (d[t][t], d[t][j]);
+    let (g, x, y) = nahsp_numtheory::egcd(a, b);
+    debug_assert!(g != 0);
+    let (ag, bg) = (a / g, b / g);
+    for row in d.iter_mut() {
+        let (ct, cj) = (row[t], row[j]);
+        row[t] = x * ct + y * cj;
+        row[j] = -bg * ct + ag * cj;
+    }
+    for row in v.iter_mut() {
+        let (ct, cj) = (row[t], row[j]);
+        row[t] = x * ct + y * cj;
+        row[j] = -bg * ct + ag * cj;
+    }
+}
+
+/// Row-style Hermite normal form: returns `(h, u)` with `u` unimodular,
+/// `u * a = h`, `h` in row echelon form with positive pivots and entries
+/// above each pivot reduced into `[0, pivot)`.
+///
+/// Column gcds are computed by quotient-subtraction Euclid against the row
+/// with the smallest nonzero entry (round-to-nearest quotients), never by
+/// explicit Bezout 2×2 transforms — the latter compound entry growth
+/// multiplicatively and overflow even `i128` on dense 0/1 matrices of
+/// moderate size, while repeated-subtraction growth stays additive.
+pub fn hermite_normal_form(a: &IMat) -> (IMat, IMat) {
+    let rows = a.len();
+    let cols = a.first().map_or(0, |r| r.len());
+    let mut h = a.clone();
+    let mut u = identity(rows);
+    let mut pivot_row = 0usize;
+    for col in 0..cols {
+        if pivot_row >= rows {
+            break;
+        }
+        // Euclid within the column: repeatedly reduce every row by the row
+        // holding the smallest nonzero |entry| until one nonzero remains.
+        loop {
+            let Some(best) = (pivot_row..rows)
+                .filter(|&i| h[i][col] != 0)
+                .min_by_key(|&i| h[i][col].abs())
+            else {
+                break;
+            };
+            swap_rows(&mut h, &mut u, pivot_row, best);
+            let p = h[pivot_row][col];
+            let mut others = false;
+            for i in (pivot_row + 1)..rows {
+                let e = h[i][col];
+                if e != 0 {
+                    // round-to-nearest quotient minimizes the residual
+                    let q = div_round_nearest(e, p);
+                    row_axpy(&mut h, &mut u, i, pivot_row, -q);
+                    if h[i][col] != 0 {
+                        others = true;
+                    }
+                }
+            }
+            if !others {
+                break;
+            }
+        }
+        if h[pivot_row][col] == 0 {
+            continue;
+        }
+        if h[pivot_row][col] < 0 {
+            for c in 0..cols {
+                h[pivot_row][c] = -h[pivot_row][c];
+            }
+            for c in 0..rows {
+                u[pivot_row][c] = -u[pivot_row][c];
+            }
+        }
+        // Reduce entries above the pivot into [0, pivot).
+        let p = h[pivot_row][col];
+        for i in 0..pivot_row {
+            let q = h[i][col].div_euclid(p);
+            if q != 0 {
+                for c in 0..cols {
+                    h[i][c] -= q * h[pivot_row][c];
+                }
+                for c in 0..rows {
+                    u[i][c] -= q * u[pivot_row][c];
+                }
+            }
+        }
+        pivot_row += 1;
+    }
+    (h, u)
+}
+
+/// Hermite basis of a lattice `L` **known to contain** `diag(moduli)·Z^r`,
+/// given by generator rows (the `diag` rows need not be included — they are
+/// added internally). Because multiples of `moduli[j]·e_j` lie in the
+/// lattice, every entry of column `j` may be reduced modulo `moduli[j]`
+/// after each operation without changing the row span — entries stay below
+/// `max(moduli)` forever, so the computation is growth-free at any
+/// dimension. No transform is produced (the span is the product).
+///
+/// Returns the `r × r` upper-triangular basis with positive diagonal and
+/// entries above each pivot reduced into `[0, pivot)`.
+pub fn hermite_basis_mod(gens: &IMat, moduli: &[u64]) -> IMat {
+    let r = moduli.len();
+    let mut rows: IMat = Vec::with_capacity(gens.len() + r);
+    for g in gens {
+        assert_eq!(g.len(), r, "generator rank mismatch");
+        rows.push(
+            g.iter()
+                .zip(moduli)
+                .map(|(&x, &m)| x.rem_euclid(m as i128))
+                .collect(),
+        );
+    }
+    for (i, &m) in moduli.iter().enumerate() {
+        let mut row = vec![0i128; r];
+        row[i] = m as i128;
+        rows.push(row);
+    }
+    let reduce = |row: &mut Vec<i128>| {
+        for (x, &m) in row.iter_mut().zip(moduli) {
+            *x = x.rem_euclid(m as i128);
+        }
+    };
+    let mut basis: IMat = Vec::with_capacity(r);
+    let mut pool = rows;
+    for col in 0..r {
+        // Euclid on column `col` across the pool.
+        loop {
+            let Some(best) = pool
+                .iter()
+                .enumerate()
+                .filter(|(_, row)| row[col] != 0)
+                .min_by_key(|(_, row)| row[col])
+                .map(|(i, _)| i)
+            else {
+                // the diag row guarantees a pivot exists; reaching here
+                // means every entry reduced to 0, which cannot happen for
+                // the pivot column since moduli[col] ≥ 1... except m = 1:
+                break;
+            };
+            let pivot_val = pool[best][col];
+            let mut done = true;
+            for i in 0..pool.len() {
+                if i != best && pool[i][col] != 0 {
+                    let q = pool[i][col].div_euclid(pivot_val);
+                    if q != 0 {
+                        let prow = pool[best].clone();
+                        for c in col..r {
+                            pool[i][c] -= q * prow[c];
+                        }
+                    }
+                    reduce(&mut pool[i]);
+                    if pool[i][col] != 0 {
+                        done = false;
+                    }
+                }
+            }
+            if done {
+                // Move the pivot row into the basis. Reduce only the
+                // columns right of the pivot (reducing the pivot column
+                // itself would zero the diag rows m·e_j).
+                let mut prow = pool.swap_remove(best);
+                for c in (col + 1)..r {
+                    prow[c] = prow[c].rem_euclid(moduli[c] as i128);
+                }
+                debug_assert!(prow[col] > 0);
+                basis.push(prow);
+                break;
+            }
+        }
+        if basis.len() < col + 1 {
+            // Defensive: a pivot always exists (the diag row m·e_col stays
+            // untouched until chosen); synthesize it if the pool lost it.
+            let mut prow = vec![0i128; r];
+            prow[col] = moduli[col].max(1) as i128;
+            basis.push(prow);
+        }
+        // strip rows that are now entirely zero
+        pool.retain(|row| row.iter().any(|&x| x != 0));
+    }
+    // Reduce entries above each pivot into [0, pivot).
+    for i in (0..r).rev() {
+        let p = basis[i][i];
+        debug_assert!(p > 0);
+        for j in 0..i {
+            let q = basis[j][i].div_euclid(p);
+            if q != 0 {
+                let prow = basis[i].clone();
+                for c in 0..r {
+                    basis[j][c] -= q * prow[c];
+                }
+            }
+        }
+    }
+    basis
+}
+
+/// Integer division rounded to the nearest quotient (ties toward zero),
+/// so `|a - q·b| <= |b| / 2`.
+fn div_round_nearest(a: i128, b: i128) -> i128 {
+    debug_assert!(b != 0);
+    let q = a.div_euclid(b);
+    let r = a - q * b; // in [0, |b|)
+    if 2 * r.abs() > b.abs() {
+        q + b.signum()
+    } else {
+        q
+    }
+}
+
+/// Determinant of an upper-triangular square matrix (product of diagonal).
+pub fn triangular_det(m: &IMat) -> i128 {
+    (0..m.len()).map(|i| m[i][i]).product()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn is_unimodular(m: &IMat) -> bool {
+        // |det| = 1 via fraction-free Gaussian elimination (Bareiss) on a
+        // copy. Small matrices only.
+        let n = m.len();
+        let mut a = m.clone();
+        let mut sign = 1i128;
+        let mut prev = 1i128;
+        for k in 0..n {
+            if a[k][k] == 0 {
+                let Some(s) = ((k + 1)..n).find(|&i| a[i][k] != 0) else {
+                    return false;
+                };
+                a.swap(k, s);
+                sign = -sign;
+            }
+            for i in (k + 1)..n {
+                for j in (k + 1)..n {
+                    a[i][j] = (a[i][j] * a[k][k] - a[i][k] * a[k][j]) / prev;
+                }
+                a[i][k] = 0;
+            }
+            prev = a[k][k];
+        }
+        (sign * a[n - 1][n - 1]).abs() == 1
+    }
+
+    #[test]
+    fn snf_of_diagonal() {
+        let a = vec![vec![4, 0], vec![0, 6]];
+        let s = smith_normal_form(&a);
+        assert_eq!(s.diagonal(), vec![2, 12]);
+        assert_eq!(mat_mul(&mat_mul(&s.u, &a), &s.v), s.d);
+        assert!(is_unimodular(&s.u));
+        assert!(is_unimodular(&s.v));
+    }
+
+    #[test]
+    fn snf_classic_example() {
+        let a = vec![vec![2, 4, 4], vec![-6, 6, 12], vec![10, 4, 16]];
+        let s = smith_normal_form(&a);
+        assert_eq!(s.diagonal(), vec![2, 2, 156]);
+        assert_eq!(mat_mul(&mat_mul(&s.u, &a), &s.v), s.d);
+    }
+
+    #[test]
+    fn snf_rectangular() {
+        let a = vec![vec![6, 4], vec![2, 8], vec![4, 2]];
+        let s = smith_normal_form(&a);
+        assert_eq!(mat_mul(&mat_mul(&s.u, &a), &s.v), s.d);
+        let diag = s.diagonal();
+        assert_eq!(diag.len(), 2);
+        assert!(diag[0] > 0 && diag[1] % diag[0] == 0);
+        assert!(is_unimodular(&s.u));
+        assert!(is_unimodular(&s.v));
+    }
+
+    #[test]
+    fn snf_zero_matrix() {
+        let a = vec![vec![0, 0], vec![0, 0]];
+        let s = smith_normal_form(&a);
+        assert_eq!(s.diagonal(), vec![0, 0]);
+    }
+
+    #[test]
+    fn snf_divisibility_chain_randomized() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        for _ in 0..60 {
+            let r = rng.gen_range(1..5usize);
+            let c = rng.gen_range(1..5usize);
+            let a: IMat = (0..r)
+                .map(|_| (0..c).map(|_| rng.gen_range(-20i128..20)).collect())
+                .collect();
+            let s = smith_normal_form(&a);
+            assert_eq!(mat_mul(&mat_mul(&s.u, &a), &s.v), s.d, "UAV != D for {a:?}");
+            let diag = s.diagonal();
+            for w in diag.windows(2) {
+                assert!(w[0] >= 0 && w[1] >= 0);
+                if w[0] != 0 {
+                    assert_eq!(w[1] % w[0], 0, "chain broken: {diag:?} for {a:?}");
+                } else {
+                    assert_eq!(w[1], 0, "zero before nonzero: {diag:?}");
+                }
+            }
+            assert!(is_unimodular(&s.u), "u not unimodular for {a:?}");
+            assert!(is_unimodular(&s.v), "v not unimodular for {a:?}");
+            // off-diagonal must vanish
+            for (i, row) in s.d.iter().enumerate() {
+                for (j, &x) in row.iter().enumerate() {
+                    if i != j {
+                        assert_eq!(x, 0, "off-diagonal in {:?}", s.d);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hnf_is_echelon_and_transform_valid() {
+        let a = vec![vec![2, 3, 6], vec![4, 4, 4], vec![6, 5, 8]];
+        let (h, u) = hermite_normal_form(&a);
+        assert_eq!(mat_mul(&u, &a), h);
+        assert!(is_unimodular(&u));
+        // echelon shape: pivots move right
+        let mut last = -1i64;
+        for row in &h {
+            if let Some(p) = row.iter().position(|&x| x != 0) {
+                assert!((p as i64) > last);
+                assert!(row[p] > 0);
+                last = p as i64;
+            }
+        }
+    }
+
+    #[test]
+    fn hnf_reduces_above_pivots() {
+        let a = vec![vec![5, 7], vec![0, 3]];
+        let (h, _) = hermite_normal_form(&a);
+        // h[0][1] must be in [0, h[1][1])
+        assert!(h[1][1] > 0);
+        assert!(h[0][1] >= 0 && h[0][1] < h[1][1], "{h:?}");
+    }
+
+    #[test]
+    fn hnf_full_rank_lattice_det() {
+        // Lattice spanned by (2,1),(1,2) has det ±3.
+        let a = vec![vec![2, 1], vec![1, 2]];
+        let (h, _) = hermite_normal_form(&a);
+        assert_eq!(triangular_det(&h).abs(), 3);
+    }
+
+    #[test]
+    fn hermite_basis_mod_matches_subgroup_semantics() {
+        // basis of <(2,3)> + diag(8,6)·Z² inside Z8 × Z6
+        let basis = hermite_basis_mod(&vec![vec![2, 3]], &[8, 6]);
+        // must be upper triangular, positive diagonal, divisors of moduli
+        assert!(basis[0][0] > 0 && basis[1][1] > 0);
+        assert_eq!(basis[1][0], 0);
+        assert_eq!(8 % basis[0][0], 0);
+        assert_eq!(6 % basis[1][1], 0);
+        // lattice must contain the generator and diag rows
+        // index = det(S)/det(B) = subgroup order; <(2,3)> has order 4 in Z8xZ6
+        let det_b = basis[0][0] * basis[1][1];
+        assert_eq!(48 / det_b, 4, "basis {basis:?}");
+    }
+
+    #[test]
+    fn hermite_basis_mod_no_growth_on_dense_binary() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(23);
+        let r = 60usize;
+        let moduli = vec![2u64; r];
+        let gens: IMat = (0..70)
+            .map(|_| (0..r).map(|_| rng.gen_range(0..2i128)).collect())
+            .collect();
+        let basis = hermite_basis_mod(&gens, &moduli);
+        for (i, row) in basis.iter().enumerate() {
+            assert!(row[i] == 1 || row[i] == 2, "diagonal out of range");
+            for (j, &x) in row.iter().enumerate() {
+                assert!(x.abs() <= 2, "entry grew: basis[{i}][{j}] = {x}");
+                if j < i {
+                    assert_eq!(x, 0, "not upper triangular");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hermite_basis_mod_trivial_and_full() {
+        // no generators: basis = diag(moduli)
+        let basis = hermite_basis_mod(&vec![], &[4, 9]);
+        assert_eq!(basis, vec![vec![4, 0], vec![0, 9]]);
+        // unit generators: basis = identity
+        let basis = hermite_basis_mod(&vec![vec![1, 0], vec![0, 1]], &[4, 9]);
+        assert_eq!(basis, vec![vec![1, 0], vec![0, 1]]);
+    }
+
+    #[test]
+    fn hnf_randomized_row_span_preserved() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        for _ in 0..40 {
+            let r = rng.gen_range(1..4usize);
+            let c = rng.gen_range(1..4usize);
+            let a: IMat = (0..r)
+                .map(|_| (0..c).map(|_| rng.gen_range(-9i128..9)).collect())
+                .collect();
+            let (h, u) = hermite_normal_form(&a);
+            assert_eq!(mat_mul(&u, &a), h, "transform mismatch for {a:?}");
+            assert!(is_unimodular(&u), "u not unimodular for {a:?}");
+        }
+    }
+}

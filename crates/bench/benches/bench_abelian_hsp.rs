@@ -1,0 +1,36 @@
+//! E1 — Abelian HSP scaling over Z2^k.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nahsp_abelian::hsp::{AbelianHsp, Backend};
+use nahsp_bench::abelian_instance;
+use rand::SeedableRng;
+
+fn bench_ideal_backend(c: &mut Criterion) {
+    let mut group = c.benchmark_group("abelian_hsp/ideal");
+    for k in [8usize, 16, 24, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+            let (_, oracle) = abelian_instance(k, &mut rng);
+            let solver = AbelianHsp::new(Backend::Ideal);
+            b.iter(|| solver.solve(&oracle, &mut rng).subgroup.order())
+        });
+    }
+    group.finish();
+}
+
+fn bench_simulator_backend(c: &mut Criterion) {
+    let mut group = c.benchmark_group("abelian_hsp/simulator_coset");
+    group.sample_size(10);
+    for k in [6usize, 8, 10, 12] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+            let (_, oracle) = abelian_instance(k, &mut rng);
+            let solver = AbelianHsp::new(Backend::SimulatorCoset);
+            b.iter(|| solver.solve(&oracle, &mut rng).subgroup.order())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ideal_backend, bench_simulator_backend);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! A1 — backend ablation: cost of the three Fourier-sampling paths on the
+//! same instance.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nahsp_abelian::dual::perp;
+use nahsp_abelian::hsp::{fourier_sample_coset, fourier_sample_full, SubgroupOracle};
+use nahsp_abelian::lattice::SubgroupLattice;
+use nahsp_groups::AbelianProduct;
+use rand::SeedableRng;
+
+fn bench_sampling_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("backends/sample");
+    let moduli = vec![4u64, 4];
+    let hgens = vec![vec![2u64, 0], vec![0u64, 2]];
+    let a = AbelianProduct::new(moduli);
+    let oracle = SubgroupOracle::new(a.clone(), &hgens);
+    let truth = SubgroupLattice::from_generators(&a, &perp(&a, &hgens));
+
+    group.bench_function(BenchmarkId::from_parameter("full"), |b| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(16);
+        b.iter(|| fourier_sample_full(&oracle, &mut rng))
+    });
+    group.bench_function(BenchmarkId::from_parameter("coset"), |b| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        b.iter(|| fourier_sample_coset(&oracle, &mut rng))
+    });
+    group.bench_function(BenchmarkId::from_parameter("ideal"), |b| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(18);
+        b.iter(|| truth.random_element(&mut rng))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sampling_paths);
+criterion_main!(benches);

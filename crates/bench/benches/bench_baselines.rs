@@ -1,0 +1,59 @@
+//! A2 + crossover — classical baselines vs the paper's algorithms.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nahsp_bench::extraspecial_instance;
+use nahsp_core::baseline::{birthday_collision, ettinger_hoyer_dihedral, exhaustive_scan};
+use nahsp_groups::closure::enumerate_subgroup;
+use nahsp_groups::dihedral::Dihedral;
+use nahsp_groups::Group;
+use rand::SeedableRng;
+
+fn bench_exhaustive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baseline/exhaustive");
+    group.sample_size(10);
+    for p in [3u64, 5, 7, 11] {
+        group.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {
+            b.iter(|| {
+                let (g, oracle) = extraspecial_instance(p);
+                exhaustive_scan(&g, &oracle, 1 << 16).1
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_birthday(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baseline/birthday");
+    group.sample_size(10);
+    for p in [3u64, 5, 7] {
+        group.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(14);
+            b.iter(|| {
+                let (g, oracle) = extraspecial_instance(p);
+                let all = enumerate_subgroup(&g, &g.generators(), 1 << 16).unwrap();
+                birthday_collision(&g, &oracle, &all, 1 << 22, &mut rng).queries
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_ettinger_hoyer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baseline/ettinger_hoyer");
+    group.sample_size(10);
+    for bits in [8u32, 12, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(bits), &bits, |b, &bits| {
+            let n = 1u64 << bits;
+            let g = Dihedral::new(n);
+            let d = n / 3;
+            let mut rng = rand::rngs::StdRng::seed_from_u64(15);
+            b.iter(|| {
+                ettinger_hoyer_dihedral(&g, d, (12 * bits) as usize, |c| c == d, &mut rng).d
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_exhaustive, bench_birthday, bench_ettinger_hoyer);
+criterion_main!(benches);

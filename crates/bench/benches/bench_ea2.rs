@@ -1,0 +1,69 @@
+//! E7/E8 — Theorem 13: general transversal vs cyclic Sylow set, simulator
+//! and ideal backends.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nahsp_abelian::hsp::{AbelianHsp, Backend};
+use nahsp_bench::{semidirect_instance, wreath_instance, wreath_instance_structural};
+use nahsp_core::ea2::{hsp_ea2_cyclic, hsp_ea2_general};
+use rand::SeedableRng;
+
+fn bench_general_transversal(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ea2/general");
+    group.sample_size(10);
+    for (k, m, coeffs) in [(3usize, 7u64, 0b011u64), (4, 15, 0b0011)] {
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+            let hsp = AbelianHsp::new(Backend::SimulatorCoset);
+            b.iter(|| {
+                let (g, oracle, coords) = semidirect_instance(k, m, coeffs);
+                hsp_ea2_general(&g, &oracle, &coords, &hsp, None, 1 << 10, &mut rng)
+                    .h_generators
+                    .len()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_cyclic_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ea2/cyclic_simulator");
+    group.sample_size(10);
+    for half in [2usize, 4, 6] {
+        group.bench_with_input(BenchmarkId::from_parameter(2 * half), &half, |b, &half| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(10);
+            let hsp = AbelianHsp::new(Backend::SimulatorCoset);
+            b.iter(|| {
+                let (g, oracle, coords, _) = wreath_instance(half);
+                hsp_ea2_cyclic(&g, &oracle, &coords, &hsp, None, &mut rng)
+                    .h_generators
+                    .len()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_cyclic_ideal(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ea2/cyclic_ideal");
+    for half in [8usize, 16, 24] {
+        group.bench_with_input(BenchmarkId::from_parameter(2 * half), &half, |b, &half| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+            let hsp = AbelianHsp::new(Backend::Ideal);
+            b.iter(|| {
+                let (g, oracle, coords, truth, _) = wreath_instance_structural(half);
+                hsp_ea2_cyclic(&g, &oracle, &coords, &hsp, Some(&truth), &mut rng)
+                    .h_generators
+                    .len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_general_transversal,
+    bench_cyclic_simulator,
+    bench_cyclic_ideal
+);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! E3 — Theorem 6 constructive membership in Abelian subgroups.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nahsp_abelian::hsp::{AbelianHsp, Backend};
+use nahsp_abelian::OrderFinder;
+use nahsp_core::membership::abelian_membership;
+use nahsp_groups::perm::{Perm, PermGroup};
+use nahsp_groups::Group;
+use rand::SeedableRng;
+
+fn bench_membership_rank(c: &mut Criterion) {
+    let mut group = c.benchmark_group("membership/rank");
+    group.sample_size(10);
+    let s9 = PermGroup::symmetric(9);
+    let cycles: Vec<Perm> = vec![
+        Perm::from_cycles(9, &[&[0, 1, 2]]),
+        Perm::from_cycles(9, &[&[3, 4, 5, 6]]),
+        Perm::from_cycles(9, &[&[7, 8]]),
+    ];
+    for r in [1usize, 2, 3] {
+        group.bench_with_input(BenchmarkId::from_parameter(r), &r, |b, &r| {
+            let hs: Vec<Perm> = cycles[..r].to_vec();
+            let mut target = s9.identity();
+            for h in &hs {
+                target = s9.multiply(&target, h);
+            }
+            let hsp = AbelianHsp::new(Backend::SimulatorCoset);
+            let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+            b.iter(|| {
+                abelian_membership(&s9, &hs, &target, &hsp, &OrderFinder::Exact, &mut rng)
+                    .expect("member")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_membership_rank);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! E2 — order finding: simulated Shor circuit vs exact emulation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nahsp_abelian::OrderFinder;
+use nahsp_groups::perm::{Perm, PermGroup};
+use rand::SeedableRng;
+
+fn mult_perm(n: u64, x: u64) -> (PermGroup, Perm) {
+    let images: Vec<u32> = (0..n as u32).map(|y| ((y as u64 * x) % n) as u32).collect();
+    let p = Perm::from_images(images);
+    (PermGroup::new(n as usize, vec![p.clone()]), p)
+}
+
+fn bench_simulated(c: &mut Criterion) {
+    let mut group = c.benchmark_group("order_finding/simulated");
+    group.sample_size(10);
+    for (n, x) in [(15u64, 2u64), (21, 2), (35, 2)] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let (g, p) = mult_perm(n, x);
+            let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+            b.iter(|| OrderFinder::Simulated { max_order: 16 }.find(&g, &p, &mut rng))
+        });
+    }
+    group.finish();
+}
+
+fn bench_exact(c: &mut Criterion) {
+    let mut group = c.benchmark_group("order_finding/exact");
+    for (n, x) in [(15u64, 2u64), (4095, 2), (65535, 2)] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let (g, p) = mult_perm(n, x);
+            let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+            b.iter(|| OrderFinder::Exact.find(&g, &p, &mut rng))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulated, bench_exact);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! E10 — simulator substrate: QFT implementations and gate kernels.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nahsp_qsim::gates::hadamard;
+use nahsp_qsim::layout::Layout;
+use nahsp_qsim::qft::{approx_qft_binary_register, dft_site, qft_binary_register};
+use nahsp_qsim::state::State;
+
+fn bench_dense_dft(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qft/dense_dft");
+    for t in [6usize, 8, 10] {
+        let d = 1usize << t;
+        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, &d| {
+            b.iter(|| {
+                let mut s = State::basis_index(Layout::new(vec![d]), 1);
+                dft_site(&mut s, 0, false);
+                s.probability(0)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_circuit_qft(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qft/qubit_circuit");
+    for t in [6usize, 8, 10, 12] {
+        group.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, &t| {
+            let sites: Vec<usize> = (0..t).collect();
+            b.iter(|| {
+                let mut s = State::basis_index(Layout::qubits(t), 1);
+                qft_binary_register(&mut s, &sites, false);
+                s.probability(0)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_approx_qft(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qft/approx_cutoff");
+    let t = 12usize;
+    let sites: Vec<usize> = (0..t).collect();
+    for cutoff in [3usize, 6, 12] {
+        group.bench_with_input(BenchmarkId::from_parameter(cutoff), &cutoff, |b, &cutoff| {
+            b.iter(|| {
+                let mut s = State::basis_index(Layout::qubits(t), 677);
+                approx_qft_binary_register(&mut s, &sites, false, cutoff);
+                s.probability(0)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_hadamard_wall(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gates/hadamard_wall");
+    for t in [10usize, 14, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, &t| {
+            b.iter(|| {
+                let mut s = State::zero(Layout::qubits(t));
+                for q in 0..t {
+                    hadamard(&mut s, q);
+                }
+                s.probability(0)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_dense_dft,
+    bench_circuit_qft,
+    bench_approx_qft,
+    bench_hadamard_wall
+);
+criterion_main!(benches);

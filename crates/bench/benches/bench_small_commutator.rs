@@ -1,0 +1,26 @@
+//! E6 — Theorem 11 / Corollary 12: extraspecial p-group sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nahsp_bench::extraspecial_instance;
+use nahsp_core::small_commutator::hsp_small_commutator;
+use rand::SeedableRng;
+
+fn bench_extraspecial(c: &mut Criterion) {
+    let mut group = c.benchmark_group("small_commutator/extraspecial");
+    group.sample_size(10);
+    for p in [3u64, 5, 7, 11] {
+        group.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+            b.iter(|| {
+                let (g, oracle) = extraspecial_instance(p);
+                hsp_small_commutator(&g, &oracle, 1 << 16, &mut rng)
+                    .h_generators
+                    .len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_extraspecial);
+criterion_main!(benches);

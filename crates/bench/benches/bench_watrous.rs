@@ -1,0 +1,58 @@
+//! E9 — Theorem 10 / Lemma 9: quotient-order finding through coset states.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nahsp_core::lemma9::Lemma9Backend;
+use nahsp_core::watrous::{quotient_order, CosetStates};
+use nahsp_groups::perm::{Perm, PermGroup};
+use rand::SeedableRng;
+
+fn bench_quotient_order(c: &mut Criterion) {
+    let mut group = c.benchmark_group("watrous/quotient_order");
+    group.sample_size(10);
+    for backend in ["simulator", "ideal"] {
+        group.bench_with_input(BenchmarkId::from_parameter(backend), &backend, |b, &be| {
+            let s4 = PermGroup::symmetric(4);
+            let v4 = vec![
+                Perm::from_cycles(4, &[&[0, 1], &[2, 3]]),
+                Perm::from_cycles(4, &[&[0, 2], &[1, 3]]),
+            ];
+            let c3 = Perm::from_cycles(4, &[&[0, 1, 2]]);
+            let backend = if be == "ideal" {
+                Lemma9Backend::Ideal
+            } else {
+                Lemma9Backend::Simulator
+            };
+            let mut rng = rand::rngs::StdRng::seed_from_u64(12);
+            b.iter(|| {
+                let states = CosetStates::new(s4.clone(), &v4, 100, 0.0);
+                quotient_order(&states, &c3, backend, &mut rng)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_epsilon_noise(c: &mut Criterion) {
+    let mut group = c.benchmark_group("watrous/epsilon");
+    group.sample_size(10);
+    for eps_label in [0usize, 5, 10] {
+        let eps = eps_label as f64 / 100.0;
+        group.bench_with_input(BenchmarkId::from_parameter(eps_label), &eps, |b, &eps| {
+            let s4 = PermGroup::symmetric(4);
+            let v4 = vec![
+                Perm::from_cycles(4, &[&[0, 1], &[2, 3]]),
+                Perm::from_cycles(4, &[&[0, 2], &[1, 3]]),
+            ];
+            let c3 = Perm::from_cycles(4, &[&[0, 1, 2]]);
+            let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+            b.iter(|| {
+                let states = CosetStates::new(s4.clone(), &v4, 100, eps);
+                quotient_order(&states, &c3, Lemma9Backend::Simulator, &mut rng)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_quotient_order, bench_epsilon_noise);
+criterion_main!(benches);

@@ -1,0 +1,540 @@
+//! Regenerates every experiment table of EXPERIMENTS.md (E1–E10, A1–A2).
+//!
+//! Run with `cargo run --release -p nahsp-bench --bin experiments`.
+//! Pass experiment ids (e.g. `e1 e8 a2`) to run a subset.
+
+use nahsp_abelian::dual::perp;
+use nahsp_abelian::hsp::{
+    fourier_sample_coset, fourier_sample_full, AbelianHsp, Backend, HidingOracle, SubgroupOracle,
+};
+use nahsp_abelian::lattice::SubgroupLattice;
+use nahsp_abelian::OrderFinder;
+use nahsp_bench::*;
+use nahsp_core::baseline::{birthday_collision, ettinger_hoyer_dihedral, exhaustive_scan};
+use nahsp_core::ea2::{hsp_ea2_cyclic, hsp_ea2_general};
+use nahsp_core::lemma9::{solve_state_hsp, Lemma9Backend, PerturbedOracle};
+use nahsp_core::membership::abelian_membership;
+use nahsp_core::normal_hsp::{
+    hidden_normal_subgroup, hidden_normal_subgroup_perm, QuotientEngine,
+};
+use nahsp_core::oracle::{CosetTableOracle, HidingFunction};
+use nahsp_core::small_commutator::hsp_small_commutator;
+use nahsp_core::watrous::{quotient_order, CosetStates};
+use nahsp_groups::closure::enumerate_subgroup;
+use nahsp_groups::dihedral::Dihedral;
+use nahsp_groups::perm::{Perm, PermGroup};
+use nahsp_groups::{AbelianProduct, Group};
+use nahsp_qsim::layout::Layout;
+use nahsp_qsim::measure::total_variation;
+use nahsp_qsim::qft::{approx_qft_binary_register, dft_site, qft_binary_register};
+use nahsp_qsim::state::State;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+type Rng64 = rand::rngs::StdRng;
+
+fn micros<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t0 = Instant::now();
+    let out = f();
+    (out, t0.elapsed().as_secs_f64() * 1e6)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).map(|s| s.to_lowercase()).collect();
+    let want = |id: &str| args.is_empty() || args.iter().any(|a| a == id);
+
+    if want("e1") {
+        e1_abelian_hsp();
+    }
+    if want("e2") {
+        e2_order_finding();
+    }
+    if want("e3") {
+        e3_membership();
+    }
+    if want("e4") {
+        e4_normal_hsp_solvable();
+    }
+    if want("e5") {
+        e5_normal_hsp_permutation();
+    }
+    if want("e6") {
+        e6_small_commutator();
+    }
+    if want("e7") {
+        e7_ea2_general();
+    }
+    if want("e8") {
+        e8_ea2_cyclic();
+    }
+    if want("e9") {
+        e9_epsilon_robustness();
+    }
+    if want("e10") {
+        e10_qft();
+    }
+    if want("a1") {
+        a1_backend_agreement();
+    }
+    if want("a2") {
+        a2_ettinger_hoyer();
+    }
+}
+
+/// E1 — Abelian HSP: quantum queries poly(log|A|) vs classical birthday.
+fn e1_abelian_hsp() {
+    println!("\nE1. Abelian HSP over Z2^k (Thm 3 substrate): quantum vs classical");
+    let mut t = Table::new(&[
+        "k", "|A|", "q-queries", "rounds", "quantum µs", "birthday-queries",
+    ]);
+    let mut rng = Rng64::seed_from_u64(1);
+    for k in [4usize, 6, 8, 10, 12, 14, 16] {
+        let (_, oracle) = abelian_instance(k, &mut rng);
+        let solver = AbelianHsp::new(Backend::Ideal);
+        let (res, us) = micros(|| solver.solve(&oracle, &mut rng));
+        assert!(res.subgroup.same_subgroup(oracle.hidden_subgroup()));
+        // classical birthday on the same instance (capped)
+        let bq = if k <= 14 {
+            let elems: Vec<Vec<u64>> = (0..(1u64 << k))
+                .map(|m| (0..k).map(|i| (m >> i) & 1).collect())
+                .collect();
+            let ap = AbelianProduct::new(vec![2; k]);
+            let hgens = oracle.ground_truth().unwrap_or_default();
+            let ora2 = SubgroupOracle::new(ap.clone(), &hgens);
+            let wrapped = AbelianAsHiding { oracle: &ora2 };
+            let bres = birthday_collision(&ap, &wrapped, &elems, 1 << 22, &mut rng);
+            format!("{}", bres.queries)
+        } else {
+            "-".into()
+        };
+        t.row(&[
+            format!("{k}"),
+            format!("2^{k}"),
+            format!("{}", res.quantum_queries),
+            format!("{}", res.rounds),
+            format!("{us:.0}"),
+            bq,
+        ]);
+    }
+    t.print();
+}
+
+/// Adapter: an Abelian `HidingOracle` viewed as a group `HidingFunction`.
+struct AbelianAsHiding<'a> {
+    oracle: &'a SubgroupOracle,
+}
+
+impl nahsp_core::oracle::HidingFunction<AbelianProduct> for AbelianAsHiding<'_> {
+    fn eval(&self, g: &Vec<u64>) -> u64 {
+        self.oracle.label(g)
+    }
+
+    fn queries(&self) -> u64 {
+        0
+    }
+}
+
+/// E2 — order finding: simulated Shor circuit vs exact emulation.
+fn e2_order_finding() {
+    println!("\nE2. Order finding (Shor substrate): simulated circuit vs exact");
+    let mut t = Table::new(&["n", "element", "order", "simulated", "phase qubits", "µs"]);
+    let mut rng = Rng64::seed_from_u64(2);
+    for (n, x) in [(15u64, 2u64), (21, 2), (30, 7), (33, 2), (35, 2)] {
+        let images: Vec<u32> = (0..n as u32).map(|y| ((y as u64 * x) % n) as u32).collect();
+        let perm = Perm::from_images(images);
+        let pg = PermGroup::new(n as usize, vec![perm.clone()]);
+        let exact = OrderFinder::Exact.find(&pg, &perm, &mut rng);
+        let max_order = 16u64.max(exact.next_power_of_two());
+        let mut qubits = 1usize;
+        while (1u64 << qubits) < 2 * max_order * max_order {
+            qubits += 1;
+        }
+        let (sim, us) = micros(|| {
+            OrderFinder::Simulated { max_order }.find(&pg, &perm, &mut rng)
+        });
+        assert_eq!(sim, exact);
+        t.row(&[
+            format!("{n}"),
+            format!("{x}"),
+            format!("{exact}"),
+            format!("{sim}"),
+            format!("{qubits}"),
+            format!("{us:.0}"),
+        ]);
+    }
+    t.print();
+}
+
+/// E3 — Theorem 6 constructive membership across subgroup ranks.
+fn e3_membership() {
+    println!("\nE3. Thm 6 constructive membership in Abelian subgroups of S_9");
+    let mut t = Table::new(&["rank r", "|<h>|", "member?", "exponents", "µs"]);
+    let mut rng = Rng64::seed_from_u64(3);
+    let s9 = PermGroup::symmetric(9);
+    let cycles: Vec<Perm> = vec![
+        Perm::from_cycles(9, &[&[0, 1, 2]]),
+        Perm::from_cycles(9, &[&[3, 4, 5, 6]]),
+        Perm::from_cycles(9, &[&[7, 8]]),
+    ];
+    let hsp = AbelianHsp::new(Backend::SimulatorCoset);
+    for r in 1..=3usize {
+        let hs: Vec<Perm> = cycles[..r].to_vec();
+        let sizes: u64 = [3u64, 4, 2][..r].iter().product();
+        let mut target = s9.identity();
+        for (h, &o) in hs.iter().zip(&[3u64, 4, 2]) {
+            let e = rng.gen_range(0..o);
+            target = s9.multiply(&target, &s9.pow(h, e));
+        }
+        let (res, us) = micros(|| {
+            abelian_membership(&s9, &hs, &target, &hsp, &OrderFinder::Exact, &mut rng)
+        });
+        let got = res.expect("planted member");
+        t.row(&[
+            format!("{r}"),
+            format!("{sizes}"),
+            "yes".into(),
+            format!("{got:?}"),
+            format!("{us:.0}"),
+        ]);
+        let alien = Perm::from_cycles(9, &[&[0, 3]]);
+        let (res, us) = micros(|| {
+            abelian_membership(&s9, &hs, &alien, &hsp, &OrderFinder::Exact, &mut rng)
+        });
+        assert!(res.is_none());
+        t.row(&[
+            format!("{r}"),
+            format!("{sizes}"),
+            "no".into(),
+            "-".into(),
+            format!("{us:.0}"),
+        ]);
+    }
+    t.print();
+}
+
+/// E4 — Theorem 8 on solvable groups: sweep |G|.
+fn e4_normal_hsp_solvable() {
+    println!("\nE4. Thm 8 hidden normal subgroup in solvable Z2^k ⋊ Zm");
+    let mut t = Table::new(&["k", "m", "|G|", "|N| found", "f-queries", "µs"]);
+    let mut rng = Rng64::seed_from_u64(4);
+    for (k, m, coeffs) in [
+        (3usize, 7u64, 0b011u64),
+        (4, 15, 0b0011),
+        (5, 31, 0b00101),
+        (6, 63, 0b000011),
+    ] {
+        let g = nahsp_groups::semidirect::Semidirect::new(
+            k,
+            m,
+            nahsp_groups::matgf::Gf2Mat::companion(k, coeffs),
+        );
+        let n_gens = g.normal_subgroup_gens();
+        let oracle = CosetTableOracle::new(g.clone(), &n_gens, 1 << 16);
+        let ((seeds, elems), us) = micros(|| {
+            hidden_normal_subgroup(
+                &g,
+                &oracle,
+                QuotientEngine::Auto { limit: 1 << 10 },
+                1 << 16,
+                &mut rng,
+            )
+        });
+        assert_eq!(seeds.quotient_order, m);
+        t.row(&[
+            format!("{k}"),
+            format!("{m}"),
+            format!("{}", (1u64 << k) * m),
+            format!("{}", elems.len()),
+            format!("{}", oracle.queries()),
+            format!("{us:.0}"),
+        ]);
+    }
+    t.print();
+}
+
+/// E5 — Theorem 8 on permutation groups: A_n in S_n sweep.
+fn e5_normal_hsp_permutation() {
+    println!("\nE5. Thm 8 hidden normal subgroup in permutation groups (A_n ⊴ S_n)");
+    let mut t = Table::new(&["n", "|G|", "|N| found", "f-queries", "µs"]);
+    let mut rng = Rng64::seed_from_u64(5);
+    for n in [5usize, 6, 7, 8, 9, 10] {
+        let (sn, oracle) = perm_instance(n);
+        let ((seeds, chain), us) = micros(|| {
+            hidden_normal_subgroup_perm(
+                &sn,
+                &oracle,
+                QuotientEngine::Auto { limit: 100 },
+                &mut rng,
+            )
+        });
+        assert_eq!(seeds.quotient_order, 2);
+        let fact: u64 = (1..=n as u64).product();
+        assert_eq!(chain.order(), fact / 2);
+        t.row(&[
+            format!("{n}"),
+            format!("{fact}"),
+            format!("{}", chain.order()),
+            format!("{}", oracle.query_count()),
+            format!("{us:.0}"),
+        ]);
+    }
+    t.print();
+}
+
+/// E6 — Theorem 11 / Corollary 12: extraspecial sweep over p.
+fn e6_small_commutator() {
+    println!("\nE6. Thm 11 / Cor 12: extraspecial p-groups (|G| = p^3, |G'| = p)");
+    let mut t = Table::new(&[
+        "p", "|G|", "|H|", "f-queries", "µs", "scan-queries", "birthday-queries",
+    ]);
+    let mut rng = Rng64::seed_from_u64(6);
+    for p in [3u64, 5, 7, 11, 13] {
+        let (g, oracle) = extraspecial_instance(p);
+        let (res, us) = micros(|| hsp_small_commutator(&g, &oracle, 1 << 16, &mut rng));
+        let recovered = enumerate_subgroup(&g, &res.h_generators, 1 << 16).unwrap();
+        assert_eq!(recovered.len() as u64, p * p);
+        let q_thm11 = oracle.queries();
+        let (g2, oracle2) = extraspecial_instance(p);
+        let (_, scan_q) = exhaustive_scan(&g2, &oracle2, 1 << 16);
+        let (g3, oracle3) = extraspecial_instance(p);
+        let all = enumerate_subgroup(&g3, &g3.generators(), 1 << 16).unwrap();
+        let bres = birthday_collision(&g3, &oracle3, &all, 1 << 22, &mut rng);
+        t.row(&[
+            format!("{p}"),
+            format!("{}", p * p * p),
+            format!("{}", p * p),
+            format!("{q_thm11}"),
+            format!("{us:.0}"),
+            format!("{scan_q}"),
+            format!("{}", bres.queries),
+        ]);
+    }
+    t.print();
+}
+
+/// E7 — Theorem 13 general case: cost scales with |G/N|.
+fn e7_ea2_general() {
+    println!("\nE7. Thm 13 general case: Z2^k ⋊ Zm, transversal V of size |G/N|");
+    let mut t = Table::new(&["k", "m=|G/N|", "|V|", "HSP instances", "f-queries", "µs"]);
+    let mut rng = Rng64::seed_from_u64(7);
+    let hsp = AbelianHsp::new(Backend::SimulatorCoset);
+    for (k, m, coeffs) in [
+        (3usize, 7u64, 0b011u64),
+        (4, 15, 0b0011),
+        (5, 31, 0b00101),
+    ] {
+        let (g, oracle, coords) = semidirect_instance(k, m, coeffs);
+        let (res, us) = micros(|| {
+            hsp_ea2_general(&g, &oracle, &coords, &hsp, None, 1 << 10, &mut rng)
+        });
+        let recovered = if res.h_generators.is_empty() {
+            1
+        } else {
+            enumerate_subgroup(&g, &res.h_generators, 1 << 16).unwrap().len()
+        };
+        assert_eq!(recovered, oracle.hidden_subgroup_elements().len());
+        t.row(&[
+            format!("{k}"),
+            format!("{m}"),
+            format!("{}", res.v_size),
+            format!("{}", res.hsp_instances),
+            format!("{}", oracle.queries()),
+            format!("{us:.0}"),
+        ]);
+    }
+    t.print();
+}
+
+/// E8 — Theorem 13 cyclic case: wreath products, |V| = O(log m).
+fn e8_ea2_cyclic() {
+    println!("\nE8. Thm 13 cyclic case: Z2^k ≀ Z2 (Rötteler–Beth), simulator + ideal");
+    let mut t = Table::new(&["k (=2·half)", "|G|", "backend", "|V|", "f-queries", "µs"]);
+    let mut rng = Rng64::seed_from_u64(8);
+    for half in [2usize, 3, 4, 5, 6, 7] {
+        let (g, oracle, coords, h) = wreath_instance(half);
+        let hsp = AbelianHsp::new(Backend::SimulatorCoset);
+        let (res, us) = micros(|| hsp_ea2_cyclic(&g, &oracle, &coords, &hsp, None, &mut rng));
+        assert!(res.h_generators.iter().any(|x| *x == h));
+        t.row(&[
+            format!("{}", 2 * half),
+            format!("2^{}", 2 * half + 1),
+            "simulator".into(),
+            format!("{}", res.v_size),
+            format!("{}", oracle.queries()),
+            format!("{us:.0}"),
+        ]);
+    }
+    for half in [8usize, 12, 16, 20, 24] {
+        let (g, oracle, coords, truth, h) = wreath_instance_structural(half);
+        let hsp = AbelianHsp::new(Backend::Ideal);
+        let (res, us) = micros(|| {
+            hsp_ea2_cyclic(&g, &oracle, &coords, &hsp, Some(&truth), &mut rng)
+        });
+        assert!(res.h_generators.iter().any(|x| *x == h));
+        t.row(&[
+            format!("{}", 2 * half),
+            format!("2^{}", 2 * half + 1),
+            "ideal".into(),
+            format!("{}", res.v_size),
+            format!("{}", oracle.queries()),
+            format!("{us:.0}"),
+        ]);
+    }
+    t.print();
+}
+
+/// E9 — Lemma 9 / Thm 10 robustness to ε-approximate coset states.
+///
+/// The Las Vegas verification loop absorbs sampling noise by drawing more
+/// rounds, so the interesting curve is *cost* (rounds) alongside success.
+fn e9_epsilon_robustness() {
+    println!("\nE9. Lemma 9 / Thm 10: success and sampling cost vs coset-state error ε");
+    let mut t = Table::new(&[
+        "ε",
+        "lemma9 success",
+        "avg rounds",
+        "thm10 order success",
+    ]);
+    let trials = 30;
+    for eps in [0.0f64, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6] {
+        let mut rng = Rng64::seed_from_u64(9);
+        let mut ok9 = 0;
+        let mut rounds_total = 0usize;
+        for _ in 0..trials {
+            let a = AbelianProduct::new(vec![8]);
+            let oracle = PerturbedOracle::new(a, &[vec![4]], eps);
+            let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                solve_state_hsp(&oracle, Lemma9Backend::Simulator, &mut rng)
+            }));
+            if let Ok(res) = res {
+                rounds_total += res.rounds;
+                if res.subgroup.same_subgroup(oracle.hidden_subgroup()) {
+                    ok9 += 1;
+                }
+            }
+        }
+        let mut ok10 = 0;
+        for _ in 0..trials {
+            let s4 = PermGroup::symmetric(4);
+            let v4 = vec![
+                Perm::from_cycles(4, &[&[0, 1], &[2, 3]]),
+                Perm::from_cycles(4, &[&[0, 2], &[1, 3]]),
+            ];
+            let states = CosetStates::new(s4.clone(), &v4, 100, eps);
+            let c3 = Perm::from_cycles(4, &[&[0, 1, 2]]);
+            let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                quotient_order(&states, &c3, Lemma9Backend::Simulator, &mut rng)
+            }));
+            if res.map(|r| r == 3).unwrap_or(false) {
+                ok10 += 1;
+            }
+        }
+        t.row(&[
+            format!("{eps:.2}"),
+            format!("{ok9}/{trials}"),
+            format!("{:.1}", rounds_total as f64 / trials as f64),
+            format!("{ok10}/{trials}"),
+        ]);
+    }
+    t.print();
+}
+
+/// E10 — simulator substrate: QFT cost & approximate-QFT fidelity.
+fn e10_qft() {
+    println!("\nE10. QFT: dense DFT vs qubit circuit; approximate-QFT fidelity (t = 10)");
+    let mut t = Table::new(&["dim", "dense µs", "circuit µs"]);
+    for t_qubits in [6usize, 8, 10, 12] {
+        let d = 1usize << t_qubits;
+        let (_, dense_us) = micros(|| {
+            let mut s = State::basis_index(Layout::new(vec![d]), 1);
+            dft_site(&mut s, 0, false);
+            s
+        });
+        let sites: Vec<usize> = (0..t_qubits).collect();
+        let (_, circ_us) = micros(|| {
+            let mut s = State::basis_index(Layout::qubits(t_qubits), 1);
+            qft_binary_register(&mut s, &sites, false);
+            s
+        });
+        t.row(&[
+            format!("2^{t_qubits}"),
+            format!("{dense_us:.0}"),
+            format!("{circ_us:.0}"),
+        ]);
+    }
+    t.print();
+    let mut t2 = Table::new(&["cutoff", "fidelity vs exact"]);
+    let tq = 10usize;
+    let sites: Vec<usize> = (0..tq).collect();
+    let mut exact = State::basis_index(Layout::qubits(tq), 677);
+    qft_binary_register(&mut exact, &sites, false);
+    for cutoff in [2usize, 3, 4, 5, 6, 8, 10] {
+        let mut approx = State::basis_index(Layout::qubits(tq), 677);
+        approx_qft_binary_register(&mut approx, &sites, false, cutoff);
+        t2.row(&[format!("{cutoff}"), format!("{:.6}", approx.fidelity(&exact))]);
+    }
+    t2.print();
+}
+
+/// A1 — Ideal vs simulator Fourier-sample distributions.
+fn a1_backend_agreement() {
+    println!("\nA1. Backend ablation: TV distance of Fourier-sample histograms");
+    let mut t = Table::new(&["instance", "TV(full, coset)", "TV(full, ideal)"]);
+    let mut rng = Rng64::seed_from_u64(11);
+    let n = 4000usize;
+    for (moduli, hgens) in [
+        (vec![4u64, 4], vec![vec![2u64, 0], vec![0u64, 2]]),
+        (vec![8], vec![vec![2u64]]),
+        (vec![2, 2, 2], vec![vec![1u64, 1, 0]]),
+    ] {
+        let a = AbelianProduct::new(moduli.clone());
+        let dim: u64 = moduli.iter().product();
+        let idx = |y: &[u64]| {
+            let mut i = 0u64;
+            for (c, m) in y.iter().zip(&moduli) {
+                i = i * m + c;
+            }
+            i as usize
+        };
+        let mut h_full = vec![0f64; dim as usize];
+        let mut h_coset = vec![0f64; dim as usize];
+        let mut h_ideal = vec![0f64; dim as usize];
+        let truth = SubgroupLattice::from_generators(&a, &perp(&a, &hgens));
+        let oracle = SubgroupOracle::new(a.clone(), &hgens);
+        for _ in 0..n {
+            h_ideal[idx(&truth.random_element(&mut rng))] += 1.0 / n as f64;
+            h_full[idx(&fourier_sample_full(&oracle, &mut rng))] += 1.0 / n as f64;
+            h_coset[idx(&fourier_sample_coset(&oracle, &mut rng))] += 1.0 / n as f64;
+        }
+        t.row(&[
+            format!("Z{moduli:?} H={hgens:?}"),
+            format!("{:.4}", total_variation(&h_full, &h_coset)),
+            format!("{:.4}", total_variation(&h_full, &h_ideal)),
+        ]);
+    }
+    t.print();
+}
+
+/// A2 — Ettinger–Høyer dihedral: queries vs post-processing.
+fn a2_ettinger_hoyer() {
+    println!("\nA2. Ettinger–Høyer dihedral: O(log n) queries, Θ(n) post-processing");
+    let mut t = Table::new(&["n", "queries", "candidates", "post µs", "recovered"]);
+    let mut rng = Rng64::seed_from_u64(12);
+    for bits in [6u32, 8, 10, 12, 14, 16] {
+        let n = 1u64 << bits;
+        let g = Dihedral::new(n);
+        let d = rng.gen_range(0..n);
+        let samples = (12 * bits) as usize;
+        let (res, us) = micros(|| {
+            ettinger_hoyer_dihedral(&g, d, samples, |cand| cand == d, &mut rng)
+        });
+        t.row(&[
+            format!("{n}"),
+            format!("{}", res.quantum_queries),
+            format!("{}", res.candidates_scanned),
+            format!("{us:.0}"),
+            format!("{}", res.d == d),
+        ]);
+    }
+    t.print();
+}

@@ -1,0 +1,177 @@
+//! Shared workload builders for the benchmark harness.
+//!
+//! Every experiment in EXPERIMENTS.md (E1–E10, A1–A2) is generated from the
+//! instance constructors here, so the criterion benches and the
+//! `experiments` table binary measure exactly the same workloads.
+
+use nahsp_abelian::hsp::SubgroupOracle;
+use nahsp_core::ea2::{semidirect_coords, Ea2GroundTruth, N2Coords};
+use nahsp_core::oracle::{CosetTableOracle, FnOracle};
+use nahsp_groups::extraspecial::Extraspecial;
+use nahsp_groups::matgf::Gf2Mat;
+use nahsp_groups::perm::PermGroup;
+use nahsp_groups::semidirect::Semidirect;
+use nahsp_groups::{AbelianProduct, Group};
+use rand::Rng;
+
+/// E1 workload: `A = Z₂^k` with a random hidden subgroup of rank `k/2`.
+pub fn abelian_instance(k: usize, rng: &mut impl Rng) -> (AbelianProduct, SubgroupOracle) {
+    let a = AbelianProduct::new(vec![2; k]);
+    let h_gens: Vec<Vec<u64>> = (0..k / 2)
+        .map(|_| (0..k).map(|_| rng.gen_range(0..2u64)).collect())
+        .collect();
+    let oracle = SubgroupOracle::new(a.clone(), &h_gens);
+    (a, oracle)
+}
+
+/// E6 workload: extraspecial group of order `p³` with a hidden maximal
+/// Abelian subgroup `⟨e₁, z⟩` (order `p²`).
+pub fn extraspecial_instance(p: u64) -> (Extraspecial, CosetTableOracle<Extraspecial>) {
+    let g = Extraspecial::heisenberg(p);
+    let e1 = {
+        let mut v = vec![0u64; 3];
+        v[0] = 1;
+        v
+    };
+    let h = vec![e1, g.center_generator()];
+    let limit = (p * p * p) as usize + 8;
+    let oracle = CosetTableOracle::new(g.clone(), &h, limit);
+    (g, oracle)
+}
+
+/// E7/E8 workload (simulator range): wreath product `Z₂^half ≀ Z₂` hiding a
+/// twisted involution `⟨(w|w, 1)⟩`.
+pub fn wreath_instance(
+    half: usize,
+) -> (Semidirect, CosetTableOracle<Semidirect>, N2Coords<Semidirect>, (u64, u64)) {
+    let g = Semidirect::wreath_z2(half);
+    let w = (1u64 << half) - 1;
+    let h = (w | (w << half), 1u64);
+    let oracle = CosetTableOracle::new(g.clone(), &[h], 1usize << (2 * half + 2));
+    let coords = semidirect_coords(&g);
+    (g, oracle, coords, h)
+}
+
+/// E8 workload (ideal range): same wreath family with a *structural* oracle
+/// (min of the two-element coset — O(1) per query at any `k`) plus the
+/// ground truth the ideal sampler consumes.
+#[allow(clippy::type_complexity)]
+pub fn wreath_instance_structural(
+    half: usize,
+) -> (
+    Semidirect,
+    FnOracle<Semidirect, (u64, u64), Box<dyn Fn(&(u64, u64)) -> (u64, u64) + Sync + Send>>,
+    N2Coords<Semidirect>,
+    Ea2GroundTruth<Semidirect>,
+    (u64, u64),
+) {
+    let g = Semidirect::wreath_z2(half);
+    let w = (1u64 << half) - 1;
+    let h = (w | (w << half), 1u64);
+    let g2 = g.clone();
+    let f: Box<dyn Fn(&(u64, u64)) -> (u64, u64) + Sync + Send> =
+        Box::new(move |x: &(u64, u64)| std::cmp::min(*x, g2.multiply(x, &h)));
+    let oracle = FnOracle::new(f);
+    let coords = semidirect_coords(&g);
+    let truth = Ea2GroundTruth::<Semidirect> {
+        hn_basis: vec![],
+        witness: Box::new(move |z: &(u64, u64)| if z.1 == 1 { Some(h) } else { None }),
+    };
+    (g, oracle, coords, truth, h)
+}
+
+/// E7 workload: `Z₂^k ⋊ Z_m` with companion-matrix action of order `m` and
+/// a hidden subgroup mixing `N` and twist parts.
+pub fn semidirect_instance(
+    k: usize,
+    m: u64,
+    coeffs: u64,
+) -> (Semidirect, CosetTableOracle<Semidirect>, N2Coords<Semidirect>) {
+    let g = Semidirect::new(k, m, Gf2Mat::companion(k, coeffs));
+    let h_gens = vec![(0u64, m / nahsp_numtheory::factor(m)[0].0)];
+    let oracle = CosetTableOracle::new(g.clone(), &h_gens, (1usize << k) * m as usize + 8);
+    let coords = semidirect_coords(&g);
+    (g, oracle, coords)
+}
+
+/// E5 workload: `A_n ⊴ S_n` through the Schreier–Sims coset oracle.
+pub fn perm_instance(n: usize) -> (PermGroup, nahsp_core::oracle::PermCosetOracle) {
+    let sn = PermGroup::symmetric(n);
+    let an = PermGroup::alternating(n);
+    let oracle = nahsp_core::oracle::PermCosetOracle::new(n, &an.gens);
+    (sn, oracle)
+}
+
+/// Simple fixed-width table printer for the experiments binary.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new(headers: &[&str]) -> Self {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.headers.len());
+        self.rows.push(cells.to_vec());
+    }
+
+    pub fn print(&self) {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let line = |cells: &[String]| {
+            let cols: Vec<String> = cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+                .collect();
+            println!("  {}", cols.join("  "));
+        };
+        line(&self.headers);
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+        println!("  {}", "-".repeat(total));
+        for row in &self.rows {
+            line(row);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nahsp_core::oracle::HidingFunction;
+    use rand::SeedableRng;
+
+    #[test]
+    fn instances_construct() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let (_, o) = abelian_instance(6, &mut rng);
+        assert!(o.hidden_subgroup().order() >= 1);
+        let (_, o) = extraspecial_instance(3);
+        assert_eq!(o.hidden_subgroup_elements().len(), 9);
+        let (g, o, _, h) = wreath_instance(2);
+        assert_eq!(o.eval(&g.identity()), o.eval(&h));
+        let (g, o, _, _, h) = wreath_instance_structural(10);
+        assert_eq!(o.eval(&g.identity()), o.eval(&h));
+        let (_, o, _) = semidirect_instance(3, 7, 0b011);
+        assert!(o.hidden_subgroup_elements().len() > 1);
+        let (_, o) = perm_instance(5);
+        assert_eq!(o.hidden_chain().order(), 60);
+    }
+
+    #[test]
+    fn table_prints() {
+        let mut t = Table::new(&["a", "bb"]);
+        t.row(&["1".into(), "2".into()]);
+        t.print();
+    }
+}

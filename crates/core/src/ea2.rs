@@ -1,0 +1,541 @@
+//! Theorem 13 — HSP in groups with an elementary Abelian normal 2-subgroup.
+//!
+//! `N ⊴ G`, `N ≅ Z₂^k` given by generators. The Ettinger–Høyer-inspired
+//! trick (Section 6): for a coset representative `z ∉ N`, the function on
+//! `Z₂ × N`
+//!
+//! ```text
+//! F(0, x) = f(x),     F(1, x) = f(x·z)
+//! ```
+//!
+//! hides either `{0} × (H∩N)` (when `zN ∩ H = ∅`) or
+//! `{0} × (H∩N) ∪ {1} × u(H∩N)` — a subgroup of the **Abelian** group
+//! `Z₂ × N` because `N` has exponent 2. Each generator of type `(1, u)`
+//! certifies `u·z ∈ H`. Running this for every `z` in a set `V` that
+//! contains generators of every subgroup of `G/N` yields
+//! `H = ⟨(H∩N) ∪ witnesses⟩`:
+//!
+//! - **general case** ([`hsp_ea2_general`]): `V` = full transversal of `N`,
+//!   built by the paper's BFS (cost `poly(input + |G/N|)`);
+//! - **cyclic case** ([`hsp_ea2_cyclic`]): `G/N` cyclic of order `m`; `V` =
+//!   `{x_p^{p^i}}` from Sylow generators found by random sampling + quotient
+//!   order computation, `|V| = O(log m)` — fully polynomial. This covers the
+//!   Rötteler–Beth wreath products `Z₂^k ≀ Z₂`.
+//!
+//! The quantum work is one Abelian HSP per `z` over `Z₂^{k+1}`; the engine's
+//! backends decide between faithful simulation and the ideal sampler (the
+//! latter consumes the ground truth supplied by [`Ea2GroundTruth`]).
+
+use crate::oracle::HidingFunction;
+use nahsp_abelian::hsp::{AbelianHsp, HidingOracle};
+use nahsp_abelian::OrderFinder;
+use nahsp_groups::{AbelianProduct, Group};
+use rand::Rng;
+
+/// Coordinates on the elementary Abelian normal 2-subgroup `N ≅ Z₂^k`.
+///
+/// `to_vec` returns `None` exactly when the element is *not* in `N` (this
+/// doubles as the `N`-membership test the transversal BFS needs); vectors
+/// are bitmasks, so `k ≤ 63`.
+pub struct N2Coords<G: Group> {
+    pub dim: usize,
+    to_vec: Box<dyn Fn(&G::Elem) -> Option<u64> + Sync + Send>,
+    from_vec: Box<dyn Fn(u64) -> G::Elem + Sync + Send>,
+}
+
+impl<G: Group + 'static> N2Coords<G> {
+    pub fn new(
+        dim: usize,
+        to_vec: impl Fn(&G::Elem) -> Option<u64> + Sync + Send + 'static,
+        from_vec: impl Fn(u64) -> G::Elem + Sync + Send + 'static,
+    ) -> Self {
+        assert!(dim <= 63);
+        N2Coords {
+            dim,
+            to_vec: Box::new(to_vec),
+            from_vec: Box::new(from_vec),
+        }
+    }
+
+    /// Build coordinates by enumerating `N` (for groups without structural
+    /// shortcuts). Picks an independent basis greedily from `n_gens`.
+    pub fn enumerated(group: &G, n_gens: &[G::Elem], limit: usize) -> Self {
+        use std::collections::HashMap;
+        // Greedy basis: add a generator if it enlarges the closure.
+        let mut basis: Vec<G::Elem> = Vec::new();
+        let mut elems: HashMap<G::Elem, u64> =
+            HashMap::from([(group.canonical(&group.identity()), 0u64)]);
+        for g in n_gens {
+            assert!(
+                group.is_identity(&group.multiply(g, g)),
+                "N generator does not square to identity"
+            );
+            if elems.contains_key(&group.canonical(g)) {
+                continue;
+            }
+            let bit = 1u64 << basis.len();
+            let snapshot: Vec<(G::Elem, u64)> =
+                elems.iter().map(|(e, &v)| (e.clone(), v)).collect();
+            for (e, v) in snapshot {
+                let ne = group.canonical(&group.multiply(&e, g));
+                elems.insert(ne, v | bit);
+            }
+            basis.push(g.clone());
+            assert!(elems.len() <= limit, "N exceeds enumeration limit");
+        }
+        let dim = basis.len();
+        let reverse: HashMap<u64, G::Elem> =
+            elems.iter().map(|(e, &v)| (v, e.clone())).collect();
+        let group2 = group.clone();
+        N2Coords {
+            dim,
+            to_vec: Box::new(move |e: &G::Elem| elems.get(&group2.canonical(e)).copied()),
+            from_vec: Box::new(move |v: u64| reverse[&v].clone()),
+        }
+    }
+
+    pub fn to_vec(&self, e: &G::Elem) -> Option<u64> {
+        (self.to_vec)(e)
+    }
+
+    pub fn from_vec(&self, v: u64) -> G::Elem {
+        (self.from_vec)(v)
+    }
+
+    pub fn in_n(&self, e: &G::Elem) -> bool {
+        self.to_vec(e).is_some()
+    }
+}
+
+/// Structural coordinates for [`nahsp_groups::semidirect::Semidirect`]:
+/// `N` is literally the vector component — `O(1)` conversions at any `k`.
+pub fn semidirect_coords(
+    g: &nahsp_groups::semidirect::Semidirect,
+) -> N2Coords<nahsp_groups::semidirect::Semidirect> {
+    let k = g.k;
+    N2Coords::new(
+        k,
+        |e: &(u64, u64)| if e.1 == 0 { Some(e.0) } else { None },
+        |v: u64| (v, 0u64),
+    )
+}
+
+/// Ground truth needed by the ideal sampling backend: the hidden subgroup's
+/// trace on `N` and a witness map `z ↦ h ∈ zN ∩ H` (or `None` when empty).
+/// Benchmarks construct this from the subgroup they planted; simulator
+/// backends never consult it.
+pub struct Ea2GroundTruth<G: Group> {
+    /// Basis of `(H ∩ N)` in `N`-coordinates.
+    pub hn_basis: Vec<u64>,
+    /// For a given `z`, some `h ∈ zN ∩ H` if nonempty.
+    pub witness: Box<dyn Fn(&G::Elem) -> Option<G::Elem> + Sync + Send>,
+}
+
+/// Result of a Theorem 13 run.
+#[derive(Clone, Debug)]
+pub struct Ea2Result<G: Group> {
+    pub h_generators: Vec<G::Elem>,
+    /// Size of the transversal / Sylow-power set `V` actually used.
+    pub v_size: usize,
+    /// Abelian HSP instances solved (one per `z`, plus one for `H∩N`).
+    pub hsp_instances: usize,
+}
+
+/// The per-`z` oracle on `Z₂^{1+k}`: coordinate 0 is the `Z₂` flag `i`,
+/// the rest are `N`-coordinates; `label(i, α) = f(n_α · z^i)`.
+struct ZOracle<'a, G: Group + 'static, F: HidingFunction<G>> {
+    group: &'a G,
+    f: &'a F,
+    coords: &'a N2Coords<G>,
+    z: Option<G::Elem>, // None => the H∩N instance (no Z₂ flag)
+    ambient: AbelianProduct,
+    truth: Option<Vec<Vec<u64>>>,
+}
+
+impl<G: Group + 'static, F: HidingFunction<G>> HidingOracle for ZOracle<'_, G, F> {
+    fn ambient(&self) -> &AbelianProduct {
+        &self.ambient
+    }
+
+    fn label(&self, x: &[u64]) -> u64 {
+        match &self.z {
+            None => {
+                let v = bits_to_mask(x);
+                self.f.eval(&self.coords.from_vec(v))
+            }
+            Some(z) => {
+                let v = bits_to_mask(&x[1..]);
+                let n = self.coords.from_vec(v);
+                if x[0] == 0 {
+                    self.f.eval(&n)
+                } else {
+                    self.f.eval(&self.group.multiply(&n, z))
+                }
+            }
+        }
+    }
+
+    fn ground_truth(&self) -> Option<Vec<Vec<u64>>> {
+        self.truth.clone()
+    }
+}
+
+fn bits_to_mask(bits: &[u64]) -> u64 {
+    bits.iter()
+        .enumerate()
+        .fold(0u64, |acc, (i, &b)| acc | (b & 1) << i)
+}
+
+fn mask_to_bits(mask: u64, dim: usize) -> Vec<u64> {
+    (0..dim).map(|i| (mask >> i) & 1).collect()
+}
+
+/// Compute `H ∩ N` (as `N`-coordinate masks) and return its basis.
+fn solve_h_cap_n<G: Group + 'static, F: HidingFunction<G>>(
+    group: &G,
+    f: &F,
+    coords: &N2Coords<G>,
+    hsp: &AbelianHsp,
+    truth: Option<&Ea2GroundTruth<G>>,
+    rng: &mut impl Rng,
+) -> Vec<u64> {
+    let ambient = AbelianProduct::new(vec![2; coords.dim]);
+    let oracle = ZOracle {
+        group,
+        f,
+        coords,
+        z: None,
+        ambient,
+        truth: truth.map(|t| {
+            t.hn_basis
+                .iter()
+                .map(|&m| mask_to_bits(m, coords.dim))
+                .collect()
+        }),
+    };
+    let sub = hsp.solve(&oracle, rng).subgroup;
+    sub.cyclic_generators()
+        .iter()
+        .map(|(g, _)| bits_to_mask(g))
+        .collect()
+}
+
+/// Per-`z` round: solve the `Z₂ × N` instance, return a witness `u·z ∈ H`
+/// if `zN ∩ H ≠ ∅`.
+fn solve_z_round<G: Group + 'static, F: HidingFunction<G>>(
+    group: &G,
+    f: &F,
+    coords: &N2Coords<G>,
+    z: &G::Elem,
+    id_label: u64,
+    hsp: &AbelianHsp,
+    truth: Option<&Ea2GroundTruth<G>>,
+    rng: &mut impl Rng,
+) -> Option<G::Elem> {
+    let ambient = AbelianProduct::new(vec![2; coords.dim + 1]);
+    let oracle_truth = truth.map(|t| {
+        let mut gens: Vec<Vec<u64>> = t
+            .hn_basis
+            .iter()
+            .map(|&m| {
+                let mut v = vec![0u64];
+                v.extend(mask_to_bits(m, coords.dim));
+                v
+            })
+            .collect();
+        if let Some(h) = (t.witness)(z) {
+            // h ∈ zN ∩ H → u := h·z⁻¹ ∈ N and u·z = h ∈ H.
+            let u = group.multiply(&h, &group.inverse(z));
+            let mask = coords.to_vec(&u).expect("witness outside zN");
+            let mut v = vec![1u64];
+            v.extend(mask_to_bits(mask, coords.dim));
+            gens.push(v);
+        }
+        gens
+    });
+    let oracle = ZOracle {
+        group,
+        f,
+        coords,
+        z: Some(z.clone()),
+        ambient,
+        truth: oracle_truth,
+    };
+    let sub = hsp.solve(&oracle, rng).subgroup;
+    for (g, _) in sub.cyclic_generators() {
+        if g[0] == 1 {
+            let u = coords.from_vec(bits_to_mask(&g[1..]));
+            // (1, u) in the hidden subgroup certifies u·z ∈ H.
+            let cand = group.multiply(&u, z);
+            debug_assert_eq!(f.eval(&cand), id_label, "witness fails verification");
+            if f.eval(&cand) == id_label {
+                return Some(cand);
+            }
+        }
+    }
+    None
+}
+
+/// General case: `V` = full transversal of `N` in `G` (paper's BFS).
+pub fn hsp_ea2_general<G: Group + 'static, F: HidingFunction<G>>(
+    group: &G,
+    f: &F,
+    coords: &N2Coords<G>,
+    hsp: &AbelianHsp,
+    truth: Option<&Ea2GroundTruth<G>>,
+    quotient_limit: usize,
+    rng: &mut impl Rng,
+) -> Ea2Result<G> {
+    let id_label = f.eval(&group.identity());
+    // Transversal BFS: adjoin v·g when it lies in no existing coset.
+    let mut v_set: Vec<G::Elem> = vec![group.identity()];
+    let mut head = 0usize;
+    let gens = group.generators();
+    while head < v_set.len() {
+        let v = v_set[head].clone();
+        head += 1;
+        for g in &gens {
+            let w = group.multiply(&v, g);
+            let known = v_set
+                .iter()
+                .any(|u| coords.in_n(&group.multiply(&group.inverse(u), &w)));
+            if !known {
+                assert!(v_set.len() < quotient_limit, "quotient exceeds limit");
+                v_set.push(w);
+            }
+        }
+    }
+    run_rounds(group, f, coords, hsp, truth, &v_set, id_label, rng)
+}
+
+/// Cyclic case: `G/N` cyclic; `V` from Sylow generators, `|V| = O(log m)`.
+pub fn hsp_ea2_cyclic<G: Group + 'static, F: HidingFunction<G>>(
+    group: &G,
+    f: &F,
+    coords: &N2Coords<G>,
+    hsp: &AbelianHsp,
+    truth: Option<&Ea2GroundTruth<G>>,
+    rng: &mut impl Rng,
+) -> Ea2Result<G> {
+    let id_label = f.eval(&group.identity());
+    // Order of x·N in G/N: descend from the order of x in G over its
+    // divisors (smallest d with x^d ∈ N).
+    fn q_order<G: Group + 'static>(
+        group: &G,
+        coords: &N2Coords<G>,
+        x: &G::Elem,
+        rng: &mut impl Rng,
+    ) -> u64 {
+        let m = OrderFinder::Exact.find(group, x, rng);
+        nahsp_numtheory::divisors(m)
+            .into_iter()
+            .find(|&d| coords.in_n(&group.pow(x, d)))
+            .expect("order divides group order")
+    }
+    // |G/N| = lcm of the generators' quotient orders (cyclic quotient).
+    let gens = group.generators();
+    let mut m = 1u64;
+    for g in &gens {
+        m = nahsp_numtheory::lcm(m, q_order(group, coords, g, rng));
+    }
+    // Sylow generators by random sampling: z random word, y = z^{m/p^h}
+    // generates the Sylow p-subgroup iff its quotient order is exactly p^h
+    // (probability ≥ 1/2 per draw).
+    let mut v_set: Vec<G::Elem> = Vec::new();
+    for (p, e) in nahsp_numtheory::factor(m) {
+        let ph = p.pow(e);
+        let mut found = false;
+        for _attempt in 0..128 {
+            let w = nahsp_groups::random::random_subproduct(group, &gens, rng);
+            // adjoin a random extra generator product to vary the twist
+            let y = group.pow(&w, m / ph);
+            if q_order(group, coords, &y, rng) == ph {
+                // V gets y^{p^i} for i = 0..e (generators of all p-subgroups
+                // of the cyclic Sylow).
+                for i in 0..e {
+                    v_set.push(group.pow(&y, p.pow(i)));
+                }
+                found = true;
+                break;
+            }
+        }
+        assert!(found, "failed to find a Sylow {p}-generator of the cyclic quotient");
+    }
+    run_rounds(group, f, coords, hsp, truth, &v_set, id_label, rng)
+}
+
+fn run_rounds<G: Group + 'static, F: HidingFunction<G>>(
+    group: &G,
+    f: &F,
+    coords: &N2Coords<G>,
+    hsp: &AbelianHsp,
+    truth: Option<&Ea2GroundTruth<G>>,
+    v_set: &[G::Elem],
+    id_label: u64,
+    rng: &mut impl Rng,
+) -> Ea2Result<G> {
+    // H ∩ N first.
+    let hn_basis = solve_h_cap_n(group, f, coords, hsp, truth, rng);
+    let mut h_generators: Vec<G::Elem> = hn_basis
+        .iter()
+        .map(|&mask| coords.from_vec(mask))
+        .collect();
+    let mut instances = 1usize;
+    for z in v_set {
+        if coords.in_n(z) {
+            continue; // z ∈ N: its round is the H∩N instance
+        }
+        instances += 1;
+        if let Some(w) = solve_z_round(group, f, coords, z, id_label, hsp, truth, rng) {
+            h_generators.push(w);
+        }
+    }
+    Ea2Result {
+        h_generators,
+        v_size: v_set.len(),
+        hsp_instances: instances,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::CosetTableOracle;
+    use nahsp_abelian::Backend;
+    use nahsp_groups::closure::enumerate_subgroup;
+    use nahsp_groups::matgf::Gf2Mat;
+    use nahsp_groups::semidirect::Semidirect;
+    use rand::SeedableRng;
+
+    type Rng64 = rand::rngs::StdRng;
+
+    fn check_general(g: &Semidirect, h_gens: &[(u64, u64)], seed: u64) {
+        let oracle = CosetTableOracle::new(g.clone(), h_gens, 1 << 14);
+        let coords = semidirect_coords(g);
+        let mut rng = Rng64::seed_from_u64(seed);
+        let hsp = AbelianHsp::new(Backend::SimulatorCoset);
+        let res = hsp_ea2_general(g, &oracle, &coords, &hsp, None, 1 << 12, &mut rng);
+        verify(g, &oracle, &res);
+    }
+
+    fn check_cyclic(g: &Semidirect, h_gens: &[(u64, u64)], seed: u64) {
+        let oracle = CosetTableOracle::new(g.clone(), h_gens, 1 << 14);
+        let coords = semidirect_coords(g);
+        let mut rng = Rng64::seed_from_u64(seed);
+        let hsp = AbelianHsp::new(Backend::SimulatorCoset);
+        let res = hsp_ea2_cyclic(g, &oracle, &coords, &hsp, None, &mut rng);
+        verify(g, &oracle, &res);
+    }
+
+    fn verify(
+        g: &Semidirect,
+        oracle: &CosetTableOracle<Semidirect>,
+        res: &Ea2Result<Semidirect>,
+    ) {
+        let recovered = if res.h_generators.is_empty() {
+            vec![(0u64, 0u64)]
+        } else {
+            enumerate_subgroup(g, &res.h_generators, 1 << 15).unwrap()
+        };
+        let truth: std::collections::HashSet<_> =
+            oracle.hidden_subgroup_elements().iter().cloned().collect();
+        assert_eq!(recovered.len(), truth.len(), "subgroup order mismatch");
+        for e in &recovered {
+            assert!(truth.contains(e), "extra element {e:?}");
+        }
+    }
+
+    #[test]
+    fn wreath_z2_hidden_twisted_involution() {
+        // Rötteler–Beth family: Z2^2 ≀ Z2, H = <(v, 1)> with sw(v) = v.
+        let g = Semidirect::wreath_z2(2);
+        check_general(&g, &[(0b0101, 1)], 1);
+        check_cyclic(&g, &[(0b0101, 1)], 2);
+    }
+
+    #[test]
+    fn wreath_z2_hidden_inside_n() {
+        let g = Semidirect::wreath_z2(2);
+        check_general(&g, &[(0b0011, 0), (0b1100, 0)], 3);
+        check_cyclic(&g, &[(0b0011, 0), (0b1100, 0)], 4);
+    }
+
+    #[test]
+    fn wreath_z2_trivial_and_full() {
+        let g = Semidirect::wreath_z2(2);
+        check_general(&g, &[], 5);
+        check_cyclic(&g, &[], 6);
+        check_general(&g, &g.generators(), 7);
+        check_cyclic(&g, &g.generators(), 8);
+    }
+
+    #[test]
+    fn cyclic_factor_z7() {
+        // Z2^3 ⋊ Z7 (companion action): cyclic quotient of odd order.
+        let g = Semidirect::new(3, 7, Gf2Mat::companion(3, 0b011));
+        check_cyclic(&g, &[(0b011, 0)], 9);
+        // mixed subgroup containing a twisted element: <(0, 1)> has
+        // order 7 (twist part).
+        check_cyclic(&g, &[(0, 1)], 10);
+        check_general(&g, &[(0, 1)], 11);
+    }
+
+    #[test]
+    fn cyclic_factor_z15_composite() {
+        // Quotient Z15: two Sylow subgroups (3 and 5).
+        let g = Semidirect::new(4, 15, Gf2Mat::companion(4, 0b0011));
+        check_cyclic(&g, &[(0, 3)], 12); // subgroup of quotient order 5
+        check_cyclic(&g, &[(0, 5)], 13); // order 3
+        check_cyclic(&g, &[(0b1001, 0)], 14); // inside N
+    }
+
+    #[test]
+    fn ideal_backend_matches_simulator() {
+        let g = Semidirect::wreath_z2(2);
+        let h_gens = [(0b0101u64, 1u64)];
+        let oracle = CosetTableOracle::new(g.clone(), &h_gens, 1 << 14);
+        let coords = semidirect_coords(&g);
+        // Ground truth: H = {(0,0), (0101,1)}; H∩N = trivial;
+        // zN ∩ H = {(0101, 1)} iff z has twist 1.
+        let truth = Ea2GroundTruth::<Semidirect> {
+            hn_basis: vec![],
+            witness: Box::new(|z: &(u64, u64)| {
+                if z.1 == 1 {
+                    Some((0b0101u64, 1u64))
+                } else {
+                    None
+                }
+            }),
+        };
+        let mut rng = Rng64::seed_from_u64(20);
+        let hsp = AbelianHsp::new(Backend::Ideal);
+        let res =
+            hsp_ea2_general(&g, &oracle, &coords, &hsp, Some(&truth), 1 << 12, &mut rng);
+        verify(&g, &oracle, &res);
+    }
+
+    #[test]
+    fn enumerated_coords_agree_with_structural() {
+        let g = Semidirect::wreath_z2(1); // Z2 wr Z2 = D4
+        let n_gens = g.normal_subgroup_gens();
+        let enumerated = N2Coords::enumerated(&g, &n_gens, 100);
+        let structural = semidirect_coords(&g);
+        assert_eq!(enumerated.dim, structural.dim);
+        for v in 0..4u64 {
+            let e = structural.from_vec(v);
+            // round-trip through enumerated coords
+            let ve = enumerated.to_vec(&e).expect("in N");
+            assert_eq!(enumerated.from_vec(ve), e);
+        }
+        assert!(!enumerated.in_n(&(0u64, 1u64)));
+    }
+
+    #[test]
+    fn larger_wreath_k3_selected_subgroups() {
+        // Z2^3 ≀ Z2: order 128; still simulator-tractable (ambient 2^7).
+        let g = Semidirect::wreath_z2(3);
+        check_general(&g, &[(0b101101, 1)], 30); // sw-symmetric vector
+        check_cyclic(&g, &[(0b101101, 1)], 31);
+        check_cyclic(&g, &[(0b110110, 0), (0b001001, 0)], 32);
+    }
+}

@@ -1,0 +1,31 @@
+//! Quantum algorithms for non-Abelian hidden subgroup instances — the core
+//! contribution of Ivanyos, Magniez & Santha (2001), reproduced end to end.
+//!
+//! | Paper result | Module | Entry point |
+//! |---|---|---|
+//! | Thm 6 — constructive membership in Abelian subgroups | [`membership`] | [`membership::abelian_membership`] |
+//! | Thm 7 — Beals–Babai tasks for `G/N`, `N` hidden | [`quotient`] | [`quotient::HiddenQuotient`] |
+//! | Thm 8 — hidden *normal* subgroups | [`normal_hsp`] | [`normal_hsp::hidden_normal_subgroup`] |
+//! | Lemma 9 — Abelian HSP with quantum-state oracle | [`lemma9`] | [`lemma9::solve_state_hsp`] |
+//! | Thm 10 — `G/N` tasks via coset states (`N` solvable) | [`watrous`] | [`watrous::CosetStates`] |
+//! | Thm 11 / Cor 12 — small commutator subgroup | [`small_commutator`] | [`small_commutator::hsp_small_commutator`] |
+//! | Thm 13 — elementary Abelian normal 2-subgroup | [`ea2`] | [`ea2::hsp_ea2_general`], [`ea2::hsp_ea2_cyclic`] |
+//! | baselines (classical, Ettinger–Høyer) | [`baseline`] | [`baseline::exhaustive_scan`], … |
+//!
+//! All algorithms consume black-box groups ([`nahsp_groups::Group`]) and
+//! hiding functions ([`oracle::HidingFunction`]); query counts are recorded
+//! so experiments can report the quantities the theorems bound.
+
+pub mod baseline;
+pub mod ea2;
+pub mod lemma9;
+pub mod membership;
+pub mod normal_hsp;
+pub mod oracle;
+pub mod presentation;
+pub mod quotient;
+pub mod small_commutator;
+pub mod watrous;
+
+pub use oracle::{CosetTableOracle, HidingFunction, PermCosetOracle};
+pub use quotient::HiddenQuotient;

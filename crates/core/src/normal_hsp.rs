@@ -1,0 +1,394 @@
+//! Theorem 8 — finding a hidden **normal** subgroup.
+//!
+//! The algorithm: (1) run the Beals–Babai machinery on the quotient `G/N`
+//! through the secondary encoding (Theorem 7, [`crate::quotient`]) to obtain
+//! a presentation `⟨T | R⟩` of `G/N`; (2) substitute the concrete generators
+//! into the relators — the resulting set `R₀` lies in `N`; (3) express each
+//! original generator `x` of `G` modulo `N` as a word `y` in `T` and form
+//! `S₀ = {y⁻¹x}`; (4) `N` is exactly the normal closure of `R₀ ∪ S₀` in `G`.
+//!
+//! Two presentation engines cover the quotient classes our scope needs
+//! (DESIGN.md records the scoping):
+//!
+//! - [`QuotientEngine::Enumerate`] — enumerate the quotient through
+//!   `f`-labels and present it by its Cayley table (any quotient of
+//!   tractable order; cost `poly(|G/N|)`, which is the paper's budget since
+//!   its running time is allowed to grow with `ν(G/N)`-sized data);
+//! - [`QuotientEngine::Abelian`] — Cheung–Mosca decomposition of an Abelian
+//!   quotient (power + commutator relators, membership by Theorem 6); this
+//!   is the engine Theorem 11 relies on, polynomial in `log |G/N|`.
+//!
+//! The normal closure (step 4) is delegated to the exact closure machinery
+//! of `nahsp-groups`; for permutation groups use
+//! [`hidden_normal_subgroup_perm`], which closes with Schreier–Sims
+//! membership instead of enumeration.
+
+use crate::membership::abelian_membership;
+use crate::oracle::HidingFunction;
+use crate::quotient::HiddenQuotient;
+use nahsp_abelian::{AbelianHsp, OrderFinder};
+use nahsp_groups::closure::{
+    enumerate_subgroup, normal_closure_enumerated, normal_closure_generators,
+};
+use nahsp_groups::stabchain::StabilizerChain;
+use nahsp_groups::{Group, Perm};
+use rand::Rng;
+
+/// How to obtain the presentation of the quotient.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QuotientEngine {
+    /// Enumerate `G/N` (up to the given bound) and present via Cayley table.
+    Enumerate { limit: usize },
+    /// Cheung–Mosca presentation; requires the quotient to be Abelian.
+    Abelian,
+    /// Pick `Abelian` when the quotient generators commute, else enumerate.
+    Auto { limit: usize },
+}
+
+/// Output of the Theorem 8 pipeline, before the normal closure is expanded.
+#[derive(Clone, Debug)]
+pub struct NormalHspSeeds<G: Group> {
+    /// `R₀ ∪ S₀`: elements of `N` whose normal closure is `N`.
+    pub seeds: Vec<G::Elem>,
+    /// `|G/N|` as certified by the presentation step.
+    pub quotient_order: u64,
+}
+
+/// Steps (1)–(3): produce seeds whose normal closure is the hidden normal
+/// subgroup.
+pub fn normal_subgroup_seeds<G: Group, F: HidingFunction<G>>(
+    group: &G,
+    f: &F,
+    engine: QuotientEngine,
+    rng: &mut impl Rng,
+) -> NormalHspSeeds<G> {
+    let q = HiddenQuotient::new(group, f);
+    let engine = match engine {
+        QuotientEngine::Auto { limit } => {
+            let gens = q.generators();
+            let abelian = gens.iter().enumerate().all(|(i, a)| {
+                gens.iter()
+                    .skip(i + 1)
+                    .all(|b| q.is_identity(&q.commutator(a, b)))
+            });
+            if abelian {
+                QuotientEngine::Abelian
+            } else {
+                QuotientEngine::Enumerate { limit }
+            }
+        }
+        e => e,
+    };
+    match engine {
+        QuotientEngine::Enumerate { limit } => seeds_by_enumeration(group, &q, limit),
+        QuotientEngine::Abelian => seeds_by_abelian_presentation(group, &q, rng),
+        QuotientEngine::Auto { .. } => unreachable!("resolved above"),
+    }
+}
+
+/// Cayley-table presentation of the quotient: generators = all coset
+/// representatives, relators = all products `t_i t_j = t_{k}`.
+fn seeds_by_enumeration<G: Group, F: HidingFunction<G>>(
+    group: &G,
+    q: &HiddenQuotient<'_, G, F>,
+    limit: usize,
+) -> NormalHspSeeds<G> {
+    let reps = enumerate_subgroup(q, &q.generators(), limit)
+        .expect("quotient exceeds enumeration limit");
+    let m = reps.len();
+    // label -> index of the canonical representative
+    let mut index = std::collections::HashMap::with_capacity(m);
+    for (i, t) in reps.iter().enumerate() {
+        index.insert(q.coset_label(t), i);
+    }
+    let mut seeds: Vec<G::Elem> = Vec::new();
+    // R0: t_i t_j t_k^{-1} evaluated in G.
+    for ti in &reps {
+        for tj in &reps {
+            let prod_g = group.multiply(ti, tj);
+            let k = *index
+                .get(&q.coset_label(&prod_g))
+                .expect("product escaped coset table");
+            let r = group.multiply(&prod_g, &group.inverse(&reps[k]));
+            if !group.is_identity(&r) {
+                seeds.push(r);
+            }
+        }
+    }
+    // S0: y^{-1} x for each original generator x, y its representative.
+    for x in group.generators() {
+        let k = *index.get(&q.coset_label(&x)).expect("generator not in table");
+        let s = group.multiply(&group.inverse(&reps[k]), &x);
+        if !group.is_identity(&s) {
+            seeds.push(s);
+        }
+    }
+    NormalHspSeeds {
+        seeds,
+        quotient_order: m as u64,
+    }
+}
+
+/// Abelian presentation from the Cheung–Mosca decomposition of the quotient:
+/// relators `t_i^{d_i}` and `[t_i, t_j]`; `S₀` via Theorem 6 membership.
+fn seeds_by_abelian_presentation<G: Group, F: HidingFunction<G>>(
+    group: &G,
+    q: &HiddenQuotient<'_, G, F>,
+    rng: &mut impl Rng,
+) -> NormalHspSeeds<G> {
+    let hsp = AbelianHsp::default();
+    let orders = OrderFinder::Exact;
+    let structure = nahsp_abelian::structure::decompose(q, &q.generators(), &hsp, &orders, rng);
+    let ts = structure.new_generators.clone();
+    let ds = structure.invariant_factors.clone();
+    let mut seeds: Vec<G::Elem> = Vec::new();
+    // Power relators t_i^{d_i} (evaluated in G — they land in N).
+    for (t, &d) in ts.iter().zip(&ds) {
+        let r = group.pow(t, d);
+        if !group.is_identity(&r) {
+            seeds.push(r);
+        }
+    }
+    // Commutator relators [t_i, t_j] in G.
+    for (i, a) in ts.iter().enumerate() {
+        for b in ts.iter().skip(i + 1) {
+            let c = group.commutator(a, b);
+            if !group.is_identity(&c) {
+                seeds.push(c);
+            }
+        }
+    }
+    // S0: express each original generator modulo N in terms of the t_i.
+    for x in group.generators() {
+        if ts.is_empty() {
+            // trivial quotient: every generator is in N already
+            if !group.is_identity(&x) {
+                seeds.push(x);
+            }
+            continue;
+        }
+        let exps = abelian_membership(q, &ts, &x, &hsp, &orders, rng)
+            .expect("presentation generators must span the quotient");
+        let mut y = group.identity();
+        for (t, &e) in ts.iter().zip(&exps) {
+            y = group.multiply(&y, &group.pow(t, e));
+        }
+        let s = group.multiply(&group.inverse(&y), &x);
+        if !group.is_identity(&s) {
+            seeds.push(s);
+        }
+    }
+    NormalHspSeeds {
+        seeds,
+        quotient_order: ds.iter().product(),
+    }
+}
+
+/// Full Theorem 8 for enumerable groups: seeds + enumerated normal closure.
+/// Returns the elements of `N`.
+pub fn hidden_normal_subgroup<G: Group, F: HidingFunction<G>>(
+    group: &G,
+    f: &F,
+    engine: QuotientEngine,
+    closure_limit: usize,
+    rng: &mut impl Rng,
+) -> (NormalHspSeeds<G>, Vec<G::Elem>) {
+    let seeds = normal_subgroup_seeds(group, f, engine, rng);
+    let elems = if seeds.seeds.is_empty() {
+        vec![group.canonical(&group.identity())]
+    } else {
+        normal_closure_enumerated(group, &seeds.seeds, &group.generators(), closure_limit)
+            .expect("normal closure exceeds enumeration limit")
+    };
+    (seeds, elems)
+}
+
+/// Full Theorem 8 for permutation groups at scale: the normal closure is
+/// computed with Schreier–Sims membership (no enumeration of `N`). Returns
+/// a stabilizer chain for `N`.
+pub fn hidden_normal_subgroup_perm<G, F>(
+    group: &G,
+    f: &F,
+    engine: QuotientEngine,
+    rng: &mut impl Rng,
+) -> (NormalHspSeeds<G>, StabilizerChain)
+where
+    G: Group<Elem = Perm>,
+    F: HidingFunction<G>,
+{
+    let seeds = normal_subgroup_seeds(group, f, engine, rng);
+    let degree = group.identity().degree();
+    let member = |gens: &[Perm], x: &Perm| {
+        if gens.is_empty() {
+            return x.is_identity();
+        }
+        StabilizerChain::new(degree, gens).contains(x)
+    };
+    let gens = normal_closure_generators(group, &seeds.seeds, &group.generators(), member);
+    (seeds, StabilizerChain::new(degree, &gens))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::{CosetTableOracle, PermCosetOracle};
+    use nahsp_groups::perm::PermGroup;
+    use nahsp_groups::semidirect::Semidirect;
+    use rand::SeedableRng;
+
+    type Rng64 = rand::rngs::StdRng;
+
+    #[test]
+    fn recovers_v4_in_s4() {
+        let s4 = PermGroup::symmetric(4);
+        let v4 = vec![
+            Perm::from_cycles(4, &[&[0, 1], &[2, 3]]),
+            Perm::from_cycles(4, &[&[0, 2], &[1, 3]]),
+        ];
+        let oracle = CosetTableOracle::new(s4.clone(), &v4, 100);
+        let mut rng = Rng64::seed_from_u64(1);
+        let (seeds, elems) = hidden_normal_subgroup(
+            &s4,
+            &oracle,
+            QuotientEngine::Enumerate { limit: 100 },
+            100,
+            &mut rng,
+        );
+        assert_eq!(seeds.quotient_order, 6);
+        assert_eq!(elems.len(), 4);
+        let truth: std::collections::HashSet<_> =
+            oracle.hidden_subgroup_elements().iter().cloned().collect();
+        for e in &elems {
+            assert!(truth.contains(e));
+        }
+    }
+
+    #[test]
+    fn recovers_a4_in_s4_with_abelian_engine() {
+        let s4 = PermGroup::symmetric(4);
+        let a4 = PermGroup::alternating(4);
+        let oracle = CosetTableOracle::new(s4.clone(), &a4.gens, 100);
+        let mut rng = Rng64::seed_from_u64(2);
+        // S4/A4 ≅ Z2 is Abelian; Auto should pick the Abelian engine.
+        let (seeds, elems) = hidden_normal_subgroup(
+            &s4,
+            &oracle,
+            QuotientEngine::Auto { limit: 100 },
+            100,
+            &mut rng,
+        );
+        assert_eq!(seeds.quotient_order, 2);
+        assert_eq!(elems.len(), 12);
+    }
+
+    #[test]
+    fn both_engines_agree_on_abelian_quotient() {
+        let s4 = PermGroup::symmetric(4);
+        let a4 = PermGroup::alternating(4);
+        let mut rng = Rng64::seed_from_u64(3);
+        let o1 = CosetTableOracle::new(s4.clone(), &a4.gens, 100);
+        let (_, e1) = hidden_normal_subgroup(
+            &s4,
+            &o1,
+            QuotientEngine::Enumerate { limit: 100 },
+            100,
+            &mut rng,
+        );
+        let o2 = CosetTableOracle::new(s4.clone(), &a4.gens, 100);
+        let (_, e2) =
+            hidden_normal_subgroup(&s4, &o2, QuotientEngine::Abelian, 100, &mut rng);
+        let s1: std::collections::HashSet<_> = e1.into_iter().collect();
+        let s2: std::collections::HashSet<_> = e2.into_iter().collect();
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn trivial_hidden_subgroup_yields_identity_only() {
+        let s4 = PermGroup::symmetric(4);
+        let oracle = CosetTableOracle::new(s4.clone(), &[], 100);
+        let mut rng = Rng64::seed_from_u64(4);
+        let (seeds, elems) = hidden_normal_subgroup(
+            &s4,
+            &oracle,
+            QuotientEngine::Enumerate { limit: 100 },
+            100,
+            &mut rng,
+        );
+        assert_eq!(seeds.quotient_order, 24);
+        assert_eq!(elems.len(), 1);
+    }
+
+    #[test]
+    fn whole_group_hidden() {
+        // N = G: quotient trivial; seeds = generators; closure = G.
+        let s4 = PermGroup::symmetric(4);
+        let oracle = CosetTableOracle::new(s4.clone(), &s4.gens, 100);
+        let mut rng = Rng64::seed_from_u64(5);
+        let (seeds, elems) = hidden_normal_subgroup(
+            &s4,
+            &oracle,
+            QuotientEngine::Auto { limit: 100 },
+            100,
+            &mut rng,
+        );
+        assert_eq!(seeds.quotient_order, 1);
+        assert_eq!(elems.len(), 24);
+    }
+
+    #[test]
+    fn solvable_group_vector_part() {
+        // G = Z2^3 ⋊ Z7 (solvable); N = Z2^3 hidden. Quotient Z7 is Abelian.
+        let g = Semidirect::new(3, 7, nahsp_groups::matgf::Gf2Mat::companion(3, 0b011));
+        let n_gens = g.normal_subgroup_gens();
+        let oracle = CosetTableOracle::new(g.clone(), &n_gens, 100);
+        let mut rng = Rng64::seed_from_u64(6);
+        let (seeds, elems) = hidden_normal_subgroup(
+            &g,
+            &oracle,
+            QuotientEngine::Auto { limit: 100 },
+            100,
+            &mut rng,
+        );
+        assert_eq!(seeds.quotient_order, 7);
+        assert_eq!(elems.len(), 8);
+        for e in &elems {
+            assert_eq!(e.1, 0, "element outside the vector part");
+        }
+    }
+
+    #[test]
+    fn permutation_group_at_scale() {
+        // A_8 hidden inside S_8 (|G| = 40320): the perm pipeline must
+        // recover it without enumerating N.
+        let s8 = PermGroup::symmetric(8);
+        let a8 = PermGroup::alternating(8);
+        let oracle = PermCosetOracle::new(8, &a8.gens);
+        let mut rng = Rng64::seed_from_u64(7);
+        let (seeds, chain) = hidden_normal_subgroup_perm(
+            &s8,
+            &oracle,
+            QuotientEngine::Auto { limit: 100 },
+            &mut rng,
+        );
+        assert_eq!(seeds.quotient_order, 2);
+        assert_eq!(chain.order(), 20160);
+    }
+
+    #[test]
+    fn center_of_extraspecial_recovered() {
+        use nahsp_groups::extraspecial::Extraspecial;
+        let g = Extraspecial::heisenberg(3);
+        let z = g.center_generator();
+        let oracle = CosetTableOracle::new(g.clone(), &[z], 100);
+        let mut rng = Rng64::seed_from_u64(8);
+        let (seeds, elems) = hidden_normal_subgroup(
+            &g,
+            &oracle,
+            QuotientEngine::Auto { limit: 100 },
+            100,
+            &mut rng,
+        );
+        assert_eq!(seeds.quotient_order, 9);
+        assert_eq!(elems.len(), 3);
+    }
+}

@@ -1,0 +1,288 @@
+//! Hiding functions `f : G → labels` for arbitrary black-box groups.
+//!
+//! The HSP input model (Section 2): `f` is given by an oracle, is constant
+//! on left cosets of the hidden subgroup `H` and distinct across cosets.
+//! This module provides the oracle *constructions* used by tests, examples
+//! and benchmarks — each computes a canonical label of `gH` in a different
+//! way — plus query accounting shared by every implementation.
+//!
+//! - [`CosetTableOracle`]: enumerates `H` once; label = minimum canonical
+//!   encoding over `g·H`. Works for every enumerable `H` in any group.
+//! - [`PermCosetOracle`]: uses a Schreier–Sims chain for `H ≤ S_n`; label =
+//!   canonical minimal coset representative. Polynomial in the degree, so it
+//!   scales to huge permutation groups.
+//!
+//! Both intern labels into `u64` and count queries with atomics (shared
+//! handles are cheap to clone into rayon tasks).
+
+use nahsp_groups::stabchain::StabilizerChain;
+use nahsp_groups::{Group, Perm};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A hiding function over a black-box group.
+pub trait HidingFunction<G: Group>: Sync {
+    /// Evaluate `f(g)` as an interned label.
+    fn eval(&self, g: &G::Elem) -> u64;
+
+    /// Total oracle invocations so far.
+    fn queries(&self) -> u64;
+
+    /// The label of the identity coset (i.e. of `H` itself). Default
+    /// implementation costs one query.
+    fn identity_label(&self, group: &G) -> u64 {
+        self.eval(&group.identity())
+    }
+}
+
+/// Shared interning + counting state.
+pub(crate) struct LabelInterner<K> {
+    map: Mutex<HashMap<K, u64>>,
+    queries: AtomicU64,
+}
+
+impl<K: std::hash::Hash + Eq> LabelInterner<K> {
+    pub fn new() -> Self {
+        LabelInterner {
+            map: Mutex::new(HashMap::new()),
+            queries: AtomicU64::new(0),
+        }
+    }
+
+    pub fn intern(&self, key: K) -> u64 {
+        let mut map = self.map.lock().expect("poisoned");
+        let next = map.len() as u64;
+        *map.entry(key).or_insert(next)
+    }
+
+    pub fn count_query(&self) {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn queries(&self) -> u64 {
+        self.queries.load(Ordering::Relaxed)
+    }
+}
+
+/// Hiding function from an enumerated subgroup: label of `g` is the minimum
+/// canonical encoding of `g·H`.
+pub struct CosetTableOracle<G: Group> {
+    group: G,
+    h_elems: Vec<G::Elem>,
+    h_gens: Vec<G::Elem>,
+    interner: LabelInterner<G::Elem>,
+}
+
+impl<G: Group> CosetTableOracle<G> {
+    /// Enumerates `H = ⟨h_gens⟩`; panics if `|H| > limit`.
+    pub fn new(group: G, h_gens: &[G::Elem], limit: usize) -> Self {
+        let h_elems = nahsp_groups::closure::enumerate_subgroup(&group, h_gens, limit)
+            .expect("hidden subgroup too large to enumerate");
+        CosetTableOracle {
+            group,
+            h_elems,
+            h_gens: h_gens.to_vec(),
+            interner: LabelInterner::new(),
+        }
+    }
+
+    pub fn group(&self) -> &G {
+        &self.group
+    }
+
+    /// Ground truth: the hidden subgroup's elements (for verification in
+    /// tests/benches only — algorithms must not touch this).
+    pub fn hidden_subgroup_elements(&self) -> &[G::Elem] {
+        &self.h_elems
+    }
+
+    /// Ground truth: generators the oracle was built from.
+    pub fn hidden_subgroup_generators(&self) -> &[G::Elem] {
+        &self.h_gens
+    }
+}
+
+impl<G: Group> HidingFunction<G> for CosetTableOracle<G> {
+    fn eval(&self, g: &G::Elem) -> u64 {
+        self.interner.count_query();
+        let rep = self
+            .h_elems
+            .iter()
+            .map(|h| self.group.canonical(&self.group.multiply(g, h)))
+            .min()
+            .expect("H is never empty");
+        self.interner.intern(rep)
+    }
+
+    fn queries(&self) -> u64 {
+        self.interner.queries()
+    }
+}
+
+/// Hiding function for subgroups of permutation groups at scale: the label
+/// is the Schreier–Sims canonical minimal representative of `g·H`,
+/// computable in time polynomial in the degree.
+pub struct PermCosetOracle {
+    chain: StabilizerChain,
+    interner: LabelInterner<Perm>,
+}
+
+impl PermCosetOracle {
+    pub fn new(degree: usize, h_gens: &[Perm]) -> Self {
+        PermCosetOracle {
+            chain: StabilizerChain::new(degree, h_gens),
+            interner: LabelInterner::new(),
+        }
+    }
+
+    /// Ground truth chain (for verification only).
+    pub fn hidden_chain(&self) -> &StabilizerChain {
+        &self.chain
+    }
+
+    /// Query count (inherent mirror of [`HidingFunction::queries`], which
+    /// would otherwise need a type annotation for the group parameter).
+    pub fn query_count(&self) -> u64 {
+        self.interner.queries()
+    }
+}
+
+impl<G: Group<Elem = Perm>> HidingFunction<G> for PermCosetOracle {
+    fn eval(&self, g: &Perm) -> u64 {
+        self.interner.count_query();
+        let rep = self.chain.min_in_left_coset(g);
+        self.interner.intern(rep)
+    }
+
+    fn queries(&self) -> u64 {
+        self.interner.queries()
+    }
+}
+
+/// Adapter: any closure producing canonical coset keys becomes a hiding
+/// function (used for structured oracles — Hermite reduction in Abelian
+/// groups, linear maps for `Z₂^k` subgroups — where neither enumeration nor
+/// a stabilizer chain is wanted).
+pub struct FnOracle<G: Group, K, F>
+where
+    K: std::hash::Hash + Eq,
+    F: Fn(&G::Elem) -> K + Sync,
+{
+    f: F,
+    interner: LabelInterner<K>,
+    _marker: std::marker::PhantomData<fn(&G)>,
+}
+
+impl<G: Group, K, F> FnOracle<G, K, F>
+where
+    K: std::hash::Hash + Eq,
+    F: Fn(&G::Elem) -> K + Sync,
+{
+    /// `f` must map two elements to equal keys iff they lie in the same left
+    /// coset of the hidden subgroup.
+    pub fn new(f: F) -> Self {
+        FnOracle {
+            f,
+            interner: LabelInterner::new(),
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<G: Group, K, F> HidingFunction<G> for FnOracle<G, K, F>
+where
+    K: std::hash::Hash + Eq + Send,
+    F: Fn(&G::Elem) -> K + Sync,
+{
+    fn eval(&self, g: &G::Elem) -> u64 {
+        self.interner.count_query();
+        self.interner.intern((self.f)(g))
+    }
+
+    fn queries(&self) -> u64 {
+        self.interner.queries()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nahsp_groups::perm::PermGroup;
+    use nahsp_groups::{CyclicGroup, Group};
+
+    #[test]
+    fn coset_table_oracle_hides_subgroup() {
+        // H = <4> in Z_12: 3 cosets of size... |H| = 3, 4 cosets.
+        let g = CyclicGroup::new(12);
+        let oracle = CosetTableOracle::new(g.clone(), &[4u64], 100);
+        let mut labels_by_coset: std::collections::HashMap<u64, std::collections::HashSet<u64>> =
+            Default::default();
+        for x in 0..12u64 {
+            labels_by_coset
+                .entry(x % 4)
+                .or_default()
+                .insert(oracle.eval(&x));
+        }
+        assert_eq!(labels_by_coset.len(), 4);
+        let mut all = std::collections::HashSet::new();
+        for (_, labels) in labels_by_coset {
+            assert_eq!(labels.len(), 1, "not constant on a coset");
+            all.extend(labels);
+        }
+        assert_eq!(all.len(), 4, "cosets not distinct");
+        assert_eq!(oracle.queries(), 12);
+    }
+
+    #[test]
+    fn perm_coset_oracle_matches_table_oracle_partition() {
+        use nahsp_groups::Perm;
+        let s4 = PermGroup::symmetric(4);
+        let h_gens = vec![Perm::from_cycles(4, &[&[0, 1, 2]])];
+        let table = CosetTableOracle::new(s4.clone(), &h_gens, 100);
+        let perm = PermCosetOracle::new(4, &h_gens);
+        let all = nahsp_groups::closure::enumerate_subgroup(&s4, &s4.gens, 100).unwrap();
+        // partitions induced by the two oracles must agree
+        let mut pairs = std::collections::HashMap::new();
+        for x in &all {
+            let t = table.eval(x);
+            let p = HidingFunction::<PermGroup>::eval(&perm, x);
+            match pairs.entry(t) {
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(p);
+                }
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    assert_eq!(*e.get(), p, "partitions disagree");
+                }
+            }
+        }
+        assert_eq!(pairs.len(), 24 / 3);
+    }
+
+    #[test]
+    fn fn_oracle_mod_labels() {
+        let g = CyclicGroup::new(30);
+        // hide <5>: coset key = x mod 5
+        let oracle = FnOracle::<CyclicGroup, _, _>::new(|x: &u64| x % 5);
+        for x in 0..30u64 {
+            for h in [0u64, 5, 10, 25] {
+                assert_eq!(
+                    oracle.eval(&x),
+                    oracle.eval(&g.multiply(&x, &h)),
+                    "x={x} h={h}"
+                );
+            }
+        }
+        assert!(oracle.queries() > 0);
+    }
+
+    #[test]
+    fn identity_label_consistent() {
+        let g = CyclicGroup::new(8);
+        let oracle = CosetTableOracle::new(g.clone(), &[2u64], 100);
+        let id = oracle.identity_label(&g);
+        assert_eq!(id, oracle.eval(&0u64));
+        assert_eq!(id, oracle.eval(&6u64)); // 6 ∈ <2>
+        assert_ne!(id, oracle.eval(&3u64));
+    }
+}

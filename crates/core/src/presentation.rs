@@ -1,0 +1,185 @@
+//! Theorem 7's deliverable as a first-class object: a presentation of the
+//! hidden quotient `G/N`.
+//!
+//! Corollary 5(ii) promises "the order of G and a presentation for G" — for
+//! the quotient, that is a generating sequence `T` (concrete elements of
+//! `G`, read modulo `N`) together with relator words whose normal closure
+//! in the free group is the kernel of `x_i ↦ t_i N`. Theorem 8 then
+//! substitutes the relators in `G` (not in `G/N`!) to seed the normal
+//! closure that recovers `N`.
+//!
+//! Two engines mirror [`crate::normal_hsp::QuotientEngine`]:
+//! - Cayley-table presentations for any enumerable quotient (generators =
+//!   all coset representatives; relators `x_i x_j x_{k(i,j)}^{-1}`);
+//! - Abelian presentations from the Cheung–Mosca decomposition (power
+//!   relators `x_i^{d_i}` and commutators `[x_i, x_j]`).
+
+use crate::oracle::HidingFunction;
+use crate::quotient::HiddenQuotient;
+use nahsp_abelian::{AbelianHsp, OrderFinder};
+use nahsp_groups::closure::enumerate_subgroup;
+use nahsp_groups::words::{Presentation, Word};
+use nahsp_groups::Group;
+use rand::Rng;
+
+/// A presentation of `G/N` with concrete generator representatives.
+#[derive(Clone, Debug)]
+pub struct QuotientPresentation<G: Group> {
+    /// Representatives `t_1, …, t_s ∈ G` whose cosets generate `G/N`.
+    pub generators: Vec<G::Elem>,
+    /// Relators over those generators (free-group words).
+    pub presentation: Presentation,
+    /// `|G/N|`, certified by the construction.
+    pub order: u64,
+}
+
+impl<G: Group> QuotientPresentation<G> {
+    /// Substitute the relators in `G` itself — the set `R₀` of Theorem 8
+    /// (each element lies in `N`; identities dropped).
+    pub fn substituted_relators(&self, group: &G) -> Vec<G::Elem> {
+        self.presentation
+            .substituted_relators(group, &self.generators)
+    }
+
+    /// Check the relators hold **in the quotient** (sanity invariant; they
+    /// generally do *not* hold in `G`).
+    pub fn is_valid_for<F: HidingFunction<G>>(&self, group: &G, f: &F) -> bool {
+        let q = HiddenQuotient::new(group, f);
+        self.presentation.is_satisfied_by(&q, &self.generators)
+    }
+}
+
+/// Present an **enumerable** hidden quotient by its Cayley table.
+pub fn present_by_enumeration<G: Group, F: HidingFunction<G>>(
+    group: &G,
+    f: &F,
+    limit: usize,
+) -> QuotientPresentation<G> {
+    let q = HiddenQuotient::new(group, f);
+    let reps = enumerate_subgroup(&q, &q.generators(), limit)
+        .expect("quotient exceeds enumeration limit");
+    let m = reps.len();
+    let mut index = std::collections::HashMap::with_capacity(m);
+    for (i, t) in reps.iter().enumerate() {
+        index.insert(q.coset_label(t), i);
+    }
+    let mut relators = Vec::with_capacity(m * m);
+    for (i, ti) in reps.iter().enumerate() {
+        for (j, tj) in reps.iter().enumerate() {
+            let prod = group.multiply(ti, tj);
+            let k = *index
+                .get(&q.coset_label(&prod))
+                .expect("product escaped coset table");
+            // x_i x_j x_k^{-1}
+            let w = Word {
+                syllables: vec![(i, 1), (j, 1), (k, -1)],
+            }
+            .reduced();
+            if !w.is_identity_word() {
+                relators.push(w);
+            }
+        }
+    }
+    QuotientPresentation {
+        generators: reps,
+        presentation: Presentation::new(m, relators),
+        order: m as u64,
+    }
+}
+
+/// Present an **Abelian** hidden quotient from its Cheung–Mosca
+/// decomposition.
+pub fn present_abelian<G: Group, F: HidingFunction<G>>(
+    group: &G,
+    f: &F,
+    hsp: &AbelianHsp,
+    orders: &OrderFinder,
+    rng: &mut impl Rng,
+) -> QuotientPresentation<G> {
+    let q = HiddenQuotient::new(group, f);
+    let structure = nahsp_abelian::structure::decompose(&q, &q.generators(), hsp, orders, rng);
+    let moduli = structure.invariant_factors.clone();
+    QuotientPresentation {
+        generators: structure.new_generators,
+        presentation: Presentation::abelian(&moduli),
+        order: moduli.iter().product(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::CosetTableOracle;
+    use nahsp_abelian::Backend;
+    use nahsp_groups::perm::{Perm, PermGroup};
+    use rand::SeedableRng;
+
+    type Rng64 = rand::rngs::StdRng;
+
+    fn v4_gens() -> Vec<Perm> {
+        vec![
+            Perm::from_cycles(4, &[&[0, 1], &[2, 3]]),
+            Perm::from_cycles(4, &[&[0, 2], &[1, 3]]),
+        ]
+    }
+
+    #[test]
+    fn cayley_presentation_of_s4_mod_v4() {
+        let s4 = PermGroup::symmetric(4);
+        let oracle = CosetTableOracle::new(s4.clone(), &v4_gens(), 100);
+        let pres = present_by_enumeration(&s4, &oracle, 100);
+        assert_eq!(pres.order, 6);
+        assert_eq!(pres.generators.len(), 6);
+        // valid modulo N, and the relators substituted in G land in N
+        assert!(pres.is_valid_for(&s4, &oracle));
+        let truth: std::collections::HashSet<_> =
+            oracle.hidden_subgroup_elements().iter().cloned().collect();
+        for r in pres.substituted_relators(&s4) {
+            assert!(truth.contains(&r), "relator value {r:?} outside N");
+        }
+    }
+
+    #[test]
+    fn abelian_presentation_of_s4_mod_a4() {
+        let s4 = PermGroup::symmetric(4);
+        let a4 = PermGroup::alternating(4);
+        let oracle = CosetTableOracle::new(s4.clone(), &a4.gens, 100);
+        let mut rng = Rng64::seed_from_u64(1);
+        let pres = present_abelian(
+            &s4,
+            &oracle,
+            &AbelianHsp::new(Backend::SimulatorCoset),
+            &OrderFinder::Exact,
+            &mut rng,
+        );
+        assert_eq!(pres.order, 2);
+        assert!(pres.is_valid_for(&s4, &oracle));
+        // t^2 must land in A4 but t itself must not
+        let t = &pres.generators[0];
+        let truth: std::collections::HashSet<_> =
+            oracle.hidden_subgroup_elements().iter().cloned().collect();
+        assert!(!truth.contains(t));
+        use nahsp_groups::Group;
+        assert!(truth.contains(&s4.pow(t, 2)));
+    }
+
+    #[test]
+    fn presentation_relators_do_not_vanish_in_g() {
+        // For N ≠ 1 the substituted relators are nontrivial witnesses of N.
+        let s4 = PermGroup::symmetric(4);
+        let oracle = CosetTableOracle::new(s4.clone(), &v4_gens(), 100);
+        let pres = present_by_enumeration(&s4, &oracle, 100);
+        let r0 = pres.substituted_relators(&s4);
+        assert!(!r0.is_empty(), "V4 must leave fingerprints in the relators");
+    }
+
+    #[test]
+    fn trivial_quotient_presentation() {
+        // N = G: quotient has one element, no nontrivial relators.
+        let s4 = PermGroup::symmetric(4);
+        let oracle = CosetTableOracle::new(s4.clone(), &s4.gens, 100);
+        let pres = present_by_enumeration(&s4, &oracle, 100);
+        assert_eq!(pres.order, 1);
+        assert!(pres.substituted_relators(&s4).is_empty());
+    }
+}

@@ -1,0 +1,241 @@
+//! Theorem 7 — working in `G/N` when `N` is a *hidden* normal subgroup.
+//!
+//! "We use the encoding of `G` for that of `G/N`. The function `f` gives us
+//! a secondary encoding for the elements of `G/N`." Concretely: elements of
+//! the quotient are represented by arbitrary coset members (a non-unique
+//! encoding); the identity test is `f(x) = f(1)`; canonical forms fix one
+//! representative per observed `f`-label. With those three ingredients the
+//! whole generic machinery (closure enumeration, order finding by descent,
+//! Cayley tables, the Cheung–Mosca decomposition, Theorem 6 membership)
+//! runs unchanged over the quotient — which is exactly how Theorems 7, 8
+//! and 11 consume it.
+
+use crate::oracle::HidingFunction;
+use nahsp_groups::Group;
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// The factor group `G/N` where `N` is given only through a hiding function
+/// (`f` hides `N`; since `N` is normal, left cosets = right cosets and the
+/// quotient multiplication is well-defined on representatives).
+pub struct HiddenQuotient<'a, G: Group, F: HidingFunction<G>> {
+    group: &'a G,
+    f: &'a F,
+    id_label: u64,
+    /// First-seen representative per label — the canonical encoding of the
+    /// secondary-encoded quotient.
+    reps: Mutex<HashMap<u64, G::Elem>>,
+}
+
+impl<'a, G: Group, F: HidingFunction<G>> HiddenQuotient<'a, G, F> {
+    pub fn new(group: &'a G, f: &'a F) -> Self {
+        let id_label = f.eval(&group.identity());
+        let reps = Mutex::new(HashMap::from([(id_label, group.identity())]));
+        HiddenQuotient {
+            group,
+            f,
+            id_label,
+            reps,
+        }
+    }
+
+    pub fn base_group(&self) -> &G {
+        self.group
+    }
+
+    pub fn hiding_function(&self) -> &F {
+        self.f
+    }
+
+    /// The `f`-label of a coset — the secondary encoding itself.
+    pub fn coset_label(&self, x: &G::Elem) -> u64 {
+        self.f.eval(x)
+    }
+}
+
+impl<G: Group, F: HidingFunction<G>> Clone for HiddenQuotient<'_, G, F> {
+    fn clone(&self) -> Self {
+        HiddenQuotient {
+            group: self.group,
+            f: self.f,
+            id_label: self.id_label,
+            reps: Mutex::new(self.reps.lock().expect("poisoned").clone()),
+        }
+    }
+}
+
+impl<G: Group, F: HidingFunction<G>> Group for HiddenQuotient<'_, G, F> {
+    type Elem = G::Elem;
+
+    fn identity(&self) -> G::Elem {
+        self.group.identity()
+    }
+
+    fn multiply(&self, a: &G::Elem, b: &G::Elem) -> G::Elem {
+        self.group.multiply(a, b)
+    }
+
+    fn inverse(&self, a: &G::Elem) -> G::Elem {
+        self.group.inverse(a)
+    }
+
+    fn generators(&self) -> Vec<G::Elem> {
+        self.group.generators()
+    }
+
+    /// Identity test through the hiding oracle: `xN = N ⟺ f(x) = f(1)`.
+    fn is_identity(&self, a: &G::Elem) -> bool {
+        self.f.eval(a) == self.id_label
+    }
+
+    /// Canonical form: the first representative observed for this coset's
+    /// label (consistent across calls, which is all canonicality requires).
+    fn canonical(&self, a: &G::Elem) -> G::Elem {
+        let label = self.f.eval(a);
+        let mut reps = self.reps.lock().expect("poisoned");
+        reps.entry(label).or_insert_with(|| a.clone()).clone()
+    }
+
+    fn order_hint(&self) -> Option<u64> {
+        None // |G/N| unknown until computed
+    }
+
+    fn exponent_hint(&self) -> Option<u64> {
+        // The exponent of a quotient divides the exponent of the group.
+        self.group.exponent_hint()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::CosetTableOracle;
+    use nahsp_abelian::OrderFinder;
+    use nahsp_groups::closure::enumerate_subgroup;
+    use nahsp_groups::perm::{Perm, PermGroup};
+    use nahsp_groups::{AbelianProduct, Group};
+    use rand::SeedableRng;
+
+    type Rng64 = rand::rngs::StdRng;
+
+    fn s4_mod_v4<'a>(
+        s4: &'a PermGroup,
+        oracle: &'a CosetTableOracle<PermGroup>,
+    ) -> HiddenQuotient<'a, PermGroup, CosetTableOracle<PermGroup>> {
+        HiddenQuotient::new(s4, oracle)
+    }
+
+    fn v4_gens() -> Vec<Perm> {
+        vec![
+            Perm::from_cycles(4, &[&[0, 1], &[2, 3]]),
+            Perm::from_cycles(4, &[&[0, 2], &[1, 3]]),
+        ]
+    }
+
+    #[test]
+    fn quotient_order_via_enumeration() {
+        let s4 = PermGroup::symmetric(4);
+        let oracle = CosetTableOracle::new(s4.clone(), &v4_gens(), 100);
+        let q = s4_mod_v4(&s4, &oracle);
+        let elems = enumerate_subgroup(&q, &q.generators(), 100).unwrap();
+        assert_eq!(elems.len(), 6, "S4/V4 ≅ S3");
+    }
+
+    #[test]
+    fn quotient_identity_test() {
+        let s4 = PermGroup::symmetric(4);
+        let oracle = CosetTableOracle::new(s4.clone(), &v4_gens(), 100);
+        let q = s4_mod_v4(&s4, &oracle);
+        assert!(q.is_identity(&Perm::identity(4)));
+        assert!(q.is_identity(&Perm::from_cycles(4, &[&[0, 1], &[2, 3]])));
+        assert!(!q.is_identity(&Perm::from_cycles(4, &[&[0, 1]])));
+    }
+
+    #[test]
+    fn quotient_element_orders() {
+        // In S4/V4 ≅ S3: transpositions ↦ order 2, 3-cycles ↦ order 3,
+        // 4-cycles ↦ order 2 (their square lands in V4).
+        let s4 = PermGroup::symmetric(4);
+        let oracle = CosetTableOracle::new(s4.clone(), &v4_gens(), 100);
+        let q = s4_mod_v4(&s4, &oracle);
+        let mut rng = Rng64::seed_from_u64(0);
+        let of = OrderFinder::Exact;
+        assert_eq!(
+            of.find(&q, &Perm::from_cycles(4, &[&[0, 1]]), &mut rng),
+            2
+        );
+        assert_eq!(
+            of.find(&q, &Perm::from_cycles(4, &[&[0, 1, 2]]), &mut rng),
+            3
+        );
+        assert_eq!(
+            of.find(&q, &Perm::from_cycles(4, &[&[0, 1, 2, 3]]), &mut rng),
+            2
+        );
+    }
+
+    #[test]
+    fn quotient_canonical_is_stable() {
+        let s4 = PermGroup::symmetric(4);
+        let oracle = CosetTableOracle::new(s4.clone(), &v4_gens(), 100);
+        let q = s4_mod_v4(&s4, &oracle);
+        let t = Perm::from_cycles(4, &[&[0, 1]]);
+        let tv = s4.multiply(&t, &v4_gens()[0]);
+        assert_eq!(q.canonical(&t), q.canonical(&tv));
+        assert_ne!(t, tv);
+    }
+
+    #[test]
+    fn abelian_quotient_decomposes() {
+        // G = Z4 × Z4, N = <(2,2)> hidden: G/N ≅ Z4 × Z2 (order 8).
+        let g = AbelianProduct::new(vec![4, 4]);
+        let oracle = CosetTableOracle::new(g.clone(), &[vec![2u64, 2u64]], 100);
+        let q = HiddenQuotient::new(&g, &oracle);
+        let mut rng = Rng64::seed_from_u64(1);
+        let s = nahsp_abelian::structure::decompose(
+            &q,
+            &q.generators(),
+            &nahsp_abelian::AbelianHsp::new(nahsp_abelian::Backend::SimulatorCoset),
+            &OrderFinder::Exact,
+            &mut rng,
+        );
+        assert_eq!(s.order(), 8);
+        assert_eq!(s.invariant_factors, vec![2, 4]);
+    }
+
+    #[test]
+    fn theorem6_membership_inside_quotient() {
+        // Constructive membership in an Abelian subgroup of S4/V4: the
+        // rotation subgroup <(0123)·V4> ≅ Z2... use <(012)V4> ≅ Z3 and test
+        // membership of its square.
+        let s4 = PermGroup::symmetric(4);
+        let oracle = CosetTableOracle::new(s4.clone(), &v4_gens(), 100);
+        let q = s4_mod_v4(&s4, &oracle);
+        let c3 = Perm::from_cycles(4, &[&[0, 1, 2]]);
+        let target = s4.multiply(&c3, &c3);
+        let mut rng = Rng64::seed_from_u64(2);
+        let expr = crate::membership::abelian_membership(
+            &q,
+            &[c3.clone()],
+            &target,
+            &nahsp_abelian::AbelianHsp::new(nahsp_abelian::Backend::SimulatorCoset),
+            &OrderFinder::Exact,
+            &mut rng,
+        );
+        let exps = expr.expect("c3^2 is in <c3>");
+        // verify in the quotient: c3^exps ≡ target (mod V4)
+        let rebuilt = q.pow(&c3, exps[0]);
+        assert!(q.eq_elem(&rebuilt, &target));
+        // and a non-member is rejected
+        let t = Perm::from_cycles(4, &[&[0, 1]]);
+        let expr = crate::membership::abelian_membership(
+            &q,
+            &[c3],
+            &t,
+            &nahsp_abelian::AbelianHsp::new(nahsp_abelian::Backend::SimulatorCoset),
+            &OrderFinder::Exact,
+            &mut rng,
+        );
+        assert!(expr.is_none());
+    }
+}

@@ -1,0 +1,225 @@
+//! Theorem 11 — HSP in groups with a small commutator subgroup, and
+//! Corollary 12 (extraspecial `p`-groups).
+//!
+//! The reduction (Section 5):
+//!
+//! 1. enumerate `G′` (products of conjugates of generator commutators) —
+//!    time `poly(input + |G′|)`;
+//! 2. compute `H ∩ G′` by testing `f(g) = f(1)` over `G′`;
+//! 3. the **set-valued** function `F(x) = {f(xg) : g ∈ G′}` hides `HG′`,
+//!    which is normal (it contains `G′`, and `G/G′` is Abelian);
+//! 4. find generators of `HG′` by the normal-HSP machinery of Theorem 8 —
+//!    the quotient `G/HG′` is Abelian, so `ν = 1` and the Abelian
+//!    presentation engine applies;
+//! 5. every generator `x` of `HG′` has `xG′ ∩ H ≠ ∅`; scan the coset
+//!    (`|G′|` queries) for a witness;
+//! 6. `H = ⟨(H ∩ G′) ∪ witnesses⟩` — by the isomorphism-theorem argument:
+//!    `H₁ ∩ G′ = H ∩ G′` and `H₁G′ = HG′` force `H₁ = H`.
+
+use crate::normal_hsp::{normal_subgroup_seeds, QuotientEngine};
+use crate::oracle::{FnOracle, HidingFunction};
+use nahsp_groups::closure::commutator_subgroup;
+use nahsp_groups::Group;
+use rand::Rng;
+
+/// Result of the Theorem 11 pipeline.
+#[derive(Clone, Debug)]
+pub struct SmallCommutatorResult<G: Group> {
+    /// Generators of the hidden subgroup `H` (exactly).
+    pub h_generators: Vec<G::Elem>,
+    /// `|G′|` — the parameter the running time is polynomial in.
+    pub commutator_order: u64,
+    /// `|G / HG′|` as certified by the presentation step.
+    pub abelian_quotient_order: u64,
+}
+
+/// Solve the HSP in `G` in time `poly(input + |G′|)`.
+pub fn hsp_small_commutator<G: Group, F: HidingFunction<G>>(
+    group: &G,
+    f: &F,
+    gprime_limit: usize,
+    rng: &mut impl Rng,
+) -> SmallCommutatorResult<G> {
+    // Step 1: enumerate G'.
+    let gprime = commutator_subgroup(group, gprime_limit)
+        .expect("commutator subgroup exceeds the enumeration limit");
+    let id_label = f.eval(&group.identity());
+
+    // Step 2: H ∩ G' by direct queries.
+    let h_cap_gprime: Vec<G::Elem> = gprime
+        .iter()
+        .filter(|g| !group.is_identity(g) && f.eval(g) == id_label)
+        .cloned()
+        .collect();
+
+    // Step 3: the set-valued oracle F hiding HG'. Its key is the sorted
+    // set of f-labels over the coset xG' (canonical for the coset of HG'
+    // by the theorem's argument); each F-evaluation costs |G'| f-queries.
+    let group_for_oracle = group.clone();
+    let gprime_for_oracle = gprime.clone();
+    let big_f = FnOracle::<G, Vec<u64>, _>::new(move |x: &G::Elem| {
+        let mut labels: Vec<u64> = gprime_for_oracle
+            .iter()
+            .map(|g| f.eval(&group_for_oracle.multiply(x, g)))
+            .collect();
+        labels.sort_unstable();
+        labels.dedup();
+        labels
+    });
+
+    // Step 4: HG' is normal with Abelian quotient; Theorem 8 seeds.
+    let seeds = normal_subgroup_seeds(group, &big_f, QuotientEngine::Abelian, rng);
+    // Since G' ⊆ HG', any subgroup containing G' is normal; hence
+    // ⟨seeds ∪ G'⟩ ⊇ ncl(seeds) = HG', and ⊆ trivially: plain generators.
+    let hgprime_gens: Vec<G::Elem> = seeds.seeds.clone();
+
+    // Step 5: coset scan for witnesses of H in each generator's coset.
+    let mut witnesses: Vec<G::Elem> = Vec::new();
+    for x in &hgprime_gens {
+        let mut found = false;
+        for g in &gprime {
+            let y = group.multiply(x, g);
+            if f.eval(&y) == id_label {
+                if !group.is_identity(&y) {
+                    witnesses.push(y);
+                }
+                found = true;
+                break;
+            }
+        }
+        assert!(found, "generator of HG' has empty coset intersection with H — oracle inconsistent");
+    }
+
+    // Step 6: assemble H.
+    let mut h_generators = h_cap_gprime;
+    h_generators.extend(witnesses);
+    SmallCommutatorResult {
+        h_generators,
+        commutator_order: gprime.len() as u64,
+        abelian_quotient_order: seeds.quotient_order,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::CosetTableOracle;
+    use nahsp_groups::closure::enumerate_subgroup;
+    use nahsp_groups::dihedral::Dihedral;
+    use nahsp_groups::extraspecial::Extraspecial;
+    use nahsp_groups::semidirect::Semidirect;
+    use rand::SeedableRng;
+
+    type Rng64 = rand::rngs::StdRng;
+
+    /// End-to-end check: run Theorem 11 and compare ⟨returned⟩ with truth.
+    fn check<G: Group>(group: &G, h_gens: &[G::Elem], limit: usize, seed: u64) {
+        let oracle = CosetTableOracle::new(group.clone(), h_gens, limit);
+        let mut rng = Rng64::seed_from_u64(seed);
+        let result = hsp_small_commutator(group, &oracle, limit, &mut rng);
+        let recovered = if result.h_generators.is_empty() {
+            vec![group.canonical(&group.identity())]
+        } else {
+            enumerate_subgroup(group, &result.h_generators, limit).expect("closure")
+        };
+        let truth: std::collections::HashSet<_> = oracle
+            .hidden_subgroup_elements()
+            .iter()
+            .map(|e| group.canonical(e))
+            .collect();
+        assert_eq!(
+            recovered.len(),
+            truth.len(),
+            "wrong subgroup order: got {} want {}",
+            recovered.len(),
+            truth.len()
+        );
+        for e in &recovered {
+            assert!(truth.contains(e), "extra element {e:?}");
+        }
+    }
+
+    #[test]
+    fn extraspecial_p3_center_hidden() {
+        // Cor 12 smoke test: H = Z(G) in the Heisenberg group of order 27.
+        let g = Extraspecial::heisenberg(3);
+        check(&g, &[g.center_generator()], 1000, 1);
+    }
+
+    #[test]
+    fn extraspecial_p3_noncentral_cyclic() {
+        let g = Extraspecial::heisenberg(3);
+        // H = <e1> of order 3, not normal.
+        let e1 = {
+            let mut v = vec![0u64; 3];
+            v[0] = 1;
+            v
+        };
+        check(&g, &[e1], 1000, 2);
+    }
+
+    #[test]
+    fn extraspecial_p5_various_subgroups() {
+        let g = Extraspecial::heisenberg(5);
+        let e1 = vec![1u64, 0, 0];
+        let e2 = vec![0u64, 1, 0];
+        check(&g, &[e1.clone()], 1000, 3);
+        // maximal subgroup <e1, z>
+        check(&g, &[e1, g.center_generator()], 1000, 4);
+        check(&g, &[e2], 1000, 5);
+        // trivial subgroup
+        check(&g, &[], 1000, 6);
+        // whole group
+        check(&g, &g.generators(), 1000, 7);
+    }
+
+    #[test]
+    fn dihedral_reflection_subgroups() {
+        // D_6: G' = <ρ²> has order 3 — small commutator. Hide a reflection.
+        let g = Dihedral::new(6);
+        check(&g, &[(2u64, true)], 1000, 8);
+        check(&g, &[(0u64, true)], 1000, 9);
+        // rotation subgroup
+        check(&g, &[(1u64, false)], 1000, 10);
+    }
+
+    #[test]
+    fn dihedral_odd_large_commutator_still_works() {
+        // D_5: G' = <ρ> has order 5 = n; poly(|G'|) is still fine here.
+        let g = Dihedral::new(5);
+        check(&g, &[(3u64, true)], 1000, 11);
+    }
+
+    #[test]
+    fn wreath_product_subgroups() {
+        // Z2^2 ≀ Z2 (order 32): G' has order 4.
+        let g = Semidirect::wreath_z2(2);
+        // H = <(v, 1)> with sw(v) = v: v = (1,1)|(1,1) = 0b1111... pick
+        // v = 0b0101: sw(0b0101) = 0b0101? sw swaps halves of width 2:
+        // lo=01, hi=01 → symmetric. (v,1)^2 = (v ^ sw(v), 0) = (0,0): order 2.
+        check(&g, &[(0b0101u64, 1u64)], 1000, 12);
+        // H inside the vector part
+        check(&g, &[(0b0011u64, 0u64)], 1000, 13);
+        // H = diagonal wreath subgroup
+        check(&g, &[(0b0101u64, 1u64), (0b1111u64, 0u64)], 1000, 14);
+    }
+
+    #[test]
+    fn abelian_group_degenerate_case() {
+        // G' trivial: the pipeline must still solve the plain Abelian HSP.
+        use nahsp_groups::AbelianProduct;
+        let g = AbelianProduct::new(vec![4, 4]);
+        check(&g, &[vec![2u64, 2u64]], 1000, 15);
+    }
+
+    #[test]
+    fn quotient_order_reported() {
+        let g = Extraspecial::heisenberg(3);
+        let oracle = CosetTableOracle::new(g.clone(), &[g.center_generator()], 1000);
+        let mut rng = Rng64::seed_from_u64(16);
+        let result = hsp_small_commutator(&g, &oracle, 1000, &mut rng);
+        assert_eq!(result.commutator_order, 3);
+        // HG' = <z> => |G/HG'| = 9.
+        assert_eq!(result.abelian_quotient_order, 9);
+    }
+}

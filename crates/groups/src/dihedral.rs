@@ -1,0 +1,145 @@
+//! Dihedral groups `D_n` of order `2n`.
+//!
+//! The dihedral HSP is the emblematic hard case of the non-Abelian HSP
+//! (Ettinger–Høyer solve it with `O(log |G|)` *queries* but exponential
+//! classical post-processing — reproduced as baseline A2). Theorem 13's
+//! technique is "inspired by the idea of Ettinger and Høyer used for the
+//! dihedral groups", so `D_n` with `n` a power of two is also a member of
+//! the Theorem 13 family when `n = 2`... in general we keep `D_n` as a
+//! standalone family for baselines and tests.
+
+use crate::group::Group;
+
+/// `D_n = ⟨ρ, σ | ρⁿ = σ² = 1, σρσ = ρ⁻¹⟩`; elements `ρ^r σ^f` stored as
+/// `(r, f)`.
+#[derive(Clone, Debug)]
+pub struct Dihedral {
+    pub n: u64,
+}
+
+impl Dihedral {
+    pub fn new(n: u64) -> Self {
+        assert!(n >= 1);
+        Dihedral { n }
+    }
+
+    /// The rotation `ρ`.
+    pub fn rotation(&self) -> (u64, bool) {
+        (1 % self.n, false)
+    }
+
+    /// The reflection `σ`.
+    pub fn reflection(&self) -> (u64, bool) {
+        (0, true)
+    }
+}
+
+impl Group for Dihedral {
+    /// `(rotation exponent, reflection flag)`.
+    type Elem = (u64, bool);
+
+    fn identity(&self) -> (u64, bool) {
+        (0, false)
+    }
+
+    fn multiply(&self, a: &(u64, bool), b: &(u64, bool)) -> (u64, bool) {
+        // (ρ^r1 σ^f1)(ρ^r2 σ^f2) = ρ^{r1 + (−1)^{f1} r2} σ^{f1 ⊕ f2}
+        let (r1, f1) = *a;
+        let (r2, f2) = *b;
+        let r = if f1 {
+            (r1 + self.n - r2 % self.n) % self.n
+        } else {
+            (r1 + r2) % self.n
+        };
+        (r, f1 ^ f2)
+    }
+
+    fn inverse(&self, a: &(u64, bool)) -> (u64, bool) {
+        let (r, f) = *a;
+        if f {
+            (r, true) // reflections are involutions
+        } else {
+            ((self.n - r % self.n) % self.n, false)
+        }
+    }
+
+    fn generators(&self) -> Vec<(u64, bool)> {
+        if self.n == 1 {
+            vec![self.reflection()]
+        } else {
+            vec![self.rotation(), self.reflection()]
+        }
+    }
+
+    fn order_hint(&self) -> Option<u64> {
+        self.n.checked_mul(2)
+    }
+
+    fn exponent_hint(&self) -> Option<u64> {
+        self.n.checked_mul(2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::closure::{commutator_subgroup, enumerate_subgroup};
+
+    #[test]
+    fn order_and_axioms() {
+        for n in [1u64, 2, 3, 8, 15] {
+            let g = Dihedral::new(n);
+            let all = enumerate_subgroup(&g, &g.generators(), 1000).unwrap();
+            assert_eq!(all.len() as u64, 2 * n, "D_{n}");
+            for a in &all {
+                assert!(g.is_identity(&g.multiply(a, &g.inverse(a))));
+            }
+        }
+    }
+
+    #[test]
+    fn defining_relations() {
+        let g = Dihedral::new(7);
+        let rho = g.rotation();
+        let sigma = g.reflection();
+        assert!(g.is_identity(&g.pow(&rho, 7)));
+        assert!(g.is_identity(&g.pow(&sigma, 2)));
+        // σρσ = ρ⁻¹
+        let srs = g.multiply(&g.multiply(&sigma, &rho), &sigma);
+        assert_eq!(srs, g.inverse(&rho));
+    }
+
+    #[test]
+    fn reflections_are_involutions() {
+        let g = Dihedral::new(9);
+        for r in 0..9u64 {
+            let refl = (r, true);
+            assert!(g.is_identity(&g.multiply(&refl, &refl)));
+        }
+    }
+
+    #[test]
+    fn commutator_subgroup_is_rotations() {
+        // D_n' = <ρ²>: order n for odd n, n/2 for even n.
+        let g = Dihedral::new(6);
+        assert_eq!(commutator_subgroup(&g, 100).unwrap().len(), 3);
+        let g = Dihedral::new(5);
+        assert_eq!(commutator_subgroup(&g, 100).unwrap().len(), 5);
+    }
+
+    #[test]
+    fn matches_permutation_dihedral() {
+        use crate::perm::PermGroup;
+        use crate::stabchain::StabilizerChain;
+        let abstract_order = enumerate_subgroup(
+            &Dihedral::new(8),
+            &Dihedral::new(8).generators(),
+            100,
+        )
+        .unwrap()
+        .len();
+        let perm = PermGroup::dihedral(8);
+        let chain = StabilizerChain::new(8, &perm.gens);
+        assert_eq!(abstract_order as u64, chain.order());
+    }
+}

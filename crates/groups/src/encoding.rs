@@ -1,0 +1,238 @@
+//! Byte-string encodings — the literal black-box model.
+//!
+//! Section 2: "the elements of the group G are encoded by binary strings of
+//! length n for some fixed integer n, what we call the encoding length".
+//! This module gives each concrete element type a fixed-length byte encoding
+//! and wraps any [`Group`] as a string-in/string-out black box, which is how
+//! the oracle `U_G` of the quantum model addresses elements.
+
+use crate::group::Group;
+use bytes::{BufMut, Bytes, BytesMut};
+
+/// Fixed-length byte encoding of group elements.
+pub trait EncodeElem: Sized {
+    /// Encoding length in bytes (fixed per instance context).
+    fn encoded_len(&self) -> usize;
+    fn encode(&self) -> Bytes;
+    fn decode(bytes: &[u8]) -> Option<Self>;
+}
+
+impl EncodeElem for u64 {
+    fn encoded_len(&self) -> usize {
+        8
+    }
+
+    fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(8);
+        b.put_u64(*self);
+        b.freeze()
+    }
+
+    fn decode(bytes: &[u8]) -> Option<Self> {
+        Some(u64::from_be_bytes(bytes.try_into().ok()?))
+    }
+}
+
+impl EncodeElem for (u64, u64) {
+    fn encoded_len(&self) -> usize {
+        16
+    }
+
+    fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(16);
+        b.put_u64(self.0);
+        b.put_u64(self.1);
+        b.freeze()
+    }
+
+    fn decode(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() != 16 {
+            return None;
+        }
+        Some((
+            u64::from_be_bytes(bytes[..8].try_into().ok()?),
+            u64::from_be_bytes(bytes[8..].try_into().ok()?),
+        ))
+    }
+}
+
+impl EncodeElem for Vec<u64> {
+    fn encoded_len(&self) -> usize {
+        8 * self.len()
+    }
+
+    fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(8 * self.len());
+        for &x in self {
+            b.put_u64(x);
+        }
+        b.freeze()
+    }
+
+    fn decode(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() % 8 != 0 {
+            return None;
+        }
+        Some(
+            bytes
+                .chunks_exact(8)
+                .map(|c| u64::from_be_bytes(c.try_into().unwrap()))
+                .collect(),
+        )
+    }
+}
+
+impl EncodeElem for crate::perm::Perm {
+    fn encoded_len(&self) -> usize {
+        4 * self.degree()
+    }
+
+    fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(4 * self.degree());
+        for &x in self.images() {
+            b.put_u32(x);
+        }
+        b.freeze()
+    }
+
+    fn decode(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() % 4 != 0 {
+            return None;
+        }
+        let images: Vec<u32> = bytes
+            .chunks_exact(4)
+            .map(|c| u32::from_be_bytes(c.try_into().unwrap()))
+            .collect();
+        let n = images.len();
+        let mut seen = vec![false; n];
+        for &i in &images {
+            if (i as usize) >= n || seen[i as usize] {
+                return None;
+            }
+            seen[i as usize] = true;
+        }
+        Some(crate::perm::Perm::from_images(images))
+    }
+}
+
+/// A [`Group`] exposed through byte strings, mirroring the oracles
+/// `U_G |g⟩|h⟩ = |g⟩|gh⟩` and `U_G⁻¹`. Invalid strings yield `None`
+/// ("if the black box is fed such a string, its behavior can be arbitrary" —
+/// ours rejects).
+#[derive(Clone)]
+pub struct ByteBlackBox<G: Group>
+where
+    G::Elem: EncodeElem,
+{
+    group: G,
+}
+
+impl<G: Group> ByteBlackBox<G>
+where
+    G::Elem: EncodeElem,
+{
+    pub fn new(group: G) -> Self {
+        ByteBlackBox { group }
+    }
+
+    /// The encoding length `n` (bytes) of this black box.
+    pub fn encoding_len(&self) -> usize {
+        self.group.identity().encoded_len()
+    }
+
+    /// `U_G`: multiply, in string space.
+    pub fn u_g(&self, g: &[u8], h: &[u8]) -> Option<Bytes> {
+        let g = G::Elem::decode(g)?;
+        let h = G::Elem::decode(h)?;
+        Some(self.group.multiply(&g, &h).encode())
+    }
+
+    /// `U_G⁻¹`: left-divide, in string space.
+    pub fn u_g_inv(&self, g: &[u8], h: &[u8]) -> Option<Bytes> {
+        let g = G::Elem::decode(g)?;
+        let h = G::Elem::decode(h)?;
+        Some(self.group.multiply(&self.group.inverse(&g), &h).encode())
+    }
+
+    /// Identity-test oracle.
+    pub fn is_identity(&self, g: &[u8]) -> Option<bool> {
+        Some(self.group.is_identity(&G::Elem::decode(g)?))
+    }
+
+    pub fn generators(&self) -> Vec<Bytes> {
+        self.group.generators().iter().map(|g| g.encode()).collect()
+    }
+
+    pub fn group(&self) -> &G {
+        &self.group
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::group::{AbelianProduct, CyclicGroup};
+    use crate::perm::{Perm, PermGroup};
+
+    #[test]
+    fn u64_roundtrip() {
+        for x in [0u64, 1, u64::MAX, 123456789] {
+            assert_eq!(u64::decode(&x.encode()), Some(x));
+        }
+        assert_eq!(u64::decode(&[1, 2, 3]), None);
+    }
+
+    #[test]
+    fn vec_roundtrip() {
+        let v = vec![3u64, 1, 4, 1, 5];
+        assert_eq!(Vec::<u64>::decode(&v.encode()), Some(v));
+    }
+
+    #[test]
+    fn perm_roundtrip_and_validation() {
+        let p = Perm::from_cycles(5, &[&[0, 2, 4]]);
+        assert_eq!(Perm::decode(&p.encode()), Some(p));
+        // invalid: repeated image
+        let bad: Vec<u8> = [0u32, 0, 1]
+            .iter()
+            .flat_map(|x| x.to_be_bytes())
+            .collect();
+        assert_eq!(Perm::decode(&bad), None);
+    }
+
+    #[test]
+    fn black_box_multiplication() {
+        let bb = ByteBlackBox::new(CyclicGroup::new(10));
+        let g = 7u64.encode();
+        let h = 5u64.encode();
+        let gh = bb.u_g(&g, &h).unwrap();
+        assert_eq!(u64::decode(&gh), Some(2));
+        let back = bb.u_g_inv(&g, &gh).unwrap();
+        assert_eq!(u64::decode(&back), Some(5));
+    }
+
+    #[test]
+    fn black_box_identity_oracle() {
+        let bb = ByteBlackBox::new(AbelianProduct::new(vec![3, 3]));
+        assert_eq!(bb.is_identity(&vec![0u64, 0].encode()), Some(true));
+        assert_eq!(bb.is_identity(&vec![1u64, 0].encode()), Some(false));
+    }
+
+    #[test]
+    fn black_box_rejects_garbage() {
+        let bb = ByteBlackBox::new(PermGroup::symmetric(4));
+        assert!(bb.u_g(&[1, 2, 3], &[4, 5, 6]).is_none());
+    }
+
+    #[test]
+    fn tuple_encoding_for_semidirect_elements() {
+        use crate::semidirect::Semidirect;
+        let g = Semidirect::wreath_z2(2);
+        let bb = ByteBlackBox::new(g.clone());
+        assert_eq!(bb.encoding_len(), 16);
+        let a = (0b0101u64, 1u64);
+        let b = (0b0011u64, 0u64);
+        let ab = bb.u_g(&a.encode(), &b.encode()).unwrap();
+        assert_eq!(<(u64, u64)>::decode(&ab), Some(g.multiply(&a, &b)));
+    }
+}

@@ -1,0 +1,206 @@
+//! Extraspecial `p`-groups (Corollary 12's family).
+//!
+//! A group is extraspecial if `G′ = Z(G)` has order `p` and `G/G′` is
+//! elementary Abelian. The paper's Corollary 12 solves the HSP in these
+//! groups in time `poly(input + p)` via Theorem 11 (`|G′| = p`).
+//!
+//! We realize the exponent-`p` extraspecial group of order `p^{1+2n}` as the
+//! "generalized Heisenberg" group on `Z_p^{2n} × Z_p` with the cocycle
+//! `B(x, y) = Σ_i x_{2i} · y_{2i+1}`:
+//! `(x, c)·(y, d) = (x + y, c + d + B(x, y))`.
+//! Then `[(x,c),(y,d)] = (0, B(x,y) − B(y,x))` spans the center
+//! `{(0, c)} ≅ Z_p`.
+
+use crate::group::Group;
+
+/// Extraspecial `p`-group of order `p^{2n+1}` (exponent `p` for odd `p`;
+/// for `p = 2, n = 1` this is the dihedral group `D₄`).
+#[derive(Clone, Debug)]
+pub struct Extraspecial {
+    pub p: u64,
+    pub n: usize,
+}
+
+impl Extraspecial {
+    pub fn new(p: u64, n: usize) -> Self {
+        assert!(p >= 2, "p must be at least 2");
+        assert!(n >= 1, "need at least one symplectic pair");
+        // Order must fit u64 comfortably for enumeration helpers.
+        assert!(
+            (2 * n as u32 + 1) as u64 * (64 - p.leading_zeros() as u64) < 63,
+            "group too large for u64 element encoding"
+        );
+        Extraspecial { p, n }
+    }
+
+    /// The Heisenberg group of order `p³` (`n = 1`).
+    pub fn heisenberg(p: u64) -> Self {
+        Extraspecial::new(p, 1)
+    }
+
+    /// The bilinear cocycle `B(x, y) = Σ_i x_{2i} y_{2i+1} mod p`.
+    fn cocycle(&self, x: &[u64], y: &[u64]) -> u64 {
+        let mut acc = 0u64;
+        for i in 0..self.n {
+            acc = (acc + x[2 * i] * y[2 * i + 1]) % self.p;
+        }
+        acc
+    }
+
+    /// Generators of the center `Z(G) = {(0, c)} = G′`.
+    pub fn center_generator(&self) -> <Self as Group>::Elem {
+        let mut v = vec![0u64; 2 * self.n];
+        v.push(1);
+        v
+    }
+}
+
+impl Group for Extraspecial {
+    /// `(x_0, …, x_{2n−1}, c)`: symplectic vector followed by the central
+    /// coordinate, all mod `p`.
+    type Elem = Vec<u64>;
+
+    fn identity(&self) -> Vec<u64> {
+        vec![0; 2 * self.n + 1]
+    }
+
+    fn multiply(&self, a: &Vec<u64>, b: &Vec<u64>) -> Vec<u64> {
+        let p = self.p;
+        let k = 2 * self.n;
+        let mut out = Vec::with_capacity(k + 1);
+        for i in 0..k {
+            out.push((a[i] + b[i]) % p);
+        }
+        out.push((a[k] + b[k] + self.cocycle(&a[..k], &b[..k])) % p);
+        out
+    }
+
+    fn inverse(&self, a: &Vec<u64>) -> Vec<u64> {
+        let p = self.p;
+        let k = 2 * self.n;
+        let mut out: Vec<u64> = a[..k].iter().map(|&x| (p - x % p) % p).collect();
+        // (x, c)(−x, d) = (0, c + d + B(x, −x)); require d = −c − B(x, −x).
+        let b = self.cocycle(&a[..k], &out);
+        out.push((2 * p - a[k] % p - b) % p);
+        out
+    }
+
+    fn generators(&self) -> Vec<Vec<u64>> {
+        // The 2n "symplectic" unit vectors generate everything (their
+        // commutators produce the center).
+        (0..2 * self.n)
+            .map(|i| {
+                let mut v = vec![0u64; 2 * self.n + 1];
+                v[i] = 1;
+                v
+            })
+            .collect()
+    }
+
+    fn order_hint(&self) -> Option<u64> {
+        self.p.checked_pow(2 * self.n as u32 + 1)
+    }
+
+    fn exponent_hint(&self) -> Option<u64> {
+        // Exponent p for odd p; p^2 covers p = 2 as well.
+        Some(self.p * self.p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::closure::{center, commutator_subgroup, enumerate_subgroup};
+
+    #[test]
+    fn heisenberg_axioms() {
+        for p in [2u64, 3, 5] {
+            let g = Extraspecial::heisenberg(p);
+            let all = enumerate_subgroup(&g, &g.generators(), 1000).unwrap();
+            assert_eq!(all.len() as u64, p * p * p, "order p^3 for p={p}");
+            for a in all.iter().take(20) {
+                assert!(g.is_identity(&g.multiply(a, &g.inverse(a))));
+                for b in all.iter().take(20) {
+                    for c in all.iter().take(5) {
+                        let l = g.multiply(&g.multiply(a, b), c);
+                        let r = g.multiply(a, &g.multiply(b, c));
+                        assert_eq!(l, r, "associativity p={p}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn commutator_equals_center_of_order_p() {
+        for p in [2u64, 3, 5, 7] {
+            let g = Extraspecial::heisenberg(p);
+            let comm = commutator_subgroup(&g, 10_000).unwrap();
+            assert_eq!(comm.len() as u64, p, "G' has order p for p={p}");
+            let z = center(&g, 10_000).unwrap();
+            assert_eq!(z.len() as u64, p, "center has order p for p={p}");
+            let comm_set: std::collections::HashSet<_> = comm.into_iter().collect();
+            for c in z {
+                assert!(comm_set.contains(&c), "G' != Z(G)");
+            }
+        }
+    }
+
+    #[test]
+    fn quotient_is_elementary_abelian() {
+        // For odd p, every element has order p (exponent-p group).
+        let g = Extraspecial::heisenberg(5);
+        let all = enumerate_subgroup(&g, &g.generators(), 1000).unwrap();
+        for a in &all {
+            assert!(g.is_identity(&g.pow(a, 5)), "element order divides 5");
+        }
+    }
+
+    #[test]
+    fn p2_is_dihedral_like() {
+        // p = 2, n = 1: order 8, exponent 4 (D4).
+        let g = Extraspecial::heisenberg(2);
+        let all = enumerate_subgroup(&g, &g.generators(), 100).unwrap();
+        assert_eq!(all.len(), 8);
+        let mut max_order = 1;
+        for a in &all {
+            let mut k = 1;
+            let mut cur = a.clone();
+            while !g.is_identity(&cur) {
+                cur = g.multiply(&cur, a);
+                k += 1;
+            }
+            max_order = max_order.max(k);
+        }
+        assert_eq!(max_order, 4);
+    }
+
+    #[test]
+    fn larger_extraspecial_p_order() {
+        // p = 3, n = 2: order 3^5 = 243.
+        let g = Extraspecial::new(3, 2);
+        let all = enumerate_subgroup(&g, &g.generators(), 1000).unwrap();
+        assert_eq!(all.len(), 243);
+        let comm = commutator_subgroup(&g, 1000).unwrap();
+        assert_eq!(comm.len(), 3);
+    }
+
+    #[test]
+    fn center_generator_is_central() {
+        let g = Extraspecial::new(5, 1);
+        let z = g.center_generator();
+        for gen in g.generators() {
+            assert!(g.commute(&z, &gen));
+        }
+        assert!(!g.is_identity(&z));
+    }
+
+    #[test]
+    fn generator_commutators_hit_center() {
+        let g = Extraspecial::heisenberg(7);
+        let gens = g.generators();
+        let c = g.commutator(&gens[0], &gens[1]);
+        // [e1, e2] = (0, B(e1,e2) - B(e2,e1)) = (0, 1)
+        assert_eq!(c, g.center_generator());
+    }
+}

@@ -1,0 +1,188 @@
+//! Factor groups with **non-unique encodings**.
+//!
+//! Section 2: "Typical examples of groups which fit in this model are factor
+//! groups G/N of matrix groups G, where N is a normal subgroup such that
+//! testing membership in N can be accomplished efficiently." Every element
+//! of `G/N` is encoded by *any* of its `|N|` coset members, so encodings are
+//! not unique and the identity test is an oracle (membership in `N`).
+//!
+//! Theorems 7 and 8 are proved for exactly this model; the tests in
+//! `nahsp-core` run them against this wrapper.
+
+use crate::closure::enumerate_subgroup;
+use crate::group::Group;
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// The factor group `G/N`, elements encoded (non-uniquely) by elements of
+/// `G`. `N` must be normal; this is asserted probabilistically at
+/// construction (conjugates of generators of `N` by generators of `G` are
+/// checked for membership).
+#[derive(Clone)]
+pub struct FactorGroup<G: Group> {
+    base: G,
+    /// Canonical-form set of all elements of `N` (enumerated).
+    n_set: Arc<HashSet<G::Elem>>,
+    n_size: usize,
+    /// All elements of N, for canonicalization scans.
+    n_elems: Arc<Vec<G::Elem>>,
+}
+
+impl<G: Group> FactorGroup<G> {
+    /// Build `G/N` from generators of the normal subgroup `N`; enumerates
+    /// `N` (so `|N|` must be below `limit`).
+    pub fn new(base: G, n_gens: &[G::Elem], limit: usize) -> Self {
+        let n_elems =
+            enumerate_subgroup(&base, n_gens, limit).expect("normal subgroup too large");
+        let n_set: HashSet<G::Elem> = n_elems.iter().cloned().collect();
+        // Normality check: conjugates of N-generators stay in N.
+        for g in base.generators() {
+            for h in n_gens {
+                let c = base.canonical(&base.conjugate(&g, h));
+                assert!(n_set.contains(&c), "subgroup is not normal");
+            }
+        }
+        FactorGroup {
+            base,
+            n_size: n_elems.len(),
+            n_set: Arc::new(n_set),
+            n_elems: Arc::new(n_elems),
+        }
+    }
+
+    pub fn base(&self) -> &G {
+        &self.base
+    }
+
+    pub fn n_size(&self) -> usize {
+        self.n_size
+    }
+
+    /// Membership of `x` in `N` — the identity test of the factor group.
+    pub fn in_n(&self, x: &G::Elem) -> bool {
+        self.n_set.contains(&self.base.canonical(x))
+    }
+}
+
+impl<G: Group> Group for FactorGroup<G> {
+    type Elem = G::Elem;
+
+    fn identity(&self) -> G::Elem {
+        self.base.identity()
+    }
+
+    fn multiply(&self, a: &G::Elem, b: &G::Elem) -> G::Elem {
+        self.base.multiply(a, b)
+    }
+
+    fn inverse(&self, a: &G::Elem) -> G::Elem {
+        self.base.inverse(a)
+    }
+
+    fn generators(&self) -> Vec<G::Elem> {
+        self.base.generators()
+    }
+
+    /// The identity-test oracle: `xN = N` iff `x ∈ N`.
+    fn is_identity(&self, a: &G::Elem) -> bool {
+        self.in_n(a)
+    }
+
+    /// Canonical encoding of the coset `aN`: the minimum (in the encoding
+    /// order) of `{a·n : n ∈ N}` in base-canonical form. Cost `O(|N|)` —
+    /// this *is* the cost model of non-unique encodings.
+    fn canonical(&self, a: &G::Elem) -> G::Elem {
+        self.n_elems
+            .iter()
+            .map(|n| self.base.canonical(&self.base.multiply(a, n)))
+            .min()
+            .expect("N is never empty")
+    }
+
+    fn order_hint(&self) -> Option<u64> {
+        Some(self.base.order_hint()? / self.n_size as u64)
+    }
+
+    fn exponent_hint(&self) -> Option<u64> {
+        // exponent of G/N divides exponent of G
+        self.base.exponent_hint()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::group::AbelianProduct;
+    use crate::perm::{Perm, PermGroup};
+
+    #[test]
+    fn s4_mod_v4_is_s3_like() {
+        let s4 = PermGroup::symmetric(4);
+        let v4 = vec![
+            Perm::from_cycles(4, &[&[0, 1], &[2, 3]]),
+            Perm::from_cycles(4, &[&[0, 2], &[1, 3]]),
+        ];
+        let q = FactorGroup::new(s4.clone(), &v4, 100);
+        assert_eq!(q.n_size(), 4);
+        // PermGroup carries no order hint, so neither does the quotient.
+        assert_eq!(q.order_hint(), None);
+        // Enumerate the quotient through canonical encodings.
+        let elems = enumerate_subgroup(&q, &q.generators(), 100).unwrap();
+        assert_eq!(elems.len(), 6, "S4/V4 has 6 elements");
+    }
+
+    #[test]
+    fn identity_test_accepts_all_of_n() {
+        let s4 = PermGroup::symmetric(4);
+        let v4 = vec![
+            Perm::from_cycles(4, &[&[0, 1], &[2, 3]]),
+            Perm::from_cycles(4, &[&[0, 2], &[1, 3]]),
+        ];
+        let q = FactorGroup::new(s4, &v4, 100);
+        assert!(q.is_identity(&Perm::identity(4)));
+        assert!(q.is_identity(&Perm::from_cycles(4, &[&[0, 1], &[2, 3]])));
+        assert!(!q.is_identity(&Perm::from_cycles(4, &[&[0, 1]])));
+    }
+
+    #[test]
+    fn eq_elem_identifies_coset_members() {
+        let s4 = PermGroup::symmetric(4);
+        let v4 = vec![
+            Perm::from_cycles(4, &[&[0, 1], &[2, 3]]),
+            Perm::from_cycles(4, &[&[0, 2], &[1, 3]]),
+        ];
+        let q = FactorGroup::new(s4.clone(), &v4, 100);
+        let t = Perm::from_cycles(4, &[&[0, 1]]);
+        let tn = s4.multiply(&t, &Perm::from_cycles(4, &[&[0, 2], &[1, 3]]));
+        assert_ne!(t, tn, "encodings differ");
+        assert!(q.eq_elem(&t, &tn), "but they are the same coset");
+        assert_eq!(q.canonical(&t), q.canonical(&tn));
+    }
+
+    #[test]
+    #[should_panic(expected = "not normal")]
+    fn rejects_non_normal_subgroup() {
+        let s4 = PermGroup::symmetric(4);
+        let h = vec![Perm::from_cycles(4, &[&[0, 1]])]; // <(01)> is not normal
+        FactorGroup::new(s4, &h, 100);
+    }
+
+    #[test]
+    fn abelian_quotient() {
+        // (Z4 × Z4)/⟨(2, 2)⟩ has order 8.
+        let g = AbelianProduct::new(vec![4, 4]);
+        let q = FactorGroup::new(g, &[vec![2u64, 2u64]], 100);
+        assert_eq!(q.n_size(), 2);
+        let elems = enumerate_subgroup(&q, &q.generators(), 100).unwrap();
+        assert_eq!(elems.len(), 8);
+    }
+
+    #[test]
+    fn pow_in_quotient_respects_cosets() {
+        let g = AbelianProduct::new(vec![8]);
+        let q = FactorGroup::new(g, &[vec![4u64]], 100);
+        // In Z8 / <4> ≅ Z4: 1 has order 4.
+        assert!(!q.is_identity(&q.pow(&vec![1u64], 2)));
+        assert!(q.is_identity(&q.pow(&vec![1u64], 4)));
+    }
+}

@@ -1,0 +1,440 @@
+//! Linear algebra over GF(2) on bit-packed vectors.
+//!
+//! Elementary Abelian 2-groups `Z₂^k` are vector spaces over GF(2); the
+//! constructive membership test the paper requires for them (hypothesis (c)
+//! of Theorem 4) *is* linear algebra. Vectors are packed into `u64` limbs,
+//! so `k` is unbounded; all operations are exact.
+
+/// A vector in GF(2)^k, bit-packed.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct BitVec {
+    /// Number of coordinates.
+    pub len: usize,
+    limbs: Vec<u64>,
+}
+
+impl BitVec {
+    pub fn zeros(len: usize) -> Self {
+        BitVec {
+            len,
+            limbs: vec![0; len.div_ceil(64)],
+        }
+    }
+
+    pub fn from_bits(bits: &[bool]) -> Self {
+        let mut v = Self::zeros(bits.len());
+        for (i, &b) in bits.iter().enumerate() {
+            if b {
+                v.set(i, true);
+            }
+        }
+        v
+    }
+
+    /// Standard basis vector `e_i`.
+    pub fn unit(len: usize, i: usize) -> Self {
+        let mut v = Self::zeros(len);
+        v.set(i, true);
+        v
+    }
+
+    /// From the low `len` bits of a `u64` (for `len <= 64`).
+    pub fn from_u64(len: usize, bits: u64) -> Self {
+        assert!(len <= 64);
+        assert!(len == 64 || bits < (1u64 << len), "bits out of range");
+        BitVec {
+            len,
+            limbs: vec![bits],
+        }
+    }
+
+    /// To a `u64` (for `len <= 64`).
+    pub fn to_u64(&self) -> u64 {
+        assert!(self.len <= 64);
+        self.limbs.first().copied().unwrap_or(0)
+    }
+
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        (self.limbs[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    #[inline]
+    pub fn set(&mut self, i: usize, b: bool) {
+        debug_assert!(i < self.len);
+        if b {
+            self.limbs[i / 64] |= 1u64 << (i % 64);
+        } else {
+            self.limbs[i / 64] &= !(1u64 << (i % 64));
+        }
+    }
+
+    /// In-place XOR (vector addition over GF(2)).
+    pub fn xor_assign(&mut self, other: &BitVec) {
+        debug_assert_eq!(self.len, other.len);
+        for (a, b) in self.limbs.iter_mut().zip(&other.limbs) {
+            *a ^= b;
+        }
+    }
+
+    pub fn xor(&self, other: &BitVec) -> BitVec {
+        let mut v = self.clone();
+        v.xor_assign(other);
+        v
+    }
+
+    pub fn is_zero(&self) -> bool {
+        self.limbs.iter().all(|&l| l == 0)
+    }
+
+    /// Index of the highest set bit, if any.
+    pub fn leading_bit(&self) -> Option<usize> {
+        for (li, &l) in self.limbs.iter().enumerate().rev() {
+            if l != 0 {
+                return Some(li * 64 + 63 - l.leading_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// Inner product mod 2.
+    pub fn dot(&self, other: &BitVec) -> bool {
+        debug_assert_eq!(self.len, other.len);
+        let mut acc = 0u32;
+        for (a, b) in self.limbs.iter().zip(&other.limbs) {
+            acc ^= (a & b).count_ones() & 1;
+        }
+        acc & 1 == 1
+    }
+
+    pub fn iter_bits(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.len).map(move |i| self.get(i))
+    }
+}
+
+/// A GF(2) subspace maintained in row-echelon form, supporting incremental
+/// insertion, membership, and expression of members in terms of the
+/// *original* inserted generators (constructive membership).
+#[derive(Clone, Debug, Default)]
+pub struct Gf2Space {
+    len: usize,
+    /// Echelon rows, each paired with the combination of original generators
+    /// producing it (indices into `history` as a bitmask over insertions).
+    rows: Vec<(BitVec, BitVec)>,
+    /// Number of insertion attempts so far (size of combination vectors).
+    inserted: usize,
+}
+
+impl Gf2Space {
+    pub fn new(len: usize) -> Self {
+        Gf2Space {
+            len,
+            rows: Vec::new(),
+            inserted: 0,
+        }
+    }
+
+    pub fn dim(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn ambient_len(&self) -> usize {
+        self.len
+    }
+
+    /// Number of vectors offered to [`Gf2Space::insert`] so far (independent
+    /// or not); combination vectors index into this history.
+    pub fn num_inserted(&self) -> usize {
+        self.inserted
+    }
+
+    /// Reduce `v` against the echelon rows; returns the residual and the
+    /// combination of original insertions used.
+    fn reduce(&self, v: &BitVec) -> (BitVec, BitVec) {
+        let mut r = v.clone();
+        let mut comb = BitVec::zeros(self.inserted.max(1));
+        if comb.len < self.inserted {
+            comb = BitVec::zeros(self.inserted);
+        }
+        for (row, rcomb) in &self.rows {
+            let lead = row.leading_bit().expect("echelon rows are nonzero");
+            if r.get(lead) {
+                r.xor_assign(row);
+                // widths can differ (older rows have shorter history); xor
+                // manually bit by bit.
+                for i in 0..rcomb.len {
+                    if rcomb.get(i) {
+                        let cur = comb.get(i);
+                        comb.set(i, !cur);
+                    }
+                }
+            }
+        }
+        (r, comb)
+    }
+
+    /// Insert a vector. Returns `true` if it enlarged the space.
+    pub fn insert(&mut self, v: &BitVec) -> bool {
+        assert_eq!(v.len, self.len);
+        // Extend history width.
+        self.inserted += 1;
+        let (r, mut comb) = self.reduce(v);
+        // The new insertion index participates.
+        let mut wide = BitVec::zeros(self.inserted);
+        for i in 0..comb.len.min(self.inserted) {
+            if comb.get(i) {
+                wide.set(i, true);
+            }
+        }
+        wide.set(self.inserted - 1, true);
+        comb = wide;
+        if r.is_zero() {
+            return false;
+        }
+        self.rows.push((r, comb));
+        // Keep rows sorted by leading bit descending for determinism.
+        self.rows
+            .sort_by_key(|(row, _)| std::cmp::Reverse(row.leading_bit()));
+        true
+    }
+
+    /// Membership test.
+    pub fn contains(&self, v: &BitVec) -> bool {
+        self.reduce(v).0.is_zero()
+    }
+
+    /// Constructive membership: expresses `v` as a XOR-combination of the
+    /// inserted vectors, returned as the set of insertion indices, or `None`
+    /// if `v` is outside the space.
+    pub fn express(&self, v: &BitVec) -> Option<Vec<usize>> {
+        let (r, comb) = self.reduce(v);
+        if !r.is_zero() {
+            return None;
+        }
+        Some((0..comb.len).filter(|&i| comb.get(i)).collect())
+    }
+
+    /// A basis of the space (echelon rows).
+    pub fn basis(&self) -> Vec<BitVec> {
+        self.rows.iter().map(|(r, _)| r.clone()).collect()
+    }
+
+    /// Basis of the orthogonal complement `{y : y·x = 0 ∀x in space}`.
+    pub fn orthogonal_complement(&self) -> Vec<BitVec> {
+        // Solve the homogeneous system with the basis rows as equations.
+        nullspace(&self.basis(), self.len)
+    }
+}
+
+/// Nullspace basis of the system `rows · y = 0` over GF(2), `y ∈ GF(2)^len`.
+pub fn nullspace(rows: &[BitVec], len: usize) -> Vec<BitVec> {
+    // Gaussian elimination tracking pivot columns.
+    let mut mat: Vec<BitVec> = rows.to_vec();
+    let mut pivots: Vec<usize> = Vec::new();
+    let mut rank = 0usize;
+    for col in 0..len {
+        // Find a row at or below `rank` with a 1 in `col`.
+        let Some(r) = (rank..mat.len()).find(|&r| mat[r].get(col)) else {
+            continue;
+        };
+        mat.swap(rank, r);
+        let pivot_row = mat[rank].clone();
+        for (i, row) in mat.iter_mut().enumerate() {
+            if i != rank && row.get(col) {
+                row.xor_assign(&pivot_row);
+            }
+        }
+        pivots.push(col);
+        rank += 1;
+    }
+    let pivot_set: std::collections::HashSet<usize> = pivots.iter().copied().collect();
+    let free: Vec<usize> = (0..len).filter(|c| !pivot_set.contains(c)).collect();
+    let mut basis = Vec::with_capacity(free.len());
+    for &f in &free {
+        let mut v = BitVec::zeros(len);
+        v.set(f, true);
+        // Back-substitute: for each pivot row, set pivot coordinate so the
+        // equation row·v = 0 holds.
+        for (r, &pc) in pivots.iter().enumerate() {
+            // value = sum of v at non-pivot coords of row r
+            let row = &mat[r];
+            let mut acc = false;
+            for c in 0..len {
+                if c != pc && row.get(c) && v.get(c) {
+                    acc = !acc;
+                }
+            }
+            v.set(pc, acc);
+        }
+        basis.push(v);
+    }
+    basis
+}
+
+/// Rank of a list of GF(2) vectors.
+pub fn rank(rows: &[BitVec], len: usize) -> usize {
+    let mut space = Gf2Space::new(len);
+    for r in rows {
+        space.insert(r);
+    }
+    space.dim()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bitvec_basics() {
+        let mut v = BitVec::zeros(100);
+        assert!(v.is_zero());
+        v.set(99, true);
+        v.set(3, true);
+        assert!(v.get(99) && v.get(3) && !v.get(50));
+        assert_eq!(v.leading_bit(), Some(99));
+        v.set(99, false);
+        assert_eq!(v.leading_bit(), Some(3));
+    }
+
+    #[test]
+    fn bitvec_u64_roundtrip() {
+        let v = BitVec::from_u64(10, 0b1010110);
+        assert_eq!(v.to_u64(), 0b1010110);
+        assert!(v.get(1) && v.get(2) && !v.get(0));
+    }
+
+    #[test]
+    fn xor_and_dot() {
+        let a = BitVec::from_u64(8, 0b10110010);
+        let b = BitVec::from_u64(8, 0b01110001);
+        assert_eq!(a.xor(&b).to_u64(), 0b11000011);
+        // dot = parity of AND = parity(0b00110000) = 0
+        assert!(!a.dot(&b));
+        let c = BitVec::from_u64(8, 0b00010000);
+        assert!(a.dot(&c));
+    }
+
+    #[test]
+    fn space_insert_and_membership() {
+        let mut s = Gf2Space::new(4);
+        assert!(s.insert(&BitVec::from_u64(4, 0b0011)));
+        assert!(s.insert(&BitVec::from_u64(4, 0b0101)));
+        assert!(!s.insert(&BitVec::from_u64(4, 0b0110))); // dependent
+        assert_eq!(s.dim(), 2);
+        assert!(s.contains(&BitVec::from_u64(4, 0b0110)));
+        assert!(!s.contains(&BitVec::from_u64(4, 0b1000)));
+        assert!(s.contains(&BitVec::zeros(4)));
+    }
+
+    #[test]
+    fn express_in_terms_of_insertions() {
+        let mut s = Gf2Space::new(5);
+        let g0 = BitVec::from_u64(5, 0b00111);
+        let g1 = BitVec::from_u64(5, 0b01100);
+        let g2 = BitVec::from_u64(5, 0b10001);
+        s.insert(&g0);
+        s.insert(&g1);
+        s.insert(&g2);
+        let target = g0.xor(&g2); // indices {0, 2}
+        let expr = s.express(&target).unwrap();
+        // Verify the expression reproduces the target.
+        let mut acc = BitVec::zeros(5);
+        let gens = [g0.clone(), g1.clone(), g2.clone()];
+        for i in expr {
+            acc.xor_assign(&gens[i]);
+        }
+        assert_eq!(acc, target);
+        assert!(s.express(&BitVec::from_u64(5, 0b01010)).is_none());
+    }
+
+    #[test]
+    fn express_handles_dependent_insertions() {
+        let mut s = Gf2Space::new(3);
+        let g0 = BitVec::from_u64(3, 0b011);
+        let g1 = BitVec::from_u64(3, 0b011); // duplicate
+        let g2 = BitVec::from_u64(3, 0b110);
+        s.insert(&g0);
+        s.insert(&g1);
+        s.insert(&g2);
+        let target = BitVec::from_u64(3, 0b101);
+        let expr = s.express(&target).unwrap();
+        let gens = [g0, g1, g2];
+        let mut acc = BitVec::zeros(3);
+        for i in expr {
+            acc.xor_assign(&gens[i]);
+        }
+        assert_eq!(acc, target);
+    }
+
+    #[test]
+    fn nullspace_dimensions() {
+        // One equation in GF(2)^3: x0 + x1 = 0 → nullspace dim 2.
+        let rows = vec![BitVec::from_u64(3, 0b011)];
+        let ns = nullspace(&rows, 3);
+        assert_eq!(ns.len(), 2);
+        for v in &ns {
+            assert!(!rows[0].dot(v), "nullspace vector not orthogonal");
+        }
+    }
+
+    #[test]
+    fn nullspace_of_full_rank_is_trivial() {
+        let rows = vec![
+            BitVec::from_u64(3, 0b001),
+            BitVec::from_u64(3, 0b010),
+            BitVec::from_u64(3, 0b100),
+        ];
+        assert!(nullspace(&rows, 3).is_empty());
+    }
+
+    #[test]
+    fn nullspace_of_empty_is_everything() {
+        let ns = nullspace(&[], 3);
+        assert_eq!(ns.len(), 3);
+    }
+
+    #[test]
+    fn orthogonal_complement_double_is_original() {
+        let mut s = Gf2Space::new(6);
+        s.insert(&BitVec::from_u64(6, 0b101010));
+        s.insert(&BitVec::from_u64(6, 0b010101));
+        let comp = s.orthogonal_complement();
+        assert_eq!(comp.len(), 4);
+        let mut s2 = Gf2Space::new(6);
+        for v in &comp {
+            s2.insert(v);
+        }
+        let comp2 = s2.orthogonal_complement();
+        let mut s3 = Gf2Space::new(6);
+        for v in &comp2 {
+            s3.insert(v);
+        }
+        assert_eq!(s3.dim(), 2);
+        assert!(s3.contains(&BitVec::from_u64(6, 0b101010)));
+        assert!(s3.contains(&BitVec::from_u64(6, 0b010101)));
+    }
+
+    #[test]
+    fn rank_of_rows() {
+        let rows = vec![
+            BitVec::from_u64(4, 0b0011),
+            BitVec::from_u64(4, 0b0110),
+            BitVec::from_u64(4, 0b0101), // dependent on first two
+            BitVec::from_u64(4, 0b1000),
+        ];
+        assert_eq!(rank(&rows, 4), 3);
+    }
+
+    #[test]
+    fn wide_vectors_multiple_limbs() {
+        let mut s = Gf2Space::new(200);
+        for i in 0..100 {
+            assert!(s.insert(&BitVec::unit(200, 2 * i)));
+        }
+        assert_eq!(s.dim(), 100);
+        assert!(s.contains(&BitVec::unit(200, 50).xor(&BitVec::unit(200, 0))));
+        assert!(!s.contains(&BitVec::unit(200, 1)));
+        assert_eq!(s.orthogonal_complement().len(), 100);
+    }
+}

@@ -1,0 +1,386 @@
+//! The black-box group trait and elementary families.
+
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// A finite group presented through black-box operations.
+///
+/// This is the programmatic form of the paper's oracle model: `multiply`
+/// and `inverse` are `U_G` and `U_G⁻¹`; `is_identity`/`eq_elem` are the
+/// identity-test oracle needed when encodings are **not unique** (a single
+/// group element may have several `Elem` values, as in [`crate::factor`]).
+///
+/// Algorithms must therefore never compare elements with `==` directly —
+/// always via [`Group::eq_elem`] — and must hash only canonical forms
+/// obtained from [`Group::canonical`].
+pub trait Group: Clone + Send + Sync {
+    /// Element encoding. `Ord + Hash` refer to the *encoding*, not the group
+    /// element; they are meaningful for group identity only after
+    /// [`Group::canonical`].
+    type Elem: Clone + Eq + Ord + Hash + Debug + Send + Sync;
+
+    /// The identity element (some encoding of it).
+    fn identity(&self) -> Self::Elem;
+
+    /// The group operation.
+    fn multiply(&self, a: &Self::Elem, b: &Self::Elem) -> Self::Elem;
+
+    /// Inverse.
+    fn inverse(&self, a: &Self::Elem) -> Self::Elem;
+
+    /// Generating set of the group.
+    fn generators(&self) -> Vec<Self::Elem>;
+
+    /// Identity-test oracle. The default assumes unique encodings.
+    fn is_identity(&self, a: &Self::Elem) -> bool {
+        *a == self.identity()
+    }
+
+    /// Element equality through the identity test (sound for non-unique
+    /// encodings).
+    fn eq_elem(&self, a: &Self::Elem, b: &Self::Elem) -> bool {
+        if a == b {
+            return true;
+        }
+        self.is_identity(&self.multiply(&self.inverse(a), b))
+    }
+
+    /// A canonical encoding of the element (the same for every encoding of
+    /// the same group element). Unique-encoding groups return the input.
+    fn canonical(&self, a: &Self::Elem) -> Self::Elem {
+        a.clone()
+    }
+
+    /// Known group order, when the family knows it a priori.
+    fn order_hint(&self) -> Option<u64> {
+        None
+    }
+
+    /// A known multiple of the exponent (least common multiple of element
+    /// orders), used by order-finding descent. Defaults to the order hint.
+    fn exponent_hint(&self) -> Option<u64> {
+        self.order_hint()
+    }
+
+    /// `a^n` for `n >= 0` by square-and-multiply.
+    fn pow(&self, a: &Self::Elem, mut n: u64) -> Self::Elem {
+        let mut acc = self.identity();
+        let mut base = a.clone();
+        while n > 0 {
+            if n & 1 == 1 {
+                acc = self.multiply(&acc, &base);
+            }
+            base = self.multiply(&base, &base);
+            n >>= 1;
+        }
+        acc
+    }
+
+    /// `a^n` for signed `n`.
+    fn pow_signed(&self, a: &Self::Elem, n: i64) -> Self::Elem {
+        if n >= 0 {
+            self.pow(a, n as u64)
+        } else {
+            let p = self.pow(a, n.unsigned_abs());
+            self.inverse(&p)
+        }
+    }
+
+    /// Commutator `[a, b] = a b a⁻¹ b⁻¹` (the paper's convention, Section 5).
+    fn commutator(&self, a: &Self::Elem, b: &Self::Elem) -> Self::Elem {
+        let ab = self.multiply(a, b);
+        let ia = self.inverse(a);
+        let ib = self.inverse(b);
+        self.multiply(&self.multiply(&ab, &ia), &ib)
+    }
+
+    /// Conjugate `x a x⁻¹`.
+    fn conjugate(&self, x: &Self::Elem, a: &Self::Elem) -> Self::Elem {
+        let xa = self.multiply(x, a);
+        self.multiply(&xa, &self.inverse(x))
+    }
+
+    /// Whether two elements commute.
+    fn commute(&self, a: &Self::Elem, b: &Self::Elem) -> bool {
+        self.is_identity(&self.commutator(a, b))
+    }
+}
+
+/// The cyclic group `Z_n` under addition.
+#[derive(Clone, Debug)]
+pub struct CyclicGroup {
+    pub n: u64,
+}
+
+impl CyclicGroup {
+    pub fn new(n: u64) -> Self {
+        assert!(n >= 1, "cyclic group needs n >= 1");
+        CyclicGroup { n }
+    }
+}
+
+impl Group for CyclicGroup {
+    type Elem = u64;
+
+    fn identity(&self) -> u64 {
+        0
+    }
+
+    fn multiply(&self, a: &u64, b: &u64) -> u64 {
+        (a + b) % self.n
+    }
+
+    fn inverse(&self, a: &u64) -> u64 {
+        (self.n - a % self.n) % self.n
+    }
+
+    fn generators(&self) -> Vec<u64> {
+        if self.n == 1 {
+            vec![]
+        } else {
+            vec![1]
+        }
+    }
+
+    fn order_hint(&self) -> Option<u64> {
+        Some(self.n)
+    }
+
+    fn exponent_hint(&self) -> Option<u64> {
+        Some(self.n)
+    }
+}
+
+/// The Abelian product `Z_{m1} × Z_{m2} × … × Z_{mk}` under component-wise
+/// addition — the ambient group `A` of every Abelian HSP instance in the
+/// paper (Lemma 9, Theorems 6/10/13).
+#[derive(Clone, Debug)]
+pub struct AbelianProduct {
+    pub moduli: Vec<u64>,
+}
+
+impl AbelianProduct {
+    pub fn new(moduli: Vec<u64>) -> Self {
+        assert!(!moduli.is_empty(), "empty product");
+        assert!(moduli.iter().all(|&m| m >= 1), "moduli must be >= 1");
+        AbelianProduct { moduli }
+    }
+
+    /// `Z_n^k`.
+    pub fn power(n: u64, k: usize) -> Self {
+        Self::new(vec![n; k])
+    }
+
+    pub fn rank(&self) -> usize {
+        self.moduli.len()
+    }
+
+    /// Reduce an integer vector componentwise.
+    pub fn reduce(&self, v: &[i64]) -> Vec<u64> {
+        assert_eq!(v.len(), self.moduli.len());
+        v.iter()
+            .zip(&self.moduli)
+            .map(|(&x, &m)| x.rem_euclid(m as i64) as u64)
+            .collect()
+    }
+}
+
+impl Group for AbelianProduct {
+    type Elem = Vec<u64>;
+
+    fn identity(&self) -> Vec<u64> {
+        vec![0; self.moduli.len()]
+    }
+
+    fn multiply(&self, a: &Vec<u64>, b: &Vec<u64>) -> Vec<u64> {
+        a.iter()
+            .zip(b)
+            .zip(&self.moduli)
+            .map(|((&x, &y), &m)| (x + y) % m)
+            .collect()
+    }
+
+    fn inverse(&self, a: &Vec<u64>) -> Vec<u64> {
+        a.iter()
+            .zip(&self.moduli)
+            .map(|(&x, &m)| (m - x % m) % m)
+            .collect()
+    }
+
+    fn generators(&self) -> Vec<Vec<u64>> {
+        let mut gens = Vec::new();
+        for (i, &m) in self.moduli.iter().enumerate() {
+            if m > 1 {
+                let mut e = self.identity();
+                e[i] = 1;
+                gens.push(e);
+            }
+        }
+        gens
+    }
+
+    fn order_hint(&self) -> Option<u64> {
+        self.moduli
+            .iter()
+            .try_fold(1u64, |acc, &m| acc.checked_mul(m))
+    }
+
+    fn exponent_hint(&self) -> Option<u64> {
+        self.moduli
+            .iter()
+            .try_fold(1u64, |acc, &m| {
+                let g = nahsp_numtheory::gcd(acc, m);
+                (acc / g).checked_mul(m)
+            })
+    }
+}
+
+/// Direct product of two groups (pairs under componentwise operations). Used
+/// to assemble solvable test groups and `Z₂ × N` auxiliary groups.
+#[derive(Clone, Debug)]
+pub struct DirectProduct<G1: Group, G2: Group> {
+    pub left: G1,
+    pub right: G2,
+}
+
+impl<G1: Group, G2: Group> DirectProduct<G1, G2> {
+    pub fn new(left: G1, right: G2) -> Self {
+        DirectProduct { left, right }
+    }
+}
+
+impl<G1: Group, G2: Group> Group for DirectProduct<G1, G2> {
+    type Elem = (G1::Elem, G2::Elem);
+
+    fn identity(&self) -> Self::Elem {
+        (self.left.identity(), self.right.identity())
+    }
+
+    fn multiply(&self, a: &Self::Elem, b: &Self::Elem) -> Self::Elem {
+        (
+            self.left.multiply(&a.0, &b.0),
+            self.right.multiply(&a.1, &b.1),
+        )
+    }
+
+    fn inverse(&self, a: &Self::Elem) -> Self::Elem {
+        (self.left.inverse(&a.0), self.right.inverse(&a.1))
+    }
+
+    fn generators(&self) -> Vec<Self::Elem> {
+        let mut gens = Vec::new();
+        for g in self.left.generators() {
+            gens.push((g, self.right.identity()));
+        }
+        for h in self.right.generators() {
+            gens.push((self.left.identity(), h));
+        }
+        gens
+    }
+
+    fn is_identity(&self, a: &Self::Elem) -> bool {
+        self.left.is_identity(&a.0) && self.right.is_identity(&a.1)
+    }
+
+    fn canonical(&self, a: &Self::Elem) -> Self::Elem {
+        (self.left.canonical(&a.0), self.right.canonical(&a.1))
+    }
+
+    fn order_hint(&self) -> Option<u64> {
+        self.left.order_hint()?.checked_mul(self.right.order_hint()?)
+    }
+
+    fn exponent_hint(&self) -> Option<u64> {
+        let a = self.left.exponent_hint()?;
+        let b = self.right.exponent_hint()?;
+        let g = nahsp_numtheory::gcd(a, b);
+        (a / g).checked_mul(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cyclic_axioms() {
+        let g = CyclicGroup::new(12);
+        for a in 0..12u64 {
+            assert!(g.is_identity(&g.multiply(&a, &g.inverse(&a))));
+            for b in 0..12u64 {
+                assert_eq!(g.multiply(&a, &b), (a + b) % 12);
+            }
+        }
+    }
+
+    #[test]
+    fn cyclic_pow() {
+        let g = CyclicGroup::new(10);
+        assert_eq!(g.pow(&3, 7), 1); // 21 mod 10
+        assert_eq!(g.pow(&3, 0), 0);
+        assert_eq!(g.pow_signed(&3, -1), 7);
+    }
+
+    #[test]
+    fn trivial_cyclic_group() {
+        let g = CyclicGroup::new(1);
+        assert!(g.generators().is_empty());
+        assert!(g.is_identity(&g.identity()));
+    }
+
+    #[test]
+    fn abelian_product_axioms() {
+        let g = AbelianProduct::new(vec![2, 3, 4]);
+        assert_eq!(g.order_hint(), Some(24));
+        assert_eq!(g.exponent_hint(), Some(12));
+        let a = vec![1, 2, 3];
+        let b = vec![1, 1, 2];
+        assert_eq!(g.multiply(&a, &b), vec![0, 0, 1]);
+        assert!(g.is_identity(&g.multiply(&a, &g.inverse(&a))));
+        assert_eq!(g.generators().len(), 3);
+    }
+
+    #[test]
+    fn abelian_product_skips_trivial_factors() {
+        let g = AbelianProduct::new(vec![1, 5]);
+        assert_eq!(g.generators(), vec![vec![0, 1]]);
+    }
+
+    #[test]
+    fn reduce_negative_components() {
+        let g = AbelianProduct::new(vec![5, 7]);
+        assert_eq!(g.reduce(&[-1, -8]), vec![4, 6]);
+    }
+
+    #[test]
+    fn direct_product_structure() {
+        let g = DirectProduct::new(CyclicGroup::new(2), CyclicGroup::new(3));
+        assert_eq!(g.order_hint(), Some(6));
+        assert_eq!(g.exponent_hint(), Some(6));
+        assert_eq!(g.generators().len(), 2);
+        let a = (1u64, 2u64);
+        assert!(g.is_identity(&g.multiply(&a, &g.inverse(&a))));
+    }
+
+    #[test]
+    fn commutator_trivial_in_abelian() {
+        let g = AbelianProduct::new(vec![4, 4]);
+        let a = vec![1, 2];
+        let b = vec![3, 1];
+        assert!(g.is_identity(&g.commutator(&a, &b)));
+        assert!(g.commute(&a, &b));
+    }
+
+    #[test]
+    fn conjugation_in_abelian_is_identity_action() {
+        let g = CyclicGroup::new(9);
+        assert_eq!(g.conjugate(&4, &5), 5);
+    }
+
+    #[test]
+    fn eq_elem_default() {
+        let g = CyclicGroup::new(6);
+        assert!(g.eq_elem(&3, &3));
+        assert!(!g.eq_elem(&3, &4));
+    }
+}

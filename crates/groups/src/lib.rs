@@ -1,0 +1,47 @@
+//! Black-box group framework.
+//!
+//! Section 2 of Ivanyos–Magniez–Santha works with *black-box groups*: elements
+//! encoded as strings, group operations performed by oracles `U_G`, `U_G⁻¹`,
+//! plus an identity-test oracle when encodings are not unique. This crate
+//! provides:
+//!
+//! - the [`Group`] trait — the black-box interface (multiplication, inverse,
+//!   identity test, canonical forms for non-unique encodings) plus derived
+//!   helpers (powers, commutators, conjugation);
+//! - concrete families used throughout the paper:
+//!   [`perm::Perm`]utation groups with Schreier–Sims machinery
+//!   ([`stabchain::StabilizerChain`]), matrix groups over GF(p) and packed
+//!   GF(2) ([`matgf`]), Abelian products ([`group::AbelianProduct`]),
+//!   semidirect products `Z₂^k ⋊ Z_m` and wreath products `Z₂^k ≀ Z₂`
+//!   ([`semidirect`]), extraspecial `p`-groups ([`extraspecial`]), dihedral
+//!   groups ([`dihedral`]), and factor groups with *non-unique* encodings
+//!   ([`factor`]);
+//! - group-theoretic machinery: subgroup/normal closure and derived series
+//!   ([`closure`]), polycyclic series and composition factors of solvable
+//!   groups ([`series`]), straight-line programs ([`slp`]), free-group words
+//!   and presentations ([`words`]), random subproducts and product
+//!   replacement ([`random`]), GF(2) linear algebra ([`gf2`]), the
+//!   byte-string encoding adapter of the black-box model ([`encoding`]),
+//!   and the salting wrapper giving any group non-unique encodings
+//!   ([`salted`]).
+
+pub mod closure;
+pub mod dihedral;
+pub mod encoding;
+pub mod extraspecial;
+pub mod factor;
+pub mod gf2;
+pub mod group;
+pub mod matgf;
+pub mod perm;
+pub mod random;
+pub mod salted;
+pub mod semidirect;
+pub mod series;
+pub mod slp;
+pub mod stabchain;
+pub mod words;
+
+pub use group::{AbelianProduct, CyclicGroup, DirectProduct, Group};
+pub use perm::Perm;
+pub use stabchain::StabilizerChain;

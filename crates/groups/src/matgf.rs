@@ -1,0 +1,603 @@
+//! Matrix groups over finite fields: dense GF(p) and bit-packed GF(2).
+//!
+//! Matrix groups are the paper's running example of black-box groups
+//! (Section 2: "factor groups G/N of matrix groups"; Section 6 builds its
+//! main family from `(k+1) × (k+1)` matrices over a field of characteristic
+//! 2 of types (a) and (b)).
+
+use crate::group::Group;
+use nahsp_numtheory::mod_inv;
+
+/// A dense square matrix over GF(p), entries in row-major order.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct MatGFp {
+    pub n: usize,
+    pub p: u64,
+    pub data: Vec<u64>,
+}
+
+impl MatGFp {
+    pub fn identity(n: usize, p: u64) -> Self {
+        let mut data = vec![0u64; n * n];
+        for i in 0..n {
+            data[i * n + i] = 1;
+        }
+        MatGFp { n, p, data }
+    }
+
+    pub fn from_rows(p: u64, rows: &[&[u64]]) -> Self {
+        let n = rows.len();
+        let mut data = Vec::with_capacity(n * n);
+        for r in rows {
+            assert_eq!(r.len(), n, "matrix must be square");
+            data.extend(r.iter().map(|&x| x % p));
+        }
+        MatGFp { n, p, data }
+    }
+
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> u64 {
+        self.data[i * self.n + j]
+    }
+
+    #[inline]
+    fn set(&mut self, i: usize, j: usize, v: u64) {
+        self.data[i * self.n + j] = v % self.p;
+    }
+
+    pub fn mul(&self, other: &MatGFp) -> MatGFp {
+        assert_eq!(self.n, other.n);
+        assert_eq!(self.p, other.p);
+        let n = self.n;
+        let p = self.p;
+        let mut out = MatGFp {
+            n,
+            p,
+            data: vec![0; n * n],
+        };
+        for i in 0..n {
+            for k in 0..n {
+                let a = self.get(i, k);
+                if a == 0 {
+                    continue;
+                }
+                for j in 0..n {
+                    let v = (out.get(i, j) + a * other.get(k, j)) % p;
+                    out.set(i, j, v);
+                }
+            }
+        }
+        out
+    }
+
+    /// Inverse by Gauss–Jordan; `None` if singular.
+    pub fn inverse(&self) -> Option<MatGFp> {
+        let n = self.n;
+        let p = self.p;
+        let mut a = self.clone();
+        let mut inv = MatGFp::identity(n, p);
+        for col in 0..n {
+            // Find pivot.
+            let piv = (col..n).find(|&r| a.get(r, col) != 0)?;
+            if piv != col {
+                for j in 0..n {
+                    let (x, y) = (a.get(col, j), a.get(piv, j));
+                    a.set(col, j, y);
+                    a.set(piv, j, x);
+                    let (x, y) = (inv.get(col, j), inv.get(piv, j));
+                    inv.set(col, j, y);
+                    inv.set(piv, j, x);
+                }
+            }
+            let s = mod_inv(a.get(col, col), p)?;
+            for j in 0..n {
+                a.set(col, j, a.get(col, j) * s % p);
+                inv.set(col, j, inv.get(col, j) * s % p);
+            }
+            for r in 0..n {
+                if r != col && a.get(r, col) != 0 {
+                    let f = a.get(r, col);
+                    for j in 0..n {
+                        let v = (a.get(r, j) + (p - f) * a.get(col, j)) % p;
+                        a.set(r, j, v);
+                        let v = (inv.get(r, j) + (p - f) * inv.get(col, j)) % p;
+                        inv.set(r, j, v);
+                    }
+                }
+            }
+        }
+        Some(inv)
+    }
+
+    pub fn is_identity(&self) -> bool {
+        *self == MatGFp::identity(self.n, self.p)
+    }
+
+    /// Apply to a column vector.
+    pub fn apply(&self, v: &[u64]) -> Vec<u64> {
+        assert_eq!(v.len(), self.n);
+        (0..self.n)
+            .map(|i| {
+                (0..self.n)
+                    .map(|j| self.get(i, j) * (v[j] % self.p) % self.p)
+                    .fold(0u64, |a, b| (a + b) % self.p)
+            })
+            .collect()
+    }
+}
+
+/// A matrix group over GF(p) given by generators. Order of `GL(n, p)` is
+/// supplied as the exponent hint, following Section 3's remark that a
+/// superset of primes dividing `|G|` comes from factoring
+/// `(pⁿ−1)(pⁿ−p)⋯(pⁿ−pⁿ⁻¹)`.
+#[derive(Clone, Debug)]
+pub struct MatGroupGFp {
+    pub n: usize,
+    pub p: u64,
+    pub gens: Vec<MatGFp>,
+}
+
+impl MatGroupGFp {
+    pub fn new(n: usize, p: u64, gens: Vec<MatGFp>) -> Self {
+        for g in &gens {
+            assert_eq!(g.n, n);
+            assert_eq!(g.p, p);
+            assert!(g.inverse().is_some(), "generator is singular");
+        }
+        MatGroupGFp { n, p, gens }
+    }
+
+    /// `|GL(n, p)| = Π_{i<n} (pⁿ − pⁱ)`, if it fits in u64.
+    pub fn gl_order(n: usize, p: u64) -> Option<u64> {
+        let pn = p.checked_pow(n as u32)?;
+        let mut acc: u64 = 1;
+        let mut pi: u64 = 1;
+        for _ in 0..n {
+            acc = acc.checked_mul(pn - pi)?;
+            pi = pi.checked_mul(p)?;
+        }
+        Some(acc)
+    }
+}
+
+impl Group for MatGroupGFp {
+    type Elem = MatGFp;
+
+    fn identity(&self) -> MatGFp {
+        MatGFp::identity(self.n, self.p)
+    }
+
+    fn multiply(&self, a: &MatGFp, b: &MatGFp) -> MatGFp {
+        a.mul(b)
+    }
+
+    fn inverse(&self, a: &MatGFp) -> MatGFp {
+        a.inverse().expect("group element must be invertible")
+    }
+
+    fn generators(&self) -> Vec<MatGFp> {
+        self.gens.clone()
+    }
+
+    fn is_identity(&self, a: &MatGFp) -> bool {
+        a.is_identity()
+    }
+
+    fn exponent_hint(&self) -> Option<u64> {
+        Self::gl_order(self.n, self.p)
+    }
+}
+
+/// A bit-packed square matrix over GF(2); row `i` is a `u64` bitmask of
+/// columns (so `n <= 64`).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Gf2Mat {
+    pub n: usize,
+    rows: [u64; 64],
+}
+
+impl Gf2Mat {
+    pub fn identity(n: usize) -> Self {
+        assert!(n <= 64);
+        let mut rows = [0u64; 64];
+        for (i, r) in rows.iter_mut().enumerate().take(n) {
+            *r = 1u64 << i;
+        }
+        Gf2Mat { n, rows }
+    }
+
+    pub fn zero(n: usize) -> Self {
+        assert!(n <= 64);
+        Gf2Mat { n, rows: [0; 64] }
+    }
+
+    pub fn from_rows(rows_in: &[u64]) -> Self {
+        let n = rows_in.len();
+        assert!(n <= 64);
+        let mut rows = [0u64; 64];
+        let mask = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+        for (i, &r) in rows_in.iter().enumerate() {
+            assert_eq!(r & !mask, 0, "row bits beyond dimension");
+            rows[i] = r;
+        }
+        Gf2Mat { n, rows }
+    }
+
+    #[inline]
+    pub fn row(&self, i: usize) -> u64 {
+        self.rows[i]
+    }
+
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> bool {
+        (self.rows[i] >> j) & 1 == 1
+    }
+
+    pub fn set(&mut self, i: usize, j: usize, b: bool) {
+        if b {
+            self.rows[i] |= 1u64 << j;
+        } else {
+            self.rows[i] &= !(1u64 << j);
+        }
+    }
+
+    /// Matrix product over GF(2).
+    pub fn mul(&self, other: &Gf2Mat) -> Gf2Mat {
+        assert_eq!(self.n, other.n);
+        let mut out = Gf2Mat::zero(self.n);
+        for i in 0..self.n {
+            let mut acc = 0u64;
+            let mut row = self.rows[i];
+            while row != 0 {
+                let k = row.trailing_zeros() as usize;
+                acc ^= other.rows[k];
+                row &= row - 1;
+            }
+            out.rows[i] = acc;
+        }
+        out
+    }
+
+    /// Matrix–vector product, vector as bitmask.
+    #[inline]
+    pub fn apply(&self, v: u64) -> u64 {
+        let mut out = 0u64;
+        for i in 0..self.n {
+            out |= ((self.rows[i] & v).count_ones() as u64 & 1) << i;
+        }
+        out
+    }
+
+    /// Inverse by Gauss–Jordan; `None` if singular.
+    pub fn inverse(&self) -> Option<Gf2Mat> {
+        let n = self.n;
+        let mut a = *self;
+        let mut inv = Gf2Mat::identity(n);
+        for col in 0..n {
+            let piv = (col..n).find(|&r| a.get(r, col))?;
+            a.rows.swap(col, piv);
+            inv.rows.swap(col, piv);
+            for r in 0..n {
+                if r != col && a.get(r, col) {
+                    a.rows[r] ^= a.rows[col];
+                    inv.rows[r] ^= inv.rows[col];
+                }
+            }
+        }
+        Some(inv)
+    }
+
+    pub fn is_identity(&self) -> bool {
+        *self == Gf2Mat::identity(self.n)
+    }
+
+    /// `self^e` by square-and-multiply.
+    pub fn pow(&self, mut e: u64) -> Gf2Mat {
+        let mut acc = Gf2Mat::identity(self.n);
+        let mut base = *self;
+        while e > 0 {
+            if e & 1 == 1 {
+                acc = acc.mul(&base);
+            }
+            base = base.mul(&base);
+            e >>= 1;
+        }
+        acc
+    }
+
+    /// Multiplicative order (brute force up to `cap`).
+    pub fn order(&self, cap: u64) -> Option<u64> {
+        let mut m = *self;
+        let mut k = 1u64;
+        while !m.is_identity() {
+            if k >= cap {
+                return None;
+            }
+            m = m.mul(self);
+            k += 1;
+        }
+        Some(k)
+    }
+
+    /// The permutation matrix swapping coordinates `i ↔ i + half` (the
+    /// wreath-product action on `Z₂^{2·half}`).
+    pub fn swap_halves(half: usize) -> Self {
+        let n = 2 * half;
+        let mut m = Gf2Mat::zero(n);
+        for i in 0..half {
+            m.set(i, i + half, true);
+            m.set(i + half, i, true);
+        }
+        m
+    }
+
+    /// Companion matrix of `x^n + c_{n-1} x^{n-1} + … + c_0` over GF(2),
+    /// coefficients as a bitmask (used to build cyclic actions of large
+    /// order for the Theorem 13 cyclic-factor family).
+    pub fn companion(n: usize, coeffs: u64) -> Self {
+        let mut m = Gf2Mat::zero(n);
+        for i in 1..n {
+            m.set(i, i - 1, true);
+        }
+        for j in 0..n {
+            if (coeffs >> j) & 1 == 1 {
+                m.set(j, n - 1, true);
+            }
+        }
+        m
+    }
+}
+
+/// The Section 6 matrix groups, literally: `(k+1) × (k+1)` matrices over
+/// GF(2) generated by one type-(a) element (an invertible `k × k` block `M`
+/// in the upper-left corner, last row/column of the identity) and the
+/// type-(b) translations (identity plus a last-column vector).
+///
+/// Abstractly `⟨(a), (b)⟩ ≅ Z₂^k ⋊ ⟨M⟩` — the family Theorem 13 solves; the
+/// isomorphism `(v, t) ↦ [[M^t, v], [0, 1]]` is verified by the tests.
+#[derive(Clone, Debug)]
+pub struct Section6MatrixGroup {
+    /// `k + 1`.
+    pub dim: usize,
+    /// The type-(a) action block `M` (k × k).
+    pub action: Gf2Mat,
+}
+
+impl Section6MatrixGroup {
+    pub fn new(action: Gf2Mat) -> Self {
+        assert!(action.n + 1 <= 64, "dimension limit");
+        assert!(action.inverse().is_some(), "type-(a) block must be invertible");
+        Section6MatrixGroup {
+            dim: action.n + 1,
+            action,
+        }
+    }
+
+    /// The type-(a) generator `[[M, 0], [0, 1]]`.
+    pub fn type_a(&self) -> Gf2Mat {
+        let k = self.dim - 1;
+        // Block rows of M occupy bits 0..k; bit k (the last column) stays 0.
+        let mut rows: Vec<u64> = (0..k).map(|i| self.action.row(i)).collect();
+        rows.push(1 << k);
+        Gf2Mat::from_rows(&rows)
+    }
+
+    /// The type-(b) translation by `e_i`: identity plus last-column bit `i`.
+    pub fn type_b(&self, i: usize) -> Gf2Mat {
+        assert!(i < self.dim - 1);
+        let mut m = Gf2Mat::identity(self.dim);
+        m.set(i, self.dim - 1, true);
+        m
+    }
+
+    /// The isomorphism `(v, t) ↦ [[M^t, v], [0, 1]]` from the abstract
+    /// semidirect-product form.
+    pub fn embed(&self, v: u64, t: u64) -> Gf2Mat {
+        let k = self.dim - 1;
+        let block = self.action.pow(t);
+        let mut rows: Vec<u64> = Vec::with_capacity(self.dim);
+        for i in 0..k {
+            let mut row = block.row(i);
+            if (v >> i) & 1 == 1 {
+                row |= 1 << k;
+            }
+            rows.push(row);
+        }
+        rows.push(1 << k);
+        Gf2Mat::from_rows(&rows)
+    }
+}
+
+impl Group for Section6MatrixGroup {
+    type Elem = Gf2Mat;
+
+    fn identity(&self) -> Gf2Mat {
+        Gf2Mat::identity(self.dim)
+    }
+
+    fn multiply(&self, a: &Gf2Mat, b: &Gf2Mat) -> Gf2Mat {
+        a.mul(b)
+    }
+
+    fn inverse(&self, a: &Gf2Mat) -> Gf2Mat {
+        a.inverse().expect("group element must be invertible")
+    }
+
+    fn generators(&self) -> Vec<Gf2Mat> {
+        let mut gens = vec![self.type_a()];
+        for i in 0..self.dim - 1 {
+            gens.push(self.type_b(i));
+        }
+        gens
+    }
+
+    fn is_identity(&self, a: &Gf2Mat) -> bool {
+        a.is_identity()
+    }
+
+    fn exponent_hint(&self) -> Option<u64> {
+        // exponent divides 2 · ord(M) (as for the abstract semidirect form)
+        self.action.order(1 << 20).map(|o| 2 * o)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::closure::enumerate_subgroup;
+
+    #[test]
+    fn gfp_identity_and_mul() {
+        let id = MatGFp::identity(3, 5);
+        let a = MatGFp::from_rows(5, &[&[1, 2, 0], &[0, 1, 3], &[0, 0, 1]]);
+        assert_eq!(id.mul(&a), a);
+        assert_eq!(a.mul(&id), a);
+        assert!(id.is_identity());
+    }
+
+    #[test]
+    fn gfp_inverse_roundtrip() {
+        let a = MatGFp::from_rows(7, &[&[2, 3], &[1, 4]]);
+        let inv = a.inverse().unwrap();
+        assert!(a.mul(&inv).is_identity());
+        assert!(inv.mul(&a).is_identity());
+    }
+
+    #[test]
+    fn gfp_singular_has_no_inverse() {
+        let a = MatGFp::from_rows(5, &[&[1, 2], &[2, 4]]);
+        assert!(a.inverse().is_none());
+    }
+
+    #[test]
+    fn gl2_3_order_via_enumeration() {
+        // GL(2,3) has order (9-1)(9-3) = 48. The two transvections generate
+        // SL(2,3); the swap (det = -1) extends to all determinants.
+        let g = MatGroupGFp::new(
+            2,
+            3,
+            vec![
+                MatGFp::from_rows(3, &[&[1, 1], &[0, 1]]),
+                MatGFp::from_rows(3, &[&[1, 0], &[1, 1]]),
+                MatGFp::from_rows(3, &[&[0, 1], &[1, 0]]),
+            ],
+        );
+        let all = enumerate_subgroup(&g, &g.gens, 100).unwrap();
+        assert_eq!(all.len(), 48);
+        assert_eq!(MatGroupGFp::gl_order(2, 3), Some(48));
+    }
+
+    #[test]
+    fn gl_order_formula() {
+        assert_eq!(MatGroupGFp::gl_order(1, 5), Some(4));
+        assert_eq!(MatGroupGFp::gl_order(2, 2), Some(6));
+        assert_eq!(MatGroupGFp::gl_order(3, 2), Some(168));
+    }
+
+    #[test]
+    fn gfp_apply_vector() {
+        let a = MatGFp::from_rows(5, &[&[0, 1], &[1, 0]]);
+        assert_eq!(a.apply(&[2, 3]), vec![3, 2]);
+    }
+
+    #[test]
+    fn gf2_mul_matches_apply() {
+        let a = Gf2Mat::from_rows(&[0b011, 0b110, 0b101]);
+        let b = Gf2Mat::from_rows(&[0b111, 0b001, 0b010]);
+        let ab = a.mul(&b);
+        for v in 0..8u64 {
+            assert_eq!(ab.apply(v), a.apply(b.apply(v)), "v={v}");
+        }
+    }
+
+    #[test]
+    fn gf2_inverse_roundtrip() {
+        let a = Gf2Mat::from_rows(&[0b011, 0b110, 0b100]);
+        let inv = a.inverse().expect("invertible");
+        assert!(a.mul(&inv).is_identity());
+        let singular = Gf2Mat::from_rows(&[0b011, 0b011, 0b100]);
+        assert!(singular.inverse().is_none());
+    }
+
+    #[test]
+    fn gf2_pow_and_order() {
+        let swap = Gf2Mat::swap_halves(3);
+        assert_eq!(swap.order(10), Some(2));
+        assert!(swap.pow(2).is_identity());
+        assert_eq!(swap.pow(3), swap);
+    }
+
+    #[test]
+    fn swap_halves_action() {
+        let swap = Gf2Mat::swap_halves(2);
+        // (v1, v2) in Z2^2 x Z2^2: bits 0..2 and 2..4 swap
+        assert_eq!(swap.apply(0b0011), 0b1100);
+        assert_eq!(swap.apply(0b0110), 0b1001);
+    }
+
+    #[test]
+    fn companion_matrix_of_primitive_polynomial_has_large_order() {
+        // x^4 + x + 1 is primitive over GF(2): companion order 15.
+        let c = Gf2Mat::companion(4, 0b0011);
+        assert_eq!(c.order(100), Some(15));
+        // x^3 + x + 1 primitive: order 7.
+        let c = Gf2Mat::companion(3, 0b011);
+        assert_eq!(c.order(100), Some(7));
+    }
+
+    #[test]
+    fn gf2_full_width_64() {
+        let id = Gf2Mat::identity(64);
+        assert!(id.is_identity());
+        assert_eq!(id.apply(u64::MAX), u64::MAX);
+    }
+
+    #[test]
+    fn section6_group_order_matches_semidirect() {
+        // k = 3, M = companion of x^3+x+1 (order 7): |G| = 2^3 · 7 = 56.
+        let g = Section6MatrixGroup::new(Gf2Mat::companion(3, 0b011));
+        let all = enumerate_subgroup(&g, &g.generators(), 100).unwrap();
+        assert_eq!(all.len(), 56);
+    }
+
+    #[test]
+    fn section6_embed_is_isomorphism() {
+        use crate::semidirect::Semidirect;
+        let action = Gf2Mat::companion(3, 0b011);
+        let mat = Section6MatrixGroup::new(action);
+        let abs = Semidirect::new(3, 7, action);
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        for _ in 0..100 {
+            let x = (rng.gen_range(0..8u64), rng.gen_range(0..7u64));
+            let y = (rng.gen_range(0..8u64), rng.gen_range(0..7u64));
+            let xy = abs.multiply(&x, &y);
+            // φ(x·y) = φ(x)·φ(y)
+            let lhs = mat.embed(xy.0, xy.1);
+            let rhs = mat.multiply(&mat.embed(x.0, x.1), &mat.embed(y.0, y.1));
+            assert_eq!(lhs, rhs, "homomorphism fails at {x:?},{y:?}");
+        }
+        // injective on a full sweep
+        let mut seen = std::collections::HashSet::new();
+        for v in 0..8u64 {
+            for t in 0..7u64 {
+                assert!(seen.insert(mat.embed(v, t)), "embed not injective");
+            }
+        }
+    }
+
+    #[test]
+    fn section6_generators_match_paper_shapes() {
+        let g = Section6MatrixGroup::new(Gf2Mat::companion(4, 0b0011));
+        let a = g.type_a();
+        // last row and column of type (a) are those of the identity
+        assert_eq!(a.row(4), 1 << 4);
+        for i in 0..4 {
+            assert!(!a.get(i, 4));
+        }
+        // type (b): identity + last-column entry
+        let b = g.type_b(2);
+        assert!(b.get(2, 4));
+        assert!(b.mul(&b).is_identity(), "translations are involutions");
+    }
+}

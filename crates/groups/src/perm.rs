@@ -1,0 +1,336 @@
+//! Permutations and permutation groups.
+//!
+//! Permutation groups are the paper's flagship example of groups with
+//! polynomially bounded `ν(G)` (Theorem 8 finds hidden normal subgroups of
+//! permutation groups in polynomial time).
+
+use crate::group::Group;
+use nahsp_numtheory::lcm;
+
+/// A permutation of `{0, …, n−1}`, stored as its image table.
+///
+/// Composition acts on the left: `(a * b)(x) = a(b(x))`.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Perm {
+    images: Box<[u32]>,
+}
+
+impl std::fmt::Debug for Perm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Perm{:?}", self.cycles())
+    }
+}
+
+impl Perm {
+    /// Identity on `n` points.
+    pub fn identity(n: usize) -> Self {
+        Perm {
+            images: (0..n as u32).collect(),
+        }
+    }
+
+    /// From an image table; validates bijectivity.
+    pub fn from_images(images: Vec<u32>) -> Self {
+        let n = images.len();
+        let mut seen = vec![false; n];
+        for &i in &images {
+            assert!((i as usize) < n, "image out of range");
+            assert!(!seen[i as usize], "not a bijection");
+            seen[i as usize] = true;
+        }
+        Perm {
+            images: images.into_boxed_slice(),
+        }
+    }
+
+    /// From disjoint (or not) cycles over `{0..n-1}`; cycles applied
+    /// left-to-right.
+    pub fn from_cycles(n: usize, cycles: &[&[u32]]) -> Self {
+        let mut p = Perm::identity(n);
+        for cyc in cycles {
+            let mut q = Perm::identity(n);
+            if cyc.len() >= 2 {
+                for w in cyc.windows(2) {
+                    q.images[w[0] as usize] = w[1];
+                }
+                q.images[cyc[cyc.len() - 1] as usize] = cyc[0];
+            }
+            p = &p * &q;
+        }
+        p
+    }
+
+    /// Number of points.
+    #[inline]
+    pub fn degree(&self) -> usize {
+        self.images.len()
+    }
+
+    /// Image of a point.
+    #[inline]
+    pub fn apply(&self, x: u32) -> u32 {
+        self.images[x as usize]
+    }
+
+    #[inline]
+    pub fn images(&self) -> &[u32] {
+        &self.images
+    }
+
+    /// Inverse permutation.
+    pub fn inverse(&self) -> Perm {
+        let mut inv = vec![0u32; self.images.len()];
+        for (x, &y) in self.images.iter().enumerate() {
+            inv[y as usize] = x as u32;
+        }
+        Perm {
+            images: inv.into_boxed_slice(),
+        }
+    }
+
+    pub fn is_identity(&self) -> bool {
+        self.images.iter().enumerate().all(|(i, &y)| i as u32 == y)
+    }
+
+    /// Disjoint cycle decomposition (nontrivial cycles only, each rotated to
+    /// start at its minimum, sorted by that minimum — a canonical form).
+    pub fn cycles(&self) -> Vec<Vec<u32>> {
+        let n = self.degree();
+        let mut seen = vec![false; n];
+        let mut out = Vec::new();
+        for start in 0..n {
+            if seen[start] || self.images[start] as usize == start {
+                continue;
+            }
+            let mut cyc = Vec::new();
+            let mut x = start;
+            while !seen[x] {
+                seen[x] = true;
+                cyc.push(x as u32);
+                x = self.images[x] as usize;
+            }
+            out.push(cyc);
+        }
+        out
+    }
+
+    /// Order = lcm of cycle lengths.
+    pub fn order(&self) -> u64 {
+        self.cycles()
+            .iter()
+            .map(|c| c.len() as u64)
+            .fold(1u64, lcm)
+    }
+
+    /// Points moved by the permutation.
+    pub fn support(&self) -> Vec<u32> {
+        self.images
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &y)| if i as u32 != y { Some(i as u32) } else { None })
+            .collect()
+    }
+}
+
+impl std::ops::Mul for &Perm {
+    type Output = Perm;
+    fn mul(self, rhs: &Perm) -> Perm {
+        assert_eq!(self.degree(), rhs.degree(), "degree mismatch");
+        let images: Vec<u32> = rhs.images.iter().map(|&x| self.images[x as usize]).collect();
+        Perm {
+            images: images.into_boxed_slice(),
+        }
+    }
+}
+
+/// A permutation group on `n` points given by generators.
+#[derive(Clone, Debug)]
+pub struct PermGroup {
+    pub degree: usize,
+    pub gens: Vec<Perm>,
+}
+
+impl PermGroup {
+    pub fn new(degree: usize, gens: Vec<Perm>) -> Self {
+        for g in &gens {
+            assert_eq!(g.degree(), degree, "generator degree mismatch");
+        }
+        PermGroup { degree, gens }
+    }
+
+    /// The symmetric group `S_n` (transposition + n-cycle).
+    pub fn symmetric(n: usize) -> Self {
+        assert!(n >= 1);
+        if n == 1 {
+            return PermGroup::new(1, vec![]);
+        }
+        let t = Perm::from_cycles(n, &[&[0, 1]]);
+        let c: Vec<u32> = (0..n as u32).collect();
+        let cyc = Perm::from_cycles(n, &[&c]);
+        PermGroup::new(n, vec![t, cyc])
+    }
+
+    /// The alternating group `A_n` (two 3-cycle-ish generators).
+    pub fn alternating(n: usize) -> Self {
+        assert!(n >= 3);
+        let a = Perm::from_cycles(n, &[&[0, 1, 2]]);
+        let b = if n % 2 == 1 {
+            let c: Vec<u32> = (0..n as u32).collect();
+            Perm::from_cycles(n, &[&c])
+        } else {
+            let c: Vec<u32> = (1..n as u32).collect();
+            Perm::from_cycles(n, &[&c])
+        };
+        PermGroup::new(n, vec![a, b])
+    }
+
+    /// Cyclic group generated by an `n`-cycle on `n` points.
+    pub fn cyclic(n: usize) -> Self {
+        let c: Vec<u32> = (0..n as u32).collect();
+        PermGroup::new(n, vec![Perm::from_cycles(n, &[&c])])
+    }
+
+    /// Dihedral group of order `2n` acting on `n` points.
+    pub fn dihedral(n: usize) -> Self {
+        assert!(n >= 3);
+        let c: Vec<u32> = (0..n as u32).collect();
+        let rot = Perm::from_cycles(n, &[&c]);
+        let refl =
+            Perm::from_images((0..n as u32).map(|i| (n as u32 - i) % n as u32).collect());
+        PermGroup::new(n, vec![rot, refl])
+    }
+}
+
+impl Group for PermGroup {
+    type Elem = Perm;
+
+    fn identity(&self) -> Perm {
+        Perm::identity(self.degree)
+    }
+
+    fn multiply(&self, a: &Perm, b: &Perm) -> Perm {
+        a * b
+    }
+
+    fn inverse(&self, a: &Perm) -> Perm {
+        a.inverse()
+    }
+
+    fn generators(&self) -> Vec<Perm> {
+        self.gens.clone()
+    }
+
+    fn is_identity(&self, a: &Perm) -> bool {
+        a.is_identity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_and_inverse() {
+        let p = Perm::from_cycles(5, &[&[0, 1, 2]]);
+        assert!((&p * &p.inverse()).is_identity());
+        assert!(!p.is_identity());
+        assert!(Perm::identity(5).is_identity());
+    }
+
+    #[test]
+    fn composition_acts_left() {
+        // a = (0 1), b = (1 2): (a*b)(x) = a(b(x)). b(1)=2, a(2)=2 → (a*b)(1)=2.
+        let a = Perm::from_cycles(3, &[&[0, 1]]);
+        let b = Perm::from_cycles(3, &[&[1, 2]]);
+        let ab = &a * &b;
+        assert_eq!(ab.apply(1), 2);
+        assert_eq!(ab.apply(0), 1);
+        assert_eq!(ab.apply(2), 0);
+    }
+
+    #[test]
+    fn from_cycles_multi() {
+        let p = Perm::from_cycles(6, &[&[0, 1], &[2, 3, 4]]);
+        assert_eq!(p.apply(0), 1);
+        assert_eq!(p.apply(1), 0);
+        assert_eq!(p.apply(2), 3);
+        assert_eq!(p.apply(4), 2);
+        assert_eq!(p.apply(5), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a bijection")]
+    fn rejects_non_bijection() {
+        Perm::from_images(vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn cycle_decomposition_canonical() {
+        let p = Perm::from_cycles(6, &[&[4, 2, 3], &[1, 0]]);
+        let cs = p.cycles();
+        assert_eq!(cs.len(), 2);
+        assert_eq!(cs[0], vec![0, 1]);
+        assert_eq!(cs[1][0], 2); // rotated to minimum start
+    }
+
+    #[test]
+    fn order_via_cycles() {
+        let p = Perm::from_cycles(7, &[&[0, 1], &[2, 3, 4]]);
+        assert_eq!(p.order(), 6);
+        assert_eq!(Perm::identity(4).order(), 1);
+        let q = Perm::from_cycles(7, &[&[0, 1, 2, 3, 4, 5, 6]]);
+        assert_eq!(q.order(), 7);
+    }
+
+    #[test]
+    fn support_lists_moved_points() {
+        let p = Perm::from_cycles(5, &[&[1, 3]]);
+        assert_eq!(p.support(), vec![1, 3]);
+    }
+
+    #[test]
+    fn symmetric_group_order_via_enumeration() {
+        use crate::closure::enumerate_subgroup;
+        for n in 1..=5usize {
+            let g = PermGroup::symmetric(n);
+            let all = enumerate_subgroup(&g, &g.generators(), 1000).unwrap();
+            let fact: usize = (1..=n).product();
+            assert_eq!(all.len(), fact, "S_{n}");
+        }
+    }
+
+    #[test]
+    fn alternating_group_order() {
+        use crate::closure::enumerate_subgroup;
+        for n in 3..=6usize {
+            let g = PermGroup::alternating(n);
+            let all = enumerate_subgroup(&g, &g.generators(), 100_000).unwrap();
+            let fact: usize = (1..=n).product();
+            assert_eq!(all.len(), fact / 2, "A_{n}");
+            // all elements are even: squares of cycles etc. — spot-check identity present
+            assert!(all.iter().any(|p| p.is_identity()));
+        }
+    }
+
+    #[test]
+    fn dihedral_perm_group() {
+        use crate::closure::enumerate_subgroup;
+        let g = PermGroup::dihedral(6);
+        let all = enumerate_subgroup(&g, &g.generators(), 100).unwrap();
+        assert_eq!(all.len(), 12);
+    }
+
+    #[test]
+    fn group_trait_axioms_on_s4() {
+        let g = PermGroup::symmetric(4);
+        let a = Perm::from_cycles(4, &[&[0, 1, 2]]);
+        let b = Perm::from_cycles(4, &[&[2, 3]]);
+        // associativity spot check
+        let left = g.multiply(&g.multiply(&a, &b), &a);
+        let right = g.multiply(&a, &g.multiply(&b, &a));
+        assert_eq!(left, right);
+        // pow matches repeated multiplication
+        assert_eq!(g.pow(&a, 3), g.identity());
+        assert!(g.commute(&a, &a));
+    }
+}

@@ -1,0 +1,151 @@
+//! Random elements of black-box groups.
+//!
+//! The Beals–Babai algorithms (and the normal-closure algorithm of
+//! Babai–Cooperman–Finkelstein–Luks–Seress the paper cites as \[1\]) consume
+//! nearly-uniform random elements produced from generators alone. We provide
+//! the two standard constructions: *random subproducts* and the
+//! *product-replacement* (rattle) generator.
+
+use crate::group::Group;
+use rand::Rng;
+
+/// A random subproduct `g_1^{ε₁} g_2^{ε₂} ⋯ g_k^{ε_k}` with independent
+/// `ε_i ∈ {0, 1}`. For any proper subgroup, a random subproduct escapes it
+/// with probability ≥ 1/2 — the workhorse bound behind Monte Carlo normal
+/// closure.
+pub fn random_subproduct<G: Group>(group: &G, gens: &[G::Elem], rng: &mut impl Rng) -> G::Elem {
+    let mut acc = group.identity();
+    for g in gens {
+        if rng.gen::<bool>() {
+            acc = group.multiply(&acc, g);
+        }
+    }
+    acc
+}
+
+/// Product-replacement random element generator ("rattle"): a slot array
+/// seeded with the generators, mixed by random slot multiplications, with an
+/// accumulator returned per draw. After the burn-in the outputs are close to
+/// uniform for the groups used here.
+pub struct ProductReplacement<G: Group> {
+    group: G,
+    slots: Vec<G::Elem>,
+    accumulator: G::Elem,
+}
+
+impl<G: Group> ProductReplacement<G> {
+    /// `burn_in` mixing steps are performed immediately (50–100 is the
+    /// customary range; we default callers to 60).
+    pub fn new(group: G, gens: &[G::Elem], burn_in: usize, rng: &mut impl Rng) -> Self {
+        assert!(!gens.is_empty(), "need at least one generator");
+        let mut slots: Vec<G::Elem> = Vec::with_capacity(10.max(gens.len()));
+        while slots.len() < 10.max(gens.len()) {
+            slots.push(gens[slots.len() % gens.len()].clone());
+        }
+        let accumulator = group.identity();
+        let mut pr = ProductReplacement {
+            group,
+            slots,
+            accumulator,
+        };
+        for _ in 0..burn_in {
+            pr.step(rng);
+        }
+        pr
+    }
+
+    fn step(&mut self, rng: &mut impl Rng) {
+        let n = self.slots.len();
+        let i = rng.gen_range(0..n);
+        let mut j = rng.gen_range(0..n - 1);
+        if j >= i {
+            j += 1;
+        }
+        let rhs = if rng.gen::<bool>() {
+            self.slots[j].clone()
+        } else {
+            self.group.inverse(&self.slots[j])
+        };
+        self.slots[i] = if rng.gen::<bool>() {
+            self.group.multiply(&self.slots[i], &rhs)
+        } else {
+            self.group.multiply(&rhs, &self.slots[i])
+        };
+        self.accumulator = self.group.multiply(&self.accumulator, &self.slots[i]);
+    }
+
+    /// Draw a pseudo-random group element.
+    pub fn next(&mut self, rng: &mut impl Rng) -> G::Elem {
+        self.step(rng);
+        self.accumulator.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::closure::enumerate_subgroup;
+    use crate::perm::PermGroup;
+    use rand::SeedableRng;
+    use std::collections::HashMap;
+
+    #[test]
+    fn subproducts_stay_in_group() {
+        let g = PermGroup::symmetric(5);
+        let chain = crate::stabchain::StabilizerChain::new(5, &g.gens);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let x = random_subproduct(&g, &g.gens, &mut rng);
+            assert!(chain.contains(&x));
+        }
+    }
+
+    #[test]
+    fn subproducts_escape_proper_subgroups() {
+        // With 200 draws, pr(stay in any fixed proper subgroup) ≤ 2^{-200}.
+        let g = PermGroup::symmetric(4);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let a4: std::collections::HashSet<_> =
+            enumerate_subgroup(&PermGroup::alternating(4), &PermGroup::alternating(4).gens, 100)
+                .unwrap()
+                .into_iter()
+                .collect();
+        let escaped = (0..200).any(|_| {
+            let x = random_subproduct(&g, &g.gens, &mut rng);
+            !a4.contains(&x)
+        });
+        assert!(escaped, "no subproduct escaped A4");
+    }
+
+    #[test]
+    fn product_replacement_covers_group() {
+        let g = PermGroup::symmetric(4);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut pr = ProductReplacement::new(g.clone(), &g.gens, 60, &mut rng);
+        let mut counts: HashMap<_, usize> = HashMap::new();
+        let draws = 2400;
+        for _ in 0..draws {
+            *counts.entry(pr.next(&mut rng)).or_default() += 1;
+        }
+        // All 24 elements should appear, roughly uniformly.
+        assert_eq!(counts.len(), 24, "did not cover S4");
+        let expected = draws / 24;
+        for (_, &c) in counts.iter() {
+            assert!(
+                c > expected / 4 && c < expected * 4,
+                "count {c} far from uniform {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn product_replacement_elements_valid() {
+        let g = PermGroup::alternating(5);
+        let chain = crate::stabchain::StabilizerChain::new(5, &g.gens);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let mut pr = ProductReplacement::new(g.clone(), &g.gens, 80, &mut rng);
+        for _ in 0..100 {
+            assert!(chain.contains(&pr.next(&mut rng)));
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Non-unique encodings by salting — the paper's encoding model in its
+//! purest form.
+//!
+//! Section 2: "the encoding of group elements need not be unique, a single
+//! group element may be represented by several strings. If the encoding is
+//! not unique, one also needs an oracle for identity tests." This wrapper
+//! turns *any* group into one with `2^salt_bits` encodings per element:
+//! every oracle operation returns a freshly salted encoding, `==` on
+//! encodings is useless by design, and only [`Group::is_identity`] /
+//! [`Group::eq_elem`] / [`Group::canonical`] see through the salt — exactly
+//! the discipline the paper's black-box model enforces. Algorithms that
+//! accidentally compare raw encodings fail loudly on salted groups, which
+//! is what the tests use it for.
+
+use crate::group::Group;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A group whose elements carry a non-semantic salt tag.
+#[derive(Clone)]
+pub struct SaltedGroup<G: Group> {
+    inner: G,
+    salt_mask: u64,
+    counter: Arc<AtomicU64>,
+}
+
+impl<G: Group> SaltedGroup<G> {
+    /// Wrap `inner` with `2^salt_bits` encodings per element
+    /// (`1 <= salt_bits <= 32`).
+    pub fn new(inner: G, salt_bits: u32) -> Self {
+        assert!((1..=32).contains(&salt_bits));
+        SaltedGroup {
+            inner,
+            salt_mask: (1u64 << salt_bits) - 1,
+            counter: Arc::new(AtomicU64::new(0x9e3779b97f4a7c15)),
+        }
+    }
+
+    pub fn inner(&self) -> &G {
+        &self.inner
+    }
+
+    /// A deterministic-but-scrambled fresh salt (splitmix64 step), so runs
+    /// are reproducible while salts look adversarially arbitrary.
+    fn next_salt(&self) -> u64 {
+        let mut z = self.counter.fetch_add(0x9e3779b97f4a7c15, Ordering::Relaxed);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        (z ^ (z >> 31)) & self.salt_mask
+    }
+
+    /// Encode a bare inner element with a fresh salt.
+    pub fn encode(&self, e: G::Elem) -> (G::Elem, u64) {
+        (e, self.next_salt())
+    }
+}
+
+impl<G: Group> Group for SaltedGroup<G> {
+    /// `(element, salt)` — the salt carries no information.
+    type Elem = (G::Elem, u64);
+
+    fn identity(&self) -> Self::Elem {
+        // even the identity comes back differently salted each time
+        (self.inner.identity(), self.next_salt())
+    }
+
+    fn multiply(&self, a: &Self::Elem, b: &Self::Elem) -> Self::Elem {
+        (self.inner.multiply(&a.0, &b.0), self.next_salt())
+    }
+
+    fn inverse(&self, a: &Self::Elem) -> Self::Elem {
+        (self.inner.inverse(&a.0), self.next_salt())
+    }
+
+    fn generators(&self) -> Vec<Self::Elem> {
+        self.inner
+            .generators()
+            .into_iter()
+            .map(|g| (g, self.next_salt()))
+            .collect()
+    }
+
+    /// The identity-test oracle ignores salt.
+    fn is_identity(&self, a: &Self::Elem) -> bool {
+        self.inner.is_identity(&a.0)
+    }
+
+    /// Canonical form: inner canonical with salt zeroed.
+    fn canonical(&self, a: &Self::Elem) -> Self::Elem {
+        (self.inner.canonical(&a.0), 0)
+    }
+
+    fn order_hint(&self) -> Option<u64> {
+        self.inner.order_hint()
+    }
+
+    fn exponent_hint(&self) -> Option<u64> {
+        self.inner.exponent_hint()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::closure::enumerate_subgroup;
+    use crate::perm::PermGroup;
+    use crate::CyclicGroup;
+
+    #[test]
+    fn raw_equality_is_useless_by_design() {
+        let g = SaltedGroup::new(CyclicGroup::new(6), 8);
+        let a = g.identity();
+        let b = g.identity();
+        assert_ne!(a, b, "salts should differ between calls");
+        assert!(g.eq_elem(&a, &b), "identity test must see through salt");
+        assert_eq!(g.canonical(&a), g.canonical(&b));
+    }
+
+    #[test]
+    fn enumeration_counts_elements_not_encodings() {
+        let g = SaltedGroup::new(PermGroup::symmetric(4), 10);
+        let all = enumerate_subgroup(&g, &g.generators(), 1000).unwrap();
+        assert_eq!(all.len(), 24, "24 elements despite 2^10 encodings each");
+    }
+
+    #[test]
+    fn group_axioms_hold_modulo_salt() {
+        let g = SaltedGroup::new(CyclicGroup::new(10), 4);
+        let gens = g.generators();
+        let x = &gens[0];
+        let xi = g.inverse(x);
+        assert!(g.is_identity(&g.multiply(x, &xi)));
+        let x5a = g.pow(x, 5);
+        let x5b = g.pow(x, 5);
+        assert_ne!(x5a, x5b);
+        assert!(g.eq_elem(&x5a, &x5b));
+    }
+
+    #[test]
+    fn order_computation_unaffected() {
+        use crate::closure::element_order_brute;
+        let g = SaltedGroup::new(CyclicGroup::new(12), 6);
+        let (two, _) = (2u64, ());
+        let elem = g.encode(two);
+        assert_eq!(element_order_brute(&g, &elem, 100), Some(6));
+    }
+
+    #[test]
+    fn commutator_machinery_unaffected() {
+        use crate::closure::commutator_subgroup;
+        let g = SaltedGroup::new(PermGroup::symmetric(3), 5);
+        let comm = commutator_subgroup(&g, 100).unwrap();
+        assert_eq!(comm.len(), 3, "A3 recovered through salted encodings");
+    }
+}

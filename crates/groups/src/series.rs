@@ -1,0 +1,202 @@
+//! Composition-style series for solvable enumerable groups.
+//!
+//! Beals–Babai task (iv) asks for a composition series with *nice*
+//! representations of the factors; for solvable groups every composition
+//! factor is `Z_p`. This module refines the derived series of an enumerable
+//! solvable group into a **polycyclic series** — a chain
+//! `G = G_0 ▷ G_1 ▷ … ▷ G_t = 1` where every factor `G_i / G_{i+1}` is
+//! cyclic of prime order — which is exactly the "second kind" of nice
+//! representation the paper describes for solvable groups after Theorem 4.
+
+use crate::closure::{derived_series, enumerate_subgroup};
+use crate::group::Group;
+use nahsp_numtheory::factor;
+use std::collections::HashSet;
+
+/// A polycyclic series: subgroups as enumerated canonical-element lists
+/// (largest first, trivial last), with the prime order of each factor.
+#[derive(Clone, Debug)]
+pub struct PolycyclicSeries<E> {
+    /// `subgroups[0] = G`, …, `subgroups[t] = {1}`.
+    pub subgroups: Vec<Vec<E>>,
+    /// `factor_primes[i] = |subgroups[i]| / |subgroups[i+1]|` (prime).
+    pub factor_primes: Vec<u64>,
+}
+
+impl<E> PolycyclicSeries<E> {
+    pub fn length(&self) -> usize {
+        self.factor_primes.len()
+    }
+
+    /// The group order — product of the factor primes.
+    pub fn order(&self) -> u64 {
+        self.factor_primes.iter().product()
+    }
+}
+
+/// Build a polycyclic series for a solvable enumerable group.
+///
+/// Returns `None` if the group exceeds `limit` or is not solvable (the
+/// derived series stalls above the identity).
+pub fn polycyclic_series<G: Group>(
+    group: &G,
+    limit: usize,
+) -> Option<PolycyclicSeries<G::Elem>> {
+    let derived = derived_series(group, limit)?;
+    let mut subgroups: Vec<Vec<G::Elem>> = Vec::new();
+    let mut factor_primes: Vec<u64> = Vec::new();
+
+    // Refine each Abelian slice A ⊵ B into prime steps.
+    for w in derived.windows(2) {
+        let (upper, lower) = (&w[0], &w[1]);
+        let mut chain = refine_abelian_slice(group, upper, lower, limit)?;
+        // chain runs upper = C_0 ⊃ C_1 ⊃ … ⊃ C_s = lower
+        for pair in chain.windows(2) {
+            let p = (pair[0].len() / pair[1].len()) as u64;
+            debug_assert!(nahsp_numtheory::is_prime(p), "non-prime factor {p}");
+            factor_primes.push(p);
+        }
+        chain.pop(); // the slice's bottom equals the next slice's top
+        subgroups.append(&mut chain);
+    }
+    subgroups.push(derived.last()?.clone());
+    Some(PolycyclicSeries {
+        subgroups,
+        factor_primes,
+    })
+}
+
+/// Refine `upper ⊵ lower` (Abelian factor) into a chain with prime-order
+/// steps: repeatedly adjoin to the bottom an element whose image in the
+/// factor has prime order.
+fn refine_abelian_slice<G: Group>(
+    group: &G,
+    upper: &[G::Elem],
+    lower: &[G::Elem],
+    limit: usize,
+) -> Option<Vec<Vec<G::Elem>>> {
+    let mut chain_rev: Vec<Vec<G::Elem>> = vec![lower.to_vec()];
+    let mut current: Vec<G::Elem> = lower.to_vec();
+    let mut guard = 0usize;
+    while current.len() < upper.len() {
+        guard += 1;
+        if guard > 64 {
+            return None;
+        }
+        let current_set: HashSet<G::Elem> =
+            current.iter().map(|e| group.canonical(e)).collect();
+        // pick x in upper \ current
+        let x = upper
+            .iter()
+            .find(|e| !current_set.contains(&group.canonical(e)))?
+            .clone();
+        // order of x modulo `current`: smallest k with x^k ∈ current
+        let mut k = 1u64;
+        let mut cur = x.clone();
+        while !current_set.contains(&group.canonical(&cur)) {
+            cur = group.multiply(&cur, &x);
+            k += 1;
+            if k as usize > upper.len() + 1 {
+                return None;
+            }
+        }
+        // adjoin x^{k/p} for the largest proper prime divisor step: to get a
+        // prime-order image, use y = x^{k/p} whose image has order exactly p.
+        let (p, _) = *factor(k).first()?;
+        let y = group.pow(&x, k / p);
+        let mut gens = current.clone();
+        gens.push(y);
+        let next = enumerate_subgroup(group, &gens, limit)?;
+        debug_assert_eq!(next.len(), current.len() * p as usize);
+        chain_rev.push(next.clone());
+        current = next;
+    }
+    chain_rev.reverse();
+    Some(chain_rev)
+}
+
+/// The multiset of composition-factor orders of a solvable enumerable group
+/// (all prime), sorted ascending. `None` for non-solvable or too-large
+/// groups.
+pub fn solvable_composition_factors<G: Group>(group: &G, limit: usize) -> Option<Vec<u64>> {
+    let series = polycyclic_series(group, limit)?;
+    let mut ps = series.factor_primes;
+    ps.sort_unstable();
+    Some(ps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dihedral::Dihedral;
+    use crate::extraspecial::Extraspecial;
+    use crate::perm::PermGroup;
+    use crate::semidirect::Semidirect;
+
+    #[test]
+    fn s4_composition_factors() {
+        let g = PermGroup::symmetric(4);
+        let fs = solvable_composition_factors(&g, 100).unwrap();
+        assert_eq!(fs, vec![2, 2, 2, 3]);
+    }
+
+    #[test]
+    fn s4_series_shape() {
+        let g = PermGroup::symmetric(4);
+        let series = polycyclic_series(&g, 100).unwrap();
+        assert_eq!(series.order(), 24);
+        assert_eq!(series.subgroups.first().unwrap().len(), 24);
+        assert_eq!(series.subgroups.last().unwrap().len(), 1);
+        // every step is a proper subgroup of the previous with prime index
+        for (w, &p) in series.subgroups.windows(2).zip(&series.factor_primes) {
+            assert_eq!(w[0].len(), w[1].len() * p as usize);
+        }
+    }
+
+    #[test]
+    fn extraspecial_27_factors() {
+        let g = Extraspecial::heisenberg(3);
+        let fs = solvable_composition_factors(&g, 1000).unwrap();
+        assert_eq!(fs, vec![3, 3, 3]);
+    }
+
+    #[test]
+    fn dihedral_factors() {
+        let g = Dihedral::new(12); // order 24 = 2^3 · 3
+        let fs = solvable_composition_factors(&g, 100).unwrap();
+        assert_eq!(fs, vec![2, 2, 2, 3]);
+    }
+
+    #[test]
+    fn semidirect_factors() {
+        let g = Semidirect::new(3, 7, crate::matgf::Gf2Mat::companion(3, 0b011));
+        let fs = solvable_composition_factors(&g, 100).unwrap();
+        assert_eq!(fs, vec![2, 2, 2, 7]);
+    }
+
+    #[test]
+    fn non_solvable_yields_none() {
+        let g = PermGroup::alternating(5);
+        assert!(solvable_composition_factors(&g, 100).is_none());
+    }
+
+    #[test]
+    fn abelian_group_series() {
+        use crate::group::AbelianProduct;
+        let g = AbelianProduct::new(vec![4, 6]);
+        let fs = solvable_composition_factors(&g, 100).unwrap();
+        assert_eq!(fs, vec![2, 2, 2, 3]);
+    }
+
+    #[test]
+    fn subgroup_chain_is_nested() {
+        let g = PermGroup::symmetric(4);
+        let series = polycyclic_series(&g, 100).unwrap();
+        for w in series.subgroups.windows(2) {
+            let upper: std::collections::HashSet<_> = w[0].iter().cloned().collect();
+            for e in &w[1] {
+                assert!(upper.contains(e), "chain not nested");
+            }
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Straight-line programs (SLPs).
+//!
+//! Section 3 of the paper: a straight-line program over a generating set is
+//! a sequence of expressions, each either a generator or a product
+//! `x_j · x_k⁻¹` of earlier expressions. SLPs are how the Beals–Babai
+//! machinery returns *constructive* membership certificates (Corollary 5(i)),
+//! and how Theorem 8 expresses the original generators modulo `N` in terms
+//! of the presentation generators.
+
+use crate::group::Group;
+
+/// One step of a straight-line program.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SlpStep {
+    /// Load generator `gens[i]`.
+    Gen(usize),
+    /// `x_j * x_k^{-1}` over earlier step results (indices into the
+    /// evaluation sequence).
+    MulInv(usize, usize),
+    /// `x_j * x_k` (convenience; expressible via MulInv but keeping it
+    /// direct halves program length).
+    Mul(usize, usize),
+    /// Inverse of an earlier result.
+    Inv(usize),
+    /// Power of an earlier result by a signed exponent (square-and-multiply
+    /// at evaluation; keeps programs for Abelian expressions short).
+    Pow(usize, i64),
+}
+
+/// A straight-line program; evaluating it yields the element of the last
+/// step.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Slp {
+    pub steps: Vec<SlpStep>,
+}
+
+impl Slp {
+    pub fn new() -> Self {
+        Slp { steps: Vec::new() }
+    }
+
+    /// Program computing a single generator.
+    pub fn generator(i: usize) -> Self {
+        Slp {
+            steps: vec![SlpStep::Gen(i)],
+        }
+    }
+
+    /// Program computing `Π gens[i]^{e_i}` for an exponent vector (the shape
+    /// produced by Abelian constructive membership, Theorem 6).
+    pub fn from_exponents(exponents: &[i64]) -> Self {
+        let mut slp = Slp::new();
+        let mut partial: Option<usize> = None;
+        for (i, &e) in exponents.iter().enumerate() {
+            if e == 0 {
+                continue;
+            }
+            let g = slp.push(SlpStep::Gen(i));
+            let p = if e == 1 { g } else { slp.push(SlpStep::Pow(g, e)) };
+            partial = Some(match partial {
+                None => p,
+                Some(prev) => slp.push(SlpStep::Mul(prev, p)),
+            });
+        }
+        if partial.is_none() {
+            // Empty product: encode identity as g0 * g0^{-1} if a generator
+            // exists; otherwise an empty program (evaluates to identity).
+            slp.steps.clear();
+        }
+        slp
+    }
+
+    /// Append a step, returning its index.
+    pub fn push(&mut self, step: SlpStep) -> usize {
+        self.steps.push(step);
+        self.steps.len() - 1
+    }
+
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Evaluate over a group with the given generator list. An empty program
+    /// evaluates to the identity.
+    pub fn evaluate<G: Group>(&self, group: &G, gens: &[G::Elem]) -> G::Elem {
+        let mut vals: Vec<G::Elem> = Vec::with_capacity(self.steps.len());
+        for step in &self.steps {
+            let v = match *step {
+                SlpStep::Gen(i) => gens[i].clone(),
+                SlpStep::MulInv(j, k) => {
+                    group.multiply(&vals[j], &group.inverse(&vals[k]))
+                }
+                SlpStep::Mul(j, k) => group.multiply(&vals[j], &vals[k]),
+                SlpStep::Inv(j) => group.inverse(&vals[j]),
+                SlpStep::Pow(j, e) => group.pow_signed(&vals[j], e),
+            };
+            vals.push(v);
+        }
+        vals.pop().unwrap_or_else(|| group.identity())
+    }
+
+    /// Validate step indices are backward references.
+    pub fn is_well_formed(&self, num_gens: usize) -> bool {
+        self.steps.iter().enumerate().all(|(i, s)| match *s {
+            SlpStep::Gen(g) => g < num_gens,
+            SlpStep::MulInv(j, k) | SlpStep::Mul(j, k) => j < i && k < i,
+            SlpStep::Inv(j) | SlpStep::Pow(j, _) => j < i,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::group::CyclicGroup;
+    use crate::perm::{Perm, PermGroup};
+
+    #[test]
+    fn empty_program_is_identity() {
+        let g = CyclicGroup::new(7);
+        let slp = Slp::new();
+        assert_eq!(slp.evaluate(&g, &[3u64]), 0);
+    }
+
+    #[test]
+    fn generator_program() {
+        let g = CyclicGroup::new(7);
+        assert_eq!(Slp::generator(0).evaluate(&g, &[3u64]), 3);
+    }
+
+    #[test]
+    fn mulinv_matches_paper_definition() {
+        let g = PermGroup::symmetric(4);
+        let a = Perm::from_cycles(4, &[&[0, 1, 2]]);
+        let b = Perm::from_cycles(4, &[&[1, 2, 3]]);
+        let mut slp = Slp::new();
+        let ia = slp.push(SlpStep::Gen(0));
+        let ib = slp.push(SlpStep::Gen(1));
+        slp.push(SlpStep::MulInv(ia, ib));
+        let got = slp.evaluate(&g, &[a.clone(), b.clone()]);
+        assert_eq!(got, g.multiply(&a, &g.inverse(&b)));
+    }
+
+    #[test]
+    fn from_exponents_computes_product_of_powers() {
+        let g = CyclicGroup::new(100);
+        // gens 3, 5; exponents 4, -2: 12 - 10 = 2
+        let slp = Slp::from_exponents(&[4, -2]);
+        assert_eq!(slp.evaluate(&g, &[3u64, 5u64]), 2);
+        assert!(slp.is_well_formed(2));
+    }
+
+    #[test]
+    fn from_exponents_all_zero() {
+        let g = CyclicGroup::new(5);
+        let slp = Slp::from_exponents(&[0, 0]);
+        assert_eq!(slp.evaluate(&g, &[1u64, 2u64]), 0);
+    }
+
+    #[test]
+    fn pow_step_square_and_multiply() {
+        let g = CyclicGroup::new(1_000_003);
+        let mut slp = Slp::new();
+        let x = slp.push(SlpStep::Gen(0));
+        slp.push(SlpStep::Pow(x, 123_456));
+        assert_eq!(slp.evaluate(&g, &[7u64]), (7 * 123_456) % 1_000_003);
+    }
+
+    #[test]
+    fn well_formedness_rejects_forward_refs() {
+        let slp = Slp {
+            steps: vec![SlpStep::Mul(0, 1), SlpStep::Gen(0)],
+        };
+        assert!(!slp.is_well_formed(1));
+        let slp = Slp {
+            steps: vec![SlpStep::Gen(2)],
+        };
+        assert!(!slp.is_well_formed(2));
+    }
+}

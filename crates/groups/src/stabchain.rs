@@ -1,0 +1,488 @@
+//! Schreier–Sims stabilizer chains for permutation groups.
+//!
+//! The chain provides the classical substrate the paper assumes for
+//! permutation groups: group order, membership testing, uniform random
+//! elements, and — crucially for building hiding functions `f` at scale —
+//! a *canonical representative of each left coset* `gH`. The hiding oracle
+//! `f(g) = canonical(gH)` is then constant exactly on left cosets, distinct
+//! across cosets, and computable in time polynomial in the degree.
+
+use crate::perm::Perm;
+use rand::Rng;
+use std::collections::HashMap;
+
+/// One level: base point, orbit of the base under the level's generators,
+/// and a transversal `u_ω` with `u_ω(base) = ω`.
+#[derive(Clone, Debug)]
+struct Level {
+    base: u32,
+    orbit: Vec<u32>,
+    transversal: HashMap<u32, Perm>,
+}
+
+/// A complete stabilizer chain (base and strong generating set), built by
+/// the deterministic Schreier–Sims algorithm.
+///
+/// Invariant (verified bottom-up during construction): for every level `l`,
+/// the strong generators fixing the first `l+1` base points generate exactly
+/// the stabilizer of those points in the full group.
+#[derive(Clone, Debug)]
+pub struct StabilizerChain {
+    degree: usize,
+    /// Global strong generating set; level `l` uses the subset fixing the
+    /// first `l` base points.
+    strong_gens: Vec<Perm>,
+    levels: Vec<Level>,
+}
+
+impl StabilizerChain {
+    pub fn new(degree: usize, gens: &[Perm]) -> Self {
+        let mut chain = StabilizerChain {
+            degree,
+            strong_gens: Vec::new(),
+            levels: Vec::new(),
+        };
+        for g in gens {
+            assert_eq!(g.degree(), degree, "generator degree mismatch");
+            if !g.is_identity() {
+                chain.install(g.clone());
+            }
+        }
+        if chain.levels.is_empty() {
+            return chain;
+        }
+        // Verify Schreier conditions bottom-up; re-descend on any change.
+        let mut i = chain.levels.len() as isize - 1;
+        while i >= 0 {
+            match chain.check_level(i as usize) {
+                Some(j) => i = j as isize,
+                None => i -= 1,
+            }
+        }
+        chain
+    }
+
+    /// Generators applicable at level `l`: strong generators fixing the
+    /// first `l` base points.
+    fn level_gens(&self, l: usize) -> Vec<Perm> {
+        self.strong_gens
+            .iter()
+            .filter(|g| self.levels[..l].iter().all(|lv| g.apply(lv.base) == lv.base))
+            .cloned()
+            .collect()
+    }
+
+    /// Add a new strong generator (must be a genuine member of the target
+    /// group). Creates a level if the element fixes every existing base,
+    /// then rebuilds every level whose generator set gained the element.
+    fn install(&mut self, g: Perm) {
+        debug_assert!(!g.is_identity());
+        // Depth = number of leading levels whose base g fixes.
+        let mut depth = 0usize;
+        while depth < self.levels.len() && g.apply(self.levels[depth].base) == self.levels[depth].base
+        {
+            depth += 1;
+        }
+        if depth == self.levels.len() {
+            let base = g.support()[0];
+            self.levels.push(Level {
+                base,
+                orbit: vec![base],
+                transversal: HashMap::from([(base, Perm::identity(self.degree))]),
+            });
+        }
+        self.strong_gens.push(g);
+        for l in 0..=depth.min(self.levels.len() - 1) {
+            self.rebuild(l);
+        }
+    }
+
+    /// Recompute orbit and transversal of level `l` from its generator set.
+    fn rebuild(&mut self, l: usize) {
+        let gens = self.level_gens(l);
+        let level = &mut self.levels[l];
+        level.orbit.clear();
+        level.transversal.clear();
+        level.orbit.push(level.base);
+        level
+            .transversal
+            .insert(level.base, Perm::identity(self.degree));
+        let mut head = 0;
+        while head < level.orbit.len() {
+            let w = level.orbit[head];
+            head += 1;
+            let uw = level.transversal[&w].clone();
+            for s in &gens {
+                let sw = s.apply(w);
+                if let std::collections::hash_map::Entry::Vacant(e) =
+                    level.transversal.entry(sw)
+                {
+                    e.insert(s * &uw);
+                    level.orbit.push(sw);
+                }
+            }
+        }
+    }
+
+    /// Verify the Schreier condition at level `i`: every Schreier generator
+    /// sifts to the identity through the deeper levels. On failure, install
+    /// the residue and report the deepest level whose structure changed
+    /// (construction then resumes there).
+    fn check_level(&mut self, i: usize) -> Option<usize> {
+        let gens = self.level_gens(i);
+        let orbit = self.levels[i].orbit.clone();
+        for &w in &orbit {
+            let uw = self.levels[i].transversal[&w].clone();
+            for s in &gens {
+                let sw = s.apply(w);
+                let usw = self.levels[i].transversal[&sw].clone();
+                let sg = &usw.inverse() * &(s * &uw);
+                if sg.is_identity() {
+                    continue;
+                }
+                if let Some((j, residue)) = self.sift_internal(i + 1, sg) {
+                    let j = j.min(self.levels.len());
+                    self.install(residue);
+                    // All levels up to j were rebuilt; resume at the deepest
+                    // level that may now violate its condition.
+                    return Some(j.min(self.levels.len() - 1));
+                }
+            }
+        }
+        None
+    }
+
+    /// Sift `g` through levels `from..`. `None` means reduced to identity;
+    /// otherwise returns the sticking level and residue.
+    fn sift_internal(&self, from: usize, mut g: Perm) -> Option<(usize, Perm)> {
+        for l in from..self.levels.len() {
+            let beta = self.levels[l].base;
+            let w = g.apply(beta);
+            match self.levels[l].transversal.get(&w) {
+                None => return Some((l, g)),
+                Some(u) => g = &u.inverse() * &g,
+            }
+        }
+        if g.is_identity() {
+            None
+        } else {
+            Some((self.levels.len(), g))
+        }
+    }
+
+    pub fn degree(&self) -> usize {
+        self.degree
+    }
+
+    /// Group order: product of orbit lengths.
+    pub fn order(&self) -> u64 {
+        self.levels.iter().map(|l| l.orbit.len() as u64).product()
+    }
+
+    /// Membership test by sifting from the top.
+    pub fn contains(&self, g: &Perm) -> bool {
+        if g.degree() != self.degree {
+            return false;
+        }
+        self.sift_internal(0, g.clone()).is_none()
+    }
+
+    /// Decompose a member into transversal factors `g = t_0 · t_1 ⋯ t_k`;
+    /// `None` for non-members. (Constructive membership at the permutation
+    /// level.)
+    pub fn factorize(&self, g: &Perm) -> Option<Vec<Perm>> {
+        let mut out = Vec::new();
+        let mut g = g.clone();
+        for l in 0..self.levels.len() {
+            let beta = self.levels[l].base;
+            let w = g.apply(beta);
+            let u = self.levels[l].transversal.get(&w)?;
+            out.push(u.clone());
+            g = &u.inverse() * &g;
+        }
+        if g.is_identity() {
+            Some(out)
+        } else {
+            None
+        }
+    }
+
+    /// Uniformly random group element: product of uniformly random
+    /// transversal representatives (exact uniformity — the decomposition is
+    /// a bijection).
+    pub fn random_element(&self, rng: &mut impl Rng) -> Perm {
+        let mut acc = Perm::identity(self.degree);
+        for l in &self.levels {
+            let w = l.orbit[rng.gen_range(0..l.orbit.len())];
+            acc = &acc * &l.transversal[&w];
+        }
+        acc
+    }
+
+    /// Enumerate all elements (only sensible for small orders).
+    pub fn elements(&self) -> Vec<Perm> {
+        let mut out = vec![Perm::identity(self.degree)];
+        for l in self.levels.iter().rev() {
+            let mut next = Vec::with_capacity(out.len() * l.orbit.len());
+            for &w in &l.orbit {
+                let u = &l.transversal[&w];
+                for e in &out {
+                    next.push(u * e);
+                }
+            }
+            out = next;
+        }
+        out
+    }
+
+    /// Canonical representative of the **left coset** `g·H` (`H` = this
+    /// chain's group): greedily minimizes the images of the base points.
+    /// Every member of `gH` maps to the same representative, members of
+    /// different cosets to different ones — exactly the property a hiding
+    /// function needs.
+    pub fn min_in_left_coset(&self, g: &Perm) -> Perm {
+        assert_eq!(g.degree(), self.degree);
+        let mut cur = g.clone();
+        for l in &self.levels {
+            let &best = l
+                .orbit
+                .iter()
+                .min_by_key(|&&w| cur.apply(w))
+                .expect("orbit never empty");
+            cur = &cur * &l.transversal[&best];
+        }
+        cur
+    }
+
+    /// The base points of the chain.
+    pub fn base(&self) -> Vec<u32> {
+        self.levels.iter().map(|l| l.base).collect()
+    }
+
+    /// The strong generating set.
+    pub fn strong_generators(&self) -> Vec<Perm> {
+        self.strong_gens.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::closure::enumerate_subgroup;
+    use crate::perm::PermGroup;
+    use rand::SeedableRng;
+
+    fn chain_of(g: &PermGroup) -> StabilizerChain {
+        StabilizerChain::new(g.degree, &g.gens)
+    }
+
+    #[test]
+    fn symmetric_group_orders() {
+        for n in 1..=8usize {
+            let g = PermGroup::symmetric(n);
+            let chain = chain_of(&g);
+            let fact: u64 = (1..=n as u64).product();
+            assert_eq!(chain.order(), fact, "S_{n}");
+        }
+    }
+
+    #[test]
+    fn alternating_group_orders() {
+        for n in 3..=8usize {
+            let g = PermGroup::alternating(n);
+            let chain = chain_of(&g);
+            let fact: u64 = (1..=n as u64).product();
+            assert_eq!(chain.order(), fact / 2, "A_{n}");
+        }
+    }
+
+    #[test]
+    fn dihedral_and_cyclic_orders() {
+        for n in 3..=12usize {
+            assert_eq!(chain_of(&PermGroup::dihedral(n)).order(), 2 * n as u64);
+            assert_eq!(chain_of(&PermGroup::cyclic(n)).order(), n as u64);
+        }
+    }
+
+    #[test]
+    fn order_matches_enumeration_on_random_subgroups() {
+        // Random 2-generated subgroups of S_6: chain order == BFS count.
+        let s6 = PermGroup::symmetric(6);
+        let big = chain_of(&s6);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        for _ in 0..20 {
+            let a = big.random_element(&mut rng);
+            let b = big.random_element(&mut rng);
+            let sub = PermGroup::new(6, vec![a, b]);
+            let chain = chain_of(&sub);
+            let brute = enumerate_subgroup(&sub, &sub.gens, 1000).unwrap();
+            assert_eq!(chain.order() as usize, brute.len());
+        }
+    }
+
+    #[test]
+    fn trivial_group() {
+        let chain = StabilizerChain::new(5, &[]);
+        assert_eq!(chain.order(), 1);
+        assert!(chain.contains(&Perm::identity(5)));
+        assert!(!chain.contains(&Perm::from_cycles(5, &[&[0, 1]])));
+        assert_eq!(chain.elements().len(), 1);
+        assert_eq!(chain.min_in_left_coset(&Perm::from_cycles(5, &[&[0, 1]])),
+                   Perm::from_cycles(5, &[&[0, 1]]));
+    }
+
+    #[test]
+    fn membership_matches_enumeration() {
+        let g = PermGroup::dihedral(6);
+        let chain = chain_of(&g);
+        let elems = enumerate_subgroup(&g, &g.gens, 1000).unwrap();
+        let all_s6 = enumerate_subgroup(
+            &PermGroup::symmetric(6),
+            &PermGroup::symmetric(6).gens,
+            1000,
+        )
+        .unwrap();
+        for p in &all_s6 {
+            assert_eq!(chain.contains(p), elems.contains(p), "{p:?}");
+        }
+    }
+
+    #[test]
+    fn factorize_reconstructs_members() {
+        let g = PermGroup::symmetric(5);
+        let chain = chain_of(&g);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        for _ in 0..50 {
+            let p = chain.random_element(&mut rng);
+            let factors = chain.factorize(&p).unwrap();
+            let mut acc = Perm::identity(5);
+            for f in &factors {
+                acc = &acc * f;
+            }
+            assert_eq!(acc, p);
+        }
+    }
+
+    #[test]
+    fn elements_enumerates_group_exactly() {
+        let g = PermGroup::dihedral(5);
+        let chain = chain_of(&g);
+        let mut elems = chain.elements();
+        elems.sort();
+        elems.dedup();
+        assert_eq!(elems.len(), 10);
+        for e in &elems {
+            assert!(chain.contains(e));
+        }
+    }
+
+    #[test]
+    fn random_elements_are_members_and_spread() {
+        let g = PermGroup::symmetric(6);
+        let chain = chain_of(&g);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut distinct = std::collections::HashSet::new();
+        for _ in 0..300 {
+            let p = chain.random_element(&mut rng);
+            assert!(chain.contains(&p));
+            distinct.insert(p);
+        }
+        assert!(distinct.len() > 150, "only {} distinct", distinct.len());
+    }
+
+    #[test]
+    fn coset_representatives_partition_the_group() {
+        // H = <(0 1)> inside S_4: 12 left cosets of size 2.
+        let h_gens = vec![Perm::from_cycles(4, &[&[0, 1]])];
+        let chain = StabilizerChain::new(4, &h_gens);
+        assert_eq!(chain.order(), 2);
+        let s4 = PermGroup::symmetric(4);
+        let all = enumerate_subgroup(&s4, &s4.gens, 100).unwrap();
+        let mut reps = std::collections::HashSet::new();
+        for g in &all {
+            let rep = chain.min_in_left_coset(g);
+            let h = &g.inverse() * &rep;
+            assert!(chain.contains(&h), "rep not in coset");
+            reps.insert(rep);
+        }
+        assert_eq!(reps.len(), 12);
+    }
+
+    #[test]
+    fn coset_rep_constant_on_cosets() {
+        let h_gens = vec![
+            Perm::from_cycles(5, &[&[0, 1, 2]]),
+            Perm::from_cycles(5, &[&[0, 1]]),
+        ]; // H ≅ S_3 on {0,1,2}, order 6
+        let chain = StabilizerChain::new(5, &h_gens);
+        assert_eq!(chain.order(), 6);
+        let s5 = PermGroup::symmetric(5);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let big = StabilizerChain::new(5, &s5.gens);
+        for _ in 0..100 {
+            let g = big.random_element(&mut rng);
+            let h = chain.random_element(&mut rng);
+            let gh = &g * &h;
+            assert_eq!(
+                chain.min_in_left_coset(&g),
+                chain.min_in_left_coset(&gh),
+                "left-coset invariance failed"
+            );
+        }
+    }
+
+    #[test]
+    fn coset_rep_count_equals_index() {
+        // |S_5 : A_5| reps... use H = A_4 in S_5 (index 10).
+        let a4 = PermGroup::alternating(4);
+        let mut gens: Vec<Perm> = Vec::new();
+        for g in &a4.gens {
+            let mut im: Vec<u32> = g.images().to_vec();
+            im.push(4);
+            gens.push(Perm::from_images(im));
+        }
+        let chain = StabilizerChain::new(5, &gens);
+        assert_eq!(chain.order(), 12);
+        let s5 = PermGroup::symmetric(5);
+        let all = enumerate_subgroup(&s5, &s5.gens, 1000).unwrap();
+        let reps: std::collections::HashSet<_> =
+            all.iter().map(|g| chain.min_in_left_coset(g)).collect();
+        assert_eq!(reps.len(), 120 / 12);
+    }
+
+    #[test]
+    fn strong_generators_generate_same_group() {
+        let g = PermGroup::alternating(6);
+        let chain = chain_of(&g);
+        let regen = StabilizerChain::new(6, &chain.strong_generators());
+        assert_eq!(regen.order(), chain.order());
+    }
+
+    #[test]
+    fn large_symmetric_group_order() {
+        // S_20: 2.43e18 fits u64; exercises deep chains.
+        let g = PermGroup::symmetric(20);
+        let chain = chain_of(&g);
+        let fact: u64 = (1..=20u64).product();
+        assert_eq!(chain.order(), fact);
+    }
+
+    #[test]
+    fn mathieu_like_transitive_group() {
+        // PSL(2,7) acting on 8 points (projective line over GF(7)):
+        // x -> x+1 and x -> -1/x. Order 168.
+        // Points: 0..6 = GF(7), 7 = infinity.
+        let add = Perm::from_images(vec![1, 2, 3, 4, 5, 6, 0, 7]);
+        // x -> -1/x: 0 <-> inf, k -> -inv(k) mod 7
+        let mut im = vec![0u32; 8];
+        im[0] = 7;
+        im[7] = 0;
+        for x in 1..7u64 {
+            let inv = nahsp_numtheory::mod_inv(x, 7).unwrap();
+            im[x as usize] = ((7 - inv) % 7) as u32;
+        }
+        let neg_inv = Perm::from_images(im);
+        let chain = StabilizerChain::new(8, &[add, neg_inv]);
+        assert_eq!(chain.order(), 168);
+    }
+}

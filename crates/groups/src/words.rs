@@ -1,0 +1,262 @@
+//! Free-group words, relators and presentations.
+//!
+//! A presentation (Section 3 of the paper) is a generating sequence together
+//! with relators — words in the free group whose normal closure is the
+//! kernel of the evaluation map. Theorem 8 substitutes concrete group
+//! elements into the relators of a presentation of `G/N` to obtain the set
+//! `R₀` whose normal closure (together with `S₀`) is the hidden normal
+//! subgroup `N`.
+
+use crate::group::Group;
+use crate::slp::Slp;
+
+/// A word in the free group on `k` generators: a product of `(index,
+/// exponent)` syllables with nonzero exponents.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Default)]
+pub struct Word {
+    pub syllables: Vec<(usize, i64)>,
+}
+
+impl Word {
+    pub fn identity() -> Self {
+        Word::default()
+    }
+
+    pub fn gen(i: usize) -> Self {
+        Word {
+            syllables: vec![(i, 1)],
+        }
+    }
+
+    /// `x_i^e`.
+    pub fn power(i: usize, e: i64) -> Self {
+        if e == 0 {
+            Word::identity()
+        } else {
+            Word {
+                syllables: vec![(i, e)],
+            }
+        }
+    }
+
+    /// Free reduction: merge adjacent syllables with equal generator, drop
+    /// zero exponents.
+    pub fn reduced(&self) -> Word {
+        let mut out: Vec<(usize, i64)> = Vec::with_capacity(self.syllables.len());
+        for &(g, e) in &self.syllables {
+            if e == 0 {
+                continue;
+            }
+            match out.last_mut() {
+                Some((lg, le)) if *lg == g => {
+                    *le += e;
+                    if *le == 0 {
+                        out.pop();
+                    }
+                }
+                _ => out.push((g, e)),
+            }
+        }
+        Word { syllables: out }
+    }
+
+    pub fn concat(&self, other: &Word) -> Word {
+        let mut syl = self.syllables.clone();
+        syl.extend_from_slice(&other.syllables);
+        Word { syllables: syl }.reduced()
+    }
+
+    pub fn inverse(&self) -> Word {
+        Word {
+            syllables: self
+                .syllables
+                .iter()
+                .rev()
+                .map(|&(g, e)| (g, -e))
+                .collect(),
+        }
+    }
+
+    /// Commutator word `[x_i, x_j] = x_i x_j x_i⁻¹ x_j⁻¹`.
+    pub fn commutator(i: usize, j: usize) -> Word {
+        Word {
+            syllables: vec![(i, 1), (j, 1), (i, -1), (j, -1)],
+        }
+    }
+
+    /// Substitute group elements for generators (the map `x_i ↦ gens[i]`).
+    pub fn substitute<G: Group>(&self, group: &G, gens: &[G::Elem]) -> G::Elem {
+        let mut acc = group.identity();
+        for &(g, e) in &self.syllables {
+            acc = group.multiply(&acc, &group.pow_signed(&gens[g], e));
+        }
+        acc
+    }
+
+    /// Convert to a straight-line program over the same generator numbering.
+    pub fn to_slp(&self) -> Slp {
+        use crate::slp::SlpStep;
+        let mut slp = Slp::new();
+        let mut acc: Option<usize> = None;
+        for &(g, e) in &self.syllables {
+            let gi = slp.push(SlpStep::Gen(g));
+            let p = if e == 1 {
+                gi
+            } else {
+                slp.push(SlpStep::Pow(gi, e))
+            };
+            acc = Some(match acc {
+                None => p,
+                Some(prev) => slp.push(SlpStep::Mul(prev, p)),
+            });
+        }
+        slp
+    }
+
+    pub fn is_identity_word(&self) -> bool {
+        self.reduced().syllables.is_empty()
+    }
+}
+
+/// A finite presentation `⟨ x_1, …, x_k | relators ⟩`.
+#[derive(Clone, Debug, Default)]
+pub struct Presentation {
+    pub num_gens: usize,
+    pub relators: Vec<Word>,
+}
+
+impl Presentation {
+    pub fn new(num_gens: usize, relators: Vec<Word>) -> Self {
+        for r in &relators {
+            for &(g, _) in &r.syllables {
+                assert!(g < num_gens, "relator references generator {g}");
+            }
+        }
+        Presentation { num_gens, relators }
+    }
+
+    /// Presentation of `Z_{m1} × … × Z_{mk}`: power relators `x_i^{m_i}` and
+    /// all commutators. This is the presentation shape Theorem 11 obtains
+    /// for the Abelian quotient `G/HG′`.
+    pub fn abelian(moduli: &[u64]) -> Self {
+        let k = moduli.len();
+        let mut relators = Vec::new();
+        for (i, &m) in moduli.iter().enumerate() {
+            relators.push(Word::power(i, m as i64));
+        }
+        for i in 0..k {
+            for j in (i + 1)..k {
+                relators.push(Word::commutator(i, j));
+            }
+        }
+        Presentation::new(k, relators)
+    }
+
+    /// Verify that substituting `gens` kills every relator (necessary
+    /// condition for `gens` to define a homomorphic image).
+    pub fn is_satisfied_by<G: Group>(&self, group: &G, gens: &[G::Elem]) -> bool {
+        assert_eq!(gens.len(), self.num_gens);
+        self.relators
+            .iter()
+            .all(|r| group.is_identity(&r.substitute(group, gens)))
+    }
+
+    /// Substitute `gens` into every relator, returning the set `R₀` of
+    /// Theorem 8 (identity values dropped).
+    pub fn substituted_relators<G: Group>(&self, group: &G, gens: &[G::Elem]) -> Vec<G::Elem> {
+        self.relators
+            .iter()
+            .map(|r| r.substitute(group, gens))
+            .filter(|e| !group.is_identity(e))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::group::{AbelianProduct, CyclicGroup};
+    use crate::perm::{Perm, PermGroup};
+
+    #[test]
+    fn reduction_merges_and_cancels() {
+        let w = Word {
+            syllables: vec![(0, 2), (0, -2), (1, 1), (1, 1), (2, 0)],
+        };
+        let r = w.reduced();
+        assert_eq!(r.syllables, vec![(1, 2)]);
+        assert!(Word::identity().is_identity_word());
+    }
+
+    #[test]
+    fn inverse_concat_is_identity() {
+        let w = Word {
+            syllables: vec![(0, 1), (1, -2), (2, 3)],
+        };
+        assert!(w.concat(&w.inverse()).is_identity_word());
+    }
+
+    #[test]
+    fn substitution_matches_direct_computation() {
+        let g = PermGroup::symmetric(4);
+        let a = Perm::from_cycles(4, &[&[0, 1]]);
+        let b = Perm::from_cycles(4, &[&[0, 1, 2, 3]]);
+        let w = Word {
+            syllables: vec![(0, 1), (1, 2), (0, -1)],
+        };
+        let got = w.substitute(&g, &[a.clone(), b.clone()]);
+        let expect = g.multiply(&g.multiply(&a, &g.pow(&b, 2)), &g.inverse(&a));
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn commutator_word_substitutes_to_commutator() {
+        let g = PermGroup::symmetric(3);
+        let a = Perm::from_cycles(3, &[&[0, 1]]);
+        let b = Perm::from_cycles(3, &[&[1, 2]]);
+        let w = Word::commutator(0, 1);
+        assert_eq!(w.substitute(&g, &[a.clone(), b.clone()]), g.commutator(&a, &b));
+    }
+
+    #[test]
+    fn abelian_presentation_satisfied_by_abelian_group() {
+        let pres = Presentation::abelian(&[2, 3, 4]);
+        let g = AbelianProduct::new(vec![2, 3, 4]);
+        assert!(pres.is_satisfied_by(&g, &g.generators()));
+        assert_eq!(pres.relators.len(), 3 + 3);
+    }
+
+    #[test]
+    fn abelian_presentation_detects_wrong_orders() {
+        let pres = Presentation::abelian(&[2, 2]);
+        let g = AbelianProduct::new(vec![4, 2]);
+        // generator of Z4 does not satisfy x^2 = 1
+        assert!(!pres.is_satisfied_by(&g, &g.generators()));
+    }
+
+    #[test]
+    fn substituted_relators_drop_identities() {
+        let pres = Presentation::abelian(&[6]);
+        let g = CyclicGroup::new(6);
+        // x^6 evaluates to identity: no relators survive.
+        assert!(pres.substituted_relators(&g, &[1u64]).is_empty());
+        // Substituting into Z_12 leaves 1*6 = 6 ≠ 0.
+        let g12 = CyclicGroup::new(12);
+        assert_eq!(pres.substituted_relators(&g12, &[1u64]), vec![6u64]);
+    }
+
+    #[test]
+    fn word_to_slp_agrees_with_substitute() {
+        let g = PermGroup::symmetric(4);
+        let a = Perm::from_cycles(4, &[&[0, 1]]);
+        let b = Perm::from_cycles(4, &[&[0, 1, 2, 3]]);
+        let gens = [a, b];
+        let w = Word {
+            syllables: vec![(1, 3), (0, 1), (1, -1)],
+        };
+        assert_eq!(
+            w.to_slp().evaluate(&g, &gens),
+            w.substitute(&g, &gens)
+        );
+    }
+}

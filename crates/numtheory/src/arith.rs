@@ -1,0 +1,239 @@
+//! Exact modular arithmetic on `u64` values (intermediates in `u128`).
+
+/// Greatest common divisor (binary-free Euclid; `gcd(0, 0) == 0`).
+pub fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        let r = a % b;
+        a = b;
+        b = r;
+    }
+    a
+}
+
+/// Least common multiple; panics on overflow past `u64::MAX`.
+pub fn lcm(a: u64, b: u64) -> u64 {
+    if a == 0 || b == 0 {
+        return 0;
+    }
+    let g = gcd(a, b);
+    (a / g).checked_mul(b).expect("lcm overflow")
+}
+
+/// Extended Euclid: returns `(g, x, y)` with `a*x + b*y = g = gcd(a, b)`.
+pub fn egcd(a: i128, b: i128) -> (i128, i128, i128) {
+    if b == 0 {
+        let sign = if a < 0 { -1 } else { 1 };
+        return (a.abs(), sign, 0);
+    }
+    let (g, x, y) = egcd(b, a % b);
+    (g, y, x - (a / b) * y)
+}
+
+/// `a * b mod m` without overflow.
+#[inline]
+pub fn mod_mul(a: u64, b: u64, m: u64) -> u64 {
+    debug_assert!(m > 0);
+    ((a as u128 * b as u128) % m as u128) as u64
+}
+
+/// `a + b mod m` without overflow.
+#[inline]
+pub fn mod_add(a: u64, b: u64, m: u64) -> u64 {
+    debug_assert!(m > 0);
+    ((a as u128 + b as u128) % m as u128) as u64
+}
+
+/// `base^exp mod m` by square-and-multiply. `m == 1` yields `0`.
+pub fn mod_pow(mut base: u64, mut exp: u64, m: u64) -> u64 {
+    debug_assert!(m > 0);
+    if m == 1 {
+        return 0;
+    }
+    let mut acc: u64 = 1;
+    base %= m;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mod_mul(acc, base, m);
+        }
+        base = mod_mul(base, base, m);
+        exp >>= 1;
+    }
+    acc
+}
+
+/// Modular inverse of `a` modulo `m`, if `gcd(a, m) == 1`.
+pub fn mod_inv(a: u64, m: u64) -> Option<u64> {
+    if m == 0 {
+        return None;
+    }
+    if m == 1 {
+        return Some(0);
+    }
+    let (g, x, _) = egcd((a % m) as i128, m as i128);
+    if g != 1 {
+        return None;
+    }
+    Some(x.rem_euclid(m as i128) as u64)
+}
+
+/// Chinese remainder theorem for a pair of congruences.
+///
+/// Finds `x mod lcm(m1, m2)` with `x ≡ r1 (mod m1)` and `x ≡ r2 (mod m2)`,
+/// or `None` when the congruences are incompatible. Moduli need not be
+/// coprime.
+pub fn crt_pair(r1: u64, m1: u64, r2: u64, m2: u64) -> Option<(u64, u64)> {
+    assert!(m1 > 0 && m2 > 0, "CRT moduli must be positive");
+    let g = gcd(m1, m2);
+    let (r1, r2) = (r1 % m1, r2 % m2);
+    let diff = r2 as i128 - r1 as i128;
+    if diff.rem_euclid(g as i128) != 0 {
+        return None;
+    }
+    let l = (m1 / g) as u128 * m2 as u128;
+    if l > u64::MAX as u128 {
+        return None; // combined modulus does not fit
+    }
+    let l = l as u64;
+    // x = r1 + m1 * t, where t ≡ (r2 - r1)/g * inv(m1/g) (mod m2/g)
+    let m2g = m2 / g;
+    let inv = mod_inv((m1 / g) % m2g.max(1), m2g.max(1))?;
+    let t = mod_mul(
+        (diff / g as i128).rem_euclid(m2g.max(1) as i128) as u64,
+        inv,
+        m2g.max(1),
+    );
+    let x = (r1 as u128 + m1 as u128 * t as u128) % l as u128;
+    Some((x as u64, l))
+}
+
+/// CRT over a list of congruences `(residue, modulus)`.
+pub fn crt(congruences: &[(u64, u64)]) -> Option<(u64, u64)> {
+    let mut acc = (0u64, 1u64);
+    for &(r, m) in congruences {
+        acc = crt_pair(acc.0, acc.1, r, m)?;
+    }
+    Some(acc)
+}
+
+/// Integer square root (floor).
+pub fn isqrt(n: u64) -> u64 {
+    if n == 0 {
+        return 0;
+    }
+    let mut x = (n as f64).sqrt() as u64;
+    // Float rounding can be off by one in either direction; fix up exactly.
+    // checked_mul: overflow means x*x > u64::MAX >= n, so shrink then too.
+    while x.checked_mul(x).map_or(true, |s| s > n) {
+        x -= 1;
+    }
+    while (x + 1).checked_mul(x + 1).map_or(false, |s| s <= n) {
+        x += 1;
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gcd_basics() {
+        assert_eq!(gcd(0, 0), 0);
+        assert_eq!(gcd(0, 7), 7);
+        assert_eq!(gcd(12, 18), 6);
+        assert_eq!(gcd(17, 5), 1);
+        assert_eq!(gcd(u64::MAX, u64::MAX), u64::MAX);
+    }
+
+    #[test]
+    fn lcm_basics() {
+        assert_eq!(lcm(0, 5), 0);
+        assert_eq!(lcm(4, 6), 12);
+        assert_eq!(lcm(7, 13), 91);
+    }
+
+    #[test]
+    fn egcd_bezout_identity() {
+        for &(a, b) in &[(240i128, 46i128), (17, 0), (0, 9), (-24, 18), (1, 1)] {
+            let (g, x, y) = egcd(a, b);
+            assert_eq!(a * x + b * y, g, "bezout failed for ({a},{b})");
+            assert!(g >= 0);
+        }
+    }
+
+    #[test]
+    fn mod_mul_no_overflow() {
+        let m = u64::MAX - 58; // large modulus
+        assert_eq!(mod_mul(m - 1, m - 1, m), 1);
+    }
+
+    #[test]
+    fn mod_pow_matches_naive() {
+        for m in [2u64, 3, 17, 1000] {
+            for b in 0..10u64 {
+                let mut naive = 1 % m;
+                for e in 0..12u64 {
+                    assert_eq!(mod_pow(b, e, m), naive, "b={b} e={e} m={m}");
+                    naive = mod_mul(naive, b, m);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mod_pow_modulus_one() {
+        assert_eq!(mod_pow(5, 3, 1), 0);
+    }
+
+    #[test]
+    fn mod_inv_valid_and_invalid() {
+        assert_eq!(mod_inv(3, 7), Some(5));
+        assert_eq!(mod_inv(2, 4), None);
+        assert_eq!(mod_inv(1, 1), Some(0));
+        for a in 1..30u64 {
+            if gcd(a, 31) == 1 {
+                let inv = mod_inv(a, 31).unwrap();
+                assert_eq!(mod_mul(a, inv, 31), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn crt_coprime() {
+        let (x, l) = crt_pair(2, 3, 3, 5).unwrap();
+        assert_eq!(l, 15);
+        assert_eq!(x % 3, 2);
+        assert_eq!(x % 5, 3);
+    }
+
+    #[test]
+    fn crt_non_coprime_compatible() {
+        let (x, l) = crt_pair(2, 4, 4, 6).unwrap();
+        assert_eq!(l, 12);
+        assert_eq!(x % 4, 2);
+        assert_eq!(x % 6, 4);
+    }
+
+    #[test]
+    fn crt_incompatible() {
+        assert!(crt_pair(1, 4, 2, 6).is_none());
+    }
+
+    #[test]
+    fn crt_list() {
+        let (x, l) = crt(&[(1, 2), (2, 3), (3, 5)]).unwrap();
+        assert_eq!(l, 30);
+        assert_eq!(x % 2, 1);
+        assert_eq!(x % 3, 2);
+        assert_eq!(x % 5, 3);
+    }
+
+    #[test]
+    fn isqrt_exact() {
+        for n in 0..2000u64 {
+            let r = isqrt(n);
+            assert!(r * r <= n && (r + 1) * (r + 1) > n, "n={n} r={r}");
+        }
+        assert_eq!(isqrt(u64::MAX), (1u64 << 32) - 1);
+    }
+}

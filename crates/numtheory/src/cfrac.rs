@@ -1,0 +1,115 @@
+//! Continued fractions — the classical post-processing step of Shor's
+//! period-finding algorithm.
+//!
+//! After measuring `y` in a Fourier register of size `Q`, the period `r`
+//! satisfies `|y/Q - k/r| <= 1/(2Q)` for some integer `k`; the convergents of
+//! `y/Q` with denominator below the order bound recover `r`.
+
+/// Continued-fraction expansion of `num/den` (finite, canonical).
+pub fn continued_fraction(mut num: u64, mut den: u64) -> Vec<u64> {
+    assert!(den != 0, "denominator must be nonzero");
+    let mut quotients = Vec::new();
+    while den != 0 {
+        quotients.push(num / den);
+        let r = num % den;
+        num = den;
+        den = r;
+    }
+    quotients
+}
+
+/// Convergents `p_i/q_i` of a continued-fraction expansion.
+///
+/// Stops early (and silently) if a numerator or denominator would overflow
+/// `u64`; all convergents returned are exact.
+pub fn convergents(cf: &[u64]) -> Vec<(u64, u64)> {
+    let mut out = Vec::with_capacity(cf.len());
+    let (mut p0, mut q0): (u64, u64) = (1, 0);
+    let (mut p1, mut q1): (u64, u64) = (0, 1);
+    for &a in cf {
+        let p = match a.checked_mul(p0).and_then(|x| x.checked_add(p1)) {
+            Some(p) => p,
+            None => break,
+        };
+        let q = match a.checked_mul(q0).and_then(|x| x.checked_add(q1)) {
+            Some(q) => q,
+            None => break,
+        };
+        out.push((p, q));
+        p1 = p0;
+        q1 = q0;
+        p0 = p;
+        q0 = q;
+    }
+    out
+}
+
+/// Best rational approximation `k/r` to `y/q` with `r <= max_den`, via the
+/// convergents of the continued fraction. Returns the denominator `r`.
+///
+/// This is exactly the denominator Shor's algorithm extracts from a
+/// measurement `y` out of `q` when the true period is at most `max_den`.
+pub fn denominator_approx(y: u64, q: u64, max_den: u64) -> u64 {
+    assert!(q > 0);
+    if y == 0 {
+        return 1;
+    }
+    let cf = continued_fraction(y, q);
+    let mut best = 1u64;
+    for (_, den) in convergents(&cf) {
+        if den == 0 {
+            continue;
+        }
+        if den <= max_den {
+            best = den;
+        } else {
+            break;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cf_of_simple_fractions() {
+        assert_eq!(continued_fraction(1, 2), vec![0, 2]);
+        assert_eq!(continued_fraction(7, 3), vec![2, 3]);
+        // 649/200 = [3; 4, 12, 4]
+        assert_eq!(continued_fraction(649, 200), vec![3, 4, 12, 4]);
+        assert_eq!(continued_fraction(0, 5), vec![0]);
+    }
+
+    #[test]
+    fn convergents_reconstruct() {
+        let cf = continued_fraction(649, 200);
+        let cs = convergents(&cf);
+        assert_eq!(*cs.last().unwrap(), (649, 200));
+        // The classic √2 approximations from [1; 2, 2, 2, ...]
+        let cs = convergents(&[1, 2, 2, 2, 2]);
+        assert_eq!(cs, vec![(1, 1), (3, 2), (7, 5), (17, 12), (41, 29)]);
+    }
+
+    #[test]
+    fn shor_denominator_recovery() {
+        // Simulate: period r, measurement y = round(k*q/r).
+        let q: u64 = 1 << 20;
+        for r in [3u64, 7, 12, 15, 64, 255, 1000] {
+            for k in 1..r {
+                if crate::arith::gcd(k, r) != 1 {
+                    continue;
+                }
+                let y = ((k as u128 * q as u128 + (r as u128) / 2) / r as u128) as u64;
+                let got = denominator_approx(y, q, r);
+                assert_eq!(got, r, "failed r={r} k={k} y={y}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_measurement_gives_trivial_denominator() {
+        assert_eq!(denominator_approx(0, 1 << 10, 100), 1);
+    }
+}

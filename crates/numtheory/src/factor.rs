@@ -1,0 +1,190 @@
+//! Integer factorization: trial division + Pollard's ρ (Brent variant).
+//!
+//! The paper invokes Shor's factoring algorithm as an oracle (to factor group
+//! exponents and orders of `GL(n, q)`). On a classical host we realize that
+//! oracle with Pollard ρ, which is exact and fast for the 64-bit integers
+//! arising in our group families; the substitution is recorded in DESIGN.md.
+
+use crate::arith::{gcd, mod_mul};
+use crate::primes::is_prime;
+
+/// A factorization as a sorted list of `(prime, multiplicity)` pairs.
+pub type Factorization = Vec<(u64, u32)>;
+
+/// Pollard ρ with Brent cycle detection; returns a non-trivial factor of a
+/// composite `n > 3`. Deterministic seed schedule so results are reproducible.
+fn pollard_rho(n: u64) -> u64 {
+    debug_assert!(n > 3 && !is_prime(n));
+    if n % 2 == 0 {
+        return 2;
+    }
+    let mut c = 1u64;
+    loop {
+        let f = |x: u64| (mod_mul(x, x, n) + c) % n;
+        let mut x = 2u64;
+        let mut y = 2u64;
+        let mut d = 1u64;
+        let mut count = 0u32;
+        while d == 1 {
+            x = f(x);
+            y = f(f(y));
+            d = gcd(x.abs_diff(y), n);
+            count += 1;
+            if count > 1 << 22 {
+                break; // unlucky parameter; retry with a new c
+            }
+        }
+        if d != n && d != 1 {
+            return d;
+        }
+        c += 1;
+    }
+}
+
+/// Full prime factorization of `n >= 1`, sorted by prime.
+pub fn factor(n: u64) -> Factorization {
+    let mut out: Vec<(u64, u32)> = Vec::new();
+    if n <= 1 {
+        return out;
+    }
+    let mut stack = vec![n];
+    let mut primes: Vec<u64> = Vec::new();
+    while let Some(mut m) = stack.pop() {
+        // Strip small primes first — cheap and helps ρ avoid bad cases.
+        for p in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31] {
+            while m % p == 0 {
+                primes.push(p);
+                m /= p;
+            }
+        }
+        if m == 1 {
+            continue;
+        }
+        if is_prime(m) {
+            primes.push(m);
+            continue;
+        }
+        let d = pollard_rho(m);
+        stack.push(d);
+        stack.push(m / d);
+    }
+    primes.sort_unstable();
+    for p in primes {
+        match out.last_mut() {
+            Some((q, e)) if *q == p => *e += 1,
+            _ => out.push((p, 1)),
+        }
+    }
+    out
+}
+
+/// Factorization as an iterator-friendly map from prime to multiplicity.
+pub fn factor_map(n: u64) -> std::collections::BTreeMap<u64, u32> {
+    factor(n).into_iter().collect()
+}
+
+/// All divisors of `n`, sorted ascending. Intended for moderate `n` (the
+/// number of divisors of a `u64` never exceeds 103 680, but memory scales with
+/// the count).
+pub fn divisors(n: u64) -> Vec<u64> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut divs = vec![1u64];
+    for (p, e) in factor(n) {
+        let prev = divs.clone();
+        let mut pe = 1u64;
+        for _ in 0..e {
+            pe *= p;
+            divs.extend(prev.iter().map(|d| d * pe));
+        }
+    }
+    divs.sort_unstable();
+    divs
+}
+
+/// Euler's totient via factorization.
+pub fn euler_phi(n: u64) -> u64 {
+    if n == 0 {
+        return 0;
+    }
+    let mut phi = n;
+    for (p, _) in factor(n) {
+        phi = phi / p * (p - 1);
+    }
+    phi
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arith::gcd;
+
+    fn recompose(f: &Factorization) -> u64 {
+        f.iter()
+            .map(|&(p, e)| p.pow(e))
+            .fold(1u64, |a, b| a.checked_mul(b).unwrap())
+    }
+
+    #[test]
+    fn factor_small() {
+        assert!(factor(0).is_empty());
+        assert!(factor(1).is_empty());
+        assert_eq!(factor(2), vec![(2, 1)]);
+        assert_eq!(factor(12), vec![(2, 2), (3, 1)]);
+        assert_eq!(factor(97), vec![(97, 1)]);
+        assert_eq!(factor(1024), vec![(2, 10)]);
+    }
+
+    #[test]
+    fn factor_recomposes_exhaustive() {
+        for n in 1..5000u64 {
+            let f = factor(n);
+            assert_eq!(recompose(&f), n, "n={n}");
+            for &(p, _) in &f {
+                assert!(is_prime(p), "non-prime factor {p} of {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn factor_semiprimes() {
+        // Products of two large primes: the case Pollard ρ must handle.
+        let cases = [
+            1000003u64 * 1000033,
+            2147483647u64 * 65537,
+            99990001u64 * 9999991,
+        ];
+        for n in cases {
+            let f = factor(n);
+            assert_eq!(recompose(&f), n);
+            assert_eq!(f.iter().map(|&(_, e)| e).sum::<u32>(), 2);
+        }
+    }
+
+    #[test]
+    fn factor_prime_powers() {
+        assert_eq!(factor(3u64.pow(20)), vec![(3, 20)]);
+        assert_eq!(factor(65537u64 * 65537), vec![(65537, 2)]);
+    }
+
+    #[test]
+    fn divisors_correct() {
+        assert_eq!(divisors(1), vec![1]);
+        assert_eq!(divisors(12), vec![1, 2, 3, 4, 6, 12]);
+        assert_eq!(divisors(36).len(), 9);
+        for n in 1..300u64 {
+            let ds = divisors(n);
+            let naive: Vec<u64> = (1..=n).filter(|d| n % d == 0).collect();
+            assert_eq!(ds, naive, "n={n}");
+        }
+    }
+
+    #[test]
+    fn phi_matches_naive() {
+        for n in 1..500u64 {
+            let naive = (1..=n).filter(|&k| gcd(k, n) == 1).count() as u64;
+            assert_eq!(euler_phi(n), naive, "n={n}");
+        }
+    }
+}

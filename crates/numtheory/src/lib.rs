@@ -1,0 +1,31 @@
+//! Classical number-theory substrate for the non-Abelian HSP reproduction.
+//!
+//! Every quantum algorithm in Ivanyos–Magniez–Santha (2001) leans on classical
+//! number theory for post-processing: continued fractions after phase
+//! estimation, CRT recombination in Pohlig–Hellman style order finding,
+//! factoring of group exponents, and modular linear algebra. This crate
+//! provides those primitives with `u64`/`u128`-exact arithmetic (no floating
+//! point, no bignum dependency).
+//!
+//! Modules:
+//! - [`arith`] — gcd/egcd, modular multiplication/exponentiation/inverse, CRT;
+//! - [`primes`] — deterministic Miller–Rabin for `u64`, sieves, next-prime;
+//! - [`mod@factor`] — Pollard ρ + trial division, factorization maps, divisors;
+//! - [`cfrac`] — continued-fraction expansion and convergents (Shor
+//!   post-processing);
+//! - [`order`] — multiplicative order modulo `n` given a factored exponent;
+//! - [`dlog`] — baby-step/giant-step and Pohlig–Hellman discrete logarithms.
+
+pub mod arith;
+pub mod cfrac;
+pub mod dlog;
+pub mod factor;
+pub mod order;
+pub mod primes;
+
+pub use arith::{crt_pair, egcd, gcd, lcm, mod_inv, mod_mul, mod_pow};
+pub use cfrac::{continued_fraction, convergents, denominator_approx};
+pub use dlog::{bsgs, pohlig_hellman};
+pub use factor::{divisors, factor, factor_map, Factorization};
+pub use order::{element_order_from_exponent, multiplicative_order};
+pub use primes::{is_prime, next_prime, primes_up_to};

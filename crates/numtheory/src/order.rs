@@ -1,0 +1,89 @@
+//! Multiplicative and group-element orders from a factored exponent.
+//!
+//! Given any multiple `E` of the order of an element (e.g. the group
+//! exponent, or `|GL(n, q)| = (q^n - 1)(q^n - q) ⋯` for matrix groups as in
+//! Section 3 of the paper), the exact order is found with
+//! `O(log E · ω(E))` group operations by peeling prime factors.
+
+use crate::arith::{mod_pow, gcd};
+use crate::factor::factor;
+
+/// Order of `a` in `(Z/nZ)^*`; requires `gcd(a, n) == 1`.
+pub fn multiplicative_order(a: u64, n: u64) -> Option<u64> {
+    if n == 0 || gcd(a % n.max(1), n) != 1 {
+        return None;
+    }
+    if n == 1 {
+        return Some(1);
+    }
+    let phi = crate::factor::euler_phi(n);
+    Some(element_order_from_exponent(
+        |e| mod_pow(a, e, n) == 1 % n,
+        phi,
+    ))
+}
+
+/// Exact order of a group element given a predicate `is_identity_pow(e)`
+/// testing whether `g^e = 1`, and a known multiple `exponent` of the order.
+///
+/// Standard descent: start from `exponent` and for each prime factor `p`,
+/// divide it out while the power still evaluates to the identity.
+pub fn element_order_from_exponent<F: FnMut(u64) -> bool>(
+    mut is_identity_pow: F,
+    exponent: u64,
+) -> u64 {
+    assert!(exponent > 0, "exponent multiple must be positive");
+    debug_assert!(is_identity_pow(exponent), "exponent is not a multiple of the order");
+    let mut ord = exponent;
+    for (p, _) in factor(exponent) {
+        while ord % p == 0 && is_identity_pow(ord / p) {
+            ord /= p;
+        }
+    }
+    ord
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_mod_small_n() {
+        assert_eq!(multiplicative_order(1, 7), Some(1));
+        assert_eq!(multiplicative_order(2, 7), Some(3));
+        assert_eq!(multiplicative_order(3, 7), Some(6));
+        assert_eq!(multiplicative_order(2, 4), None); // not a unit
+        assert_eq!(multiplicative_order(5, 1), Some(1));
+    }
+
+    #[test]
+    fn orders_match_naive_exhaustive() {
+        for n in 2..200u64 {
+            for a in 1..n {
+                if gcd(a, n) != 1 {
+                    continue;
+                }
+                let mut x = a % n;
+                let mut naive = 1u64;
+                while x != 1 {
+                    x = crate::arith::mod_mul(x, a, n);
+                    naive += 1;
+                }
+                assert_eq!(multiplicative_order(a, n), Some(naive), "a={a} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn descent_from_overshooting_exponent() {
+        // order of 2 mod 341 = 10; give exponent 340.
+        let ord = element_order_from_exponent(|e| mod_pow(2, e, 341) == 1, 340);
+        assert_eq!(ord, 10);
+    }
+
+    #[test]
+    fn descent_identity_element() {
+        let ord = element_order_from_exponent(|_| true, 720);
+        assert_eq!(ord, 1);
+    }
+}

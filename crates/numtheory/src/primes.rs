@@ -1,0 +1,146 @@
+//! Primality testing and prime generation.
+
+use crate::arith::{mod_mul, mod_pow};
+
+/// Deterministic Miller–Rabin for `u64`.
+///
+/// Uses the standard witness set `{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31,
+/// 37}` which is known to be exact for all `n < 3.3 * 10^24`, in particular
+/// for every `u64`.
+pub fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    for &p in &[2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        if n == p {
+            return true;
+        }
+        if n % p == 0 {
+            return false;
+        }
+    }
+    let mut d = n - 1;
+    let mut s = 0u32;
+    while d & 1 == 0 {
+        d >>= 1;
+        s += 1;
+    }
+    'witness: for &a in &[2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        let mut x = mod_pow(a, d, n);
+        if x == 1 || x == n - 1 {
+            continue;
+        }
+        for _ in 1..s {
+            x = mod_mul(x, x, n);
+            if x == n - 1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Smallest prime strictly greater than `n`.
+pub fn next_prime(n: u64) -> u64 {
+    let mut c = n.checked_add(1).expect("next_prime overflow");
+    if c <= 2 {
+        return 2;
+    }
+    if c % 2 == 0 {
+        c += 1;
+    }
+    while !is_prime(c) {
+        c += 2;
+    }
+    c
+}
+
+/// All primes `<= n` by a simple sieve of Eratosthenes.
+pub fn primes_up_to(n: usize) -> Vec<u64> {
+    if n < 2 {
+        return Vec::new();
+    }
+    let mut sieve = vec![true; n + 1];
+    sieve[0] = false;
+    sieve[1] = false;
+    let mut p = 2usize;
+    while p * p <= n {
+        if sieve[p] {
+            let mut q = p * p;
+            while q <= n {
+                sieve[q] = false;
+                q += p;
+            }
+        }
+        p += 1;
+    }
+    sieve
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &b)| if b { Some(i as u64) } else { None })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_primes() {
+        let known = [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43];
+        for n in 0..45u64 {
+            assert_eq!(is_prime(n), known.contains(&n), "n={n}");
+        }
+    }
+
+    #[test]
+    fn carmichael_numbers_rejected() {
+        for &n in &[561u64, 1105, 1729, 2465, 2821, 6601, 8911, 41041, 825265] {
+            assert!(!is_prime(n), "Carmichael {n} wrongly accepted");
+        }
+    }
+
+    #[test]
+    fn large_primes_accepted() {
+        for &p in &[
+            2147483647u64,          // 2^31 - 1 (Mersenne)
+            (1 << 61) - 1,          // 2^61 - 1 (Mersenne)
+            18446744073709551557,   // largest u64 prime
+            1000000007,
+            1000000009,
+        ] {
+            assert!(is_prime(p), "prime {p} rejected");
+        }
+    }
+
+    #[test]
+    fn large_composites_rejected() {
+        assert!(!is_prime((1u64 << 62) - 1));
+        assert!(!is_prime(1000000007u64 * 3));
+        assert!(!is_prime(u64::MAX));
+    }
+
+    #[test]
+    fn next_prime_works() {
+        assert_eq!(next_prime(0), 2);
+        assert_eq!(next_prime(2), 3);
+        assert_eq!(next_prime(3), 5);
+        assert_eq!(next_prime(13), 17);
+        assert_eq!(next_prime(1000000), 1000003);
+    }
+
+    #[test]
+    fn sieve_matches_miller_rabin() {
+        let sieve = primes_up_to(10_000);
+        let mr: Vec<u64> = (0..=10_000u64).filter(|&n| is_prime(n)).collect();
+        assert_eq!(sieve, mr);
+    }
+
+    #[test]
+    fn sieve_edge_cases() {
+        assert!(primes_up_to(0).is_empty());
+        assert!(primes_up_to(1).is_empty());
+        assert_eq!(primes_up_to(2), vec![2]);
+    }
+}

@@ -1,0 +1,190 @@
+//! A minimal complex-number type.
+//!
+//! `num-complex` is deliberately avoided: the whitelist of dependencies is
+//! small and the simulator needs only a handful of operations.
+
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// Complex number with `f64` components.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Complex {
+    pub re: f64,
+    pub im: f64,
+}
+
+impl Complex {
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+    pub const I: Complex = Complex { re: 0.0, im: 1.0 };
+
+    #[inline]
+    pub fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// `e^{iθ}`.
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        let (s, c) = theta.sin_cos();
+        Complex { re: c, im: s }
+    }
+
+    /// Primitive root-of-unity phase `e^{2πi·k/n}` computed with reduced
+    /// argument for accuracy at large `k`.
+    #[inline]
+    pub fn root_of_unity(k: i64, n: u64) -> Self {
+        debug_assert!(n > 0);
+        let k = k.rem_euclid(n as i64) as f64;
+        Complex::cis(std::f64::consts::TAU * k / n as f64)
+    }
+
+    #[inline]
+    pub fn conj(self) -> Self {
+        Complex { re: self.re, im: -self.im }
+    }
+
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    #[inline]
+    pub fn scale(self, s: f64) -> Self {
+        Complex { re: self.re * s, im: self.im * s }
+    }
+
+    /// Approximate equality within absolute tolerance `eps` per component.
+    pub fn approx_eq(self, other: Complex, eps: f64) -> bool {
+        (self.re - other.re).abs() <= eps && (self.im - other.im).abs() <= eps
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    #[inline]
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl AddAssign for Complex {
+    #[inline]
+    fn add_assign(&mut self, rhs: Complex) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    #[inline]
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl SubAssign for Complex {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Complex) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl MulAssign for Complex {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Complex) {
+        *self = *self * rhs;
+    }
+}
+
+impl Mul<f64> for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: f64) -> Complex {
+        self.scale(rhs)
+    }
+}
+
+impl Div<f64> for Complex {
+    type Output = Complex;
+    #[inline]
+    fn div(self, rhs: f64) -> Complex {
+        self.scale(1.0 / rhs)
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    #[inline]
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-12;
+
+    #[test]
+    fn field_ops() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(-3.0, 0.5);
+        assert!((a + b).approx_eq(Complex::new(-2.0, 2.5), EPS));
+        assert!((a - b).approx_eq(Complex::new(4.0, 1.5), EPS));
+        assert!((a * b).approx_eq(Complex::new(-4.0, -5.5), EPS));
+        assert!((-a).approx_eq(Complex::new(-1.0, -2.0), EPS));
+    }
+
+    #[test]
+    fn conj_and_norm() {
+        let a = Complex::new(3.0, -4.0);
+        assert_eq!(a.conj(), Complex::new(3.0, 4.0));
+        assert!((a.norm() - 5.0).abs() < EPS);
+        assert!((a * a.conj()).approx_eq(Complex::new(25.0, 0.0), EPS));
+    }
+
+    #[test]
+    fn roots_of_unity_sum_to_zero() {
+        for n in 2..20u64 {
+            let mut s = Complex::ZERO;
+            for k in 0..n {
+                s += Complex::root_of_unity(k as i64, n);
+            }
+            assert!(s.approx_eq(Complex::ZERO, 1e-10), "n={n} sum={s:?}");
+        }
+    }
+
+    #[test]
+    fn roots_of_unity_negative_index() {
+        let a = Complex::root_of_unity(-1, 8);
+        let b = Complex::root_of_unity(7, 8);
+        assert!(a.approx_eq(b, EPS));
+    }
+
+    #[test]
+    fn cis_unit_modulus() {
+        for i in 0..100 {
+            let z = Complex::cis(i as f64 * 0.37);
+            assert!((z.norm() - 1.0).abs() < EPS);
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Oracle-query accounting.
+//!
+//! The reproduction's headline metric is query complexity: how many times an
+//! algorithm consults the hiding function `f`, the group oracle `U_G`, or a
+//! quantum subroutine. Counters are cheap, cloneable handles over atomics so
+//! the same counter can be threaded through classical reductions and
+//! rayon-parallel simulator kernels.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A family of named counters for one algorithm run.
+#[derive(Clone, Debug, Default)]
+pub struct QueryCounter {
+    inner: Arc<Counters>,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    /// Classical evaluations of the hiding function `f`.
+    classical_queries: AtomicU64,
+    /// Superposition (quantum) invocations of the hiding oracle — each counts
+    /// one use of the unitary `|x⟩|y⟩ → |x⟩|y ⊞ f(x)⟩` regardless of the
+    /// superposition size.
+    quantum_queries: AtomicU64,
+    /// Black-box group multiplications (`U_G` and `U_G⁻¹` calls).
+    group_ops: AtomicU64,
+    /// Invocations of quantum subroutines treated as oracles (order finding,
+    /// discrete log, Fourier sampling rounds).
+    subroutine_calls: AtomicU64,
+}
+
+impl QueryCounter {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    pub fn count_classical(&self, n: u64) {
+        self.inner.classical_queries.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn count_quantum(&self, n: u64) {
+        self.inner.quantum_queries.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn count_group_op(&self, n: u64) {
+        self.inner.group_ops.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn count_subroutine(&self, n: u64) {
+        self.inner.subroutine_calls.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn classical(&self) -> u64 {
+        self.inner.classical_queries.load(Ordering::Relaxed)
+    }
+
+    pub fn quantum(&self) -> u64 {
+        self.inner.quantum_queries.load(Ordering::Relaxed)
+    }
+
+    pub fn group_ops(&self) -> u64 {
+        self.inner.group_ops.load(Ordering::Relaxed)
+    }
+
+    pub fn subroutines(&self) -> u64 {
+        self.inner.subroutine_calls.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot `(classical, quantum, group_ops, subroutines)`.
+    pub fn snapshot(&self) -> (u64, u64, u64, u64) {
+        (
+            self.classical(),
+            self.quantum(),
+            self.group_ops(),
+            self.subroutines(),
+        )
+    }
+
+    /// Reset all counters to zero.
+    pub fn reset(&self) {
+        self.inner.classical_queries.store(0, Ordering::Relaxed);
+        self.inner.quantum_queries.store(0, Ordering::Relaxed);
+        self.inner.group_ops.store(0, Ordering::Relaxed);
+        self.inner.subroutine_calls.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_accumulate() {
+        let c = QueryCounter::new();
+        c.count_classical(3);
+        c.count_quantum(2);
+        c.count_group_op(5);
+        c.count_subroutine(1);
+        assert_eq!(c.snapshot(), (3, 2, 5, 1));
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let c = QueryCounter::new();
+        let d = c.clone();
+        c.count_classical(1);
+        d.count_classical(1);
+        assert_eq!(c.classical(), 2);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let c = QueryCounter::new();
+        c.count_quantum(9);
+        c.reset();
+        assert_eq!(c.snapshot(), (0, 0, 0, 0));
+    }
+
+    #[test]
+    fn concurrent_increments() {
+        let c = QueryCounter::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        c.count_group_op(1);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.group_ops(), 8000);
+    }
+}

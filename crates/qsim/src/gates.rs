@@ -1,0 +1,268 @@
+//! Gate application kernels.
+//!
+//! All kernels are in-place on the state vector and preserve unitarity. The
+//! site-unitary kernel parallelizes over independent stride blocks with
+//! rayon, following the data-parallel iterator idiom from the session's
+//! hpc-parallel guides; blocks are disjoint `par_chunks_mut` slices so the
+//! parallelism is race-free by construction.
+
+use crate::complex::Complex;
+use crate::state::State;
+use rayon::prelude::*;
+
+/// Below this many amplitudes the rayon fork/join overhead dominates; run
+/// sequentially instead.
+const PAR_THRESHOLD: usize = 1 << 12;
+
+/// Apply a dense `d × d` unitary `u` (row-major) to one site.
+pub fn apply_site_unitary(state: &mut State, site: usize, u: &[Complex]) {
+    let d = state.layout().site_dim(site);
+    assert_eq!(u.len(), d * d, "unitary size mismatch");
+    let stride = state.layout().stride(site);
+    let block = stride * d;
+    let dim = state.dim();
+    debug_assert_eq!(dim % block, 0);
+
+    let kernel = |chunk: &mut [Complex]| {
+        let mut scratch = vec![Complex::ZERO; d];
+        for inner in 0..stride {
+            for k in 0..d {
+                scratch[k] = chunk[inner + k * stride];
+            }
+            for (r, out_slot) in (0..d).map(|r| (r, inner + r * stride)) {
+                let mut acc = Complex::ZERO;
+                let row = &u[r * d..(r + 1) * d];
+                for k in 0..d {
+                    acc += row[k] * scratch[k];
+                }
+                chunk[out_slot] = acc;
+            }
+        }
+    };
+
+    let amps = state.amplitudes_mut();
+    if dim >= PAR_THRESHOLD && dim / block > 1 {
+        amps.par_chunks_mut(block).for_each(kernel);
+    } else {
+        amps.chunks_mut(block).for_each(kernel);
+    }
+}
+
+/// Multiply each basis amplitude by `phase(idx)` — an arbitrary diagonal
+/// unitary. `phase` must return unit-modulus values to preserve norm.
+pub fn apply_diagonal<F: Fn(usize) -> Complex + Sync>(state: &mut State, phase: F) {
+    let amps = state.amplitudes_mut();
+    if amps.len() >= PAR_THRESHOLD {
+        amps.par_iter_mut()
+            .enumerate()
+            .for_each(|(i, a)| *a *= phase(i));
+    } else {
+        for (i, a) in amps.iter_mut().enumerate() {
+            *a *= phase(i);
+        }
+    }
+}
+
+/// Controlled phase: multiply by `e^{iθ·a·b}` where `a`, `b` are the digits
+/// of the two (distinct) sites. For qubits this is the standard `CPhase(θ)`;
+/// for qudits it is the generalized `SUM`-phase used in mixed-radix QFTs.
+pub fn controlled_phase(state: &mut State, site_a: usize, site_b: usize, theta: f64) {
+    assert_ne!(site_a, site_b, "controlled phase needs two distinct sites");
+    let layout = state.layout().clone();
+    apply_diagonal(state, |idx| {
+        let a = layout.digit(idx, site_a);
+        let b = layout.digit(idx, site_b);
+        if a == 0 || b == 0 {
+            Complex::ONE
+        } else {
+            Complex::cis(theta * (a * b) as f64)
+        }
+    });
+}
+
+/// The Hadamard on a qubit site (special case of the `d`-dimensional DFT).
+pub fn hadamard(state: &mut State, site: usize) {
+    assert_eq!(state.layout().site_dim(site), 2, "hadamard needs a qubit");
+    let h = std::f64::consts::FRAC_1_SQRT_2;
+    let u = [
+        Complex::new(h, 0.0),
+        Complex::new(h, 0.0),
+        Complex::new(h, 0.0),
+        Complex::new(-h, 0.0),
+    ];
+    apply_site_unitary(state, site, &u);
+}
+
+/// Swap the contents of two sites of equal dimension.
+pub fn swap_sites(state: &mut State, site_a: usize, site_b: usize) {
+    if site_a == site_b {
+        return;
+    }
+    let layout = state.layout().clone();
+    assert_eq!(
+        layout.site_dim(site_a),
+        layout.site_dim(site_b),
+        "swap of unequal site dimensions"
+    );
+    let dim = state.dim();
+    let mut out = vec![Complex::ZERO; dim];
+    let amps = state.amplitudes();
+    let write = |out: &mut [Complex], range: std::ops::Range<usize>| {
+        for i in range {
+            let a = layout.digit(i, site_a);
+            let b = layout.digit(i, site_b);
+            let j = layout.with_digit(layout.with_digit(i, site_a, b), site_b, a);
+            out[i] = amps[j];
+        }
+    };
+    if dim >= PAR_THRESHOLD {
+        let nchunk = rayon::current_num_threads().max(1);
+        let chunk = dim.div_ceil(nchunk);
+        out.par_chunks_mut(chunk).enumerate().for_each(|(ci, oc)| {
+            let start = ci * chunk;
+            for (off, slot) in oc.iter_mut().enumerate() {
+                let i = start + off;
+                let a = layout.digit(i, site_a);
+                let b = layout.digit(i, site_b);
+                let j = layout.with_digit(layout.with_digit(i, site_a, b), site_b, a);
+                *slot = amps[j];
+            }
+        });
+    } else {
+        write(&mut out, 0..dim);
+    }
+    state.replace_amps(out);
+}
+
+/// Pauli-X generalization: `|x⟩ → |x + shift mod d⟩` on one site.
+pub fn shift_site(state: &mut State, site: usize, shift: usize) {
+    let layout = state.layout().clone();
+    let d = layout.site_dim(site);
+    let shift = shift % d;
+    if shift == 0 {
+        return;
+    }
+    let dim = state.dim();
+    let amps = state.amplitudes();
+    let mut out = vec![Complex::ZERO; dim];
+    for i in 0..dim {
+        let x = layout.digit(i, site);
+        let j = layout.with_digit(i, site, (x + shift) % d);
+        out[j] = amps[i];
+    }
+    state.replace_amps(out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::Layout;
+
+    fn norm_ok(s: &State) {
+        assert!((s.norm_sqr() - 1.0).abs() < 1e-10, "norm drifted: {}", s.norm_sqr());
+    }
+
+    #[test]
+    fn hadamard_creates_uniform_pair() {
+        let mut s = State::zero(Layout::qubits(1));
+        hadamard(&mut s, 0);
+        assert!((s.probability(0) - 0.5).abs() < 1e-12);
+        assert!((s.probability(1) - 0.5).abs() < 1e-12);
+        // H is involutive
+        hadamard(&mut s, 0);
+        assert!((s.probability(0) - 1.0).abs() < 1e-12);
+        norm_ok(&s);
+    }
+
+    #[test]
+    fn hadamard_on_all_qubits_gives_uniform() {
+        let mut s = State::zero(Layout::qubits(4));
+        for q in 0..4 {
+            hadamard(&mut s, q);
+        }
+        for i in 0..16 {
+            assert!((s.probability(i) - 1.0 / 16.0).abs() < 1e-12);
+        }
+        norm_ok(&s);
+    }
+
+    #[test]
+    fn site_unitary_on_middle_site() {
+        // X gate on the middle qubit of three.
+        let x = [Complex::ZERO, Complex::ONE, Complex::ONE, Complex::ZERO];
+        let mut s = State::basis(Layout::qubits(3), &[1, 0, 1]);
+        apply_site_unitary(&mut s, 1, &x);
+        assert_eq!(s.probability(Layout::qubits(3).encode(&[1, 1, 1])), 1.0);
+        norm_ok(&s);
+    }
+
+    #[test]
+    fn controlled_phase_only_on_11() {
+        let mut s = State::uniform(Layout::qubits(2));
+        controlled_phase(&mut s, 0, 1, std::f64::consts::PI);
+        let amps = s.amplitudes();
+        assert!(amps[0].approx_eq(Complex::new(0.5, 0.0), 1e-12));
+        assert!(amps[3].approx_eq(Complex::new(-0.5, 0.0), 1e-12));
+        norm_ok(&s);
+    }
+
+    #[test]
+    fn qudit_controlled_phase_multiplies_digits() {
+        let l = Layout::new(vec![3, 3]);
+        let mut s = State::uniform(l.clone());
+        let theta = 0.1;
+        controlled_phase(&mut s, 0, 1, theta);
+        for idx in 0..9 {
+            let (a, b) = (l.digit(idx, 0), l.digit(idx, 1));
+            let expect = Complex::cis(theta * (a * b) as f64) * (1.0 / 3.0);
+            assert!(
+                s.amplitudes()[idx].approx_eq(expect, 1e-12),
+                "idx={idx}"
+            );
+        }
+    }
+
+    #[test]
+    fn swap_exchanges_digits() {
+        let l = Layout::new(vec![2, 3, 2]);
+        for idx in 0..l.dim() {
+            let mut s = State::basis_index(l.clone(), idx);
+            swap_sites(&mut s, 0, 2);
+            let expect =
+                l.with_digit(l.with_digit(idx, 0, l.digit(idx, 2)), 2, l.digit(idx, 0));
+            assert_eq!(s.probability(expect), 1.0, "idx={idx}");
+        }
+    }
+
+    #[test]
+    fn shift_site_is_cyclic() {
+        let l = Layout::new(vec![5]);
+        let mut s = State::basis_index(l, 3);
+        shift_site(&mut s, 0, 4);
+        assert_eq!(s.probability(2), 1.0); // 3 + 4 mod 5
+        shift_site(&mut s, 0, 3);
+        assert_eq!(s.probability(0), 1.0);
+        norm_ok(&s);
+    }
+
+    #[test]
+    fn diagonal_preserves_probabilities() {
+        let mut s = State::uniform(Layout::new(vec![6]));
+        apply_diagonal(&mut s, |i| Complex::cis(i as f64 * 0.7));
+        for i in 0..6 {
+            assert!((s.probability(i) - 1.0 / 6.0).abs() < 1e-12);
+        }
+        norm_ok(&s);
+    }
+
+    #[test]
+    fn large_state_parallel_path() {
+        // Exercise the rayon branch: 2^13 amplitudes.
+        let mut s = State::zero(Layout::qubits(13));
+        for q in 0..13 {
+            hadamard(&mut s, q);
+        }
+        norm_ok(&s);
+        assert!((s.probability(0) - 1.0 / 8192.0).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,220 @@
+//! Register layouts: shapes, strides and mixed-radix index arithmetic.
+
+/// The shape of a quantum register: a list of *sites*, site `i` having
+/// dimension `dims[i] >= 2` (a qubit is a site of dimension 2, a `Z_d`
+/// factor a site of dimension `d`).
+///
+/// Basis states are indexed in row-major (big-endian) order: site 0 is the
+/// most significant digit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Layout {
+    dims: Vec<usize>,
+    strides: Vec<usize>,
+    dim: usize,
+}
+
+impl Layout {
+    /// Build a layout from site dimensions. Panics if any dimension is < 2
+    /// (dimension-1 sites carry no information and hide indexing bugs) or if
+    /// the total dimension overflows `usize`.
+    pub fn new(dims: Vec<usize>) -> Self {
+        assert!(!dims.is_empty(), "layout needs at least one site");
+        for &d in &dims {
+            assert!(d >= 2, "site dimension must be >= 2, got {d}");
+        }
+        let mut strides = vec![1usize; dims.len()];
+        for i in (0..dims.len() - 1).rev() {
+            strides[i] = strides[i + 1]
+                .checked_mul(dims[i + 1])
+                .expect("layout dimension overflow");
+        }
+        let dim = strides[0]
+            .checked_mul(dims[0])
+            .expect("layout dimension overflow");
+        Layout { dims, strides, dim }
+    }
+
+    /// `t` qubits.
+    pub fn qubits(t: usize) -> Self {
+        Layout::new(vec![2; t])
+    }
+
+    /// Total Hilbert-space dimension.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of sites.
+    #[inline]
+    pub fn num_sites(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Dimension of one site.
+    #[inline]
+    pub fn site_dim(&self, site: usize) -> usize {
+        self.dims[site]
+    }
+
+    /// All site dimensions.
+    #[inline]
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Stride of one site (distance between consecutive values of that digit).
+    #[inline]
+    pub fn stride(&self, site: usize) -> usize {
+        self.strides[site]
+    }
+
+    /// Encode per-site coordinates into a basis index.
+    #[inline]
+    pub fn encode(&self, coords: &[usize]) -> usize {
+        debug_assert_eq!(coords.len(), self.dims.len());
+        let mut idx = 0usize;
+        for (i, &c) in coords.iter().enumerate() {
+            debug_assert!(c < self.dims[i], "coordinate out of range");
+            idx += c * self.strides[i];
+        }
+        idx
+    }
+
+    /// Decode a basis index into per-site coordinates.
+    #[inline]
+    pub fn decode(&self, mut idx: usize, out: &mut Vec<usize>) {
+        debug_assert!(idx < self.dim);
+        out.clear();
+        out.reserve(self.dims.len());
+        for i in 0..self.dims.len() {
+            out.push(idx / self.strides[i]);
+            idx %= self.strides[i];
+        }
+    }
+
+    /// Decode convenience returning a fresh vector.
+    pub fn coords(&self, idx: usize) -> Vec<usize> {
+        let mut v = Vec::new();
+        self.decode(idx, &mut v);
+        v
+    }
+
+    /// Extract the digit of `idx` at `site`.
+    #[inline]
+    pub fn digit(&self, idx: usize, site: usize) -> usize {
+        (idx / self.strides[site]) % self.dims[site]
+    }
+
+    /// Replace the digit of `idx` at `site` with `value`.
+    #[inline]
+    pub fn with_digit(&self, idx: usize, site: usize, value: usize) -> usize {
+        debug_assert!(value < self.dims[site]);
+        idx - self.digit(idx, site) * self.strides[site] + value * self.strides[site]
+    }
+
+    /// Combined value of a *group* of sites, interpreted mixed-radix
+    /// big-endian in the order given.
+    pub fn group_value(&self, idx: usize, sites: &[usize]) -> usize {
+        let mut v = 0usize;
+        for &s in sites {
+            v = v * self.dims[s] + self.digit(idx, s);
+        }
+        v
+    }
+
+    /// Total dimension of a group of sites.
+    pub fn group_dim(&self, sites: &[usize]) -> usize {
+        sites
+            .iter()
+            .map(|&s| self.dims[s])
+            .fold(1usize, |a, b| a.checked_mul(b).expect("group dim overflow"))
+    }
+
+    /// Split a combined group value back into per-site digits (same order).
+    pub fn split_group_value(&self, sites: &[usize], mut value: usize, out: &mut Vec<usize>) {
+        out.clear();
+        out.resize(sites.len(), 0);
+        for (slot, &s) in sites.iter().enumerate().rev() {
+            out[slot] = value % self.dims[s];
+            value /= self.dims[s];
+        }
+        debug_assert_eq!(value, 0, "group value out of range");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strides_and_dim() {
+        let l = Layout::new(vec![3, 4, 5]);
+        assert_eq!(l.dim(), 60);
+        assert_eq!(l.stride(0), 20);
+        assert_eq!(l.stride(1), 5);
+        assert_eq!(l.stride(2), 1);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let l = Layout::new(vec![2, 3, 2, 5]);
+        let mut buf = Vec::new();
+        for idx in 0..l.dim() {
+            l.decode(idx, &mut buf);
+            assert_eq!(l.encode(&buf), idx);
+            for (i, &c) in buf.iter().enumerate() {
+                assert_eq!(c, l.digit(idx, i));
+            }
+        }
+    }
+
+    #[test]
+    fn with_digit_replaces_exactly_one_site() {
+        let l = Layout::new(vec![4, 3, 2]);
+        for idx in 0..l.dim() {
+            for site in 0..3 {
+                for v in 0..l.site_dim(site) {
+                    let j = l.with_digit(idx, site, v);
+                    assert_eq!(l.digit(j, site), v);
+                    for other in 0..3 {
+                        if other != site {
+                            assert_eq!(l.digit(j, other), l.digit(idx, other));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn group_value_roundtrip() {
+        let l = Layout::new(vec![2, 3, 4, 5]);
+        let sites = [2usize, 0, 3];
+        let mut digits = Vec::new();
+        for idx in 0..l.dim() {
+            let v = l.group_value(idx, &sites);
+            assert!(v < l.group_dim(&sites));
+            l.split_group_value(&sites, v, &mut digits);
+            assert_eq!(digits[0], l.digit(idx, 2));
+            assert_eq!(digits[1], l.digit(idx, 0));
+            assert_eq!(digits[2], l.digit(idx, 3));
+        }
+    }
+
+    #[test]
+    fn qubits_layout() {
+        let l = Layout::qubits(5);
+        assert_eq!(l.dim(), 32);
+        assert_eq!(l.num_sites(), 5);
+        // big-endian: site 0 is the most significant bit
+        assert_eq!(l.digit(16, 0), 1);
+        assert_eq!(l.digit(16, 4), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "site dimension")]
+    fn rejects_dimension_one() {
+        Layout::new(vec![2, 1]);
+    }
+}

@@ -1,0 +1,40 @@
+//! Mixed-radix state-vector quantum simulator.
+//!
+//! The algorithms of Ivanyos–Magniez–Santha run their quantum subroutines on
+//! registers indexed by finite Abelian groups `Z_{d1} × … × Z_{dk}` (the
+//! "mixed radix" case — each factor `Z_{d}` is one *site* of dimension `d`),
+//! plus ordinary qubit registers for Shor-style phase estimation. This crate
+//! simulates such registers exactly with `f64` amplitudes:
+//!
+//! - [`complex`] — minimal `Complex64` (no external dependency);
+//! - [`layout`] — register shapes, strides and index arithmetic;
+//! - [`state`] — the state vector: constructors, norms, fidelity, tensoring;
+//! - [`gates`] — dense single-site unitaries, diagonal phases, controlled
+//!   phases, swaps (rayon-parallel kernels);
+//! - [`qft`] — exact DFT on a site, the standard qubit QFT circuit over
+//!   `Z_{2^t}` with an approximation cutoff (the paper only ever needs the
+//!   *approximate* Abelian QFT), and Fourier transforms over product groups;
+//! - [`oracle`] — reversible classical oracles `|x⟩|y⟩ → |x⟩|y ⊞ f(x)⟩` and
+//!   basis-permutation oracles (the black-box group multiplication `U_G`);
+//! - [`measure`] — projective measurement of site groups, marginals,
+//!   sampling;
+//! - [`counter`] — thread-safe oracle-query counters shared between the
+//!   classical reduction logic and the simulated circuits.
+//!
+//! Simulation cost is linear to quadratic in the Hilbert-space dimension and
+//! therefore exponential in the problem size; the *query structure* of the
+//! simulated algorithms is the polynomial object the reproduction measures.
+
+pub mod complex;
+pub mod counter;
+pub mod gates;
+pub mod layout;
+pub mod measure;
+pub mod oracle;
+pub mod qft;
+pub mod state;
+
+pub use complex::Complex;
+pub use counter::QueryCounter;
+pub use layout::Layout;
+pub use state::State;

@@ -1,0 +1,154 @@
+//! Projective measurement of site groups.
+
+use rand::Rng;
+
+use crate::complex::Complex;
+use crate::state::State;
+
+/// Probability distribution over the combined values of a group of sites
+/// (marginal of the full distribution).
+pub fn marginal_distribution(state: &State, sites: &[usize]) -> Vec<f64> {
+    let layout = state.layout();
+    let gdim = layout.group_dim(sites);
+    let mut probs = vec![0.0f64; gdim];
+    for (idx, amp) in state.amplitudes().iter().enumerate() {
+        let p = amp.norm_sqr();
+        if p > 0.0 {
+            probs[layout.group_value(idx, sites)] += p;
+        }
+    }
+    probs
+}
+
+/// Sample an outcome index from a probability vector (linear scan inverse
+/// CDF; exact up to f64 rounding, tail-safe).
+pub fn sample_from(probs: &[f64], rng: &mut impl Rng) -> usize {
+    let total: f64 = probs.iter().sum();
+    debug_assert!((total - 1.0).abs() < 1e-6, "distribution not normalized: {total}");
+    let mut u: f64 = rng.gen::<f64>() * total;
+    for (i, &p) in probs.iter().enumerate() {
+        if u < p {
+            return i;
+        }
+        u -= p;
+    }
+    // Rounding fell off the end: return the last outcome with nonzero mass.
+    probs
+        .iter()
+        .rposition(|&p| p > 0.0)
+        .expect("sampling from zero distribution")
+}
+
+/// Measure a group of sites: samples an outcome, collapses the state, and
+/// returns the combined outcome value.
+pub fn measure_sites(state: &mut State, sites: &[usize], rng: &mut impl Rng) -> usize {
+    let probs = marginal_distribution(state, sites);
+    let outcome = sample_from(&probs, rng);
+    collapse(state, sites, outcome);
+    outcome
+}
+
+/// Project the state onto the subspace where `sites` read `outcome`, then
+/// renormalize. Panics if the outcome has zero probability.
+pub fn collapse(state: &mut State, sites: &[usize], outcome: usize) {
+    let layout = state.layout().clone();
+    for (idx, amp) in state.amplitudes_mut().iter_mut().enumerate() {
+        if layout.group_value(idx, sites) != outcome {
+            *amp = Complex::ZERO;
+        }
+    }
+    state.renormalize();
+}
+
+/// Total-variation distance between two distributions of equal length.
+pub fn total_variation(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len());
+    0.5 * p
+        .iter()
+        .zip(q)
+        .map(|(a, b)| (a - b).abs())
+        .sum::<f64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gates::hadamard;
+    use crate::layout::Layout;
+    use rand::SeedableRng;
+
+    type Rng64 = rand::rngs::StdRng;
+
+    #[test]
+    fn marginal_of_product_state() {
+        let l = Layout::new(vec![2, 3]);
+        let mut s = State::zero(l);
+        hadamard(&mut s, 0);
+        let m0 = marginal_distribution(&s, &[0]);
+        assert!((m0[0] - 0.5).abs() < 1e-12 && (m0[1] - 0.5).abs() < 1e-12);
+        let m1 = marginal_distribution(&s, &[1]);
+        assert!((m1[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn measurement_collapses_consistently() {
+        let mut rng = Rng64::seed_from_u64(7);
+        let l = Layout::new(vec![2, 2]);
+        // Bell-like correlated state: |00> + |11>.
+        let mut s = State::uniform_over(l.clone(), &[0, 3]);
+        let a = measure_sites(&mut s, &[0], &mut rng);
+        let b = measure_sites(&mut s, &[1], &mut rng);
+        assert_eq!(a, b, "correlated sites must agree");
+        assert!((s.norm_sqr() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn measurement_statistics_match_probabilities() {
+        let mut rng = Rng64::seed_from_u64(42);
+        let l = Layout::new(vec![4]);
+        let s = State::from_amplitudes(
+            l,
+            vec![
+                Complex::new(1.0, 0.0),
+                Complex::new(1.0, 0.0),
+                Complex::new(1.0, 0.0),
+                Complex::new(3.0, 0.0),
+            ],
+        );
+        // p = [1/12, 1/12, 1/12, 9/12]
+        let n = 20_000;
+        let mut counts = [0usize; 4];
+        for _ in 0..n {
+            let mut t = s.clone();
+            counts[measure_sites(&mut t, &[0], &mut rng)] += 1;
+        }
+        let p3 = counts[3] as f64 / n as f64;
+        assert!((p3 - 0.75).abs() < 0.02, "p3={p3}");
+    }
+
+    #[test]
+    fn collapse_to_given_outcome() {
+        let l = Layout::new(vec![3, 2]);
+        let mut s = State::uniform(l.clone());
+        collapse(&mut s, &[0], 1);
+        for idx in 0..l.dim() {
+            let expected = if l.digit(idx, 0) == 1 { 0.5 } else { 0.0 };
+            assert!((s.probability(idx) - expected).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sample_from_degenerate() {
+        let mut rng = Rng64::seed_from_u64(3);
+        let probs = vec![0.0, 0.0, 1.0, 0.0];
+        for _ in 0..100 {
+            assert_eq!(sample_from(&probs, &mut rng), 2);
+        }
+    }
+
+    #[test]
+    fn tv_distance_basics() {
+        assert!((total_variation(&[0.5, 0.5], &[0.5, 0.5])).abs() < 1e-15);
+        assert!((total_variation(&[1.0, 0.0], &[0.0, 1.0]) - 1.0).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,194 @@
+//! Reversible oracles over the computational basis.
+//!
+//! Black-box access in the paper's model (Section 2) consists of unitaries
+//! permuting basis states: the group oracle `U_G |g⟩|h⟩ = |g⟩|gh⟩`, its
+//! inverse, and the hiding function `f` applied as `|x⟩|y⟩ → |x⟩|y ⊞ f(x)⟩`
+//! where `⊞` is digit-wise modular addition (XOR when the target sites are
+//! qubits). Both are basis permutations, hence exactly unitary.
+
+use crate::complex::Complex;
+use crate::state::State;
+
+/// Apply a generic basis permutation `|i⟩ → |π(i)⟩`.
+///
+/// `perm` must be a bijection on `0..dim`; this is checked (cheaply, with a
+/// visited bitmap) in debug builds. The closure is invoked sequentially, so
+/// it may carry mutable caches.
+pub fn apply_basis_permutation<F: FnMut(usize) -> usize>(state: &mut State, mut perm: F) {
+    let dim = state.dim();
+    let mut out = vec![Complex::ZERO; dim];
+    #[cfg(debug_assertions)]
+    let mut seen = vec![false; dim];
+    let amps = state.amplitudes().to_vec();
+    for (i, amp) in amps.into_iter().enumerate() {
+        let j = perm(i);
+        debug_assert!(j < dim, "permutation out of range: {i} -> {j}");
+        #[cfg(debug_assertions)]
+        {
+            assert!(!seen[j], "not a permutation: {j} hit twice");
+            seen[j] = true;
+        }
+        out[j] = amp;
+    }
+    state.replace_amps(out);
+}
+
+/// Apply a classical function oracle: for each basis state, read the digits
+/// of `input_sites`, evaluate `f`, and add the result digit-wise (mod each
+/// target dimension) into `output_sites`.
+///
+/// `f` receives the input digits and must return exactly
+/// `output_sites.len()` digits, each within its site dimension. Results are
+/// memoized per distinct input value, so the underlying hiding oracle is
+/// queried once per group element — the quantity experiment reports as
+/// "superposition queries".
+pub fn apply_function_oracle<F>(
+    state: &mut State,
+    input_sites: &[usize],
+    output_sites: &[usize],
+    f: F,
+) where
+    F: FnMut(&[usize]) -> Vec<usize>,
+{
+    let mut f = f;
+    let layout = state.layout().clone();
+    let in_dim = layout.group_dim(input_sites);
+    let mut cache: Vec<Option<Vec<usize>>> = vec![None; in_dim];
+    let mut split_buf = Vec::new();
+    apply_basis_permutation(state, |idx| {
+        let key = layout.group_value(idx, input_sites);
+        if cache[key].is_none() {
+            layout.split_group_value(input_sites, key, &mut split_buf);
+            let val = f(&split_buf);
+            assert_eq!(val.len(), output_sites.len(), "oracle output arity");
+            cache[key] = Some(val);
+        }
+        let digits = cache[key].as_ref().unwrap();
+        let mut j = idx;
+        for (slot, &site) in output_sites.iter().enumerate() {
+            let d = layout.site_dim(site);
+            let cur = layout.digit(j, site);
+            let add = digits[slot];
+            assert!(add < d, "oracle output digit {add} out of range for dim {d}");
+            j = layout.with_digit(j, site, (cur + add) % d);
+        }
+        j
+    });
+}
+
+/// Group multiplication oracle `U_G |g⟩|h⟩ → |g⟩|m(g, h)⟩` where `m` is a
+/// bijection in `h` for every fixed `g` (left translation). Sites are given
+/// as two groups encoding `g` and `h`.
+pub fn apply_group_multiplication<F>(
+    state: &mut State,
+    g_sites: &[usize],
+    h_sites: &[usize],
+    multiply: F,
+) where
+    F: Fn(usize, usize) -> usize,
+{
+    let layout = state.layout().clone();
+    let h_dim = layout.group_dim(h_sites);
+    let mut digits = Vec::new();
+    apply_basis_permutation(state, |idx| {
+        let g = layout.group_value(idx, g_sites);
+        let h = layout.group_value(idx, h_sites);
+        let gh = multiply(g, h);
+        assert!(gh < h_dim, "multiplication result out of range");
+        let mut j = idx;
+        layout.split_group_value(h_sites, gh, &mut digits);
+        for (slot, &site) in h_sites.iter().enumerate() {
+            j = layout.with_digit(j, site, digits[slot]);
+        }
+        j
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::Layout;
+
+    #[test]
+    fn basis_permutation_moves_amplitudes() {
+        let l = Layout::new(vec![4]);
+        let mut s = State::basis_index(l, 1);
+        apply_basis_permutation(&mut s, |i| (i + 1) % 4);
+        assert_eq!(s.probability(2), 1.0);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "not a permutation")]
+    fn non_permutation_rejected() {
+        let l = Layout::new(vec![4]);
+        let mut s = State::uniform(l);
+        apply_basis_permutation(&mut s, |_| 0);
+    }
+
+    #[test]
+    fn function_oracle_mod_add_semantics() {
+        // f(x) = x^2 mod 4 into a 4-dimensional target site.
+        let l = Layout::new(vec![4, 4]);
+        for x in 0..4usize {
+            let mut s = State::basis(l.clone(), &[x, 1]);
+            apply_function_oracle(&mut s, &[0], &[1], |digs| vec![(digs[0] * digs[0]) % 4]);
+            let expect = l.encode(&[x, (1 + x * x % 4) % 4]);
+            assert_eq!(s.probability(expect), 1.0, "x={x}");
+        }
+    }
+
+    #[test]
+    fn function_oracle_is_self_inverse_for_qubits() {
+        // XOR oracle applied twice = identity on qubit targets.
+        let l = Layout::new(vec![4, 2, 2]);
+        let f = |digs: &[usize]| vec![digs[0] & 1, (digs[0] >> 1) & 1];
+        let mut s = State::uniform(l.clone());
+        let orig = s.clone();
+        apply_function_oracle(&mut s, &[0], &[1, 2], f);
+        apply_function_oracle(&mut s, &[0], &[1, 2], f);
+        assert!(s.fidelity(&orig) > 1.0 - 1e-12);
+    }
+
+    #[test]
+    fn function_oracle_superposition_entangles() {
+        // |+>|0> -> sum_x |x>|f(x)>; probabilities follow f's fibers.
+        let l = Layout::new(vec![4, 2]);
+        let mut s = State::uniform_over(l.clone(), &[0, 2, 4, 6]); // x in 0..4, y=0
+        apply_function_oracle(&mut s, &[0], &[1], |d| vec![d[0] % 2]);
+        for x in 0..4usize {
+            let idx = l.encode(&[x, x % 2]);
+            assert!((s.probability(idx) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn function_oracle_memoizes() {
+        use std::cell::Cell;
+        let calls = Cell::new(0usize);
+        let l = Layout::new(vec![4, 4]);
+        let mut s = State::uniform(l);
+        apply_function_oracle(&mut s, &[0], &[1], |d| {
+            calls.set(calls.get() + 1);
+            vec![d[0]]
+        });
+        assert_eq!(calls.get(), 4, "one call per distinct input");
+    }
+
+    #[test]
+    fn group_multiplication_oracle_z5() {
+        // U_G for Z_5: |g>|h> -> |g>|g+h mod 5>.
+        let l = Layout::new(vec![5, 5]);
+        let mut s = State::basis(l.clone(), &[3, 4]);
+        apply_group_multiplication(&mut s, &[0], &[1], |g, h| (g + h) % 5);
+        assert_eq!(s.probability(l.encode(&[3, 2])), 1.0);
+    }
+
+    #[test]
+    fn group_multiplication_preserves_norm_on_superposition() {
+        let l = Layout::new(vec![6, 6]);
+        let mut s = State::uniform(l);
+        apply_group_multiplication(&mut s, &[0], &[1], |g, h| (g + h) % 6);
+        assert!((s.norm_sqr() - 1.0).abs() < 1e-10);
+    }
+}

@@ -1,0 +1,273 @@
+//! Fourier transforms over finite Abelian groups.
+//!
+//! Three implementations, matching the three ways the paper's algorithms use
+//! Fourier transforms:
+//!
+//! 1. [`dft_site`] — exact DFT over `Z_d` on one site, any `d` (dense `d×d`
+//!    application). The QFT over a product group `Z_{d1} × … × Z_{dk}` is the
+//!    tensor product of per-site DFTs: [`qft_product_group`].
+//! 2. [`qft_binary_register`] — the standard qubit circuit computing the QFT
+//!    over `Z_{2^t}` on `t` qubit sites (Hadamards + controlled phases + bit
+//!    reversal).
+//! 3. [`approx_qft_binary_register`] — same circuit with rotations below
+//!    `π/2^cutoff` dropped. Lemma 9 of the paper notes that the *approximate*
+//!    QFT suffices; experiment E10 measures the fidelity/cost trade-off.
+
+use crate::complex::Complex;
+use crate::gates::{apply_site_unitary, controlled_phase, hadamard, swap_sites};
+use crate::state::State;
+
+/// Dense DFT (or inverse) matrix over `Z_d`, row-major:
+/// `F[x][y] = ω^{±xy} / √d` with `ω = e^{2πi/d}`.
+pub fn dft_matrix(d: usize, inverse: bool) -> Vec<Complex> {
+    let mut m = vec![Complex::ZERO; d * d];
+    let norm = 1.0 / (d as f64).sqrt();
+    let sign: i64 = if inverse { -1 } else { 1 };
+    for x in 0..d {
+        for y in 0..d {
+            let k = sign * (x as i64) * (y as i64);
+            m[x * d + y] = Complex::root_of_unity(k, d as u64).scale(norm);
+        }
+    }
+    m
+}
+
+/// Apply the exact DFT over `Z_d` to one site.
+pub fn dft_site(state: &mut State, site: usize, inverse: bool) {
+    let d = state.layout().site_dim(site);
+    let m = dft_matrix(d, inverse);
+    apply_site_unitary(state, site, &m);
+}
+
+/// QFT over the product group `Z_{d1} × … × Z_{dk}`: per-site DFTs on each
+/// listed site. This is the transform used by the standard Abelian HSP
+/// algorithm over `A = Z_{s1} × … × Z_{sr}` (Lemma 9 / Theorem 3).
+pub fn qft_product_group(state: &mut State, sites: &[usize], inverse: bool) {
+    for &s in sites {
+        dft_site(state, s, inverse);
+    }
+}
+
+/// Exact QFT over `Z_{2^t}` on qubit sites (big-endian order), via the
+/// textbook circuit: `t` Hadamards, `t(t−1)/2` controlled phases, `⌊t/2⌋`
+/// swaps.
+pub fn qft_binary_register(state: &mut State, qubits: &[usize], inverse: bool) {
+    approx_qft_binary_register(state, qubits, inverse, usize::MAX)
+}
+
+/// Approximate QFT over `Z_{2^t}`: controlled rotations `R_k` with
+/// `k > cutoff` are dropped. `cutoff = usize::MAX` gives the exact QFT;
+/// `cutoff = O(log t)` already achieves inverse-polynomial error (Coppersmith).
+pub fn approx_qft_binary_register(
+    state: &mut State,
+    qubits: &[usize],
+    inverse: bool,
+    cutoff: usize,
+) {
+    for &q in qubits {
+        assert_eq!(state.layout().site_dim(q), 2, "binary QFT requires qubit sites");
+    }
+    let t = qubits.len();
+    let sign = if inverse { -1.0 } else { 1.0 };
+    if inverse {
+        // Inverse circuit: reverse the forward gate sequence (all gates are
+        // self-transpose up to phase sign).
+        for i in 0..t / 2 {
+            swap_sites(state, qubits[i], qubits[t - 1 - i]);
+        }
+        for j in (0..t).rev() {
+            for k in (2..=(t - j)).rev() {
+                if k <= cutoff {
+                    let theta = sign * std::f64::consts::TAU / (1u64 << k) as f64;
+                    controlled_phase(state, qubits[j], qubits[j + k - 1], theta);
+                }
+            }
+            hadamard(state, qubits[j]);
+        }
+    } else {
+        for j in 0..t {
+            hadamard(state, qubits[j]);
+            for k in 2..=(t - j) {
+                if k <= cutoff {
+                    let theta = sign * std::f64::consts::TAU / (1u64 << k) as f64;
+                    controlled_phase(state, qubits[j], qubits[j + k - 1], theta);
+                }
+            }
+        }
+        for i in 0..t / 2 {
+            swap_sites(state, qubits[i], qubits[t - 1 - i]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::Layout;
+
+    fn assert_states_close(a: &State, b: &State, eps: f64) {
+        assert!(
+            a.fidelity(b) > 1.0 - eps,
+            "fidelity {} too low",
+            a.fidelity(b)
+        );
+    }
+
+    #[test]
+    fn dft_matrix_is_unitary() {
+        for d in 2..12usize {
+            let m = dft_matrix(d, false);
+            // Check F F† = I.
+            for r in 0..d {
+                for c in 0..d {
+                    let mut acc = Complex::ZERO;
+                    for k in 0..d {
+                        acc += m[r * d + k] * m[c * d + k].conj();
+                    }
+                    let expect = if r == c { Complex::ONE } else { Complex::ZERO };
+                    assert!(acc.approx_eq(expect, 1e-10), "d={d} r={r} c={c}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dft_of_zero_is_uniform() {
+        let mut s = State::zero(Layout::new(vec![7]));
+        dft_site(&mut s, 0, false);
+        for i in 0..7 {
+            assert!((s.probability(i) - 1.0 / 7.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn dft_roundtrip_identity() {
+        let l = Layout::new(vec![5, 3]);
+        for idx in 0..l.dim() {
+            let mut s = State::basis_index(l.clone(), idx);
+            dft_site(&mut s, 0, false);
+            dft_site(&mut s, 1, false);
+            dft_site(&mut s, 1, true);
+            dft_site(&mut s, 0, true);
+            assert!((s.probability(idx) - 1.0).abs() < 1e-10, "idx={idx}");
+        }
+    }
+
+    #[test]
+    fn dft_diagonalizes_cyclic_shift() {
+        // DFT maps |periodic subgroup state> to the dual subgroup state:
+        // uniform over multiples of k in Z_{d} -> uniform over multiples of d/k.
+        let d = 12usize;
+        let k = 3usize; // subgroup {0,3,6,9}
+        let l = Layout::new(vec![d]);
+        let idxs: Vec<usize> = (0..d / k).map(|j| j * k).collect();
+        let mut s = State::uniform_over(l, &idxs);
+        dft_site(&mut s, 0, false);
+        // H = 3·Z_12 has |H| = 4, so H^⊥ = {y : 3y ≡ 0 mod 12} = 4·Z_12 with
+        // |H^⊥| = k = 3; mass is uniform 1/k on H^⊥.
+        for y in 0..d {
+            let expect = if y % (d / k) == 0 { 1.0 / k as f64 } else { 0.0 };
+            assert!(
+                (s.probability(y) - expect).abs() < 1e-10,
+                "y={y} p={}",
+                s.probability(y)
+            );
+        }
+    }
+
+    #[test]
+    fn binary_qft_matches_dense_dft() {
+        // QFT on t qubits == DFT over Z_{2^t} on a single site of dim 2^t.
+        for t in 1..=6usize {
+            let d = 1usize << t;
+            for idx in [0usize, 1, d / 2, d - 1] {
+                let mut qs = State::basis_index(Layout::qubits(t), idx);
+                let sites: Vec<usize> = (0..t).collect();
+                qft_binary_register(&mut qs, &sites, false);
+
+                let mut ds = State::basis_index(Layout::new(vec![d]), idx);
+                dft_site(&mut ds, 0, false);
+
+                for i in 0..d {
+                    assert!(
+                        qs.amplitudes()[i].approx_eq(ds.amplitudes()[i], 1e-9),
+                        "t={t} idx={idx} i={i}: {:?} vs {:?}",
+                        qs.amplitudes()[i],
+                        ds.amplitudes()[i]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn binary_qft_inverse_roundtrip() {
+        let t = 5;
+        let sites: Vec<usize> = (0..t).collect();
+        let idx = 19usize;
+        let mut s = State::basis_index(Layout::qubits(t), idx);
+        qft_binary_register(&mut s, &sites, false);
+        qft_binary_register(&mut s, &sites, true);
+        assert!((s.probability(idx) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn approximate_qft_fidelity_improves_with_cutoff() {
+        let t = 8;
+        let sites: Vec<usize> = (0..t).collect();
+        let idx = 173usize;
+        let mut exact = State::basis_index(Layout::qubits(t), idx);
+        qft_binary_register(&mut exact, &sites, false);
+        let mut prev_fid = 0.0;
+        for cutoff in [2usize, 3, 4, 6, 8] {
+            let mut approx = State::basis_index(Layout::qubits(t), idx);
+            approx_qft_binary_register(&mut approx, &sites, false, cutoff);
+            let fid = approx.fidelity(&exact);
+            assert!(
+                fid >= prev_fid - 1e-9,
+                "fidelity should be monotone in cutoff: {fid} < {prev_fid}"
+            );
+            prev_fid = fid;
+        }
+        assert!(prev_fid > 1.0 - 1e-9, "full cutoff must equal exact QFT");
+        // Coppersmith bound: dropped-rotation angles for cutoff m sum to
+        // Σ_{k>m} (t−k+1)·2π/2^k, so fidelity ≥ cos²(sum/2). For t = 8,
+        // cutoff 4 gives sum ≈ 1.20 rad → fidelity ≥ 0.68; cutoff 6 gives
+        // sum ≈ 0.12 rad → fidelity ≥ 0.99.
+        let mut a4 = State::basis_index(Layout::qubits(t), idx);
+        approx_qft_binary_register(&mut a4, &sites, false, 4);
+        assert!(a4.fidelity(&exact) > 0.5, "cutoff 4: {}", a4.fidelity(&exact));
+        let mut a6 = State::basis_index(Layout::qubits(t), idx);
+        approx_qft_binary_register(&mut a6, &sites, false, 6);
+        assert!(a6.fidelity(&exact) > 0.9, "cutoff 6: {}", a6.fidelity(&exact));
+    }
+
+    #[test]
+    fn product_group_qft_is_tensor_of_dfts() {
+        let l = Layout::new(vec![3, 4]);
+        let mut s = State::basis(l.clone(), &[1, 2]);
+        qft_product_group(&mut s, &[0, 1], false);
+        // amplitude at (a, b) = ω3^{1·a} ω4^{2·b} / sqrt(12)
+        for a in 0..3 {
+            for b in 0..4 {
+                let expect = (Complex::root_of_unity(a as i64, 3)
+                    * Complex::root_of_unity(2 * b as i64, 4))
+                .scale(1.0 / (12.0f64).sqrt());
+                let got = s.amplitudes()[l.encode(&[a, b])];
+                assert!(got.approx_eq(expect, 1e-10), "a={a} b={b}");
+            }
+        }
+        assert_states_close(&s, &s, 0.0);
+    }
+
+    #[test]
+    fn parseval_preserved() {
+        let l = Layout::new(vec![6, 2]);
+        let amps: Vec<Complex> = (0..12)
+            .map(|i| Complex::new((i as f64 * 0.3).sin(), (i as f64 * 0.9).cos()))
+            .collect();
+        let mut s = State::from_amplitudes(l, amps);
+        qft_product_group(&mut s, &[0, 1], false);
+        assert!((s.norm_sqr() - 1.0).abs() < 1e-10);
+    }
+}

@@ -1,0 +1,231 @@
+//! The state vector.
+
+use crate::complex::Complex;
+use crate::layout::Layout;
+
+/// Pure quantum state over a [`Layout`].
+///
+/// Amplitudes are stored dense; constructors guarantee unit norm and all
+/// operations in this crate preserve it up to floating-point error (checked
+/// by `debug_assert`s and the property tests).
+#[derive(Clone, Debug)]
+pub struct State {
+    layout: Layout,
+    amps: Vec<Complex>,
+}
+
+impl State {
+    /// The computational basis state `|coords⟩`.
+    pub fn basis(layout: Layout, coords: &[usize]) -> Self {
+        let idx = layout.encode(coords);
+        Self::basis_index(layout, idx)
+    }
+
+    /// Basis state by flat index.
+    pub fn basis_index(layout: Layout, idx: usize) -> Self {
+        assert!(idx < layout.dim());
+        let mut amps = vec![Complex::ZERO; layout.dim()];
+        amps[idx] = Complex::ONE;
+        State { layout, amps }
+    }
+
+    /// `|0…0⟩`.
+    pub fn zero(layout: Layout) -> Self {
+        Self::basis_index(layout, 0)
+    }
+
+    /// Uniform superposition over all basis states.
+    pub fn uniform(layout: Layout) -> Self {
+        let dim = layout.dim();
+        let a = Complex::new(1.0 / (dim as f64).sqrt(), 0.0);
+        State { layout, amps: vec![a; dim] }
+    }
+
+    /// Uniform superposition over a subset of basis indices (used for coset
+    /// states `|gN⟩` and subgroup states `|N⟩`). Panics on an empty subset.
+    pub fn uniform_over(layout: Layout, indices: &[usize]) -> Self {
+        assert!(!indices.is_empty(), "uniform_over of empty set");
+        let mut amps = vec![Complex::ZERO; layout.dim()];
+        let a = Complex::new(1.0 / (indices.len() as f64).sqrt(), 0.0);
+        for &i in indices {
+            assert!(amps[i] == Complex::ZERO, "duplicate index {i}");
+            amps[i] = a;
+        }
+        State { layout, amps }
+    }
+
+    /// Build from raw amplitudes, normalizing. Panics on the zero vector.
+    pub fn from_amplitudes(layout: Layout, mut amps: Vec<Complex>) -> Self {
+        assert_eq!(amps.len(), layout.dim());
+        let n2: f64 = amps.iter().map(|a| a.norm_sqr()).sum();
+        assert!(n2 > 1e-300, "cannot normalize zero vector");
+        let s = 1.0 / n2.sqrt();
+        for a in &mut amps {
+            *a = a.scale(s);
+        }
+        State { layout, amps }
+    }
+
+    #[inline]
+    pub fn layout(&self) -> &Layout {
+        &self.layout
+    }
+
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.layout.dim()
+    }
+
+    #[inline]
+    pub fn amplitudes(&self) -> &[Complex] {
+        &self.amps
+    }
+
+    #[inline]
+    pub(crate) fn amplitudes_mut(&mut self) -> &mut [Complex] {
+        &mut self.amps
+    }
+
+    /// Replace the amplitude buffer (same length). Internal plumbing for
+    /// gates that compute out-of-place.
+    pub(crate) fn replace_amps(&mut self, amps: Vec<Complex>) {
+        debug_assert_eq!(amps.len(), self.amps.len());
+        self.amps = amps;
+    }
+
+    /// Squared 2-norm (should always be ≈ 1).
+    pub fn norm_sqr(&self) -> f64 {
+        self.amps.iter().map(|a| a.norm_sqr()).sum()
+    }
+
+    /// Renormalize (after measurement collapse).
+    pub(crate) fn renormalize(&mut self) {
+        let n2 = self.norm_sqr();
+        assert!(n2 > 1e-300, "collapse to zero vector");
+        let s = 1.0 / n2.sqrt();
+        for a in &mut self.amps {
+            *a = a.scale(s);
+        }
+    }
+
+    /// Inner product `⟨self|other⟩`.
+    pub fn inner(&self, other: &State) -> Complex {
+        assert_eq!(self.layout, other.layout, "layout mismatch");
+        self.amps
+            .iter()
+            .zip(&other.amps)
+            .fold(Complex::ZERO, |acc, (a, b)| acc + a.conj() * *b)
+    }
+
+    /// Fidelity `|⟨self|other⟩|²` between pure states.
+    pub fn fidelity(&self, other: &State) -> f64 {
+        self.inner(other).norm_sqr()
+    }
+
+    /// Trace distance between the two pure states:
+    /// `√(1 − |⟨a|b⟩|²)`.
+    pub fn trace_distance(&self, other: &State) -> f64 {
+        (1.0 - self.fidelity(other)).max(0.0).sqrt()
+    }
+
+    /// Probability of measuring basis index `idx`.
+    #[inline]
+    pub fn probability(&self, idx: usize) -> f64 {
+        self.amps[idx].norm_sqr()
+    }
+
+    /// Tensor product `self ⊗ other` (sites of `other` appended).
+    pub fn tensor(&self, other: &State) -> State {
+        let mut dims = self.layout.dims().to_vec();
+        dims.extend_from_slice(other.layout.dims());
+        let layout = Layout::new(dims);
+        let mut amps = vec![Complex::ZERO; layout.dim()];
+        let od = other.dim();
+        for (i, &a) in self.amps.iter().enumerate() {
+            if a == Complex::ZERO {
+                continue;
+            }
+            for (j, &b) in other.amps.iter().enumerate() {
+                amps[i * od + j] = a * b;
+            }
+        }
+        State { layout, amps }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(dims: &[usize]) -> Layout {
+        Layout::new(dims.to_vec())
+    }
+
+    #[test]
+    fn basis_state_has_unit_norm() {
+        let s = State::basis(l(&[3, 2]), &[2, 1]);
+        assert!((s.norm_sqr() - 1.0).abs() < 1e-12);
+        assert_eq!(s.probability(5), 1.0);
+    }
+
+    #[test]
+    fn uniform_probabilities() {
+        let s = State::uniform(l(&[4, 3]));
+        for i in 0..12 {
+            assert!((s.probability(i) - 1.0 / 12.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn uniform_over_subset() {
+        let s = State::uniform_over(l(&[8]), &[1, 3, 5, 7]);
+        assert!((s.probability(1) - 0.25).abs() < 1e-12);
+        assert_eq!(s.probability(0), 0.0);
+        assert!((s.norm_sqr() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn uniform_over_rejects_duplicates() {
+        State::uniform_over(l(&[4]), &[1, 1]);
+    }
+
+    #[test]
+    fn from_amplitudes_normalizes() {
+        let s = State::from_amplitudes(
+            l(&[2]),
+            vec![Complex::new(3.0, 0.0), Complex::new(4.0, 0.0)],
+        );
+        assert!((s.probability(0) - 0.36).abs() < 1e-12);
+        assert!((s.probability(1) - 0.64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inner_product_orthogonal_basis() {
+        let a = State::basis_index(l(&[4]), 0);
+        let b = State::basis_index(l(&[4]), 3);
+        assert!(a.inner(&b).approx_eq(Complex::ZERO, 1e-12));
+        assert!(a.inner(&a).approx_eq(Complex::ONE, 1e-12));
+    }
+
+    #[test]
+    fn fidelity_and_trace_distance() {
+        let a = State::uniform(l(&[2]));
+        let b = State::basis_index(l(&[2]), 0);
+        assert!((a.fidelity(&b) - 0.5).abs() < 1e-12);
+        assert!((a.trace_distance(&b) - (0.5f64).sqrt()).abs() < 1e-12);
+        assert!(a.trace_distance(&a) < 1e-7);
+    }
+
+    #[test]
+    fn tensor_product_structure() {
+        let a = State::basis_index(l(&[2]), 1);
+        let b = State::uniform(l(&[3]));
+        let t = a.tensor(&b);
+        assert_eq!(t.dim(), 6);
+        for j in 0..3 {
+            assert!((t.probability(3 + j) - 1.0 / 3.0).abs() < 1e-12);
+            assert_eq!(t.probability(j), 0.0);
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! The dihedral HSP: why Theorem 13 matters.
+//!
+//! Ettinger–Høyer [9] solve the dihedral HSP with `O(log |G|)` quantum
+//! queries but *exponential-time* classical post-processing. The paper's
+//! Theorem 13 technique ("inspired by the idea of Ettinger and Høyer")
+//! achieves polynomial total time on its group class. This example runs the
+//! Ettinger–Høyer algorithm and reports both columns — queries stay tiny,
+//! the candidate scan grows linearly with `n` (i.e. exponentially in the
+//! input size `log n`).
+//!
+//! Run with `cargo run --release --example dihedral_showdown`.
+
+use nahsp::prelude::*;
+use rand::Rng as _;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn main() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+    println!("{:>8} {:>10} {:>14} {:>12}", "n", "queries", "candidates", "post (µs)");
+    for bits in [6u32, 8, 10, 12, 14] {
+        let n = 1u64 << bits;
+        let g = Dihedral::new(n);
+        let d = rng.gen_range(0..n);
+        // the hiding oracle, used only for the O(1) tie-break queries
+        let oracle = CosetTableOracle::new(g.clone(), &[(d, true)], 4 * n as usize);
+        let id_label = oracle.eval(&g.identity());
+        let samples = (10 * bits) as usize;
+        let t0 = Instant::now();
+        let res = ettinger_hoyer_dihedral(
+            &g,
+            d,
+            samples,
+            |cand| oracle.eval(&(cand, true)) == id_label,
+            &mut rng,
+        );
+        let post = t0.elapsed().as_micros();
+        assert_eq!(res.d, d, "slope not recovered at n={n}");
+        println!(
+            "{:>8} {:>10} {:>14} {:>12}",
+            n, res.quantum_queries, res.candidates_scanned, post
+        );
+    }
+    println!();
+    println!("queries grow with log n; the candidate scan (post-processing)");
+    println!("grows with n itself — the gap Theorem 13 closes for its class.");
+}

@@ -1,0 +1,84 @@
+//! The Abelian substrate as the classics: Simon's XOR-mask problem and
+//! Shor-style order finding are both instances of the machinery the paper
+//! builds on (its Section 1 lists them as special cases of the Abelian HSP).
+//!
+//! Run with `cargo run --release --example simon_and_shor`.
+
+use nahsp::prelude::*;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1994);
+
+    // ------------------------------------------------------------------
+    // Simon's problem: f : Z2^n → X hides {0, s}. Recover s.
+    // ------------------------------------------------------------------
+    println!("— Simon's problem —");
+    for n in [4usize, 6, 8] {
+        let s: u64 = 0b1011 & ((1 << n) - 1) | (1 << (n - 1)); // some mask
+        let a = AbelianProduct::new(vec![2; n]);
+        let s_vec: Vec<u64> = (0..n).map(|i| (s >> i) & 1).collect();
+        let oracle = SubgroupOracle::new(a, &[s_vec.clone()]);
+        let result = AbelianHsp::new(Backend::SimulatorCoset).solve(&oracle, &mut rng);
+        let gens = result.subgroup.cyclic_generators();
+        assert_eq!(gens.len(), 1);
+        assert_eq!(gens[0].0, s_vec);
+        println!(
+            "n = {n}: mask recovered = {:?} with {} Fourier rounds",
+            gens[0].0, result.rounds
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Order finding (the engine behind Shor): order of 2 modulo 15 and
+    // friends, run through the verbatim phase-estimation circuit.
+    // ------------------------------------------------------------------
+    println!("— order finding (simulated Shor circuit) —");
+    for (a, n) in [(2u64, 15u64), (7, 15), (2, 21), (5, 21)] {
+        // the multiplicative action x ↦ a·x mod n as a permutation
+        let images: Vec<u32> = (0..n as u32).map(|x| ((x as u64 * a) % n) as u32).collect();
+        let perm = Perm::from_images(images);
+        let g = PermGroup::new(n as usize, vec![perm.clone()]);
+        let order = OrderFinder::Simulated { max_order: 16 }.find(&g, &perm, &mut rng);
+        let classical = nahsp::numtheory::multiplicative_order(a, n).unwrap();
+        println!("ord_{n}({a}) = {order} (classical check: {classical})");
+        assert_eq!(order, classical);
+    }
+
+    // ------------------------------------------------------------------
+    // Factoring 15 with the recovered order, Shor-style post-processing:
+    // r even and a^(r/2) ≠ -1 → gcd(a^(r/2) ± 1, n) are factors.
+    // ------------------------------------------------------------------
+    println!("— Shor post-processing: factoring 15 —");
+    let (a, n) = (7u64, 15u64);
+    let r = nahsp::numtheory::multiplicative_order(a, n).unwrap();
+    assert_eq!(r % 2, 0);
+    let half = nahsp::numtheory::mod_pow(a, r / 2, n);
+    let f1 = nahsp::numtheory::gcd(half + 1, n);
+    let f2 = nahsp::numtheory::gcd(half + n - 1, n);
+    println!("order of {a} mod {n} is {r} → factors {f1} × {f2}");
+    assert_eq!(f1 * f2, 15);
+
+    // ------------------------------------------------------------------
+    // Cheung–Mosca (Theorem 1): decompose an Abelian black-box group.
+    // ------------------------------------------------------------------
+    println!("— Cheung–Mosca decomposition —");
+    let g = AbelianProduct::new(vec![12, 18]);
+    let gens = vec![vec![1u64, 0u64], vec![0u64, 1u64], vec![6u64, 9u64]];
+    let s = nahsp::abelian::structure::decompose(
+        &g,
+        &gens,
+        &AbelianHsp::new(Backend::SimulatorCoset),
+        &OrderFinder::Exact,
+        &mut rng,
+    );
+    println!(
+        "Z12 × Z18 ≅ {} (invariant factors)",
+        s.invariant_factors
+            .iter()
+            .map(|d| format!("Z{d}"))
+            .collect::<Vec<_>>()
+            .join(" ⊕ ")
+    );
+    assert_eq!(s.order(), 216);
+}

@@ -1,0 +1,99 @@
+//! Theorem 13 on the Section 6 family: groups with an elementary Abelian
+//! normal 2-subgroup, presented both abstractly (`Z₂^k ⋊ Z_m`) and as the
+//! paper's matrix groups of types (a) and (b) over GF(2).
+//!
+//! Run with `cargo run --release --example wreath_and_matrix_groups`.
+
+use nahsp::prelude::*;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+    let hsp = AbelianHsp::new(Backend::SimulatorCoset);
+
+    // ------------------------------------------------------------------
+    // The paper's matrix picture (Section 6): (k+1) × (k+1) matrices over
+    // GF(2) — one type-(a) generator (invertible block M in the corner)
+    // and type-(b) translations. Abstractly: Z2^k ⋊ ⟨M⟩.
+    // ------------------------------------------------------------------
+    let k = 4usize;
+    let m_action = Gf2Mat::companion(k, 0b0011); // order 15 (primitive)
+    println!("type-(a) generator (block = companion of x^4+x+1, order 15):");
+    for i in 0..k {
+        let row = m_action.row(i);
+        let bits: String = (0..k).map(|j| if (row >> j) & 1 == 1 { '1' } else { '0' }).collect();
+        println!("  [{bits} | 0]");
+    }
+    println!("  [0000 | 1]   (+ type-(b) translations e_i)");
+
+    let g = Semidirect::new(k, 15, m_action);
+    let coords = semidirect_coords(&g);
+
+    // Hidden subgroups of three shapes:
+    let cases: Vec<(&str, Vec<(u64, u64)>)> = vec![
+        ("H inside N (a 2-dimensional subspace)", vec![(0b0011, 0), (0b1100, 0)]),
+        ("H = full twist cycle ⟨(0, 1)⟩ ≅ Z15", vec![(0, 1)]),
+        ("H trivial", vec![]),
+    ];
+    for (desc, h_gens) in cases {
+        let oracle = CosetTableOracle::new(g.clone(), &h_gens, 1 << 14);
+        let result = hsp_ea2_cyclic(&g, &oracle, &coords, &hsp, None, &mut rng);
+        let recovered = if result.h_generators.is_empty() {
+            1
+        } else {
+            enumerate_subgroup(&g, &result.h_generators, 1 << 14)
+                .unwrap()
+                .len()
+        };
+        let truth = enumerate_subgroup(&g, &h_gens, 1 << 14).unwrap().len();
+        println!(
+            "{desc}: |H| = {recovered} (truth {truth}), |V| = {}, {} HSP instances, {} queries",
+            result.v_size,
+            result.hsp_instances,
+            oracle.queries(),
+        );
+        assert_eq!(recovered, truth);
+    }
+
+    // ------------------------------------------------------------------
+    // Rötteler–Beth wreath products Z2^k ≀ Z2 — the special case the paper
+    // generalizes. Sweep k and watch V stay at a single element (quotient
+    // Z2) while the group order grows as 2^(2k+1).
+    // ------------------------------------------------------------------
+    println!("— wreath products Z2^k ≀ Z2 —");
+    for half in [2usize, 3, 4, 5] {
+        let g = Semidirect::wreath_z2(half);
+        let coords = semidirect_coords(&g);
+        // swap-symmetric twisted involution: v = w|w
+        let w = (1u64 << half) - 1;
+        let v = w | (w << half);
+        let h_gens = vec![(v, 1u64)];
+        let oracle = CosetTableOracle::new(g.clone(), &h_gens, 1 << 16);
+        let result = hsp_ea2_cyclic(&g, &oracle, &coords, &hsp, None, &mut rng);
+        let recovered = enumerate_subgroup(&g, &result.h_generators, 1 << 16)
+            .unwrap()
+            .len();
+        println!(
+            "k = {half}: |G| = 2^{}  |H| = {recovered}  V = {}  queries = {}",
+            2 * half + 1,
+            result.v_size,
+            oracle.queries(),
+        );
+        assert_eq!(recovered, 2);
+    }
+
+    // ------------------------------------------------------------------
+    // General (non-cyclic-quotient) case for comparison: same wreath
+    // product solved with the full transversal V (|V| = |G/N|).
+    // ------------------------------------------------------------------
+    let g = Semidirect::wreath_z2(3);
+    let coords = semidirect_coords(&g);
+    let h_gens = vec![(0b101101u64, 1u64)];
+    let oracle = CosetTableOracle::new(g.clone(), &h_gens, 1 << 16);
+    let result = hsp_ea2_general(&g, &oracle, &coords, &hsp, None, 1 << 10, &mut rng);
+    println!(
+        "general-case transversal on Z2^3 ≀ Z2: |V| = {} (= |G/N|), queries = {}",
+        result.v_size,
+        oracle.queries(),
+    );
+}

@@ -1,0 +1,80 @@
+//! # nahsp — non-Abelian hidden subgroup algorithms
+//!
+//! A full reproduction of **Ivanyos, Magniez & Santha, "Efficient quantum
+//! algorithms for some instances of the non-Abelian hidden subgroup
+//! problem"** (SPAA 2001, arXiv:quant-ph/0102014), including every substrate
+//! the paper's results stand on: a mixed-radix state-vector quantum
+//! simulator, a black-box group framework (permutation groups with
+//! Schreier–Sims, matrix groups over finite fields, semidirect/wreath
+//! products, extraspecial `p`-groups), exact integer linear algebra
+//! (Smith/Hermite normal forms), the Abelian HSP engine, and the paper's
+//! algorithms themselves (Theorems 6–13).
+//!
+//! ## Crate map
+//!
+//! | Re-export | Crate | Contents |
+//! |---|---|---|
+//! | [`numtheory`] | `nahsp-numtheory` | gcd/CRT, primality, factoring, dlog, continued fractions |
+//! | [`qsim`] | `nahsp-qsim` | state vectors, gates, QFTs, oracles, measurement |
+//! | [`groups`] | `nahsp-groups` | the `Group` trait and every concrete family + machinery |
+//! | [`abelian`] | `nahsp-abelian` | SNF/HNF, subgroup lattices, dual groups, Abelian HSP, order finding |
+//! | [`hsp`] | `nahsp-core` | Theorems 6, 7, 8, 10, 11, 13, Lemma 9, Corollary 12, baselines |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use nahsp::prelude::*;
+//! use rand::SeedableRng;
+//!
+//! // The Heisenberg group of order 27 — extraspecial, so Corollary 12
+//! // applies: HSP solvable in time poly(input + p).
+//! let g = Extraspecial::heisenberg(3);
+//! let hidden = vec![g.center_generator()];
+//! let oracle = CosetTableOracle::new(g.clone(), &hidden, 1000);
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let found = hsp_small_commutator(&g, &oracle, 1000, &mut rng);
+//!
+//! // The recovered generators span exactly the hidden subgroup.
+//! let recovered = enumerate_subgroup(&g, &found.h_generators, 1000).unwrap();
+//! assert_eq!(recovered.len(), 3);
+//! ```
+
+pub use nahsp_abelian as abelian;
+pub use nahsp_core as hsp;
+pub use nahsp_groups as groups;
+pub use nahsp_numtheory as numtheory;
+pub use nahsp_qsim as qsim;
+
+/// Everything a typical caller needs, in one import.
+pub mod prelude {
+    pub use nahsp_abelian::hsp::{AbelianHsp, Backend, HidingOracle, SubgroupOracle};
+    pub use nahsp_abelian::{OrderFinder, SubgroupLattice};
+    pub use nahsp_core::baseline::{birthday_collision, ettinger_hoyer_dihedral, exhaustive_scan};
+    pub use nahsp_core::ea2::{
+        hsp_ea2_cyclic, hsp_ea2_general, semidirect_coords, Ea2GroundTruth, N2Coords,
+    };
+    pub use nahsp_core::lemma9::{solve_state_hsp, Lemma9Backend};
+    pub use nahsp_core::membership::{
+        abelian_membership, abelian_membership_slp, discrete_log,
+    };
+    pub use nahsp_core::normal_hsp::{
+        hidden_normal_subgroup, hidden_normal_subgroup_perm, normal_subgroup_seeds,
+        QuotientEngine,
+    };
+    pub use nahsp_core::oracle::{CosetTableOracle, FnOracle, HidingFunction, PermCosetOracle};
+    pub use nahsp_core::presentation::{
+        present_abelian, present_by_enumeration, QuotientPresentation,
+    };
+    pub use nahsp_core::quotient::HiddenQuotient;
+    pub use nahsp_core::small_commutator::hsp_small_commutator;
+    pub use nahsp_core::watrous::{quotient_abelian_membership, quotient_order, CosetStates};
+    pub use nahsp_groups::closure::enumerate_subgroup;
+    pub use nahsp_groups::dihedral::Dihedral;
+    pub use nahsp_groups::series::{polycyclic_series, solvable_composition_factors};
+    pub use nahsp_groups::extraspecial::Extraspecial;
+    pub use nahsp_groups::matgf::{Gf2Mat, MatGFp, MatGroupGFp};
+    pub use nahsp_groups::perm::PermGroup;
+    pub use nahsp_groups::semidirect::Semidirect;
+    pub use nahsp_groups::{AbelianProduct, CyclicGroup, Group, Perm, StabilizerChain};
+}

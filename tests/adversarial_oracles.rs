@@ -1,0 +1,123 @@
+//! Failure-injection tests: inconsistent oracles must be *detected*, not
+//! silently accepted — the Las Vegas design means a wrong answer is never
+//! returned; the failure mode is a loud panic after the sampling cap.
+
+use nahsp::prelude::*;
+use rand::SeedableRng;
+
+type Rng64 = rand::rngs::StdRng;
+
+/// An oracle whose labels are NOT constant on any subgroup's cosets (a
+/// "random" function): the HSP promise is violated.
+struct PromiseBreaker {
+    ambient: AbelianProduct,
+}
+
+impl HidingOracle for PromiseBreaker {
+    fn ambient(&self) -> &AbelianProduct {
+        &self.ambient
+    }
+
+    fn label(&self, x: &[u64]) -> u64 {
+        // a scrambled injective-ish label: behaves like a hiding function
+        // for the trivial subgroup, EXCEPT that we lie about one point so
+        // no subgroup is consistent: f(0) = f(e1) but f is otherwise 1:1.
+        let mut acc = 0u64;
+        for (i, &c) in x.iter().enumerate() {
+            acc = acc
+                .wrapping_mul(1099511628211)
+                .wrapping_add(c.wrapping_mul(i as u64 + 7));
+        }
+        let is_zero = x.iter().all(|&c| c == 0);
+        let is_e1 = x[0] == 1 && x[1..].iter().all(|&c| c == 0);
+        if is_zero || is_e1 {
+            return u64::MAX; // collide 0 with e1 — but nothing else in <e1>
+        }
+        acc
+    }
+}
+
+#[test]
+fn broken_promise_terminates_with_generator_consistent_answer() {
+    // A broken HSP promise cannot always be *detected* without paying |A|
+    // queries for full coset-constancy checks; the contract under garbage
+    // input is: terminate (no infinite sampling), and return a subgroup
+    // every generator of which does collide with f(0) — never an answer
+    // contradicting the evidence the verifier saw.
+    let ambient = AbelianProduct::new(vec![4, 4]);
+    let oracle = PromiseBreaker { ambient };
+    let mut rng = Rng64::seed_from_u64(1);
+    let res = AbelianHsp::new(Backend::SimulatorCoset).solve(&oracle, &mut rng);
+    let id_label = oracle.label(&[0, 0]);
+    for (g, _) in res.subgroup.cyclic_generators() {
+        assert_eq!(oracle.label(g), id_label, "generator contradicts oracle");
+    }
+    // With this particular breaker (singleton fibers everywhere except the
+    // {0, e1} collision) the sampled characters rapidly pin the candidate
+    // down to the trivial subgroup.
+    assert!(res.subgroup.order() <= 4);
+}
+
+#[test]
+fn simulator_rejects_oversized_instances() {
+    // The full-circuit simulator refuses instances beyond its stated bound
+    // instead of thrashing.
+    let ambient = AbelianProduct::new(vec![2; 16]); // |A| = 65536 > 4096
+    let oracle = SubgroupOracle::new(ambient, &[]);
+    let mut rng = Rng64::seed_from_u64(2);
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        AbelianHsp::new(Backend::SimulatorFull).solve(&oracle, &mut rng)
+    }));
+    assert!(result.is_err());
+}
+
+#[test]
+fn ideal_backend_requires_ground_truth() {
+    struct NoTruth {
+        ambient: AbelianProduct,
+    }
+    impl HidingOracle for NoTruth {
+        fn ambient(&self) -> &AbelianProduct {
+            &self.ambient
+        }
+        fn label(&self, x: &[u64]) -> u64 {
+            x[0] % 2 // hides <2> in Z4 but offers no ground truth
+        }
+    }
+    let oracle = NoTruth {
+        ambient: AbelianProduct::new(vec![4]),
+    };
+    let mut rng = Rng64::seed_from_u64(3);
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        AbelianHsp::new(Backend::Ideal).solve(&oracle, &mut rng)
+    }));
+    assert!(result.is_err(), "ideal backend must demand ground truth");
+}
+
+#[test]
+fn non_commuting_generators_rejected_by_membership() {
+    let s4 = PermGroup::symmetric(4);
+    let a = Perm::from_cycles(4, &[&[0, 1]]);
+    let b = Perm::from_cycles(4, &[&[1, 2]]); // does not commute with a
+    let mut rng = Rng64::seed_from_u64(4);
+    let hsp = AbelianHsp::new(Backend::SimulatorCoset);
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        abelian_membership(&s4, &[a, b], &Perm::identity(4), &hsp, &OrderFinder::Exact, &mut rng)
+    }));
+    assert!(result.is_err(), "commutativity precondition must be checked");
+}
+
+#[test]
+fn factor_group_construction_rejects_non_normal() {
+    use nahsp::groups::factor::FactorGroup;
+    let s4 = PermGroup::symmetric(4);
+    let h = vec![Perm::from_cycles(4, &[&[0, 1]])];
+    let result = std::panic::catch_unwind(|| FactorGroup::new(s4, &h, 100));
+    assert!(result.is_err(), "non-normal subgroup must be rejected");
+}
+
+#[test]
+fn subgroup_enumeration_limit_is_respected() {
+    let g = CyclicGroup::new(1 << 20);
+    assert!(enumerate_subgroup(&g, &[1u64], 1000).is_none());
+}

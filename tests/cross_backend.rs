@@ -1,0 +1,131 @@
+//! Cross-backend consistency at the integration level: the same HSP
+//! instances solved through every quantum backend must return the same
+//! subgroup, and the per-round sampling distributions must agree.
+
+use nahsp::abelian::dual::perp;
+use nahsp::abelian::hsp::{fourier_sample_coset, fourier_sample_full};
+use nahsp::prelude::*;
+use nahsp::qsim::measure::total_variation;
+use rand::SeedableRng;
+
+type Rng64 = rand::rngs::StdRng;
+
+#[test]
+fn all_backends_solve_identically_across_instances() {
+    let cases: Vec<(Vec<u64>, Vec<Vec<u64>>)> = vec![
+        (vec![2, 2, 2, 2], vec![vec![1, 0, 1, 1]]),          // Simon
+        (vec![16], vec![vec![4]]),                           // period finding
+        (vec![6, 4], vec![vec![3, 2]]),                      // mixed moduli
+        (vec![3, 3, 3], vec![vec![1, 1, 0], vec![0, 1, 2]]), // rank 2 mod 3
+        (vec![8, 8], vec![]),                                // trivial H
+    ];
+    for (moduli, hgens) in cases {
+        let a = AbelianProduct::new(moduli.clone());
+        let mut results = Vec::new();
+        for (i, backend) in [Backend::SimulatorFull, Backend::SimulatorCoset, Backend::Ideal]
+            .into_iter()
+            .enumerate()
+        {
+            let oracle = SubgroupOracle::new(a.clone(), &hgens);
+            let mut rng = Rng64::seed_from_u64(100 + i as u64);
+            let res = AbelianHsp::new(backend).solve(&oracle, &mut rng);
+            assert!(
+                res.subgroup.same_subgroup(oracle.hidden_subgroup()),
+                "backend {backend:?} failed on {moduli:?}/{hgens:?}"
+            );
+            results.push(res.subgroup.order());
+        }
+        assert!(results.windows(2).all(|w| w[0] == w[1]));
+    }
+}
+
+#[test]
+fn sampling_distributions_match_across_backends() {
+    let moduli = vec![6u64, 2];
+    let hgens = vec![vec![3u64, 1]];
+    let a = AbelianProduct::new(moduli.clone());
+    let oracle = SubgroupOracle::new(a.clone(), &hgens);
+    let truth = SubgroupLattice::from_generators(&a, &perp(&a, &hgens));
+    let mut rng = Rng64::seed_from_u64(7);
+    let n = 6000;
+    let dim = 12usize;
+    let idx = |y: &[u64]| (y[0] * 2 + y[1]) as usize;
+    let mut h_full = vec![0f64; dim];
+    let mut h_coset = vec![0f64; dim];
+    let mut h_ideal = vec![0f64; dim];
+    for _ in 0..n {
+        h_full[idx(&fourier_sample_full(&oracle, &mut rng))] += 1.0 / n as f64;
+        h_coset[idx(&fourier_sample_coset(&oracle, &mut rng))] += 1.0 / n as f64;
+        h_ideal[idx(&truth.random_element(&mut rng))] += 1.0 / n as f64;
+    }
+    assert!(total_variation(&h_full, &h_coset) < 0.04);
+    assert!(total_variation(&h_full, &h_ideal) < 0.04);
+    // support exactly H^perp
+    for y0 in 0..6u64 {
+        for y1 in 0..2u64 {
+            let mass = h_full[(y0 * 2 + y1) as usize];
+            if truth.contains(&[y0, y1]) {
+                assert!(mass > 0.0, "missing support at ({y0},{y1})");
+            } else {
+                assert_eq!(mass, 0.0, "leakage at ({y0},{y1})");
+            }
+        }
+    }
+}
+
+#[test]
+fn lemma9_backends_agree() {
+    let a = AbelianProduct::new(vec![9]);
+    for backend in [Lemma9Backend::Simulator, Lemma9Backend::Ideal] {
+        let oracle = nahsp::hsp::lemma9::PerturbedOracle::new(a.clone(), &[vec![3]], 0.0);
+        let mut rng = Rng64::seed_from_u64(11);
+        let res = solve_state_hsp(&oracle, backend, &mut rng);
+        assert!(res.subgroup.same_subgroup(oracle.hidden_subgroup()));
+        assert_eq!(res.subgroup.order(), 3);
+    }
+}
+
+#[test]
+fn ea2_backends_agree_on_wreath() {
+    // Same instance through simulator and ideal paths.
+    let g = Semidirect::wreath_z2(3);
+    let coords = semidirect_coords(&g);
+    let w = 0b111u64;
+    let h = (w | (w << 3), 1u64);
+    let truth_elems = enumerate_subgroup(&g, &[h], 1 << 10).unwrap();
+
+    // simulator
+    let oracle = CosetTableOracle::new(g.clone(), &[h], 1 << 10);
+    let mut rng = Rng64::seed_from_u64(21);
+    let hsp_sim = AbelianHsp::new(Backend::SimulatorCoset);
+    let r1 = hsp_ea2_cyclic(&g, &oracle, &coords, &hsp_sim, None, &mut rng);
+    let rec1 = enumerate_subgroup(&g, &r1.h_generators, 1 << 10).unwrap();
+    assert_eq!(rec1.len(), truth_elems.len());
+
+    // ideal
+    let g2 = g.clone();
+    let oracle2 = FnOracle::<Semidirect, (u64, u64), _>::new(move |x: &(u64, u64)| {
+        std::cmp::min(*x, g2.multiply(x, &h))
+    });
+    let truth = Ea2GroundTruth::<Semidirect> {
+        hn_basis: vec![],
+        witness: Box::new(move |z: &(u64, u64)| if z.1 == 1 { Some(h) } else { None }),
+    };
+    let hsp_ideal = AbelianHsp::new(Backend::Ideal);
+    let r2 = hsp_ea2_cyclic(&g, &oracle2, &coords, &hsp_ideal, Some(&truth), &mut rng);
+    let rec2 = enumerate_subgroup(&g, &r2.h_generators, 1 << 10).unwrap();
+    assert_eq!(rec2.len(), truth_elems.len());
+}
+
+#[test]
+fn order_finders_agree() {
+    let mut rng = Rng64::seed_from_u64(31);
+    let g = Dihedral::new(12);
+    for elem in [(1u64, false), (3, false), (2, true), (0, false)] {
+        let exact = OrderFinder::Exact.find(&g, &elem, &mut rng);
+        if exact <= 16 {
+            let sim = OrderFinder::Simulated { max_order: 16 }.find(&g, &elem, &mut rng);
+            assert_eq!(sim, exact, "element {elem:?}");
+        }
+    }
+}

@@ -1,0 +1,305 @@
+//! Property-based tests over the core data structures and invariants.
+
+use nahsp::prelude::*;
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+type Rng64 = rand::rngs::StdRng;
+
+// ---------------------------------------------------------- group axioms --
+
+/// Generic group-axiom check on sampled elements.
+fn check_axioms<G: Group>(group: &G, elems: &[G::Elem]) {
+    let id = group.identity();
+    for a in elems {
+        assert!(group.is_identity(&group.multiply(a, &group.inverse(a))));
+        assert!(group.eq_elem(&group.multiply(a, &id), a));
+        assert!(group.eq_elem(&group.multiply(&id, a), a));
+        for b in elems {
+            for c in elems {
+                let l = group.multiply(&group.multiply(a, b), c);
+                let r = group.multiply(a, &group.multiply(b, c));
+                assert!(group.eq_elem(&l, &r), "associativity");
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn semidirect_axioms(k in 1usize..5, m_sel in 0usize..3, seed in 0u64..1000) {
+        let (m, coeffs) = [(2u64, 0u64), (7, 0b011), (15, 0b0011)][m_sel];
+        let dim = [1usize, 3, 4][m_sel];
+        if k < dim { return Ok(()); }
+        let action = if m == 2 {
+            Gf2Mat::swap_halves(k / 2 + 1)
+        } else {
+            Gf2Mat::companion(dim, coeffs)
+        };
+        let g = match m {
+            2 => Semidirect::wreath_z2(k / 2 + 1),
+            _ => Semidirect::new(dim, m, action),
+        };
+        let mut rng = Rng64::seed_from_u64(seed);
+        use rand::Rng as _;
+        let elems: Vec<(u64, u64)> = (0..4)
+            .map(|_| ((rng.gen::<u64>() & ((1 << g.k) - 1)), rng.gen_range(0..g.m)))
+            .collect();
+        check_axioms(&g, &elems);
+    }
+
+    #[test]
+    fn extraspecial_axioms(p_sel in 0usize..3, seed in 0u64..1000) {
+        let p = [2u64, 3, 5][p_sel];
+        let g = Extraspecial::heisenberg(p);
+        let mut rng = Rng64::seed_from_u64(seed);
+        use rand::Rng as _;
+        let elems: Vec<Vec<u64>> = (0..4)
+            .map(|_| (0..3).map(|_| rng.gen_range(0..p)).collect())
+            .collect();
+        check_axioms(&g, &elems);
+    }
+
+    #[test]
+    fn dihedral_axioms(n in 1u64..40, seed in 0u64..1000) {
+        let g = Dihedral::new(n);
+        let mut rng = Rng64::seed_from_u64(seed);
+        use rand::Rng as _;
+        let elems: Vec<(u64, bool)> = (0..4)
+            .map(|_| (rng.gen_range(0..n), rng.gen::<bool>()))
+            .collect();
+        check_axioms(&g, &elems);
+    }
+
+    // ------------------------------------------------------ permutations --
+
+    #[test]
+    fn perm_inverse_and_order(images in proptest::sample::select(vec![4usize, 5, 6, 7]), seed in 0u64..10_000) {
+        let n = images;
+        let mut rng = Rng64::seed_from_u64(seed);
+        let chain = StabilizerChain::new(n, &PermGroup::symmetric(n).gens);
+        let p = chain.random_element(&mut rng);
+        let q = chain.random_element(&mut rng);
+        // (pq)^{-1} = q^{-1} p^{-1}
+        let lhs = (&p * &q).inverse();
+        let rhs = &q.inverse() * &p.inverse();
+        prop_assert_eq!(lhs, rhs);
+        // order divides group order
+        let fact: u64 = (1..=n as u64).product();
+        prop_assert_eq!(fact % p.order(), 0);
+    }
+
+    #[test]
+    fn stabchain_order_matches_enumeration(seed in 0u64..200) {
+        let mut rng = Rng64::seed_from_u64(seed);
+        let big = StabilizerChain::new(6, &PermGroup::symmetric(6).gens);
+        let a = big.random_element(&mut rng);
+        let b = big.random_element(&mut rng);
+        let sub = PermGroup::new(6, vec![a, b]);
+        let chain = StabilizerChain::new(6, &sub.gens);
+        let brute = enumerate_subgroup(&sub, &sub.gens, 1000).unwrap();
+        prop_assert_eq!(chain.order() as usize, brute.len());
+    }
+
+    #[test]
+    fn coset_representative_invariance(seed in 0u64..200) {
+        // min_in_left_coset is constant on gH and injective across cosets.
+        let mut rng = Rng64::seed_from_u64(seed);
+        let big = StabilizerChain::new(6, &PermGroup::symmetric(6).gens);
+        let h1 = big.random_element(&mut rng);
+        let h2 = big.random_element(&mut rng);
+        let h_chain = StabilizerChain::new(6, &[h1, h2]);
+        let g1 = big.random_element(&mut rng);
+        let g2 = big.random_element(&mut rng);
+        let h = h_chain.random_element(&mut rng);
+        let r1 = h_chain.min_in_left_coset(&g1);
+        let r1h = h_chain.min_in_left_coset(&(&g1 * &h));
+        prop_assert_eq!(&r1, &r1h);
+        let same_coset = h_chain.contains(&(&g1.inverse() * &g2));
+        let r2 = h_chain.min_in_left_coset(&g2);
+        prop_assert_eq!(r1 == r2, same_coset);
+    }
+
+    // ------------------------------------------------------ Abelian HSP --
+
+    #[test]
+    fn abelian_hsp_recovers_random_subgroups(
+        moduli_sel in proptest::collection::vec(0usize..4, 1..4),
+        gen_count in 0usize..3,
+        seed in 0u64..10_000,
+    ) {
+        let moduli: Vec<u64> = moduli_sel.iter().map(|&i| [2u64, 3, 4, 6][i]).collect();
+        let a = AbelianProduct::new(moduli.clone());
+        let mut rng = Rng64::seed_from_u64(seed);
+        use rand::Rng as _;
+        let h_gens: Vec<Vec<u64>> = (0..gen_count)
+            .map(|_| moduli.iter().map(|&m| rng.gen_range(0..m)).collect())
+            .collect();
+        let oracle = SubgroupOracle::new(a, &h_gens);
+        let result = AbelianHsp::new(Backend::SimulatorCoset).solve(&oracle, &mut rng);
+        prop_assert!(result.subgroup.same_subgroup(oracle.hidden_subgroup()));
+    }
+
+    #[test]
+    fn perp_is_an_involution(
+        moduli_sel in proptest::collection::vec(0usize..4, 1..4),
+        gen_count in 0usize..3,
+        seed in 0u64..10_000,
+    ) {
+        let moduli: Vec<u64> = moduli_sel.iter().map(|&i| [2u64, 3, 4, 8][i]).collect();
+        let a = AbelianProduct::new(moduli.clone());
+        let mut rng = Rng64::seed_from_u64(seed);
+        use rand::Rng as _;
+        let h_gens: Vec<Vec<u64>> = (0..gen_count)
+            .map(|_| moduli.iter().map(|&m| rng.gen_range(0..m)).collect())
+            .collect();
+        use nahsp::abelian::dual::perp;
+        let h = SubgroupLattice::from_generators(&a, &h_gens);
+        let pp = perp(&a, &perp(&a, &h_gens));
+        let h2 = SubgroupLattice::from_generators(&a, &pp);
+        prop_assert!(h.same_subgroup(&h2));
+        // |H| · |H^perp| = |A|
+        let p = SubgroupLattice::from_generators(&a, &perp(&a, &h_gens));
+        let total: u64 = moduli.iter().product();
+        prop_assert_eq!(h.order() * p.order(), total);
+    }
+
+    #[test]
+    fn coset_representatives_partition(
+        m1 in 2u64..8, m2 in 2u64..8,
+        g1 in 0u64..8, g2 in 0u64..8,
+    ) {
+        let a = AbelianProduct::new(vec![m1, m2]);
+        let h = SubgroupLattice::from_generators(&a, &[vec![g1 % m1, g2 % m2]]);
+        let mut reps = std::collections::HashSet::new();
+        for x in 0..m1 {
+            for y in 0..m2 {
+                reps.insert(h.coset_representative(&[x, y]));
+            }
+        }
+        prop_assert_eq!(reps.len() as u64, m1 * m2 / h.order());
+    }
+
+    // --------------------------------------------------------- theorems --
+
+    #[test]
+    fn theorem11_random_extraspecial_subgroups(p_sel in 0usize..2, which in 0usize..6, seed in 0u64..1000) {
+        let p = [3u64, 5][p_sel];
+        let g = Extraspecial::heisenberg(p);
+        // a spread of subgroup shapes
+        let z = g.center_generator();
+        let e1 = vec![1u64, 0, 0];
+        let e2 = vec![0u64, 1, 0];
+        let mixed = vec![1u64, 1, 0];
+        let h_gens: Vec<Vec<u64>> = match which {
+            0 => vec![],
+            1 => vec![z.clone()],
+            2 => vec![e1.clone()],
+            3 => vec![e2.clone(), z.clone()],
+            4 => vec![mixed],
+            _ => vec![e1, e2], // generates the whole group (commutator = z)
+        };
+        let oracle = CosetTableOracle::new(g.clone(), &h_gens, 10_000);
+        let mut rng = Rng64::seed_from_u64(seed);
+        let result = hsp_small_commutator(&g, &oracle, 10_000, &mut rng);
+        let recovered = if result.h_generators.is_empty() {
+            1
+        } else {
+            enumerate_subgroup(&g, &result.h_generators, 10_000).unwrap().len()
+        };
+        prop_assert_eq!(recovered, oracle.hidden_subgroup_elements().len());
+    }
+
+    #[test]
+    fn theorem13_random_wreath_subgroups(v in 0u64..16, twist in 0usize..2, seed in 0u64..1000) {
+        let g = Semidirect::wreath_z2(2); // vectors are 4 bits
+        let coords = semidirect_coords(&g);
+        let elem: (u64, u64) = if twist == 1 {
+            (v & 0xF, 1)
+        } else {
+            (v & 0xF, 0)
+        };
+        let h_gens = if g.is_identity(&elem) { vec![] } else { vec![elem] };
+        let oracle = CosetTableOracle::new(g.clone(), &h_gens, 1 << 12);
+        let mut rng = Rng64::seed_from_u64(seed);
+        let hsp = AbelianHsp::new(Backend::SimulatorCoset);
+        let result = hsp_ea2_general(&g, &oracle, &coords, &hsp, None, 1 << 8, &mut rng);
+        let recovered = if result.h_generators.is_empty() {
+            1
+        } else {
+            enumerate_subgroup(&g, &result.h_generators, 1 << 12).unwrap().len()
+        };
+        prop_assert_eq!(recovered, oracle.hidden_subgroup_elements().len());
+    }
+
+    // ------------------------------------------------------- simulator --
+
+    #[test]
+    fn qft_unitarity_random_states(dims_sel in proptest::collection::vec(0usize..3, 1..3), seed in 0u64..1000) {
+        use nahsp::qsim::complex::Complex;
+        use nahsp::qsim::layout::Layout;
+        use nahsp::qsim::qft::qft_product_group;
+        use nahsp::qsim::state::State;
+        let dims: Vec<usize> = dims_sel.iter().map(|&i| [2usize, 3, 5][i]).collect();
+        let layout = Layout::new(dims.clone());
+        let mut rng = Rng64::seed_from_u64(seed);
+        use rand::Rng as _;
+        let amps: Vec<Complex> = (0..layout.dim())
+            .map(|_| Complex::new(rng.gen::<f64>() - 0.5, rng.gen::<f64>() - 0.5))
+            .collect();
+        let mut s = State::from_amplitudes(layout, amps);
+        let orig = s.clone();
+        let sites: Vec<usize> = (0..dims.len()).collect();
+        qft_product_group(&mut s, &sites, false);
+        prop_assert!((s.norm_sqr() - 1.0).abs() < 1e-9);
+        qft_product_group(&mut s, &sites, true);
+        prop_assert!(s.fidelity(&orig) > 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn snf_randomized_invariants(rows in 1usize..4, cols in 1usize..4, seed in 0u64..10_000) {
+        use nahsp::abelian::snf::{mat_mul, smith_normal_form};
+        let mut rng = Rng64::seed_from_u64(seed);
+        use rand::Rng as _;
+        let a: Vec<Vec<i128>> = (0..rows)
+            .map(|_| (0..cols).map(|_| rng.gen_range(-30i128..30)).collect())
+            .collect();
+        let s = smith_normal_form(&a);
+        prop_assert_eq!(mat_mul(&mat_mul(&s.u, &a), &s.v), s.d.clone());
+        let diag = s.diagonal();
+        for w in diag.windows(2) {
+            prop_assert!(w[0] >= 0);
+            if w[0] != 0 {
+                prop_assert_eq!(w[1] % w[0], 0);
+            } else {
+                prop_assert_eq!(w[1], 0);
+            }
+        }
+    }
+
+    #[test]
+    fn gf2_space_express_roundtrip(vecs in proptest::collection::vec(0u64..256, 1..6), target_sel in 0usize..5) {
+        use nahsp::groups::gf2::{BitVec, Gf2Space};
+        let mut space = Gf2Space::new(8);
+        let bvs: Vec<BitVec> = vecs.iter().map(|&v| BitVec::from_u64(8, v)).collect();
+        for v in &bvs {
+            space.insert(v);
+        }
+        // any XOR of a sub-multiset is expressible; verify round-trip
+        let mut target = BitVec::zeros(8);
+        for (i, v) in bvs.iter().enumerate() {
+            if i % (target_sel + 1) == 0 {
+                target.xor_assign(v);
+            }
+        }
+        let expr = space.express(&target);
+        prop_assert!(expr.is_some());
+        let mut acc = BitVec::zeros(8);
+        for i in expr.unwrap() {
+            acc.xor_assign(&bvs[i]);
+        }
+        prop_assert_eq!(acc, target);
+    }
+}

@@ -131,10 +131,7 @@ mod tests {
         for _ in 0..50 {
             let x: Vec<u64> = a.moduli.iter().map(|&m| rng.gen_range(0..m)).collect();
             let y: Vec<u64> = a.moduli.iter().map(|&m| rng.gen_range(0..m)).collect();
-            assert_eq!(
-                pairing_exponent(&a, &x, &y),
-                pairing_exponent(&a, &y, &x)
-            );
+            assert_eq!(pairing_exponent(&a, &x, &y), pairing_exponent(&a, &y, &x));
         }
     }
 
@@ -184,8 +181,9 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(21);
         for _ in 0..30 {
             let r = rng.gen_range(1..4usize);
-            let moduli: Vec<u64> =
-                (0..r).map(|_| [2u64, 3, 4, 6][rng.gen_range(0..4)]).collect();
+            let moduli: Vec<u64> = (0..r)
+                .map(|_| [2u64, 3, 4, 6][rng.gen_range(0..4)])
+                .collect();
             let a = ap(&moduli);
             let k = rng.gen_range(0..3usize);
             let hgens: Vec<Vec<u64>> = (0..k)

@@ -71,12 +71,12 @@ pub fn kernel_mod(m: &[Vec<u64>], r: usize, l: u64) -> Vec<Vec<u64>> {
             break;
         }
         // Bring the gcd of column c (over rows top..) into row `top`.
-        let Some(first) = (top..rows.len()).find(|&i| rows[i].0[c] % l != 0) else {
+        let Some(first) = (top..rows.len()).find(|&i| !rows[i].0[c].is_multiple_of(l)) else {
             continue;
         };
         rows.swap(top, first);
         for i in (top + 1)..rows.len() {
-            if rows[i].0[c] % l != 0 {
+            if !rows[i].0[c].is_multiple_of(l) {
                 let (a, b) = rows.split_at_mut(i);
                 combine(&mut a[top], &mut b[0], c);
             }
@@ -113,10 +113,9 @@ mod tests {
         let mut y = vec![0u64; r];
         loop {
             let ok = m.iter().all(|row| {
-                row.iter()
-                    .zip(&y)
-                    .fold(0u128, |acc, (&a, &b)| (acc + a as u128 * b as u128) % l as u128)
-                    == 0
+                row.iter().zip(&y).fold(0u128, |acc, (&a, &b)| {
+                    (acc + a as u128 * b as u128) % l as u128
+                }) == 0
             });
             if ok {
                 out.push(y.clone());
@@ -214,6 +213,75 @@ mod tests {
         }
     }
 
+    // ------------------------------------------------------- edge cases --
+
+    #[test]
+    fn kernel_zero_matrix_is_everything() {
+        // all-zero constraint rows: kernel = Z_L^r
+        for (k, r, l) in [(1usize, 2usize, 6u64), (3, 1, 4), (2, 3, 2)] {
+            let m: Vec<Vec<u64>> = vec![vec![0; r]; k];
+            let gens = kernel_mod(&m, r, l);
+            assert_eq!(span(&gens, r, l).len() as u64, l.pow(r as u32));
+        }
+    }
+
+    #[test]
+    fn kernel_modulus_one_is_trivial() {
+        // Z_1 has a single element; the kernel generating set is empty.
+        assert!(kernel_mod(&[vec![3, 5]], 2, 1).is_empty());
+        assert!(kernel_mod(&[], 4, 1).is_empty());
+    }
+
+    #[test]
+    fn kernel_zero_columns() {
+        // r = 0: no unknowns, kernel is the empty product group
+        let gens = kernel_mod(&[vec![], vec![]], 0, 8);
+        assert!(gens.is_empty());
+    }
+
+    #[test]
+    fn kernel_non_square_wide_and_tall() {
+        // wide: 1 constraint, 4 unknowns mod 6
+        let m = vec![vec![2u64, 3, 0, 5]];
+        let gens = kernel_mod(&m, 4, 6);
+        let brute = kernel_brute(&m, 4, 6);
+        assert_eq!(span(&gens, 4, 6).len(), brute.len());
+        // tall: 4 constraints, 1 unknown mod 12
+        let m = vec![vec![4u64], vec![6], vec![8], vec![10]];
+        let gens = kernel_mod(&m, 1, 12);
+        let brute = kernel_brute(&m, 1, 12);
+        let s = span(&gens, 1, 12);
+        assert_eq!(s.len(), brute.len());
+        for y in brute {
+            assert!(s.contains(&y));
+        }
+    }
+
+    #[test]
+    fn kernel_unreduced_entries_match_reduced() {
+        // entries ≥ L must behave as their residues
+        let raw = vec![vec![10u64, 27]];
+        let red = vec![vec![2u64, 3]];
+        let (a, b) = (kernel_mod(&raw, 2, 8), kernel_mod(&red, 2, 8));
+        assert_eq!(span(&a, 2, 8), span(&b, 2, 8));
+    }
+
+    #[test]
+    fn kernel_generators_are_sound_for_composite_modulus() {
+        // every returned generator must satisfy the system exactly
+        let m = vec![vec![3u64, 4, 6], vec![2, 0, 9]];
+        let l = 12u64;
+        let gens = kernel_mod(&m, 3, l);
+        for y in &gens {
+            for row in &m {
+                let dot = row.iter().zip(y).fold(0u128, |acc, (&a, &b)| {
+                    (acc + a as u128 * b as u128) % l as u128
+                });
+                assert_eq!(dot, 0, "generator {y:?} violates {row:?}");
+            }
+        }
+    }
+
     #[test]
     fn kernel_large_dense_binary_no_overflow() {
         // The case that overflowed integer SNF: dense 0/1 matrices over Z2
@@ -237,9 +305,7 @@ mod tests {
         use nahsp_groups::gf2::{rank, BitVec};
         let rows: Vec<BitVec> = m
             .iter()
-            .map(|row| {
-                BitVec::from_bits(&row.iter().map(|&b| b == 1).collect::<Vec<_>>())
-            })
+            .map(|row| BitVec::from_bits(&row.iter().map(|&b| b == 1).collect::<Vec<_>>()))
             .collect();
         let rk = rank(&rows, r);
         let kernel_rank = {

@@ -170,7 +170,9 @@ impl AbelianHsp {
             );
             samples.push(y);
         }
-        panic!("Abelian HSP failed to converge within {max_rounds} rounds — oracle is inconsistent");
+        panic!(
+            "Abelian HSP failed to converge within {max_rounds} rounds — oracle is inconsistent"
+        );
     }
 }
 
@@ -361,21 +363,33 @@ mod tests {
     #[test]
     fn simon_problem_xor_mask() {
         // Simon: A = Z_2^4, H = {0, s}.
-        for backend in [Backend::SimulatorFull, Backend::SimulatorCoset, Backend::Ideal] {
+        for backend in [
+            Backend::SimulatorFull,
+            Backend::SimulatorCoset,
+            Backend::Ideal,
+        ] {
             check_solves(backend, &[2, 2, 2, 2], &[vec![1, 0, 1, 1]], 1);
         }
     }
 
     #[test]
     fn trivial_hidden_subgroup() {
-        for backend in [Backend::SimulatorFull, Backend::SimulatorCoset, Backend::Ideal] {
+        for backend in [
+            Backend::SimulatorFull,
+            Backend::SimulatorCoset,
+            Backend::Ideal,
+        ] {
             check_solves(backend, &[4, 3], &[], 2);
         }
     }
 
     #[test]
     fn full_hidden_subgroup() {
-        for backend in [Backend::SimulatorFull, Backend::SimulatorCoset, Backend::Ideal] {
+        for backend in [
+            Backend::SimulatorFull,
+            Backend::SimulatorCoset,
+            Backend::Ideal,
+        ] {
             check_solves(backend, &[4, 3], &[vec![1, 0], vec![0, 1]], 3);
         }
     }
@@ -383,7 +397,11 @@ mod tests {
     #[test]
     fn period_finding_in_z16() {
         // Shor-shaped instance: H = <4> in Z_16 (period 4).
-        for backend in [Backend::SimulatorFull, Backend::SimulatorCoset, Backend::Ideal] {
+        for backend in [
+            Backend::SimulatorFull,
+            Backend::SimulatorCoset,
+            Backend::Ideal,
+        ] {
             check_solves(backend, &[16], &[vec![4]], 4);
         }
     }
@@ -397,7 +415,12 @@ mod tests {
 
     #[test]
     fn modulus_one_components_are_tolerated() {
-        check_solves(Backend::SimulatorCoset, &[1, 6, 1, 4], &[vec![0, 3, 0, 2]], 8);
+        check_solves(
+            Backend::SimulatorCoset,
+            &[1, 6, 1, 4],
+            &[vec![0, 3, 0, 2]],
+            8,
+        );
     }
 
     #[test]
@@ -406,14 +429,18 @@ mod tests {
         let mut meta = Rng64::seed_from_u64(99);
         for trial in 0..12 {
             let r = meta.gen_range(1..4usize);
-            let moduli: Vec<u64> =
-                (0..r).map(|_| [2u64, 3, 4, 6][meta.gen_range(0..4)]).collect();
+            let moduli: Vec<u64> = (0..r)
+                .map(|_| [2u64, 3, 4, 6][meta.gen_range(0..4)])
+                .collect();
             let k = meta.gen_range(0..3usize);
             let hgens: Vec<Vec<u64>> = (0..k)
                 .map(|_| moduli.iter().map(|&m| meta.gen_range(0..m)).collect())
                 .collect();
-            let backend = [Backend::SimulatorFull, Backend::SimulatorCoset, Backend::Ideal]
-                [trial % 3];
+            let backend = [
+                Backend::SimulatorFull,
+                Backend::SimulatorCoset,
+                Backend::Ideal,
+            ][trial % 3];
             let adim: u64 = moduli.iter().product();
             if backend == Backend::SimulatorFull && adim > 256 {
                 continue;

@@ -156,11 +156,7 @@ impl SubgroupLattice {
 
     /// Whether this subgroup equals another (same ambient).
     pub fn same_subgroup(&self, other: &SubgroupLattice) -> bool {
-        self.order() == other.order()
-            && self
-                .cyclic
-                .iter()
-                .all(|(b, _)| other.contains(b))
+        self.order() == other.order() && self.cyclic.iter().all(|(b, _)| other.contains(b))
     }
 }
 
@@ -238,7 +234,7 @@ fn unimodular_inverse(m: &IMat) -> IMat {
     // unimodular M the solutions are integral. Use i128 rational-free
     // Cramer via LU-style elimination with pivoting on a copy carrying the
     // identity alongside.
-    let mut a: Vec<Vec<i128>> = m.iter().cloned().collect();
+    let mut a: Vec<Vec<i128>> = m.to_vec();
     let mut inv = crate::snf::identity(n);
     // Forward elimination to upper triangular with row ops over Q emulated
     // by keeping integrality: use gcd transforms (valid since row ops with
@@ -382,7 +378,9 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(17);
         for _ in 0..40 {
             let r = rng.gen_range(1..4usize);
-            let moduli: Vec<u64> = (0..r).map(|_| [2u64, 3, 4, 6, 8][rng.gen_range(0..5)]).collect();
+            let moduli: Vec<u64> = (0..r)
+                .map(|_| [2u64, 3, 4, 6, 8][rng.gen_range(0..5)])
+                .collect();
             let a = ap(&moduli);
             let k = rng.gen_range(0..3usize);
             let gens: Vec<Vec<u64>> = (0..k)
@@ -401,7 +399,11 @@ mod tests {
                     }
                 }
             }
-            assert_eq!(h.order() as usize, set.len(), "moduli={moduli:?} gens={gens:?}");
+            assert_eq!(
+                h.order() as usize,
+                set.len(),
+                "moduli={moduli:?} gens={gens:?}"
+            );
             for x in &set {
                 assert!(h.contains(x));
             }

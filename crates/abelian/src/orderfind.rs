@@ -39,9 +39,7 @@ impl OrderFinder {
     pub fn find<G: Group>(&self, group: &G, g: &G::Elem, rng: &mut impl Rng) -> u64 {
         match *self {
             OrderFinder::Exact => exact_order(group, g),
-            OrderFinder::Simulated { max_order } => {
-                simulated_order(group, g, max_order, rng)
-            }
+            OrderFinder::Simulated { max_order } => simulated_order(group, g, max_order, rng),
         }
     }
 }
@@ -51,17 +49,17 @@ fn exact_order<G: Group>(group: &G, g: &G::Elem) -> u64 {
         return 1;
     }
     if let Some(e) = group.exponent_hint() {
-        return element_order_from_exponent(
-            |k| group.is_identity(&group.pow(g, k)),
-            e,
-        );
+        return element_order_from_exponent(|k| group.is_identity(&group.pow(g, k)), e);
     }
     // Brute force with a generous cap.
     let cap = 1u64 << 22;
     let mut cur = g.clone();
     let mut k = 1u64;
     while !group.is_identity(&cur) {
-        assert!(k < cap, "order exceeds brute-force cap and no exponent hint");
+        assert!(
+            k < cap,
+            "order exceeds brute-force cap and no exponent hint"
+        );
         cur = group.multiply(&cur, g);
         k += 1;
     }
@@ -69,12 +67,7 @@ fn exact_order<G: Group>(group: &G, g: &G::Elem) -> u64 {
 }
 
 /// The verbatim Shor circuit on the simulator.
-fn simulated_order<G: Group>(
-    group: &G,
-    g: &G::Elem,
-    max_order: u64,
-    rng: &mut impl Rng,
-) -> u64 {
+fn simulated_order<G: Group>(group: &G, g: &G::Elem, max_order: u64, rng: &mut impl Rng) -> u64 {
     if group.is_identity(g) {
         return 1;
     }
@@ -84,7 +77,10 @@ fn simulated_order<G: Group>(
     let mut t = 1usize;
     while (1u64 << t) < 2 * max_order * max_order {
         t += 1;
-        assert!(t <= 22, "max_order too large to simulate; use OrderFinder::Exact");
+        assert!(
+            t <= 22,
+            "max_order too large to simulate; use OrderFinder::Exact"
+        );
     }
     let q = 1usize << t;
     // Precompute labels of g^x for x in [0, q): intern canonical encodings.
@@ -107,10 +103,7 @@ fn simulated_order<G: Group>(
         candidate = lcm(candidate, denom);
         if candidate <= max_order && group.is_identity(&group.pow(g, candidate)) {
             // Shrink: candidate is a multiple of the order; descend.
-            return element_order_from_exponent(
-                |k| group.is_identity(&group.pow(g, k)),
-                candidate,
-            );
+            return element_order_from_exponent(|k| group.is_identity(&group.pow(g, k)), candidate);
         }
         if candidate > max_order {
             candidate = 1; // bad luck (lcm of wrong denominators); restart
@@ -120,12 +113,7 @@ fn simulated_order<G: Group>(
 }
 
 /// Build `Σ_x |x⟩|a^x⟩`, QFT the phase register, measure it.
-fn run_period_circuit(
-    labels: &[usize],
-    t: usize,
-    label_dim: usize,
-    rng: &mut impl Rng,
-) -> usize {
+fn run_period_circuit(labels: &[usize], t: usize, label_dim: usize, rng: &mut impl Rng) -> usize {
     let mut dims = vec![2usize; t];
     dims.push(label_dim);
     let layout = Layout::new(dims);

@@ -207,10 +207,14 @@ fn swap_cols(d: &mut IMat, v: &mut IMat, a: usize, b: usize) {
 /// `row[i] += q * row[j]` on `d` and its row transform `u`.
 fn row_axpy(d: &mut IMat, u: &mut IMat, i: usize, j: usize, q: i128) {
     for c in 0..d[0].len() {
-        d[i][c] = d[i][c].checked_add(q.checked_mul(d[j][c]).expect("ovf")).expect("ovf");
+        d[i][c] = d[i][c]
+            .checked_add(q.checked_mul(d[j][c]).expect("ovf"))
+            .expect("ovf");
     }
     for c in 0..u[0].len() {
-        u[i][c] = u[i][c].checked_add(q.checked_mul(u[j][c]).expect("ovf")).expect("ovf");
+        u[i][c] = u[i][c]
+            .checked_add(q.checked_mul(u[j][c]).expect("ovf"))
+            .expect("ovf");
     }
 }
 
@@ -219,10 +223,14 @@ fn row_axpy(d: &mut IMat, u: &mut IMat, i: usize, j: usize, q: i128) {
 /// i.e. apply the same column op to `v`.
 fn col_axpy(d: &mut IMat, v: &mut IMat, i: usize, j: usize, q: i128) {
     for row in d.iter_mut() {
-        row[i] = row[i].checked_add(q.checked_mul(row[j]).expect("ovf")).expect("ovf");
+        row[i] = row[i]
+            .checked_add(q.checked_mul(row[j]).expect("ovf"))
+            .expect("ovf");
     }
     for row in v.iter_mut() {
-        row[i] = row[i].checked_add(q.checked_mul(row[j]).expect("ovf")).expect("ovf");
+        row[i] = row[i]
+            .checked_add(q.checked_mul(row[j]).expect("ovf"))
+            .expect("ovf");
     }
 }
 
@@ -659,5 +667,114 @@ mod tests {
             assert_eq!(mat_mul(&u, &a), h, "transform mismatch for {a:?}");
             assert!(is_unimodular(&u), "u not unimodular for {a:?}");
         }
+    }
+
+    // ------------------------------------------------------- edge cases --
+
+    /// Exact check of the full contract on one input: `U·A·V = S`, `U`/`V`
+    /// unimodular, `S` diagonal with a non-negative divisibility chain.
+    fn check_snf_contract(a: &IMat) {
+        let s = smith_normal_form(a);
+        assert_eq!(mat_mul(&mat_mul(&s.u, a), &s.v), s.d, "UAV != S for {a:?}");
+        assert_eq!(s.u.len(), a.len());
+        assert_eq!(s.v.len(), a.first().map_or(0, |r| r.len()));
+        if !s.u.is_empty() {
+            assert!(is_unimodular(&s.u), "U not unimodular for {a:?}");
+        }
+        if !s.v.is_empty() {
+            assert!(is_unimodular(&s.v), "V not unimodular for {a:?}");
+        }
+        let diag = s.diagonal();
+        for (i, row) in s.d.iter().enumerate() {
+            for (j, &x) in row.iter().enumerate() {
+                if i != j {
+                    assert_eq!(x, 0, "off-diagonal entry for {a:?}");
+                }
+            }
+        }
+        for w in diag.windows(2) {
+            assert!(w[0] >= 0 && w[1] >= 0, "negative invariant for {a:?}");
+            if w[0] != 0 {
+                assert_eq!(w[1] % w[0], 0, "chain broken for {a:?}");
+            } else {
+                assert_eq!(w[1], 0, "zero before nonzero for {a:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn snf_zero_matrices_of_all_shapes() {
+        for (r, c) in [(1, 1), (1, 4), (4, 1), (3, 3), (2, 5)] {
+            let a: IMat = vec![vec![0; c]; r];
+            check_snf_contract(&a);
+            let s = smith_normal_form(&a);
+            assert!(s.diagonal().iter().all(|&d| d == 0));
+        }
+    }
+
+    #[test]
+    fn snf_degenerate_empty_shapes() {
+        // 0×0 and 1×0: no rows / no columns. Must not panic, transforms
+        // must have the matching (possibly empty) dimensions.
+        let empty: IMat = vec![];
+        let s = smith_normal_form(&empty);
+        assert!(s.u.is_empty() && s.v.is_empty() && s.d.is_empty());
+        let rowless: IMat = vec![vec![]];
+        let s = smith_normal_form(&rowless);
+        assert_eq!(s.u.len(), 1);
+        assert!(s.v.is_empty());
+        assert_eq!(s.d, vec![Vec::<i128>::new()]);
+        assert!(s.diagonal().is_empty());
+    }
+
+    #[test]
+    fn snf_non_square_extreme_shapes() {
+        // single row, single column, wide, tall — with mixed-sign entries
+        check_snf_contract(&vec![vec![6, -4, 10, 2]]);
+        check_snf_contract(&vec![vec![-7], vec![3], vec![0]]);
+        check_snf_contract(&vec![vec![1, 2, 3, 4, 5], vec![-5, 4, -3, 2, -1]]);
+        check_snf_contract(&vec![vec![2], vec![-4], vec![6], vec![-8], vec![10]]);
+        // 3×1 with negative gcd witness: invariant factor is |gcd| = 1
+        let s = smith_normal_form(&vec![vec![-7], vec![3], vec![0]]);
+        assert_eq!(s.diagonal(), vec![1]);
+    }
+
+    #[test]
+    fn snf_all_negative_entries() {
+        let a = vec![vec![-2, -4], vec![-6, -8]];
+        check_snf_contract(&a);
+        let s = smith_normal_form(&a);
+        // invariants of [[2,4],[6,8]] up to sign: det = -8, gcd = 2
+        assert_eq!(s.diagonal(), vec![2, 4]);
+    }
+
+    #[test]
+    fn snf_unimodular_input_gives_unit_invariants() {
+        // A itself has det ±1 → S must be the identity.
+        let a = vec![vec![2, 3], vec![1, 2]]; // det 1
+        check_snf_contract(&a);
+        assert_eq!(smith_normal_form(&a).diagonal(), vec![1, 1]);
+        let b = vec![vec![0, 1], vec![1, 0]]; // det -1
+        check_snf_contract(&b);
+        assert_eq!(smith_normal_form(&b).diagonal(), vec![1, 1]);
+    }
+
+    #[test]
+    fn snf_transform_determinants_are_exactly_unit() {
+        // Sharper than `is_unimodular` on its own: for square inputs,
+        // det(U)·det(A)·det(V) must equal det(S) exactly — the transforms
+        // may flip sign but never scale.
+        let a = vec![vec![4, 2], vec![2, 4]]; // det 12
+        let s = smith_normal_form(&a);
+        let det_s: i128 = s.diagonal().iter().product();
+        assert_eq!(det_s.abs(), 12);
+        assert_eq!(mat_mul(&mat_mul(&s.u, &a), &s.v), s.d);
+    }
+
+    #[test]
+    fn snf_large_single_entries_near_overflow_safety_margin() {
+        // entries around 2^40: products in mat_mul stay well inside i128
+        let big = 1i128 << 40;
+        check_snf_contract(&vec![vec![big, big + 2], vec![big - 2, big]]);
     }
 }

@@ -72,11 +72,7 @@ impl<E: Clone> AbelianStructure<E> {
     /// `pow` raises a generator to a power in the host group (passed in so
     /// the structure stays host-agnostic). Returns `(element, p^{eᵢ})`
     /// pairs with `eᵢ > 0`.
-    pub fn sylow_generators(
-        &self,
-        p: u64,
-        mut pow: impl FnMut(&E, u64) -> E,
-    ) -> Vec<(E, u64)> {
+    pub fn sylow_generators(&self, p: u64, mut pow: impl FnMut(&E, u64) -> E) -> Vec<(E, u64)> {
         let mut out = Vec::new();
         for (t, &d) in self.new_generators.iter().zip(&self.invariant_factors) {
             let mut pe = 1u64;

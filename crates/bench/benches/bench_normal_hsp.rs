@@ -3,9 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use nahsp_bench::perm_instance;
-use nahsp_core::normal_hsp::{
-    hidden_normal_subgroup, hidden_normal_subgroup_perm, QuotientEngine,
-};
+use nahsp_core::normal_hsp::{hidden_normal_subgroup, hidden_normal_subgroup_perm, QuotientEngine};
 use nahsp_core::oracle::CosetTableOracle;
 use nahsp_groups::matgf::Gf2Mat;
 use nahsp_groups::semidirect::Semidirect;
@@ -15,23 +13,27 @@ fn bench_solvable(c: &mut Criterion) {
     let mut group = c.benchmark_group("normal_hsp/solvable");
     group.sample_size(10);
     for (k, m, coeffs) in [(3usize, 7u64, 0b011u64), (4, 15, 0b0011), (5, 31, 0b00101)] {
-        group.bench_with_input(BenchmarkId::from_parameter(format!("2^{k}x{m}")), &k, |b, _| {
-            let g = Semidirect::new(k, m, Gf2Mat::companion(k, coeffs));
-            let n_gens = g.normal_subgroup_gens();
-            let mut rng = rand::rngs::StdRng::seed_from_u64(6);
-            b.iter(|| {
-                let oracle = CosetTableOracle::new(g.clone(), &n_gens, 1 << 16);
-                hidden_normal_subgroup(
-                    &g,
-                    &oracle,
-                    QuotientEngine::Auto { limit: 1 << 10 },
-                    1 << 16,
-                    &mut rng,
-                )
-                .1
-                .len()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("2^{k}x{m}")),
+            &k,
+            |b, _| {
+                let g = Semidirect::new(k, m, Gf2Mat::companion(k, coeffs));
+                let n_gens = g.normal_subgroup_gens();
+                let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+                b.iter(|| {
+                    let oracle = CosetTableOracle::new(g.clone(), &n_gens, 1 << 16);
+                    hidden_normal_subgroup(
+                        &g,
+                        &oracle,
+                        QuotientEngine::Auto { limit: 1 << 10 },
+                        1 << 16,
+                        &mut rng,
+                    )
+                    .1
+                    .len()
+                })
+            },
+        );
     }
     group.finish();
 }

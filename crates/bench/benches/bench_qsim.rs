@@ -41,13 +41,17 @@ fn bench_approx_qft(c: &mut Criterion) {
     let t = 12usize;
     let sites: Vec<usize> = (0..t).collect();
     for cutoff in [3usize, 6, 12] {
-        group.bench_with_input(BenchmarkId::from_parameter(cutoff), &cutoff, |b, &cutoff| {
-            b.iter(|| {
-                let mut s = State::basis_index(Layout::qubits(t), 677);
-                approx_qft_binary_register(&mut s, &sites, false, cutoff);
-                s.probability(0)
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(cutoff),
+            &cutoff,
+            |b, &cutoff| {
+                b.iter(|| {
+                    let mut s = State::basis_index(Layout::qubits(t), 677);
+                    approx_qft_binary_register(&mut s, &sites, false, cutoff);
+                    s.probability(0)
+                })
+            },
+        );
     }
     group.finish();
 }

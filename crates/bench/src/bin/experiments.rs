@@ -14,9 +14,7 @@ use nahsp_core::baseline::{birthday_collision, ettinger_hoyer_dihedral, exhausti
 use nahsp_core::ea2::{hsp_ea2_cyclic, hsp_ea2_general};
 use nahsp_core::lemma9::{solve_state_hsp, Lemma9Backend, PerturbedOracle};
 use nahsp_core::membership::abelian_membership;
-use nahsp_core::normal_hsp::{
-    hidden_normal_subgroup, hidden_normal_subgroup_perm, QuotientEngine,
-};
+use nahsp_core::normal_hsp::{hidden_normal_subgroup, hidden_normal_subgroup_perm, QuotientEngine};
 use nahsp_core::oracle::{CosetTableOracle, HidingFunction};
 use nahsp_core::small_commutator::hsp_small_commutator;
 use nahsp_core::watrous::{quotient_order, CosetStates};
@@ -85,7 +83,12 @@ fn main() {
 fn e1_abelian_hsp() {
     println!("\nE1. Abelian HSP over Z2^k (Thm 3 substrate): quantum vs classical");
     let mut t = Table::new(&[
-        "k", "|A|", "q-queries", "rounds", "quantum µs", "birthday-queries",
+        "k",
+        "|A|",
+        "q-queries",
+        "rounds",
+        "quantum µs",
+        "birthday-queries",
     ]);
     let mut rng = Rng64::seed_from_u64(1);
     for k in [4usize, 6, 8, 10, 12, 14, 16] {
@@ -149,9 +152,7 @@ fn e2_order_finding() {
         while (1u64 << qubits) < 2 * max_order * max_order {
             qubits += 1;
         }
-        let (sim, us) = micros(|| {
-            OrderFinder::Simulated { max_order }.find(&pg, &perm, &mut rng)
-        });
+        let (sim, us) = micros(|| OrderFinder::Simulated { max_order }.find(&pg, &perm, &mut rng));
         assert_eq!(sim, exact);
         t.row(&[
             format!("{n}"),
@@ -185,9 +186,8 @@ fn e3_membership() {
             let e = rng.gen_range(0..o);
             target = s9.multiply(&target, &s9.pow(h, e));
         }
-        let (res, us) = micros(|| {
-            abelian_membership(&s9, &hs, &target, &hsp, &OrderFinder::Exact, &mut rng)
-        });
+        let (res, us) =
+            micros(|| abelian_membership(&s9, &hs, &target, &hsp, &OrderFinder::Exact, &mut rng));
         let got = res.expect("planted member");
         t.row(&[
             format!("{r}"),
@@ -197,9 +197,8 @@ fn e3_membership() {
             format!("{us:.0}"),
         ]);
         let alien = Perm::from_cycles(9, &[&[0, 3]]);
-        let (res, us) = micros(|| {
-            abelian_membership(&s9, &hs, &alien, &hsp, &OrderFinder::Exact, &mut rng)
-        });
+        let (res, us) =
+            micros(|| abelian_membership(&s9, &hs, &alien, &hsp, &OrderFinder::Exact, &mut rng));
         assert!(res.is_none());
         t.row(&[
             format!("{r}"),
@@ -260,12 +259,7 @@ fn e5_normal_hsp_permutation() {
     for n in [5usize, 6, 7, 8, 9, 10] {
         let (sn, oracle) = perm_instance(n);
         let ((seeds, chain), us) = micros(|| {
-            hidden_normal_subgroup_perm(
-                &sn,
-                &oracle,
-                QuotientEngine::Auto { limit: 100 },
-                &mut rng,
-            )
+            hidden_normal_subgroup_perm(&sn, &oracle, QuotientEngine::Auto { limit: 100 }, &mut rng)
         });
         assert_eq!(seeds.quotient_order, 2);
         let fact: u64 = (1..=n as u64).product();
@@ -285,7 +279,13 @@ fn e5_normal_hsp_permutation() {
 fn e6_small_commutator() {
     println!("\nE6. Thm 11 / Cor 12: extraspecial p-groups (|G| = p^3, |G'| = p)");
     let mut t = Table::new(&[
-        "p", "|G|", "|H|", "f-queries", "µs", "scan-queries", "birthday-queries",
+        "p",
+        "|G|",
+        "|H|",
+        "f-queries",
+        "µs",
+        "scan-queries",
+        "birthday-queries",
     ]);
     let mut rng = Rng64::seed_from_u64(6);
     for p in [3u64, 5, 7, 11, 13] {
@@ -318,19 +318,16 @@ fn e7_ea2_general() {
     let mut t = Table::new(&["k", "m=|G/N|", "|V|", "HSP instances", "f-queries", "µs"]);
     let mut rng = Rng64::seed_from_u64(7);
     let hsp = AbelianHsp::new(Backend::SimulatorCoset);
-    for (k, m, coeffs) in [
-        (3usize, 7u64, 0b011u64),
-        (4, 15, 0b0011),
-        (5, 31, 0b00101),
-    ] {
+    for (k, m, coeffs) in [(3usize, 7u64, 0b011u64), (4, 15, 0b0011), (5, 31, 0b00101)] {
         let (g, oracle, coords) = semidirect_instance(k, m, coeffs);
-        let (res, us) = micros(|| {
-            hsp_ea2_general(&g, &oracle, &coords, &hsp, None, 1 << 10, &mut rng)
-        });
+        let (res, us) =
+            micros(|| hsp_ea2_general(&g, &oracle, &coords, &hsp, None, 1 << 10, &mut rng));
         let recovered = if res.h_generators.is_empty() {
             1
         } else {
-            enumerate_subgroup(&g, &res.h_generators, 1 << 16).unwrap().len()
+            enumerate_subgroup(&g, &res.h_generators, 1 << 16)
+                .unwrap()
+                .len()
         };
         assert_eq!(recovered, oracle.hidden_subgroup_elements().len());
         t.row(&[
@@ -354,7 +351,7 @@ fn e8_ea2_cyclic() {
         let (g, oracle, coords, h) = wreath_instance(half);
         let hsp = AbelianHsp::new(Backend::SimulatorCoset);
         let (res, us) = micros(|| hsp_ea2_cyclic(&g, &oracle, &coords, &hsp, None, &mut rng));
-        assert!(res.h_generators.iter().any(|x| *x == h));
+        assert!(res.h_generators.contains(&h));
         t.row(&[
             format!("{}", 2 * half),
             format!("2^{}", 2 * half + 1),
@@ -367,10 +364,9 @@ fn e8_ea2_cyclic() {
     for half in [8usize, 12, 16, 20, 24] {
         let (g, oracle, coords, truth, h) = wreath_instance_structural(half);
         let hsp = AbelianHsp::new(Backend::Ideal);
-        let (res, us) = micros(|| {
-            hsp_ea2_cyclic(&g, &oracle, &coords, &hsp, Some(&truth), &mut rng)
-        });
-        assert!(res.h_generators.iter().any(|x| *x == h));
+        let (res, us) =
+            micros(|| hsp_ea2_cyclic(&g, &oracle, &coords, &hsp, Some(&truth), &mut rng));
+        assert!(res.h_generators.contains(&h));
         t.row(&[
             format!("{}", 2 * half),
             format!("2^{}", 2 * half + 1),
@@ -389,12 +385,7 @@ fn e8_ea2_cyclic() {
 /// rounds, so the interesting curve is *cost* (rounds) alongside success.
 fn e9_epsilon_robustness() {
     println!("\nE9. Lemma 9 / Thm 10: success and sampling cost vs coset-state error ε");
-    let mut t = Table::new(&[
-        "ε",
-        "lemma9 success",
-        "avg rounds",
-        "thm10 order success",
-    ]);
+    let mut t = Table::new(&["ε", "lemma9 success", "avg rounds", "thm10 order success"]);
     let trials = 30;
     for eps in [0.0f64, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6] {
         let mut rng = Rng64::seed_from_u64(9);
@@ -471,7 +462,10 @@ fn e10_qft() {
     for cutoff in [2usize, 3, 4, 5, 6, 8, 10] {
         let mut approx = State::basis_index(Layout::qubits(tq), 677);
         approx_qft_binary_register(&mut approx, &sites, false, cutoff);
-        t2.row(&[format!("{cutoff}"), format!("{:.6}", approx.fidelity(&exact))]);
+        t2.row(&[
+            format!("{cutoff}"),
+            format!("{:.6}", approx.fidelity(&exact)),
+        ]);
     }
     t2.print();
 }
@@ -525,9 +519,8 @@ fn a2_ettinger_hoyer() {
         let g = Dihedral::new(n);
         let d = rng.gen_range(0..n);
         let samples = (12 * bits) as usize;
-        let (res, us) = micros(|| {
-            ettinger_hoyer_dihedral(&g, d, samples, |cand| cand == d, &mut rng)
-        });
+        let (res, us) =
+            micros(|| ettinger_hoyer_dihedral(&g, d, samples, |cand| cand == d, &mut rng));
         t.row(&[
             format!("{n}"),
             format!("{}", res.quantum_queries),

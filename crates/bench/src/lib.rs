@@ -12,6 +12,7 @@ use nahsp_groups::matgf::Gf2Mat;
 use nahsp_groups::perm::PermGroup;
 use nahsp_groups::semidirect::Semidirect;
 use nahsp_groups::{AbelianProduct, Group};
+use nahsp_testkit::symmetric_wreath_element;
 use rand::Rng;
 
 /// E1 workload: `A = Z₂^k` with a random hidden subgroup of rank `k/2`.
@@ -43,10 +44,14 @@ pub fn extraspecial_instance(p: u64) -> (Extraspecial, CosetTableOracle<Extraspe
 /// twisted involution `⟨(w|w, 1)⟩`.
 pub fn wreath_instance(
     half: usize,
-) -> (Semidirect, CosetTableOracle<Semidirect>, N2Coords<Semidirect>, (u64, u64)) {
+) -> (
+    Semidirect,
+    CosetTableOracle<Semidirect>,
+    N2Coords<Semidirect>,
+    (u64, u64),
+) {
     let g = Semidirect::wreath_z2(half);
-    let w = (1u64 << half) - 1;
-    let h = (w | (w << half), 1u64);
+    let h = symmetric_wreath_element(half, (1u64 << half) - 1);
     let oracle = CosetTableOracle::new(g.clone(), &[h], 1usize << (2 * half + 2));
     let coords = semidirect_coords(&g);
     (g, oracle, coords, h)
@@ -66,8 +71,7 @@ pub fn wreath_instance_structural(
     (u64, u64),
 ) {
     let g = Semidirect::wreath_z2(half);
-    let w = (1u64 << half) - 1;
-    let h = (w | (w << half), 1u64);
+    let h = symmetric_wreath_element(half, (1u64 << half) - 1);
     let g2 = g.clone();
     let f: Box<dyn Fn(&(u64, u64)) -> (u64, u64) + Sync + Send> =
         Box::new(move |x: &(u64, u64)| std::cmp::min(*x, g2.multiply(x, &h)));
@@ -86,7 +90,11 @@ pub fn semidirect_instance(
     k: usize,
     m: u64,
     coeffs: u64,
-) -> (Semidirect, CosetTableOracle<Semidirect>, N2Coords<Semidirect>) {
+) -> (
+    Semidirect,
+    CosetTableOracle<Semidirect>,
+    N2Coords<Semidirect>,
+) {
     let g = Semidirect::new(k, m, Gf2Mat::companion(k, coeffs));
     let h_gens = vec![(0u64, m / nahsp_numtheory::factor(m)[0].0)];
     let oracle = CosetTableOracle::new(g.clone(), &h_gens, (1usize << k) * m as usize + 8);

@@ -163,7 +163,11 @@ pub fn ettinger_hoyer_dihedral(
             // flip bit with bias (1 + cos)/2.
             let y = rng.gen_range(0..n);
             let cosv = (std::f64::consts::TAU * (d_truth as f64) * (y as f64) / n as f64).cos();
-            let c = if rng.gen::<f64>() < (1.0 + cosv) / 2.0 { 0 } else { 1 };
+            let c = if rng.gen::<f64>() < (1.0 + cosv) / 2.0 {
+                0
+            } else {
+                1
+            };
             observations.push((y, c));
         }
     }
@@ -289,7 +293,11 @@ mod tests {
             // closed-form path
             let y = rng.gen_range(0..n);
             let cosv = (std::f64::consts::TAU * (d as f64) * (y as f64) / n as f64).cos();
-            let c = if rng.gen::<f64>() < (1.0 + cosv) / 2.0 { 0 } else { 1 };
+            let c = if rng.gen::<f64>() < (1.0 + cosv) / 2.0 {
+                0
+            } else {
+                1
+            };
             h_closed[(y * 2 + c) as usize] += 1.0 / trials as f64;
         }
         assert!(

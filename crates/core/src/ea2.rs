@@ -84,8 +84,7 @@ impl<G: Group + 'static> N2Coords<G> {
             assert!(elems.len() <= limit, "N exceeds enumeration limit");
         }
         let dim = basis.len();
-        let reverse: HashMap<u64, G::Elem> =
-            elems.iter().map(|(e, &v)| (v, e.clone())).collect();
+        let reverse: HashMap<u64, G::Elem> = elems.iter().map(|(e, &v)| (v, e.clone())).collect();
         let group2 = group.clone();
         N2Coords {
             dim,
@@ -359,7 +358,10 @@ pub fn hsp_ea2_cyclic<G: Group + 'static, F: HidingFunction<G>>(
                 break;
             }
         }
-        assert!(found, "failed to find a Sylow {p}-generator of the cyclic quotient");
+        assert!(
+            found,
+            "failed to find a Sylow {p}-generator of the cyclic quotient"
+        );
     }
     run_rounds(group, f, coords, hsp, truth, &v_set, id_label, rng)
 }
@@ -376,10 +378,8 @@ fn run_rounds<G: Group + 'static, F: HidingFunction<G>>(
 ) -> Ea2Result<G> {
     // H ∩ N first.
     let hn_basis = solve_h_cap_n(group, f, coords, hsp, truth, rng);
-    let mut h_generators: Vec<G::Elem> = hn_basis
-        .iter()
-        .map(|&mask| coords.from_vec(mask))
-        .collect();
+    let mut h_generators: Vec<G::Elem> =
+        hn_basis.iter().map(|&mask| coords.from_vec(mask)).collect();
     let mut instances = 1usize;
     for z in v_set {
         if coords.in_n(z) {
@@ -427,11 +427,7 @@ mod tests {
         verify(g, &oracle, &res);
     }
 
-    fn verify(
-        g: &Semidirect,
-        oracle: &CosetTableOracle<Semidirect>,
-        res: &Ea2Result<Semidirect>,
-    ) {
+    fn verify(g: &Semidirect, oracle: &CosetTableOracle<Semidirect>, res: &Ea2Result<Semidirect>) {
         let recovered = if res.h_generators.is_empty() {
             vec![(0u64, 0u64)]
         } else {
@@ -509,8 +505,7 @@ mod tests {
         };
         let mut rng = Rng64::seed_from_u64(20);
         let hsp = AbelianHsp::new(Backend::Ideal);
-        let res =
-            hsp_ea2_general(&g, &oracle, &coords, &hsp, Some(&truth), 1 << 12, &mut rng);
+        let res = hsp_ea2_general(&g, &oracle, &coords, &hsp, Some(&truth), 1 << 12, &mut rng);
         verify(&g, &oracle, &res);
     }
 

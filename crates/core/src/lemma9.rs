@@ -134,7 +134,7 @@ fn fourier_sample_state<O: QStateOracle + ?Sized>(oracle: &O, rng: &mut impl Rng
     let adim: usize = dims.iter().product();
     let xdim = oracle.state_dim().max(2);
     assert!(
-        adim.checked_mul(xdim).map_or(false, |d| d <= 1 << 22),
+        adim.checked_mul(xdim).is_some_and(|d| d <= 1 << 22),
         "state HSP instance too large to simulate"
     );
     let input_layout = Layout::new(dims.clone());

@@ -93,8 +93,8 @@ fn seeds_by_enumeration<G: Group, F: HidingFunction<G>>(
     q: &HiddenQuotient<'_, G, F>,
     limit: usize,
 ) -> NormalHspSeeds<G> {
-    let reps = enumerate_subgroup(q, &q.generators(), limit)
-        .expect("quotient exceeds enumeration limit");
+    let reps =
+        enumerate_subgroup(q, &q.generators(), limit).expect("quotient exceeds enumeration limit");
     let m = reps.len();
     // label -> index of the canonical representative
     let mut index = std::collections::HashMap::with_capacity(m);
@@ -117,7 +117,9 @@ fn seeds_by_enumeration<G: Group, F: HidingFunction<G>>(
     }
     // S0: y^{-1} x for each original generator x, y its representative.
     for x in group.generators() {
-        let k = *index.get(&q.coset_label(&x)).expect("generator not in table");
+        let k = *index
+            .get(&q.coset_label(&x))
+            .expect("generator not in table");
         let s = group.multiply(&group.inverse(&reps[k]), &x);
         if !group.is_identity(&s) {
             seeds.push(s);
@@ -295,8 +297,7 @@ mod tests {
             &mut rng,
         );
         let o2 = CosetTableOracle::new(s4.clone(), &a4.gens, 100);
-        let (_, e2) =
-            hidden_normal_subgroup(&s4, &o2, QuotientEngine::Abelian, 100, &mut rng);
+        let (_, e2) = hidden_normal_subgroup(&s4, &o2, QuotientEngine::Abelian, 100, &mut rng);
         let s1: std::collections::HashSet<_> = e1.into_iter().collect();
         let s2: std::collections::HashSet<_> = e2.into_iter().collect();
         assert_eq!(s1, s2);

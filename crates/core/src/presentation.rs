@@ -56,8 +56,8 @@ pub fn present_by_enumeration<G: Group, F: HidingFunction<G>>(
     limit: usize,
 ) -> QuotientPresentation<G> {
     let q = HiddenQuotient::new(group, f);
-    let reps = enumerate_subgroup(&q, &q.generators(), limit)
-        .expect("quotient exceeds enumeration limit");
+    let reps =
+        enumerate_subgroup(&q, &q.generators(), limit).expect("quotient exceeds enumeration limit");
     let m = reps.len();
     let mut index = std::collections::HashMap::with_capacity(m);
     for (i, t) in reps.iter().enumerate() {

@@ -160,10 +160,7 @@ mod tests {
         let q = s4_mod_v4(&s4, &oracle);
         let mut rng = Rng64::seed_from_u64(0);
         let of = OrderFinder::Exact;
-        assert_eq!(
-            of.find(&q, &Perm::from_cycles(4, &[&[0, 1]]), &mut rng),
-            2
-        );
+        assert_eq!(of.find(&q, &Perm::from_cycles(4, &[&[0, 1]]), &mut rng), 2);
         assert_eq!(
             of.find(&q, &Perm::from_cycles(4, &[&[0, 1, 2]]), &mut rng),
             3
@@ -216,7 +213,7 @@ mod tests {
         let mut rng = Rng64::seed_from_u64(2);
         let expr = crate::membership::abelian_membership(
             &q,
-            &[c3.clone()],
+            std::slice::from_ref(&c3),
             &target,
             &nahsp_abelian::AbelianHsp::new(nahsp_abelian::Backend::SimulatorCoset),
             &OrderFinder::Exact,

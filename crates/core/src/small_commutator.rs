@@ -87,7 +87,10 @@ pub fn hsp_small_commutator<G: Group, F: HidingFunction<G>>(
                 break;
             }
         }
-        assert!(found, "generator of HG' has empty coset intersection with H — oracle inconsistent");
+        assert!(
+            found,
+            "generator of HG' has empty coset intersection with H — oracle inconsistent"
+        );
     }
 
     // Step 6: assemble H.
@@ -163,7 +166,7 @@ mod tests {
         let g = Extraspecial::heisenberg(5);
         let e1 = vec![1u64, 0, 0];
         let e2 = vec![0u64, 1, 0];
-        check(&g, &[e1.clone()], 1000, 3);
+        check(&g, std::slice::from_ref(&e1), 1000, 3);
         // maximal subgroup <e1, z>
         check(&g, &[e1, g.center_generator()], 1000, 4);
         check(&g, &[e2], 1000, 5);

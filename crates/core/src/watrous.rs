@@ -119,9 +119,7 @@ impl<G: Group> CosetStates<G> {
     /// Membership of `x` in `N` (the identity test of `G/N`).
     pub fn in_n(&self, x: &G::Elem) -> bool {
         let c = self.group.canonical(x);
-        self.n_elems
-            .iter()
-            .any(|n| self.group.canonical(n) == c)
+        self.n_elems.iter().any(|n| self.group.canonical(n) == c)
     }
 
     /// Register the full coset of `x` in the index, returning the sorted
@@ -434,8 +432,14 @@ mod tests {
                 .fold(Complex::ZERO, |acc, (p, q)| acc + p.conj() * *q)
         };
         assert!((dot(&sa, &sa).re - 1.0).abs() < 1e-10);
-        assert!(dot(&sa, &sb).norm() < 1e-10, "distinct cosets not orthogonal");
-        assert!((dot(&sa, &sav).re - 1.0).abs() < 1e-10, "same coset differs");
+        assert!(
+            dot(&sa, &sb).norm() < 1e-10,
+            "distinct cosets not orthogonal"
+        );
+        assert!(
+            (dot(&sa, &sav).re - 1.0).abs() < 1e-10,
+            "same coset differs"
+        );
     }
 
     #[test]
@@ -445,19 +449,39 @@ mod tests {
         let mut rng = Rng64::seed_from_u64(1);
         // S4/V4 ≅ S3
         assert_eq!(
-            quotient_order(&states, &Perm::from_cycles(4, &[&[0, 1]]), Lemma9Backend::Simulator, &mut rng),
+            quotient_order(
+                &states,
+                &Perm::from_cycles(4, &[&[0, 1]]),
+                Lemma9Backend::Simulator,
+                &mut rng
+            ),
             2
         );
         assert_eq!(
-            quotient_order(&states, &Perm::from_cycles(4, &[&[0, 1, 2]]), Lemma9Backend::Simulator, &mut rng),
+            quotient_order(
+                &states,
+                &Perm::from_cycles(4, &[&[0, 1, 2]]),
+                Lemma9Backend::Simulator,
+                &mut rng
+            ),
             3
         );
         assert_eq!(
-            quotient_order(&states, &Perm::from_cycles(4, &[&[0, 1, 2, 3]]), Lemma9Backend::Simulator, &mut rng),
+            quotient_order(
+                &states,
+                &Perm::from_cycles(4, &[&[0, 1, 2, 3]]),
+                Lemma9Backend::Simulator,
+                &mut rng
+            ),
             2
         );
         assert_eq!(
-            quotient_order(&states, &Perm::identity(4), Lemma9Backend::Simulator, &mut rng),
+            quotient_order(
+                &states,
+                &Perm::identity(4),
+                Lemma9Backend::Simulator,
+                &mut rng
+            ),
             1
         );
     }
@@ -468,7 +492,12 @@ mod tests {
         let states = CosetStates::new(s4.clone(), &v4_gens(), 100, 0.0);
         let mut rng = Rng64::seed_from_u64(2);
         assert_eq!(
-            quotient_order(&states, &Perm::from_cycles(4, &[&[0, 1, 2]]), Lemma9Backend::Ideal, &mut rng),
+            quotient_order(
+                &states,
+                &Perm::from_cycles(4, &[&[0, 1, 2]]),
+                Lemma9Backend::Ideal,
+                &mut rng
+            ),
             3
         );
     }
@@ -480,11 +509,21 @@ mod tests {
         let states = CosetStates::new(g.clone(), &g.normal_subgroup_gens(), 100, 0.0);
         let mut rng = Rng64::seed_from_u64(3);
         assert_eq!(
-            quotient_order(&states, &(0b101u64, 1u64), Lemma9Backend::Simulator, &mut rng),
+            quotient_order(
+                &states,
+                &(0b101u64, 1u64),
+                Lemma9Backend::Simulator,
+                &mut rng
+            ),
             7
         );
         assert_eq!(
-            quotient_order(&states, &(0b101u64, 0u64), Lemma9Backend::Simulator, &mut rng),
+            quotient_order(
+                &states,
+                &(0b101u64, 0u64),
+                Lemma9Backend::Simulator,
+                &mut rng
+            ),
             1
         );
     }
@@ -499,7 +538,7 @@ mod tests {
         let target = Perm::from_cycles(4, &[&[0, 2, 1]]);
         let exps = quotient_abelian_membership(
             &states,
-            &[c.clone()],
+            std::slice::from_ref(&c),
             &target,
             Lemma9Backend::Simulator,
             &mut rng,
@@ -511,14 +550,10 @@ mod tests {
         assert!(states.in_n(&diff));
         // A transposition is NOT in <c> mod V4.
         let t = Perm::from_cycles(4, &[&[0, 1]]);
-        assert!(quotient_abelian_membership(
-            &states,
-            &[c],
-            &t,
-            Lemma9Backend::Simulator,
-            &mut rng
-        )
-        .is_none());
+        assert!(
+            quotient_abelian_membership(&states, &[c], &t, Lemma9Backend::Simulator, &mut rng)
+                .is_none()
+        );
     }
 
     #[test]
@@ -552,11 +587,15 @@ mod tests {
         // Full Theorem 10 order finding on coset states prepared the
         // Watrous way.
         let s4 = PermGroup::symmetric(4);
-        let states = CosetStates::via_polycyclic_series(s4.clone(), &v4_gens(), 100, 0.0)
-            .unwrap();
+        let states = CosetStates::via_polycyclic_series(s4.clone(), &v4_gens(), 100, 0.0).unwrap();
         let mut rng = Rng64::seed_from_u64(6);
         assert_eq!(
-            quotient_order(&states, &Perm::from_cycles(4, &[&[0, 1, 2]]), Lemma9Backend::Simulator, &mut rng),
+            quotient_order(
+                &states,
+                &Perm::from_cycles(4, &[&[0, 1, 2]]),
+                Lemma9Backend::Simulator,
+                &mut rng
+            ),
             3
         );
     }
@@ -567,7 +606,12 @@ mod tests {
         let states = CosetStates::new(s4.clone(), &v4_gens(), 100, 0.05);
         let mut rng = Rng64::seed_from_u64(5);
         assert_eq!(
-            quotient_order(&states, &Perm::from_cycles(4, &[&[0, 1, 2]]), Lemma9Backend::Simulator, &mut rng),
+            quotient_order(
+                &states,
+                &Perm::from_cycles(4, &[&[0, 1, 2]]),
+                Lemma9Backend::Simulator,
+                &mut rng
+            ),
             3
         );
     }

@@ -131,13 +131,10 @@ mod tests {
     fn matches_permutation_dihedral() {
         use crate::perm::PermGroup;
         use crate::stabchain::StabilizerChain;
-        let abstract_order = enumerate_subgroup(
-            &Dihedral::new(8),
-            &Dihedral::new(8).generators(),
-            100,
-        )
-        .unwrap()
-        .len();
+        let abstract_order =
+            enumerate_subgroup(&Dihedral::new(8), &Dihedral::new(8).generators(), 100)
+                .unwrap()
+                .len();
         let perm = PermGroup::dihedral(8);
         let chain = StabilizerChain::new(8, &perm.gens);
         assert_eq!(abstract_order as u64, chain.order());

@@ -70,7 +70,7 @@ impl EncodeElem for Vec<u64> {
     }
 
     fn decode(bytes: &[u8]) -> Option<Self> {
-        if bytes.len() % 8 != 0 {
+        if !bytes.len().is_multiple_of(8) {
             return None;
         }
         Some(
@@ -96,7 +96,7 @@ impl EncodeElem for crate::perm::Perm {
     }
 
     fn decode(bytes: &[u8]) -> Option<Self> {
-        if bytes.len() % 4 != 0 {
+        if !bytes.len().is_multiple_of(4) {
             return None;
         }
         let images: Vec<u32> = bytes
@@ -193,10 +193,7 @@ mod tests {
         let p = Perm::from_cycles(5, &[&[0, 2, 4]]);
         assert_eq!(Perm::decode(&p.encode()), Some(p));
         // invalid: repeated image
-        let bad: Vec<u8> = [0u32, 0, 1]
-            .iter()
-            .flat_map(|x| x.to_be_bytes())
-            .collect();
+        let bad: Vec<u8> = [0u32, 0, 1].iter().flat_map(|x| x.to_be_bytes()).collect();
         assert_eq!(Perm::decode(&bad), None);
     }
 

@@ -32,8 +32,7 @@ impl<G: Group> FactorGroup<G> {
     /// Build `G/N` from generators of the normal subgroup `N`; enumerates
     /// `N` (so `|N|` must be below `limit`).
     pub fn new(base: G, n_gens: &[G::Elem], limit: usize) -> Self {
-        let n_elems =
-            enumerate_subgroup(&base, n_gens, limit).expect("normal subgroup too large");
+        let n_elems = enumerate_subgroup(&base, n_gens, limit).expect("normal subgroup too large");
         let n_set: HashSet<G::Elem> = n_elems.iter().cloned().collect();
         // Normality check: conjugates of N-generators stay in N.
         for g in base.generators() {

@@ -226,12 +226,10 @@ impl Group for AbelianProduct {
     }
 
     fn exponent_hint(&self) -> Option<u64> {
-        self.moduli
-            .iter()
-            .try_fold(1u64, |acc, &m| {
-                let g = nahsp_numtheory::gcd(acc, m);
-                (acc / g).checked_mul(m)
-            })
+        self.moduli.iter().try_fold(1u64, |acc, &m| {
+            let g = nahsp_numtheory::gcd(acc, m);
+            (acc / g).checked_mul(m)
+        })
     }
 }
 
@@ -287,7 +285,9 @@ impl<G1: Group, G2: Group> Group for DirectProduct<G1, G2> {
     }
 
     fn order_hint(&self) -> Option<u64> {
-        self.left.order_hint()?.checked_mul(self.right.order_hint()?)
+        self.left
+            .order_hint()?
+            .checked_mul(self.right.order_hint()?)
     }
 
     fn exponent_hint(&self) -> Option<u64> {

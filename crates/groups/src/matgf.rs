@@ -365,8 +365,11 @@ pub struct Section6MatrixGroup {
 
 impl Section6MatrixGroup {
     pub fn new(action: Gf2Mat) -> Self {
-        assert!(action.n + 1 <= 64, "dimension limit");
-        assert!(action.inverse().is_some(), "type-(a) block must be invertible");
+        assert!(action.n < 64, "dimension limit");
+        assert!(
+            action.inverse().is_some(),
+            "type-(a) block must be invertible"
+        );
         Section6MatrixGroup {
             dim: action.n + 1,
             action,

@@ -116,10 +116,7 @@ impl Perm {
 
     /// Order = lcm of cycle lengths.
     pub fn order(&self) -> u64 {
-        self.cycles()
-            .iter()
-            .map(|c| c.len() as u64)
-            .fold(1u64, lcm)
+        self.cycles().iter().map(|c| c.len() as u64).fold(1u64, lcm)
     }
 
     /// Points moved by the permutation.
@@ -136,7 +133,11 @@ impl std::ops::Mul for &Perm {
     type Output = Perm;
     fn mul(self, rhs: &Perm) -> Perm {
         assert_eq!(self.degree(), rhs.degree(), "degree mismatch");
-        let images: Vec<u32> = rhs.images.iter().map(|&x| self.images[x as usize]).collect();
+        let images: Vec<u32> = rhs
+            .images
+            .iter()
+            .map(|&x| self.images[x as usize])
+            .collect();
         Perm {
             images: images.into_boxed_slice(),
         }
@@ -195,8 +196,7 @@ impl PermGroup {
         assert!(n >= 3);
         let c: Vec<u32> = (0..n as u32).collect();
         let rot = Perm::from_cycles(n, &[&c]);
-        let refl =
-            Perm::from_images((0..n as u32).map(|i| (n as u32 - i) % n as u32).collect());
+        let refl = Perm::from_images((0..n as u32).map(|i| (n as u32 - i) % n as u32).collect());
         PermGroup::new(n, vec![rot, refl])
     }
 }

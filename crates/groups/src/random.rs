@@ -105,11 +105,14 @@ mod tests {
         // With 200 draws, pr(stay in any fixed proper subgroup) ≤ 2^{-200}.
         let g = PermGroup::symmetric(4);
         let mut rng = rand::rngs::StdRng::seed_from_u64(2);
-        let a4: std::collections::HashSet<_> =
-            enumerate_subgroup(&PermGroup::alternating(4), &PermGroup::alternating(4).gens, 100)
-                .unwrap()
-                .into_iter()
-                .collect();
+        let a4: std::collections::HashSet<_> = enumerate_subgroup(
+            &PermGroup::alternating(4),
+            &PermGroup::alternating(4).gens,
+            100,
+        )
+        .unwrap()
+        .into_iter()
+        .collect();
         let escaped = (0..200).any(|_| {
             let x = random_subproduct(&g, &g.gens, &mut rng);
             !a4.contains(&x)

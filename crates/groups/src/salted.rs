@@ -43,7 +43,9 @@ impl<G: Group> SaltedGroup<G> {
     /// A deterministic-but-scrambled fresh salt (splitmix64 step), so runs
     /// are reproducible while salts look adversarially arbitrary.
     fn next_salt(&self) -> u64 {
-        let mut z = self.counter.fetch_add(0x9e3779b97f4a7c15, Ordering::Relaxed);
+        let mut z = self
+            .counter
+            .fetch_add(0x9e3779b97f4a7c15, Ordering::Relaxed);
         z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
         (z ^ (z >> 31)) & self.salt_mask

@@ -38,10 +38,7 @@ impl<E> PolycyclicSeries<E> {
 ///
 /// Returns `None` if the group exceeds `limit` or is not solvable (the
 /// derived series stalls above the identity).
-pub fn polycyclic_series<G: Group>(
-    group: &G,
-    limit: usize,
-) -> Option<PolycyclicSeries<G::Elem>> {
+pub fn polycyclic_series<G: Group>(group: &G, limit: usize) -> Option<PolycyclicSeries<G::Elem>> {
     let derived = derived_series(group, limit)?;
     let mut subgroups: Vec<Vec<G::Elem>> = Vec::new();
     let mut factor_primes: Vec<u64> = Vec::new();
@@ -83,8 +80,7 @@ fn refine_abelian_slice<G: Group>(
         if guard > 64 {
             return None;
         }
-        let current_set: HashSet<G::Elem> =
-            current.iter().map(|e| group.canonical(e)).collect();
+        let current_set: HashSet<G::Elem> = current.iter().map(|e| group.canonical(e)).collect();
         // pick x in upper \ current
         let x = upper
             .iter()

@@ -67,7 +67,11 @@ impl StabilizerChain {
     fn level_gens(&self, l: usize) -> Vec<Perm> {
         self.strong_gens
             .iter()
-            .filter(|g| self.levels[..l].iter().all(|lv| g.apply(lv.base) == lv.base))
+            .filter(|g| {
+                self.levels[..l]
+                    .iter()
+                    .all(|lv| g.apply(lv.base) == lv.base)
+            })
             .cloned()
             .collect()
     }
@@ -79,7 +83,8 @@ impl StabilizerChain {
         debug_assert!(!g.is_identity());
         // Depth = number of leading levels whose base g fixes.
         let mut depth = 0usize;
-        while depth < self.levels.len() && g.apply(self.levels[depth].base) == self.levels[depth].base
+        while depth < self.levels.len()
+            && g.apply(self.levels[depth].base) == self.levels[depth].base
         {
             depth += 1;
         }
@@ -114,9 +119,7 @@ impl StabilizerChain {
             let uw = level.transversal[&w].clone();
             for s in &gens {
                 let sw = s.apply(w);
-                if let std::collections::hash_map::Entry::Vacant(e) =
-                    level.transversal.entry(sw)
-                {
+                if let std::collections::hash_map::Entry::Vacant(e) = level.transversal.entry(sw) {
                     e.insert(s * &uw);
                     level.orbit.push(sw);
                 }
@@ -327,8 +330,10 @@ mod tests {
         assert!(chain.contains(&Perm::identity(5)));
         assert!(!chain.contains(&Perm::from_cycles(5, &[&[0, 1]])));
         assert_eq!(chain.elements().len(), 1);
-        assert_eq!(chain.min_in_left_coset(&Perm::from_cycles(5, &[&[0, 1]])),
-                   Perm::from_cycles(5, &[&[0, 1]]));
+        assert_eq!(
+            chain.min_in_left_coset(&Perm::from_cycles(5, &[&[0, 1]])),
+            Perm::from_cycles(5, &[&[0, 1]])
+        );
     }
 
     #[test]

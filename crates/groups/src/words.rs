@@ -68,12 +68,7 @@ impl Word {
 
     pub fn inverse(&self) -> Word {
         Word {
-            syllables: self
-                .syllables
-                .iter()
-                .rev()
-                .map(|&(g, e)| (g, -e))
-                .collect(),
+            syllables: self.syllables.iter().rev().map(|&(g, e)| (g, -e)).collect(),
         }
     }
 
@@ -215,7 +210,10 @@ mod tests {
         let a = Perm::from_cycles(3, &[&[0, 1]]);
         let b = Perm::from_cycles(3, &[&[1, 2]]);
         let w = Word::commutator(0, 1);
-        assert_eq!(w.substitute(&g, &[a.clone(), b.clone()]), g.commutator(&a, &b));
+        assert_eq!(
+            w.substitute(&g, &[a.clone(), b.clone()]),
+            g.commutator(&a, &b)
+        );
     }
 
     #[test]
@@ -254,9 +252,6 @@ mod tests {
         let w = Word {
             syllables: vec![(1, 3), (0, 1), (1, -1)],
         };
-        assert_eq!(
-            w.to_slp().evaluate(&g, &gens),
-            w.substitute(&g, &gens)
-        );
+        assert_eq!(w.to_slp().evaluate(&g, &gens), w.substitute(&g, &gens));
     }
 }

@@ -123,10 +123,10 @@ pub fn isqrt(n: u64) -> u64 {
     let mut x = (n as f64).sqrt() as u64;
     // Float rounding can be off by one in either direction; fix up exactly.
     // checked_mul: overflow means x*x > u64::MAX >= n, so shrink then too.
-    while x.checked_mul(x).map_or(true, |s| s > n) {
+    while x.checked_mul(x).is_none_or(|s| s > n) {
         x -= 1;
     }
-    while (x + 1).checked_mul(x + 1).map_or(false, |s| s <= n) {
+    while (x + 1).checked_mul(x + 1).is_some_and(|s| s <= n) {
         x += 1;
     }
     x

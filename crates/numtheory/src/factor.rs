@@ -15,7 +15,7 @@ pub type Factorization = Vec<(u64, u32)>;
 /// composite `n > 3`. Deterministic seed schedule so results are reproducible.
 fn pollard_rho(n: u64) -> u64 {
     debug_assert!(n > 3 && !is_prime(n));
-    if n % 2 == 0 {
+    if n.is_multiple_of(2) {
         return 2;
     }
     let mut c = 1u64;

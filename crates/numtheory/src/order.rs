@@ -5,7 +5,7 @@
 //! Section 3 of the paper), the exact order is found with
 //! `O(log E · ω(E))` group operations by peeling prime factors.
 
-use crate::arith::{mod_pow, gcd};
+use crate::arith::{gcd, mod_pow};
 use crate::factor::factor;
 
 /// Order of `a` in `(Z/nZ)^*`; requires `gcd(a, n) == 1`.
@@ -33,10 +33,13 @@ pub fn element_order_from_exponent<F: FnMut(u64) -> bool>(
     exponent: u64,
 ) -> u64 {
     assert!(exponent > 0, "exponent multiple must be positive");
-    debug_assert!(is_identity_pow(exponent), "exponent is not a multiple of the order");
+    debug_assert!(
+        is_identity_pow(exponent),
+        "exponent is not a multiple of the order"
+    );
     let mut ord = exponent;
     for (p, _) in factor(exponent) {
-        while ord % p == 0 && is_identity_pow(ord / p) {
+        while ord.is_multiple_of(p) && is_identity_pow(ord / p) {
             ord /= p;
         }
     }

@@ -15,7 +15,7 @@ pub fn is_prime(n: u64) -> bool {
         if n == p {
             return true;
         }
-        if n % p == 0 {
+        if n.is_multiple_of(p) {
             return false;
         }
     }
@@ -47,7 +47,7 @@ pub fn next_prime(n: u64) -> u64 {
     if c <= 2 {
         return 2;
     }
-    if c % 2 == 0 {
+    if c.is_multiple_of(2) {
         c += 1;
     }
     while !is_prime(c) {
@@ -104,9 +104,9 @@ mod tests {
     #[test]
     fn large_primes_accepted() {
         for &p in &[
-            2147483647u64,          // 2^31 - 1 (Mersenne)
-            (1 << 61) - 1,          // 2^61 - 1 (Mersenne)
-            18446744073709551557,   // largest u64 prime
+            2147483647u64,        // 2^31 - 1 (Mersenne)
+            (1 << 61) - 1,        // 2^61 - 1 (Mersenne)
+            18446744073709551557, // largest u64 prime
             1000000007,
             1000000009,
         ] {

@@ -40,7 +40,10 @@ impl Complex {
 
     #[inline]
     pub fn conj(self) -> Self {
-        Complex { re: self.re, im: -self.im }
+        Complex {
+            re: self.re,
+            im: -self.im,
+        }
     }
 
     #[inline]
@@ -55,7 +58,10 @@ impl Complex {
 
     #[inline]
     pub fn scale(self, s: f64) -> Self {
-        Complex { re: self.re * s, im: self.im * s }
+        Complex {
+            re: self.re * s,
+            im: self.im * s,
+        }
     }
 
     /// Approximate equality within absolute tolerance `eps` per component.

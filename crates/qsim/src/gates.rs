@@ -159,7 +159,11 @@ mod tests {
     use crate::layout::Layout;
 
     fn norm_ok(s: &State) {
-        assert!((s.norm_sqr() - 1.0).abs() < 1e-10, "norm drifted: {}", s.norm_sqr());
+        assert!(
+            (s.norm_sqr() - 1.0).abs() < 1e-10,
+            "norm drifted: {}",
+            s.norm_sqr()
+        );
     }
 
     #[test]
@@ -215,10 +219,7 @@ mod tests {
         for idx in 0..9 {
             let (a, b) = (l.digit(idx, 0), l.digit(idx, 1));
             let expect = Complex::cis(theta * (a * b) as f64) * (1.0 / 3.0);
-            assert!(
-                s.amplitudes()[idx].approx_eq(expect, 1e-12),
-                "idx={idx}"
-            );
+            assert!(s.amplitudes()[idx].approx_eq(expect, 1e-12), "idx={idx}");
         }
     }
 
@@ -228,8 +229,7 @@ mod tests {
         for idx in 0..l.dim() {
             let mut s = State::basis_index(l.clone(), idx);
             swap_sites(&mut s, 0, 2);
-            let expect =
-                l.with_digit(l.with_digit(idx, 0, l.digit(idx, 2)), 2, l.digit(idx, 0));
+            let expect = l.with_digit(l.with_digit(idx, 0, l.digit(idx, 2)), 2, l.digit(idx, 0));
             assert_eq!(s.probability(expect), 1.0, "idx={idx}");
         }
     }

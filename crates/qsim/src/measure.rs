@@ -24,7 +24,10 @@ pub fn marginal_distribution(state: &State, sites: &[usize]) -> Vec<f64> {
 /// CDF; exact up to f64 rounding, tail-safe).
 pub fn sample_from(probs: &[f64], rng: &mut impl Rng) -> usize {
     let total: f64 = probs.iter().sum();
-    debug_assert!((total - 1.0).abs() < 1e-6, "distribution not normalized: {total}");
+    debug_assert!(
+        (total - 1.0).abs() < 1e-6,
+        "distribution not normalized: {total}"
+    );
     let mut u: f64 = rng.gen::<f64>() * total;
     for (i, &p) in probs.iter().enumerate() {
         if u < p {
@@ -63,11 +66,7 @@ pub fn collapse(state: &mut State, sites: &[usize], outcome: usize) {
 /// Total-variation distance between two distributions of equal length.
 pub fn total_variation(p: &[f64], q: &[f64]) -> f64 {
     assert_eq!(p.len(), q.len());
-    0.5 * p
-        .iter()
-        .zip(q)
-        .map(|(a, b)| (a - b).abs())
-        .sum::<f64>()
+    0.5 * p.iter().zip(q).map(|(a, b)| (a - b).abs()).sum::<f64>()
 }
 
 #[cfg(test)]

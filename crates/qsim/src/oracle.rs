@@ -69,7 +69,10 @@ pub fn apply_function_oracle<F>(
             let d = layout.site_dim(site);
             let cur = layout.digit(j, site);
             let add = digits[slot];
-            assert!(add < d, "oracle output digit {add} out of range for dim {d}");
+            assert!(
+                add < d,
+                "oracle output digit {add} out of range for dim {d}"
+            );
             j = layout.with_digit(j, site, (cur + add) % d);
         }
         j

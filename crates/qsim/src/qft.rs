@@ -65,7 +65,11 @@ pub fn approx_qft_binary_register(
     cutoff: usize,
 ) {
     for &q in qubits {
-        assert_eq!(state.layout().site_dim(q), 2, "binary QFT requires qubit sites");
+        assert_eq!(
+            state.layout().site_dim(q),
+            2,
+            "binary QFT requires qubit sites"
+        );
     }
     let t = qubits.len();
     let sign = if inverse { -1.0 } else { 1.0 };
@@ -166,7 +170,11 @@ mod tests {
         // H = 3·Z_12 has |H| = 4, so H^⊥ = {y : 3y ≡ 0 mod 12} = 4·Z_12 with
         // |H^⊥| = k = 3; mass is uniform 1/k on H^⊥.
         for y in 0..d {
-            let expect = if y % (d / k) == 0 { 1.0 / k as f64 } else { 0.0 };
+            let expect = if y % (d / k) == 0 {
+                1.0 / k as f64
+            } else {
+                0.0
+            };
             assert!(
                 (s.probability(y) - expect).abs() < 1e-10,
                 "y={y} p={}",
@@ -236,10 +244,18 @@ mod tests {
         // sum ≈ 0.12 rad → fidelity ≥ 0.99.
         let mut a4 = State::basis_index(Layout::qubits(t), idx);
         approx_qft_binary_register(&mut a4, &sites, false, 4);
-        assert!(a4.fidelity(&exact) > 0.5, "cutoff 4: {}", a4.fidelity(&exact));
+        assert!(
+            a4.fidelity(&exact) > 0.5,
+            "cutoff 4: {}",
+            a4.fidelity(&exact)
+        );
         let mut a6 = State::basis_index(Layout::qubits(t), idx);
         approx_qft_binary_register(&mut a6, &sites, false, 6);
-        assert!(a6.fidelity(&exact) > 0.9, "cutoff 6: {}", a6.fidelity(&exact));
+        assert!(
+            a6.fidelity(&exact) > 0.9,
+            "cutoff 6: {}",
+            a6.fidelity(&exact)
+        );
     }
 
     #[test]

@@ -38,7 +38,10 @@ impl State {
     pub fn uniform(layout: Layout) -> Self {
         let dim = layout.dim();
         let a = Complex::new(1.0 / (dim as f64).sqrt(), 0.0);
-        State { layout, amps: vec![a; dim] }
+        State {
+            layout,
+            amps: vec![a; dim],
+        }
     }
 
     /// Uniform superposition over a subset of basis indices (used for coset

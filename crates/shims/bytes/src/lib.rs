@@ -1,0 +1,152 @@
+//! Offline drop-in subset of the `bytes` crate API.
+//!
+//! The build environment has no registry access, so this shim vendors the
+//! slice the byte-string black-box encoding uses: `Bytes`, `BytesMut`, and
+//! the big-endian `BufMut::put_*` writers. Backed by `Vec<u8>` — the
+//! zero-copy refcounting of the real crate is irrelevant at the element
+//! sizes (8–40 bytes) the encodings produce.
+
+use std::ops::Deref;
+
+/// An immutable byte string. Derefs to `&[u8]`.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Bytes(Vec<u8>);
+
+impl Bytes {
+    pub fn new() -> Self {
+        Bytes(Vec::new())
+    }
+
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes(data.to_vec())
+    }
+
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b\"")?;
+        for &b in &self.0 {
+            write!(f, "\\x{b:02x}")?;
+        }
+        write!(f, "\"")
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes(v)
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        Bytes(v.to_vec())
+    }
+}
+
+/// A growable byte buffer; `freeze` converts it into [`Bytes`].
+#[derive(Clone, Default, Debug)]
+pub struct BytesMut(Vec<u8>);
+
+impl BytesMut {
+    pub fn new() -> Self {
+        BytesMut(Vec::new())
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut(Vec::with_capacity(cap))
+    }
+
+    pub fn freeze(self) -> Bytes {
+        Bytes(self.0)
+    }
+
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+/// Big-endian writers, matching the real crate's `put_*` byte order.
+pub trait BufMut {
+    fn put_u8(&mut self, v: u8);
+    fn put_u32(&mut self, v: u32);
+    fn put_u64(&mut self, v: u64);
+    fn put_slice(&mut self, v: &[u8]);
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, v: u8) {
+        self.0.push(v);
+    }
+
+    fn put_u32(&mut self, v: u32) {
+        self.0.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_slice(&mut self, v: &[u8]) {
+        self.0.extend_from_slice(v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_is_big_endian_and_freezes() {
+        let mut b = BytesMut::with_capacity(12);
+        b.put_u64(0x0102030405060708);
+        b.put_u32(0x0A0B0C0D);
+        let frozen = b.freeze();
+        assert_eq!(
+            &frozen[..],
+            &[1, 2, 3, 4, 5, 6, 7, 8, 0x0A, 0x0B, 0x0C, 0x0D]
+        );
+        assert_eq!(frozen.len(), 12);
+    }
+
+    #[test]
+    fn bytes_deref_supports_slice_apis() {
+        let b = Bytes::copy_from_slice(&[9, 8, 7]);
+        let arr: [u8; 3] = b[..].try_into().unwrap();
+        assert_eq!(arr, [9, 8, 7]);
+    }
+}

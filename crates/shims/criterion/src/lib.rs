@@ -1,0 +1,217 @@
+//! Offline drop-in subset of the `criterion` API.
+//!
+//! The build environment has no registry access, so this shim vendors the
+//! surface the workspace benches use: `Criterion`, `benchmark_group`,
+//! `bench_function`, `bench_with_input`, `Bencher::iter`, `BenchmarkId`,
+//! `black_box`, and the `criterion_group!`/`criterion_main!` macros. It
+//! measures wall-clock medians over a short, time-boxed run and prints one
+//! line per benchmark — enough to compare hot paths locally; it does not do
+//! criterion's statistical regression analysis.
+//!
+//! Set `NAHSP_BENCH_FAST=1` to run each benchmark exactly once (smoke mode
+//! for CI).
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target measuring time per benchmark; bounded so whole suites finish.
+const TARGET: Duration = Duration::from_millis(300);
+const MAX_SAMPLES: u32 = 30;
+
+fn fast_mode() -> bool {
+    std::env::var_os("NAHSP_BENCH_FAST").is_some()
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Timing context handed to the benchmark closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    fast: bool,
+}
+
+impl Bencher {
+    fn new(fast: bool) -> Self {
+        Bencher {
+            samples: Vec::new(),
+            fast,
+        }
+    }
+
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up / smoke call.
+        black_box(routine());
+        if self.fast {
+            self.samples.push(Duration::ZERO);
+            return;
+        }
+        let start_all = Instant::now();
+        while self.samples.len() < MAX_SAMPLES as usize && start_all.elapsed() < TARGET {
+            let t = Instant::now();
+            black_box(routine());
+            self.samples.push(t.elapsed());
+        }
+    }
+
+    fn median(&self) -> Option<Duration> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut s = self.samples.clone();
+        s.sort();
+        Some(s[s.len() / 2])
+    }
+}
+
+/// The top-level harness handle.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _c: self,
+            name: name.into(),
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(None, &id.into().id, f);
+        self
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(Some(&self.name), &id.into().id, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(Some(&self.name), &id.into().id, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(group: Option<&str>, id: &str, mut f: F) {
+    let full = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id.to_string(),
+    };
+    let mut b = Bencher::new(fast_mode());
+    f(&mut b);
+    match b.median() {
+        Some(med) if !b.fast => {
+            println!(
+                "bench {full:<48} median {med:>12.3?}  ({} samples)",
+                b.samples.len()
+            );
+        }
+        Some(_) => println!("bench {full:<48} smoke ok"),
+        None => println!("bench {full:<48} (no samples)"),
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident; $($rest:tt)*) => {
+        compile_error!("criterion shim: config-style criterion_group! is not supported");
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_group_runs_closure() {
+        std::env::set_var("NAHSP_BENCH_FAST", "1");
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        let mut ran = 0u32;
+        group.sample_size(10);
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7u32, |b, &x| {
+            b.iter(|| {
+                ran += 1;
+                black_box(x * 2)
+            })
+        });
+        group.finish();
+        assert!(ran >= 1);
+    }
+}

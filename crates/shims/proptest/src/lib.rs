@@ -1,0 +1,428 @@
+//! Offline drop-in subset of the `proptest` API.
+//!
+//! The build environment has no registry access, so this shim vendors the
+//! surface the workspace's property tests use: the `proptest!` macro over
+//! `arg in strategy` bindings, integer-range and `sample::select` /
+//! `collection::vec` strategies, `ProptestConfig::with_cases`, and the
+//! `prop_assert!` / `prop_assert_eq!` macros.
+//!
+//! Determinism and regression persistence: every case is generated from an
+//! explicit `u64` seed derived from the test name and case index, so a
+//! failure report pins the exact inputs. Failing seeds are appended to
+//! `proptest-regressions/<source-file-stem>.txt` (format:
+//! `cc <test_name> <seed>`) and re-run *first* on subsequent executions,
+//! mirroring the real crate's regression-file workflow. Shrinking is not
+//! implemented — the recorded seed reproduces the original failure instead.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::io::Write as _;
+use std::ops::Range;
+use std::path::PathBuf;
+
+/// RNG handed to strategies; a deterministic seeded generator.
+pub type TestRng = StdRng;
+
+/// How a test case fails without panicking (the `prop_assert!` path).
+#[derive(Debug)]
+pub struct TestCaseError {
+    pub message: String,
+}
+
+impl TestCaseError {
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Runner configuration; only `cases` is meaningful in the shim.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A source of values for one macro binding.
+pub trait Strategy {
+    type Value: std::fmt::Debug;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+pub mod sample {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Uniform choice from a fixed list.
+    pub struct Select<T: Clone + std::fmt::Debug> {
+        items: Vec<T>,
+    }
+
+    pub fn select<T: Clone + std::fmt::Debug>(items: Vec<T>) -> Select<T> {
+        assert!(!items.is_empty(), "sample::select needs a non-empty list");
+        Select { items }
+    }
+
+    impl<T: Clone + std::fmt::Debug> Strategy for Select<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.items[rng.gen_range(0..self.items.len())].clone()
+        }
+    }
+}
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// `Vec` of values from `elem`, length uniform in `size`.
+    pub struct VecStrategy<S: Strategy> {
+        elem: S,
+        size: Range<usize>,
+    }
+
+    pub fn vec<S: Strategy>(elem: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "collection::vec: empty size range");
+        VecStrategy { elem, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+const GOLDEN: u64 = 0x9E3779B97F4A7C15;
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// `proptest-regressions/<stem>.txt` next to the crate being tested.
+fn regression_path(source_file: &str) -> PathBuf {
+    let stem = std::path::Path::new(source_file)
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "unknown".to_string());
+    let root = std::env::var_os("CARGO_MANIFEST_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_default();
+    root.join("proptest-regressions")
+        .join(format!("{stem}.txt"))
+}
+
+fn load_regression_seeds(source_file: &str, test_name: &str) -> Vec<u64> {
+    let Ok(text) = std::fs::read_to_string(regression_path(source_file)) else {
+        return Vec::new();
+    };
+    text.lines()
+        .filter_map(|line| {
+            let mut parts = line.split_whitespace();
+            match (parts.next(), parts.next(), parts.next()) {
+                (Some("cc"), Some(name), Some(seed)) if name == test_name => {
+                    seed.parse::<u64>().ok()
+                }
+                _ => None,
+            }
+        })
+        .collect()
+}
+
+fn persist_failure(source_file: &str, test_name: &str, seed: u64) {
+    let path = regression_path(source_file);
+    let line = format!("cc {test_name} {seed}");
+    if let Ok(existing) = std::fs::read_to_string(&path) {
+        if existing.lines().any(|l| l.trim() == line) {
+            return;
+        }
+    }
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    if let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+    {
+        let _ = writeln!(f, "{line}");
+    }
+}
+
+/// Drive one `proptest!`-generated test: regression seeds first, then
+/// `cfg.cases` fresh cases. `body` returns the formatted inputs plus the
+/// case outcome.
+pub fn run_cases<F>(cfg: &ProptestConfig, test_name: &str, source_file: &str, mut body: F)
+where
+    F: FnMut(&mut TestRng) -> (String, Result<(), TestCaseError>),
+{
+    let base = fnv1a(test_name);
+    let regressions = load_regression_seeds(source_file, test_name);
+    let fresh = (0..cfg.cases as u64).map(|i| base.wrapping_add(i.wrapping_mul(GOLDEN)));
+    for (replay, seed) in regressions
+        .iter()
+        .copied()
+        .map(|s| (true, s))
+        .chain(fresh.map(|s| (false, s)))
+    {
+        let mut rng = TestRng::seed_from_u64(seed);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut rng)));
+        let failure: Option<String> = match &outcome {
+            Ok((_, Ok(()))) => None,
+            Ok((inputs, Err(e))) => Some(format!("{e} (inputs: {inputs})")),
+            Err(_) => Some("panic".to_string()),
+        };
+        if let Some(why) = failure {
+            if !replay {
+                persist_failure(source_file, test_name, seed);
+            }
+            eprintln!(
+                "proptest case failed: {test_name} seed={seed} ({why}); \
+                 reproduce via `cc {test_name} {seed}` in {}",
+                regression_path(source_file).display()
+            );
+            match outcome {
+                Err(panic) => std::panic::resume_unwind(panic),
+                Ok((inputs, Err(e))) => {
+                    panic!("{test_name}: {e} (seed {seed}, inputs: {inputs})")
+                }
+                Ok((_, Ok(()))) => unreachable!(),
+            }
+        }
+    }
+}
+
+/// Define property tests. Supported grammar (a subset of the real crate):
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(24))]
+///     #[test]
+///     fn my_prop(x in 0u64..100, v in proptest::collection::vec(0usize..4, 1..4)) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($cfg) $($rest)*);
+    };
+    (@cfg ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::ProptestConfig = $cfg;
+            $crate::run_cases(&cfg, stringify!($name), file!(), |__proptest_rng| {
+                $(let $arg = $crate::Strategy::generate(&($strat), __proptest_rng);)+
+                let inputs = format!(
+                    concat!($(stringify!($arg), " = {:?}; "),+),
+                    $(&$arg),+
+                );
+                let result: ::std::result::Result<(), $crate::TestCaseError> =
+                    (|| { $body Ok(()) })();
+                (inputs, result)
+            });
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(concat!(
+                "assertion failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let l = $left;
+        let r = $right;
+        if l != r {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {} (left: {:?}, right: {:?})",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            )));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::{run_cases, Strategy};
+
+    #[test]
+    fn range_strategy_is_deterministic_per_seed() {
+        use rand::SeedableRng;
+        let strat = 0u64..1000;
+        let mut a = crate::TestRng::seed_from_u64(5);
+        let mut b = crate::TestRng::seed_from_u64(5);
+        for _ in 0..50 {
+            assert_eq!(strat.generate(&mut a), strat.generate(&mut b));
+        }
+    }
+
+    #[test]
+    fn select_and_vec_strategies_respect_bounds() {
+        use rand::SeedableRng;
+        let mut rng = crate::TestRng::seed_from_u64(1);
+        let sel = crate::sample::select(vec![4usize, 5, 6, 7]);
+        let v = crate::collection::vec(0usize..4, 1..4);
+        for _ in 0..100 {
+            assert!((4..=7).contains(&sel.generate(&mut rng)));
+            let got = v.generate(&mut rng);
+            assert!((1..4).contains(&got.len()));
+            assert!(got.iter().all(|&x| x < 4));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn macro_generates_runnable_tests(x in 0u64..100, y in 1usize..5) {
+            prop_assert!(x < 100);
+            prop_assert_eq!(y.min(4), y);
+            if x == u64::MAX { return Ok(()); }
+        }
+    }
+
+    // The two persistence tests below both repoint the process-global
+    // CARGO_MANIFEST_DIR; serialize them so they cannot race.
+    static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn regression_seeds_replay_first() {
+        let _guard = ENV_LOCK.lock().unwrap();
+        // Point the regression lookup at a scratch manifest dir containing
+        // a pinned seed, and check the runner replays it before fresh cases.
+        let dir = std::env::temp_dir().join("nahsp_proptest_shim_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(dir.join("proptest-regressions")).unwrap();
+        std::fs::write(
+            dir.join("proptest-regressions/fake_source.txt"),
+            "# comment line ignored\ncc my_prop 777\ncc other_prop 1\n",
+        )
+        .unwrap();
+        let old = std::env::var_os("CARGO_MANIFEST_DIR");
+        std::env::set_var("CARGO_MANIFEST_DIR", &dir);
+        let mut seeds_seen: Vec<u64> = Vec::new();
+        run_cases(
+            &ProptestConfig::with_cases(2),
+            "my_prop",
+            "tests/fake_source.rs",
+            |rng| {
+                // Recover the seed indirectly: record the first draw of the
+                // pinned seed's stream for comparison.
+                let _ = rng;
+                seeds_seen.push(seeds_seen.len() as u64);
+                (String::new(), Ok(()))
+            },
+        );
+        match old {
+            Some(v) => std::env::set_var("CARGO_MANIFEST_DIR", v),
+            None => std::env::remove_var("CARGO_MANIFEST_DIR"),
+        }
+        // 1 regression replay (only my_prop's line) + 2 fresh cases
+        assert_eq!(seeds_seen.len(), 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failing_seed_is_persisted_and_replayable() {
+        let _guard = ENV_LOCK.lock().unwrap();
+        let dir = std::env::temp_dir().join("nahsp_proptest_shim_persist");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let old = std::env::var_os("CARGO_MANIFEST_DIR");
+        std::env::set_var("CARGO_MANIFEST_DIR", &dir);
+        let outcome = std::panic::catch_unwind(|| {
+            run_cases(
+                &ProptestConfig::with_cases(1),
+                "always_fails",
+                "tests/persist_me.rs",
+                |_| (String::from("x = 0"), Err(TestCaseError::fail("boom"))),
+            )
+        });
+        match old {
+            Some(v) => std::env::set_var("CARGO_MANIFEST_DIR", v),
+            None => std::env::remove_var("CARGO_MANIFEST_DIR"),
+        }
+        assert!(outcome.is_err(), "failing case must panic the test");
+        let text =
+            std::fs::read_to_string(dir.join("proptest-regressions/persist_me.txt")).unwrap();
+        assert!(
+            text.lines().any(|l| l.starts_with("cc always_fails ")),
+            "failure seed not persisted: {text:?}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

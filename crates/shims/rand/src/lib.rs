@@ -1,0 +1,353 @@
+//! Offline drop-in subset of the `rand` 0.8 API.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the slice of `rand` it actually uses: `rand::Rng` (`gen`, `gen_range`,
+//! `gen_bool`), `rand::SeedableRng::seed_from_u64`, and
+//! `rand::rngs::StdRng`. The generator is xoshiro256++ seeded through
+//! SplitMix64 — deterministic for a given seed, so every fixed-seed test in
+//! the workspace is reproducible. Integer ranges are sampled by exact
+//! rejection (no modulo bias); `f64` uses the standard 53-bit mantissa
+//! construction in `[0, 1)`.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level generator interface: everything derives from `next_u64`.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let last = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&last[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Seeding interface; only the `seed_from_u64` entry point the workspace
+/// uses is provided.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// High-level sampling methods, blanket-implemented for every `RngCore`.
+pub trait Rng: RngCore {
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+        Self: Sized,
+    {
+        Standard.sample(self)
+    }
+
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p out of range");
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// The `Standard` distribution: full-range integers, `[0, 1)` floats,
+/// fair-coin booleans.
+pub struct Standard;
+
+pub trait Distribution<T> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Distribution<$t> for Standard {
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Distribution<u128> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u128 {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl Distribution<i128> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> i128 {
+        <Standard as Distribution<u128>>::sample(&Standard, rng) as i128
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Distribution<f64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53 random mantissa bits → uniform on [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// A range that can be sampled from uniformly.
+pub trait SampleRange<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Uniform value in `[0, span)` by exact rejection sampling on 128 bits.
+fn uniform_below<R: RngCore + ?Sized>(rng: &mut R, span: u128) -> u128 {
+    debug_assert!(span > 0);
+    if span.is_power_of_two() {
+        let wide = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+        return wide & (span - 1);
+    }
+    // Reject the top partial block of 2^128 so every residue is equally
+    // likely: 2^128 mod span values are discarded per draw at most.
+    let rem = (u128::MAX % span + 1) % span;
+    loop {
+        let wide = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+        if rem == 0 || wide <= u128::MAX - rem {
+            return wide % span;
+        }
+    }
+}
+
+/// Integer types `gen_range` can sample. The two methods do modular
+/// arithmetic in the type's own bit width (sign bits are just bits), which
+/// makes the one generic `Range<T>` impl below sound for signed types too.
+/// A single generic impl — rather than one impl per type — is what lets
+/// integer-literal inference unify `gen_range(0..4)` with a `usize` context
+/// exactly like the real `rand` crate does.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// `(end - self) mod 2^width`, widened to `u128`.
+    fn span_to(self, end: Self) -> u128;
+    /// `(self + offset) mod 2^width`.
+    fn offset(self, offset: u128) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn span_to(self, end: Self) -> u128 {
+                (end as $u).wrapping_sub(self as $u) as u128
+            }
+
+            fn offset(self, offset: u128) -> Self {
+                (self as $u).wrapping_add(offset as $u) as $t
+            }
+        }
+    )*};
+}
+impl_sample_uniform!(
+    u8 => u8, u16 => u16, u32 => u32, u64 => u64, u128 => u128, usize => usize,
+    i8 => u8, i16 => u16, i32 => u32, i64 => u64, i128 => u128, isize => usize
+);
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "gen_range: empty range");
+        let span = self.start.span_to(self.end);
+        self.start.offset(uniform_below(rng, span))
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "gen_range: empty range");
+        let span = start.span_to(end);
+        if span == u128::MAX {
+            // Only reachable for the full u128/i128 domain: every 128-bit
+            // pattern is valid, so a raw draw is already uniform.
+            let wide = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+            return start.offset(wide);
+        }
+        start.offset(uniform_below(rng, span + 1))
+    }
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        // `start + unit * span` can round up to exactly `end` when the
+        // span's ulp exceeds `(1 - unit) * span`; resample to keep the
+        // upper bound exclusive like the real crate (the retry fires with
+        // probability ~2^-53, the fallback only for pathological ranges).
+        for _ in 0..4 {
+            let unit: f64 = Standard.sample(rng);
+            let v = self.start + unit * (self.end - self.start);
+            if v < self.end {
+                return v;
+            }
+        }
+        self.start
+    }
+}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator: xoshiro256++.
+    ///
+    /// Not the cryptographic generator the real `rand::rngs::StdRng` wraps,
+    /// but statistically strong and an order of magnitude faster — all
+    /// workspace uses are seeded simulation draws, never secrets.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+
+    /// Alias kept so callers may ask for a "small" generator; identical here.
+    pub type SmallRng = StdRng;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn gen_range_respects_bounds_and_hits_all_residues() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut seen = [false; 6];
+        for _ in 0..500 {
+            let x = rng.gen_range(0..6u64);
+            assert!(x < 6);
+            seen[x as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_range_signed_and_wide() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..500 {
+            let x = rng.gen_range(-30i128..30);
+            assert!((-30..30).contains(&x));
+        }
+        let lo = (0..500).map(|_| rng.gen_range(-9i128..9)).min().unwrap();
+        let hi = (0..500).map(|_| rng.gen_range(-9i128..9)).max().unwrap();
+        assert_eq!((lo, hi), (-9, 8));
+    }
+
+    #[test]
+    fn gen_range_inclusive() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[rng.gen_range(0..=2usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn f64_is_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn works_through_mut_reference_chains() {
+        fn takes_impl(rng: &mut impl Rng) -> u64 {
+            inner(rng)
+        }
+        fn inner(rng: &mut impl Rng) -> u64 {
+            rng.gen_range(0..100u64)
+        }
+        let mut rng = StdRng::seed_from_u64(5);
+        assert!(takes_impl(&mut rng) < 100);
+    }
+}

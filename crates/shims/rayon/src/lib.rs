@@ -1,0 +1,203 @@
+//! Offline drop-in subset of the `rayon` API.
+//!
+//! The build environment has no registry access, so this shim vendors the
+//! slice of rayon the simulator kernels use — `par_chunks_mut`,
+//! `par_iter_mut`, `.enumerate()`, `.for_each()`, and
+//! `current_num_threads()` — backed by `std::thread::scope`. Work is split
+//! into one contiguous block per hardware thread, which matches the
+//! disjoint-block structure of the state-vector kernels exactly: those
+//! kernels already pick chunk sizes that balance load, so block-per-thread
+//! scheduling loses nothing against rayon's work stealing at the sizes the
+//! simulator reaches.
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads a parallel operation will use.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+pub mod prelude {
+    pub use crate::ParallelSliceMut;
+}
+
+/// Entry points for mutable-slice data parallelism, mirroring rayon's
+/// `ParallelSliceMut` + `IntoParallelRefMutIterator` surface.
+pub trait ParallelSliceMut<T: Send> {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+    fn par_iter_mut(&mut self) -> ParIterMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        assert!(chunk_size > 0, "par_chunks_mut: chunk size must be nonzero");
+        ParChunksMut {
+            slice: self,
+            chunk_size,
+        }
+    }
+
+    fn par_iter_mut(&mut self) -> ParIterMut<'_, T> {
+        ParIterMut { slice: self }
+    }
+}
+
+impl<T: Send> ParallelSliceMut<T> for Vec<T> {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        self.as_mut_slice().par_chunks_mut(chunk_size)
+    }
+
+    fn par_iter_mut(&mut self) -> ParIterMut<'_, T> {
+        self.as_mut_slice().par_iter_mut()
+    }
+}
+
+/// Split `items` into at most `current_num_threads()` contiguous groups and
+/// run `f` over every item, one scoped thread per non-first group.
+fn run_grouped<I: Send, F: Fn(I) + Sync>(mut items: Vec<I>, f: F) {
+    let threads = current_num_threads().min(items.len()).max(1);
+    if threads <= 1 {
+        for item in items {
+            f(item);
+        }
+        return;
+    }
+    let per = items.len().div_ceil(threads);
+    let mut groups: Vec<Vec<I>> = Vec::with_capacity(threads);
+    while items.len() > per {
+        let tail = items.split_off(items.len() - per);
+        groups.push(tail);
+    }
+    groups.push(items);
+    let f = &f;
+    std::thread::scope(|scope| {
+        let mut rest = groups.into_iter();
+        let mine = rest.next().unwrap();
+        for group in rest {
+            scope.spawn(move || {
+                for item in group {
+                    f(item);
+                }
+            });
+        }
+        // Run one group on the calling thread instead of idling on join.
+        for item in mine {
+            f(item);
+        }
+    });
+}
+
+pub struct ParChunksMut<'a, T> {
+    slice: &'a mut [T],
+    chunk_size: usize,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    pub fn for_each<F: Fn(&mut [T]) + Sync>(self, f: F) {
+        let chunks: Vec<&mut [T]> = self.slice.chunks_mut(self.chunk_size).collect();
+        run_grouped(chunks, f);
+    }
+
+    pub fn enumerate(self) -> EnumerateChunksMut<'a, T> {
+        EnumerateChunksMut {
+            slice: self.slice,
+            chunk_size: self.chunk_size,
+        }
+    }
+}
+
+pub struct EnumerateChunksMut<'a, T> {
+    slice: &'a mut [T],
+    chunk_size: usize,
+}
+
+impl<T: Send> EnumerateChunksMut<'_, T> {
+    pub fn for_each<F: Fn((usize, &mut [T])) + Sync>(self, f: F) {
+        let chunks: Vec<(usize, &mut [T])> =
+            self.slice.chunks_mut(self.chunk_size).enumerate().collect();
+        run_grouped(chunks, f);
+    }
+}
+
+pub struct ParIterMut<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> ParIterMut<'a, T> {
+    pub fn for_each<F: Fn(&mut T) + Sync>(self, f: F) {
+        self.enumerate().for_each(|(_, x)| f(x));
+    }
+
+    pub fn enumerate(self) -> EnumerateIterMut<'a, T> {
+        EnumerateIterMut { slice: self.slice }
+    }
+}
+
+pub struct EnumerateIterMut<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<T: Send> EnumerateIterMut<'_, T> {
+    pub fn for_each<F: Fn((usize, &mut T)) + Sync>(self, f: F) {
+        let len = self.slice.len();
+        if len == 0 {
+            return;
+        }
+        let block = len.div_ceil(current_num_threads().max(1)).max(1);
+        let blocks: Vec<(usize, &mut [T])> = self.slice.chunks_mut(block).enumerate().collect();
+        run_grouped(blocks, |(bi, chunk)| {
+            for (off, x) in chunk.iter_mut().enumerate() {
+                f((bi * block + off, x));
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_chunks_mut_touches_every_chunk_once() {
+        let mut data = vec![0u64; 10_000];
+        data.par_chunks_mut(64).for_each(|c| {
+            for x in c {
+                *x += 1;
+            }
+        });
+        assert!(data.iter().all(|&x| x == 1));
+    }
+
+    #[test]
+    fn par_chunks_mut_enumerate_indices_match_order() {
+        let mut data = vec![0usize; 1000];
+        data.par_chunks_mut(7).enumerate().for_each(|(ci, chunk)| {
+            for x in chunk.iter_mut() {
+                *x = ci;
+            }
+        });
+        for (i, &x) in data.iter().enumerate() {
+            assert_eq!(x, i / 7);
+        }
+    }
+
+    #[test]
+    fn par_iter_mut_enumerate_writes_own_index() {
+        let mut data = vec![0usize; 4096];
+        data.par_iter_mut().enumerate().for_each(|(i, x)| *x = i);
+        for (i, &x) in data.iter().enumerate() {
+            assert_eq!(x, i);
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let mut empty: Vec<u8> = vec![];
+        empty.par_iter_mut().for_each(|_| unreachable!());
+        let mut one = vec![5u8];
+        one.par_chunks_mut(8).for_each(|c| c[0] += 1);
+        assert_eq!(one, vec![6]);
+    }
+}

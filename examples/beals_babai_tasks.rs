@@ -30,7 +30,11 @@ fn main() {
     )
     .expect("member");
     let rebuilt = slp.evaluate(&s8, &[a.clone(), b.clone()]);
-    println!("    a³b² expressed by an SLP of {} steps; verified: {}", slp.len(), rebuilt == target);
+    println!(
+        "    a³b² expressed by an SLP of {} steps; verified: {}",
+        slp.len(),
+        rebuilt == target
+    );
 
     // Discrete log as the one-generator case (the Thm 4(b) oracle).
     let p = 101u64;
@@ -65,13 +69,19 @@ fn main() {
     // ------------------------------------------------------------------
     println!("(iv) composition series of solvable groups");
     for (name, factors) in [
-        ("S4", solvable_composition_factors(&PermGroup::symmetric(4), 100)),
+        (
+            "S4",
+            solvable_composition_factors(&PermGroup::symmetric(4), 100),
+        ),
         (
             "extraspecial 3^(1+2)",
             solvable_composition_factors(&Extraspecial::heisenberg(3), 1000),
         ),
         ("D12", solvable_composition_factors(&Dihedral::new(12), 100)),
-        ("A5", solvable_composition_factors(&PermGroup::alternating(5), 100)),
+        (
+            "A5",
+            solvable_composition_factors(&PermGroup::alternating(5), 100),
+        ),
     ] {
         match factors {
             Some(fs) => println!("    {name}: composition factors {fs:?}"),

@@ -17,7 +17,10 @@ use std::time::Instant;
 
 fn main() {
     let mut rng = rand::rngs::StdRng::seed_from_u64(9);
-    println!("{:>8} {:>10} {:>14} {:>12}", "n", "queries", "candidates", "post (µs)");
+    println!(
+        "{:>8} {:>10} {:>14} {:>12}",
+        "n", "queries", "candidates", "post (µs)"
+    );
     for bits in [6u32, 8, 10, 12, 14] {
         let n = 1u64 << bits;
         let g = Dihedral::new(n);

@@ -72,7 +72,7 @@ fn main() {
         let Some(ord) = action.order(1 << 20) else {
             continue;
         };
-        if m % ord != 0 {
+        if !m.is_multiple_of(ord) {
             continue;
         }
         let g = Semidirect::new(k, m, action);

@@ -18,7 +18,7 @@ fn main() {
         let s: u64 = 0b1011 & ((1 << n) - 1) | (1 << (n - 1)); // some mask
         let a = AbelianProduct::new(vec![2; n]);
         let s_vec: Vec<u64> = (0..n).map(|i| (s >> i) & 1).collect();
-        let oracle = SubgroupOracle::new(a, &[s_vec.clone()]);
+        let oracle = SubgroupOracle::new(a, std::slice::from_ref(&s_vec));
         let result = AbelianHsp::new(Backend::SimulatorCoset).solve(&oracle, &mut rng);
         let gens = result.subgroup.cyclic_generators();
         assert_eq!(gens.len(), 1);

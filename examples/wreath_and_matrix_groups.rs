@@ -21,7 +21,9 @@ fn main() {
     println!("type-(a) generator (block = companion of x^4+x+1, order 15):");
     for i in 0..k {
         let row = m_action.row(i);
-        let bits: String = (0..k).map(|j| if (row >> j) & 1 == 1 { '1' } else { '0' }).collect();
+        let bits: String = (0..k)
+            .map(|j| if (row >> j) & 1 == 1 { '1' } else { '0' })
+            .collect();
         println!("  [{bits} | 0]");
     }
     println!("  [0000 | 1]   (+ type-(b) translations e_i)");
@@ -31,7 +33,10 @@ fn main() {
 
     // Hidden subgroups of three shapes:
     let cases: Vec<(&str, Vec<(u64, u64)>)> = vec![
-        ("H inside N (a 2-dimensional subspace)", vec![(0b0011, 0), (0b1100, 0)]),
+        (
+            "H inside N (a 2-dimensional subspace)",
+            vec![(0b0011, 0), (0b1100, 0)],
+        ),
         ("H = full twist cycle ⟨(0, 1)⟩ ≅ Z15", vec![(0, 1)]),
         ("H trivial", vec![]),
     ];

@@ -20,6 +20,15 @@
 //! | [`abelian`] | `nahsp-abelian` | SNF/HNF, subgroup lattices, dual groups, Abelian HSP, order finding |
 //! | [`hsp`] | `nahsp-core` | Theorems 6, 7, 8, 10, 11, 13, Lemma 9, Corollary 12, baselines |
 //!
+//! ## Building and testing
+//!
+//! The workspace is fully offline: the ecosystem dependencies (`rand`,
+//! `rayon`, `bytes`, `proptest`, `criterion`) are vendored as API-subset
+//! shims under `crates/shims/` and wired in by path, so
+//! `cargo build --release && cargo test -q` works with no registry access.
+//! Shared test scaffolding (seeded RNGs, ground-truth subgroup checks,
+//! oracle builders) lives in `crates/testkit` (`nahsp-testkit`).
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -55,12 +64,9 @@ pub mod prelude {
         hsp_ea2_cyclic, hsp_ea2_general, semidirect_coords, Ea2GroundTruth, N2Coords,
     };
     pub use nahsp_core::lemma9::{solve_state_hsp, Lemma9Backend};
-    pub use nahsp_core::membership::{
-        abelian_membership, abelian_membership_slp, discrete_log,
-    };
+    pub use nahsp_core::membership::{abelian_membership, abelian_membership_slp, discrete_log};
     pub use nahsp_core::normal_hsp::{
-        hidden_normal_subgroup, hidden_normal_subgroup_perm, normal_subgroup_seeds,
-        QuotientEngine,
+        hidden_normal_subgroup, hidden_normal_subgroup_perm, normal_subgroup_seeds, QuotientEngine,
     };
     pub use nahsp_core::oracle::{CosetTableOracle, FnOracle, HidingFunction, PermCosetOracle};
     pub use nahsp_core::presentation::{
@@ -71,10 +77,10 @@ pub mod prelude {
     pub use nahsp_core::watrous::{quotient_abelian_membership, quotient_order, CosetStates};
     pub use nahsp_groups::closure::enumerate_subgroup;
     pub use nahsp_groups::dihedral::Dihedral;
-    pub use nahsp_groups::series::{polycyclic_series, solvable_composition_factors};
     pub use nahsp_groups::extraspecial::Extraspecial;
     pub use nahsp_groups::matgf::{Gf2Mat, MatGFp, MatGroupGFp};
     pub use nahsp_groups::perm::PermGroup;
     pub use nahsp_groups::semidirect::Semidirect;
+    pub use nahsp_groups::series::{polycyclic_series, solvable_composition_factors};
     pub use nahsp_groups::{AbelianProduct, CyclicGroup, Group, Perm, StabilizerChain};
 }

@@ -3,9 +3,7 @@
 //! returned; the failure mode is a loud panic after the sampling cap.
 
 use nahsp::prelude::*;
-use rand::SeedableRng;
-
-type Rng64 = rand::rngs::StdRng;
+use nahsp_testkit::rng;
 
 /// An oracle whose labels are NOT constant on any subgroup's cosets (a
 /// "random" function): the HSP promise is violated.
@@ -46,7 +44,7 @@ fn broken_promise_terminates_with_generator_consistent_answer() {
     // contradicting the evidence the verifier saw.
     let ambient = AbelianProduct::new(vec![4, 4]);
     let oracle = PromiseBreaker { ambient };
-    let mut rng = Rng64::seed_from_u64(1);
+    let mut rng = rng(1);
     let res = AbelianHsp::new(Backend::SimulatorCoset).solve(&oracle, &mut rng);
     let id_label = oracle.label(&[0, 0]);
     for (g, _) in res.subgroup.cyclic_generators() {
@@ -64,7 +62,7 @@ fn simulator_rejects_oversized_instances() {
     // instead of thrashing.
     let ambient = AbelianProduct::new(vec![2; 16]); // |A| = 65536 > 4096
     let oracle = SubgroupOracle::new(ambient, &[]);
-    let mut rng = Rng64::seed_from_u64(2);
+    let mut rng = rng(2);
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         AbelianHsp::new(Backend::SimulatorFull).solve(&oracle, &mut rng)
     }));
@@ -87,7 +85,7 @@ fn ideal_backend_requires_ground_truth() {
     let oracle = NoTruth {
         ambient: AbelianProduct::new(vec![4]),
     };
-    let mut rng = Rng64::seed_from_u64(3);
+    let mut rng = rng(3);
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         AbelianHsp::new(Backend::Ideal).solve(&oracle, &mut rng)
     }));
@@ -99,12 +97,22 @@ fn non_commuting_generators_rejected_by_membership() {
     let s4 = PermGroup::symmetric(4);
     let a = Perm::from_cycles(4, &[&[0, 1]]);
     let b = Perm::from_cycles(4, &[&[1, 2]]); // does not commute with a
-    let mut rng = Rng64::seed_from_u64(4);
+    let mut rng = rng(4);
     let hsp = AbelianHsp::new(Backend::SimulatorCoset);
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        abelian_membership(&s4, &[a, b], &Perm::identity(4), &hsp, &OrderFinder::Exact, &mut rng)
+        abelian_membership(
+            &s4,
+            &[a, b],
+            &Perm::identity(4),
+            &hsp,
+            &OrderFinder::Exact,
+            &mut rng,
+        )
     }));
-    assert!(result.is_err(), "commutativity precondition must be checked");
+    assert!(
+        result.is_err(),
+        "commutativity precondition must be checked"
+    );
 }
 
 #[test]

@@ -6,28 +6,32 @@ use nahsp::abelian::dual::perp;
 use nahsp::abelian::hsp::{fourier_sample_coset, fourier_sample_full};
 use nahsp::prelude::*;
 use nahsp::qsim::measure::total_variation;
-use rand::SeedableRng;
-
-type Rng64 = rand::rngs::StdRng;
+use nahsp_testkit::{
+    recovered_order, rng, symmetric_wreath_element, wreath_min_coset_oracle, wreath_twist_truth,
+};
 
 #[test]
 fn all_backends_solve_identically_across_instances() {
     let cases: Vec<(Vec<u64>, Vec<Vec<u64>>)> = vec![
-        (vec![2, 2, 2, 2], vec![vec![1, 0, 1, 1]]),          // Simon
-        (vec![16], vec![vec![4]]),                           // period finding
-        (vec![6, 4], vec![vec![3, 2]]),                      // mixed moduli
+        (vec![2, 2, 2, 2], vec![vec![1, 0, 1, 1]]), // Simon
+        (vec![16], vec![vec![4]]),                  // period finding
+        (vec![6, 4], vec![vec![3, 2]]),             // mixed moduli
         (vec![3, 3, 3], vec![vec![1, 1, 0], vec![0, 1, 2]]), // rank 2 mod 3
-        (vec![8, 8], vec![]),                                // trivial H
+        (vec![8, 8], vec![]),                       // trivial H
     ];
     for (moduli, hgens) in cases {
         let a = AbelianProduct::new(moduli.clone());
         let mut results = Vec::new();
-        for (i, backend) in [Backend::SimulatorFull, Backend::SimulatorCoset, Backend::Ideal]
-            .into_iter()
-            .enumerate()
+        for (i, backend) in [
+            Backend::SimulatorFull,
+            Backend::SimulatorCoset,
+            Backend::Ideal,
+        ]
+        .into_iter()
+        .enumerate()
         {
             let oracle = SubgroupOracle::new(a.clone(), &hgens);
-            let mut rng = Rng64::seed_from_u64(100 + i as u64);
+            let mut rng = rng(100 + i as u64);
             let res = AbelianHsp::new(backend).solve(&oracle, &mut rng);
             assert!(
                 res.subgroup.same_subgroup(oracle.hidden_subgroup()),
@@ -46,7 +50,7 @@ fn sampling_distributions_match_across_backends() {
     let a = AbelianProduct::new(moduli.clone());
     let oracle = SubgroupOracle::new(a.clone(), &hgens);
     let truth = SubgroupLattice::from_generators(&a, &perp(&a, &hgens));
-    let mut rng = Rng64::seed_from_u64(7);
+    let mut rng = rng(7);
     let n = 6000;
     let dim = 12usize;
     let idx = |y: &[u64]| (y[0] * 2 + y[1]) as usize;
@@ -78,7 +82,7 @@ fn lemma9_backends_agree() {
     let a = AbelianProduct::new(vec![9]);
     for backend in [Lemma9Backend::Simulator, Lemma9Backend::Ideal] {
         let oracle = nahsp::hsp::lemma9::PerturbedOracle::new(a.clone(), &[vec![3]], 0.0);
-        let mut rng = Rng64::seed_from_u64(11);
+        let mut rng = rng(11);
         let res = solve_state_hsp(&oracle, backend, &mut rng);
         assert!(res.subgroup.same_subgroup(oracle.hidden_subgroup()));
         assert_eq!(res.subgroup.order(), 3);
@@ -90,36 +94,33 @@ fn ea2_backends_agree_on_wreath() {
     // Same instance through simulator and ideal paths.
     let g = Semidirect::wreath_z2(3);
     let coords = semidirect_coords(&g);
-    let w = 0b111u64;
-    let h = (w | (w << 3), 1u64);
+    let h = symmetric_wreath_element(3, 0b111);
     let truth_elems = enumerate_subgroup(&g, &[h], 1 << 10).unwrap();
 
     // simulator
     let oracle = CosetTableOracle::new(g.clone(), &[h], 1 << 10);
-    let mut rng = Rng64::seed_from_u64(21);
+    let mut rng = rng(21);
     let hsp_sim = AbelianHsp::new(Backend::SimulatorCoset);
     let r1 = hsp_ea2_cyclic(&g, &oracle, &coords, &hsp_sim, None, &mut rng);
-    let rec1 = enumerate_subgroup(&g, &r1.h_generators, 1 << 10).unwrap();
-    assert_eq!(rec1.len(), truth_elems.len());
+    assert_eq!(
+        recovered_order(&g, &r1.h_generators, 1 << 10),
+        truth_elems.len()
+    );
 
     // ideal
-    let g2 = g.clone();
-    let oracle2 = FnOracle::<Semidirect, (u64, u64), _>::new(move |x: &(u64, u64)| {
-        std::cmp::min(*x, g2.multiply(x, &h))
-    });
-    let truth = Ea2GroundTruth::<Semidirect> {
-        hn_basis: vec![],
-        witness: Box::new(move |z: &(u64, u64)| if z.1 == 1 { Some(h) } else { None }),
-    };
+    let oracle2 = wreath_min_coset_oracle(&g, h);
+    let truth = wreath_twist_truth(h);
     let hsp_ideal = AbelianHsp::new(Backend::Ideal);
     let r2 = hsp_ea2_cyclic(&g, &oracle2, &coords, &hsp_ideal, Some(&truth), &mut rng);
-    let rec2 = enumerate_subgroup(&g, &r2.h_generators, 1 << 10).unwrap();
-    assert_eq!(rec2.len(), truth_elems.len());
+    assert_eq!(
+        recovered_order(&g, &r2.h_generators, 1 << 10),
+        truth_elems.len()
+    );
 }
 
 #[test]
 fn order_finders_agree() {
-    let mut rng = Rng64::seed_from_u64(31);
+    let mut rng = rng(31);
     let g = Dihedral::new(12);
     for elem in [(1u64, false), (3, false), (2, true), (0, false)] {
         let exact = OrderFinder::Exact.find(&g, &elem, &mut rng);

@@ -1,29 +1,10 @@
 //! Property-based tests over the core data structures and invariants.
 
 use nahsp::prelude::*;
+use nahsp_testkit::{check_axioms, random_h_gens, recovered_order, rng};
 use proptest::prelude::*;
-use rand::SeedableRng;
-
-type Rng64 = rand::rngs::StdRng;
 
 // ---------------------------------------------------------- group axioms --
-
-/// Generic group-axiom check on sampled elements.
-fn check_axioms<G: Group>(group: &G, elems: &[G::Elem]) {
-    let id = group.identity();
-    for a in elems {
-        assert!(group.is_identity(&group.multiply(a, &group.inverse(a))));
-        assert!(group.eq_elem(&group.multiply(a, &id), a));
-        assert!(group.eq_elem(&group.multiply(&id, a), a));
-        for b in elems {
-            for c in elems {
-                let l = group.multiply(&group.multiply(a, b), c);
-                let r = group.multiply(a, &group.multiply(b, c));
-                assert!(group.eq_elem(&l, &r), "associativity");
-            }
-        }
-    }
-}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
@@ -42,7 +23,7 @@ proptest! {
             2 => Semidirect::wreath_z2(k / 2 + 1),
             _ => Semidirect::new(dim, m, action),
         };
-        let mut rng = Rng64::seed_from_u64(seed);
+        let mut rng = rng(seed);
         use rand::Rng as _;
         let elems: Vec<(u64, u64)> = (0..4)
             .map(|_| ((rng.gen::<u64>() & ((1 << g.k) - 1)), rng.gen_range(0..g.m)))
@@ -54,7 +35,7 @@ proptest! {
     fn extraspecial_axioms(p_sel in 0usize..3, seed in 0u64..1000) {
         let p = [2u64, 3, 5][p_sel];
         let g = Extraspecial::heisenberg(p);
-        let mut rng = Rng64::seed_from_u64(seed);
+        let mut rng = rng(seed);
         use rand::Rng as _;
         let elems: Vec<Vec<u64>> = (0..4)
             .map(|_| (0..3).map(|_| rng.gen_range(0..p)).collect())
@@ -65,7 +46,7 @@ proptest! {
     #[test]
     fn dihedral_axioms(n in 1u64..40, seed in 0u64..1000) {
         let g = Dihedral::new(n);
-        let mut rng = Rng64::seed_from_u64(seed);
+        let mut rng = rng(seed);
         use rand::Rng as _;
         let elems: Vec<(u64, bool)> = (0..4)
             .map(|_| (rng.gen_range(0..n), rng.gen::<bool>()))
@@ -78,7 +59,7 @@ proptest! {
     #[test]
     fn perm_inverse_and_order(images in proptest::sample::select(vec![4usize, 5, 6, 7]), seed in 0u64..10_000) {
         let n = images;
-        let mut rng = Rng64::seed_from_u64(seed);
+        let mut rng = rng(seed);
         let chain = StabilizerChain::new(n, &PermGroup::symmetric(n).gens);
         let p = chain.random_element(&mut rng);
         let q = chain.random_element(&mut rng);
@@ -93,7 +74,7 @@ proptest! {
 
     #[test]
     fn stabchain_order_matches_enumeration(seed in 0u64..200) {
-        let mut rng = Rng64::seed_from_u64(seed);
+        let mut rng = rng(seed);
         let big = StabilizerChain::new(6, &PermGroup::symmetric(6).gens);
         let a = big.random_element(&mut rng);
         let b = big.random_element(&mut rng);
@@ -106,7 +87,7 @@ proptest! {
     #[test]
     fn coset_representative_invariance(seed in 0u64..200) {
         // min_in_left_coset is constant on gH and injective across cosets.
-        let mut rng = Rng64::seed_from_u64(seed);
+        let mut rng = rng(seed);
         let big = StabilizerChain::new(6, &PermGroup::symmetric(6).gens);
         let h1 = big.random_element(&mut rng);
         let h2 = big.random_element(&mut rng);
@@ -132,11 +113,8 @@ proptest! {
     ) {
         let moduli: Vec<u64> = moduli_sel.iter().map(|&i| [2u64, 3, 4, 6][i]).collect();
         let a = AbelianProduct::new(moduli.clone());
-        let mut rng = Rng64::seed_from_u64(seed);
-        use rand::Rng as _;
-        let h_gens: Vec<Vec<u64>> = (0..gen_count)
-            .map(|_| moduli.iter().map(|&m| rng.gen_range(0..m)).collect())
-            .collect();
+        let mut rng = rng(seed);
+        let h_gens = random_h_gens(&moduli, gen_count, &mut rng);
         let oracle = SubgroupOracle::new(a, &h_gens);
         let result = AbelianHsp::new(Backend::SimulatorCoset).solve(&oracle, &mut rng);
         prop_assert!(result.subgroup.same_subgroup(oracle.hidden_subgroup()));
@@ -150,11 +128,8 @@ proptest! {
     ) {
         let moduli: Vec<u64> = moduli_sel.iter().map(|&i| [2u64, 3, 4, 8][i]).collect();
         let a = AbelianProduct::new(moduli.clone());
-        let mut rng = Rng64::seed_from_u64(seed);
-        use rand::Rng as _;
-        let h_gens: Vec<Vec<u64>> = (0..gen_count)
-            .map(|_| moduli.iter().map(|&m| rng.gen_range(0..m)).collect())
-            .collect();
+        let mut rng = rng(seed);
+        let h_gens = random_h_gens(&moduli, gen_count, &mut rng);
         use nahsp::abelian::dual::perp;
         let h = SubgroupLattice::from_generators(&a, &h_gens);
         let pp = perp(&a, &perp(&a, &h_gens));
@@ -202,13 +177,9 @@ proptest! {
             _ => vec![e1, e2], // generates the whole group (commutator = z)
         };
         let oracle = CosetTableOracle::new(g.clone(), &h_gens, 10_000);
-        let mut rng = Rng64::seed_from_u64(seed);
+        let mut rng = rng(seed);
         let result = hsp_small_commutator(&g, &oracle, 10_000, &mut rng);
-        let recovered = if result.h_generators.is_empty() {
-            1
-        } else {
-            enumerate_subgroup(&g, &result.h_generators, 10_000).unwrap().len()
-        };
+        let recovered = recovered_order(&g, &result.h_generators, 10_000);
         prop_assert_eq!(recovered, oracle.hidden_subgroup_elements().len());
     }
 
@@ -223,14 +194,10 @@ proptest! {
         };
         let h_gens = if g.is_identity(&elem) { vec![] } else { vec![elem] };
         let oracle = CosetTableOracle::new(g.clone(), &h_gens, 1 << 12);
-        let mut rng = Rng64::seed_from_u64(seed);
+        let mut rng = rng(seed);
         let hsp = AbelianHsp::new(Backend::SimulatorCoset);
         let result = hsp_ea2_general(&g, &oracle, &coords, &hsp, None, 1 << 8, &mut rng);
-        let recovered = if result.h_generators.is_empty() {
-            1
-        } else {
-            enumerate_subgroup(&g, &result.h_generators, 1 << 12).unwrap().len()
-        };
+        let recovered = recovered_order(&g, &result.h_generators, 1 << 12);
         prop_assert_eq!(recovered, oracle.hidden_subgroup_elements().len());
     }
 
@@ -244,7 +211,7 @@ proptest! {
         use nahsp::qsim::state::State;
         let dims: Vec<usize> = dims_sel.iter().map(|&i| [2usize, 3, 5][i]).collect();
         let layout = Layout::new(dims.clone());
-        let mut rng = Rng64::seed_from_u64(seed);
+        let mut rng = rng(seed);
         use rand::Rng as _;
         let amps: Vec<Complex> = (0..layout.dim())
             .map(|_| Complex::new(rng.gen::<f64>() - 0.5, rng.gen::<f64>() - 0.5))
@@ -261,7 +228,7 @@ proptest! {
     #[test]
     fn snf_randomized_invariants(rows in 1usize..4, cols in 1usize..4, seed in 0u64..10_000) {
         use nahsp::abelian::snf::{mat_mul, smith_normal_form};
-        let mut rng = Rng64::seed_from_u64(seed);
+        let mut rng = rng(seed);
         use rand::Rng as _;
         let a: Vec<Vec<i128>> = (0..rows)
             .map(|_| (0..cols).map(|_| rng.gen_range(-30i128..30)).collect())

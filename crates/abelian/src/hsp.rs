@@ -60,6 +60,41 @@ pub enum Backend {
     Ideal,
 }
 
+/// Why an Abelian HSP solve could not complete. Every failure mode of
+/// [`AbelianHsp::try_solve`] is typed here so callers (notably the
+/// `nahsp_core::solver` façade) can surface it without unwinding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SolveError {
+    /// The Las Vegas sampling loop hit its round cap — for a correct oracle
+    /// this has probability `≤ 2^{-40}`, so it indicates an inconsistent
+    /// hiding function.
+    SamplingCapExhausted { max_rounds: usize },
+    /// The requested simulator backend cannot represent the ambient group.
+    SimulatorCapacity { dim: usize, cap: usize },
+    /// [`Backend::Ideal`] was selected but the oracle offers no ground truth.
+    MissingGroundTruth,
+}
+
+impl std::fmt::Display for SolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolveError::SamplingCapExhausted { max_rounds } => write!(
+                f,
+                "Abelian HSP failed to converge within {max_rounds} rounds — oracle is inconsistent"
+            ),
+            SolveError::SimulatorCapacity { dim, cap } => write!(
+                f,
+                "simulator backend limited to |A| <= {cap} (have {dim}); use a lighter backend"
+            ),
+            SolveError::MissingGroundTruth => {
+                write!(f, "Ideal backend needs oracle ground truth")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
 /// Outcome of a solved Abelian HSP instance.
 #[derive(Clone, Debug)]
 pub struct HspResult {
@@ -105,8 +140,22 @@ impl AbelianHsp {
     /// # Panics
     /// Panics if the sampling cap is exhausted (probability `≤ 2^{-40}` for
     /// a correct oracle) or if a simulator backend is asked for an ambient
-    /// group too large to simulate.
+    /// group too large to simulate. Library code that must not unwind
+    /// should call [`AbelianHsp::try_solve`] instead.
     pub fn solve<O: HidingOracle + ?Sized>(&self, oracle: &O, rng: &mut impl Rng) -> HspResult {
+        match self.try_solve(oracle, rng) {
+            Ok(res) => res,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`AbelianHsp::solve`] with every failure mode surfaced as a typed
+    /// [`SolveError`] instead of a panic.
+    pub fn try_solve<O: HidingOracle + ?Sized>(
+        &self,
+        oracle: &O,
+        rng: &mut impl Rng,
+    ) -> Result<HspResult, SolveError> {
         let a = oracle.ambient().clone();
         let order: u64 = a.moduli.iter().product();
         let max_rounds = if self.max_rounds > 0 {
@@ -135,28 +184,49 @@ impl AbelianHsp {
                 }
             }
             if ok {
-                return HspResult {
+                return Ok(HspResult {
                     subgroup: cand,
                     rounds: round - 1,
                     quantum_queries,
                     classical_queries,
-                };
+                });
             }
-            // Fourier-sample one more element of H^⊥.
+            // Fourier-sample one more element of H^⊥. Capacity and
+            // ground-truth preconditions are checked here — lazily, so
+            // instances that verify without sampling (H = G) succeed at any
+            // ambient size.
+            let adim: usize = a
+                .moduli
+                .iter()
+                .filter(|&&m| m > 1)
+                .map(|&m| m as usize)
+                .product();
             let y = match self.backend {
                 Backend::SimulatorFull => {
+                    if adim > 1 << 12 {
+                        return Err(SolveError::SimulatorCapacity {
+                            dim: adim,
+                            cap: 1 << 12,
+                        });
+                    }
                     quantum_queries += 1;
                     fourier_sample_full(oracle, rng)
                 }
                 Backend::SimulatorCoset => {
+                    if adim > 1 << 18 {
+                        return Err(SolveError::SimulatorCapacity {
+                            dim: adim,
+                            cap: 1 << 18,
+                        });
+                    }
                     quantum_queries += 1;
                     fourier_sample_coset(oracle, rng)
                 }
                 Backend::Ideal => {
+                    let Some(truth) = oracle.ground_truth() else {
+                        return Err(SolveError::MissingGroundTruth);
+                    };
                     quantum_queries += 1;
-                    let truth = oracle
-                        .ground_truth()
-                        .expect("Ideal backend needs oracle ground truth");
                     let hperp = SubgroupLattice::from_generators(&a, &perp(&a, &truth));
                     hperp.random_element(rng)
                 }
@@ -170,9 +240,7 @@ impl AbelianHsp {
             );
             samples.push(y);
         }
-        panic!(
-            "Abelian HSP failed to converge within {max_rounds} rounds — oracle is inconsistent"
-        );
+        Err(SolveError::SamplingCapExhausted { max_rounds })
     }
 }
 

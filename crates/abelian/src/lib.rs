@@ -30,6 +30,6 @@ pub mod orderfind;
 pub mod snf;
 pub mod structure;
 
-pub use hsp::{AbelianHsp, Backend, HidingOracle, SubgroupOracle};
+pub use hsp::{AbelianHsp, Backend, HidingOracle, SolveError, SubgroupOracle};
 pub use lattice::SubgroupLattice;
 pub use orderfind::OrderFinder;

@@ -2,7 +2,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use nahsp_bench::extraspecial_instance;
-use nahsp_core::baseline::{birthday_collision, ettinger_hoyer_dihedral, exhaustive_scan};
+use nahsp_core::baseline::{birthday_collision, ettinger_hoyer_dihedral, try_exhaustive_scan};
 use nahsp_groups::closure::enumerate_subgroup;
 use nahsp_groups::dihedral::Dihedral;
 use nahsp_groups::Group;
@@ -15,7 +15,7 @@ fn bench_exhaustive(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {
             b.iter(|| {
                 let (g, oracle) = extraspecial_instance(p);
-                exhaustive_scan(&g, &oracle, 1 << 16).1
+                try_exhaustive_scan(&g, &oracle, 1 << 16).expect("scan").1
             })
         });
     }

@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use nahsp_abelian::hsp::{AbelianHsp, Backend};
 use nahsp_bench::{semidirect_instance, wreath_instance, wreath_instance_structural};
-use nahsp_core::ea2::{hsp_ea2_cyclic, hsp_ea2_general};
+use nahsp_core::ea2::{try_hsp_ea2_cyclic, try_hsp_ea2_general};
 use rand::SeedableRng;
 
 fn bench_general_transversal(c: &mut Criterion) {
@@ -16,7 +16,8 @@ fn bench_general_transversal(c: &mut Criterion) {
             let hsp = AbelianHsp::new(Backend::SimulatorCoset);
             b.iter(|| {
                 let (g, oracle, coords) = semidirect_instance(k, m, coeffs);
-                hsp_ea2_general(&g, &oracle, &coords, &hsp, None, 1 << 10, &mut rng)
+                try_hsp_ea2_general(&g, &oracle, &coords, &hsp, None, 1 << 10, &mut rng)
+                    .expect("thm 13")
                     .h_generators
                     .len()
             })
@@ -34,7 +35,8 @@ fn bench_cyclic_simulator(c: &mut Criterion) {
             let hsp = AbelianHsp::new(Backend::SimulatorCoset);
             b.iter(|| {
                 let (g, oracle, coords, _) = wreath_instance(half);
-                hsp_ea2_cyclic(&g, &oracle, &coords, &hsp, None, &mut rng)
+                try_hsp_ea2_cyclic(&g, &oracle, &coords, &hsp, None, &mut rng)
+                    .expect("thm 13")
                     .h_generators
                     .len()
             })
@@ -51,7 +53,8 @@ fn bench_cyclic_ideal(c: &mut Criterion) {
             let hsp = AbelianHsp::new(Backend::Ideal);
             b.iter(|| {
                 let (g, oracle, coords, truth, _) = wreath_instance_structural(half);
-                hsp_ea2_cyclic(&g, &oracle, &coords, &hsp, Some(&truth), &mut rng)
+                try_hsp_ea2_cyclic(&g, &oracle, &coords, &hsp, Some(&truth), &mut rng)
+                    .expect("thm 13")
                     .h_generators
                     .len()
             })

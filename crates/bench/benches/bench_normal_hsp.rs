@@ -2,8 +2,11 @@
 //! permutation groups.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nahsp_abelian::AbelianHsp;
 use nahsp_bench::perm_instance;
-use nahsp_core::normal_hsp::{hidden_normal_subgroup, hidden_normal_subgroup_perm, QuotientEngine};
+use nahsp_core::normal_hsp::{
+    try_hidden_normal_subgroup, try_hidden_normal_subgroup_perm, QuotientEngine,
+};
 use nahsp_core::oracle::CosetTableOracle;
 use nahsp_groups::matgf::Gf2Mat;
 use nahsp_groups::semidirect::Semidirect;
@@ -22,13 +25,15 @@ fn bench_solvable(c: &mut Criterion) {
                 let mut rng = rand::rngs::StdRng::seed_from_u64(6);
                 b.iter(|| {
                     let oracle = CosetTableOracle::new(g.clone(), &n_gens, 1 << 16);
-                    hidden_normal_subgroup(
+                    try_hidden_normal_subgroup(
                         &g,
                         &oracle,
                         QuotientEngine::Auto { limit: 1 << 10 },
                         1 << 16,
+                        &AbelianHsp::default(),
                         &mut rng,
                     )
+                    .expect("thm 8")
                     .1
                     .len()
                 })
@@ -46,12 +51,14 @@ fn bench_permutation(c: &mut Criterion) {
             let mut rng = rand::rngs::StdRng::seed_from_u64(7);
             b.iter(|| {
                 let (sn, oracle) = perm_instance(n);
-                hidden_normal_subgroup_perm(
+                try_hidden_normal_subgroup_perm(
                     &sn,
                     &oracle,
                     QuotientEngine::Auto { limit: 100 },
+                    &AbelianHsp::default(),
                     &mut rng,
                 )
+                .expect("thm 8")
                 .1
                 .order()
             })

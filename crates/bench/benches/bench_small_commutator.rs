@@ -1,8 +1,9 @@
 //! E6 — Theorem 11 / Corollary 12: extraspecial p-group sweep.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nahsp_abelian::AbelianHsp;
 use nahsp_bench::extraspecial_instance;
-use nahsp_core::small_commutator::hsp_small_commutator;
+use nahsp_core::small_commutator::try_hsp_small_commutator;
 use rand::SeedableRng;
 
 fn bench_extraspecial(c: &mut Criterion) {
@@ -13,7 +14,8 @@ fn bench_extraspecial(c: &mut Criterion) {
             let mut rng = rand::rngs::StdRng::seed_from_u64(8);
             b.iter(|| {
                 let (g, oracle) = extraspecial_instance(p);
-                hsp_small_commutator(&g, &oracle, 1 << 16, &mut rng)
+                try_hsp_small_commutator(&g, &oracle, 1 << 16, &AbelianHsp::default(), &mut rng)
+                    .expect("thm 11")
                     .h_generators
                     .len()
             })

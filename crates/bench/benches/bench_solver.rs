@@ -1,0 +1,77 @@
+//! Façade overhead — the same Corollary 12 workload through
+//! `HspSolver::solve` (classification + dispatch + verification) vs the
+//! direct `try_hsp_small_commutator` call, plus classification alone and
+//! batch fan-out. Gives future BENCH_*.json a dispatch-cost baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nahsp_abelian::AbelianHsp;
+use nahsp_bench::extraspecial_instance;
+use nahsp_core::small_commutator::try_hsp_small_commutator;
+use nahsp_core::solver::{HspInstance, HspSolver};
+use nahsp_groups::extraspecial::Extraspecial;
+use rand::SeedableRng;
+
+fn bench_direct_vs_facade(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver/direct_vs_facade");
+    group.sample_size(10);
+    for p in [3u64, 5, 7] {
+        group.bench_with_input(BenchmarkId::new("direct", p), &p, |b, &p| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+            b.iter(|| {
+                let (g, oracle) = extraspecial_instance(p);
+                try_hsp_small_commutator(&g, &oracle, 1 << 16, &AbelianHsp::default(), &mut rng)
+                    .expect("thm 11")
+                    .h_generators
+                    .len()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("facade", p), &p, |b, &p| {
+            let solver = HspSolver::builder().seed(8).build();
+            b.iter(|| {
+                let (g, oracle) = extraspecial_instance(p);
+                let instance = HspInstance::new(g, oracle);
+                solver.solve(&instance).expect("solve").generators.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_classify(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver/classify");
+    group.sample_size(10);
+    let (g, oracle) = extraspecial_instance(5);
+    let instance = HspInstance::new(g, oracle);
+    let solver = HspSolver::new();
+    group.bench_function("extraspecial", |b| {
+        b.iter(|| solver.classify(&instance).expect("classifiable"))
+    });
+    group.finish();
+}
+
+fn bench_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver/batch");
+    group.sample_size(10);
+    for width in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(width), &width, |b, &width| {
+            let instances: Vec<HspInstance<Extraspecial, _>> = (0..8)
+                .map(|_| {
+                    let (g, oracle) = extraspecial_instance(5);
+                    HspInstance::new(g, oracle)
+                })
+                .collect();
+            let solver = HspSolver::builder().seed(8).parallelism(width).build();
+            b.iter(|| {
+                solver
+                    .solve_batch(&instances)
+                    .into_iter()
+                    .filter(|r| r.is_ok())
+                    .count()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_direct_vs_facade, bench_classify, bench_batch);
+criterion_main!(benches);

@@ -10,13 +10,11 @@ use nahsp_abelian::hsp::{
 use nahsp_abelian::lattice::SubgroupLattice;
 use nahsp_abelian::OrderFinder;
 use nahsp_bench::*;
-use nahsp_core::baseline::{birthday_collision, ettinger_hoyer_dihedral, exhaustive_scan};
-use nahsp_core::ea2::{hsp_ea2_cyclic, hsp_ea2_general};
+use nahsp_core::baseline::{birthday_collision, ettinger_hoyer_dihedral, try_exhaustive_scan};
 use nahsp_core::lemma9::{solve_state_hsp, Lemma9Backend, PerturbedOracle};
 use nahsp_core::membership::abelian_membership;
-use nahsp_core::normal_hsp::{hidden_normal_subgroup, hidden_normal_subgroup_perm, QuotientEngine};
-use nahsp_core::oracle::{CosetTableOracle, HidingFunction};
-use nahsp_core::small_commutator::hsp_small_commutator;
+use nahsp_core::oracle::CosetTableOracle;
+use nahsp_core::solver::{HspInstance, HspSolver, Strategy, StrategyDetail};
 use nahsp_core::watrous::{quotient_order, CosetStates};
 use nahsp_groups::closure::enumerate_subgroup;
 use nahsp_groups::dihedral::Dihedral;
@@ -215,7 +213,7 @@ fn e3_membership() {
 fn e4_normal_hsp_solvable() {
     println!("\nE4. Thm 8 hidden normal subgroup in solvable Z2^k ⋊ Zm");
     let mut t = Table::new(&["k", "m", "|G|", "|N| found", "f-queries", "µs"]);
-    let mut rng = Rng64::seed_from_u64(4);
+    let solver = HspSolver::builder().seed(4).build();
     for (k, m, coeffs) in [
         (3usize, 7u64, 0b011u64),
         (4, 15, 0b0011),
@@ -228,23 +226,17 @@ fn e4_normal_hsp_solvable() {
             nahsp_groups::matgf::Gf2Mat::companion(k, coeffs),
         );
         let n_gens = g.normal_subgroup_gens();
-        let oracle = CosetTableOracle::new(g.clone(), &n_gens, 1 << 16);
-        let ((seeds, elems), us) = micros(|| {
-            hidden_normal_subgroup(
-                &g,
-                &oracle,
-                QuotientEngine::Auto { limit: 1 << 10 },
-                1 << 16,
-                &mut rng,
-            )
-        });
-        assert_eq!(seeds.quotient_order, m);
+        let oracle = CosetTableOracle::try_new(g.clone(), &n_gens, 1 << 16).expect("oracle");
+        let instance = HspInstance::new(g.clone(), oracle).promise_normal();
+        let (report, us) = micros(|| solver.solve(&instance).expect("solve"));
+        assert_eq!(report.strategy, Strategy::NormalSubgroup);
+        assert_eq!(report.detail, StrategyDetail::Normal { quotient_order: m });
         t.row(&[
             format!("{k}"),
             format!("{m}"),
             format!("{}", (1u64 << k) * m),
-            format!("{}", elems.len()),
-            format!("{}", oracle.queries()),
+            format!("{}", report.order.expect("enumerable")),
+            format!("{}", report.queries.oracle),
             format!("{us:.0}"),
         ]);
     }
@@ -255,20 +247,19 @@ fn e4_normal_hsp_solvable() {
 fn e5_normal_hsp_permutation() {
     println!("\nE5. Thm 8 hidden normal subgroup in permutation groups (A_n ⊴ S_n)");
     let mut t = Table::new(&["n", "|G|", "|N| found", "f-queries", "µs"]);
-    let mut rng = Rng64::seed_from_u64(5);
+    let solver = HspSolver::builder().seed(5).build();
     for n in [5usize, 6, 7, 8, 9, 10] {
         let (sn, oracle) = perm_instance(n);
-        let ((seeds, chain), us) = micros(|| {
-            hidden_normal_subgroup_perm(&sn, &oracle, QuotientEngine::Auto { limit: 100 }, &mut rng)
-        });
-        assert_eq!(seeds.quotient_order, 2);
+        let instance = HspInstance::new(sn, oracle).promise_normal();
+        let (report, us) = micros(|| solver.solve(&instance).expect("solve"));
+        assert_eq!(report.detail, StrategyDetail::Normal { quotient_order: 2 });
         let fact: u64 = (1..=n as u64).product();
-        assert_eq!(chain.order(), fact / 2);
+        assert_eq!(report.order, Some(fact / 2));
         t.row(&[
             format!("{n}"),
             format!("{fact}"),
-            format!("{}", chain.order()),
-            format!("{}", oracle.query_count()),
+            format!("{}", fact / 2),
+            format!("{}", report.queries.oracle),
             format!("{us:.0}"),
         ]);
     }
@@ -288,14 +279,16 @@ fn e6_small_commutator() {
         "birthday-queries",
     ]);
     let mut rng = Rng64::seed_from_u64(6);
+    let solver = HspSolver::builder().seed(6).build();
     for p in [3u64, 5, 7, 11, 13] {
         let (g, oracle) = extraspecial_instance(p);
-        let (res, us) = micros(|| hsp_small_commutator(&g, &oracle, 1 << 16, &mut rng));
-        let recovered = enumerate_subgroup(&g, &res.h_generators, 1 << 16).unwrap();
-        assert_eq!(recovered.len() as u64, p * p);
-        let q_thm11 = oracle.queries();
+        let instance = HspInstance::new(g.clone(), oracle);
+        let (report, us) = micros(|| solver.solve(&instance).expect("solve"));
+        assert_eq!(report.strategy, Strategy::SmallCommutator);
+        assert_eq!(report.order, Some(p * p));
+        let q_thm11 = report.queries.oracle;
         let (g2, oracle2) = extraspecial_instance(p);
-        let (_, scan_q) = exhaustive_scan(&g2, &oracle2, 1 << 16);
+        let (_, scan_q) = try_exhaustive_scan(&g2, &oracle2, 1 << 16).expect("scan");
         let (g3, oracle3) = extraspecial_instance(p);
         let all = enumerate_subgroup(&g3, &g3.generators(), 1 << 16).unwrap();
         let bres = birthday_collision(&g3, &oracle3, &all, 1 << 22, &mut rng);
@@ -316,26 +309,29 @@ fn e6_small_commutator() {
 fn e7_ea2_general() {
     println!("\nE7. Thm 13 general case: Z2^k ⋊ Zm, transversal V of size |G/N|");
     let mut t = Table::new(&["k", "m=|G/N|", "|V|", "HSP instances", "f-queries", "µs"]);
-    let mut rng = Rng64::seed_from_u64(7);
-    let hsp = AbelianHsp::new(Backend::SimulatorCoset);
+    let solver = HspSolver::builder()
+        .strategy(Strategy::Ea2General)
+        .seed(7)
+        .build();
     for (k, m, coeffs) in [(3usize, 7u64, 0b011u64), (4, 15, 0b0011), (5, 31, 0b00101)] {
-        let (g, oracle, coords) = semidirect_instance(k, m, coeffs);
-        let (res, us) =
-            micros(|| hsp_ea2_general(&g, &oracle, &coords, &hsp, None, 1 << 10, &mut rng));
-        let recovered = if res.h_generators.is_empty() {
-            1
-        } else {
-            enumerate_subgroup(&g, &res.h_generators, 1 << 16)
-                .unwrap()
-                .len()
+        let (g, oracle, _coords) = semidirect_instance(k, m, coeffs);
+        let truth_len = oracle.hidden_subgroup_elements().len();
+        let instance = HspInstance::new(g.clone(), oracle);
+        let (report, us) = micros(|| solver.solve(&instance).expect("solve"));
+        assert_eq!(report.order, Some(truth_len as u64));
+        let StrategyDetail::Ea2 {
+            v_size,
+            hsp_instances,
+        } = report.detail
+        else {
+            unreachable!("EA2 strategy carries EA2 detail")
         };
-        assert_eq!(recovered, oracle.hidden_subgroup_elements().len());
         t.row(&[
             format!("{k}"),
             format!("{m}"),
-            format!("{}", res.v_size),
-            format!("{}", res.hsp_instances),
-            format!("{}", oracle.queries()),
+            format!("{v_size}"),
+            format!("{hsp_instances}"),
+            format!("{}", report.queries.oracle),
             format!("{us:.0}"),
         ]);
     }
@@ -346,33 +342,42 @@ fn e7_ea2_general() {
 fn e8_ea2_cyclic() {
     println!("\nE8. Thm 13 cyclic case: Z2^k ≀ Z2 (Rötteler–Beth), simulator + ideal");
     let mut t = Table::new(&["k (=2·half)", "|G|", "backend", "|V|", "f-queries", "µs"]);
-    let mut rng = Rng64::seed_from_u64(8);
+    let sim_solver = HspSolver::builder().seed(8).build();
     for half in [2usize, 3, 4, 5, 6, 7] {
-        let (g, oracle, coords, h) = wreath_instance(half);
-        let hsp = AbelianHsp::new(Backend::SimulatorCoset);
-        let (res, us) = micros(|| hsp_ea2_cyclic(&g, &oracle, &coords, &hsp, None, &mut rng));
-        assert!(res.h_generators.contains(&h));
+        let (g, oracle, _coords, h) = wreath_instance(half);
+        let instance = HspInstance::new(g.clone(), oracle);
+        let (report, us) = micros(|| sim_solver.solve(&instance).expect("solve"));
+        assert_eq!(report.strategy, Strategy::Ea2Cyclic);
+        assert!(report.generators.contains(&h));
+        let StrategyDetail::Ea2 { v_size, .. } = report.detail else {
+            unreachable!("EA2 strategy carries EA2 detail")
+        };
         t.row(&[
             format!("{}", 2 * half),
             format!("2^{}", 2 * half + 1),
             "simulator".into(),
-            format!("{}", res.v_size),
-            format!("{}", oracle.queries()),
+            format!("{v_size}"),
+            format!("{}", report.queries.oracle),
             format!("{us:.0}"),
         ]);
     }
+    let ideal_solver = HspSolver::builder().backend(Backend::Ideal).seed(8).build();
     for half in [8usize, 12, 16, 20, 24] {
-        let (g, oracle, coords, truth, h) = wreath_instance_structural(half);
-        let hsp = AbelianHsp::new(Backend::Ideal);
-        let (res, us) =
-            micros(|| hsp_ea2_cyclic(&g, &oracle, &coords, &hsp, Some(&truth), &mut rng));
-        assert!(res.h_generators.contains(&h));
+        let (g, oracle, _coords, _truth, h) = wreath_instance_structural(half);
+        // the solver assembles the ideal sampler's witness from the
+        // instance's ground-truth generators
+        let instance = HspInstance::new(g.clone(), oracle).with_ground_truth(vec![h]);
+        let (report, us) = micros(|| ideal_solver.solve(&instance).expect("solve"));
+        assert!(report.generators.contains(&h));
+        let StrategyDetail::Ea2 { v_size, .. } = report.detail else {
+            unreachable!("EA2 strategy carries EA2 detail")
+        };
         t.row(&[
             format!("{}", 2 * half),
             format!("2^{}", 2 * half + 1),
             "ideal".into(),
-            format!("{}", res.v_size),
-            format!("{}", oracle.queries()),
+            format!("{v_size}"),
+            format!("{}", report.queries.oracle),
             format!("{us:.0}"),
         ]);
     }

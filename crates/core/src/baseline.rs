@@ -12,6 +12,7 @@
 //!   Theorem 13 was designed to beat exactly this trade-off, so experiment
 //!   A2 reports both columns side by side.
 
+use crate::error::HspError;
 use crate::oracle::HidingFunction;
 use nahsp_groups::closure::enumerate_subgroup;
 use nahsp_groups::dihedral::Dihedral;
@@ -24,14 +25,32 @@ use rand::Rng;
 
 /// Exhaustive classical HSP: returns the full element list of `H` and the
 /// number of queries spent (`|G| + 1`).
+#[deprecated(note = "use try_exhaustive_scan (or the nahsp_core::solver façade)")]
 pub fn exhaustive_scan<G: Group, F: HidingFunction<G>>(
     group: &G,
     f: &F,
     limit: usize,
 ) -> (Vec<G::Elem>, u64) {
-    let all = enumerate_subgroup(group, &group.generators(), limit)
-        .expect("group exceeds enumeration limit");
-    let id_label = f.eval(&group.identity());
+    match try_exhaustive_scan(group, f, limit) {
+        Ok(out) => out,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// [`exhaustive_scan`] with the oversized-group failure surfaced as a typed
+/// error.
+pub fn try_exhaustive_scan<G: Group, F: HidingFunction<G>>(
+    group: &G,
+    f: &F,
+    limit: usize,
+) -> Result<(Vec<G::Elem>, u64), HspError> {
+    let all = enumerate_subgroup(group, &group.generators(), limit).ok_or(
+        HspError::EnumerationLimit {
+            what: "whole group (exhaustive scan)".into(),
+            limit,
+        },
+    )?;
+    let id_label = f.identity_label(group);
     let mut queries = 1u64;
     let mut h = Vec::new();
     for g in &all {
@@ -40,7 +59,7 @@ pub fn exhaustive_scan<G: Group, F: HidingFunction<G>>(
             h.push(g.clone());
         }
     }
-    (h, queries)
+    Ok((h, queries))
 }
 
 /// Result of the birthday-collision baseline.
@@ -218,7 +237,7 @@ mod tests {
         let s4 = PermGroup::symmetric(4);
         let h = vec![Perm::from_cycles(4, &[&[0, 1, 2]])];
         let oracle = CosetTableOracle::new(s4.clone(), &h, 100);
-        let (found, queries) = exhaustive_scan(&s4, &oracle, 100);
+        let (found, queries) = try_exhaustive_scan(&s4, &oracle, 100).unwrap();
         assert_eq!(found.len(), 3);
         assert_eq!(queries, 25);
     }

@@ -26,6 +26,7 @@
 //! backends decide between faithful simulation and the ideal sampler (the
 //! latter consumes the ground truth supplied by [`Ea2GroundTruth`]).
 
+use crate::error::HspError;
 use crate::oracle::HidingFunction;
 use nahsp_abelian::hsp::{AbelianHsp, HidingOracle};
 use nahsp_abelian::OrderFinder;
@@ -59,19 +60,37 @@ impl<G: Group + 'static> N2Coords<G> {
 
     /// Build coordinates by enumerating `N` (for groups without structural
     /// shortcuts). Picks an independent basis greedily from `n_gens`.
+    /// Panics on a broken promise; library code should prefer
+    /// [`N2Coords::try_enumerated`].
     pub fn enumerated(group: &G, n_gens: &[G::Elem], limit: usize) -> Self {
+        match Self::try_enumerated(group, n_gens, limit) {
+            Ok(c) => c,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`N2Coords::enumerated`] with the promise violations (a generator not
+    /// squaring to the identity, `N` exceeding the limit) surfaced as typed
+    /// errors.
+    pub fn try_enumerated(group: &G, n_gens: &[G::Elem], limit: usize) -> Result<Self, HspError> {
         use std::collections::HashMap;
         // Greedy basis: add a generator if it enlarges the closure.
         let mut basis: Vec<G::Elem> = Vec::new();
         let mut elems: HashMap<G::Elem, u64> =
             HashMap::from([(group.canonical(&group.identity()), 0u64)]);
         for g in n_gens {
-            assert!(
-                group.is_identity(&group.multiply(g, g)),
-                "N generator does not square to identity"
-            );
+            if !group.is_identity(&group.multiply(g, g)) {
+                return Err(HspError::PromiseViolation {
+                    context: "N generator does not square to the identity".into(),
+                });
+            }
             if elems.contains_key(&group.canonical(g)) {
                 continue;
+            }
+            if basis.len() >= 63 {
+                return Err(HspError::PromiseViolation {
+                    context: "N has rank above the 63-bit coordinate encoding".into(),
+                });
             }
             let bit = 1u64 << basis.len();
             let snapshot: Vec<(G::Elem, u64)> =
@@ -81,16 +100,21 @@ impl<G: Group + 'static> N2Coords<G> {
                 elems.insert(ne, v | bit);
             }
             basis.push(g.clone());
-            assert!(elems.len() <= limit, "N exceeds enumeration limit");
+            if elems.len() > limit {
+                return Err(HspError::EnumerationLimit {
+                    what: "elementary Abelian normal 2-subgroup N".into(),
+                    limit,
+                });
+            }
         }
         let dim = basis.len();
         let reverse: HashMap<u64, G::Elem> = elems.iter().map(|(e, &v)| (v, e.clone())).collect();
         let group2 = group.clone();
-        N2Coords {
+        Ok(N2Coords {
             dim,
             to_vec: Box::new(move |e: &G::Elem| elems.get(&group2.canonical(e)).copied()),
             from_vec: Box::new(move |v: u64| reverse[&v].clone()),
-        }
+        })
     }
 
     pub fn to_vec(&self, e: &G::Elem) -> Option<u64> {
@@ -197,7 +221,10 @@ fn solve_h_cap_n<G: Group + 'static, F: HidingFunction<G>>(
     hsp: &AbelianHsp,
     truth: Option<&Ea2GroundTruth<G>>,
     rng: &mut impl Rng,
-) -> Vec<u64> {
+) -> Result<Vec<u64>, HspError> {
+    if coords.dim == 0 {
+        return Ok(Vec::new()); // trivial N: nothing to intersect
+    }
     let ambient = AbelianProduct::new(vec![2; coords.dim]);
     let oracle = ZOracle {
         group,
@@ -212,11 +239,12 @@ fn solve_h_cap_n<G: Group + 'static, F: HidingFunction<G>>(
                 .collect()
         }),
     };
-    let sub = hsp.solve(&oracle, rng).subgroup;
-    sub.cyclic_generators()
+    let sub = hsp.try_solve(&oracle, rng)?.subgroup;
+    Ok(sub
+        .cyclic_generators()
         .iter()
         .map(|(g, _)| bits_to_mask(g))
-        .collect()
+        .collect())
 }
 
 /// Per-`z` round: solve the `Z₂ × N` instance, return a witness `u·z ∈ H`
@@ -230,7 +258,7 @@ fn solve_z_round<G: Group + 'static, F: HidingFunction<G>>(
     hsp: &AbelianHsp,
     truth: Option<&Ea2GroundTruth<G>>,
     rng: &mut impl Rng,
-) -> Option<G::Elem> {
+) -> Result<Option<G::Elem>, HspError> {
     let ambient = AbelianProduct::new(vec![2; coords.dim + 1]);
     let oracle_truth = truth.map(|t| {
         let mut gens: Vec<Vec<u64>> = t
@@ -260,22 +288,25 @@ fn solve_z_round<G: Group + 'static, F: HidingFunction<G>>(
         ambient,
         truth: oracle_truth,
     };
-    let sub = hsp.solve(&oracle, rng).subgroup;
+    let sub = hsp.try_solve(&oracle, rng)?.subgroup;
     for (g, _) in sub.cyclic_generators() {
         if g[0] == 1 {
             let u = coords.from_vec(bits_to_mask(&g[1..]));
-            // (1, u) in the hidden subgroup certifies u·z ∈ H.
+            // (1, u) in the hidden subgroup certifies u·z ∈ H. One counted
+            // verification query settles it.
             let cand = group.multiply(&u, z);
-            debug_assert_eq!(f.eval(&cand), id_label, "witness fails verification");
-            if f.eval(&cand) == id_label {
-                return Some(cand);
+            let label = f.eval(&cand);
+            debug_assert_eq!(label, id_label, "witness fails verification");
+            if label == id_label {
+                return Ok(Some(cand));
             }
         }
     }
-    None
+    Ok(None)
 }
 
 /// General case: `V` = full transversal of `N` in `G` (paper's BFS).
+#[deprecated(note = "use try_hsp_ea2_general (or the nahsp_core::solver façade)")]
 pub fn hsp_ea2_general<G: Group + 'static, F: HidingFunction<G>>(
     group: &G,
     f: &F,
@@ -285,7 +316,24 @@ pub fn hsp_ea2_general<G: Group + 'static, F: HidingFunction<G>>(
     quotient_limit: usize,
     rng: &mut impl Rng,
 ) -> Ea2Result<G> {
-    let id_label = f.eval(&group.identity());
+    match try_hsp_ea2_general(group, f, coords, hsp, truth, quotient_limit, rng) {
+        Ok(res) => res,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// General case with typed errors: `V` = full transversal of `N` in `G`
+/// (paper's BFS).
+pub fn try_hsp_ea2_general<G: Group + 'static, F: HidingFunction<G>>(
+    group: &G,
+    f: &F,
+    coords: &N2Coords<G>,
+    hsp: &AbelianHsp,
+    truth: Option<&Ea2GroundTruth<G>>,
+    quotient_limit: usize,
+    rng: &mut impl Rng,
+) -> Result<Ea2Result<G>, HspError> {
+    let id_label = f.identity_label(group);
     // Transversal BFS: adjoin v·g when it lies in no existing coset.
     let mut v_set: Vec<G::Elem> = vec![group.identity()];
     let mut head = 0usize;
@@ -299,7 +347,12 @@ pub fn hsp_ea2_general<G: Group + 'static, F: HidingFunction<G>>(
                 .iter()
                 .any(|u| coords.in_n(&group.multiply(&group.inverse(u), &w)));
             if !known {
-                assert!(v_set.len() < quotient_limit, "quotient exceeds limit");
+                if v_set.len() >= quotient_limit {
+                    return Err(HspError::EnumerationLimit {
+                        what: "transversal of N in G".into(),
+                        limit: quotient_limit,
+                    });
+                }
                 v_set.push(w);
             }
         }
@@ -308,6 +361,7 @@ pub fn hsp_ea2_general<G: Group + 'static, F: HidingFunction<G>>(
 }
 
 /// Cyclic case: `G/N` cyclic; `V` from Sylow generators, `|V| = O(log m)`.
+#[deprecated(note = "use try_hsp_ea2_cyclic (or the nahsp_core::solver façade)")]
 pub fn hsp_ea2_cyclic<G: Group + 'static, F: HidingFunction<G>>(
     group: &G,
     f: &F,
@@ -316,7 +370,23 @@ pub fn hsp_ea2_cyclic<G: Group + 'static, F: HidingFunction<G>>(
     truth: Option<&Ea2GroundTruth<G>>,
     rng: &mut impl Rng,
 ) -> Ea2Result<G> {
-    let id_label = f.eval(&group.identity());
+    match try_hsp_ea2_cyclic(group, f, coords, hsp, truth, rng) {
+        Ok(res) => res,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Cyclic case with typed errors: `G/N` cyclic; `V` from Sylow generators,
+/// `|V| = O(log m)`.
+pub fn try_hsp_ea2_cyclic<G: Group + 'static, F: HidingFunction<G>>(
+    group: &G,
+    f: &F,
+    coords: &N2Coords<G>,
+    hsp: &AbelianHsp,
+    truth: Option<&Ea2GroundTruth<G>>,
+    rng: &mut impl Rng,
+) -> Result<Ea2Result<G>, HspError> {
+    let id_label = f.identity_label(group);
     // Order of x·N in G/N: descend from the order of x in G over its
     // divisors (smallest d with x^d ∈ N).
     fn q_order<G: Group + 'static>(
@@ -358,10 +428,12 @@ pub fn hsp_ea2_cyclic<G: Group + 'static, F: HidingFunction<G>>(
                 break;
             }
         }
-        assert!(
-            found,
-            "failed to find a Sylow {p}-generator of the cyclic quotient"
-        );
+        if !found {
+            return Err(HspError::SamplingCapExhausted {
+                context: format!("Sylow {p}-generator search in the cyclic quotient"),
+                max_rounds: 128,
+            });
+        }
     }
     run_rounds(group, f, coords, hsp, truth, &v_set, id_label, rng)
 }
@@ -375,9 +447,9 @@ fn run_rounds<G: Group + 'static, F: HidingFunction<G>>(
     v_set: &[G::Elem],
     id_label: u64,
     rng: &mut impl Rng,
-) -> Ea2Result<G> {
+) -> Result<Ea2Result<G>, HspError> {
     // H ∩ N first.
-    let hn_basis = solve_h_cap_n(group, f, coords, hsp, truth, rng);
+    let hn_basis = solve_h_cap_n(group, f, coords, hsp, truth, rng)?;
     let mut h_generators: Vec<G::Elem> =
         hn_basis.iter().map(|&mask| coords.from_vec(mask)).collect();
     let mut instances = 1usize;
@@ -386,15 +458,15 @@ fn run_rounds<G: Group + 'static, F: HidingFunction<G>>(
             continue; // z ∈ N: its round is the H∩N instance
         }
         instances += 1;
-        if let Some(w) = solve_z_round(group, f, coords, z, id_label, hsp, truth, rng) {
+        if let Some(w) = solve_z_round(group, f, coords, z, id_label, hsp, truth, rng)? {
             h_generators.push(w);
         }
     }
-    Ea2Result {
+    Ok(Ea2Result {
         h_generators,
         v_size: v_set.len(),
         hsp_instances: instances,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -414,7 +486,8 @@ mod tests {
         let coords = semidirect_coords(g);
         let mut rng = Rng64::seed_from_u64(seed);
         let hsp = AbelianHsp::new(Backend::SimulatorCoset);
-        let res = hsp_ea2_general(g, &oracle, &coords, &hsp, None, 1 << 12, &mut rng);
+        let res = try_hsp_ea2_general(g, &oracle, &coords, &hsp, None, 1 << 12, &mut rng)
+            .expect("thm 13");
         verify(g, &oracle, &res);
     }
 
@@ -423,7 +496,7 @@ mod tests {
         let coords = semidirect_coords(g);
         let mut rng = Rng64::seed_from_u64(seed);
         let hsp = AbelianHsp::new(Backend::SimulatorCoset);
-        let res = hsp_ea2_cyclic(g, &oracle, &coords, &hsp, None, &mut rng);
+        let res = try_hsp_ea2_cyclic(g, &oracle, &coords, &hsp, None, &mut rng).expect("thm 13");
         verify(g, &oracle, &res);
     }
 
@@ -505,7 +578,8 @@ mod tests {
         };
         let mut rng = Rng64::seed_from_u64(20);
         let hsp = AbelianHsp::new(Backend::Ideal);
-        let res = hsp_ea2_general(&g, &oracle, &coords, &hsp, Some(&truth), 1 << 12, &mut rng);
+        let res = try_hsp_ea2_general(&g, &oracle, &coords, &hsp, Some(&truth), 1 << 12, &mut rng)
+            .expect("thm 13");
         verify(&g, &oracle, &res);
     }
 

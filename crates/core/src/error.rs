@@ -1,0 +1,174 @@
+//! The typed error surface of every library solve path.
+//!
+//! The paper's algorithms are Las Vegas: a returned answer is always exact,
+//! and the only failure modes are resource exhaustion (enumeration limits,
+//! sampling caps, simulator capacity) or a broken input promise (an
+//! inconsistent oracle, a non-elementary-Abelian `N`). Historically those
+//! surfaced as `panic!`/`expect` — acceptable in tests, not in a serving
+//! system. [`HspError`] types each of them so `HspSolver` and the `try_*`
+//! algorithm entry points never unwind; panicking variants remain only as
+//! thin compatibility shims.
+
+use nahsp_abelian::SolveError;
+
+/// Why a solve path could not produce an answer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HspError {
+    /// An enumeration (subgroup closure, commutator subgroup, quotient
+    /// transversal, coset table) exceeded its configured element budget.
+    EnumerationLimit {
+        /// What was being enumerated.
+        what: String,
+        /// The configured cap that was hit.
+        limit: usize,
+    },
+    /// The hiding function contradicted the HSP promise (e.g. a coset of a
+    /// certified generator of `HG′` contained no element of `H`).
+    OracleInconsistent {
+        /// Where the contradiction was observed.
+        context: String,
+    },
+    /// A randomized subroutine hit its retry/round cap. For correct inputs
+    /// this has negligible probability, so it usually indicates a broken
+    /// promise.
+    SamplingCapExhausted {
+        /// The subroutine that gave up.
+        context: String,
+        /// The cap that was exhausted.
+        max_rounds: usize,
+    },
+    /// A simulator backend cannot represent the requested instance.
+    SimulatorCapacity {
+        /// Requested ambient dimension.
+        dim: usize,
+        /// Backend capacity.
+        cap: usize,
+    },
+    /// A component needed ground truth (ideal sampling backend,
+    /// Ettinger–Høyer coset-state preparation) that the instance lacks.
+    MissingGroundTruth {
+        /// The component that demanded it.
+        context: String,
+    },
+    /// The requested strategy cannot run on this instance.
+    StrategyUnavailable {
+        /// Name of the strategy.
+        strategy: &'static str,
+        /// Why it does not apply.
+        reason: String,
+    },
+    /// `Strategy::Auto` found no applicable theorem for the instance.
+    Unclassifiable {
+        /// What classification observed.
+        reason: String,
+    },
+    /// The instance violated a structural promise it declared (e.g. an `N`
+    /// generator that does not square to the identity).
+    PromiseViolation {
+        /// The violated promise.
+        context: String,
+    },
+    /// The solve finished but spent more oracle queries than the budget.
+    QueryBudgetExceeded {
+        /// Queries actually spent.
+        spent: u64,
+        /// The configured budget.
+        budget: u64,
+    },
+    /// Post-solve verification rejected the recovered subgroup.
+    VerificationFailed {
+        /// What the check observed.
+        context: String,
+    },
+    /// A downstream component panicked; the unwind was contained and
+    /// converted. Reaching this variant is a bug in the callee.
+    Internal {
+        /// The panic payload, if it was a string.
+        context: String,
+    },
+}
+
+impl std::fmt::Display for HspError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HspError::EnumerationLimit { what, limit } => {
+                write!(f, "{what} exceeds the enumeration limit ({limit})")
+            }
+            HspError::OracleInconsistent { context } => {
+                write!(f, "hiding function violates the HSP promise: {context}")
+            }
+            HspError::SamplingCapExhausted {
+                context,
+                max_rounds,
+            } => write!(f, "{context} gave up after {max_rounds} rounds"),
+            HspError::SimulatorCapacity { dim, cap } => {
+                write!(f, "simulator capacity exceeded: |A| = {dim} > {cap}")
+            }
+            HspError::MissingGroundTruth { context } => {
+                write!(f, "{context} requires instance ground truth")
+            }
+            HspError::StrategyUnavailable { strategy, reason } => {
+                write!(f, "strategy {strategy} unavailable: {reason}")
+            }
+            HspError::Unclassifiable { reason } => {
+                write!(f, "no applicable strategy: {reason}")
+            }
+            HspError::PromiseViolation { context } => {
+                write!(f, "instance promise violated: {context}")
+            }
+            HspError::QueryBudgetExceeded { spent, budget } => {
+                write!(f, "query budget exceeded: spent {spent} of {budget}")
+            }
+            HspError::VerificationFailed { context } => {
+                write!(f, "verification failed: {context}")
+            }
+            HspError::Internal { context } => {
+                write!(f, "contained panic in solve path: {context}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HspError {}
+
+impl From<SolveError> for HspError {
+    fn from(e: SolveError) -> Self {
+        match e {
+            SolveError::SamplingCapExhausted { max_rounds } => HspError::SamplingCapExhausted {
+                context: "Abelian HSP Fourier sampling".into(),
+                max_rounds,
+            },
+            SolveError::SimulatorCapacity { dim, cap } => HspError::SimulatorCapacity { dim, cap },
+            SolveError::MissingGroundTruth => HspError::MissingGroundTruth {
+                context: "ideal sampling backend".into(),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_name_the_failure() {
+        let e = HspError::EnumerationLimit {
+            what: "commutator subgroup G'".into(),
+            limit: 100,
+        };
+        assert!(e.to_string().contains("commutator subgroup"));
+        let e = HspError::QueryBudgetExceeded {
+            spent: 12,
+            budget: 10,
+        };
+        assert!(e.to_string().contains("12"));
+    }
+
+    #[test]
+    fn abelian_errors_map_losslessly() {
+        let e: HspError = SolveError::SimulatorCapacity { dim: 9, cap: 4 }.into();
+        assert_eq!(e, HspError::SimulatorCapacity { dim: 9, cap: 4 });
+        let e: HspError = SolveError::MissingGroundTruth.into();
+        assert!(matches!(e, HspError::MissingGroundTruth { .. }));
+    }
+}

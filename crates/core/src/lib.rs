@@ -1,23 +1,35 @@
 //! Quantum algorithms for non-Abelian hidden subgroup instances — the core
 //! contribution of Ivanyos, Magniez & Santha (2001), reproduced end to end.
 //!
-//! | Paper result | Module | Entry point |
-//! |---|---|---|
-//! | Thm 6 — constructive membership in Abelian subgroups | [`membership`] | [`membership::abelian_membership`] |
-//! | Thm 7 — Beals–Babai tasks for `G/N`, `N` hidden | [`quotient`] | [`quotient::HiddenQuotient`] |
-//! | Thm 8 — hidden *normal* subgroups | [`normal_hsp`] | [`normal_hsp::hidden_normal_subgroup`] |
-//! | Lemma 9 — Abelian HSP with quantum-state oracle | [`lemma9`] | [`lemma9::solve_state_hsp`] |
-//! | Thm 10 — `G/N` tasks via coset states (`N` solvable) | [`watrous`] | [`watrous::CosetStates`] |
-//! | Thm 11 / Cor 12 — small commutator subgroup | [`small_commutator`] | [`small_commutator::hsp_small_commutator`] |
-//! | Thm 13 — elementary Abelian normal 2-subgroup | [`ea2`] | [`ea2::hsp_ea2_general`], [`ea2::hsp_ea2_cyclic`] |
-//! | baselines (classical, Ettinger–Høyer) | [`baseline`] | [`baseline::exhaustive_scan`], … |
+//! **The primary entry point is the [`solver`] façade**: build an
+//! [`solver::HspInstance`] (group + hiding function + promises), configure
+//! an [`solver::HspSolver`] (budgets, seeded RNG policy, backend,
+//! parallelism), and `solve` — [`solver::Strategy::Auto`] classifies the
+//! instance and routes it to the matching theorem below, returning a
+//! uniform [`solver::HspReport`]. Failures surface as typed
+//! [`error::HspError`]s; nothing on the solve path panics.
+//!
+//! | Paper result | Module | Solver strategy | Direct entry point |
+//! |---|---|---|---|
+//! | Thm 6 — constructive membership in Abelian subgroups | [`membership`] | (subroutine) | [`membership::abelian_membership`] |
+//! | Thm 7 — Beals–Babai tasks for `G/N`, `N` hidden | [`quotient`] | (subroutine) | [`quotient::HiddenQuotient`] |
+//! | Thm 8 — hidden *normal* subgroups | [`normal_hsp`] | [`solver::Strategy::NormalSubgroup`] | [`normal_hsp::try_hidden_normal_subgroup`] |
+//! | Lemma 9 — Abelian HSP with quantum-state oracle | [`lemma9`] | (subroutine) | [`lemma9::solve_state_hsp`] |
+//! | Thm 10 — `G/N` tasks via coset states (`N` solvable) | [`watrous`] | (subroutine) | [`watrous::CosetStates`] |
+//! | Thm 11 / Cor 12 — small commutator subgroup | [`small_commutator`] | [`solver::Strategy::SmallCommutator`] | [`small_commutator::try_hsp_small_commutator`] |
+//! | Thm 13 — elementary Abelian normal 2-subgroup | [`ea2`] | [`solver::Strategy::Ea2Cyclic`] / [`solver::Strategy::Ea2General`] | [`ea2::try_hsp_ea2_cyclic`], [`ea2::try_hsp_ea2_general`] |
+//! | Abelian substrate (Thm 3 machinery) | — | [`solver::Strategy::Abelian`] | [`normal_hsp::try_normal_subgroup_seeds`] |
+//! | baselines (classical, Ettinger–Høyer) | [`baseline`] | [`solver::Strategy::ExhaustiveScan`], [`solver::Strategy::BirthdayCollision`], [`solver::Strategy::EttingerHoyerDihedral`] | [`baseline::try_exhaustive_scan`], … |
 //!
 //! All algorithms consume black-box groups ([`nahsp_groups::Group`]) and
 //! hiding functions ([`oracle::HidingFunction`]); query counts are recorded
-//! so experiments can report the quantities the theorems bound.
+//! so experiments can report the quantities the theorems bound. The
+//! pre-solver free functions (`hsp_small_commutator`, …) remain as thin
+//! deprecated shims over their `try_*` twins.
 
 pub mod baseline;
 pub mod ea2;
+pub mod error;
 pub mod lemma9;
 pub mod membership;
 pub mod normal_hsp;
@@ -25,7 +37,10 @@ pub mod oracle;
 pub mod presentation;
 pub mod quotient;
 pub mod small_commutator;
+pub mod solver;
 pub mod watrous;
 
+pub use error::HspError;
 pub use oracle::{CosetTableOracle, HidingFunction, PermCosetOracle};
 pub use quotient::HiddenQuotient;
+pub use solver::{HspInstance, HspReport, HspSolver, Strategy};

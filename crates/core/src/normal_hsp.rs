@@ -23,6 +23,7 @@
 //! [`hidden_normal_subgroup_perm`], which closes with Schreier–Sims
 //! membership instead of enumeration.
 
+use crate::error::HspError;
 use crate::membership::abelian_membership;
 use crate::oracle::HidingFunction;
 use crate::quotient::HiddenQuotient;
@@ -56,12 +57,29 @@ pub struct NormalHspSeeds<G: Group> {
 
 /// Steps (1)–(3): produce seeds whose normal closure is the hidden normal
 /// subgroup.
+#[deprecated(note = "use try_normal_subgroup_seeds (or the nahsp_core::solver façade)")]
 pub fn normal_subgroup_seeds<G: Group, F: HidingFunction<G>>(
     group: &G,
     f: &F,
     engine: QuotientEngine,
     rng: &mut impl Rng,
 ) -> NormalHspSeeds<G> {
+    match try_normal_subgroup_seeds(group, f, engine, &AbelianHsp::default(), rng) {
+        Ok(seeds) => seeds,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Steps (1)–(3) with typed errors: produce seeds whose normal closure is
+/// the hidden normal subgroup. `hsp` configures the Abelian engine used
+/// when the quotient presentation runs through Cheung–Mosca.
+pub fn try_normal_subgroup_seeds<G: Group, F: HidingFunction<G>>(
+    group: &G,
+    f: &F,
+    engine: QuotientEngine,
+    hsp: &AbelianHsp,
+    rng: &mut impl Rng,
+) -> Result<NormalHspSeeds<G>, HspError> {
     let q = HiddenQuotient::new(group, f);
     let engine = match engine {
         QuotientEngine::Auto { limit } => {
@@ -81,7 +99,7 @@ pub fn normal_subgroup_seeds<G: Group, F: HidingFunction<G>>(
     };
     match engine {
         QuotientEngine::Enumerate { limit } => seeds_by_enumeration(group, &q, limit),
-        QuotientEngine::Abelian => seeds_by_abelian_presentation(group, &q, rng),
+        QuotientEngine::Abelian => seeds_by_abelian_presentation(group, &q, hsp, rng),
         QuotientEngine::Auto { .. } => unreachable!("resolved above"),
     }
 }
@@ -92,9 +110,11 @@ fn seeds_by_enumeration<G: Group, F: HidingFunction<G>>(
     group: &G,
     q: &HiddenQuotient<'_, G, F>,
     limit: usize,
-) -> NormalHspSeeds<G> {
-    let reps =
-        enumerate_subgroup(q, &q.generators(), limit).expect("quotient exceeds enumeration limit");
+) -> Result<NormalHspSeeds<G>, HspError> {
+    let reps = enumerate_subgroup(q, &q.generators(), limit).ok_or(HspError::EnumerationLimit {
+        what: "quotient G/N".into(),
+        limit,
+    })?;
     let m = reps.len();
     // label -> index of the canonical representative
     let mut index = std::collections::HashMap::with_capacity(m);
@@ -106,9 +126,11 @@ fn seeds_by_enumeration<G: Group, F: HidingFunction<G>>(
     for ti in &reps {
         for tj in &reps {
             let prod_g = group.multiply(ti, tj);
-            let k = *index
-                .get(&q.coset_label(&prod_g))
-                .expect("product escaped coset table");
+            let k = *index.get(&q.coset_label(&prod_g)).ok_or_else(|| {
+                HspError::OracleInconsistent {
+                    context: "product of coset representatives escaped the coset table".into(),
+                }
+            })?;
             let r = group.multiply(&prod_g, &group.inverse(&reps[k]));
             if !group.is_identity(&r) {
                 seeds.push(r);
@@ -119,16 +141,18 @@ fn seeds_by_enumeration<G: Group, F: HidingFunction<G>>(
     for x in group.generators() {
         let k = *index
             .get(&q.coset_label(&x))
-            .expect("generator not in table");
+            .ok_or_else(|| HspError::OracleInconsistent {
+                context: "group generator missing from the coset table".into(),
+            })?;
         let s = group.multiply(&group.inverse(&reps[k]), &x);
         if !group.is_identity(&s) {
             seeds.push(s);
         }
     }
-    NormalHspSeeds {
+    Ok(NormalHspSeeds {
         seeds,
         quotient_order: m as u64,
-    }
+    })
 }
 
 /// Abelian presentation from the Cheung–Mosca decomposition of the quotient:
@@ -136,11 +160,11 @@ fn seeds_by_enumeration<G: Group, F: HidingFunction<G>>(
 fn seeds_by_abelian_presentation<G: Group, F: HidingFunction<G>>(
     group: &G,
     q: &HiddenQuotient<'_, G, F>,
+    hsp: &AbelianHsp,
     rng: &mut impl Rng,
-) -> NormalHspSeeds<G> {
-    let hsp = AbelianHsp::default();
+) -> Result<NormalHspSeeds<G>, HspError> {
     let orders = OrderFinder::Exact;
-    let structure = nahsp_abelian::structure::decompose(q, &q.generators(), &hsp, &orders, rng);
+    let structure = nahsp_abelian::structure::decompose(q, &q.generators(), hsp, &orders, rng);
     let ts = structure.new_generators.clone();
     let ds = structure.invariant_factors.clone();
     let mut seeds: Vec<G::Elem> = Vec::new();
@@ -169,8 +193,11 @@ fn seeds_by_abelian_presentation<G: Group, F: HidingFunction<G>>(
             }
             continue;
         }
-        let exps = abelian_membership(q, &ts, &x, &hsp, &orders, rng)
-            .expect("presentation generators must span the quotient");
+        let exps = abelian_membership(q, &ts, &x, hsp, &orders, rng).ok_or_else(|| {
+            HspError::OracleInconsistent {
+                context: "presentation generators do not span the quotient".into(),
+            }
+        })?;
         let mut y = group.identity();
         for (t, &e) in ts.iter().zip(&exps) {
             y = group.multiply(&y, &group.pow(t, e));
@@ -180,14 +207,15 @@ fn seeds_by_abelian_presentation<G: Group, F: HidingFunction<G>>(
             seeds.push(s);
         }
     }
-    NormalHspSeeds {
+    Ok(NormalHspSeeds {
         seeds,
         quotient_order: ds.iter().product(),
-    }
+    })
 }
 
 /// Full Theorem 8 for enumerable groups: seeds + enumerated normal closure.
 /// Returns the elements of `N`.
+#[deprecated(note = "use try_hidden_normal_subgroup (or the nahsp_core::solver façade)")]
 pub fn hidden_normal_subgroup<G: Group, F: HidingFunction<G>>(
     group: &G,
     f: &F,
@@ -195,19 +223,40 @@ pub fn hidden_normal_subgroup<G: Group, F: HidingFunction<G>>(
     closure_limit: usize,
     rng: &mut impl Rng,
 ) -> (NormalHspSeeds<G>, Vec<G::Elem>) {
-    let seeds = normal_subgroup_seeds(group, f, engine, rng);
+    match try_hidden_normal_subgroup(group, f, engine, closure_limit, &AbelianHsp::default(), rng) {
+        Ok(out) => out,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Full Theorem 8 for enumerable groups with typed errors: seeds plus the
+/// enumerated normal closure (the elements of `N`).
+pub fn try_hidden_normal_subgroup<G: Group, F: HidingFunction<G>>(
+    group: &G,
+    f: &F,
+    engine: QuotientEngine,
+    closure_limit: usize,
+    hsp: &AbelianHsp,
+    rng: &mut impl Rng,
+) -> Result<(NormalHspSeeds<G>, Vec<G::Elem>), HspError> {
+    let seeds = try_normal_subgroup_seeds(group, f, engine, hsp, rng)?;
     let elems = if seeds.seeds.is_empty() {
         vec![group.canonical(&group.identity())]
     } else {
-        normal_closure_enumerated(group, &seeds.seeds, &group.generators(), closure_limit)
-            .expect("normal closure exceeds enumeration limit")
+        normal_closure_enumerated(group, &seeds.seeds, &group.generators(), closure_limit).ok_or(
+            HspError::EnumerationLimit {
+                what: "normal closure of N".into(),
+                limit: closure_limit,
+            },
+        )?
     };
-    (seeds, elems)
+    Ok((seeds, elems))
 }
 
 /// Full Theorem 8 for permutation groups at scale: the normal closure is
 /// computed with Schreier–Sims membership (no enumeration of `N`). Returns
 /// a stabilizer chain for `N`.
+#[deprecated(note = "use try_hidden_normal_subgroup_perm (or the nahsp_core::solver façade)")]
 pub fn hidden_normal_subgroup_perm<G, F>(
     group: &G,
     f: &F,
@@ -218,7 +267,25 @@ where
     G: Group<Elem = Perm>,
     F: HidingFunction<G>,
 {
-    let seeds = normal_subgroup_seeds(group, f, engine, rng);
+    match try_hidden_normal_subgroup_perm(group, f, engine, &AbelianHsp::default(), rng) {
+        Ok(out) => out,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// [`hidden_normal_subgroup_perm`] with typed errors.
+pub fn try_hidden_normal_subgroup_perm<G, F>(
+    group: &G,
+    f: &F,
+    engine: QuotientEngine,
+    hsp: &AbelianHsp,
+    rng: &mut impl Rng,
+) -> Result<(NormalHspSeeds<G>, StabilizerChain), HspError>
+where
+    G: Group<Elem = Perm>,
+    F: HidingFunction<G>,
+{
+    let seeds = try_normal_subgroup_seeds(group, f, engine, hsp, rng)?;
     let degree = group.identity().degree();
     let member = |gens: &[Perm], x: &Perm| {
         if gens.is_empty() {
@@ -227,7 +294,7 @@ where
         StabilizerChain::new(degree, gens).contains(x)
     };
     let gens = normal_closure_generators(group, &seeds.seeds, &group.generators(), member);
-    (seeds, StabilizerChain::new(degree, &gens))
+    Ok((seeds, StabilizerChain::new(degree, &gens)))
 }
 
 #[cfg(test)]
@@ -240,6 +307,18 @@ mod tests {
 
     type Rng64 = rand::rngs::StdRng;
 
+    /// Test spelling of the Theorem 8 pipeline with the default engine.
+    fn solve<G: Group, F: HidingFunction<G>>(
+        group: &G,
+        f: &F,
+        engine: QuotientEngine,
+        closure_limit: usize,
+        rng: &mut impl Rng,
+    ) -> (NormalHspSeeds<G>, Vec<G::Elem>) {
+        try_hidden_normal_subgroup(group, f, engine, closure_limit, &AbelianHsp::default(), rng)
+            .expect("theorem 8 pipeline")
+    }
+
     #[test]
     fn recovers_v4_in_s4() {
         let s4 = PermGroup::symmetric(4);
@@ -249,7 +328,7 @@ mod tests {
         ];
         let oracle = CosetTableOracle::new(s4.clone(), &v4, 100);
         let mut rng = Rng64::seed_from_u64(1);
-        let (seeds, elems) = hidden_normal_subgroup(
+        let (seeds, elems) = solve(
             &s4,
             &oracle,
             QuotientEngine::Enumerate { limit: 100 },
@@ -272,7 +351,7 @@ mod tests {
         let oracle = CosetTableOracle::new(s4.clone(), &a4.gens, 100);
         let mut rng = Rng64::seed_from_u64(2);
         // S4/A4 ≅ Z2 is Abelian; Auto should pick the Abelian engine.
-        let (seeds, elems) = hidden_normal_subgroup(
+        let (seeds, elems) = solve(
             &s4,
             &oracle,
             QuotientEngine::Auto { limit: 100 },
@@ -289,7 +368,7 @@ mod tests {
         let a4 = PermGroup::alternating(4);
         let mut rng = Rng64::seed_from_u64(3);
         let o1 = CosetTableOracle::new(s4.clone(), &a4.gens, 100);
-        let (_, e1) = hidden_normal_subgroup(
+        let (_, e1) = solve(
             &s4,
             &o1,
             QuotientEngine::Enumerate { limit: 100 },
@@ -297,7 +376,7 @@ mod tests {
             &mut rng,
         );
         let o2 = CosetTableOracle::new(s4.clone(), &a4.gens, 100);
-        let (_, e2) = hidden_normal_subgroup(&s4, &o2, QuotientEngine::Abelian, 100, &mut rng);
+        let (_, e2) = solve(&s4, &o2, QuotientEngine::Abelian, 100, &mut rng);
         let s1: std::collections::HashSet<_> = e1.into_iter().collect();
         let s2: std::collections::HashSet<_> = e2.into_iter().collect();
         assert_eq!(s1, s2);
@@ -308,7 +387,7 @@ mod tests {
         let s4 = PermGroup::symmetric(4);
         let oracle = CosetTableOracle::new(s4.clone(), &[], 100);
         let mut rng = Rng64::seed_from_u64(4);
-        let (seeds, elems) = hidden_normal_subgroup(
+        let (seeds, elems) = solve(
             &s4,
             &oracle,
             QuotientEngine::Enumerate { limit: 100 },
@@ -325,7 +404,7 @@ mod tests {
         let s4 = PermGroup::symmetric(4);
         let oracle = CosetTableOracle::new(s4.clone(), &s4.gens, 100);
         let mut rng = Rng64::seed_from_u64(5);
-        let (seeds, elems) = hidden_normal_subgroup(
+        let (seeds, elems) = solve(
             &s4,
             &oracle,
             QuotientEngine::Auto { limit: 100 },
@@ -343,7 +422,7 @@ mod tests {
         let n_gens = g.normal_subgroup_gens();
         let oracle = CosetTableOracle::new(g.clone(), &n_gens, 100);
         let mut rng = Rng64::seed_from_u64(6);
-        let (seeds, elems) = hidden_normal_subgroup(
+        let (seeds, elems) = solve(
             &g,
             &oracle,
             QuotientEngine::Auto { limit: 100 },
@@ -365,12 +444,14 @@ mod tests {
         let a8 = PermGroup::alternating(8);
         let oracle = PermCosetOracle::new(8, &a8.gens);
         let mut rng = Rng64::seed_from_u64(7);
-        let (seeds, chain) = hidden_normal_subgroup_perm(
+        let (seeds, chain) = try_hidden_normal_subgroup_perm(
             &s8,
             &oracle,
             QuotientEngine::Auto { limit: 100 },
+            &AbelianHsp::default(),
             &mut rng,
-        );
+        )
+        .expect("perm pipeline");
         assert_eq!(seeds.quotient_order, 2);
         assert_eq!(chain.order(), 20160);
     }
@@ -382,7 +463,7 @@ mod tests {
         let z = g.center_generator();
         let oracle = CosetTableOracle::new(g.clone(), &[z], 100);
         let mut rng = Rng64::seed_from_u64(8);
-        let (seeds, elems) = hidden_normal_subgroup(
+        let (seeds, elems) = solve(
             &g,
             &oracle,
             QuotientEngine::Auto { limit: 100 },

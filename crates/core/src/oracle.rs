@@ -15,11 +15,12 @@
 //! Both intern labels into `u64` and count queries with atomics (shared
 //! handles are cheap to clone into rayon tasks).
 
+use crate::error::HspError;
 use nahsp_groups::stabchain::StabilizerChain;
 use nahsp_groups::{Group, Perm};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
 
 /// A hiding function over a black-box group.
 pub trait HidingFunction<G: Group>: Sync {
@@ -29,8 +30,13 @@ pub trait HidingFunction<G: Group>: Sync {
     /// Total oracle invocations so far.
     fn queries(&self) -> u64;
 
-    /// The label of the identity coset (i.e. of `H` itself). Default
-    /// implementation costs one query.
+    /// The label of the identity coset (i.e. of `H` itself).
+    ///
+    /// The default implementation evaluates `f(1)` and therefore costs one
+    /// *counted* query per call. Every oracle in this module overrides it
+    /// with a cached value — the first call pays (and counts) exactly one
+    /// query, later calls are free — so solver-level query accounting stays
+    /// exact. Custom implementations should do the same.
     fn identity_label(&self, group: &G) -> u64 {
         self.eval(&group.identity())
     }
@@ -72,19 +78,35 @@ pub struct CosetTableOracle<G: Group> {
     h_elems: Vec<G::Elem>,
     h_gens: Vec<G::Elem>,
     interner: LabelInterner<G::Elem>,
+    id_label: OnceLock<u64>,
 }
 
 impl<G: Group> CosetTableOracle<G> {
-    /// Enumerates `H = ⟨h_gens⟩`; panics if `|H| > limit`.
+    /// Enumerates `H = ⟨h_gens⟩`; panics if `|H| > limit`. Library code
+    /// should prefer [`CosetTableOracle::try_new`].
     pub fn new(group: G, h_gens: &[G::Elem], limit: usize) -> Self {
-        let h_elems = nahsp_groups::closure::enumerate_subgroup(&group, h_gens, limit)
-            .expect("hidden subgroup too large to enumerate");
-        CosetTableOracle {
+        match Self::try_new(group, h_gens, limit) {
+            Ok(o) => o,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Enumerates `H = ⟨h_gens⟩`, surfacing an oversized subgroup as a typed
+    /// error instead of a panic.
+    pub fn try_new(group: G, h_gens: &[G::Elem], limit: usize) -> Result<Self, HspError> {
+        let h_elems = nahsp_groups::closure::enumerate_subgroup(&group, h_gens, limit).ok_or(
+            HspError::EnumerationLimit {
+                what: "hidden subgroup coset table".into(),
+                limit,
+            },
+        )?;
+        Ok(CosetTableOracle {
             group,
             h_elems,
             h_gens: h_gens.to_vec(),
             interner: LabelInterner::new(),
-        }
+            id_label: OnceLock::new(),
+        })
     }
 
     pub fn group(&self) -> &G {
@@ -118,6 +140,10 @@ impl<G: Group> HidingFunction<G> for CosetTableOracle<G> {
     fn queries(&self) -> u64 {
         self.interner.queries()
     }
+
+    fn identity_label(&self, group: &G) -> u64 {
+        *self.id_label.get_or_init(|| self.eval(&group.identity()))
+    }
 }
 
 /// Hiding function for subgroups of permutation groups at scale: the label
@@ -126,6 +152,7 @@ impl<G: Group> HidingFunction<G> for CosetTableOracle<G> {
 pub struct PermCosetOracle {
     chain: StabilizerChain,
     interner: LabelInterner<Perm>,
+    id_label: OnceLock<u64>,
 }
 
 impl PermCosetOracle {
@@ -133,6 +160,7 @@ impl PermCosetOracle {
         PermCosetOracle {
             chain: StabilizerChain::new(degree, h_gens),
             interner: LabelInterner::new(),
+            id_label: OnceLock::new(),
         }
     }
 
@@ -158,6 +186,12 @@ impl<G: Group<Elem = Perm>> HidingFunction<G> for PermCosetOracle {
     fn queries(&self) -> u64 {
         self.interner.queries()
     }
+
+    fn identity_label(&self, group: &G) -> u64 {
+        *self
+            .id_label
+            .get_or_init(|| HidingFunction::<G>::eval(self, &group.identity()))
+    }
 }
 
 /// Adapter: any closure producing canonical coset keys becomes a hiding
@@ -171,6 +205,7 @@ where
 {
     f: F,
     interner: LabelInterner<K>,
+    id_label: OnceLock<u64>,
     _marker: std::marker::PhantomData<fn(&G)>,
 }
 
@@ -185,6 +220,7 @@ where
         FnOracle {
             f,
             interner: LabelInterner::new(),
+            id_label: OnceLock::new(),
             _marker: std::marker::PhantomData,
         }
     }
@@ -202,6 +238,10 @@ where
 
     fn queries(&self) -> u64 {
         self.interner.queries()
+    }
+
+    fn identity_label(&self, group: &G) -> u64 {
+        *self.id_label.get_or_init(|| self.eval(&group.identity()))
     }
 }
 
@@ -284,5 +324,42 @@ mod tests {
         assert_eq!(id, oracle.eval(&0u64));
         assert_eq!(id, oracle.eval(&6u64)); // 6 ∈ <2>
         assert_ne!(id, oracle.eval(&3u64));
+    }
+
+    #[test]
+    fn identity_label_is_cached_and_counted_once() {
+        let g = CyclicGroup::new(8);
+        let oracle = CosetTableOracle::new(g.clone(), &[2u64], 100);
+        assert_eq!(oracle.queries(), 0);
+        let a = oracle.identity_label(&g);
+        assert_eq!(oracle.queries(), 1, "first call costs exactly one query");
+        let b = oracle.identity_label(&g);
+        assert_eq!(oracle.queries(), 1, "repeat calls are free");
+        assert_eq!(a, b);
+
+        let fo = FnOracle::<CyclicGroup, _, _>::new(|x: &u64| x % 2);
+        fo.identity_label(&g);
+        fo.identity_label(&g);
+        assert_eq!(fo.queries(), 1);
+
+        let perm = PermCosetOracle::new(4, &[Perm::from_cycles(4, &[&[0, 1]])]);
+        use nahsp_groups::perm::PermGroup;
+        let s4 = PermGroup::symmetric(4);
+        HidingFunction::<PermGroup>::identity_label(&perm, &s4);
+        HidingFunction::<PermGroup>::identity_label(&perm, &s4);
+        assert_eq!(perm.query_count(), 1);
+    }
+
+    #[test]
+    fn try_new_reports_enumeration_limit() {
+        let g = CyclicGroup::new(1 << 12);
+        let err = match CosetTableOracle::try_new(g, &[1u64], 16) {
+            Ok(_) => panic!("oversized subgroup must be rejected"),
+            Err(e) => e,
+        };
+        assert!(matches!(
+            err,
+            crate::error::HspError::EnumerationLimit { limit: 16, .. }
+        ));
     }
 }

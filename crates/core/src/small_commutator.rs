@@ -16,8 +16,10 @@
 //! 6. `H = ⟨(H ∩ G′) ∪ witnesses⟩` — by the isomorphism-theorem argument:
 //!    `H₁ ∩ G′ = H ∩ G′` and `H₁G′ = HG′` force `H₁ = H`.
 
-use crate::normal_hsp::{normal_subgroup_seeds, QuotientEngine};
+use crate::error::HspError;
+use crate::normal_hsp::{try_normal_subgroup_seeds, QuotientEngine};
 use crate::oracle::{FnOracle, HidingFunction};
+use nahsp_abelian::AbelianHsp;
 use nahsp_groups::closure::commutator_subgroup;
 use nahsp_groups::Group;
 use rand::Rng;
@@ -34,16 +36,47 @@ pub struct SmallCommutatorResult<G: Group> {
 }
 
 /// Solve the HSP in `G` in time `poly(input + |G′|)`.
+#[deprecated(note = "use try_hsp_small_commutator (or the nahsp_core::solver façade)")]
 pub fn hsp_small_commutator<G: Group, F: HidingFunction<G>>(
     group: &G,
     f: &F,
     gprime_limit: usize,
     rng: &mut impl Rng,
 ) -> SmallCommutatorResult<G> {
+    match try_hsp_small_commutator(group, f, gprime_limit, &AbelianHsp::default(), rng) {
+        Ok(res) => res,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Solve the HSP in `G` in time `poly(input + |G′|)`, with every failure
+/// mode surfaced as a typed [`HspError`]. `hsp` configures the Abelian
+/// engine behind the Theorem 8 step.
+pub fn try_hsp_small_commutator<G: Group, F: HidingFunction<G>>(
+    group: &G,
+    f: &F,
+    gprime_limit: usize,
+    hsp: &AbelianHsp,
+    rng: &mut impl Rng,
+) -> Result<SmallCommutatorResult<G>, HspError> {
     // Step 1: enumerate G'.
-    let gprime = commutator_subgroup(group, gprime_limit)
-        .expect("commutator subgroup exceeds the enumeration limit");
-    let id_label = f.eval(&group.identity());
+    let gprime = commutator_subgroup(group, gprime_limit).ok_or(HspError::EnumerationLimit {
+        what: "commutator subgroup G'".into(),
+        limit: gprime_limit,
+    })?;
+    try_hsp_small_commutator_with(group, f, gprime, hsp, rng)
+}
+
+/// Steps 2–6 with `G'` already enumerated — the solver's Auto classifier
+/// pays the closure once and reuses it here.
+pub(crate) fn try_hsp_small_commutator_with<G: Group, F: HidingFunction<G>>(
+    group: &G,
+    f: &F,
+    gprime: Vec<G::Elem>,
+    hsp: &AbelianHsp,
+    rng: &mut impl Rng,
+) -> Result<SmallCommutatorResult<G>, HspError> {
+    let id_label = f.identity_label(group);
 
     // Step 2: H ∩ G' by direct queries.
     let h_cap_gprime: Vec<G::Elem> = gprime
@@ -68,7 +101,7 @@ pub fn hsp_small_commutator<G: Group, F: HidingFunction<G>>(
     });
 
     // Step 4: HG' is normal with Abelian quotient; Theorem 8 seeds.
-    let seeds = normal_subgroup_seeds(group, &big_f, QuotientEngine::Abelian, rng);
+    let seeds = try_normal_subgroup_seeds(group, &big_f, QuotientEngine::Abelian, hsp, rng)?;
     // Since G' ⊆ HG', any subgroup containing G' is normal; hence
     // ⟨seeds ∪ G'⟩ ⊇ ncl(seeds) = HG', and ⊆ trivially: plain generators.
     let hgprime_gens: Vec<G::Elem> = seeds.seeds.clone();
@@ -87,20 +120,21 @@ pub fn hsp_small_commutator<G: Group, F: HidingFunction<G>>(
                 break;
             }
         }
-        assert!(
-            found,
-            "generator of HG' has empty coset intersection with H — oracle inconsistent"
-        );
+        if !found {
+            return Err(HspError::OracleInconsistent {
+                context: "generator of HG' has empty coset intersection with H".into(),
+            });
+        }
     }
 
     // Step 6: assemble H.
     let mut h_generators = h_cap_gprime;
     h_generators.extend(witnesses);
-    SmallCommutatorResult {
+    Ok(SmallCommutatorResult {
         h_generators,
         commutator_order: gprime.len() as u64,
         abelian_quotient_order: seeds.quotient_order,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -119,7 +153,9 @@ mod tests {
     fn check<G: Group>(group: &G, h_gens: &[G::Elem], limit: usize, seed: u64) {
         let oracle = CosetTableOracle::new(group.clone(), h_gens, limit);
         let mut rng = Rng64::seed_from_u64(seed);
-        let result = hsp_small_commutator(group, &oracle, limit, &mut rng);
+        let result =
+            try_hsp_small_commutator(group, &oracle, limit, &AbelianHsp::default(), &mut rng)
+                .expect("thm 11");
         let recovered = if result.h_generators.is_empty() {
             vec![group.canonical(&group.identity())]
         } else {
@@ -220,7 +256,8 @@ mod tests {
         let g = Extraspecial::heisenberg(3);
         let oracle = CosetTableOracle::new(g.clone(), &[g.center_generator()], 1000);
         let mut rng = Rng64::seed_from_u64(16);
-        let result = hsp_small_commutator(&g, &oracle, 1000, &mut rng);
+        let result = try_hsp_small_commutator(&g, &oracle, 1000, &AbelianHsp::default(), &mut rng)
+            .expect("thm 11");
         assert_eq!(result.commutator_order, 3);
         // HG' = <z> => |G/HG'| = 9.
         assert_eq!(result.abelian_quotient_order, 9);

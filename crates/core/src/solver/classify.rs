@@ -1,0 +1,213 @@
+//! Instance classification: which theorem applies?
+//!
+//! `Strategy::Auto` mirrors the paper's case analysis (and the way Lomont's
+//! HSP survey organizes it): Abelian groups go to the Abelian engine, a
+//! declared normal-subgroup promise goes to Theorem 8, extraspecial groups
+//! to Corollary 12, `Z₂^k ⋊ Z_m` families to Theorem 13, dihedral
+//! reflection instances to the Ettinger–Høyer baseline, and anything else
+//! is probed for a small commutator subgroup (Theorem 11) before giving up.
+//!
+//! Classification is two-layered: a *structural* layer recognizes concrete
+//! group families by type (zero oracle queries), and a *black-box* layer
+//! falls back to generator probes that any `Group` supports.
+
+use super::instance::HspInstance;
+use super::HspSolver;
+use crate::error::HspError;
+use crate::oracle::HidingFunction;
+use nahsp_groups::closure::commutator_subgroup;
+use nahsp_groups::dihedral::Dihedral;
+use nahsp_groups::extraspecial::Extraspecial;
+use nahsp_groups::semidirect::Semidirect;
+use nahsp_groups::Group;
+use std::any::Any;
+
+/// Every solve strategy the façade can run: the paper's results plus the
+/// classical and Ettinger–Høyer baselines.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    /// Classify the instance and dispatch to the matching strategy below.
+    Auto,
+    /// The Abelian substrate (Theorem 3 machinery through the Theorem 8
+    /// presentation step) — every subgroup of an Abelian group is normal.
+    Abelian,
+    /// Theorem 8: hidden *normal* subgroups (Schreier–Sims closure for
+    /// permutation groups, enumerated closure otherwise).
+    NormalSubgroup,
+    /// Theorem 11 / Corollary 12: small commutator subgroup.
+    SmallCommutator,
+    /// Theorem 13, cyclic quotient (`Z₂^k ⋊ Z_m`, wreath products).
+    Ea2Cyclic,
+    /// Theorem 13, general case (full transversal of `N`).
+    Ea2General,
+    /// Ettinger–Høyer dihedral baseline: `O(log n)` queries,
+    /// exponential-time classical post-processing.
+    EttingerHoyerDihedral,
+    /// Classical baseline: query every group element.
+    ExhaustiveScan,
+    /// Classical baseline: random sampling until label collisions converge.
+    BirthdayCollision,
+}
+
+impl Strategy {
+    /// Stable name used in errors.
+    pub fn name(self) -> &'static str {
+        match self {
+            Strategy::Auto => "Auto",
+            Strategy::Abelian => "Abelian",
+            Strategy::NormalSubgroup => "NormalSubgroup",
+            Strategy::SmallCommutator => "SmallCommutator",
+            Strategy::Ea2Cyclic => "Ea2Cyclic",
+            Strategy::Ea2General => "Ea2General",
+            Strategy::EttingerHoyerDihedral => "EttingerHoyerDihedral",
+            Strategy::ExhaustiveScan => "ExhaustiveScan",
+            Strategy::BirthdayCollision => "BirthdayCollision",
+        }
+    }
+}
+
+impl std::fmt::Display for Strategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Runtime type test on a generic group or element: `Some` iff `A` is the
+/// concrete type `B`. This is what lets a fully generic solver take typed
+/// fast paths (structural coordinates, Schreier–Sims closure, dihedral
+/// baselines) without widening the `Group` trait.
+pub(super) fn cast_ref<A: Any, B: Any>(a: &A) -> Option<&B> {
+    (a as &dyn Any).downcast_ref::<B>()
+}
+
+/// Clone-through cast: a `B`-typed copy of `a` when `A == B` at runtime.
+pub(super) fn cast_clone<A: Any, B: Any + Clone>(a: &A) -> Option<B> {
+    cast_ref::<A, B>(a).cloned()
+}
+
+/// If the ground truth describes a dihedral reflection subgroup
+/// `{1, ρ^d σ}`, return the slope `d`.
+pub(super) fn dihedral_reflection_slope<E: Any>(group: &Dihedral, truth: &[E]) -> Option<u64> {
+    let mut slope: Option<u64> = None;
+    for e in truth {
+        let (r, refl) = *cast_ref::<E, (u64, bool)>(e)?;
+        if !refl {
+            if r % group.n != 0 {
+                return None; // a nontrivial rotation: not the EH form
+            }
+            continue;
+        }
+        match slope {
+            None => slope = Some(r % group.n),
+            Some(d) if d == r % group.n => {}
+            Some(_) => return None, // two distinct reflections generate more
+        }
+    }
+    slope
+}
+
+/// Resolve `Strategy::Auto` for an instance.
+pub(super) fn classify<G, F>(
+    solver: &HspSolver,
+    instance: &HspInstance<G, F>,
+) -> Result<Strategy, HspError>
+where
+    G: Group + 'static,
+    G::Elem: 'static,
+    F: HidingFunction<G>,
+{
+    classify_with_cache(solver, instance).map(|(s, _)| s)
+}
+
+/// [`classify`] plus the commutator subgroup the black-box fallback had to
+/// enumerate to decide applicability, so the dispatched small-commutator
+/// run can reuse it instead of paying the closure twice.
+pub(super) fn classify_with_cache<G, F>(
+    solver: &HspSolver,
+    instance: &HspInstance<G, F>,
+) -> Result<(Strategy, Option<Vec<G::Elem>>), HspError>
+where
+    G: Group + 'static,
+    G::Elem: 'static,
+    F: HidingFunction<G>,
+{
+    let group = instance.group();
+    // 1. Abelian groups: the Abelian engine handles every subgroup.
+    if group.generators_commute() {
+        return Ok((Strategy::Abelian, None));
+    }
+    // 2. A declared normal-subgroup promise: Theorem 8.
+    if instance.normal_promise() {
+        return Ok((Strategy::NormalSubgroup, None));
+    }
+    // 3. Structural families.
+    if cast_ref::<G, Extraspecial>(group).is_some() {
+        return Ok((Strategy::SmallCommutator, None)); // Corollary 12
+    }
+    if cast_ref::<G, Semidirect>(group).is_some() {
+        return Ok((Strategy::Ea2Cyclic, None)); // Theorem 13, G/N = Z_m cyclic
+    }
+    if let Some(d) = cast_ref::<G, Dihedral>(group) {
+        let is_reflection_instance = instance
+            .ground_truth()
+            .and_then(|t| dihedral_reflection_slope(d, t))
+            .is_some();
+        if is_reflection_instance {
+            return Ok((Strategy::EttingerHoyerDihedral, None));
+        }
+        // Rotation/trivial/full subgroups: G' = ⟨ρ²⟩ is enumerable, so
+        // Theorem 11 solves them within the poly(n) budget.
+        return Ok((Strategy::SmallCommutator, None));
+    }
+    // 4. A declared elementary Abelian normal 2-subgroup: Theorem 13
+    //    (general case — the quotient shape is unknown).
+    if instance.ea2_normal_gens().is_some() {
+        return Ok((Strategy::Ea2General, None));
+    }
+    // 5. Black-box fallback: probe for a small commutator subgroup, and
+    //    hand the enumeration to the dispatched run.
+    if let Some(gprime) = commutator_subgroup(group, solver.enumeration_limit()) {
+        return Ok((Strategy::SmallCommutator, Some(gprime)));
+    }
+    Err(HspError::Unclassifiable {
+        reason: format!(
+            "group is non-Abelian, declares no promises, matches no structural family, \
+             and its commutator subgroup exceeds {} elements",
+            solver.enumeration_limit()
+        ),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reflection_slope_recognition() {
+        let d8 = Dihedral::new(8);
+        assert_eq!(dihedral_reflection_slope(&d8, &[(3u64, true)]), Some(3));
+        // identity rotations are tolerated alongside the reflection
+        assert_eq!(
+            dihedral_reflection_slope(&d8, &[(0u64, false), (5u64, true)]),
+            Some(5)
+        );
+        // a nontrivial rotation or a second reflection breaks the form
+        assert_eq!(dihedral_reflection_slope(&d8, &[(2u64, false)]), None);
+        assert_eq!(
+            dihedral_reflection_slope(&d8, &[(1u64, true), (2u64, true)]),
+            None
+        );
+        // empty truth (trivial subgroup) is not a reflection instance
+        assert_eq!(dihedral_reflection_slope::<(u64, bool)>(&d8, &[]), None);
+    }
+
+    #[test]
+    fn casts_only_match_exact_types() {
+        let d = Dihedral::new(4);
+        assert!(cast_ref::<Dihedral, Dihedral>(&d).is_some());
+        assert!(cast_ref::<Dihedral, Extraspecial>(&d).is_none());
+        let e = (1u64, true);
+        assert_eq!(cast_clone::<(u64, bool), (u64, bool)>(&e), Some((1, true)));
+        assert!(cast_clone::<(u64, bool), (u64, u64)>(&e).is_none());
+    }
+}

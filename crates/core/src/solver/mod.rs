@@ -1,0 +1,956 @@
+//! The unified HSP façade: one typed entry point over every result of the
+//! paper, with automatic theorem dispatch, budgets, and batch execution.
+//!
+//! The paper is a family of special cases (Theorems 6–13) and the rest of
+//! this crate faithfully mirrors that as free functions with per-theorem
+//! signatures. A serving system wants the opposite shape: *one* call that
+//! classifies the instance, routes it to the right theorem, enforces
+//! budgets, never panics, and returns uniform accounting. That call is
+//! [`HspSolver::solve`]:
+//!
+//! ```
+//! use nahsp_core::solver::{HspInstance, HspSolver, Strategy};
+//! use nahsp_groups::extraspecial::Extraspecial;
+//!
+//! let g = Extraspecial::heisenberg(3);
+//! let instance =
+//!     HspInstance::with_coset_oracle(g.clone(), &[g.center_generator()], 1000).unwrap();
+//! let report = HspSolver::new().solve(&instance).unwrap();
+//! assert_eq!(report.strategy, Strategy::SmallCommutator); // Corollary 12
+//! assert_eq!(report.order, Some(3));
+//! assert!(report.queries.oracle > 0);
+//! ```
+//!
+//! Throughput workloads hand the solver a slice of instances;
+//! [`HspSolver::solve_batch`] fans them across threads (rayon-style
+//! data parallelism) with a deterministic per-instance RNG stream.
+//!
+//! Every failure mode — oversized enumerations, broken promises,
+//! inconsistent oracles, exhausted sampling caps, unclassifiable groups —
+//! surfaces as a typed [`HspError`]; a contained `catch_unwind` converts
+//! any residual downstream panic into [`HspError::Internal`] so the solve
+//! path never unwinds.
+
+mod classify;
+mod instance;
+mod report;
+
+pub use classify::Strategy;
+pub use instance::HspInstance;
+pub use report::{HspReport, QueryStats, StrategyDetail, Verdict};
+
+use crate::baseline::{birthday_collision, ettinger_hoyer_dihedral, try_exhaustive_scan};
+use crate::ea2::{try_hsp_ea2_cyclic, try_hsp_ea2_general, Ea2GroundTruth, N2Coords};
+use crate::error::HspError;
+use crate::normal_hsp::{try_hidden_normal_subgroup, try_normal_subgroup_seeds, QuotientEngine};
+use crate::oracle::HidingFunction;
+use crate::small_commutator::try_hsp_small_commutator_with;
+use classify::{cast_clone, cast_ref, dihedral_reflection_slope};
+use nahsp_abelian::{AbelianHsp, Backend};
+use nahsp_groups::closure::{commutator_subgroup, enumerate_subgroup, normal_closure_generators};
+use nahsp_groups::dihedral::Dihedral;
+use nahsp_groups::semidirect::Semidirect;
+use nahsp_groups::stabchain::StabilizerChain;
+use nahsp_groups::{Group, Perm};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rayon::prelude::ParallelSliceMut;
+use std::any::TypeId;
+use std::collections::HashSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Instant;
+
+/// Builder-configured façade over every HSP strategy. Cheap to clone; all
+/// configuration is plain data.
+#[derive(Clone, Debug)]
+pub struct HspSolver {
+    strategy: Strategy,
+    enumeration_limit: usize,
+    query_budget: Option<u64>,
+    backend: Backend,
+    max_rounds: usize,
+    seed: u64,
+    parallelism: usize,
+    verify: bool,
+}
+
+impl Default for HspSolver {
+    fn default() -> Self {
+        HspSolver {
+            strategy: Strategy::Auto,
+            enumeration_limit: 1 << 16,
+            query_budget: None,
+            backend: Backend::SimulatorCoset,
+            max_rounds: 0,
+            seed: 0,
+            parallelism: 0,
+            verify: true,
+        }
+    }
+}
+
+/// Builder for [`HspSolver`].
+#[derive(Clone, Debug, Default)]
+pub struct HspSolverBuilder {
+    solver: HspSolver,
+}
+
+impl HspSolverBuilder {
+    /// Which strategy to run; [`Strategy::Auto`] (the default) classifies
+    /// the instance first.
+    pub fn strategy(mut self, strategy: Strategy) -> Self {
+        self.solver.strategy = strategy;
+        self
+    }
+
+    /// Element budget for every enumeration on the solve path: coset
+    /// tables, commutator subgroups, quotient transversals, closures, and
+    /// verification. Default `2^16`.
+    pub fn enumeration_limit(mut self, limit: usize) -> Self {
+        self.solver.enumeration_limit = limit;
+        self
+    }
+
+    /// Hard cap on hiding-function queries. Enforced at solve completion:
+    /// a run that spent more returns [`HspError::QueryBudgetExceeded`]
+    /// instead of a report. Also bounds the birthday-collision baseline's
+    /// sampling. Default: unlimited.
+    pub fn query_budget(mut self, budget: u64) -> Self {
+        self.solver.query_budget = Some(budget);
+        self
+    }
+
+    /// Backend for the quantum Fourier-sampling rounds. The quotient
+    /// presentation machinery has no ground truth, so [`Backend::Ideal`]
+    /// downgrades to [`Backend::SimulatorCoset`] there and applies only to
+    /// the Theorem 13 per-coset instances (which can consume instance
+    /// ground truth). Default [`Backend::SimulatorCoset`].
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.solver.backend = backend;
+        self
+    }
+
+    /// Round cap for the Abelian engine's Las Vegas loop (0 = automatic).
+    pub fn max_rounds(mut self, max_rounds: usize) -> Self {
+        self.solver.max_rounds = max_rounds;
+        self
+    }
+
+    /// Seed of the solver's deterministic RNG policy: `solve` derives its
+    /// stream from this seed, `solve_batch` derives one independent stream
+    /// per instance index (so reports are reproducible regardless of
+    /// thread interleaving). Default 0.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.solver.seed = seed;
+        self
+    }
+
+    /// Worker-thread width for [`HspSolver::solve_batch`]
+    /// (0 = hardware parallelism).
+    pub fn parallelism(mut self, width: usize) -> Self {
+        self.solver.parallelism = width;
+        self
+    }
+
+    /// Whether to verify recovered generators through the oracle after the
+    /// solve (default `true`). Disabling saves the verification queries and
+    /// reports [`Verdict::Unverified`].
+    pub fn verify(mut self, verify: bool) -> Self {
+        self.solver.verify = verify;
+        self
+    }
+
+    pub fn build(self) -> HspSolver {
+        self.solver
+    }
+}
+
+impl HspSolver {
+    /// A solver with default configuration (`Strategy::Auto`, simulator
+    /// backend, `2^16` enumeration budget, verification on).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Start building a configured solver.
+    pub fn builder() -> HspSolverBuilder {
+        HspSolverBuilder::default()
+    }
+
+    pub fn enumeration_limit(&self) -> usize {
+        self.enumeration_limit
+    }
+
+    /// Resolve the strategy `solve` would run for this instance without
+    /// running it. Costs no oracle queries.
+    pub fn classify<G, F>(&self, instance: &HspInstance<G, F>) -> Result<Strategy, HspError>
+    where
+        G: Group + 'static,
+        G::Elem: 'static,
+        F: HidingFunction<G>,
+    {
+        match self.strategy {
+            Strategy::Auto => classify::classify(self, instance),
+            s => Ok(s),
+        }
+    }
+
+    /// Solve one instance. Never panics: every failure is a typed
+    /// [`HspError`].
+    pub fn solve<G, F>(&self, instance: &HspInstance<G, F>) -> Result<HspReport<G>, HspError>
+    where
+        G: Group + 'static,
+        G::Elem: 'static,
+        F: HidingFunction<G>,
+    {
+        self.solve_seeded(instance, self.seed)
+    }
+
+    /// Solve a batch of instances, fanned across worker threads. Results
+    /// come back in input order; each instance gets an independent RNG
+    /// stream derived from the solver seed and its index, so the output is
+    /// deterministic under any thread schedule.
+    pub fn solve_batch<G, F>(
+        &self,
+        instances: &[HspInstance<G, F>],
+    ) -> Vec<Result<HspReport<G>, HspError>>
+    where
+        G: Group + 'static,
+        G::Elem: 'static,
+        F: HidingFunction<G>,
+    {
+        let n = instances.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let width = if self.parallelism == 0 {
+            rayon::current_num_threads()
+        } else {
+            self.parallelism
+        }
+        .max(1);
+        let mut results: Vec<Option<Result<HspReport<G>, HspError>>> =
+            (0..n).map(|_| None).collect();
+        let chunk = n.div_ceil(width).max(1);
+        results
+            .par_chunks_mut(chunk)
+            .enumerate()
+            .for_each(|(ci, slots)| {
+                for (off, slot) in slots.iter_mut().enumerate() {
+                    let i = ci * chunk + off;
+                    *slot = Some(self.solve_seeded(&instances[i], self.instance_seed(i)));
+                }
+            });
+        results
+            .into_iter()
+            .map(|slot| slot.expect("every batch slot is filled"))
+            .collect()
+    }
+
+    /// SplitMix64 step: one well-mixed, index-separated stream per
+    /// batch slot.
+    fn instance_seed(&self, index: usize) -> u64 {
+        let mut z = self
+            .seed
+            .wrapping_add((index as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn solve_seeded<G, F>(
+        &self,
+        instance: &HspInstance<G, F>,
+        seed: u64,
+    ) -> Result<HspReport<G>, HspError>
+    where
+        G: Group + 'static,
+        G::Elem: 'static,
+        F: HidingFunction<G>,
+    {
+        let t0 = Instant::now();
+        let q0 = instance.oracle().queries();
+        let g0 = nahsp_qsim::gates_applied();
+        // Containment net: algorithm internals that still assert (deep
+        // simulator/linear-algebra invariants) become HspError::Internal
+        // instead of unwinding through the façade. Verification runs inside
+        // the net too — it re-queries the (possibly adversarial) oracle.
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let (strategy, gprime) = match self.strategy {
+                Strategy::Auto => classify::classify_with_cache(self, instance)?,
+                s => (s, None),
+            };
+            let (generators, order, detail) = self.run(strategy, instance, gprime, &mut rng)?;
+            let verdict = self.verify_result(instance, &generators)?;
+            Ok((strategy, generators, order, detail, verdict))
+        }));
+        let (strategy, generators, order, detail, verdict) = match outcome {
+            Ok(Ok(v)) => v,
+            Ok(Err(e)) => return Err(e),
+            Err(payload) => {
+                return Err(HspError::Internal {
+                    context: panic_message(payload.as_ref()),
+                })
+            }
+        };
+        let oracle_spent = instance.oracle().queries().saturating_sub(q0);
+        if let Some(budget) = self.query_budget {
+            if oracle_spent > budget {
+                return Err(HspError::QueryBudgetExceeded {
+                    spent: oracle_spent,
+                    budget,
+                });
+            }
+        }
+        Ok(HspReport {
+            strategy,
+            generators,
+            order,
+            detail,
+            verdict,
+            queries: QueryStats {
+                oracle: oracle_spent,
+                gates: nahsp_qsim::gates_applied().saturating_sub(g0),
+            },
+            wall: t0.elapsed(),
+            instance_label: instance.label().map(str::to_owned),
+        })
+    }
+
+    /// Dispatch a resolved strategy.
+    /// Dispatch a resolved strategy. `gprime` is the commutator subgroup
+    /// when the Auto classifier already enumerated it (black-box fallback),
+    /// so the small-commutator path does not pay the closure twice.
+    fn run<G, F>(
+        &self,
+        strategy: Strategy,
+        instance: &HspInstance<G, F>,
+        gprime: Option<Vec<G::Elem>>,
+        rng: &mut StdRng,
+    ) -> Result<(Vec<G::Elem>, Option<u64>, StrategyDetail), HspError>
+    where
+        G: Group + 'static,
+        G::Elem: 'static,
+        F: HidingFunction<G>,
+    {
+        match strategy {
+            Strategy::Auto => unreachable!("Auto is resolved before dispatch"),
+            Strategy::Abelian => self.run_abelian(instance, rng),
+            Strategy::NormalSubgroup => self.run_normal(instance, rng),
+            Strategy::SmallCommutator => self.run_small_commutator(instance, gprime, rng),
+            Strategy::Ea2Cyclic => self.run_ea2(instance, true, rng),
+            Strategy::Ea2General => self.run_ea2(instance, false, rng),
+            Strategy::EttingerHoyerDihedral => self.run_ettinger_hoyer(instance, rng),
+            Strategy::ExhaustiveScan => self.run_scan(instance),
+            Strategy::BirthdayCollision => self.run_birthday(instance, rng),
+        }
+    }
+
+    /// Abelian engine configuration for the presentation machinery (no
+    /// ground truth there, so `Ideal` downgrades to the coset simulator).
+    fn presentation_engine(&self) -> AbelianHsp {
+        let backend = match self.backend {
+            Backend::Ideal => Backend::SimulatorCoset,
+            b => b,
+        };
+        AbelianHsp {
+            backend,
+            max_rounds: self.max_rounds,
+        }
+    }
+
+    /// Abelian engine for the Theorem 13 per-coset instances (these *can*
+    /// consume instance ground truth, so `Ideal` passes through).
+    fn ea2_engine(&self) -> AbelianHsp {
+        AbelianHsp {
+            backend: self.backend,
+            max_rounds: self.max_rounds,
+        }
+    }
+
+    fn run_abelian<G, F>(
+        &self,
+        instance: &HspInstance<G, F>,
+        rng: &mut StdRng,
+    ) -> Result<(Vec<G::Elem>, Option<u64>, StrategyDetail), HspError>
+    where
+        G: Group + 'static,
+        G::Elem: 'static,
+        F: HidingFunction<G>,
+    {
+        let group = instance.group();
+        let seeds = try_normal_subgroup_seeds(
+            group,
+            instance.oracle(),
+            QuotientEngine::Abelian,
+            &self.presentation_engine(),
+            rng,
+        )?;
+        // In an Abelian group conjugation is trivial, so the seeds plainly
+        // generate H — no normal closure needed.
+        let generators = dedupe_generators(group, seeds.seeds);
+        let order = subgroup_order(group, &generators, self.enumeration_limit);
+        Ok((
+            generators,
+            order,
+            StrategyDetail::Normal {
+                quotient_order: seeds.quotient_order,
+            },
+        ))
+    }
+
+    fn run_normal<G, F>(
+        &self,
+        instance: &HspInstance<G, F>,
+        rng: &mut StdRng,
+    ) -> Result<(Vec<G::Elem>, Option<u64>, StrategyDetail), HspError>
+    where
+        G: Group + 'static,
+        G::Elem: 'static,
+        F: HidingFunction<G>,
+    {
+        let group = instance.group();
+        let engine = self.presentation_engine();
+        let qe = QuotientEngine::Auto {
+            limit: self.enumeration_limit,
+        };
+        if TypeId::of::<G::Elem>() == TypeId::of::<Perm>() {
+            // Permutation fast path: Schreier–Sims normal closure — N is
+            // never enumerated, so this scales to huge degrees.
+            let seeds = try_normal_subgroup_seeds(group, instance.oracle(), qe, &engine, rng)?;
+            let degree = cast_ref::<G::Elem, Perm>(&group.identity())
+                .expect("checked Elem == Perm")
+                .degree();
+            let member = |gens: &[G::Elem], x: &G::Elem| {
+                let px = cast_ref::<G::Elem, Perm>(x).expect("perm element");
+                if gens.is_empty() {
+                    return px.is_identity();
+                }
+                let pgens: Vec<Perm> = gens
+                    .iter()
+                    .map(|e| cast_ref::<G::Elem, Perm>(e).expect("perm element").clone())
+                    .collect();
+                StabilizerChain::new(degree, &pgens).contains(px)
+            };
+            let generators =
+                normal_closure_generators(group, &seeds.seeds, &group.generators(), member);
+            let order = if generators.is_empty() {
+                1
+            } else {
+                let pgens: Vec<Perm> = generators
+                    .iter()
+                    .map(|e| cast_ref::<G::Elem, Perm>(e).expect("perm element").clone())
+                    .collect();
+                StabilizerChain::new(degree, &pgens).order()
+            };
+            return Ok((
+                generators,
+                Some(order),
+                StrategyDetail::Normal {
+                    quotient_order: seeds.quotient_order,
+                },
+            ));
+        }
+        let (seeds, elems) = try_hidden_normal_subgroup(
+            group,
+            instance.oracle(),
+            qe,
+            self.enumeration_limit,
+            &engine,
+            rng,
+        )?;
+        let order = elems.len() as u64;
+        let generators = minimal_generators(group, &elems, self.enumeration_limit)?;
+        Ok((
+            generators,
+            Some(order),
+            StrategyDetail::Normal {
+                quotient_order: seeds.quotient_order,
+            },
+        ))
+    }
+
+    fn run_small_commutator<G, F>(
+        &self,
+        instance: &HspInstance<G, F>,
+        gprime: Option<Vec<G::Elem>>,
+        rng: &mut StdRng,
+    ) -> Result<(Vec<G::Elem>, Option<u64>, StrategyDetail), HspError>
+    where
+        G: Group + 'static,
+        G::Elem: 'static,
+        F: HidingFunction<G>,
+    {
+        let group = instance.group();
+        let gprime = match gprime {
+            Some(g) => g,
+            None => commutator_subgroup(group, self.enumeration_limit).ok_or(
+                HspError::EnumerationLimit {
+                    what: "commutator subgroup G'".into(),
+                    limit: self.enumeration_limit,
+                },
+            )?,
+        };
+        let result = try_hsp_small_commutator_with(
+            group,
+            instance.oracle(),
+            gprime,
+            &self.presentation_engine(),
+            rng,
+        )?;
+        let generators = dedupe_generators(group, result.h_generators);
+        let order = subgroup_order(group, &generators, self.enumeration_limit);
+        Ok((
+            generators,
+            order,
+            StrategyDetail::SmallCommutator {
+                commutator_order: result.commutator_order,
+                abelian_quotient_order: result.abelian_quotient_order,
+            },
+        ))
+    }
+
+    fn run_ea2<G, F>(
+        &self,
+        instance: &HspInstance<G, F>,
+        cyclic: bool,
+        rng: &mut StdRng,
+    ) -> Result<(Vec<G::Elem>, Option<u64>, StrategyDetail), HspError>
+    where
+        G: Group + 'static,
+        G::Elem: 'static,
+        F: HidingFunction<G>,
+    {
+        let group = instance.group();
+        let coords = self.ea2_coords(instance)?;
+        let truth = if self.backend == Backend::Ideal {
+            Some(self.ea2_truth(instance, &coords)?)
+        } else {
+            None
+        };
+        let engine = self.ea2_engine();
+        let result = if cyclic {
+            try_hsp_ea2_cyclic(
+                group,
+                instance.oracle(),
+                &coords,
+                &engine,
+                truth.as_ref(),
+                rng,
+            )?
+        } else {
+            try_hsp_ea2_general(
+                group,
+                instance.oracle(),
+                &coords,
+                &engine,
+                truth.as_ref(),
+                self.enumeration_limit,
+                rng,
+            )?
+        };
+        let generators = dedupe_generators(group, result.h_generators);
+        let order = subgroup_order(group, &generators, self.enumeration_limit);
+        Ok((
+            generators,
+            order,
+            StrategyDetail::Ea2 {
+                v_size: result.v_size,
+                hsp_instances: result.hsp_instances,
+            },
+        ))
+    }
+
+    /// Coordinates on `N ≅ Z₂^k`: structural (O(1)) for `Semidirect`,
+    /// enumerated from the instance's declared `N` generators otherwise.
+    fn ea2_coords<G, F>(&self, instance: &HspInstance<G, F>) -> Result<N2Coords<G>, HspError>
+    where
+        G: Group + 'static,
+        G::Elem: 'static,
+        F: HidingFunction<G>,
+    {
+        if let Some(sd) = cast_ref::<G, Semidirect>(instance.group()) {
+            let k = sd.k;
+            return Ok(N2Coords::new(
+                k,
+                |e: &G::Elem| {
+                    let p = cast_ref::<G::Elem, (u64, u64)>(e).expect("semidirect element");
+                    if p.1 == 0 {
+                        Some(p.0)
+                    } else {
+                        None
+                    }
+                },
+                |v: u64| cast_clone::<(u64, u64), G::Elem>(&(v, 0u64)).expect("semidirect element"),
+            ));
+        }
+        if let Some(n_gens) = instance.ea2_normal_gens() {
+            return N2Coords::try_enumerated(instance.group(), n_gens, self.enumeration_limit);
+        }
+        Err(HspError::StrategyUnavailable {
+            strategy: "Ea2",
+            reason: "no elementary Abelian normal 2-subgroup is known for this group \
+                     (use a Semidirect group or promise_ea2_normal_subgroup)"
+                .into(),
+        })
+    }
+
+    /// Assemble the ideal backend's [`Ea2GroundTruth`] from the instance's
+    /// hidden-subgroup generators.
+    fn ea2_truth<G, F>(
+        &self,
+        instance: &HspInstance<G, F>,
+        coords: &N2Coords<G>,
+    ) -> Result<Ea2GroundTruth<G>, HspError>
+    where
+        G: Group + 'static,
+        G::Elem: 'static,
+        F: HidingFunction<G>,
+    {
+        let group = instance.group();
+        let truth_gens = instance
+            .ground_truth()
+            .ok_or(HspError::MissingGroundTruth {
+                context: "ideal sampling backend for Theorem 13".into(),
+            })?;
+        let h_elems = if truth_gens.is_empty() {
+            vec![group.canonical(&group.identity())]
+        } else {
+            enumerate_subgroup(group, truth_gens, self.enumeration_limit).ok_or(
+                HspError::EnumerationLimit {
+                    what: "ground-truth hidden subgroup".into(),
+                    limit: self.enumeration_limit,
+                },
+            )?
+        };
+        let hn_basis: Vec<u64> = h_elems
+            .iter()
+            .filter_map(|h| coords.to_vec(h))
+            .filter(|&m| m != 0)
+            .collect();
+        // The witness closure needs its own N-membership test (it outlives
+        // the borrowed coords): structural for Semidirect, enumerated set
+        // otherwise.
+        let in_n: Box<dyn Fn(&G::Elem) -> bool + Sync + Send> =
+            if cast_ref::<G, Semidirect>(group).is_some() {
+                Box::new(|e: &G::Elem| {
+                    cast_ref::<G::Elem, (u64, u64)>(e)
+                        .expect("semidirect element")
+                        .1
+                        == 0
+                })
+            } else {
+                let n_gens = instance.ea2_normal_gens().unwrap_or_default().to_vec();
+                let n_set: HashSet<G::Elem> =
+                    enumerate_subgroup(group, &n_gens, self.enumeration_limit)
+                        .ok_or(HspError::EnumerationLimit {
+                            what: "elementary Abelian normal 2-subgroup N".into(),
+                            limit: self.enumeration_limit,
+                        })?
+                        .into_iter()
+                        .collect();
+                let g2 = group.clone();
+                Box::new(move |e: &G::Elem| n_set.contains(&g2.canonical(e)))
+            };
+        let g2 = group.clone();
+        Ok(Ea2GroundTruth {
+            hn_basis,
+            witness: Box::new(move |z: &G::Elem| {
+                let zinv = g2.inverse(z);
+                h_elems
+                    .iter()
+                    .find(|h| in_n(&g2.multiply(&zinv, h)))
+                    .cloned()
+            }),
+        })
+    }
+
+    fn run_ettinger_hoyer<G, F>(
+        &self,
+        instance: &HspInstance<G, F>,
+        rng: &mut StdRng,
+    ) -> Result<(Vec<G::Elem>, Option<u64>, StrategyDetail), HspError>
+    where
+        G: Group + 'static,
+        G::Elem: 'static,
+        F: HidingFunction<G>,
+    {
+        let group = instance.group();
+        let Some(dihedral) = cast_ref::<G, Dihedral>(group) else {
+            return Err(HspError::StrategyUnavailable {
+                strategy: "EttingerHoyerDihedral",
+                reason: "the Ettinger–Høyer baseline runs on Dihedral groups only".into(),
+            });
+        };
+        // The simulated coset-state preparation needs the planted slope.
+        let truth = instance
+            .ground_truth()
+            .ok_or(HspError::MissingGroundTruth {
+                context: "Ettinger–Høyer coset-state preparation".into(),
+            })?;
+        let d_truth = dihedral_reflection_slope(dihedral, truth).ok_or_else(|| {
+            HspError::StrategyUnavailable {
+                strategy: "EttingerHoyerDihedral",
+                reason: "ground truth is not a reflection subgroup {1, ρ^d σ}".into(),
+            }
+        })?;
+        if dihedral.n < 2 {
+            return Err(HspError::StrategyUnavailable {
+                strategy: "EttingerHoyerDihedral",
+                reason: "needs n >= 2".into(),
+            });
+        }
+        let f = instance.oracle();
+        let id_label = f.identity_label(group);
+        let samples = 12 * (64 - dihedral.n.leading_zeros()) as usize;
+        let result = ettinger_hoyer_dihedral(
+            dihedral,
+            d_truth,
+            samples,
+            |cand| {
+                let e = cast_clone::<(u64, bool), G::Elem>(&(cand, true))
+                    .expect("dihedral element type");
+                f.eval(&e) == id_label
+            },
+            rng,
+        );
+        if result.d != d_truth {
+            return Err(HspError::SamplingCapExhausted {
+                context: "Ettinger–Høyer maximum-likelihood slope recovery".into(),
+                max_rounds: samples,
+            });
+        }
+        let gen =
+            cast_clone::<(u64, bool), G::Elem>(&(result.d, true)).expect("dihedral element type");
+        Ok((
+            vec![gen],
+            Some(2),
+            StrategyDetail::EttingerHoyer {
+                slope: result.d,
+                candidates_scanned: result.candidates_scanned,
+            },
+        ))
+    }
+
+    fn run_scan<G, F>(
+        &self,
+        instance: &HspInstance<G, F>,
+    ) -> Result<(Vec<G::Elem>, Option<u64>, StrategyDetail), HspError>
+    where
+        G: Group + 'static,
+        G::Elem: 'static,
+        F: HidingFunction<G>,
+    {
+        let group = instance.group();
+        let (h_elems, _queries) =
+            try_exhaustive_scan(group, instance.oracle(), self.enumeration_limit)?;
+        let order = h_elems.len() as u64;
+        let generators = minimal_generators(group, &h_elems, self.enumeration_limit)?;
+        Ok((generators, Some(order), StrategyDetail::General))
+    }
+
+    fn run_birthday<G, F>(
+        &self,
+        instance: &HspInstance<G, F>,
+        rng: &mut StdRng,
+    ) -> Result<(Vec<G::Elem>, Option<u64>, StrategyDetail), HspError>
+    where
+        G: Group + 'static,
+        G::Elem: 'static,
+        F: HidingFunction<G>,
+    {
+        let group = instance.group();
+        let elements = enumerate_subgroup(group, &group.generators(), self.enumeration_limit)
+            .ok_or(HspError::EnumerationLimit {
+                what: "whole group (birthday sampling domain)".into(),
+                limit: self.enumeration_limit,
+            })?;
+        let max_queries = self.query_budget.unwrap_or(1 << 20);
+        let result = birthday_collision(group, instance.oracle(), &elements, max_queries, rng);
+        let generators = dedupe_generators(group, result.generators);
+        let order = subgroup_order(group, &generators, self.enumeration_limit);
+        Ok((
+            generators,
+            order,
+            StrategyDetail::Birthday {
+                converged: result.converged,
+            },
+        ))
+    }
+
+    /// Post-solve certification. Exact when ground truth is enumerable;
+    /// otherwise every returned generator is re-queried against `f(1)`.
+    fn verify_result<G, F>(
+        &self,
+        instance: &HspInstance<G, F>,
+        generators: &[G::Elem],
+    ) -> Result<Verdict, HspError>
+    where
+        G: Group + 'static,
+        G::Elem: 'static,
+        F: HidingFunction<G>,
+    {
+        if !self.verify {
+            return Ok(Verdict::Unverified);
+        }
+        let group = instance.group();
+        if let Some(truth_gens) = instance.ground_truth() {
+            let recovered = closure_set(group, generators, self.enumeration_limit);
+            let expected = closure_set(group, truth_gens, self.enumeration_limit);
+            if let (Some(recovered), Some(expected)) = (recovered, expected) {
+                if recovered == expected {
+                    return Ok(Verdict::VerifiedExact);
+                }
+                return Err(HspError::VerificationFailed {
+                    context: format!(
+                        "recovered subgroup has order {} but ground truth has order {}",
+                        recovered.len(),
+                        expected.len()
+                    ),
+                });
+            }
+            // Truth too large to enumerate: fall through to consistency.
+        }
+        let id_label = instance.oracle().identity_label(group);
+        for g in generators {
+            if instance.oracle().eval(g) != id_label {
+                return Err(HspError::VerificationFailed {
+                    context: "a recovered generator does not collide with f(1)".into(),
+                });
+            }
+        }
+        Ok(Verdict::GeneratorsConsistent)
+    }
+}
+
+/// Canonical element set of `⟨gens⟩`, or `None` past the limit.
+fn closure_set<G: Group>(group: &G, gens: &[G::Elem], limit: usize) -> Option<HashSet<G::Elem>> {
+    if gens.is_empty() {
+        return Some(HashSet::from([group.canonical(&group.identity())]));
+    }
+    enumerate_subgroup(group, gens, limit).map(|v| v.into_iter().collect())
+}
+
+/// `|⟨gens⟩|` within the budget.
+fn subgroup_order<G: Group>(group: &G, gens: &[G::Elem], limit: usize) -> Option<u64> {
+    closure_set(group, gens, limit).map(|s| s.len() as u64)
+}
+
+/// Drop identities and duplicate encodings from a generator list.
+fn dedupe_generators<G: Group>(group: &G, gens: Vec<G::Elem>) -> Vec<G::Elem> {
+    let mut seen: HashSet<G::Elem> = HashSet::new();
+    gens.into_iter()
+        .filter(|g| !group.is_identity(g) && seen.insert(group.canonical(g)))
+        .collect()
+}
+
+/// Greedy small generating set for an enumerated subgroup.
+fn minimal_generators<G: Group>(
+    group: &G,
+    elems: &[G::Elem],
+    limit: usize,
+) -> Result<Vec<G::Elem>, HspError> {
+    let mut gens: Vec<G::Elem> = Vec::new();
+    let mut span: HashSet<G::Elem> = HashSet::from([group.canonical(&group.identity())]);
+    for e in elems {
+        if span.contains(&group.canonical(e)) {
+            continue;
+        }
+        gens.push(e.clone());
+        span = enumerate_subgroup(group, &gens, limit)
+            .ok_or(HspError::EnumerationLimit {
+                what: "generating-set reduction".into(),
+                limit,
+            })?
+            .into_iter()
+            .collect();
+    }
+    Ok(gens)
+}
+
+/// Extract a printable message from a contained panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::CosetTableOracle;
+    use nahsp_groups::extraspecial::Extraspecial;
+    use nahsp_groups::CyclicGroup;
+
+    #[test]
+    fn builder_round_trip() {
+        let solver = HspSolver::builder()
+            .strategy(Strategy::SmallCommutator)
+            .enumeration_limit(500)
+            .query_budget(10_000)
+            .backend(Backend::Ideal)
+            .max_rounds(64)
+            .seed(7)
+            .parallelism(2)
+            .verify(false)
+            .build();
+        assert_eq!(solver.strategy, Strategy::SmallCommutator);
+        assert_eq!(solver.enumeration_limit(), 500);
+        assert_eq!(solver.query_budget, Some(10_000));
+        assert_eq!(solver.backend, Backend::Ideal);
+        assert_eq!(solver.max_rounds, 64);
+        assert_eq!(solver.seed, 7);
+        assert_eq!(solver.parallelism, 2);
+        assert!(!solver.verify);
+    }
+
+    #[test]
+    fn per_instance_seeds_are_distinct_and_deterministic() {
+        let solver = HspSolver::builder().seed(42).build();
+        let a = solver.instance_seed(0);
+        let b = solver.instance_seed(1);
+        assert_ne!(a, b);
+        assert_eq!(a, HspSolver::builder().seed(42).build().instance_seed(0));
+    }
+
+    #[test]
+    fn minimal_generators_shrink_element_lists() {
+        let g = CyclicGroup::new(12);
+        let elems: Vec<u64> = vec![0, 4, 8];
+        let gens = minimal_generators(&g, &elems, 100).unwrap();
+        assert_eq!(gens.len(), 1);
+        assert_eq!(subgroup_order(&g, &gens, 100), Some(3));
+    }
+
+    #[test]
+    fn query_budget_is_enforced() {
+        let g = Extraspecial::heisenberg(3);
+        let instance =
+            HspInstance::with_coset_oracle(g.clone(), &[g.center_generator()], 1000).unwrap();
+        let err = HspSolver::builder()
+            .query_budget(5)
+            .build()
+            .solve(&instance)
+            .expect_err("budget must trip");
+        assert!(matches!(
+            err,
+            HspError::QueryBudgetExceeded { budget: 5, .. }
+        ));
+    }
+
+    #[test]
+    fn verification_catches_a_lying_oracle_truth() {
+        // Instance whose declared ground truth disagrees with the oracle:
+        // the report must be refused, not returned.
+        let g = CyclicGroup::new(12);
+        let oracle = CosetTableOracle::new(g.clone(), &[4u64], 100); // H = <4>
+        let instance = HspInstance::new(g, oracle).with_ground_truth(vec![6u64]); // claims <6>
+        let err = HspSolver::new().solve(&instance).expect_err("mismatch");
+        assert!(matches!(err, HspError::VerificationFailed { .. }));
+    }
+}

@@ -1,0 +1,99 @@
+//! The uniform result type every strategy returns.
+
+use super::Strategy;
+use nahsp_groups::Group;
+use std::time::Duration;
+
+/// Resource accounting for one solve.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Hiding-function evaluations attributed to this solve (delta of the
+    /// oracle's counter — includes the verification step's queries).
+    pub oracle: u64,
+    /// Elementary simulator gates applied during this solve. The gate
+    /// counter is process-global, so under `solve_batch` concurrent
+    /// instances may interleave their counts.
+    pub gates: u64,
+}
+
+/// How strongly the returned generators are certified.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// Instance ground truth was available and `⟨generators⟩` matched it
+    /// element-for-element.
+    VerifiedExact,
+    /// No ground truth (or it was too large to enumerate); every returned
+    /// generator was re-queried and collides with `f(1)`, so
+    /// `⟨generators⟩ ⊆ H` is certified.
+    GeneratorsConsistent,
+    /// Verification was disabled on the solver.
+    Unverified,
+}
+
+/// Per-strategy diagnostics — the quantities the corresponding theorem's
+/// running-time bound is stated in.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StrategyDetail {
+    /// No strategy-specific figures.
+    General,
+    /// Theorem 8 and the Abelian engine: `|G/N|` as certified by the
+    /// presentation step.
+    Normal { quotient_order: u64 },
+    /// Theorem 11 / Corollary 12: `|G′|` and `|G/HG′|`.
+    SmallCommutator {
+        commutator_order: u64,
+        abelian_quotient_order: u64,
+    },
+    /// Theorem 13: size of the coset set `V` and Abelian HSP instances run.
+    Ea2 { v_size: usize, hsp_instances: usize },
+    /// Ettinger–Høyer: the recovered slope and the exponential-size
+    /// candidate scan the paper's Theorem 13 avoids.
+    EttingerHoyer { slope: u64, candidates_scanned: u64 },
+    /// Birthday-collision baseline: whether the sampler converged.
+    Birthday { converged: bool },
+}
+
+/// Outcome of a successful [`super::HspSolver::solve`].
+#[derive(Clone, Debug)]
+pub struct HspReport<G: Group> {
+    /// The strategy actually executed (`Auto` is resolved before running).
+    pub strategy: Strategy,
+    /// Generators spanning the recovered hidden subgroup (empty for the
+    /// trivial subgroup).
+    pub generators: Vec<G::Elem>,
+    /// `|H|` when the recovered subgroup was enumerable within the solver's
+    /// budget.
+    pub order: Option<u64>,
+    /// Strategy-specific diagnostics.
+    pub detail: StrategyDetail,
+    /// Verification verdict for `generators`.
+    pub verdict: Verdict,
+    /// Query and gate accounting.
+    pub queries: QueryStats,
+    /// Wall-clock time of the solve (dispatch + algorithm + verification).
+    pub wall: Duration,
+    /// The instance's label, if it carried one.
+    pub instance_label: Option<String>,
+}
+
+impl<G: Group> HspReport<G> {
+    /// One human-readable line for examples and logs.
+    pub fn summary(&self) -> String {
+        format!(
+            "{}strategy={:?} |H|={} gens={} queries={} gates={} wall={:?} verdict={:?}",
+            self.instance_label
+                .as_deref()
+                .map(|l| format!("[{l}] "))
+                .unwrap_or_default(),
+            self.strategy,
+            self.order
+                .map(|o| o.to_string())
+                .unwrap_or_else(|| "?".into()),
+            self.generators.len(),
+            self.queries.oracle,
+            self.queries.gates,
+            self.wall,
+            self.verdict,
+        )
+    }
+}

@@ -32,6 +32,12 @@ impl Dihedral {
     pub fn reflection(&self) -> (u64, bool) {
         (0, true)
     }
+
+    /// The reflection `ρ^d σ` with slope `d` — the generator of the order-2
+    /// subgroup the dihedral HSP hides.
+    pub fn reflection_at(&self, d: u64) -> (u64, bool) {
+        (d % self.n, true)
+    }
 }
 
 impl Group for Dihedral {

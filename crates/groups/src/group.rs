@@ -104,6 +104,16 @@ pub trait Group: Clone + Send + Sync {
     fn commute(&self, a: &Self::Elem, b: &Self::Elem) -> bool {
         self.is_identity(&self.commutator(a, b))
     }
+
+    /// Whether the declared generators pairwise commute — i.e. whether the
+    /// group is Abelian. Costs `O(|gens|²)` group operations and no oracle
+    /// queries; strategy classification uses this as its first probe.
+    fn generators_commute(&self) -> bool {
+        let gens = self.generators();
+        gens.iter()
+            .enumerate()
+            .all(|(i, a)| gens.iter().skip(i + 1).all(|b| self.commute(a, b)))
+    }
 }
 
 /// The cyclic group `Z_n` under addition.

@@ -9,6 +9,27 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+/// Process-wide tally of elementary gate applications (site unitaries,
+/// diagonal phases, swaps, shifts) executed by the simulator kernels.
+///
+/// This is the "gate" column of solver-level accounting: callers snapshot
+/// [`gates_applied`] before and after a run and report the delta. The
+/// counter is global and relaxed, so concurrent runs interleave their
+/// counts — per-run attribution is exact only for single-threaded solves.
+static GATES_APPLIED: AtomicU64 = AtomicU64::new(0);
+
+/// Record `n` elementary gate applications (called by the kernels in
+/// [`crate::gates`]).
+#[inline]
+pub fn record_gates(n: u64) {
+    GATES_APPLIED.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Total elementary gates applied by this process so far.
+pub fn gates_applied() -> u64 {
+    GATES_APPLIED.load(Ordering::Relaxed)
+}
+
 /// A family of named counters for one algorithm run.
 #[derive(Clone, Debug, Default)]
 pub struct QueryCounter {

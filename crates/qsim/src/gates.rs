@@ -16,6 +16,7 @@ const PAR_THRESHOLD: usize = 1 << 12;
 
 /// Apply a dense `d × d` unitary `u` (row-major) to one site.
 pub fn apply_site_unitary(state: &mut State, site: usize, u: &[Complex]) {
+    crate::counter::record_gates(1);
     let d = state.layout().site_dim(site);
     assert_eq!(u.len(), d * d, "unitary size mismatch");
     let stride = state.layout().stride(site);
@@ -51,6 +52,7 @@ pub fn apply_site_unitary(state: &mut State, site: usize, u: &[Complex]) {
 /// Multiply each basis amplitude by `phase(idx)` — an arbitrary diagonal
 /// unitary. `phase` must return unit-modulus values to preserve norm.
 pub fn apply_diagonal<F: Fn(usize) -> Complex + Sync>(state: &mut State, phase: F) {
+    crate::counter::record_gates(1);
     let amps = state.amplitudes_mut();
     if amps.len() >= PAR_THRESHOLD {
         amps.par_iter_mut()
@@ -98,6 +100,7 @@ pub fn swap_sites(state: &mut State, site_a: usize, site_b: usize) {
     if site_a == site_b {
         return;
     }
+    crate::counter::record_gates(1);
     let layout = state.layout().clone();
     assert_eq!(
         layout.site_dim(site_a),
@@ -142,6 +145,7 @@ pub fn shift_site(state: &mut State, site: usize, shift: usize) {
     if shift == 0 {
         return;
     }
+    crate::counter::record_gates(1);
     let dim = state.dim();
     let amps = state.amplitudes();
     let mut out = vec![Complex::ZERO; dim];

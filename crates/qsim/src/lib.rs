@@ -35,6 +35,6 @@ pub mod qft;
 pub mod state;
 
 pub use complex::Complex;
-pub use counter::QueryCounter;
+pub use counter::{gates_applied, QueryCounter};
 pub use layout::Layout;
 pub use state::State;

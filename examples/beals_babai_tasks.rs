@@ -54,7 +54,7 @@ fn main() {
         Perm::from_cycles(4, &[&[0, 1], &[2, 3]]),
         Perm::from_cycles(4, &[&[0, 2], &[1, 3]]),
     ];
-    let oracle = CosetTableOracle::new(s4.clone(), &v4, 100);
+    let oracle = CosetTableOracle::try_new(s4.clone(), &v4, 100).expect("oracle");
     let pres = present_by_enumeration(&s4, &oracle, 100);
     println!(
         "    |S4/V4| = {}, presentation: {} generators, {} relators (valid: {})",
@@ -63,6 +63,24 @@ fn main() {
         pres.presentation.relators.len(),
         pres.is_valid_for(&s4, &oracle),
     );
+
+    // ------------------------------------------------------------------
+    // (iii) the task the presentation machinery exists for: recovering the
+    // hidden normal subgroup itself, through the HspSolver façade.
+    // ------------------------------------------------------------------
+    println!("(iii) hidden normal subgroup recovery (Theorem 8 via HspSolver)");
+    let instance = HspInstance::with_coset_oracle(s4.clone(), &v4, 100)
+        .expect("oracle")
+        .promise_normal()
+        .with_label("V4 ⊴ S4");
+    let report = HspSolver::builder()
+        .seed(5)
+        .build()
+        .solve(&instance)
+        .expect("solve");
+    assert_eq!(report.strategy, Strategy::NormalSubgroup);
+    assert_eq!(report.order, Some(4));
+    println!("    {}", report.summary());
 
     // ------------------------------------------------------------------
     // (iv) composition series — polycyclic refinement for solvable groups.

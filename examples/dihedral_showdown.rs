@@ -3,8 +3,10 @@
 //! Ettinger–Høyer [9] solve the dihedral HSP with `O(log |G|)` quantum
 //! queries but *exponential-time* classical post-processing. The paper's
 //! Theorem 13 technique ("inspired by the idea of Ettinger and Høyer")
-//! achieves polynomial total time on its group class. This example runs the
-//! Ettinger–Høyer algorithm and reports both columns — queries stay tiny,
+//! achieves polynomial total time on its group class. This example hands a
+//! sweep of reflection instances to `HspSolver` — `Strategy::Auto`
+//! recognizes each as a dihedral reflection instance and routes it to the
+//! Ettinger–Høyer baseline — and reports both columns: queries stay tiny,
 //! the candidate scan grows linearly with `n` (i.e. exponentially in the
 //! input size `log n`).
 //!
@@ -13,35 +15,38 @@
 use nahsp::prelude::*;
 use rand::Rng as _;
 use rand::SeedableRng;
-use std::time::Instant;
 
 fn main() {
     let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+    let solver = HspSolver::builder().seed(9).build();
     println!(
         "{:>8} {:>10} {:>14} {:>12}",
-        "n", "queries", "candidates", "post (µs)"
+        "n", "queries", "candidates", "wall (µs)"
     );
     for bits in [6u32, 8, 10, 12, 14] {
         let n = 1u64 << bits;
         let g = Dihedral::new(n);
         let d = rng.gen_range(0..n);
-        // the hiding oracle, used only for the O(1) tie-break queries
-        let oracle = CosetTableOracle::new(g.clone(), &[(d, true)], 4 * n as usize);
-        let id_label = oracle.eval(&g.identity());
-        let samples = (10 * bits) as usize;
-        let t0 = Instant::now();
-        let res = ettinger_hoyer_dihedral(
-            &g,
-            d,
-            samples,
-            |cand| oracle.eval(&(cand, true)) == id_label,
-            &mut rng,
-        );
-        let post = t0.elapsed().as_micros();
-        assert_eq!(res.d, d, "slope not recovered at n={n}");
+        // H = {1, ρ^d σ}: a hidden reflection subgroup with planted slope d.
+        let instance = HspInstance::with_coset_oracle(g, &[(d, true)], 4 * n as usize)
+            .expect("oracle")
+            .with_label(format!("D{n}"));
+        let report = solver.solve(&instance).expect("solve");
+        assert_eq!(report.strategy, Strategy::EttingerHoyerDihedral);
+        let StrategyDetail::EttingerHoyer {
+            slope,
+            candidates_scanned,
+        } = report.detail
+        else {
+            unreachable!("EH strategy carries EH detail")
+        };
+        assert_eq!(slope, d, "slope not recovered at n={n}");
         println!(
             "{:>8} {:>10} {:>14} {:>12}",
-            n, res.quantum_queries, res.candidates_scanned, post
+            n,
+            report.queries.oracle,
+            candidates_scanned,
+            report.wall.as_micros(),
         );
     }
     println!();

@@ -2,13 +2,16 @@
 //! solvable black-box groups — "we can find hidden normal subgroups of
 //! solvable black-box groups and permutation groups in polynomial time."
 //!
+//! All runs go through `HspSolver` with the normal-subgroup promise; the
+//! solver takes the Schreier–Sims fast path for permutation elements, so
+//! `N` is never enumerated.
+//!
 //! Run with `cargo run --release --example hidden_normal_permutation`.
 
 use nahsp::prelude::*;
-use rand::SeedableRng;
 
 fn main() {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+    let solver = HspSolver::builder().seed(8).build();
 
     // ------------------------------------------------------------------
     // A_n hidden inside S_n: the quotient is Z2, the normal closure runs
@@ -19,26 +22,25 @@ fn main() {
         let sn = PermGroup::symmetric(n);
         let an = PermGroup::alternating(n);
         let oracle = PermCosetOracle::new(n, &an.gens);
-        let (seeds, chain) = hidden_normal_subgroup_perm(
-            &sn,
-            &oracle,
-            QuotientEngine::Auto { limit: 1000 },
-            &mut rng,
-        );
+        let instance = HspInstance::new(sn, oracle)
+            .promise_normal()
+            .with_label(format!("A_{n} in S_{n}"));
+        let report = solver.solve(&instance).expect("solve");
+        assert_eq!(report.strategy, Strategy::NormalSubgroup);
         let fact: u64 = (1..=n as u64).product();
+        assert_eq!(report.order, Some(fact / 2));
         println!(
-            "A_{n} in S_{n}:  |G/N| = {}  |N| = {} (expected {})  queries = {}",
-            seeds.quotient_order,
-            chain.order(),
+            "A_{n} in S_{n}:  |N| = {} (expected {})  queries = {}  [{:?}]",
+            report.order.unwrap(),
             fact / 2,
-            oracle.query_count(),
+            report.queries.oracle,
+            report.verdict,
         );
-        assert_eq!(chain.order(), fact / 2);
     }
 
     // ------------------------------------------------------------------
     // A non-Abelian quotient: V4 ⊴ S4 with S4/V4 ≅ S3, presented through
-    // its Cayley table (the Enumerate engine).
+    // its Cayley table (the Enumerate engine inside Thm 8).
     // ------------------------------------------------------------------
     let s4 = PermGroup::symmetric(4);
     let v4 = vec![
@@ -46,19 +48,18 @@ fn main() {
         Perm::from_cycles(4, &[&[0, 2], &[1, 3]]),
     ];
     let oracle = PermCosetOracle::new(4, &v4);
-    let (seeds, chain) = hidden_normal_subgroup_perm(
-        &s4,
-        &oracle,
-        QuotientEngine::Enumerate { limit: 100 },
-        &mut rng,
-    );
-    println!(
-        "V4 in S4:  |G/N| = {} (≅ S3)  |N| = {}  queries = {}",
-        seeds.quotient_order,
-        chain.order(),
-        oracle.query_count(),
-    );
-    assert_eq!(chain.order(), 4);
+    let instance = HspInstance::new(s4, oracle)
+        .promise_normal()
+        .with_label("V4 in S4");
+    let report = solver.solve(&instance).expect("solve");
+    if let StrategyDetail::Normal { quotient_order } = report.detail {
+        println!(
+            "V4 in S4:  |G/N| = {quotient_order} (≅ S3)  |N| = {}  queries = {}",
+            report.order.unwrap(),
+            report.queries.oracle,
+        );
+    }
+    assert_eq!(report.order, Some(4));
 
     // ------------------------------------------------------------------
     // Solvable black-box groups: Z2^k ⋊ Z7 with the hidden normal subgroup
@@ -77,22 +78,21 @@ fn main() {
         }
         let g = Semidirect::new(k, m, action);
         let n_gens = g.normal_subgroup_gens();
-        let oracle = CosetTableOracle::new(g.clone(), &n_gens, 1 << 12);
-        let (seeds, elems) = hidden_normal_subgroup(
-            &g,
-            &oracle,
-            QuotientEngine::Auto { limit: 4096 },
-            1 << 12,
-            &mut rng,
-        );
-        println!(
-            "Z2^{k} ⋊ Z{m}:  |G/N| = {}  |N| = {} (expected {})  queries = {}",
-            seeds.quotient_order,
-            elems.len(),
-            1u64 << k,
-            oracle.queries(),
-        );
-        assert_eq!(elems.len() as u64, 1u64 << k);
+        let instance = HspInstance::with_coset_oracle(g.clone(), &n_gens, 1 << 12)
+            .expect("oracle")
+            .promise_normal()
+            .with_label(format!("Z2^{k} ⋊ Z{m}"));
+        let report = solver.solve(&instance).expect("solve");
+        assert_eq!(report.strategy, Strategy::NormalSubgroup);
+        assert_eq!(report.order, Some(1u64 << k));
+        if let StrategyDetail::Normal { quotient_order } = report.detail {
+            println!(
+                "Z2^{k} ⋊ Z{m}:  |G/N| = {quotient_order}  |N| = {} (expected {})  queries = {}",
+                report.order.unwrap(),
+                1u64 << k,
+                report.queries.oracle,
+            );
+        }
     }
 
     println!("all hidden normal subgroups recovered exactly");

@@ -1,6 +1,9 @@
 //! The Abelian substrate as the classics: Simon's XOR-mask problem and
 //! Shor-style order finding are both instances of the machinery the paper
 //! builds on (its Section 1 lists them as special cases of the Abelian HSP).
+//! Simon runs through the `HspSolver` façade — `Strategy::Auto` sends the
+//! Abelian group to the Abelian engine; order finding and the Cheung–Mosca
+//! decomposition exercise the substrate directly.
 //!
 //! Run with `cargo run --release --example simon_and_shor`.
 
@@ -14,18 +17,21 @@ fn main() {
     // Simon's problem: f : Z2^n → X hides {0, s}. Recover s.
     // ------------------------------------------------------------------
     println!("— Simon's problem —");
+    let solver = HspSolver::builder().seed(1994).build();
     for n in [4usize, 6, 8] {
         let s: u64 = 0b1011 & ((1 << n) - 1) | (1 << (n - 1)); // some mask
         let a = AbelianProduct::new(vec![2; n]);
         let s_vec: Vec<u64> = (0..n).map(|i| (s >> i) & 1).collect();
-        let oracle = SubgroupOracle::new(a, std::slice::from_ref(&s_vec));
-        let result = AbelianHsp::new(Backend::SimulatorCoset).solve(&oracle, &mut rng);
-        let gens = result.subgroup.cyclic_generators();
-        assert_eq!(gens.len(), 1);
-        assert_eq!(gens[0].0, s_vec);
+        let instance = HspInstance::with_coset_oracle(a, std::slice::from_ref(&s_vec), 4)
+            .expect("oracle")
+            .with_label(format!("Simon n={n}"));
+        let report = solver.solve(&instance).expect("solve");
+        assert_eq!(report.strategy, Strategy::Abelian);
+        assert_eq!(report.generators, vec![s_vec]);
+        assert_eq!(report.verdict, Verdict::VerifiedExact);
         println!(
-            "n = {n}: mask recovered = {:?} with {} Fourier rounds",
-            gens[0].0, result.rounds
+            "n = {n}: mask recovered = {:?} with {} oracle queries",
+            report.generators[0], report.queries.oracle
         );
     }
 

@@ -1,15 +1,14 @@
 //! Theorem 13 on the Section 6 family: groups with an elementary Abelian
 //! normal 2-subgroup, presented both abstractly (`Z₂^k ⋊ Z_m`) and as the
-//! paper's matrix groups of types (a) and (b) over GF(2).
+//! paper's matrix groups of types (a) and (b) over GF(2) — every instance
+//! solved through the `HspSolver` façade.
 //!
 //! Run with `cargo run --release --example wreath_and_matrix_groups`.
 
 use nahsp::prelude::*;
-use rand::SeedableRng;
 
 fn main() {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(13);
-    let hsp = AbelianHsp::new(Backend::SimulatorCoset);
+    let solver = HspSolver::builder().seed(13).build();
 
     // ------------------------------------------------------------------
     // The paper's matrix picture (Section 6): (k+1) × (k+1) matrices over
@@ -29,9 +28,9 @@ fn main() {
     println!("  [0000 | 1]   (+ type-(b) translations e_i)");
 
     let g = Semidirect::new(k, 15, m_action);
-    let coords = semidirect_coords(&g);
 
-    // Hidden subgroups of three shapes:
+    // Hidden subgroups of three shapes — Strategy::Auto recognizes the
+    // semidirect structure and dispatches the Theorem 13 cyclic case.
     let cases: Vec<(&str, Vec<(u64, u64)>)> = vec![
         (
             "H inside N (a 2-dimensional subspace)",
@@ -41,23 +40,24 @@ fn main() {
         ("H trivial", vec![]),
     ];
     for (desc, h_gens) in cases {
-        let oracle = CosetTableOracle::new(g.clone(), &h_gens, 1 << 14);
-        let result = hsp_ea2_cyclic(&g, &oracle, &coords, &hsp, None, &mut rng);
-        let recovered = if result.h_generators.is_empty() {
-            1
-        } else {
-            enumerate_subgroup(&g, &result.h_generators, 1 << 14)
-                .unwrap()
-                .len()
+        let instance = HspInstance::with_coset_oracle(g.clone(), &h_gens, 1 << 14)
+            .expect("oracle")
+            .with_label(desc);
+        let report = solver.solve(&instance).expect("solve");
+        assert_eq!(report.strategy, Strategy::Ea2Cyclic);
+        assert_eq!(report.verdict, Verdict::VerifiedExact);
+        let StrategyDetail::Ea2 {
+            v_size,
+            hsp_instances,
+        } = report.detail
+        else {
+            unreachable!("EA2 strategy carries EA2 detail")
         };
-        let truth = enumerate_subgroup(&g, &h_gens, 1 << 14).unwrap().len();
         println!(
-            "{desc}: |H| = {recovered} (truth {truth}), |V| = {}, {} HSP instances, {} queries",
-            result.v_size,
-            result.hsp_instances,
-            oracle.queries(),
+            "{desc}: |H| = {} , |V| = {v_size}, {hsp_instances} HSP instances, {} queries",
+            report.order.expect("enumerable"),
+            report.queries.oracle,
         );
-        assert_eq!(recovered, truth);
     }
 
     // ------------------------------------------------------------------
@@ -68,37 +68,43 @@ fn main() {
     println!("— wreath products Z2^k ≀ Z2 —");
     for half in [2usize, 3, 4, 5] {
         let g = Semidirect::wreath_z2(half);
-        let coords = semidirect_coords(&g);
         // swap-symmetric twisted involution: v = w|w
         let w = (1u64 << half) - 1;
         let v = w | (w << half);
-        let h_gens = vec![(v, 1u64)];
-        let oracle = CosetTableOracle::new(g.clone(), &h_gens, 1 << 16);
-        let result = hsp_ea2_cyclic(&g, &oracle, &coords, &hsp, None, &mut rng);
-        let recovered = enumerate_subgroup(&g, &result.h_generators, 1 << 16)
-            .unwrap()
-            .len();
+        let instance =
+            HspInstance::with_coset_oracle(g.clone(), &[(v, 1u64)], 1 << 16).expect("oracle");
+        let report = solver.solve(&instance).expect("solve");
+        assert_eq!(report.strategy, Strategy::Ea2Cyclic);
+        assert_eq!(report.order, Some(2));
+        let StrategyDetail::Ea2 { v_size, .. } = report.detail else {
+            unreachable!("EA2 strategy carries EA2 detail")
+        };
         println!(
-            "k = {half}: |G| = 2^{}  |H| = {recovered}  V = {}  queries = {}",
+            "k = {half}: |G| = 2^{}  |H| = 2  V = {v_size}  queries = {}",
             2 * half + 1,
-            result.v_size,
-            oracle.queries(),
+            report.queries.oracle,
         );
-        assert_eq!(recovered, 2);
     }
 
     // ------------------------------------------------------------------
     // General (non-cyclic-quotient) case for comparison: same wreath
-    // product solved with the full transversal V (|V| = |G/N|).
+    // product solved with the full transversal V (|V| = |G/N|), selected
+    // as an explicit strategy override.
     // ------------------------------------------------------------------
     let g = Semidirect::wreath_z2(3);
-    let coords = semidirect_coords(&g);
-    let h_gens = vec![(0b101101u64, 1u64)];
-    let oracle = CosetTableOracle::new(g.clone(), &h_gens, 1 << 16);
-    let result = hsp_ea2_general(&g, &oracle, &coords, &hsp, None, 1 << 10, &mut rng);
+    let instance =
+        HspInstance::with_coset_oracle(g, &[(0b101101u64, 1u64)], 1 << 16).expect("oracle");
+    let report = HspSolver::builder()
+        .seed(13)
+        .strategy(Strategy::Ea2General)
+        .build()
+        .solve(&instance)
+        .expect("solve");
+    let StrategyDetail::Ea2 { v_size, .. } = report.detail else {
+        unreachable!("EA2 strategy carries EA2 detail")
+    };
     println!(
-        "general-case transversal on Z2^3 ≀ Z2: |V| = {} (= |G/N|), queries = {}",
-        result.v_size,
-        oracle.queries(),
+        "general-case transversal on Z2^3 ≀ Z2: |V| = {v_size} (= |G/N|), queries = {}",
+        report.queries.oracle,
     );
 }

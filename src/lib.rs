@@ -10,6 +10,61 @@
 //! (Smith/Hermite normal forms), the Abelian HSP engine, and the paper's
 //! algorithms themselves (Theorems 6–13).
 //!
+//! ## The primary API: `HspSolver`
+//!
+//! The paper's results are special cases; the solver façade makes them one
+//! problem class. Describe the instance ([`hsp::solver::HspInstance`]: a
+//! group, a hiding function, optional promises and ground truth), configure
+//! budgets and backends on an [`hsp::solver::HspSolver`], and `solve`
+//! classifies the instance, dispatches the matching theorem, and returns a
+//! uniform [`hsp::solver::HspReport`] — recovered generators, the strategy
+//! used, query/gate/wall-clock accounting, and a verification verdict.
+//! Failures are typed [`hsp::HspError`]s; the solve path never panics.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use nahsp::prelude::*;
+//!
+//! // The Heisenberg group of order 27 — extraspecial, so Corollary 12
+//! // applies: HSP solvable in time poly(input + p).
+//! let g = Extraspecial::heisenberg(3);
+//! let instance =
+//!     HspInstance::with_coset_oracle(g.clone(), &[g.center_generator()], 1000).unwrap();
+//!
+//! let report = HspSolver::new().solve(&instance).unwrap();
+//!
+//! // Auto dispatch picked the small-commutator strategy (Thm 11 / Cor 12)
+//! // and the recovered generators span exactly the hidden subgroup.
+//! assert_eq!(report.strategy, Strategy::SmallCommutator);
+//! assert_eq!(report.order, Some(3));
+//! assert_eq!(report.verdict, Verdict::VerifiedExact);
+//! assert!(report.queries.oracle > 0);
+//! ```
+//!
+//! Batches fan out across threads with deterministic per-instance RNG
+//! streams:
+//!
+//! ```
+//! use nahsp::prelude::*;
+//!
+//! let g = Semidirect::wreath_z2(2); // Z2^2 ≀ Z2 (Rötteler–Beth family)
+//! let instances: Vec<_> = [(0b0101u64, 1u64), (0b1111, 0)]
+//!     .iter()
+//!     .map(|&h| HspInstance::with_coset_oracle(g.clone(), &[h], 1 << 10).unwrap())
+//!     .collect();
+//! let solver = HspSolver::builder().parallelism(2).build();
+//! for report in solver.solve_batch(&instances) {
+//!     let report = report.unwrap();
+//!     assert_eq!(report.strategy, Strategy::Ea2Cyclic); // Theorem 13
+//!     assert_eq!(report.verdict, Verdict::VerifiedExact);
+//! }
+//! ```
+//!
+//! The per-theorem entry points remain available as `try_*` functions (and
+//! deprecated panicking shims) in [`hsp`] for code that wants one specific
+//! pipeline.
+//!
 //! ## Crate map
 //!
 //! | Re-export | Crate | Contents |
@@ -18,7 +73,7 @@
 //! | [`qsim`] | `nahsp-qsim` | state vectors, gates, QFTs, oracles, measurement |
 //! | [`groups`] | `nahsp-groups` | the `Group` trait and every concrete family + machinery |
 //! | [`abelian`] | `nahsp-abelian` | SNF/HNF, subgroup lattices, dual groups, Abelian HSP, order finding |
-//! | [`hsp`] | `nahsp-core` | Theorems 6, 7, 8, 10, 11, 13, Lemma 9, Corollary 12, baselines |
+//! | [`hsp`] | `nahsp-core` | the `HspSolver` façade, Theorems 6–13, baselines |
 //!
 //! ## Building and testing
 //!
@@ -28,26 +83,6 @@
 //! `cargo build --release && cargo test -q` works with no registry access.
 //! Shared test scaffolding (seeded RNGs, ground-truth subgroup checks,
 //! oracle builders) lives in `crates/testkit` (`nahsp-testkit`).
-//!
-//! ## Quickstart
-//!
-//! ```
-//! use nahsp::prelude::*;
-//! use rand::SeedableRng;
-//!
-//! // The Heisenberg group of order 27 — extraspecial, so Corollary 12
-//! // applies: HSP solvable in time poly(input + p).
-//! let g = Extraspecial::heisenberg(3);
-//! let hidden = vec![g.center_generator()];
-//! let oracle = CosetTableOracle::new(g.clone(), &hidden, 1000);
-//!
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
-//! let found = hsp_small_commutator(&g, &oracle, 1000, &mut rng);
-//!
-//! // The recovered generators span exactly the hidden subgroup.
-//! let recovered = enumerate_subgroup(&g, &found.h_generators, 1000).unwrap();
-//! assert_eq!(recovered.len(), 3);
-//! ```
 
 pub use nahsp_abelian as abelian;
 pub use nahsp_core as hsp;
@@ -56,24 +91,39 @@ pub use nahsp_numtheory as numtheory;
 pub use nahsp_qsim as qsim;
 
 /// Everything a typical caller needs, in one import.
+///
+/// The solver façade ([`HspSolver`](hsp::solver::HspSolver),
+/// [`HspInstance`](hsp::solver::HspInstance),
+/// [`Strategy`](hsp::solver::Strategy),
+/// [`HspReport`](hsp::solver::HspReport), [`HspError`](hsp::HspError)) is
+/// the primary surface; the per-theorem `try_*` entry points and the
+/// substrate types ride along for callers that need one specific pipeline.
 pub mod prelude {
-    pub use nahsp_abelian::hsp::{AbelianHsp, Backend, HidingOracle, SubgroupOracle};
+    pub use nahsp_abelian::hsp::{AbelianHsp, Backend, HidingOracle, SolveError, SubgroupOracle};
     pub use nahsp_abelian::{OrderFinder, SubgroupLattice};
-    pub use nahsp_core::baseline::{birthday_collision, ettinger_hoyer_dihedral, exhaustive_scan};
-    pub use nahsp_core::ea2::{
-        hsp_ea2_cyclic, hsp_ea2_general, semidirect_coords, Ea2GroundTruth, N2Coords,
+    pub use nahsp_core::baseline::{
+        birthday_collision, ettinger_hoyer_dihedral, try_exhaustive_scan,
     };
+    pub use nahsp_core::ea2::{
+        semidirect_coords, try_hsp_ea2_cyclic, try_hsp_ea2_general, Ea2GroundTruth, N2Coords,
+    };
+    pub use nahsp_core::error::HspError;
     pub use nahsp_core::lemma9::{solve_state_hsp, Lemma9Backend};
     pub use nahsp_core::membership::{abelian_membership, abelian_membership_slp, discrete_log};
     pub use nahsp_core::normal_hsp::{
-        hidden_normal_subgroup, hidden_normal_subgroup_perm, normal_subgroup_seeds, QuotientEngine,
+        try_hidden_normal_subgroup, try_hidden_normal_subgroup_perm, try_normal_subgroup_seeds,
+        QuotientEngine,
     };
     pub use nahsp_core::oracle::{CosetTableOracle, FnOracle, HidingFunction, PermCosetOracle};
     pub use nahsp_core::presentation::{
         present_abelian, present_by_enumeration, QuotientPresentation,
     };
     pub use nahsp_core::quotient::HiddenQuotient;
-    pub use nahsp_core::small_commutator::hsp_small_commutator;
+    pub use nahsp_core::small_commutator::try_hsp_small_commutator;
+    pub use nahsp_core::solver::{
+        HspInstance, HspReport, HspSolver, HspSolverBuilder, QueryStats, Strategy, StrategyDetail,
+        Verdict,
+    };
     pub use nahsp_core::watrous::{quotient_abelian_membership, quotient_order, CosetStates};
     pub use nahsp_groups::closure::enumerate_subgroup;
     pub use nahsp_groups::dihedral::Dihedral;
@@ -83,4 +133,17 @@ pub mod prelude {
     pub use nahsp_groups::semidirect::Semidirect;
     pub use nahsp_groups::series::{polycyclic_series, solvable_composition_factors};
     pub use nahsp_groups::{AbelianProduct, CyclicGroup, Group, Perm, StabilizerChain};
+
+    // Back-compat: the pre-solver free functions remain importable through
+    // the prelude; each is a thin deprecated shim over its try_* twin.
+    #[allow(deprecated)]
+    pub use nahsp_core::baseline::exhaustive_scan;
+    #[allow(deprecated)]
+    pub use nahsp_core::ea2::{hsp_ea2_cyclic, hsp_ea2_general};
+    #[allow(deprecated)]
+    pub use nahsp_core::normal_hsp::{
+        hidden_normal_subgroup, hidden_normal_subgroup_perm, normal_subgroup_seeds,
+    };
+    #[allow(deprecated)]
+    pub use nahsp_core::small_commutator::hsp_small_commutator;
 }

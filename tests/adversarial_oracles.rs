@@ -1,6 +1,8 @@
 //! Failure-injection tests: inconsistent oracles must be *detected*, not
 //! silently accepted — the Las Vegas design means a wrong answer is never
-//! returned; the failure mode is a loud panic after the sampling cap.
+//! returned. At the engine layer the panicking entry points still panic
+//! after the sampling cap; through the `HspSolver` façade every one of
+//! these failure modes must instead surface as a typed `HspError`.
 
 use nahsp::prelude::*;
 use nahsp_testkit::rng;
@@ -128,4 +130,141 @@ fn factor_group_construction_rejects_non_normal() {
 fn subgroup_enumeration_limit_is_respected() {
     let g = CyclicGroup::new(1 << 20);
     assert!(enumerate_subgroup(&g, &[1u64], 1000).is_none());
+}
+
+// ------------------------------------------------- the solver façade --
+// The same failure modes, driven through `HspSolver`: typed errors, no
+// unwinding.
+
+#[test]
+fn oversized_coset_table_is_a_typed_error() {
+    let g = CyclicGroup::new(1 << 20);
+    let Err(err) = CosetTableOracle::try_new(g, &[1u64], 1000) else {
+        panic!("oversized subgroup must be refused");
+    };
+    assert!(matches!(
+        err,
+        HspError::EnumerationLimit { limit: 1000, .. }
+    ));
+}
+
+#[test]
+fn solver_ideal_backend_demands_ground_truth_without_panicking() {
+    // Theorem 13 with the ideal sampler needs ground truth; an instance
+    // without it gets a typed refusal, not an unwind.
+    let g = Semidirect::wreath_z2(2);
+    let oracle = CosetTableOracle::try_new(g.clone(), &[(0b0101u64, 1u64)], 1 << 10).unwrap();
+    let instance = HspInstance::new(g, oracle); // no ground truth attached
+    let err = HspSolver::builder()
+        .backend(Backend::Ideal)
+        .build()
+        .solve(&instance)
+        .expect_err("must demand ground truth");
+    assert!(matches!(err, HspError::MissingGroundTruth { .. }));
+}
+
+#[test]
+fn solver_rejects_inapplicable_strategies_with_typed_errors() {
+    // Ettinger–Høyer on a non-dihedral group, EA2 on a group without an
+    // elementary Abelian normal 2-subgroup: both are StrategyUnavailable.
+    let g = Extraspecial::heisenberg(3);
+    let instance =
+        HspInstance::with_coset_oracle(g.clone(), &[g.center_generator()], 1000).unwrap();
+    for strategy in [Strategy::EttingerHoyerDihedral, Strategy::Ea2Cyclic] {
+        let err = HspSolver::builder()
+            .strategy(strategy)
+            .build()
+            .solve(&instance)
+            .expect_err("strategy cannot apply");
+        assert!(
+            matches!(err, HspError::StrategyUnavailable { .. }),
+            "{strategy}: {err}"
+        );
+    }
+}
+
+#[test]
+fn solver_reports_unclassifiable_groups() {
+    // S5 is non-Abelian, declares no promises, matches no structural
+    // family, and its commutator subgroup A5 (order 60) exceeds the tiny
+    // enumeration budget — Auto must give a typed refusal.
+    let s5 = PermGroup::symmetric(5);
+    let h = vec![Perm::from_cycles(5, &[&[0, 1], &[2, 3]])];
+    let instance = HspInstance::with_coset_oracle(s5, &h, 100).unwrap();
+    let err = HspSolver::builder()
+        .enumeration_limit(10)
+        .build()
+        .solve(&instance)
+        .expect_err("must be unclassifiable");
+    assert!(matches!(err, HspError::Unclassifiable { .. }));
+}
+
+#[test]
+fn solver_survives_a_promise_breaking_hiding_function() {
+    // A label function that is injective except for one planted collision
+    // violates the HSP promise. The façade contract under garbage input:
+    // terminate without panicking, and never return generators that
+    // contradict the oracle's own answers.
+    let g = Extraspecial::heisenberg(3);
+    let breaker = FnOracle::<Extraspecial, Vec<u64>, _>::new(move |x: &Vec<u64>| {
+        let is_zero = x.iter().all(|&c| c == 0);
+        let is_e1 = x[0] == 1 && x[1] == 0 && x[2] == 0;
+        if is_zero || is_e1 {
+            vec![u64::MAX, 0, 0] // collide 1 with e1 — but nothing else
+        } else {
+            x.clone()
+        }
+    });
+    let instance = HspInstance::new(g, breaker);
+    match HspSolver::new().solve(&instance) {
+        Ok(report) => {
+            // every returned generator collided with f(1) when re-queried
+            assert_eq!(report.verdict, Verdict::GeneratorsConsistent);
+        }
+        Err(e) => {
+            // a typed refusal is equally acceptable — only a panic is not
+            let _ = e.to_string();
+        }
+    }
+}
+
+#[test]
+fn solver_contains_oracle_panics_as_internal_errors() {
+    // An oracle that dies mid-solve (here: after three queries, i.e. deep
+    // inside the algorithm or the verification pass) must surface as
+    // HspError::Internal — the unwind may not escape `solve`.
+    use std::sync::atomic::{AtomicU64, Ordering};
+    let g = CyclicGroup::new(12);
+    let count = AtomicU64::new(0);
+    let oracle = FnOracle::<CyclicGroup, u64, _>::new(move |x: &u64| {
+        if count.fetch_add(1, Ordering::SeqCst) >= 3 {
+            panic!("oracle died");
+        }
+        x % 4
+    });
+    let instance = HspInstance::new(g, oracle);
+    let err = HspSolver::new()
+        .solve(&instance)
+        .expect_err("panic must be contained");
+    assert!(matches!(err, HspError::Internal { .. }), "{err}");
+}
+
+#[test]
+fn solver_budget_violations_surface_after_the_fact() {
+    let g = Extraspecial::heisenberg(3);
+    let instance =
+        HspInstance::with_coset_oracle(g.clone(), &[g.center_generator()], 1000).unwrap();
+    let err = HspSolver::builder()
+        .strategy(Strategy::ExhaustiveScan)
+        .query_budget(10)
+        .build()
+        .solve(&instance)
+        .expect_err("28 scan queries > budget 10");
+    assert!(matches!(
+        err,
+        HspError::QueryBudgetExceeded {
+            budget: 10,
+            spent: 28
+        }
+    ));
 }

@@ -6,9 +6,7 @@ use nahsp::abelian::dual::perp;
 use nahsp::abelian::hsp::{fourier_sample_coset, fourier_sample_full};
 use nahsp::prelude::*;
 use nahsp::qsim::measure::total_variation;
-use nahsp_testkit::{
-    recovered_order, rng, symmetric_wreath_element, wreath_min_coset_oracle, wreath_twist_truth,
-};
+use nahsp_testkit::{recovered_order, rng, symmetric_wreath_element, wreath_ideal_instance};
 
 #[test]
 fn all_backends_solve_identically_across_instances() {
@@ -91,29 +89,37 @@ fn lemma9_backends_agree() {
 
 #[test]
 fn ea2_backends_agree_on_wreath() {
-    // Same instance through simulator and ideal paths.
+    // Same instance through simulator and ideal paths — only the solver's
+    // backend configuration changes between the two solves.
     let g = Semidirect::wreath_z2(3);
-    let coords = semidirect_coords(&g);
     let h = symmetric_wreath_element(3, 0b111);
     let truth_elems = enumerate_subgroup(&g, &[h], 1 << 10).unwrap();
 
     // simulator
-    let oracle = CosetTableOracle::new(g.clone(), &[h], 1 << 10);
-    let mut rng = rng(21);
-    let hsp_sim = AbelianHsp::new(Backend::SimulatorCoset);
-    let r1 = hsp_ea2_cyclic(&g, &oracle, &coords, &hsp_sim, None, &mut rng);
+    let sim_instance = HspInstance::with_coset_oracle(g.clone(), &[h], 1 << 10).expect("oracle");
+    let r1 = HspSolver::builder()
+        .backend(Backend::SimulatorCoset)
+        .seed(21)
+        .build()
+        .solve(&sim_instance)
+        .expect("simulator solve");
+    assert_eq!(r1.strategy, Strategy::Ea2Cyclic);
     assert_eq!(
-        recovered_order(&g, &r1.h_generators, 1 << 10),
+        recovered_order(&g, &r1.generators, 1 << 10),
         truth_elems.len()
     );
 
-    // ideal
-    let oracle2 = wreath_min_coset_oracle(&g, h);
-    let truth = wreath_twist_truth(h);
-    let hsp_ideal = AbelianHsp::new(Backend::Ideal);
-    let r2 = hsp_ea2_cyclic(&g, &oracle2, &coords, &hsp_ideal, Some(&truth), &mut rng);
+    // ideal (structural oracle, no coset table)
+    let (_, ideal_instance) = wreath_ideal_instance(3, 0b111);
+    let r2 = HspSolver::builder()
+        .backend(Backend::Ideal)
+        .seed(21)
+        .build()
+        .solve(&ideal_instance)
+        .expect("ideal solve");
+    assert_eq!(r2.strategy, Strategy::Ea2Cyclic);
     assert_eq!(
-        recovered_order(&g, &r2.h_generators, 1 << 10),
+        recovered_order(&g, &r2.generators, 1 << 10),
         truth_elems.len()
     );
 }

@@ -3,8 +3,8 @@
 
 use nahsp::prelude::*;
 use nahsp_testkit::{
-    assert_subgroup_eq, heisenberg_maximal_abelian, rng, symmetric_wreath_element,
-    wreath_min_coset_oracle, wreath_twist_truth,
+    assert_report_exact, assert_subgroup_eq, heisenberg_maximal_abelian, rng,
+    symmetric_wreath_element, wreath_ideal_instance,
 };
 
 // ---------------------------------------------------------------- Thm 6 --
@@ -81,50 +81,53 @@ fn theorem7_quotient_machinery_on_matrix_group() {
 
 #[test]
 fn theorem8_normal_hsp_across_families() {
-    let mut rng = rng(8);
-    // dihedral rotations (index 2)
+    let solver = HspSolver::builder().seed(8).build();
+    // dihedral rotations (index 2): the declared normal promise routes the
+    // instance to Theorem 8 under Strategy::Auto.
     let d8 = Dihedral::new(8);
-    let oracle = CosetTableOracle::new(d8.clone(), &[(1u64, false)], 100);
-    let (seeds, elems) = hidden_normal_subgroup(
-        &d8,
-        &oracle,
-        QuotientEngine::Auto { limit: 100 },
-        100,
-        &mut rng,
-    );
-    assert_eq!(seeds.quotient_order, 2);
-    assert_eq!(elems.len(), 8);
+    let instance = HspInstance::with_coset_oracle(d8.clone(), &[(1u64, false)], 100)
+        .expect("oracle")
+        .promise_normal();
+    let report = solver.solve(&instance).expect("solve");
+    assert_eq!(report.strategy, Strategy::NormalSubgroup);
+    assert_eq!(report.detail, StrategyDetail::Normal { quotient_order: 2 });
+    assert_eq!(report.order, Some(8));
+    assert_report_exact(&d8, &report, &[(1u64, false)], 100);
 
     // extraspecial center (quotient Z5 × Z5)
     let es = Extraspecial::heisenberg(5);
-    let oracle = CosetTableOracle::new(es.clone(), &[es.center_generator()], 1000);
-    let (seeds, elems) = hidden_normal_subgroup(
-        &es,
-        &oracle,
-        QuotientEngine::Auto { limit: 1000 },
-        1000,
-        &mut rng,
-    );
-    assert_eq!(seeds.quotient_order, 25);
-    assert_eq!(elems.len(), 5);
+    let instance = HspInstance::with_coset_oracle(es.clone(), &[es.center_generator()], 1000)
+        .expect("oracle")
+        .promise_normal();
+    let report = solver.solve(&instance).expect("solve");
+    assert_eq!(report.strategy, Strategy::NormalSubgroup);
+    assert_eq!(report.detail, StrategyDetail::Normal { quotient_order: 25 });
+    assert_eq!(report.order, Some(5));
+    assert_report_exact(&es, &report, &[es.center_generator()], 1000);
 }
 
 #[test]
 fn theorem8_permutation_pipeline_large_degree() {
-    let mut rng = rng(88);
+    // The Schreier–Sims fast path: N = A9 is never enumerated, so the
+    // façade handles |N| = 181440 through the same `solve` call.
     let s9 = PermGroup::symmetric(9);
     let a9 = PermGroup::alternating(9);
     let oracle = PermCosetOracle::new(9, &a9.gens);
-    let (seeds, chain) =
-        hidden_normal_subgroup_perm(&s9, &oracle, QuotientEngine::Auto { limit: 100 }, &mut rng);
-    assert_eq!(seeds.quotient_order, 2);
+    let instance = HspInstance::new(s9, oracle).promise_normal();
+    let report = HspSolver::builder()
+        .seed(88)
+        .build()
+        .solve(&instance)
+        .expect("solve");
+    assert_eq!(report.strategy, Strategy::NormalSubgroup);
+    assert_eq!(report.detail, StrategyDetail::Normal { quotient_order: 2 });
     let fact: u64 = (1..=9u64).product();
-    assert_eq!(chain.order(), fact / 2);
+    assert_eq!(report.order, Some(fact / 2));
     // Query count stays far below |G| = 362880.
     assert!(
-        oracle.query_count() < 10_000,
+        report.queries.oracle < 10_000,
         "queries: {}",
-        oracle.query_count()
+        report.queries.oracle
     );
 }
 
@@ -158,18 +161,27 @@ fn theorem10_quotient_tasks_via_coset_states() {
 
 #[test]
 fn theorem11_extraspecial_sweep() {
-    let mut rng = rng(11);
+    let solver = HspSolver::builder().seed(11).build();
     for p in [2u64, 3, 5] {
-        // hidden: a maximal Abelian subgroup <e1, z>
+        // hidden: a maximal Abelian subgroup <e1, z>. Auto recognizes the
+        // extraspecial family and routes to Corollary 12.
         let (g, oracle) = heisenberg_maximal_abelian(p, 10_000);
-        let result = hsp_small_commutator(&g, &oracle, 10_000, &mut rng);
+        let instance = HspInstance::new(g.clone(), oracle);
+        let report = solver.solve(&instance).expect("solve");
+        assert_eq!(report.strategy, Strategy::SmallCommutator);
         assert_subgroup_eq(
             &g,
-            &result.h_generators,
-            oracle.hidden_subgroup_elements(),
+            &report.generators,
+            instance.oracle().hidden_subgroup_elements(),
             10_000,
         );
-        assert_eq!(result.commutator_order, p);
+        assert_eq!(
+            report.detail,
+            StrategyDetail::SmallCommutator {
+                commutator_order: p,
+                abelian_quotient_order: p,
+            }
+        );
     }
 }
 
@@ -178,62 +190,73 @@ fn theorem11_higher_rank_extraspecial() {
     // p = 3, n = 2: order 3^5 = 243, still |G'| = 3.
     let g = Extraspecial::new(3, 2);
     let h = vec![vec![1u64, 0, 0, 0, 0], vec![0u64, 0, 1, 0, 0]];
-    let oracle = CosetTableOracle::new(g.clone(), &h, 10_000);
-    let mut rng = rng(111);
-    let result = hsp_small_commutator(&g, &oracle, 10_000, &mut rng);
-    assert_subgroup_eq(
-        &g,
-        &result.h_generators,
-        oracle.hidden_subgroup_elements(),
-        10_000,
-    );
+    let instance = HspInstance::with_coset_oracle(g.clone(), &h, 10_000).expect("oracle");
+    let report = HspSolver::builder()
+        .seed(111)
+        .enumeration_limit(10_000)
+        .build()
+        .solve(&instance)
+        .expect("solve");
+    assert_eq!(report.strategy, Strategy::SmallCommutator);
+    assert_report_exact(&g, &report, &h, 10_000);
 }
 
 // --------------------------------------------------------------- Thm 13 --
 
 #[test]
 fn theorem13_cyclic_and_general_agree() {
-    let mut rng = rng(13);
     let g = Semidirect::new(4, 15, Gf2Mat::companion(4, 0b0011));
-    let coords = semidirect_coords(&g);
-    let hsp = AbelianHsp::new(Backend::SimulatorCoset);
     let h_gens = vec![(0b0110u64, 0u64), (0u64, 5u64)];
-    let truth = enumerate_subgroup(&g, &h_gens, 1 << 14).unwrap();
 
-    let o1 = CosetTableOracle::new(g.clone(), &h_gens, 1 << 14);
-    let r1 = hsp_ea2_cyclic(&g, &o1, &coords, &hsp, None, &mut rng);
-    assert_subgroup_eq(&g, &r1.h_generators, &truth, 1 << 14);
+    // Auto resolves the semidirect family to the cyclic-quotient case.
+    let i1 = HspInstance::with_coset_oracle(g.clone(), &h_gens, 1 << 14).expect("oracle");
+    let r1 = HspSolver::builder()
+        .seed(13)
+        .build()
+        .solve(&i1)
+        .expect("cyclic solve");
+    assert_eq!(r1.strategy, Strategy::Ea2Cyclic);
+    assert_report_exact(&g, &r1, &h_gens, 1 << 14);
 
-    let o2 = CosetTableOracle::new(g.clone(), &h_gens, 1 << 14);
-    let r2 = hsp_ea2_general(&g, &o2, &coords, &hsp, None, 1 << 10, &mut rng);
-    assert_subgroup_eq(&g, &r2.h_generators, &truth, 1 << 14);
+    // The general case is an explicit strategy override on the same solver.
+    let i2 = HspInstance::with_coset_oracle(g.clone(), &h_gens, 1 << 14).expect("oracle");
+    let r2 = HspSolver::builder()
+        .seed(13)
+        .strategy(Strategy::Ea2General)
+        .build()
+        .solve(&i2)
+        .expect("general solve");
+    assert_eq!(r2.strategy, Strategy::Ea2General);
+    assert_report_exact(&g, &r2, &h_gens, 1 << 14);
 
     // the cyclic case uses far fewer coset representatives
-    assert!(
-        r1.v_size < r2.v_size,
-        "V sizes: {} vs {}",
-        r1.v_size,
-        r2.v_size
-    );
+    let (StrategyDetail::Ea2 { v_size: v1, .. }, StrategyDetail::Ea2 { v_size: v2, .. }) =
+        (&r1.detail, &r2.detail)
+    else {
+        panic!("both reports must carry Ea2 detail");
+    };
+    assert!(v1 < v2, "V sizes: {v1} vs {v2}");
 }
 
 #[test]
 fn theorem13_ideal_backend_scales_past_simulation() {
     // k = 24: |N| = 2^24 — no state vector fits; the ideal sampler with the
-    // Las Vegas verification loop recovers H with oracle queries only.
-    let g = Semidirect::wreath_z2(12); // k = 24, |G| = 2^25
-    let coords = semidirect_coords(&g);
-    // H = <(v,1)> with sw-symmetric v → order 2.
+    // Las Vegas verification loop recovers H with oracle queries only. The
+    // structural min-coset oracle plus ground truth ride on the instance;
+    // the solver assembles the ideal backend's witness itself.
     let h = symmetric_wreath_element(12, 0b101101101101);
-    // structural oracle: coset of H = {x, x·h}; canonical = min of the pair
-    let oracle = wreath_min_coset_oracle(&g, h);
-    let truth = wreath_twist_truth(h);
-    let mut rng = rng(1313);
-    let hsp = AbelianHsp::new(Backend::Ideal);
-    let res = hsp_ea2_cyclic(&g, &oracle, &coords, &hsp, Some(&truth), &mut rng);
+    let (_, instance) = wreath_ideal_instance(12, 0b101101101101);
+    let report = HspSolver::builder()
+        .backend(Backend::Ideal)
+        .seed(1313)
+        .build()
+        .solve(&instance)
+        .expect("solve");
+    assert_eq!(report.strategy, Strategy::Ea2Cyclic);
     // recovered generators must generate exactly {1, h}
-    assert_eq!(res.h_generators.len(), 1);
-    assert_eq!(res.h_generators[0], h);
+    assert_eq!(report.generators, vec![h]);
+    assert_eq!(report.order, Some(2));
+    assert_eq!(report.verdict, Verdict::VerifiedExact);
 }
 
 #[test]
@@ -247,24 +270,30 @@ fn theorem8_with_non_unique_encodings() {
     let base = AbelianProduct::new(vec![4, 4]);
     let q = FactorGroup::new(base, &[vec![2u64, 2u64]], 100); // |Q| = 8
                                                               // Hidden normal subgroup of Q: the image of <(1, 1)> (order 2 in Q).
-    let oracle = CosetTableOracle::new(q.clone(), &[vec![1u64, 1u64]], 100);
-    let mut rng = rng(77);
-    let (seeds, elems) = hidden_normal_subgroup(
-        &q,
-        &oracle,
-        QuotientEngine::Auto { limit: 100 },
-        100,
-        &mut rng,
+    let oracle = CosetTableOracle::try_new(q.clone(), &[vec![1u64, 1u64]], 100).expect("oracle");
+    let instance = HspInstance::new(q.clone(), oracle);
+    let report = HspSolver::builder()
+        .seed(77)
+        .build()
+        .solve(&instance)
+        .expect("solve");
+    // Q is Abelian, so Auto routes to the Abelian engine — which runs the
+    // same presentation machinery Theorem 8 is built from.
+    assert_eq!(report.strategy, Strategy::Abelian);
+    assert_eq!(
+        report.detail,
+        StrategyDetail::Normal { quotient_order: 4 },
+        "Q / <(1,1)-image> ≅ Z4"
     );
-    assert_eq!(seeds.quotient_order, 4, "Q / <(1,1)-image> ≅ Z4");
-    // N as a subgroup of Q has order 2; elems are canonical coset encodings.
-    assert_eq!(elems.len(), 2);
-    let truth: std::collections::HashSet<_> = oracle
+    // N as a subgroup of Q has order 2; generators are coset encodings.
+    assert_eq!(report.order, Some(2));
+    let truth: std::collections::HashSet<_> = instance
+        .oracle()
         .hidden_subgroup_elements()
         .iter()
         .map(|e| q.canonical(e))
         .collect();
-    for e in &elems {
+    for e in &report.generators {
         assert!(truth.contains(&q.canonical(e)));
     }
 }
@@ -281,17 +310,18 @@ fn theorem8_with_salted_encodings() {
         g.encode(Perm::from_cycles(4, &[&[0, 1], &[2, 3]])),
         g.encode(Perm::from_cycles(4, &[&[0, 2], &[1, 3]])),
     ];
-    let oracle = CosetTableOracle::new(g.clone(), &v4, 100);
-    let mut rng = rng(81);
-    let (seeds, elems) = hidden_normal_subgroup(
-        &g,
-        &oracle,
-        QuotientEngine::Enumerate { limit: 100 },
-        100,
-        &mut rng,
-    );
-    assert_eq!(seeds.quotient_order, 6);
-    assert_eq!(elems.len(), 4);
+    let instance = HspInstance::with_coset_oracle(g.clone(), &v4, 100)
+        .expect("oracle")
+        .promise_normal();
+    let report = HspSolver::builder()
+        .seed(81)
+        .enumeration_limit(100)
+        .build()
+        .solve(&instance)
+        .expect("solve");
+    assert_eq!(report.strategy, Strategy::NormalSubgroup);
+    assert_eq!(report.detail, StrategyDetail::Normal { quotient_order: 6 });
+    assert_eq!(report.order, Some(4));
 }
 
 #[test]
@@ -324,18 +354,34 @@ fn theorem6_membership_with_non_unique_encodings() {
 
 #[test]
 fn classical_baselines_agree_with_quantum_results() {
-    let mut rng = rng(99);
+    // The classical baselines are strategies of the same façade: explicit
+    // overrides on the builder, same report shape, same verification.
     let g = Extraspecial::heisenberg(3);
     let h = vec![g.center_generator()];
-    let oracle = CosetTableOracle::new(g.clone(), &h, 1000);
-    let (scan, scan_queries) = exhaustive_scan(&g, &oracle, 1000);
-    assert_eq!(scan.len(), 3);
-    assert_eq!(scan_queries, 28);
 
-    let all = enumerate_subgroup(&g, &g.generators(), 1000).unwrap();
-    let res = birthday_collision(&g, &oracle, &all, 100_000, &mut rng);
-    let closure = enumerate_subgroup(&g, &res.generators, 1000).unwrap();
-    assert_eq!(closure.len(), 3);
+    let instance = HspInstance::with_coset_oracle(g.clone(), &h, 1000).expect("oracle");
+    let scan = HspSolver::builder()
+        .strategy(Strategy::ExhaustiveScan)
+        .build()
+        .solve(&instance)
+        .expect("scan");
+    assert_eq!(scan.order, Some(3));
+    // |G| + 1 queries exactly: the cached identity label plus one per element.
+    assert_eq!(scan.queries.oracle, 28);
+    assert_eq!(scan.verdict, Verdict::VerifiedExact);
+
+    let instance = HspInstance::with_coset_oracle(g.clone(), &h, 1000).expect("oracle");
+    let birthday = HspSolver::builder()
+        .strategy(Strategy::BirthdayCollision)
+        .seed(99)
+        .build()
+        .solve(&instance)
+        .expect("birthday");
+    assert_eq!(birthday.order, Some(3));
+    assert_eq!(
+        birthday.detail,
+        StrategyDetail::Birthday { converged: true }
+    );
 }
 
 // ------------------------------------------------- cross-crate plumbing --
@@ -363,24 +409,27 @@ fn query_accounting_is_polynomial_for_quantum_exponential_for_classical() {
     // scanning pays |G| = 2^(2k+1). (The simulator backends also evaluate f
     // across the ambient group, but that is simulation overhead standing in
     // for one superposition query — see DESIGN.md.)
-    let mut rng = rng(42);
+    let quantum_solver = HspSolver::builder()
+        .backend(Backend::Ideal)
+        .seed(42)
+        .build();
+    let scan_solver = HspSolver::builder()
+        .strategy(Strategy::ExhaustiveScan)
+        .build();
     let mut quantum = Vec::new();
     let mut classical = Vec::new();
     for half in [2usize, 4, 6] {
         // quantum path: structural oracle + ideal backend
-        let g = Semidirect::wreath_z2(half);
-        let coords = semidirect_coords(&g);
-        let h = symmetric_wreath_element(half, (1u64 << half) - 1);
-        let oracle = wreath_min_coset_oracle(&g, h);
-        let truth = wreath_twist_truth(h);
-        let hsp = AbelianHsp::new(Backend::Ideal);
-        let res = hsp_ea2_cyclic(&g, &oracle, &coords, &hsp, Some(&truth), &mut rng);
-        assert!(res.h_generators.contains(&h));
-        quantum.push(oracle.queries());
+        let w = (1u64 << half) - 1;
+        let h = symmetric_wreath_element(half, w);
+        let (g, instance) = wreath_ideal_instance(half, w);
+        let report = quantum_solver.solve(&instance).expect("quantum solve");
+        assert!(report.generators.contains(&h));
+        quantum.push(report.queries.oracle);
         // classical path: exhaustive scan
-        let oracle2 = CosetTableOracle::new(g.clone(), &[h], 1 << 16);
-        let (_, q) = exhaustive_scan(&g, &oracle2, 1 << 16);
-        classical.push(q);
+        let instance2 = HspInstance::with_coset_oracle(g.clone(), &[h], 1 << 16).expect("oracle");
+        let scan = scan_solver.solve(&instance2).expect("scan");
+        classical.push(scan.queries.oracle);
     }
     // classical grows 16x per step (|G| = 2^(2k+1), k += 4); quantum stays
     // within a small polynomial envelope

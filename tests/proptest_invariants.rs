@@ -1,6 +1,9 @@
 //! Property-based tests over the core data structures and invariants.
 
 use nahsp::prelude::*;
+// `proptest::prelude` also exports a `Strategy` trait; the explicit import
+// pins the solver enum.
+use nahsp::hsp::solver::Strategy;
 use nahsp_testkit::{check_axioms, random_h_gens, recovered_order, rng};
 use proptest::prelude::*;
 
@@ -176,29 +179,114 @@ proptest! {
             4 => vec![mixed],
             _ => vec![e1, e2], // generates the whole group (commutator = z)
         };
-        let oracle = CosetTableOracle::new(g.clone(), &h_gens, 10_000);
-        let mut rng = rng(seed);
-        let result = hsp_small_commutator(&g, &oracle, 10_000, &mut rng);
-        let recovered = recovered_order(&g, &result.h_generators, 10_000);
-        prop_assert_eq!(recovered, oracle.hidden_subgroup_elements().len());
+        let instance = HspInstance::with_coset_oracle(g.clone(), &h_gens, 10_000).unwrap();
+        let report = HspSolver::builder()
+            .seed(seed)
+            .enumeration_limit(10_000)
+            .build()
+            .solve(&instance)
+            .expect("solve");
+        prop_assert_eq!(report.strategy, Strategy::SmallCommutator);
+        let truth_len = instance.oracle().hidden_subgroup_elements().len();
+        prop_assert_eq!(recovered_order(&g, &report.generators, 10_000), truth_len);
+        prop_assert_eq!(report.verdict, Verdict::VerifiedExact);
     }
 
     #[test]
     fn theorem13_random_wreath_subgroups(v in 0u64..16, twist in 0usize..2, seed in 0u64..1000) {
         let g = Semidirect::wreath_z2(2); // vectors are 4 bits
-        let coords = semidirect_coords(&g);
         let elem: (u64, u64) = if twist == 1 {
             (v & 0xF, 1)
         } else {
             (v & 0xF, 0)
         };
         let h_gens = if g.is_identity(&elem) { vec![] } else { vec![elem] };
-        let oracle = CosetTableOracle::new(g.clone(), &h_gens, 1 << 12);
-        let mut rng = rng(seed);
-        let hsp = AbelianHsp::new(Backend::SimulatorCoset);
-        let result = hsp_ea2_general(&g, &oracle, &coords, &hsp, None, 1 << 8, &mut rng);
-        let recovered = recovered_order(&g, &result.h_generators, 1 << 12);
-        prop_assert_eq!(recovered, oracle.hidden_subgroup_elements().len());
+        let instance = HspInstance::with_coset_oracle(g.clone(), &h_gens, 1 << 12).unwrap();
+        // the explicit general-case override exercises the transversal path
+        let report = HspSolver::builder()
+            .strategy(Strategy::Ea2General)
+            .seed(seed)
+            .enumeration_limit(1 << 12)
+            .build()
+            .solve(&instance)
+            .expect("solve");
+        let truth_len = instance.oracle().hidden_subgroup_elements().len();
+        prop_assert_eq!(recovered_order(&g, &report.generators, 1 << 12), truth_len);
+    }
+
+    // --------------------------------------------------- solver façade --
+
+    #[test]
+    fn solver_never_panics_on_random_instances(
+        family in 0usize..5,
+        h_sel in 0u64..64,
+        strat_sel in 0usize..8,
+        seed in 0u64..10_000,
+    ) {
+        // Every (instance, strategy) pairing — including deliberately
+        // mismatched ones — must come back as Ok(report) or a typed
+        // HspError. An unwind escaping `solve` is the bug this guards.
+        let strategies = [
+            Strategy::Auto,
+            Strategy::Abelian,
+            Strategy::NormalSubgroup,
+            Strategy::SmallCommutator,
+            Strategy::Ea2Cyclic,
+            Strategy::Ea2General,
+            Strategy::EttingerHoyerDihedral,
+            Strategy::ExhaustiveScan,
+        ];
+        let solver = HspSolver::builder()
+            .strategy(strategies[strat_sel])
+            .seed(seed)
+            .enumeration_limit(1 << 10)
+            .build();
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+            || -> Result<Option<u64>, HspError> {
+                match family {
+                    0 => {
+                        let g = CyclicGroup::new(12);
+                        let h = h_sel % 12;
+                        let gens = if h == 0 { vec![] } else { vec![h] };
+                        let instance = HspInstance::with_coset_oracle(g, &gens, 100)?;
+                        solver.solve(&instance).map(|r| r.order)
+                    }
+                    1 => {
+                        let g = Dihedral::new(8);
+                        let h = (h_sel % 8, h_sel % 2 == 1);
+                        let gens = if g.is_identity(&h) { vec![] } else { vec![h] };
+                        let instance = HspInstance::with_coset_oracle(g, &gens, 100)?;
+                        solver.solve(&instance).map(|r| r.order)
+                    }
+                    2 => {
+                        let g = Extraspecial::heisenberg(3);
+                        let h = vec![h_sel % 3, (h_sel / 3) % 3, (h_sel / 9) % 3];
+                        let gens = if h.iter().all(|&c| c == 0) { vec![] } else { vec![h] };
+                        let instance = HspInstance::with_coset_oracle(g, &gens, 1000)?;
+                        solver.solve(&instance).map(|r| r.order)
+                    }
+                    3 => {
+                        let g = Semidirect::wreath_z2(2);
+                        let h = (h_sel % 16, (h_sel / 16) % 2);
+                        let gens = if g.is_identity(&h) { vec![] } else { vec![h] };
+                        let instance = HspInstance::with_coset_oracle(g, &gens, 1 << 10)?;
+                        solver.solve(&instance).map(|r| r.order)
+                    }
+                    _ => {
+                        let s4 = PermGroup::symmetric(4);
+                        let v4 = vec![
+                            Perm::from_cycles(4, &[&[0, 1], &[2, 3]]),
+                            Perm::from_cycles(4, &[&[0, 2], &[1, 3]]),
+                        ];
+                        let gens = if h_sel % 2 == 0 { v4 } else { vec![] };
+                        let instance =
+                            HspInstance::with_coset_oracle(s4, &gens, 100)?.promise_normal();
+                        solver.solve(&instance).map(|r| r.order)
+                    }
+                }
+            },
+        ));
+        prop_assert!(outcome.is_ok(), "solve let a panic escape");
     }
 
     // ------------------------------------------------------- simulator --

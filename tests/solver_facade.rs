@@ -1,0 +1,218 @@
+//! `Strategy::Auto` dispatch conformance: one test per group family,
+//! asserting both the strategy the classifier picked and that the recovered
+//! subgroup matches `nahsp-testkit` ground truth — the paper's case
+//! analysis (Thms 8–13 + baselines) as one `solve` call.
+
+use nahsp::prelude::*;
+use nahsp_testkit::{assert_report_exact, assert_subgroup_eq, symmetric_wreath_element};
+
+/// Cyclic groups land in the Abelian engine (the Thm 3 substrate).
+#[test]
+fn auto_dispatch_cyclic() {
+    let g = CyclicGroup::new(60);
+    let h = vec![12u64]; // order 5
+    let instance = HspInstance::with_coset_oracle(g.clone(), &h, 100).expect("oracle");
+    let solver = HspSolver::builder().seed(1).build();
+    assert_eq!(solver.classify(&instance).unwrap(), Strategy::Abelian);
+    let report = solver.solve(&instance).expect("solve");
+    assert_eq!(report.strategy, Strategy::Abelian);
+    assert_eq!(report.order, Some(5));
+    assert_report_exact(&g, &report, &h, 100);
+}
+
+/// Multi-factor Abelian products (the Simon shape) also go Abelian.
+#[test]
+fn auto_dispatch_abelian_product() {
+    let g = AbelianProduct::new(vec![2, 2, 2, 2]);
+    let h = vec![vec![1u64, 0, 1, 1]]; // Simon mask
+    let instance = HspInstance::with_coset_oracle(g.clone(), &h, 100).expect("oracle");
+    let report = HspSolver::builder()
+        .seed(2)
+        .build()
+        .solve(&instance)
+        .expect("solve");
+    assert_eq!(report.strategy, Strategy::Abelian);
+    assert_eq!(report.order, Some(2));
+    assert_report_exact(&g, &report, &h, 100);
+}
+
+/// A dihedral *reflection* instance (with ground truth declaring the slope)
+/// is routed to the Ettinger–Høyer baseline.
+#[test]
+fn auto_dispatch_dihedral_reflection() {
+    let g = Dihedral::new(16);
+    let h = vec![(5u64, true)];
+    let instance = HspInstance::with_coset_oracle(g.clone(), &h, 200).expect("oracle");
+    let solver = HspSolver::builder().seed(3).build();
+    assert_eq!(
+        solver.classify(&instance).unwrap(),
+        Strategy::EttingerHoyerDihedral
+    );
+    let report = solver.solve(&instance).expect("solve");
+    assert_eq!(report.strategy, Strategy::EttingerHoyerDihedral);
+    assert_eq!(report.order, Some(2));
+    match report.detail {
+        StrategyDetail::EttingerHoyer { slope, .. } => assert_eq!(slope, 5),
+        ref d => panic!("wrong detail: {d:?}"),
+    }
+    assert_report_exact(&g, &report, &h, 200);
+}
+
+/// Dihedral rotation subgroups fall back to Theorem 11 — the commutator
+/// subgroup ⟨ρ²⟩ is enumerable.
+#[test]
+fn auto_dispatch_dihedral_rotation() {
+    let g = Dihedral::new(12);
+    let h = vec![(3u64, false)]; // rotations of order 4
+    let instance = HspInstance::with_coset_oracle(g.clone(), &h, 100).expect("oracle");
+    let report = HspSolver::builder()
+        .seed(4)
+        .build()
+        .solve(&instance)
+        .expect("solve");
+    assert_eq!(report.strategy, Strategy::SmallCommutator);
+    assert_eq!(report.order, Some(4));
+    assert_report_exact(&g, &report, &h, 100);
+}
+
+/// Extraspecial p-groups go to Corollary 12 (small commutator subgroup).
+#[test]
+fn auto_dispatch_extraspecial() {
+    let g = Extraspecial::heisenberg(3);
+    let h = vec![vec![0u64, 1, 0], g.center_generator()]; // maximal Abelian
+    let instance = HspInstance::with_coset_oracle(g.clone(), &h, 1000).expect("oracle");
+    let solver = HspSolver::builder().seed(5).build();
+    assert_eq!(
+        solver.classify(&instance).unwrap(),
+        Strategy::SmallCommutator
+    );
+    let report = solver.solve(&instance).expect("solve");
+    assert_eq!(report.strategy, Strategy::SmallCommutator);
+    assert_eq!(report.order, Some(9));
+    assert_report_exact(&g, &report, &h, 1000);
+}
+
+/// Wreath / EA2 semidirect products go to Theorem 13 (cyclic quotient).
+#[test]
+fn auto_dispatch_wreath_semidirect() {
+    let g = Semidirect::wreath_z2(3);
+    let h = vec![symmetric_wreath_element(3, 0b101)];
+    let instance = HspInstance::with_coset_oracle(g.clone(), &h, 1 << 12).expect("oracle");
+    let solver = HspSolver::builder().seed(6).build();
+    assert_eq!(solver.classify(&instance).unwrap(), Strategy::Ea2Cyclic);
+    let report = solver.solve(&instance).expect("solve");
+    assert_eq!(report.strategy, Strategy::Ea2Cyclic);
+    assert_eq!(report.order, Some(2));
+    assert_report_exact(&g, &report, &h, 1 << 12);
+}
+
+/// A permutation group with the normal promise goes to Theorem 8 and takes
+/// the Schreier–Sims fast path.
+#[test]
+fn auto_dispatch_perm_normal() {
+    let s4 = PermGroup::symmetric(4);
+    let v4 = vec![
+        Perm::from_cycles(4, &[&[0, 1], &[2, 3]]),
+        Perm::from_cycles(4, &[&[0, 2], &[1, 3]]),
+    ];
+    let oracle = PermCosetOracle::new(4, &v4);
+    let instance = HspInstance::new(s4.clone(), oracle)
+        .promise_normal()
+        .with_ground_truth(v4.clone());
+    let solver = HspSolver::builder().seed(7).build();
+    assert_eq!(
+        solver.classify(&instance).unwrap(),
+        Strategy::NormalSubgroup
+    );
+    let report = solver.solve(&instance).expect("solve");
+    assert_eq!(report.strategy, Strategy::NormalSubgroup);
+    assert_eq!(report.order, Some(4));
+    assert_eq!(report.detail, StrategyDetail::Normal { quotient_order: 6 });
+    assert_report_exact(&s4, &report, &v4, 100);
+}
+
+/// `verify(false)` really disables verification — even when the instance
+/// carries ground truth, the report says `Unverified` and the solver skips
+/// the closure comparisons.
+#[test]
+fn disabling_verification_reports_unverified() {
+    let g = CyclicGroup::new(12);
+    let instance = HspInstance::with_coset_oracle(g, &[4u64], 100).expect("oracle");
+    let report = HspSolver::builder()
+        .verify(false)
+        .build()
+        .solve(&instance)
+        .expect("solve");
+    assert_eq!(report.verdict, Verdict::Unverified);
+    assert_eq!(report.order, Some(3));
+}
+
+/// `classify` alone never touches the hiding function.
+#[test]
+fn classification_costs_no_oracle_queries() {
+    let g = Extraspecial::heisenberg(3);
+    let instance =
+        HspInstance::with_coset_oracle(g.clone(), &[g.center_generator()], 1000).expect("oracle");
+    let solver = HspSolver::new();
+    assert_eq!(
+        solver.classify(&instance).unwrap(),
+        Strategy::SmallCommutator
+    );
+    assert_eq!(instance.oracle().queries(), 0);
+}
+
+/// `solve_batch` returns per-instance results in input order, solves each
+/// family correctly, and is deterministic under re-execution.
+#[test]
+fn batch_execution_spans_families_deterministically() {
+    let g = Extraspecial::heisenberg(3);
+    let hidden: Vec<Vec<Vec<u64>>> = vec![
+        vec![g.center_generator()],
+        vec![vec![1u64, 0, 0]],
+        vec![vec![1u64, 2, 0], g.center_generator()],
+        vec![],
+    ];
+    let instances: Vec<_> = hidden
+        .iter()
+        .enumerate()
+        .map(|(i, h)| {
+            HspInstance::with_coset_oracle(g.clone(), h, 1000)
+                .expect("oracle")
+                .with_label(format!("case {i}"))
+        })
+        .collect();
+    let solver = HspSolver::builder().seed(42).parallelism(2).build();
+    let run = |instances: &[HspInstance<_, _>]| -> Vec<HspReport<Extraspecial>> {
+        solver
+            .solve_batch(instances)
+            .into_iter()
+            .map(|r| r.expect("batch solve"))
+            .collect()
+    };
+    let reports = run(&instances);
+    assert_eq!(reports.len(), hidden.len());
+    for ((i, h), report) in hidden.iter().enumerate().zip(&reports) {
+        assert_eq!(
+            report.instance_label.as_deref(),
+            Some(format!("case {i}").as_str())
+        );
+        assert_eq!(report.strategy, Strategy::SmallCommutator);
+        assert!(report.queries.oracle > 0);
+        let truth = if h.is_empty() {
+            vec![g.canonical(&g.identity())]
+        } else {
+            enumerate_subgroup(&g, h, 1000).unwrap()
+        };
+        assert_subgroup_eq(&g, &report.generators, &truth, 1000);
+    }
+    // deterministic under any thread schedule: a second run agrees
+    let again = run(&instances);
+    for (a, b) in reports.iter().zip(&again) {
+        assert_eq!(a.generators, b.generators);
+        assert_eq!(a.order, b.order);
+    }
+    // the empty batch is a no-op, not an edge case
+    assert!(solver
+        .solve_batch::<Extraspecial, CosetTableOracle<Extraspecial>>(&[])
+        .is_empty());
+}

@@ -14,10 +14,13 @@
 //! - [`dual`] — characters and orthogonal subgroups `H^⊥`;
 //! - [`structure`] — the Cheung–Mosca decomposition of a black-box Abelian
 //!   group into cyclic factors of prime-power order (paper's Theorem 1);
-//! - [`hsp`] — the Abelian HSP engine (paper's Theorem 3) with three
+//! - [`hsp`] — the Abelian HSP engine (paper's Theorem 3) with four
 //!   interchangeable Fourier-sampling backends: full state-vector
-//!   simulation, coset-collapse simulation, and the ideal sampler that
-//!   draws from the *proven* output distribution (uniform on `H^⊥`);
+//!   simulation (`|A| ≤ 2^12`), dense coset-collapse simulation
+//!   (`|A| ≤ 2^18`), sparse coset simulation whose capacity is bounded by
+//!   the *nonzero count* `|H| · max dᵢ` rather than `|A|`, and the ideal
+//!   sampler that draws from the *proven* output distribution (uniform on
+//!   `H^⊥`). `Backend::Auto` resolves per instance in that order;
 //! - [`orderfind`] — Shor-style order finding, both simulated through the
 //!   quantum simulator and emulated exactly (the substitution recorded in
 //!   DESIGN.md).

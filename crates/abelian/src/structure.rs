@@ -26,9 +26,12 @@ pub struct AbelianStructure<E> {
     /// Generators of the cyclic factors, aligned with `invariant_factors`;
     /// `G = ⊕ ⟨new_generators[i]⟩` internally.
     pub new_generators: Vec<E>,
-    /// The relation kernel inside `Z_{s1} × … × Z_{sk}`.
+    /// The relation kernel inside `Z_{s1} × … × Z_{sk}`, where the `sᵢ`
+    /// range over the *non-unit* generator orders (identity generators are
+    /// filtered before the ambient is built — see [`decompose`]).
     pub kernel: SubgroupLattice,
-    /// Orders of the original generators.
+    /// Orders of the original generators (including any identity
+    /// generators, which carry order 1 but take no part in the ambient).
     pub generator_orders: Vec<u64>,
 }
 
@@ -122,6 +125,15 @@ impl<G: Group> HidingOracle for RelationOracle<'_, G> {
 ///
 /// `hsp` must use a simulator backend (the kernel is unknown, so the ideal
 /// sampler has no ground truth to draw from).
+///
+/// Identity generators (order 1) would contribute trivial `Z_1` factors to
+/// the HSP ambient — and a `Z_1` factor can never reach a register site
+/// (`Layout` rejects dimension-1 sites with a typed `LayoutError`). They
+/// are filtered *here*, upstream of everything quantum: the decomposition
+/// runs over the non-unit generators only, and a generating set made
+/// entirely of identities short-circuits to the trivial structure. The
+/// returned `generator_orders` still covers the original list;
+/// [`AbelianStructure::kernel`] lives over the unit-filtered ambient.
 pub fn decompose<G: Group>(
     group: &G,
     gens: &[G::Elem],
@@ -131,15 +143,36 @@ pub fn decompose<G: Group>(
 ) -> AbelianStructure<G::Elem> {
     assert!(!gens.is_empty(), "need at least one generator");
     let generator_orders: Vec<u64> = gens.iter().map(|g| orders.find(group, g, rng)).collect();
-    let ambient = AbelianProduct::new(generator_orders.clone());
+    let kept: Vec<usize> = generator_orders
+        .iter()
+        .enumerate()
+        .filter(|&(_, &o)| o > 1)
+        .map(|(i, _)| i)
+        .collect();
+    if kept.is_empty() {
+        // Every generator is the identity: the trivial group. No ambient
+        // register, no sampling — and no Z_1 site construction to abort on.
+        let ambient = AbelianProduct::new(vec![1]);
+        return AbelianStructure {
+            invariant_factors: Vec::new(),
+            new_generators: Vec::new(),
+            kernel: SubgroupLattice::from_generators(&ambient, &[]),
+            generator_orders,
+        };
+    }
+    let kept_gens: Vec<G::Elem> = kept.iter().map(|&i| gens[i].clone()).collect();
+    let kept_orders: Vec<u64> = kept.iter().map(|&i| generator_orders[i]).collect();
+    let ambient = AbelianProduct::new(kept_orders.clone());
     let oracle = RelationOracle {
         group,
-        gens,
+        gens: &kept_gens,
         ambient: ambient.clone(),
         intern: std::sync::Mutex::new(std::collections::HashMap::new()),
     };
     let result = hsp.solve(&oracle, rng);
-    structure_from_kernel(group, gens, &ambient, result.subgroup, generator_orders)
+    let mut s = structure_from_kernel(group, &kept_gens, &ambient, result.subgroup, kept_orders);
+    s.generator_orders = generator_orders;
+    s
 }
 
 /// Same decomposition when the caller already knows the kernel (used by
@@ -350,6 +383,51 @@ mod tests {
         let syl3 = s.sylow_generators(3, |t, e| g.pow(t, e));
         let total3: u64 = syl3.iter().map(|&(_, pe)| pe).product();
         assert_eq!(total3, 27);
+    }
+
+    #[test]
+    fn identity_generators_are_filtered_upstream() {
+        // Z_12 generated by {0, 4, 0}: the identity generators have order 1
+        // (unit invariant factors in the SNF) and must never reach the
+        // register layout. ⟨4⟩ ≅ Z_3.
+        let g = CyclicGroup::new(12);
+        let mut rng = Rng64::seed_from_u64(21);
+        let s = decompose(
+            &g,
+            &[0u64, 4u64, 0u64],
+            &solver(),
+            &OrderFinder::Exact,
+            &mut rng,
+        );
+        assert_eq!(s.invariant_factors, vec![3]);
+        assert_eq!(s.generator_orders, vec![1, 3, 1]);
+        assert_eq!(s.order(), 3);
+    }
+
+    #[test]
+    fn all_identity_generators_give_trivial_structure() {
+        let g = CyclicGroup::new(10);
+        let mut rng = Rng64::seed_from_u64(22);
+        let s = decompose(&g, &[0u64, 0u64], &solver(), &OrderFinder::Exact, &mut rng);
+        assert!(s.invariant_factors.is_empty());
+        assert!(s.new_generators.is_empty());
+        assert_eq!(s.order(), 1);
+        assert_eq!(s.generator_orders, vec![1, 1]);
+        assert!(s.prime_power_factors().is_empty());
+    }
+
+    #[test]
+    fn snf_with_leading_unit_factors() {
+        // Z_2 × Z_2 presented by three dependent generators: the relation
+        // kernel's SNF has a leading unit invariant factor, which must be
+        // skipped (not materialized as a Z_1 register site).
+        use nahsp_groups::AbelianProduct;
+        let g = AbelianProduct::new(vec![2, 2]);
+        let mut rng = Rng64::seed_from_u64(23);
+        let gens = vec![vec![1u64, 1u64], vec![1u64, 0u64], vec![0u64, 1u64]];
+        let s = decompose(&g, &gens, &solver(), &OrderFinder::Exact, &mut rng);
+        assert_eq!(s.invariant_factors, vec![2, 2]);
+        assert_eq!(s.order(), 4);
     }
 
     #[test]

@@ -3,9 +3,12 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use nahsp_abelian::dual::perp;
-use nahsp_abelian::hsp::{fourier_sample_coset, fourier_sample_full, SubgroupOracle};
+use nahsp_abelian::hsp::{
+    fourier_sample_coset, fourier_sample_full, fourier_sample_sparse, SubgroupOracle,
+};
 use nahsp_abelian::lattice::SubgroupLattice;
 use nahsp_groups::AbelianProduct;
+use nahsp_qsim::GateCounter;
 use rand::SeedableRng;
 
 fn bench_sampling_paths(c: &mut Criterion) {
@@ -16,13 +19,18 @@ fn bench_sampling_paths(c: &mut Criterion) {
     let oracle = SubgroupOracle::new(a.clone(), &hgens);
     let truth = SubgroupLattice::from_generators(&a, &perp(&a, &hgens));
 
+    let gates = GateCounter::new();
     group.bench_function(BenchmarkId::from_parameter("full"), |b| {
         let mut rng = rand::rngs::StdRng::seed_from_u64(16);
-        b.iter(|| fourier_sample_full(&oracle, &mut rng))
+        b.iter(|| fourier_sample_full(&oracle, &gates, &mut rng))
     });
     group.bench_function(BenchmarkId::from_parameter("coset"), |b| {
         let mut rng = rand::rngs::StdRng::seed_from_u64(17);
-        b.iter(|| fourier_sample_coset(&oracle, &mut rng))
+        b.iter(|| fourier_sample_coset(&oracle, &gates, &mut rng))
+    });
+    group.bench_function(BenchmarkId::from_parameter("sparse"), |b| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(19);
+        b.iter(|| fourier_sample_sparse(&oracle, &gates, &mut rng).expect("sparse round"))
     });
     group.bench_function(BenchmarkId::from_parameter("ideal"), |b| {
         let mut rng = rand::rngs::StdRng::seed_from_u64(18);

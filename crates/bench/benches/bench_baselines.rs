@@ -47,7 +47,17 @@ fn bench_ettinger_hoyer(c: &mut Criterion) {
             let g = Dihedral::new(n);
             let d = n / 3;
             let mut rng = rand::rngs::StdRng::seed_from_u64(15);
-            b.iter(|| ettinger_hoyer_dihedral(&g, d, (12 * bits) as usize, |c| c == d, &mut rng).d)
+            b.iter(|| {
+                ettinger_hoyer_dihedral(
+                    &g,
+                    d,
+                    (12 * bits) as usize,
+                    |c| c == d,
+                    &nahsp_qsim::GateCounter::new(),
+                    &mut rng,
+                )
+                .d
+            })
         });
     }
     group.finish();

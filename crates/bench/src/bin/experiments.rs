@@ -2,6 +2,11 @@
 //!
 //! Run with `cargo run --release -p nahsp-bench --bin experiments`.
 //! Pass experiment ids (e.g. `e1 e8 a2`) to run a subset.
+//!
+//! The extra id `bench-solver` (never part of the default set) runs the
+//! solver façade across every strategy and writes machine-readable medians
+//! to `BENCH_solver.json` (override with the `BENCH_SOLVER_OUT` env var);
+//! `--smoke` shrinks the workloads for CI.
 
 use nahsp_abelian::dual::perp;
 use nahsp_abelian::hsp::{
@@ -19,11 +24,12 @@ use nahsp_core::watrous::{quotient_order, CosetStates};
 use nahsp_groups::closure::enumerate_subgroup;
 use nahsp_groups::dihedral::Dihedral;
 use nahsp_groups::perm::{Perm, PermGroup};
-use nahsp_groups::{AbelianProduct, Group};
+use nahsp_groups::{AbelianProduct, CyclicGroup, Group};
 use nahsp_qsim::layout::Layout;
 use nahsp_qsim::measure::total_variation;
 use nahsp_qsim::qft::{approx_qft_binary_register, dft_site, qft_binary_register};
 use nahsp_qsim::state::State;
+use nahsp_qsim::GateCounter;
 use rand::{Rng, SeedableRng};
 use std::time::Instant;
 
@@ -36,8 +42,13 @@ fn micros<T>(f: impl FnOnce() -> T) -> (T, f64) {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).map(|s| s.to_lowercase()).collect();
-    let want = |id: &str| args.is_empty() || args.iter().any(|a| a == id);
+    let raw: Vec<String> = std::env::args().skip(1).map(|s| s.to_lowercase()).collect();
+    let smoke = raw.iter().any(|a| a == "--smoke");
+    let args: Vec<String> = raw.into_iter().filter(|a| !a.starts_with("--")).collect();
+    let want = |id: &str| {
+        args.iter().any(|a| a == id) || (args.is_empty() && id != "bench-solver")
+        // bench-solver is opt-in
+    };
 
     if want("e1") {
         e1_abelian_hsp();
@@ -75,6 +86,217 @@ fn main() {
     if want("a2") {
         a2_ettinger_hoyer();
     }
+    if want("bench-solver") {
+        bench_solver_json(smoke);
+    }
+}
+
+// ------------------------------------------------------------------------
+// bench-solver: per-strategy façade medians, machine-readable.
+// ------------------------------------------------------------------------
+
+fn median_u64(mut v: Vec<u64>) -> u64 {
+    v.sort_unstable();
+    v[v.len() / 2]
+}
+
+fn median_f64(mut v: Vec<f64>) -> f64 {
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN walls"));
+    v[v.len() / 2]
+}
+
+struct StrategyFigures {
+    strategy: &'static str,
+    instance: String,
+    wall_us: f64,
+    oracle_queries: u64,
+    gates: u64,
+}
+
+/// Run one instance `reps` times (distinct solver seeds) and reduce to
+/// medians. The strategy is pinned explicitly so the figures stay
+/// comparable across code changes to the Auto classifier.
+fn solver_figures<G, F>(
+    strategy: Strategy,
+    instance: &HspInstance<G, F>,
+    label: String,
+    reps: usize,
+) -> StrategyFigures
+where
+    G: Group + 'static,
+    G::Elem: 'static,
+    F: nahsp_core::oracle::HidingFunction<G>,
+{
+    let mut walls = Vec::with_capacity(reps);
+    let mut queries = Vec::with_capacity(reps);
+    let mut gates = Vec::with_capacity(reps);
+    for rep in 0..reps {
+        let solver = HspSolver::builder()
+            .strategy(strategy)
+            .seed(1000 + rep as u64)
+            .build();
+        let report = solver.solve(instance).expect("bench-solver solve");
+        walls.push(report.wall.as_secs_f64() * 1e6);
+        queries.push(report.queries.oracle);
+        gates.push(report.queries.gates);
+    }
+    StrategyFigures {
+        strategy: strategy.name(),
+        instance: label,
+        wall_us: median_f64(walls),
+        oracle_queries: median_u64(queries),
+        gates: median_u64(gates),
+    }
+}
+
+/// The machine-readable solver benchmark: one row per strategy, medians of
+/// wall-clock, oracle queries and simulated gates, written as JSON.
+fn bench_solver_json(smoke: bool) {
+    let reps = if smoke { 3 } else { 5 };
+    let mut rows: Vec<StrategyFigures> = Vec::new();
+
+    // Abelian (direct dispatch; Simon-style product instance).
+    {
+        let k = if smoke { 8 } else { 12 };
+        let g = AbelianProduct::new(vec![2u64; k]);
+        let h: Vec<Vec<u64>> = (0..k / 2)
+            .map(|i| {
+                let mut v = vec![0u64; k];
+                v[i] = 1;
+                v[k - 1 - i] = 1;
+                v
+            })
+            .collect();
+        let instance = HspInstance::with_coset_oracle(g, &h, 1 << (k / 2 + 1)).expect("oracle");
+        rows.push(solver_figures(
+            Strategy::Abelian,
+            &instance,
+            format!("Z2^{k}, |H| = 2^{}", k / 2),
+            reps,
+        ));
+    }
+
+    // NormalSubgroup (Thm 8, Schreier–Sims fast path): A_n inside S_n.
+    {
+        let n = if smoke { 5 } else { 6 };
+        let (sn, oracle) = perm_instance(n);
+        let an_gens = nahsp_groups::perm::PermGroup::alternating(n).gens;
+        let instance = HspInstance::new(sn, oracle)
+            .promise_normal()
+            .with_ground_truth(an_gens);
+        rows.push(solver_figures(
+            Strategy::NormalSubgroup,
+            &instance,
+            format!("A_{n} hidden in S_{n}"),
+            reps,
+        ));
+    }
+
+    // SmallCommutator (Thm 11 / Cor 12): extraspecial p-group.
+    {
+        let p = if smoke { 3 } else { 5 };
+        let (g, oracle) = extraspecial_instance(p);
+        let instance = HspInstance::new(g, oracle);
+        rows.push(solver_figures(
+            Strategy::SmallCommutator,
+            &instance,
+            format!("Heisenberg(p = {p}), |G| = p^3"),
+            reps,
+        ));
+    }
+
+    // Ea2Cyclic (Thm 13): wreath product.
+    {
+        let half = if smoke { 2 } else { 3 };
+        let (g, oracle, _coords, _h) = wreath_instance(half);
+        let instance = HspInstance::new(g, oracle);
+        rows.push(solver_figures(
+            Strategy::Ea2Cyclic,
+            &instance,
+            format!("Z2^{half} wr Z2"),
+            reps,
+        ));
+    }
+
+    // Ea2General (Thm 13, general quotient).
+    {
+        let (k, m, coeffs) = if smoke {
+            (3usize, 7u64, 0b011u64)
+        } else {
+            (4, 15, 0b0011)
+        };
+        let (g, oracle, _coords) = semidirect_instance(k, m, coeffs);
+        let instance = HspInstance::new(g, oracle);
+        rows.push(solver_figures(
+            Strategy::Ea2General,
+            &instance,
+            format!("Z2^{k} : Z{m}"),
+            reps,
+        ));
+    }
+
+    // Ettinger–Høyer dihedral baseline.
+    {
+        let n = if smoke { 16u64 } else { 64 };
+        let g = Dihedral::new(n);
+        let instance =
+            HspInstance::with_coset_oracle(g, &[(3u64, true)], 2 * n as usize + 4).expect("oracle");
+        rows.push(solver_figures(
+            Strategy::EttingerHoyerDihedral,
+            &instance,
+            format!("D_{n}, reflection slope 3"),
+            reps,
+        ));
+    }
+
+    // Classical baselines on the same cyclic instance.
+    {
+        let n = if smoke { 128u64 } else { 512 };
+        let g = CyclicGroup::new(n);
+        let instance =
+            HspInstance::with_coset_oracle(g.clone(), &[8u64], n as usize + 4).expect("oracle");
+        rows.push(solver_figures(
+            Strategy::ExhaustiveScan,
+            &instance,
+            format!("Z_{n}, H = <8>"),
+            reps,
+        ));
+        let instance = HspInstance::with_coset_oracle(g, &[8u64], n as usize + 4).expect("oracle");
+        rows.push(solver_figures(
+            Strategy::BirthdayCollision,
+            &instance,
+            format!("Z_{n}, H = <8>"),
+            reps,
+        ));
+    }
+
+    // Hand-rolled JSON: no serde in the offline workspace.
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"schema\": \"nahsp-bench-solver/v1\",\n");
+    json.push_str(&format!(
+        "  \"mode\": \"{}\",\n",
+        if smoke { "smoke" } else { "full" }
+    ));
+    json.push_str(&format!("  \"reps\": {reps},\n"));
+    json.push_str("  \"strategies\": {\n");
+    for (i, row) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    \"{}\": {{ \"instance\": \"{}\", \"wall_us_median\": {:.1}, \
+             \"oracle_queries_median\": {}, \"gates_median\": {} }}{}\n",
+            row.strategy,
+            row.instance,
+            row.wall_us,
+            row.oracle_queries,
+            row.gates,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  }\n}\n");
+    let out = std::env::var("BENCH_SOLVER_OUT").unwrap_or_else(|_| "BENCH_solver.json".into());
+    std::fs::write(&out, &json).expect("write bench output");
+    println!("\nbench-solver: wrote {} strategies to {out}", rows.len());
+    print!("{json}");
 }
 
 /// E1 — Abelian HSP: quantum queries poly(log|A|) vs classical birthday.
@@ -500,10 +722,11 @@ fn a1_backend_agreement() {
         let mut h_ideal = vec![0f64; dim as usize];
         let truth = SubgroupLattice::from_generators(&a, &perp(&a, &hgens));
         let oracle = SubgroupOracle::new(a.clone(), &hgens);
+        let gates = GateCounter::new();
         for _ in 0..n {
             h_ideal[idx(&truth.random_element(&mut rng))] += 1.0 / n as f64;
-            h_full[idx(&fourier_sample_full(&oracle, &mut rng))] += 1.0 / n as f64;
-            h_coset[idx(&fourier_sample_coset(&oracle, &mut rng))] += 1.0 / n as f64;
+            h_full[idx(&fourier_sample_full(&oracle, &gates, &mut rng))] += 1.0 / n as f64;
+            h_coset[idx(&fourier_sample_coset(&oracle, &gates, &mut rng))] += 1.0 / n as f64;
         }
         t.row(&[
             format!("Z{moduli:?} H={hgens:?}"),
@@ -524,8 +747,16 @@ fn a2_ettinger_hoyer() {
         let g = Dihedral::new(n);
         let d = rng.gen_range(0..n);
         let samples = (12 * bits) as usize;
-        let (res, us) =
-            micros(|| ettinger_hoyer_dihedral(&g, d, samples, |cand| cand == d, &mut rng));
+        let (res, us) = micros(|| {
+            ettinger_hoyer_dihedral(
+                &g,
+                d,
+                samples,
+                |cand| cand == d,
+                &GateCounter::new(),
+                &mut rng,
+            )
+        });
         t.row(&[
             format!("{n}"),
             format!("{}", res.quantum_queries),

@@ -17,6 +17,7 @@ use crate::oracle::HidingFunction;
 use nahsp_groups::closure::enumerate_subgroup;
 use nahsp_groups::dihedral::Dihedral;
 use nahsp_groups::Group;
+use nahsp_qsim::counter::GateCounter;
 use nahsp_qsim::layout::Layout;
 use nahsp_qsim::measure::measure_sites;
 use nahsp_qsim::qft::dft_site;
@@ -152,6 +153,7 @@ pub fn ettinger_hoyer_dihedral(
     d_truth: u64,
     samples: usize,
     verify: impl Fn(u64) -> bool,
+    gates: &GateCounter,
     rng: &mut impl Rng,
 ) -> EttingerHoyerResult {
     let n = group.n;
@@ -170,7 +172,8 @@ pub fn ettinger_hoyer_dihedral(
             let r = rng.gen_range(0..n);
             let idx0 = layout.encode(&[r as usize, 0]);
             let idx1 = layout.encode(&[((r + d_truth) % n) as usize, 1]);
-            let mut state = State::uniform_over(layout.clone(), &[idx0, idx1]);
+            let mut state =
+                State::uniform_over(layout.clone(), &[idx0, idx1]).with_gate_counter(gates.clone());
             dft_site(&mut state, 0, false);
             dft_site(&mut state, 1, false);
             let outcome = measure_sites(&mut state, &[0, 1], rng);
@@ -278,6 +281,7 @@ mod tests {
                     d,
                     8 * (64 - n.leading_zeros()) as usize,
                     |cand| cand == d,
+                    &GateCounter::new(),
                     &mut rng,
                 );
                 assert_eq!(res.d, d, "n={n} d={d}");
@@ -333,7 +337,8 @@ mod tests {
         let g = Dihedral::new(n);
         let d = 12345u64;
         let mut rng = Rng64::seed_from_u64(41);
-        let res = ettinger_hoyer_dihedral(&g, d, 14 * 12, |c| c == d, &mut rng);
+        let res =
+            ettinger_hoyer_dihedral(&g, d, 14 * 12, |c| c == d, &GateCounter::new(), &mut rng);
         assert_eq!(res.d, d);
     }
 
@@ -342,7 +347,14 @@ mod tests {
         let g = Dihedral::new(64);
         let mut rng = Rng64::seed_from_u64(8);
         let samples = 8 * 7; // 8·log2(64) + slack
-        let res = ettinger_hoyer_dihedral(&g, 17, samples, |cand| cand == 17, &mut rng);
+        let res = ettinger_hoyer_dihedral(
+            &g,
+            17,
+            samples,
+            |cand| cand == 17,
+            &GateCounter::new(),
+            &mut rng,
+        );
         assert!(res.quantum_queries < 64, "queries should be far below n");
         assert_eq!(res.d, 17);
     }

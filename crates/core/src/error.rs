@@ -44,6 +44,14 @@ pub enum HspError {
         /// Backend capacity.
         cap: usize,
     },
+    /// The sparse simulator backend's nonzero-count budget (memory-based,
+    /// not `|A|`-based) would be exceeded.
+    SparseCapacity {
+        /// Peak nonzero amplitudes the instance needs.
+        nnz: usize,
+        /// The configured budget.
+        cap: usize,
+    },
     /// A component needed ground truth (ideal sampling backend,
     /// Ettinger–Høyer coset-state preparation) that the instance lacks.
     MissingGroundTruth {
@@ -104,6 +112,9 @@ impl std::fmt::Display for HspError {
             HspError::SimulatorCapacity { dim, cap } => {
                 write!(f, "simulator capacity exceeded: |A| = {dim} > {cap}")
             }
+            HspError::SparseCapacity { nnz, cap } => {
+                write!(f, "sparse simulator capacity exceeded: nnz = {nnz} > {cap}")
+            }
             HspError::MissingGroundTruth { context } => {
                 write!(f, "{context} requires instance ground truth")
             }
@@ -139,6 +150,7 @@ impl From<SolveError> for HspError {
                 max_rounds,
             },
             SolveError::SimulatorCapacity { dim, cap } => HspError::SimulatorCapacity { dim, cap },
+            SolveError::SparseCapacity { nnz, cap } => HspError::SparseCapacity { nnz, cap },
             SolveError::MissingGroundTruth => HspError::MissingGroundTruth {
                 context: "ideal sampling backend".into(),
             },
@@ -170,5 +182,7 @@ mod tests {
         assert_eq!(e, HspError::SimulatorCapacity { dim: 9, cap: 4 });
         let e: HspError = SolveError::MissingGroundTruth.into();
         assert!(matches!(e, HspError::MissingGroundTruth { .. }));
+        let e: HspError = SolveError::SparseCapacity { nnz: 9, cap: 4 }.into();
+        assert_eq!(e, HspError::SparseCapacity { nnz: 9, cap: 4 });
     }
 }

@@ -46,12 +46,15 @@ use crate::normal_hsp::{try_hidden_normal_subgroup, try_normal_subgroup_seeds, Q
 use crate::oracle::HidingFunction;
 use crate::small_commutator::try_hsp_small_commutator_with;
 use classify::{cast_clone, cast_ref, dihedral_reflection_slope};
-use nahsp_abelian::{AbelianHsp, Backend};
+use nahsp_abelian::hsp::HidingOracle as AbelianHidingOracle;
+use nahsp_abelian::lattice;
+use nahsp_abelian::{AbelianHsp, Backend, SubgroupLattice};
 use nahsp_groups::closure::{commutator_subgroup, enumerate_subgroup, normal_closure_generators};
 use nahsp_groups::dihedral::Dihedral;
 use nahsp_groups::semidirect::Semidirect;
 use nahsp_groups::stabchain::StabilizerChain;
-use nahsp_groups::{Group, Perm};
+use nahsp_groups::{AbelianProduct, CyclicGroup, Group, Perm};
+use nahsp_qsim::GateCounter;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rayon::prelude::ParallelSliceMut;
@@ -80,7 +83,7 @@ impl Default for HspSolver {
             strategy: Strategy::Auto,
             enumeration_limit: 1 << 16,
             query_budget: None,
-            backend: Backend::SimulatorCoset,
+            backend: Backend::Auto,
             max_rounds: 0,
             seed: 0,
             parallelism: 0,
@@ -120,11 +123,16 @@ impl HspSolverBuilder {
         self
     }
 
-    /// Backend for the quantum Fourier-sampling rounds. The quotient
-    /// presentation machinery has no ground truth, so [`Backend::Ideal`]
-    /// downgrades to [`Backend::SimulatorCoset`] there and applies only to
-    /// the Theorem 13 per-coset instances (which can consume instance
-    /// ground truth). Default [`Backend::SimulatorCoset`].
+    /// Backend for the quantum Fourier-sampling rounds. The default,
+    /// [`Backend::Auto`], resolves per instance: the dense coset simulator
+    /// while `|A|` fits its cap, the sparse simulator when the promised
+    /// hidden subgroup keeps the nonzero count small (coset fibers come
+    /// from instance ground truth on the direct Abelian path), then the
+    /// ideal sampler. The quotient presentation machinery has no ground
+    /// truth, so [`Backend::Ideal`] downgrades to
+    /// [`Backend::SimulatorCoset`] there and applies only to the direct
+    /// Abelian path and the Theorem 13 per-coset instances (which can
+    /// consume instance ground truth).
     pub fn backend(mut self, backend: Backend) -> Self {
         self.solver.backend = backend;
         self
@@ -270,7 +278,10 @@ impl HspSolver {
     {
         let t0 = Instant::now();
         let q0 = instance.oracle().queries();
-        let g0 = nahsp_qsim::gates_applied();
+        // Per-run gate counter: threaded into every engine and simulated
+        // circuit this solve creates, so the report's gate delta is exact
+        // even when `solve_batch` interleaves solves across threads.
+        let gates = GateCounter::new();
         // Containment net: algorithm internals that still assert (deep
         // simulator/linear-algebra invariants) become HspError::Internal
         // instead of unwinding through the façade. Verification runs inside
@@ -281,7 +292,8 @@ impl HspSolver {
                 Strategy::Auto => classify::classify_with_cache(self, instance)?,
                 s => (s, None),
             };
-            let (generators, order, detail) = self.run(strategy, instance, gprime, &mut rng)?;
+            let (generators, order, detail) =
+                self.run(strategy, instance, gprime, &gates, &mut rng)?;
             let verdict = self.verify_result(instance, &generators)?;
             Ok((strategy, generators, order, detail, verdict))
         }));
@@ -311,7 +323,7 @@ impl HspSolver {
             verdict,
             queries: QueryStats {
                 oracle: oracle_spent,
-                gates: nahsp_qsim::gates_applied().saturating_sub(g0),
+                gates: gates.count(),
             },
             wall: t0.elapsed(),
             instance_label: instance.label().map(str::to_owned),
@@ -327,6 +339,7 @@ impl HspSolver {
         strategy: Strategy,
         instance: &HspInstance<G, F>,
         gprime: Option<Vec<G::Elem>>,
+        gates: &GateCounter,
         rng: &mut StdRng,
     ) -> Result<(Vec<G::Elem>, Option<u64>, StrategyDetail), HspError>
     where
@@ -336,20 +349,22 @@ impl HspSolver {
     {
         match strategy {
             Strategy::Auto => unreachable!("Auto is resolved before dispatch"),
-            Strategy::Abelian => self.run_abelian(instance, rng),
-            Strategy::NormalSubgroup => self.run_normal(instance, rng),
-            Strategy::SmallCommutator => self.run_small_commutator(instance, gprime, rng),
-            Strategy::Ea2Cyclic => self.run_ea2(instance, true, rng),
-            Strategy::Ea2General => self.run_ea2(instance, false, rng),
-            Strategy::EttingerHoyerDihedral => self.run_ettinger_hoyer(instance, rng),
+            Strategy::Abelian => self.run_abelian(instance, gates, rng),
+            Strategy::NormalSubgroup => self.run_normal(instance, gates, rng),
+            Strategy::SmallCommutator => self.run_small_commutator(instance, gprime, gates, rng),
+            Strategy::Ea2Cyclic => self.run_ea2(instance, true, gates, rng),
+            Strategy::Ea2General => self.run_ea2(instance, false, gates, rng),
+            Strategy::EttingerHoyerDihedral => self.run_ettinger_hoyer(instance, gates, rng),
             Strategy::ExhaustiveScan => self.run_scan(instance),
             Strategy::BirthdayCollision => self.run_birthday(instance, rng),
         }
     }
 
     /// Abelian engine configuration for the presentation machinery (no
-    /// ground truth there, so `Ideal` downgrades to the coset simulator).
-    fn presentation_engine(&self) -> AbelianHsp {
+    /// ground truth there, so `Ideal` downgrades to the coset simulator;
+    /// `Auto` resolves per instance inside the engine). The run's gate
+    /// counter is shared into the engine so simulated rounds bill this run.
+    fn presentation_engine(&self, gates: &GateCounter) -> AbelianHsp {
         let backend = match self.backend {
             Backend::Ideal => Backend::SimulatorCoset,
             b => b,
@@ -357,21 +372,25 @@ impl HspSolver {
         AbelianHsp {
             backend,
             max_rounds: self.max_rounds,
+            gates: gates.clone(),
         }
     }
 
-    /// Abelian engine for the Theorem 13 per-coset instances (these *can*
-    /// consume instance ground truth, so `Ideal` passes through).
-    fn ea2_engine(&self) -> AbelianHsp {
+    /// Abelian engine for the direct Abelian path and the Theorem 13
+    /// per-coset instances (these *can* consume instance ground truth, so
+    /// `Ideal` passes through).
+    fn truth_engine(&self, gates: &GateCounter) -> AbelianHsp {
         AbelianHsp {
             backend: self.backend,
             max_rounds: self.max_rounds,
+            gates: gates.clone(),
         }
     }
 
     fn run_abelian<G, F>(
         &self,
         instance: &HspInstance<G, F>,
+        gates: &GateCounter,
         rng: &mut StdRng,
     ) -> Result<(Vec<G::Elem>, Option<u64>, StrategyDetail), HspError>
     where
@@ -380,11 +399,20 @@ impl HspSolver {
         F: HidingFunction<G>,
     {
         let group = instance.group();
+        // Concrete Abelian products and cyclic groups map straight onto the
+        // Abelian HSP engine — no presentation detour. This is also the path
+        // where instance ground truth reaches the engine: coset fibers for
+        // the sparse backend (so `Auto` lifts the dense `|A|` caps whenever
+        // the promised `|H|` keeps the nonzero count small) and generator
+        // sets for the ideal sampler.
+        if let Some(out) = self.run_abelian_direct(instance, gates, rng)? {
+            return Ok(out);
+        }
         let seeds = try_normal_subgroup_seeds(
             group,
             instance.oracle(),
             QuotientEngine::Abelian,
-            &self.presentation_engine(),
+            &self.presentation_engine(gates),
             rng,
         )?;
         // In an Abelian group conjugation is trivial, so the seeds plainly
@@ -400,9 +428,96 @@ impl HspSolver {
         ))
     }
 
+    /// The structural fast path of [`HspSolver::run_abelian`]: when the
+    /// group is literally an [`AbelianProduct`] or [`CyclicGroup`], the
+    /// instance *is* an Abelian HSP instance — hand it to the engine
+    /// directly. Returns `Ok(None)` for every other group type.
+    #[allow(clippy::type_complexity)]
+    fn run_abelian_direct<G, F>(
+        &self,
+        instance: &HspInstance<G, F>,
+        gates: &GateCounter,
+        rng: &mut StdRng,
+    ) -> Result<Option<(Vec<G::Elem>, Option<u64>, StrategyDetail)>, HspError>
+    where
+        G: Group + 'static,
+        G::Elem: 'static,
+        F: HidingFunction<G>,
+    {
+        let group = instance.group();
+        // Coordinate bridge per concrete family.
+        let (ambient, to_elem): (AbelianProduct, Box<dyn Fn(&[u64]) -> G::Elem + Sync + '_>) =
+            if let Some(ap) = cast_ref::<G, AbelianProduct>(group) {
+                (
+                    ap.clone(),
+                    Box::new(|x: &[u64]| {
+                        cast_clone::<Vec<u64>, G::Elem>(&x.to_vec()).expect("product element")
+                    }),
+                )
+            } else if let Some(cg) = cast_ref::<G, CyclicGroup>(group) {
+                (
+                    AbelianProduct::new(vec![cg.n]),
+                    Box::new(|x: &[u64]| {
+                        cast_clone::<u64, G::Elem>(&x[0]).expect("cyclic element")
+                    }),
+                )
+            } else {
+                return Ok(None);
+            };
+        let elem_coords = |e: &G::Elem| -> Vec<u64> {
+            if let Some(v) = cast_ref::<G::Elem, Vec<u64>>(e) {
+                v.clone()
+            } else {
+                vec![*cast_ref::<G::Elem, u64>(e).expect("cyclic element")]
+            }
+        };
+        let truth_coords: Option<Vec<Vec<u64>>> = instance
+            .ground_truth()
+            .map(|t| t.iter().map(&elem_coords).collect());
+        let truth_lattice = truth_coords
+            .as_ref()
+            .map(|t| SubgroupLattice::from_generators(&ambient, t));
+        let eval_fn = |coords: &[u64]| instance.oracle().eval(&to_elem(coords));
+        let has_truth = truth_coords.is_some();
+        let oracle = DirectAbelianOracle {
+            ambient: ambient.clone(),
+            eval: &eval_fn,
+            truth_coords,
+            truth_lattice,
+        };
+        // Without ground truth the ideal sampler has nothing to draw from;
+        // downgrade to the dense coset simulator — the same behavior the
+        // presentation path has always had for `Backend::Ideal`.
+        let mut engine = self.truth_engine(gates);
+        if engine.backend == Backend::Ideal && !has_truth {
+            engine.backend = Backend::SimulatorCoset;
+        }
+        let result = engine.try_solve(&oracle, rng)?;
+        let order = result.subgroup.order();
+        let generators: Vec<G::Elem> = result
+            .subgroup
+            .cyclic_generators()
+            .iter()
+            .map(|(g, _)| to_elem(g))
+            .collect();
+        let generators = dedupe_generators(group, generators);
+        let ambient_order = ambient
+            .moduli
+            .iter()
+            .fold(1u64, |acc, &m| acc.saturating_mul(m));
+        Ok(Some((
+            generators,
+            Some(order),
+            StrategyDetail::Normal {
+                quotient_order: ambient_order / order.max(1),
+            },
+        )))
+    }
+
     fn run_normal<G, F>(
         &self,
         instance: &HspInstance<G, F>,
+        gates: &GateCounter,
         rng: &mut StdRng,
     ) -> Result<(Vec<G::Elem>, Option<u64>, StrategyDetail), HspError>
     where
@@ -411,7 +526,7 @@ impl HspSolver {
         F: HidingFunction<G>,
     {
         let group = instance.group();
-        let engine = self.presentation_engine();
+        let engine = self.presentation_engine(gates);
         let qe = QuotientEngine::Auto {
             limit: self.enumeration_limit,
         };
@@ -475,6 +590,7 @@ impl HspSolver {
         &self,
         instance: &HspInstance<G, F>,
         gprime: Option<Vec<G::Elem>>,
+        gates: &GateCounter,
         rng: &mut StdRng,
     ) -> Result<(Vec<G::Elem>, Option<u64>, StrategyDetail), HspError>
     where
@@ -496,7 +612,7 @@ impl HspSolver {
             group,
             instance.oracle(),
             gprime,
-            &self.presentation_engine(),
+            &self.presentation_engine(gates),
             rng,
         )?;
         let generators = dedupe_generators(group, result.h_generators);
@@ -515,6 +631,7 @@ impl HspSolver {
         &self,
         instance: &HspInstance<G, F>,
         cyclic: bool,
+        gates: &GateCounter,
         rng: &mut StdRng,
     ) -> Result<(Vec<G::Elem>, Option<u64>, StrategyDetail), HspError>
     where
@@ -529,7 +646,7 @@ impl HspSolver {
         } else {
             None
         };
-        let engine = self.ea2_engine();
+        let engine = self.truth_engine(gates);
         let result = if cyclic {
             try_hsp_ea2_cyclic(
                 group,
@@ -669,6 +786,7 @@ impl HspSolver {
     fn run_ettinger_hoyer<G, F>(
         &self,
         instance: &HspInstance<G, F>,
+        gates: &GateCounter,
         rng: &mut StdRng,
     ) -> Result<(Vec<G::Elem>, Option<u64>, StrategyDetail), HspError>
     where
@@ -713,6 +831,7 @@ impl HspSolver {
                     .expect("dihedral element type");
                 f.eval(&e) == id_label
             },
+            gates,
             rng,
         );
         if result.d != d_truth {
@@ -821,6 +940,44 @@ impl HspSolver {
             }
         }
         Ok(Verdict::GeneratorsConsistent)
+    }
+}
+
+/// Engine-level view of a façade instance over a concrete Abelian group:
+/// labels come from the instance's hiding function through the coordinate
+/// bridge, and instance ground truth (when present) backs both the ideal
+/// sampler and the sparse backend's coset fibers.
+struct DirectAbelianOracle<'a> {
+    ambient: AbelianProduct,
+    eval: &'a (dyn Fn(&[u64]) -> u64 + Sync),
+    truth_coords: Option<Vec<Vec<u64>>>,
+    truth_lattice: Option<SubgroupLattice>,
+}
+
+impl AbelianHidingOracle for DirectAbelianOracle<'_> {
+    fn ambient(&self) -> &AbelianProduct {
+        &self.ambient
+    }
+
+    fn label(&self, x: &[u64]) -> u64 {
+        (self.eval)(x)
+    }
+
+    fn ground_truth(&self) -> Option<Vec<Vec<u64>>> {
+        self.truth_coords.clone()
+    }
+
+    fn coset_fiber(&self, x0: &[u64], max_len: usize) -> Option<Vec<Vec<u64>>> {
+        let lat = self.truth_lattice.as_ref()?;
+        if lat.order() > max_len as u64 {
+            return None;
+        }
+        Some(
+            lat.elements()
+                .into_iter()
+                .map(|h| lattice::add(&self.ambient, x0, &h))
+                .collect(),
+        )
     }
 }
 
@@ -941,6 +1098,25 @@ mod tests {
             err,
             HspError::QueryBudgetExceeded { budget: 5, .. }
         ));
+    }
+
+    /// Review-finding regression: `Backend::Ideal` on a concrete Abelian
+    /// instance with *no* ground truth must downgrade to the coset
+    /// simulator on the direct path (as the presentation path always did),
+    /// not fail with MissingGroundTruth.
+    #[test]
+    fn ideal_backend_without_truth_downgrades_on_direct_abelian_path() {
+        use nahsp_groups::AbelianProduct;
+        let g = AbelianProduct::new(vec![4, 4]);
+        let oracle = CosetTableOracle::new(g.clone(), &[vec![2u64, 0]], 100);
+        let instance = HspInstance::new(g, oracle); // no with_ground_truth
+        let report = HspSolver::builder()
+            .backend(Backend::Ideal)
+            .build()
+            .solve(&instance)
+            .expect("Ideal without truth downgrades to the coset simulator");
+        assert_eq!(report.strategy, Strategy::Abelian);
+        assert_eq!(report.order, Some(2));
     }
 
     #[test]

@@ -10,9 +10,10 @@ pub struct QueryStats {
     /// Hiding-function evaluations attributed to this solve (delta of the
     /// oracle's counter — includes the verification step's queries).
     pub oracle: u64,
-    /// Elementary simulator gates applied during this solve. The gate
-    /// counter is process-global, so under `solve_batch` concurrent
-    /// instances may interleave their counts.
+    /// Elementary simulator gates applied during this solve. Each solve
+    /// owns a per-run `GateCounter` threaded through every circuit it
+    /// simulates, so this figure is exact even when `solve_batch`
+    /// interleaves solves across worker threads.
     pub gates: u64,
 }
 

@@ -1,33 +1,54 @@
-//! Oracle-query accounting.
+//! Oracle-query and gate accounting.
 //!
 //! The reproduction's headline metric is query complexity: how many times an
 //! algorithm consults the hiding function `f`, the group oracle `U_G`, or a
 //! quantum subroutine. Counters are cheap, cloneable handles over atomics so
 //! the same counter can be threaded through classical reductions and
 //! rayon-parallel simulator kernels.
+//!
+//! Gate accounting follows the same shape: a [`GateCounter`] is a per-run
+//! handle, attached to every [`crate::state::State`] (and
+//! [`crate::sparse::SparseState`]) that participates in the run. There is no
+//! process-global gate tally — concurrent runs each own their counter, so
+//! per-run attribution is exact under arbitrary parallelism.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// Process-wide tally of elementary gate applications (site unitaries,
-/// diagonal phases, swaps, shifts) executed by the simulator kernels.
+/// Per-run tally of elementary gate applications (site unitaries, diagonal
+/// phases, swaps, shifts) executed by the simulator kernels.
 ///
-/// This is the "gate" column of solver-level accounting: callers snapshot
-/// [`gates_applied`] before and after a run and report the delta. The
-/// counter is global and relaxed, so concurrent runs interleave their
-/// counts — per-run attribution is exact only for single-threaded solves.
-static GATES_APPLIED: AtomicU64 = AtomicU64::new(0);
-
-/// Record `n` elementary gate applications (called by the kernels in
-/// [`crate::gates`]).
-#[inline]
-pub fn record_gates(n: u64) {
-    GATES_APPLIED.fetch_add(n, Ordering::Relaxed);
+/// Clones share state (like [`QueryCounter`]): attach one handle to every
+/// state a run creates — via [`crate::state::State::with_gate_counter`] or
+/// an engine that threads it — and read [`GateCounter::count`] at the end.
+/// Because the counter is owned by the run, deltas never interleave across
+/// concurrent solves.
+#[derive(Clone, Debug, Default)]
+pub struct GateCounter {
+    inner: Arc<AtomicU64>,
 }
 
-/// Total elementary gates applied by this process so far.
-pub fn gates_applied() -> u64 {
-    GATES_APPLIED.load(Ordering::Relaxed)
+impl GateCounter {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record `n` elementary gate applications (called by the kernels in
+    /// [`crate::gates`], [`crate::qft`] and [`crate::sparse`]).
+    #[inline]
+    pub fn record(&self, n: u64) {
+        self.inner.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Total gates recorded on this counter so far.
+    pub fn count(&self) -> u64 {
+        self.inner.load(Ordering::Relaxed)
+    }
+
+    /// Whether two handles share the same underlying counter.
+    pub fn shares_with(&self, other: &GateCounter) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
 }
 
 /// A family of named counters for one algorithm run.
@@ -49,6 +70,11 @@ struct Counters {
     /// Invocations of quantum subroutines treated as oracles (order finding,
     /// discrete log, Fourier sampling rounds).
     subroutine_calls: AtomicU64,
+    /// Seqlock epoch guarding [`QueryCounter::reset`]: odd while a reset is
+    /// zeroing the four fields, even when the counter is stable. `snapshot`
+    /// retries until it reads the same even epoch on both sides, so it can
+    /// never observe a half-reset counter.
+    epoch: AtomicU64,
 }
 
 impl QueryCounter {
@@ -93,21 +119,44 @@ impl QueryCounter {
     }
 
     /// Snapshot `(classical, quantum, group_ops, subroutines)`.
+    ///
+    /// Consistent with respect to [`QueryCounter::reset`]: the four fields
+    /// are read under the reset seqlock, so the snapshot is never a mix of
+    /// pre-reset and post-reset values. (Increments racing the snapshot may
+    /// still land between the field reads — that interleaving is inherent to
+    /// independent counters and affects no invariant.)
     pub fn snapshot(&self) -> (u64, u64, u64, u64) {
-        (
-            self.classical(),
-            self.quantum(),
-            self.group_ops(),
-            self.subroutines(),
-        )
+        loop {
+            let before = self.inner.epoch.load(Ordering::SeqCst);
+            if before % 2 == 1 {
+                std::hint::spin_loop();
+                continue;
+            }
+            let snap = (
+                self.classical(),
+                self.quantum(),
+                self.group_ops(),
+                self.subroutines(),
+            );
+            std::sync::atomic::fence(Ordering::SeqCst);
+            if self.inner.epoch.load(Ordering::SeqCst) == before {
+                return snap;
+            }
+        }
     }
 
-    /// Reset all counters to zero.
+    /// Reset all counters to zero. Guarded by an epoch so a concurrent
+    /// [`QueryCounter::snapshot`] observes either the pre-reset or the
+    /// post-reset state, never a torn mixture.
     pub fn reset(&self) {
+        self.inner.epoch.fetch_add(1, Ordering::SeqCst); // odd: reset running
+        std::sync::atomic::fence(Ordering::SeqCst);
         self.inner.classical_queries.store(0, Ordering::Relaxed);
         self.inner.quantum_queries.store(0, Ordering::Relaxed);
         self.inner.group_ops.store(0, Ordering::Relaxed);
         self.inner.subroutine_calls.store(0, Ordering::Relaxed);
+        std::sync::atomic::fence(Ordering::SeqCst);
+        self.inner.epoch.fetch_add(1, Ordering::SeqCst); // even: stable again
     }
 }
 
@@ -156,5 +205,71 @@ mod tests {
             }
         });
         assert_eq!(c.group_ops(), 8000);
+    }
+
+    /// Regression test for the reset/snapshot tear. The writer increments
+    /// quantum *before* classical, so `classical <= quantum` holds at every
+    /// instant of its execution; snapshot reads classical before quantum,
+    /// so absent a reset inside the read window the inequality is
+    /// guaranteed (classical read early, quantum read late and monotone).
+    /// The pre-fix non-atomic reset zeroed `classical_queries` first, so a
+    /// snapshot straddling a reset could read classical pre-reset and
+    /// quantum post-reset — `(1, 0)`, a torn state. The epoch scheme forces
+    /// such a snapshot to retry.
+    #[test]
+    fn snapshot_never_observes_half_reset() {
+        let c = QueryCounter::new();
+        let writer = c.clone();
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                for _ in 0..20_000 {
+                    writer.count_quantum(1);
+                    writer.count_classical(1);
+                    writer.reset();
+                }
+            });
+            for _ in 0..20_000 {
+                let (cl, qu, _, _) = c.snapshot();
+                assert!(
+                    cl <= qu,
+                    "torn snapshot: classical={cl} > quantum={qu} — reset tearing observed"
+                );
+            }
+        });
+    }
+
+    #[test]
+    fn gate_counter_is_per_handle() {
+        let a = GateCounter::new();
+        let b = GateCounter::new();
+        a.record(3);
+        b.record(5);
+        assert_eq!(a.count(), 3);
+        assert_eq!(b.count(), 5);
+        assert!(!a.shares_with(&b));
+        let a2 = a.clone();
+        a2.record(1);
+        assert_eq!(a.count(), 4);
+        assert!(a.shares_with(&a2));
+    }
+
+    #[test]
+    fn gate_counter_concurrent_runs_do_not_interleave() {
+        // Eight "runs", each with its own counter, each recording a known
+        // figure from its own thread — every run's count must be exact.
+        let counters: Vec<GateCounter> = (0..8).map(|_| GateCounter::new()).collect();
+        std::thread::scope(|s| {
+            for (i, c) in counters.iter().enumerate() {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..(1000 + i) {
+                        c.record(1);
+                    }
+                });
+            }
+        });
+        for (i, c) in counters.iter().enumerate() {
+            assert_eq!(c.count(), 1000 + i as u64);
+        }
     }
 }

@@ -16,7 +16,7 @@ const PAR_THRESHOLD: usize = 1 << 12;
 
 /// Apply a dense `d × d` unitary `u` (row-major) to one site.
 pub fn apply_site_unitary(state: &mut State, site: usize, u: &[Complex]) {
-    crate::counter::record_gates(1);
+    state.gate_counter().record(1);
     let d = state.layout().site_dim(site);
     assert_eq!(u.len(), d * d, "unitary size mismatch");
     let stride = state.layout().stride(site);
@@ -52,7 +52,7 @@ pub fn apply_site_unitary(state: &mut State, site: usize, u: &[Complex]) {
 /// Multiply each basis amplitude by `phase(idx)` — an arbitrary diagonal
 /// unitary. `phase` must return unit-modulus values to preserve norm.
 pub fn apply_diagonal<F: Fn(usize) -> Complex + Sync>(state: &mut State, phase: F) {
-    crate::counter::record_gates(1);
+    state.gate_counter().record(1);
     let amps = state.amplitudes_mut();
     if amps.len() >= PAR_THRESHOLD {
         amps.par_iter_mut()
@@ -100,7 +100,7 @@ pub fn swap_sites(state: &mut State, site_a: usize, site_b: usize) {
     if site_a == site_b {
         return;
     }
-    crate::counter::record_gates(1);
+    state.gate_counter().record(1);
     let layout = state.layout().clone();
     assert_eq!(
         layout.site_dim(site_a),
@@ -145,7 +145,7 @@ pub fn shift_site(state: &mut State, site: usize, shift: usize) {
     if shift == 0 {
         return;
     }
-    crate::counter::record_gates(1);
+    state.gate_counter().record(1);
     let dim = state.dim();
     let amps = state.amplitudes();
     let mut out = vec![Complex::ZERO; dim];
@@ -257,6 +257,39 @@ mod tests {
             assert!((s.probability(i) - 1.0 / 6.0).abs() < 1e-12);
         }
         norm_ok(&s);
+    }
+
+    #[test]
+    fn gate_counts_are_per_state_and_exact() {
+        use crate::counter::GateCounter;
+        // Two states gated concurrently tally into their own counters.
+        let run = |seed: usize| {
+            let gc = GateCounter::new();
+            let mut s = State::zero(Layout::qubits(6)).with_gate_counter(gc.clone());
+            for q in 0..6 {
+                hadamard(&mut s, q); // 6 gates
+            }
+            controlled_phase(&mut s, 0, 1, 0.3 * seed as f64); // 1 gate
+            swap_sites(&mut s, 0, 5); // 1 gate
+            shift_site(&mut s, 2, 1); // 1 gate
+            gc.count()
+        };
+        let counts: Vec<u64> = std::thread::scope(|sc| {
+            let handles: Vec<_> = (0..8).map(|i| sc.spawn(move || run(i))).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for c in counts {
+            assert_eq!(c, 9, "per-run gate delta must be exact under concurrency");
+        }
+    }
+
+    #[test]
+    fn noop_gates_cost_nothing() {
+        let mut s = State::zero(Layout::new(vec![3, 3]));
+        swap_sites(&mut s, 1, 1); // same site: no-op
+        shift_site(&mut s, 0, 0); // zero shift: no-op
+        shift_site(&mut s, 0, 3); // full-cycle shift: no-op
+        assert_eq!(s.gate_counter().count(), 0);
     }
 
     #[test]

@@ -1,5 +1,35 @@
 //! Register layouts: shapes, strides and mixed-radix index arithmetic.
 
+/// Why a [`Layout`] could not be constructed. Dimension-1 sites are the
+/// common offender: Abelian decompositions with trivial `Z_1` factors (unit
+/// invariant factors out of a Smith normal form, identity generators) must
+/// filter them *before* allocating registers — see
+/// `nahsp_abelian::structure`, which does exactly that.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LayoutError {
+    /// The site list was empty.
+    NoSites,
+    /// A site had dimension < 2 (dimension-1 sites carry no information and
+    /// hide indexing bugs).
+    DegenerateSite { site: usize, dim: usize },
+    /// The product of site dimensions overflowed `usize`.
+    DimensionOverflow,
+}
+
+impl std::fmt::Display for LayoutError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LayoutError::NoSites => write!(f, "layout needs at least one site"),
+            LayoutError::DegenerateSite { site, dim } => {
+                write!(f, "site {site} has dimension {dim}; must be >= 2")
+            }
+            LayoutError::DimensionOverflow => write!(f, "layout dimension overflows usize"),
+        }
+    }
+}
+
+impl std::error::Error for LayoutError {}
+
 /// The shape of a quantum register: a list of *sites*, site `i` having
 /// dimension `dims[i] >= 2` (a qubit is a site of dimension 2, a `Z_d`
 /// factor a site of dimension `d`).
@@ -14,24 +44,34 @@ pub struct Layout {
 }
 
 impl Layout {
-    /// Build a layout from site dimensions. Panics if any dimension is < 2
-    /// (dimension-1 sites carry no information and hide indexing bugs) or if
-    /// the total dimension overflows `usize`.
+    /// Build a layout from site dimensions. Panics on the conditions
+    /// [`Layout::try_new`] types as [`LayoutError`].
     pub fn new(dims: Vec<usize>) -> Self {
-        assert!(!dims.is_empty(), "layout needs at least one site");
-        for &d in &dims {
-            assert!(d >= 2, "site dimension must be >= 2, got {d}");
+        match Self::try_new(dims) {
+            Ok(l) => l,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Build a layout from site dimensions, surfacing every invalid shape
+    /// as a typed [`LayoutError`] instead of a panic.
+    pub fn try_new(dims: Vec<usize>) -> Result<Self, LayoutError> {
+        if dims.is_empty() {
+            return Err(LayoutError::NoSites);
+        }
+        if let Some((site, &dim)) = dims.iter().enumerate().find(|&(_, &d)| d < 2) {
+            return Err(LayoutError::DegenerateSite { site, dim });
         }
         let mut strides = vec![1usize; dims.len()];
         for i in (0..dims.len() - 1).rev() {
             strides[i] = strides[i + 1]
                 .checked_mul(dims[i + 1])
-                .expect("layout dimension overflow");
+                .ok_or(LayoutError::DimensionOverflow)?;
         }
         let dim = strides[0]
             .checked_mul(dims[0])
-            .expect("layout dimension overflow");
-        Layout { dims, strides, dim }
+            .ok_or(LayoutError::DimensionOverflow)?;
+        Ok(Layout { dims, strides, dim })
     }
 
     /// `t` qubits.
@@ -213,8 +253,27 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "site dimension")]
+    #[should_panic(expected = "has dimension 1")]
     fn rejects_dimension_one() {
         Layout::new(vec![2, 1]);
+    }
+
+    #[test]
+    fn try_new_types_every_invalid_shape() {
+        assert_eq!(Layout::try_new(vec![]), Err(LayoutError::NoSites));
+        assert_eq!(
+            Layout::try_new(vec![2, 1, 3]),
+            Err(LayoutError::DegenerateSite { site: 1, dim: 1 })
+        );
+        assert_eq!(
+            Layout::try_new(vec![0]),
+            Err(LayoutError::DegenerateSite { site: 0, dim: 0 })
+        );
+        assert_eq!(
+            Layout::try_new(vec![usize::MAX, 3]),
+            Err(LayoutError::DimensionOverflow)
+        );
+        let ok = Layout::try_new(vec![3, 4]).expect("valid layout");
+        assert_eq!(ok.dim(), 12);
     }
 }

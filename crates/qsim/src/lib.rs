@@ -18,12 +18,22 @@
 //!   basis-permutation oracles (the black-box group multiplication `U_G`);
 //! - [`measure`] — projective measurement of site groups, marginals,
 //!   sampling;
-//! - [`counter`] — thread-safe oracle-query counters shared between the
-//!   classical reduction logic and the simulated circuits.
+//! - [`sparse`] — a sparse-amplitude state (`index → amplitude` map with the
+//!   same [`layout::Layout`] semantics) and sparse kernels; memory scales
+//!   with the number of nonzero amplitudes instead of the Hilbert dimension,
+//!   which is what coset states actually need (`|H|` nonzeros out of `|A|`);
+//! - [`counter`] — thread-safe oracle-query counters and the per-run
+//!   [`counter::GateCounter`] every state records gate applications into.
 //!
-//! Simulation cost is linear to quadratic in the Hilbert-space dimension and
+//! Simulation cost is linear to quadratic in the Hilbert-space dimension for
+//! the dense state (and in the nonzero count for the sparse state) and
 //! therefore exponential in the problem size; the *query structure* of the
 //! simulated algorithms is the polynomial object the reproduction measures.
+//!
+//! Gate accounting is per run, never global: each [`State`]/[`SparseState`]
+//! carries a [`GateCounter`] handle (clone-and-share, like
+//! [`QueryCounter`]), so concurrent solves tally into disjoint counters and
+//! per-run deltas are exact under arbitrary batch parallelism.
 
 pub mod complex;
 pub mod counter;
@@ -32,9 +42,11 @@ pub mod layout;
 pub mod measure;
 pub mod oracle;
 pub mod qft;
+pub mod sparse;
 pub mod state;
 
 pub use complex::Complex;
-pub use counter::{gates_applied, QueryCounter};
-pub use layout::Layout;
+pub use counter::{GateCounter, QueryCounter};
+pub use layout::{Layout, LayoutError};
+pub use sparse::SparseState;
 pub use state::State;

@@ -22,24 +22,32 @@ pub fn marginal_distribution(state: &State, sites: &[usize]) -> Vec<f64> {
 
 /// Sample an outcome index from a probability vector (linear scan inverse
 /// CDF; exact up to f64 rounding, tail-safe).
+///
+/// Zero-mass outcomes are never returned: the scan walks a running total
+/// over the *nonzero* entries only and clamps the draw against it, so
+/// accumulated f64 drift past the last nonzero entry falls back to that
+/// entry rather than to an impossible outcome.
 pub fn sample_from(probs: &[f64], rng: &mut impl Rng) -> usize {
     let total: f64 = probs.iter().sum();
     debug_assert!(
         (total - 1.0).abs() < 1e-6,
         "distribution not normalized: {total}"
     );
-    let mut u: f64 = rng.gen::<f64>() * total;
+    let u: f64 = rng.gen::<f64>() * total;
+    let mut acc = 0.0f64;
+    let mut last_nonzero = None;
     for (i, &p) in probs.iter().enumerate() {
-        if u < p {
-            return i;
+        if p > 0.0 {
+            acc += p;
+            last_nonzero = Some(i);
+            if u < acc {
+                return i;
+            }
         }
-        u -= p;
     }
-    // Rounding fell off the end: return the last outcome with nonzero mass.
-    probs
-        .iter()
-        .rposition(|&p| p > 0.0)
-        .expect("sampling from zero distribution")
+    // Rounding drift: `u` fell at or beyond the running total. Clamp to the
+    // last outcome that actually carries mass.
+    last_nonzero.expect("sampling from zero distribution")
 }
 
 /// Measure a group of sites: samples an outcome, collapses the state, and
@@ -142,6 +150,46 @@ mod tests {
         let probs = vec![0.0, 0.0, 1.0, 0.0];
         for _ in 0..100 {
             assert_eq!(sample_from(&probs, &mut rng), 2);
+        }
+    }
+
+    #[test]
+    fn sample_from_never_returns_zero_mass_outcomes() {
+        // A distribution whose accumulated sum drifts below 1.0 and whose
+        // trailing entries are zero: the clamp must land on the last entry
+        // with mass, never on a zero-probability index.
+        let mut rng = Rng64::seed_from_u64(9);
+        let eps = f64::EPSILON;
+        let probs = vec![0.25, 0.0, 0.75 - 40.0 * eps, 0.0, 0.0];
+        for _ in 0..5000 {
+            let i = sample_from(&probs, &mut rng);
+            assert!(probs[i] > 0.0, "sampled zero-mass outcome {i}");
+        }
+        // Random sparse vectors, same invariant.
+        for trial in 0..200 {
+            let mut rng2 = Rng64::seed_from_u64(1000 + trial);
+            let n = 2 + (trial as usize % 9);
+            let mut probs: Vec<f64> = (0..n)
+                .map(|_| {
+                    if rng2.gen::<f64>() < 0.5 {
+                        0.0
+                    } else {
+                        rng2.gen::<f64>()
+                    }
+                })
+                .collect();
+            let total: f64 = probs.iter().sum();
+            if total == 0.0 {
+                probs[0] = 1.0;
+            } else {
+                for p in &mut probs {
+                    *p /= total;
+                }
+            }
+            for _ in 0..50 {
+                let i = sample_from(&probs, &mut rng2);
+                assert!(probs[i] > 0.0, "trial {trial}: zero-mass outcome {i}");
+            }
         }
     }
 

@@ -1,0 +1,557 @@
+//! Sparse-amplitude states and kernels.
+//!
+//! Coset states — the workhorse of every Fourier-sampling round in the
+//! paper — have exactly `|H|` nonzero amplitudes out of `|A|`, so dense
+//! storage wastes a factor `|A|/|H|`. [`SparseState`] stores only the
+//! nonzeros (`basis index → amplitude`, ordered map for deterministic
+//! iteration) over the same [`Layout`] mixed-radix semantics as the dense
+//! [`State`], and the kernels here mirror the dense ones:
+//!
+//! - per-site unitaries / DFTs ([`apply_site_unitary_sparse`],
+//!   [`dft_site_sparse`], [`qft_product_group_sparse`]) — `O(nnz · d)`;
+//! - diagonal and controlled phases ([`apply_diagonal_sparse`],
+//!   [`controlled_phase_sparse`]) — `O(nnz)`;
+//! - shifts and reversible oracles ([`shift_site_sparse`],
+//!   [`apply_basis_permutation_sparse`], [`apply_function_oracle_sparse`])
+//!   — `O(nnz)` basis permutations;
+//! - marginals, sampling and collapse ([`marginal_distribution_sparse`],
+//!   [`measure_sites_sparse`], [`collapse_sparse`]).
+//!
+//! A per-site DFT multiplies the nonzero count by at most the site
+//! dimension; measuring the transformed site immediately collapses it back
+//! down (to at most the pre-DFT count). The sparse Fourier-sampling loop in
+//! `nahsp_abelian` interleaves exactly that way, so peak memory is
+//! `O(|H| · max_site_dim)` — independent of `|A|`, which is what lifts the
+//! dense simulator's `|A|` caps.
+//!
+//! Gate accounting matches the dense kernels one-for-one: each logical gate
+//! records once into the state's [`GateCounter`].
+
+use std::collections::BTreeMap;
+
+use crate::complex::Complex;
+use crate::counter::GateCounter;
+use crate::layout::Layout;
+use crate::measure::sample_from;
+use crate::qft::dft_matrix;
+use crate::state::State;
+use rand::Rng;
+
+/// Amplitudes with squared modulus below this are dropped after spreading
+/// kernels (site unitaries). Exact character cancellations leave residues
+/// around `1e-32`; genuine amplitudes in any state we simulate are far
+/// larger, so pruning at `1e-24` only removes floating-point dust.
+const PRUNE_NORM_SQR: f64 = 1e-24;
+
+/// Pure quantum state stored sparsely: only nonzero amplitudes are kept.
+///
+/// Iteration order (and therefore every accumulation the kernels perform)
+/// is by ascending basis index — deterministic, so seeded runs reproduce
+/// exactly like their dense counterparts.
+#[derive(Clone, Debug)]
+pub struct SparseState {
+    layout: Layout,
+    amps: BTreeMap<usize, Complex>,
+    gates: GateCounter,
+}
+
+impl SparseState {
+    /// The computational basis state `|idx⟩`.
+    pub fn basis_index(layout: Layout, idx: usize) -> Self {
+        assert!(idx < layout.dim());
+        let mut amps = BTreeMap::new();
+        amps.insert(idx, Complex::ONE);
+        SparseState {
+            layout,
+            amps,
+            gates: GateCounter::new(),
+        }
+    }
+
+    /// Uniform superposition over a subset of basis indices (coset states
+    /// `|gH⟩`, subgroup states `|H⟩`). Panics on an empty or duplicated
+    /// subset.
+    pub fn uniform_over(layout: Layout, indices: &[usize]) -> Self {
+        assert!(!indices.is_empty(), "uniform_over of empty set");
+        let a = Complex::new(1.0 / (indices.len() as f64).sqrt(), 0.0);
+        let mut amps = BTreeMap::new();
+        for &i in indices {
+            assert!(i < layout.dim(), "index {i} out of range");
+            assert!(amps.insert(i, a).is_none(), "duplicate index {i}");
+        }
+        SparseState {
+            layout,
+            amps,
+            gates: GateCounter::new(),
+        }
+    }
+
+    /// Build from `(index, amplitude)` pairs, normalizing. Panics on the
+    /// zero vector or duplicate indices.
+    pub fn from_entries(
+        layout: Layout,
+        entries: impl IntoIterator<Item = (usize, Complex)>,
+    ) -> Self {
+        let mut amps = BTreeMap::new();
+        for (i, a) in entries {
+            assert!(i < layout.dim(), "index {i} out of range");
+            assert!(amps.insert(i, a).is_none(), "duplicate index {i}");
+        }
+        let n2: f64 = amps.values().map(|a| a.norm_sqr()).sum();
+        assert!(n2 > 1e-300, "cannot normalize zero vector");
+        let s = 1.0 / n2.sqrt();
+        for a in amps.values_mut() {
+            *a = a.scale(s);
+        }
+        SparseState {
+            layout,
+            amps,
+            gates: GateCounter::new(),
+        }
+    }
+
+    /// Replace this state's gate counter with a shared per-run handle.
+    pub fn with_gate_counter(mut self, gates: GateCounter) -> Self {
+        self.gates = gates;
+        self
+    }
+
+    /// The gate counter this state records into.
+    #[inline]
+    pub fn gate_counter(&self) -> &GateCounter {
+        &self.gates
+    }
+
+    #[inline]
+    pub fn layout(&self) -> &Layout {
+        &self.layout
+    }
+
+    /// Hilbert-space dimension (of the layout, not the storage).
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.layout.dim()
+    }
+
+    /// Number of stored (nonzero) amplitudes.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.amps.len()
+    }
+
+    /// Amplitude of basis index `idx` (zero if not stored).
+    #[inline]
+    pub fn amplitude(&self, idx: usize) -> Complex {
+        self.amps.get(&idx).copied().unwrap_or(Complex::ZERO)
+    }
+
+    /// Probability of measuring basis index `idx`.
+    #[inline]
+    pub fn probability(&self, idx: usize) -> f64 {
+        self.amplitude(idx).norm_sqr()
+    }
+
+    /// Stored entries in ascending basis-index order.
+    pub fn entries(&self) -> impl Iterator<Item = (usize, Complex)> + '_ {
+        self.amps.iter().map(|(&i, &a)| (i, a))
+    }
+
+    /// Squared 2-norm (should always be ≈ 1).
+    pub fn norm_sqr(&self) -> f64 {
+        self.amps.values().map(|a| a.norm_sqr()).sum()
+    }
+
+    /// Densify (for tests and cross-checks; requires the full dimension to
+    /// be allocatable).
+    pub fn to_dense(&self) -> State {
+        let mut amps = vec![Complex::ZERO; self.layout.dim()];
+        for (&i, &a) in &self.amps {
+            amps[i] = a;
+        }
+        State::from_amplitudes(self.layout.clone(), amps).with_gate_counter(self.gates.clone())
+    }
+
+    fn replace_amps(&mut self, amps: BTreeMap<usize, Complex>) {
+        self.amps = amps;
+    }
+
+    fn renormalize(&mut self) {
+        let n2 = self.norm_sqr();
+        assert!(n2 > 1e-300, "collapse to zero vector");
+        let s = 1.0 / n2.sqrt();
+        for a in self.amps.values_mut() {
+            *a = a.scale(s);
+        }
+    }
+}
+
+/// Apply a dense `d × d` unitary `u` (row-major) to one site. `O(nnz · d)`;
+/// the result is pruned of amplitudes below the cancellation threshold.
+pub fn apply_site_unitary_sparse(state: &mut SparseState, site: usize, u: &[Complex]) {
+    state.gate_counter().record(1);
+    let layout = state.layout.clone();
+    let d = layout.site_dim(site);
+    assert_eq!(u.len(), d * d, "unitary size mismatch");
+    let stride = layout.stride(site);
+    let mut out: BTreeMap<usize, Complex> = BTreeMap::new();
+    for (&idx, &a) in &state.amps {
+        let x = layout.digit(idx, site);
+        let base = idx - x * stride;
+        for r in 0..d {
+            let coeff = u[r * d + x];
+            if coeff == Complex::ZERO {
+                continue;
+            }
+            *out.entry(base + r * stride).or_insert(Complex::ZERO) += coeff * a;
+        }
+    }
+    out.retain(|_, a| a.norm_sqr() > PRUNE_NORM_SQR);
+    state.replace_amps(out);
+}
+
+/// Exact DFT over `Z_d` on one site (sparse mirror of
+/// [`crate::qft::dft_site`]).
+pub fn dft_site_sparse(state: &mut SparseState, site: usize, inverse: bool) {
+    let d = state.layout().site_dim(site);
+    let m = dft_matrix(d, inverse);
+    apply_site_unitary_sparse(state, site, &m);
+}
+
+/// QFT over a product group: per-site DFTs on each listed site (sparse
+/// mirror of [`crate::qft::qft_product_group`]).
+pub fn qft_product_group_sparse(state: &mut SparseState, sites: &[usize], inverse: bool) {
+    for &s in sites {
+        dft_site_sparse(state, s, inverse);
+    }
+}
+
+/// Multiply each stored amplitude by `phase(idx)` — an arbitrary diagonal
+/// unitary (must return unit-modulus values to preserve norm). `O(nnz)`.
+pub fn apply_diagonal_sparse<F: Fn(usize) -> Complex>(state: &mut SparseState, phase: F) {
+    state.gate_counter().record(1);
+    for (&idx, a) in state.amps.iter_mut() {
+        *a *= phase(idx);
+    }
+}
+
+/// Controlled phase `e^{iθ·a·b}` on two distinct sites (sparse mirror of
+/// [`crate::gates::controlled_phase`]).
+pub fn controlled_phase_sparse(state: &mut SparseState, site_a: usize, site_b: usize, theta: f64) {
+    assert_ne!(site_a, site_b, "controlled phase needs two distinct sites");
+    let layout = state.layout().clone();
+    apply_diagonal_sparse(state, |idx| {
+        let a = layout.digit(idx, site_a);
+        let b = layout.digit(idx, site_b);
+        if a == 0 || b == 0 {
+            Complex::ONE
+        } else {
+            Complex::cis(theta * (a * b) as f64)
+        }
+    });
+}
+
+/// Pauli-X generalization `|x⟩ → |x + shift mod d⟩` on one site. `O(nnz)`.
+pub fn shift_site_sparse(state: &mut SparseState, site: usize, shift: usize) {
+    let layout = state.layout().clone();
+    let d = layout.site_dim(site);
+    let shift = shift % d;
+    if shift == 0 {
+        return;
+    }
+    state.gate_counter().record(1);
+    let mut out = BTreeMap::new();
+    for (&idx, &a) in &state.amps {
+        let x = layout.digit(idx, site);
+        out.insert(layout.with_digit(idx, site, (x + shift) % d), a);
+    }
+    state.replace_amps(out);
+}
+
+/// Apply a basis permutation `|i⟩ → |π(i)⟩` to the stored support. `perm`
+/// must be injective on the support (checked); sequential, so the closure
+/// may carry mutable caches.
+pub fn apply_basis_permutation_sparse<F: FnMut(usize) -> usize>(
+    state: &mut SparseState,
+    mut perm: F,
+) {
+    let dim = state.dim();
+    let mut out = BTreeMap::new();
+    for (&idx, &a) in &state.amps {
+        let j = perm(idx);
+        assert!(j < dim, "permutation out of range: {idx} -> {j}");
+        assert!(
+            out.insert(j, a).is_none(),
+            "not injective on support: {j} hit twice"
+        );
+    }
+    state.replace_amps(out);
+}
+
+/// Reversible function oracle on the stored support: read the digits of
+/// `input_sites`, evaluate `f` (memoized per distinct input value), and add
+/// the result digit-wise (mod each target dimension) into `output_sites`.
+/// Sparse mirror of [`crate::oracle::apply_function_oracle`].
+pub fn apply_function_oracle_sparse<F>(
+    state: &mut SparseState,
+    input_sites: &[usize],
+    output_sites: &[usize],
+    f: F,
+) where
+    F: FnMut(&[usize]) -> Vec<usize>,
+{
+    let mut f = f;
+    let layout = state.layout().clone();
+    // The input-value domain can be astronomically large for sparse states,
+    // so memoize in a map keyed by the observed values only.
+    let mut cache: std::collections::HashMap<usize, Vec<usize>> = std::collections::HashMap::new();
+    let mut split_buf = Vec::new();
+    let output_sites = output_sites.to_vec();
+    apply_basis_permutation_sparse(state, |idx| {
+        let key = layout.group_value(idx, input_sites);
+        let digits = cache.entry(key).or_insert_with(|| {
+            layout.split_group_value(input_sites, key, &mut split_buf);
+            let val = f(&split_buf);
+            assert_eq!(val.len(), output_sites.len(), "oracle output arity");
+            val
+        });
+        let mut j = idx;
+        for (slot, &site) in output_sites.iter().enumerate() {
+            let d = layout.site_dim(site);
+            let cur = layout.digit(j, site);
+            let add = digits[slot];
+            assert!(
+                add < d,
+                "oracle output digit {add} out of range for dim {d}"
+            );
+            j = layout.with_digit(j, site, (cur + add) % d);
+        }
+        j
+    });
+}
+
+/// Marginal distribution over the combined values of a group of sites.
+/// `O(nnz)` plus the allocation of the (small) outcome vector — callers
+/// measure one site (or a few) at a time, never the whole register.
+pub fn marginal_distribution_sparse(state: &SparseState, sites: &[usize]) -> Vec<f64> {
+    let layout = state.layout();
+    let gdim = layout.group_dim(sites);
+    let mut probs = vec![0.0f64; gdim];
+    for (&idx, a) in &state.amps {
+        let p = a.norm_sqr();
+        if p > 0.0 {
+            probs[layout.group_value(idx, sites)] += p;
+        }
+    }
+    probs
+}
+
+/// Measure a group of sites: sample an outcome, collapse, return the
+/// combined outcome value. Sparse mirror of
+/// [`crate::measure::measure_sites`].
+pub fn measure_sites_sparse(state: &mut SparseState, sites: &[usize], rng: &mut impl Rng) -> usize {
+    let probs = marginal_distribution_sparse(state, sites);
+    let outcome = sample_from(&probs, rng);
+    collapse_sparse(state, sites, outcome);
+    outcome
+}
+
+/// Project onto the subspace where `sites` read `outcome`, then
+/// renormalize. Entries outside the outcome are removed from storage, so
+/// the nonzero count only ever shrinks here.
+pub fn collapse_sparse(state: &mut SparseState, sites: &[usize], outcome: usize) {
+    let layout = state.layout().clone();
+    state
+        .amps
+        .retain(|&idx, _| layout.group_value(idx, sites) == outcome);
+    state.renormalize();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gates;
+    use crate::measure;
+    use crate::oracle::apply_function_oracle;
+    use crate::qft::dft_site;
+    use rand::SeedableRng;
+
+    type Rng64 = rand::rngs::StdRng;
+
+    fn assert_matches_dense(sparse: &SparseState, dense: &State, eps: f64) {
+        assert_eq!(sparse.layout(), dense.layout());
+        for idx in 0..dense.dim() {
+            assert!(
+                sparse
+                    .amplitude(idx)
+                    .approx_eq(dense.amplitudes()[idx], eps),
+                "idx={idx}: sparse {:?} vs dense {:?}",
+                sparse.amplitude(idx),
+                dense.amplitudes()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn dft_matches_dense_on_random_support() {
+        let l = Layout::new(vec![3, 4, 2]);
+        let support = [0usize, 5, 7, 13, 22];
+        for site in 0..3 {
+            for inverse in [false, true] {
+                let mut sp = SparseState::uniform_over(l.clone(), &support);
+                let mut de = State::uniform_over(l.clone(), &support);
+                dft_site_sparse(&mut sp, site, inverse);
+                dft_site(&mut de, site, inverse);
+                assert_matches_dense(&sp, &de, 1e-10);
+                assert!((sp.norm_sqr() - 1.0).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn dft_roundtrip_preserves_basis_state() {
+        let l = Layout::new(vec![5, 3]);
+        for idx in 0..l.dim() {
+            let mut s = SparseState::basis_index(l.clone(), idx);
+            dft_site_sparse(&mut s, 0, false);
+            dft_site_sparse(&mut s, 1, false);
+            dft_site_sparse(&mut s, 1, true);
+            dft_site_sparse(&mut s, 0, true);
+            assert!((s.probability(idx) - 1.0).abs() < 1e-10, "idx={idx}");
+            // Pruning must have removed the cancelled intermediate mass.
+            assert_eq!(s.nnz(), 1, "idx={idx}: nnz={}", s.nnz());
+        }
+    }
+
+    #[test]
+    fn controlled_phase_and_shift_match_dense() {
+        let l = Layout::new(vec![3, 3, 2]);
+        let support = [1usize, 4, 9, 17];
+        let mut sp = SparseState::uniform_over(l.clone(), &support);
+        let mut de = State::uniform_over(l.clone(), &support);
+        controlled_phase_sparse(&mut sp, 0, 1, 0.37);
+        gates::controlled_phase(&mut de, 0, 1, 0.37);
+        shift_site_sparse(&mut sp, 2, 1);
+        gates::shift_site(&mut de, 2, 1);
+        shift_site_sparse(&mut sp, 0, 2);
+        gates::shift_site(&mut de, 0, 2);
+        assert_matches_dense(&sp, &de, 1e-12);
+    }
+
+    #[test]
+    fn function_oracle_matches_dense_and_memoizes() {
+        use std::cell::Cell;
+        let l = Layout::new(vec![4, 2, 4]);
+        // Support with repeated input digits so memoization is observable.
+        let support: Vec<usize> = (0..l.dim()).step_by(3).collect();
+        let calls = Cell::new(0usize);
+        let mut sp = SparseState::uniform_over(l.clone(), &support);
+        let mut de = State::uniform_over(l.clone(), &support);
+        apply_function_oracle_sparse(&mut sp, &[0], &[2], |d| {
+            calls.set(calls.get() + 1);
+            vec![(d[0] * d[0]) % 4]
+        });
+        apply_function_oracle(&mut de, &[0], &[2], |d| vec![(d[0] * d[0]) % 4]);
+        assert_matches_dense(&sp, &de, 1e-12);
+        assert!(calls.get() <= 4, "one oracle call per distinct input");
+    }
+
+    #[test]
+    fn measurement_statistics_match_dense() {
+        let l = Layout::new(vec![4, 3]);
+        let support = [0usize, 3, 6, 10];
+        let n = 4000;
+        let mut rng = Rng64::seed_from_u64(11);
+        let mut h_sparse = vec![0f64; 4];
+        let mut h_dense = vec![0f64; 4];
+        for _ in 0..n {
+            let mut sp = SparseState::uniform_over(l.clone(), &support);
+            dft_site_sparse(&mut sp, 0, false);
+            h_sparse[measure_sites_sparse(&mut sp, &[0], &mut rng)] += 1.0 / n as f64;
+            assert!((sp.norm_sqr() - 1.0).abs() < 1e-10);
+            let mut de = State::uniform_over(l.clone(), &support);
+            dft_site(&mut de, 0, false);
+            h_dense[measure::measure_sites(&mut de, &[0], &mut rng)] += 1.0 / n as f64;
+        }
+        assert!(
+            measure::total_variation(&h_sparse, &h_dense) < 0.05,
+            "sparse/dense measurement distributions diverge"
+        );
+    }
+
+    #[test]
+    fn collapse_matches_dense() {
+        let l = Layout::new(vec![3, 2, 2]);
+        let support: Vec<usize> = (0..l.dim()).collect();
+        let mut sp = SparseState::uniform_over(l.clone(), &support);
+        let mut de = State::uniform(l.clone());
+        dft_site_sparse(&mut sp, 1, false);
+        dft_site(&mut de, 1, false);
+        collapse_sparse(&mut sp, &[0, 2], 4);
+        measure::collapse(&mut de, &[0, 2], 4);
+        assert_matches_dense(&sp, &de, 1e-12);
+    }
+
+    #[test]
+    fn coset_qft_measure_keeps_nnz_bounded() {
+        // |H| = 4 inside |A| = 2^10: the interleaved DFT/measure loop must
+        // never hold more than |H| * max_dim = 8 nonzeros.
+        let k = 10usize;
+        let l = Layout::new(vec![2; k]);
+        // H = span{e0+e1, e2+e3}: indices with bits {0,1} equal and {2,3}
+        // equal (big-endian sites -> bit positions from the left).
+        let h: Vec<usize> = vec![0, 0b1100000000, 0b0011000000, 0b1111000000];
+        let mut rng = Rng64::seed_from_u64(5);
+        let mut s = SparseState::uniform_over(l.clone(), &h);
+        let mut peak = s.nnz();
+        for site in 0..k {
+            dft_site_sparse(&mut s, site, false);
+            peak = peak.max(s.nnz());
+            measure_sites_sparse(&mut s, &[site], &mut rng);
+            peak = peak.max(s.nnz());
+        }
+        assert!(peak <= 8, "peak nnz {peak} exceeds |H| * max_dim");
+        assert_eq!(s.nnz(), 1, "fully measured state is a basis state");
+    }
+
+    #[test]
+    fn gate_counts_match_dense_kernels() {
+        let l = Layout::new(vec![3, 4]);
+        let gc = GateCounter::new();
+        let mut sp = SparseState::basis_index(l.clone(), 5).with_gate_counter(gc.clone());
+        dft_site_sparse(&mut sp, 0, false); // 1
+        controlled_phase_sparse(&mut sp, 0, 1, 0.1); // 1
+        shift_site_sparse(&mut sp, 1, 2); // 1
+        shift_site_sparse(&mut sp, 1, 0); // no-op
+        assert_eq!(gc.count(), 3);
+
+        let gd = GateCounter::new();
+        let mut de = State::basis_index(l, 5).with_gate_counter(gd.clone());
+        dft_site(&mut de, 0, false);
+        gates::controlled_phase(&mut de, 0, 1, 0.1);
+        gates::shift_site(&mut de, 1, 2);
+        gates::shift_site(&mut de, 1, 0);
+        assert_eq!(gd.count(), gc.count(), "sparse and dense cost models agree");
+    }
+
+    #[test]
+    fn to_dense_roundtrip() {
+        let l = Layout::new(vec![4, 2]);
+        let sp = SparseState::from_entries(
+            l.clone(),
+            [
+                (1usize, Complex::new(3.0, 0.0)),
+                (6, Complex::new(0.0, 4.0)),
+            ],
+        );
+        let de = sp.to_dense();
+        assert!((de.probability(1) - 0.36).abs() < 1e-12);
+        assert!((de.probability(6) - 0.64).abs() < 1e-12);
+        assert_eq!(sp.nnz(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn uniform_over_rejects_duplicates() {
+        SparseState::uniform_over(Layout::new(vec![4]), &[1, 1]);
+    }
+}

@@ -1,6 +1,7 @@
 //! The state vector.
 
 use crate::complex::Complex;
+use crate::counter::GateCounter;
 use crate::layout::Layout;
 
 /// Pure quantum state over a [`Layout`].
@@ -8,10 +9,17 @@ use crate::layout::Layout;
 /// Amplitudes are stored dense; constructors guarantee unit norm and all
 /// operations in this crate preserve it up to floating-point error (checked
 /// by `debug_assert`s and the property tests).
+///
+/// Every state carries a [`GateCounter`] into which the kernels of
+/// [`crate::gates`] and [`crate::qft`] record their applications.
+/// Constructors attach a fresh counter; a run that wants one tally across
+/// several states shares a handle via [`State::with_gate_counter`]. Clones
+/// share the counter (the clone belongs to the same run).
 #[derive(Clone, Debug)]
 pub struct State {
     layout: Layout,
     amps: Vec<Complex>,
+    gates: GateCounter,
 }
 
 impl State {
@@ -26,7 +34,7 @@ impl State {
         assert!(idx < layout.dim());
         let mut amps = vec![Complex::ZERO; layout.dim()];
         amps[idx] = Complex::ONE;
-        State { layout, amps }
+        State::from_parts(layout, amps)
     }
 
     /// `|0…0⟩`.
@@ -38,10 +46,7 @@ impl State {
     pub fn uniform(layout: Layout) -> Self {
         let dim = layout.dim();
         let a = Complex::new(1.0 / (dim as f64).sqrt(), 0.0);
-        State {
-            layout,
-            amps: vec![a; dim],
-        }
+        State::from_parts(layout, vec![a; dim])
     }
 
     /// Uniform superposition over a subset of basis indices (used for coset
@@ -54,7 +59,7 @@ impl State {
             assert!(amps[i] == Complex::ZERO, "duplicate index {i}");
             amps[i] = a;
         }
-        State { layout, amps }
+        State::from_parts(layout, amps)
     }
 
     /// Build from raw amplitudes, normalizing. Panics on the zero vector.
@@ -66,7 +71,28 @@ impl State {
         for a in &mut amps {
             *a = a.scale(s);
         }
-        State { layout, amps }
+        State::from_parts(layout, amps)
+    }
+
+    fn from_parts(layout: Layout, amps: Vec<Complex>) -> Self {
+        State {
+            layout,
+            amps,
+            gates: GateCounter::new(),
+        }
+    }
+
+    /// Replace this state's gate counter with a shared per-run handle, so
+    /// gates applied to this state are tallied into the run's counter.
+    pub fn with_gate_counter(mut self, gates: GateCounter) -> Self {
+        self.gates = gates;
+        self
+    }
+
+    /// The gate counter this state records into.
+    #[inline]
+    pub fn gate_counter(&self) -> &GateCounter {
+        &self.gates
     }
 
     #[inline]
@@ -152,7 +178,8 @@ impl State {
                 amps[i * od + j] = a * b;
             }
         }
-        State { layout, amps }
+        // The product state belongs to `self`'s run: share its counter.
+        State::from_parts(layout, amps).with_gate_counter(self.gates.clone())
     }
 }
 

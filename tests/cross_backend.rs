@@ -3,9 +3,10 @@
 //! subgroup, and the per-round sampling distributions must agree.
 
 use nahsp::abelian::dual::perp;
-use nahsp::abelian::hsp::{fourier_sample_coset, fourier_sample_full};
+use nahsp::abelian::hsp::{fourier_sample_coset, fourier_sample_full, fourier_sample_sparse};
 use nahsp::prelude::*;
 use nahsp::qsim::measure::total_variation;
+use nahsp::qsim::GateCounter;
 use nahsp_testkit::{recovered_order, rng, symmetric_wreath_element, wreath_ideal_instance};
 
 #[test]
@@ -23,7 +24,9 @@ fn all_backends_solve_identically_across_instances() {
         for (i, backend) in [
             Backend::SimulatorFull,
             Backend::SimulatorCoset,
+            Backend::SimulatorSparse,
             Backend::Ideal,
+            Backend::Auto,
         ]
         .into_iter()
         .enumerate()
@@ -54,14 +57,19 @@ fn sampling_distributions_match_across_backends() {
     let idx = |y: &[u64]| (y[0] * 2 + y[1]) as usize;
     let mut h_full = vec![0f64; dim];
     let mut h_coset = vec![0f64; dim];
+    let mut h_sparse = vec![0f64; dim];
     let mut h_ideal = vec![0f64; dim];
+    let gates = GateCounter::new();
     for _ in 0..n {
-        h_full[idx(&fourier_sample_full(&oracle, &mut rng))] += 1.0 / n as f64;
-        h_coset[idx(&fourier_sample_coset(&oracle, &mut rng))] += 1.0 / n as f64;
+        h_full[idx(&fourier_sample_full(&oracle, &gates, &mut rng))] += 1.0 / n as f64;
+        h_coset[idx(&fourier_sample_coset(&oracle, &gates, &mut rng))] += 1.0 / n as f64;
+        h_sparse[idx(&fourier_sample_sparse(&oracle, &gates, &mut rng).expect("sparse round"))] +=
+            1.0 / n as f64;
         h_ideal[idx(&truth.random_element(&mut rng))] += 1.0 / n as f64;
     }
     assert!(total_variation(&h_full, &h_coset) < 0.04);
     assert!(total_variation(&h_full, &h_ideal) < 0.04);
+    assert!(total_variation(&h_full, &h_sparse) < 0.04);
     // support exactly H^perp
     for y0 in 0..6u64 {
         for y1 in 0..2u64 {

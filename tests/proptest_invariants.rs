@@ -335,6 +335,38 @@ proptest! {
     }
 
     #[test]
+    fn sample_from_only_returns_outcomes_with_mass(
+        raw in proptest::collection::vec(0u64..1000, 1..12),
+        zero_mask in 0u32..4096,
+        seed in 0u64..10_000,
+    ) {
+        use nahsp::qsim::measure::sample_from;
+        // Random distribution with a random zero pattern (including
+        // adversarial all-but-one-zero tails); normalize so accumulated f64
+        // drift past the last nonzero entry is realistic.
+        let mut probs: Vec<f64> = raw
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| {
+                if zero_mask >> (i % 12) & 1 == 1 { 0.0 } else { r as f64 }
+            })
+            .collect();
+        let total: f64 = probs.iter().sum();
+        if total == 0.0 {
+            probs[0] = 1.0;
+        } else {
+            for p in &mut probs {
+                *p /= total;
+            }
+        }
+        let mut rng = rng(seed);
+        for _ in 0..64 {
+            let i = sample_from(&probs, &mut rng);
+            prop_assert!(probs[i] > 0.0, "sampled zero-mass outcome {} from {:?}", i, probs);
+        }
+    }
+
+    #[test]
     fn gf2_space_express_roundtrip(vecs in proptest::collection::vec(0u64..256, 1..6), target_sel in 0usize..5) {
         use nahsp::groups::gf2::{BitVec, Gf2Space};
         let mut space = Gf2Space::new(8);

@@ -161,6 +161,91 @@ fn classification_costs_no_oracle_queries() {
     assert_eq!(instance.oracle().queries(), 0);
 }
 
+/// The tentpole regression test for the cross-thread gate-count bugfix:
+/// ≥ 8 solves of known gate cost fanned across ≥ 8 worker threads must
+/// report per-instance gate deltas *identical* to the same solves run
+/// sequentially. With the old process-global gate tally, concurrent rounds
+/// interleaved their counts and every parallel report over-counted.
+#[test]
+fn parallel_batch_gate_counts_match_sequential_exactly() {
+    let g = AbelianProduct::new(vec![2, 2, 2, 2]);
+    // 12 Simon-style instances over distinct masks: every solve runs real
+    // simulator rounds (gates > 0) whose count is seed-deterministic.
+    let masks: [u64; 12] = [
+        0b1011, 0b0110, 0b1111, 0b0001, 0b1000, 0b0101, 0b1110, 0b0011, 0b1001, 0b0100, 0b1101,
+        0b0111,
+    ];
+    let instances: Vec<_> = masks
+        .iter()
+        .map(|&m| {
+            let h = vec![(0..4).map(|b| (m >> b) & 1).collect::<Vec<u64>>()];
+            HspInstance::with_coset_oracle(g.clone(), &h, 100).expect("oracle")
+        })
+        .collect();
+    let gate_counts = |width: usize| -> Vec<u64> {
+        HspSolver::builder()
+            .seed(99)
+            .parallelism(width)
+            .build()
+            .solve_batch(&instances)
+            .into_iter()
+            .map(|r| r.expect("solve").queries.gates)
+            .collect()
+    };
+    let sequential = gate_counts(1);
+    let parallel = gate_counts(8);
+    assert_eq!(
+        sequential, parallel,
+        "per-instance gate deltas corrupted by concurrent solves"
+    );
+    for (i, &gates) in sequential.iter().enumerate() {
+        assert!(gates > 0, "instance {i} ran no simulated gates");
+    }
+    // And a re-run of the parallel batch reproduces the figures exactly.
+    assert_eq!(parallel, gate_counts(8));
+}
+
+/// The tentpole capacity test: an Abelian instance with `|A| = 2^20`
+/// (four times past the dense coset cap of `2^18`) solved end-to-end
+/// through the façade on the sparse backend, with an exactly verified
+/// report. The ground-truth promise (`|H| = 2^10`) is what keeps the
+/// nonzero count small; `Backend::Auto` reaches the same path on its own.
+#[test]
+fn sparse_backend_lifts_dense_cap_end_to_end() {
+    let k = 20usize;
+    let g = AbelianProduct::new(vec![2u64; k]);
+    let h: Vec<Vec<u64>> = (0..10)
+        .map(|i| {
+            let mut v = vec![0u64; k];
+            v[i] = 1;
+            v[k - 1 - i] = 1;
+            v
+        })
+        .collect();
+    let instance = HspInstance::with_coset_oracle(g.clone(), &h, 2048).expect("oracle");
+    for backend in [Backend::SimulatorSparse, Backend::Auto] {
+        let report = HspSolver::builder()
+            .seed(5)
+            .backend(backend)
+            .build()
+            .solve(&instance)
+            .expect("sparse solve beyond the dense cap");
+        assert_eq!(report.strategy, Strategy::Abelian);
+        assert_eq!(report.order, Some(1024));
+        assert_eq!(report.verdict, Verdict::VerifiedExact);
+        assert!(report.queries.gates > 0, "quantum rounds were simulated");
+        assert_report_exact(&g, &report, &h, 2048);
+    }
+    // The dense coset backend must still refuse the same instance with a
+    // typed capacity error — the cap is lifted by sparsity, not removed.
+    let err = HspSolver::builder()
+        .backend(Backend::SimulatorCoset)
+        .build()
+        .solve(&instance)
+        .expect_err("dense backend past its cap");
+    assert!(matches!(err, HspError::SimulatorCapacity { .. }));
+}
+
 /// `solve_batch` returns per-instance results in input order, solves each
 /// family correctly, and is deterministic under re-execution.
 #[test]

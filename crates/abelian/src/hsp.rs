@@ -19,6 +19,13 @@
 //!   (`|H| · max site dim`), not by `|A|`. This lifts the dense caps by
 //!   orders of magnitude whenever the hidden subgroup is small enough to
 //!   enumerate;
+//! - [`Backend::Stabilizer`] — for 2-groups (`A = Z₂^n`) the whole round is
+//!   a Clifford circuit: the per-site DFT over `Z₂` is the Hadamard, the
+//!   hiding oracle lowers to a CNOT network computing `|x⟩|Mx⟩` where the
+//!   rows of `M` span `H^⊥` (so `ker M = H`), and the final measurement is
+//!   Pauli-Z. The round runs on the `nahsp_qsim::stabilizer::Tableau` in
+//!   time polynomial in `n` — `Z₂^100` instances solve in milliseconds,
+//!   beyond any amplitude representation;
 //! - [`Backend::Ideal`] — draws directly from the *proven* output
 //!   distribution (uniform on `H^⊥`, computed from the oracle's ground
 //!   truth). This realizes the DESIGN.md substitution: downstream classical
@@ -32,6 +39,7 @@
 
 use crate::dual::perp;
 use crate::lattice::{self, SubgroupLattice};
+use nahsp_groups::gf2::{BitVec, Gf2Space};
 use nahsp_groups::AbelianProduct;
 use nahsp_qsim::counter::GateCounter;
 use nahsp_qsim::layout::Layout;
@@ -39,6 +47,7 @@ use nahsp_qsim::measure::{marginal_distribution, measure_sites, sample_from};
 use nahsp_qsim::oracle::apply_function_oracle;
 use nahsp_qsim::qft::qft_product_group;
 use nahsp_qsim::sparse::{dft_site_sparse, measure_sites_sparse, SparseState};
+use nahsp_qsim::stabilizer::Tableau;
 use nahsp_qsim::state::State;
 use rand::Rng;
 
@@ -88,11 +97,14 @@ pub trait HidingOracle: Sync {
 /// Which implementation performs the quantum Fourier-sampling round.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Backend {
-    /// Resolve per instance: [`Backend::SimulatorCoset`] while `|A|` fits
-    /// the dense cap, then [`Backend::SimulatorSparse`] when the oracle can
-    /// enumerate coset fibers that keep the nonzero count small, then
-    /// [`Backend::Ideal`] when ground truth is available. Errors with
-    /// [`SolveError::SimulatorCapacity`] only when none of the three fits.
+    /// Resolve per instance: [`Backend::Stabilizer`] first whenever every
+    /// site has dimension 2 and the oracle grants structural assistance
+    /// (ground truth or a coset fiber) from which the Clifford lowering's
+    /// `H^⊥` basis derives; then [`Backend::SimulatorCoset`] while `|A|`
+    /// fits the dense cap, then [`Backend::SimulatorSparse`] when the
+    /// oracle can enumerate coset fibers that keep the nonzero count
+    /// small, then [`Backend::Ideal`] when ground truth is available.
+    /// Errors with [`SolveError::SimulatorCapacity`] only when none fits.
     Auto,
     /// Full circuit: input register and label register simulated jointly.
     /// Capacity [`FULL_CAP`].
@@ -103,6 +115,13 @@ pub enum Backend {
     /// Coset state simulated sparsely (`|H|` nonzeros); capacity is
     /// nnz/memory-based ([`SPARSE_NNZ_CAP`]), not `|A|`-based.
     SimulatorSparse,
+    /// Stabilizer-tableau round for 2-groups (`A = Z₂^n`): every gate is
+    /// Clifford, cost is polynomial in `n` (no `|A|` or `|H|` cap at all).
+    /// Requires all site dimensions to equal 2
+    /// ([`SolveError::CliffordUnsupported`] otherwise) and a source for the
+    /// hidden subgroup's GF(2) span — oracle ground truth, a coset fiber,
+    /// or (explicit selection only) a bounded domain scan.
+    Stabilizer,
     /// Sample the proven output distribution directly.
     Ideal,
 }
@@ -123,6 +142,9 @@ pub enum SolveError {
     SparseCapacity { nnz: usize, cap: usize },
     /// [`Backend::Ideal`] was selected but the oracle offers no ground truth.
     MissingGroundTruth,
+    /// [`Backend::Stabilizer`] was selected but a site has dimension ≠ 2,
+    /// so the Fourier round is not a Clifford circuit.
+    CliffordUnsupported { site_dim: usize },
 }
 
 impl std::fmt::Display for SolveError {
@@ -144,6 +166,11 @@ impl std::fmt::Display for SolveError {
             SolveError::MissingGroundTruth => {
                 write!(f, "Ideal backend needs oracle ground truth")
             }
+            SolveError::CliffordUnsupported { site_dim } => write!(
+                f,
+                "stabilizer backend needs all site dimensions = 2 (found {site_dim}); \
+                 the Fourier round is Clifford only over Z_2 sites"
+            ),
         }
     }
 }
@@ -165,6 +192,10 @@ pub struct HspResult {
     /// Elementary simulator gates applied by this solve (delta of the
     /// engine's per-run [`GateCounter`]; zero for [`Backend::Ideal`]).
     pub gates: u64,
+    /// The backend that actually sampled, after [`Backend::Auto`]
+    /// resolution. `None` when the solve verified without sampling (the
+    /// `H = G` fast path), where no backend ever ran.
+    pub backend: Option<Backend>,
 }
 
 /// The Abelian HSP engine.
@@ -179,6 +210,12 @@ pub struct AbelianHsp {
     /// one handle through an engine reads exact per-run gate deltas no
     /// matter how many concurrent solves are in flight elsewhere.
     pub gates: GateCounter,
+    /// Memory budget for the sparse backend: peak nonzero count
+    /// (`|H| · max_site_dim`) a round may allocate. Defaults to
+    /// [`SPARSE_NNZ_CAP`]; the façade's builder exposes it so callers can
+    /// tighten (or loosen) the budget per solver. Exceeding it surfaces as
+    /// the typed [`SolveError::SparseCapacity`].
+    pub sparse_nnz_cap: usize,
 }
 
 impl Default for AbelianHsp {
@@ -187,6 +224,7 @@ impl Default for AbelianHsp {
             backend: Backend::SimulatorCoset,
             max_rounds: 0, // 0 = auto
             gates: GateCounter::new(),
+            sparse_nnz_cap: SPARSE_NNZ_CAP,
         }
     }
 }
@@ -197,12 +235,19 @@ impl AbelianHsp {
             backend,
             max_rounds: 0,
             gates: GateCounter::new(),
+            sparse_nnz_cap: SPARSE_NNZ_CAP,
         }
     }
 
     /// Share a caller-owned per-run gate counter.
     pub fn with_gates(mut self, gates: GateCounter) -> Self {
         self.gates = gates;
+        self
+    }
+
+    /// Override the sparse backend's nonzero-count memory budget.
+    pub fn with_sparse_nnz_cap(mut self, cap: usize) -> Self {
+        self.sparse_nnz_cap = cap;
         self
     }
 
@@ -228,7 +273,8 @@ impl AbelianHsp {
         rng: &mut impl Rng,
     ) -> Result<HspResult, SolveError> {
         let a = oracle.ambient().clone();
-        let order: u64 = a.moduli.iter().product();
+        // Saturating: Z2^64+ ambients (stabilizer territory) overflow u64.
+        let order: u64 = a.moduli.iter().fold(1u64, |p, &m| p.saturating_mul(m));
         let max_rounds = if self.max_rounds > 0 {
             self.max_rounds
         } else {
@@ -248,6 +294,7 @@ impl AbelianHsp {
         // and reused by translation for every round.
         let mut resolved: Option<Backend> = None;
         let mut identity_fiber: Option<Vec<Vec<u64>>> = None;
+        let mut stab_plan: Option<StabilizerPlan> = None;
 
         for round in 1..=max_rounds {
             // Candidate Ĥ = (samples)^⊥ — always a supergroup of H.
@@ -269,22 +316,24 @@ impl AbelianHsp {
                     quantum_queries,
                     classical_queries,
                     gates: self.gates.count().saturating_sub(g0),
+                    backend: resolved,
                 });
             }
             // Fourier-sample one more element of H^⊥. Capacity and
             // ground-truth preconditions are checked here — lazily, so
             // instances that verify without sampling (H = G) succeed at any
-            // ambient size.
+            // ambient size. Saturating: the stabilizer backend has no
+            // |A|-sized structure, so Z2^64+ products may exceed usize.
             let adim: usize = a
                 .moduli
                 .iter()
                 .filter(|&&m| m > 1)
-                .map(|&m| m as usize)
-                .product();
+                .fold(1usize, |p, &m| p.saturating_mul(m as usize));
             let backend = match resolved {
                 Some(b) => b,
                 None => {
-                    let (b, fiber) = resolve_backend(self.backend, oracle, adim)?;
+                    let (b, fiber) =
+                        resolve_backend(self.backend, oracle, adim, self.sparse_nnz_cap)?;
                     resolved = Some(b);
                     identity_fiber = fiber;
                     b
@@ -314,7 +363,28 @@ impl AbelianHsp {
                 }
                 Backend::SimulatorSparse => {
                     quantum_queries += 1;
-                    sparse_sample_round(oracle, identity_fiber.as_deref(), &self.gates, rng)?
+                    sparse_sample_round(
+                        oracle,
+                        identity_fiber.as_deref(),
+                        self.sparse_nnz_cap,
+                        &self.gates,
+                        rng,
+                    )?
+                }
+                Backend::Stabilizer => {
+                    let plan = match &stab_plan {
+                        Some(p) => p,
+                        None => {
+                            // `identity_fiber` carries the GF(2) spanning
+                            // set of H that `resolve_backend` acquired
+                            // (ground truth, fiber, or bounded scan).
+                            let span = identity_fiber.as_deref().unwrap_or(&[]);
+                            stab_plan = Some(StabilizerPlan::build(&a, span)?);
+                            stab_plan.as_ref().expect("just built")
+                        }
+                    };
+                    quantum_queries += 1;
+                    plan.sample(&self.gates, rng)
                 }
                 Backend::Ideal => {
                     let Some(truth) = oracle.ground_truth() else {
@@ -369,8 +439,10 @@ impl SiteMap {
             .collect()
     }
 
+    /// Saturating: 2-group ambients past `Z₂^63` exceed usize; callers
+    /// compare against caps, where saturation is the right answer.
     fn total_dim(&self) -> usize {
-        self.dims.iter().product()
+        self.dims.iter().fold(1usize, |p, &d| p.saturating_mul(d))
     }
 
     /// Flat simulator index of an ambient coordinate vector (modulus-1
@@ -388,20 +460,26 @@ impl SiteMap {
 }
 
 /// Resolve [`Backend::Auto`] for one instance; explicit backends pass
-/// through. Preference order: dense coset while `|A|` fits, then sparse
-/// when the oracle can enumerate a fiber small enough for the nnz budget,
-/// then ideal when ground truth is available.
+/// through. Preference order: stabilizer tableau when every site is a
+/// qubit and the oracle grants structural assistance (ground truth or a
+/// coset fiber — its GF(2) span is the hidden subgroup), then dense coset
+/// while `|A|` fits, then sparse when the oracle can enumerate a fiber
+/// small enough for the nnz budget, then ideal when ground truth is
+/// available.
 ///
 /// When the sparse backend is (or may be) selected, the identity fiber
 /// probed here — the hidden subgroup `H` itself, as a set — is returned so
 /// the sampling loop can reuse it across rounds by coset translation
 /// (`fiber(x0) = x0 + H` for any consistent Abelian hiding function)
-/// instead of re-enumerating a fiber per round.
+/// instead of re-enumerating a fiber per round. When the stabilizer
+/// backend is selected, the returned vectors are the spanning set its
+/// Clifford lowering reduces to an `H^⊥` basis.
 #[allow(clippy::type_complexity)]
 fn resolve_backend<O: HidingOracle + ?Sized>(
     requested: Backend,
     oracle: &O,
     adim: usize,
+    sparse_nnz_cap: usize,
 ) -> Result<(Backend, Option<Vec<Vec<u64>>>), SolveError> {
     let a = oracle.ambient();
     let maxd = a
@@ -411,12 +489,36 @@ fn resolve_backend<O: HidingOracle + ?Sized>(
         .max()
         .unwrap_or(2)
         .max(2);
+    let all_qubits = a.moduli.iter().all(|&m| m <= 2);
     let probe = || {
         oracle
-            .coset_fiber(&vec![0u64; a.rank()], SPARSE_NNZ_CAP / maxd)
+            .coset_fiber(&vec![0u64; a.rank()], sparse_nnz_cap / maxd)
             .filter(|f| !f.is_empty())
     };
     match requested {
+        Backend::Stabilizer => {
+            if let Some(&d) = a.moduli.iter().find(|&&m| m > 2) {
+                return Err(SolveError::CliffordUnsupported {
+                    site_dim: d as usize,
+                });
+            }
+            // The Clifford lowering needs a GF(2) spanning set of H:
+            // ground truth, a fiber, or — explicit selection only — one
+            // bounded domain scan (the same structural-assistance policy
+            // as the sparse backend's scan fallback).
+            // An empty truth vector is meaningful: it states H is trivial.
+            let span = oracle
+                .ground_truth()
+                .or_else(probe)
+                .or_else(|| scan_identity_fiber(oracle, adim));
+            let Some(span) = span else {
+                return Err(SolveError::SimulatorCapacity {
+                    dim: adim,
+                    cap: SPARSE_SCAN_CAP,
+                });
+            };
+            return Ok((Backend::Stabilizer, Some(span)));
+        }
         Backend::SimulatorSparse => {
             // Explicit sparse choice: when the oracle has no fiber hook,
             // recover H = {x : f(x) = f(0)} with ONE bounded domain scan
@@ -426,6 +528,19 @@ fn resolve_backend<O: HidingOracle + ?Sized>(
         }
         Backend::Auto => {}
         b => return Ok((b, None)),
+    }
+    // Auto on a 2-group: the tableau beats every amplitude representation
+    // at any size, provided the oracle supplies the subgroup span. No scan
+    // fallback here — an opaque oracle past the dense caps must keep
+    // surfacing the typed capacity error, not silently brute-force.
+    if all_qubits {
+        // An empty truth vector is meaningful: it states H is trivial.
+        if let Some(truth) = oracle.ground_truth() {
+            return Ok((Backend::Stabilizer, Some(truth)));
+        }
+        if let Some(fiber) = probe() {
+            return Ok((Backend::Stabilizer, Some(fiber)));
+        }
     }
     if adim <= COSET_CAP {
         return Ok((Backend::SimulatorCoset, None));
@@ -537,6 +652,117 @@ pub fn fourier_sample_coset<O: HidingOracle + ?Sized>(
     map.digits_to_coords(&odigits)
 }
 
+/// Precomputed Clifford lowering of the Z₂ Fourier-sampling round.
+///
+/// Over `A = Z₂^n` the round is pure Clifford: per-site DFT = Hadamard,
+/// QFT = `H^n`, and the hiding oracle is replaced by the CNOT network
+/// computing `|x⟩|Mx⟩`, where the rows of `M` are a GF(2) basis of `H^⊥`
+/// (so `ker M = H` and the network hides exactly `H`). One elimination
+/// over the provided spanning set of `H` yields `M`; each round then runs
+/// `H^n → CNOTs → H^n → measure inputs` on a fresh
+/// [`Tableau`](nahsp_qsim::stabilizer::Tableau) of `n + rank(M)` qubits,
+/// producing a uniform sample of `H^⊥` in `O((n + rank M)²)` bit ops.
+struct StabilizerPlan {
+    map: SiteMap,
+    /// Basis of `H^⊥` over the qubit sites: the rows of the oracle matrix.
+    mrows: Vec<BitVec>,
+}
+
+impl StabilizerPlan {
+    /// Reduce a GF(2) spanning set of `H` (ground-truth generators, a
+    /// coset fiber, or a scanned identity fiber — all span `H` mod 2) to
+    /// the `H^⊥` basis. Fails with [`SolveError::CliffordUnsupported`] if
+    /// any site has dimension ≠ 2.
+    fn build(a: &AbelianProduct, span: &[Vec<u64>]) -> Result<StabilizerPlan, SolveError> {
+        if let Some(&d) = a.moduli.iter().find(|&&m| m > 2) {
+            return Err(SolveError::CliffordUnsupported {
+                site_dim: d as usize,
+            });
+        }
+        let map = SiteMap::new(a);
+        let n = map.dims.len();
+        let mut h_space = Gf2Space::new(n);
+        for elem in span {
+            let mut v = BitVec::zeros(n);
+            for (coord, &c) in elem.iter().enumerate() {
+                if let Some(site) = map.site_of_coord[coord] {
+                    v.set(site, c % 2 == 1);
+                }
+            }
+            h_space.insert(&v);
+        }
+        let mrows = h_space.orthogonal_complement();
+        Ok(StabilizerPlan { map, mrows })
+    }
+
+    /// One Fourier-sampling round on the tableau: uniform superposition
+    /// (`H^n`), oracle CNOT network, QFT (`H^n`), Pauli-Z measurement of
+    /// the input register. Returns the sampled element of `H^⊥` in ambient
+    /// coordinates.
+    fn sample(&self, gates: &GateCounter, rng: &mut impl Rng) -> Vec<u64> {
+        let n = self.map.dims.len();
+        let k = self.mrows.len();
+        let mut t = Tableau::new(n + k).with_gate_counter(gates.clone());
+        for q in 0..n {
+            t.h(q);
+        }
+        for (j, row) in self.mrows.iter().enumerate() {
+            for i in 0..n {
+                if row.get(i) {
+                    t.cnot(i, n + j);
+                }
+            }
+        }
+        for q in 0..n {
+            t.h(q);
+        }
+        let digits: Vec<usize> = (0..n).map(|q| t.measure(q, rng).outcome as usize).collect();
+        self.map.digits_to_coords(&digits)
+    }
+}
+
+/// One Fourier-sampling round on the stabilizer tableau
+/// ([`Backend::Stabilizer`]'s round, for a 2-group ambient).
+///
+/// Derives the Clifford lowering from the oracle's structural assistance —
+/// ground truth, a coset fiber, or a bounded identity-fiber scan — then
+/// runs `H^n → CNOT network → H^n → measure`. Public so ablation
+/// experiments can histogram raw samples; the engine's sampling loop
+/// builds the lowering once per solve and reuses it across rounds.
+pub fn fourier_sample_stabilizer<O: HidingOracle + ?Sized>(
+    oracle: &O,
+    gates: &GateCounter,
+    rng: &mut impl Rng,
+) -> Result<Vec<u64>, SolveError> {
+    let a = oracle.ambient();
+    let adim: usize = a
+        .moduli
+        .iter()
+        .filter(|&&m| m > 1)
+        .fold(1usize, |p, &m| p.saturating_mul(m as usize));
+    let maxd = a
+        .moduli
+        .iter()
+        .map(|&m| m as usize)
+        .max()
+        .unwrap_or(2)
+        .max(2);
+    let span = oracle
+        .ground_truth()
+        .or_else(|| {
+            oracle
+                .coset_fiber(&vec![0u64; a.rank()], SPARSE_NNZ_CAP / maxd)
+                .filter(|f| !f.is_empty())
+        })
+        .or_else(|| scan_identity_fiber(oracle, adim))
+        .ok_or(SolveError::SimulatorCapacity {
+            dim: adim,
+            cap: SPARSE_SCAN_CAP,
+        })?;
+    let plan = StabilizerPlan::build(a, &span)?;
+    Ok(plan.sample(gates, rng))
+}
+
 /// One Fourier-sampling round on the sparse simulator.
 ///
 /// The coset state `|x₀ + H⟩` is prepared from the oracle's
@@ -564,7 +790,7 @@ pub fn fourier_sample_sparse<O: HidingOracle + ?Sized>(
     gates: &GateCounter,
     rng: &mut impl Rng,
 ) -> Result<Vec<u64>, SolveError> {
-    sparse_sample_round(oracle, None, gates, rng)
+    sparse_sample_round(oracle, None, SPARSE_NNZ_CAP, gates, rng)
 }
 
 /// The identity fiber `H = {x : f(x) = f(0)}` by brute domain scan,
@@ -596,13 +822,20 @@ fn scan_identity_fiber<O: HidingOracle + ?Sized>(oracle: &O, adim: usize) -> Opt
 fn sparse_sample_round<O: HidingOracle + ?Sized>(
     oracle: &O,
     identity_fiber: Option<&[Vec<u64>]>,
+    sparse_nnz_cap: usize,
     gates: &GateCounter,
     rng: &mut impl Rng,
 ) -> Result<Vec<u64>, SolveError> {
     let a = oracle.ambient();
     let map = SiteMap::new(a);
     let adim = map.total_dim();
-    let layout = Layout::new(map.dims.clone());
+    // Sparse nonzeros are still indexed by flat basis index, so the
+    // *index space* (not the memory) must fit usize; past that only the
+    // stabilizer or ideal backends can represent the instance.
+    let layout = Layout::try_new(map.dims.clone()).map_err(|_| SolveError::SimulatorCapacity {
+        dim: usize::MAX,
+        cap: usize::MAX,
+    })?;
     let maxd = map.dims.iter().copied().max().unwrap_or(2);
     // Random coset: uniform x0.
     let x0: Vec<u64> = a.moduli.iter().map(|&m| rng.gen_range(0..m)).collect();
@@ -613,7 +846,7 @@ fn sparse_sample_round<O: HidingOracle + ?Sized>(
         for elem in h {
             indices.insert(map.coords_to_index(&layout, &lattice::add(a, &x0, elem)));
         }
-    } else if let Some(fiber) = oracle.coset_fiber(&x0, SPARSE_NNZ_CAP / maxd) {
+    } else if let Some(fiber) = oracle.coset_fiber(&x0, sparse_nnz_cap / maxd) {
         for elem in &fiber {
             indices.insert(map.coords_to_index(&layout, elem));
         }
@@ -638,10 +871,10 @@ fn sparse_sample_round<O: HidingOracle + ?Sized>(
     // oracle so the state below is always well-formed.
     indices.insert(map.coords_to_index(&layout, &x0));
     let peak_nnz = indices.len().saturating_mul(maxd);
-    if peak_nnz > SPARSE_NNZ_CAP {
+    if peak_nnz > sparse_nnz_cap {
         return Err(SolveError::SparseCapacity {
             nnz: peak_nnz,
-            cap: SPARSE_NNZ_CAP,
+            cap: sparse_nnz_cap,
         });
     }
     let indices: Vec<usize> = indices.into_iter().collect();
@@ -738,6 +971,7 @@ mod tests {
             Backend::SimulatorFull,
             Backend::SimulatorCoset,
             Backend::SimulatorSparse,
+            Backend::Stabilizer,
             Backend::Ideal,
             Backend::Auto,
         ] {
@@ -865,7 +1099,8 @@ mod tests {
 
     #[test]
     fn auto_backend_prefers_sparse_beyond_dense_cap_and_coset_below() {
-        // Below the cap Auto behaves exactly like the coset simulator.
+        // Below the cap (and off the 2-group fast path) Auto behaves
+        // exactly like the coset simulator.
         let small = AbelianProduct::new(vec![4, 4]);
         let oracle = SubgroupOracle::new(small, &[vec![2, 0]]);
         let mut rng = Rng64::seed_from_u64(9);
@@ -873,24 +1108,97 @@ mod tests {
             .try_solve(&oracle, &mut rng)
             .expect("auto solve");
         assert!(res.subgroup.same_subgroup(oracle.hidden_subgroup()));
+        assert_eq!(res.backend, Some(Backend::SimulatorCoset));
 
-        // Past the cap, with an oracle that can enumerate fibers, Auto
-        // resolves to the sparse simulator and still solves.
-        let k = 20usize;
-        let hgens: Vec<Vec<u64>> = (0..12)
+        // Past the cap, with an oracle that can enumerate fibers but a
+        // non-qubit site structure (so the tableau cannot take it), Auto
+        // resolves to the sparse simulator and still solves:
+        // |A| = 4^10 = 2^20 > COSET_CAP, |H| = 2^10 nonzeros.
+        let k = 10usize;
+        let hgens: Vec<Vec<u64>> = (0..k)
             .map(|i| {
                 let mut v = vec![0u64; k];
-                v[i] = 1;
+                v[i] = 2;
                 v
             })
             .collect();
-        let big = AbelianProduct::new(vec![2u64; k]);
+        let big = AbelianProduct::new(vec![4u64; k]);
         let oracle = SubgroupOracle::new(big, &hgens);
         let mut rng = Rng64::seed_from_u64(10);
         let engine = AbelianHsp::new(Backend::Auto);
         let res = engine.try_solve(&oracle, &mut rng).expect("auto sparse");
         assert!(res.subgroup.same_subgroup(oracle.hidden_subgroup()));
+        assert_eq!(res.backend, Some(Backend::SimulatorSparse));
         assert!(res.gates > 0, "a simulator (not ideal) backend ran");
+    }
+
+    #[test]
+    fn auto_backend_prefers_stabilizer_for_2_groups() {
+        // A 2-group with structural assistance resolves to the tableau at
+        // ANY size — including far below the dense caps (Z2^12 is the
+        // bench-trajectory instance) and far above them (Z2^64, whose
+        // ambient order does not even fit u64).
+        for (k, seed) in [(12usize, 20u64), (64, 21)] {
+            let hgens: Vec<Vec<u64>> = (0..k / 2)
+                .map(|i| {
+                    let mut v = vec![0u64; k];
+                    v[i] = 1;
+                    v[k - 1 - i] = 1;
+                    v
+                })
+                .collect();
+            let a = AbelianProduct::new(vec![2u64; k]);
+            let oracle = SubgroupOracle::new(a, &hgens);
+            let mut rng = Rng64::seed_from_u64(seed);
+            let engine = AbelianHsp::new(Backend::Auto);
+            let res = engine.try_solve(&oracle, &mut rng).expect("auto solve");
+            assert!(res.subgroup.same_subgroup(oracle.hidden_subgroup()));
+            assert_eq!(res.backend, Some(Backend::Stabilizer), "Z2^{k}");
+            assert!(res.gates > 0, "tableau gates are counted");
+            assert!(res.quantum_queries > 0, "must actually Fourier-sample");
+        }
+    }
+
+    #[test]
+    fn stabilizer_backend_rejects_non_2_groups() {
+        let oracle = SubgroupOracle::new(AbelianProduct::new(vec![2, 6, 2]), &[vec![0, 3, 1]]);
+        let mut rng = Rng64::seed_from_u64(22);
+        let err = AbelianHsp::new(Backend::Stabilizer)
+            .try_solve(&oracle, &mut rng)
+            .expect_err("Z6 site is not Clifford-expressible");
+        assert_eq!(err, SolveError::CliffordUnsupported { site_dim: 6 });
+    }
+
+    #[test]
+    fn stabilizer_backend_scans_when_oracle_is_opaque() {
+        // OpaqueOracle offers neither truth nor fibers; the explicit
+        // stabilizer choice falls back to one bounded identity-fiber scan
+        // (same policy as explicit sparse).
+        let oracle = OpaqueOracle {
+            ambient: AbelianProduct::new(vec![2u64; 8]),
+        };
+        let mut rng = Rng64::seed_from_u64(23);
+        let res = AbelianHsp::new(Backend::Stabilizer)
+            .try_solve(&oracle, &mut rng)
+            .expect("scan fallback");
+        // OpaqueOracle hides {x : x0 = 0}, index 2 in Z2^8.
+        assert_eq!(res.subgroup.order(), 1 << 7);
+        assert_eq!(res.backend, Some(Backend::Stabilizer));
+    }
+
+    #[test]
+    fn stabilizer_solves_trivial_and_full_subgroups() {
+        // Trivial H: truth is Some([]) — meaningful, H^⊥ is everything.
+        check_solves(Backend::Stabilizer, &[2, 2, 2], &[], 24);
+        // Full H: verifies without sampling.
+        check_solves(Backend::Stabilizer, &[2, 2], &[vec![1, 0], vec![0, 1]], 25);
+        // Modulus-1 components carry no qubits and are tolerated.
+        check_solves(
+            Backend::Stabilizer,
+            &[1, 2, 1, 2, 2],
+            &[vec![0, 1, 0, 0, 1]],
+            26,
+        );
     }
 
     /// Oracle that offers neither fibers nor ground truth: past every
@@ -1067,6 +1375,44 @@ mod tests {
             "too many rounds: {}",
             res.quantum_queries
         );
+    }
+
+    #[test]
+    fn stabilizer_sampler_matches_ideal_distribution() {
+        // Z2^4, H = <(1,0,1,1)>: the tableau round's histogram must sit on
+        // exactly H^⊥ (8 points), uniformly, like the ideal sampler's.
+        let a = AbelianProduct::new(vec![2, 2, 2, 2]);
+        let hgens = vec![vec![1u64, 0, 1, 1]];
+        let oracle = SubgroupOracle::new(a.clone(), &hgens);
+        let truth = SubgroupLattice::from_generators(&a, &perp(&a, &hgens));
+        let mut rng = Rng64::seed_from_u64(41);
+        let n = 4000usize;
+        let idx = |y: &[u64]| (y[0] * 8 + y[1] * 4 + y[2] * 2 + y[3]) as usize;
+        let mut h_stab = vec![0f64; 16];
+        let mut h_ideal = vec![0f64; 16];
+        let gc = GateCounter::new();
+        for _ in 0..n {
+            let y = fourier_sample_stabilizer(&oracle, &gc, &mut rng).expect("stab round");
+            h_stab[idx(&y)] += 1.0 / n as f64;
+            h_ideal[idx(&truth.random_element(&mut rng))] += 1.0 / n as f64;
+        }
+        assert!(total_variation(&h_stab, &h_ideal) < 0.05);
+        for y0 in 0..2u64 {
+            for y1 in 0..2u64 {
+                for y2 in 0..2u64 {
+                    for y3 in 0..2u64 {
+                        let y = [y0, y1, y2, y3];
+                        let mass = h_stab[idx(&y)];
+                        if truth.contains(&y) {
+                            assert!(mass > 0.05, "missing support at {y:?}");
+                        } else {
+                            assert_eq!(mass, 0.0, "leakage at {y:?}");
+                        }
+                    }
+                }
+            }
+        }
+        assert!(gc.count() > 0, "tableau gates recorded");
     }
 
     #[test]

@@ -127,12 +127,40 @@ where
     G::Elem: 'static,
     F: nahsp_core::oracle::HidingFunction<G>,
 {
+    solver_figures_with(
+        strategy,
+        Backend::Auto,
+        strategy.name(),
+        instance,
+        label,
+        reps,
+    )
+}
+
+/// [`solver_figures`] with a pinned sampling backend and its own row key —
+/// used for the Stabilizer line, which runs `Strategy::Abelian` under a
+/// forced `Backend::Stabilizer` and must not collide with the Auto-backend
+/// Abelian row.
+fn solver_figures_with<G, F>(
+    strategy: Strategy,
+    backend: Backend,
+    row: &'static str,
+    instance: &HspInstance<G, F>,
+    label: String,
+    reps: usize,
+) -> StrategyFigures
+where
+    G: Group + 'static,
+    G::Elem: 'static,
+    F: nahsp_core::oracle::HidingFunction<G>,
+{
     let mut walls = Vec::with_capacity(reps);
     let mut queries = Vec::with_capacity(reps);
     let mut gates = Vec::with_capacity(reps);
     for rep in 0..reps {
         let solver = HspSolver::builder()
             .strategy(strategy)
+            .backend(backend)
             .seed(1000 + rep as u64)
             .build();
         let report = solver.solve(instance).expect("bench-solver solve");
@@ -141,7 +169,7 @@ where
         gates.push(report.queries.gates);
     }
     StrategyFigures {
-        strategy: strategy.name(),
+        strategy: row,
         instance: label,
         wall_us: median_f64(walls),
         oracle_queries: median_u64(queries),
@@ -170,6 +198,34 @@ fn bench_solver_json(smoke: bool) {
         let instance = HspInstance::with_coset_oracle(g, &h, 1 << (k / 2 + 1)).expect("oracle");
         rows.push(solver_figures(
             Strategy::Abelian,
+            &instance,
+            format!("Z2^{k}, |H| = 2^{}", k / 2),
+            reps,
+        ));
+    }
+
+    // Stabilizer tableau (forced backend): a 2-group far past every
+    // amplitude simulator's capacity. The structural oracle labels by
+    // coset representative (polynomial), and the planted generators are
+    // the ground truth the Clifford lowering consumes.
+    {
+        let k = if smoke { 16 } else { 64 };
+        let g = AbelianProduct::new(vec![2u64; k]);
+        let h: Vec<Vec<u64>> = (0..k / 2)
+            .map(|i| {
+                let mut v = vec![0u64; k];
+                v[i] = 1;
+                v[k - 1 - i] = 1;
+                v
+            })
+            .collect();
+        let oracle = SubgroupOracle::new(g.clone(), &h);
+        let hiding = AbelianAsHiding { oracle: &oracle };
+        let instance = HspInstance::new(g, hiding).with_ground_truth(h);
+        rows.push(solver_figures_with(
+            Strategy::Abelian,
+            Backend::Stabilizer,
+            "Stabilizer",
             &instance,
             format!("Z2^{k}, |H| = 2^{}", k / 2),
             reps,
@@ -297,6 +353,71 @@ fn bench_solver_json(smoke: bool) {
     std::fs::write(&out, &json).expect("write bench output");
     println!("\nbench-solver: wrote {} strategies to {out}", rows.len());
     print!("{json}");
+
+    // Smoke mode doubles as CI's performance-trajectory gate: every
+    // strategy's (smaller) smoke workload must stay within 2x of the
+    // committed full-mode median. Smoke instances are strictly smaller
+    // than full ones, so an honest build clears the bar with slack; a >2x
+    // excess means a real regression on that strategy's solve path.
+    if smoke {
+        let baseline =
+            std::env::var("BENCH_SOLVER_BASELINE").unwrap_or_else(|_| "BENCH_solver.json".into());
+        match baseline_medians(&baseline) {
+            None => println!(
+                "bench-solver --smoke: no committed baseline at {baseline}; skipping regression gate"
+            ),
+            Some(committed) => {
+                let mut regressed = false;
+                println!("\nregression gate vs {baseline} (fail at >2.0x):");
+                for row in &rows {
+                    let Some((_, base)) = committed.iter().find(|(n, _)| n == row.strategy) else {
+                        println!("  {:<22} (no committed median; skipped)", row.strategy);
+                        continue;
+                    };
+                    let ratio = row.wall_us / base.max(1.0);
+                    let verdict = if ratio > 2.0 {
+                        regressed = true;
+                        "REGRESSED"
+                    } else {
+                        "ok"
+                    };
+                    println!(
+                        "  {:<22} smoke {:>10.1} µs vs committed {:>10.1} µs = {ratio:.2}x {verdict}",
+                        row.strategy, row.wall_us, base
+                    );
+                }
+                if regressed {
+                    println!("bench-solver --smoke: wall-time regression detected");
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
+}
+
+/// Parse `(strategy, wall_us_median)` pairs out of a committed
+/// `BENCH_solver.json` (hand-rolled: the offline workspace has no serde).
+fn baseline_medians(path: &str) -> Option<Vec<(String, f64)>> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let t = line.trim_start();
+        if !t.starts_with('"') || !t.contains("\"wall_us_median\":") {
+            continue;
+        }
+        let name_end = t[1..].find('"')?;
+        let name = &t[1..1 + name_end];
+        let pos = t.find("\"wall_us_median\":")?;
+        let rest = t[pos + "\"wall_us_median\":".len()..].trim_start();
+        let num: String = rest
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || *c == '.')
+            .collect();
+        if let Ok(v) = num.parse::<f64>() {
+            out.push((name.to_string(), v));
+        }
+    }
+    Some(out)
 }
 
 /// E1 — Abelian HSP: quantum queries poly(log|A|) vs classical birthday.

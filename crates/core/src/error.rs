@@ -52,6 +52,12 @@ pub enum HspError {
         /// The configured budget.
         cap: usize,
     },
+    /// The stabilizer-tableau backend was selected on an instance whose
+    /// Fourier round is not a Clifford circuit (a site of dimension ≠ 2).
+    CliffordUnsupported {
+        /// The offending site dimension.
+        site_dim: usize,
+    },
     /// A component needed ground truth (ideal sampling backend,
     /// Ettinger–Høyer coset-state preparation) that the instance lacks.
     MissingGroundTruth {
@@ -115,6 +121,10 @@ impl std::fmt::Display for HspError {
             HspError::SparseCapacity { nnz, cap } => {
                 write!(f, "sparse simulator capacity exceeded: nnz = {nnz} > {cap}")
             }
+            HspError::CliffordUnsupported { site_dim } => write!(
+                f,
+                "stabilizer backend needs all site dimensions = 2 (found {site_dim})"
+            ),
             HspError::MissingGroundTruth { context } => {
                 write!(f, "{context} requires instance ground truth")
             }
@@ -154,6 +164,9 @@ impl From<SolveError> for HspError {
             SolveError::MissingGroundTruth => HspError::MissingGroundTruth {
                 context: "ideal sampling backend".into(),
             },
+            SolveError::CliffordUnsupported { site_dim } => {
+                HspError::CliffordUnsupported { site_dim }
+            }
         }
     }
 }
@@ -184,5 +197,7 @@ mod tests {
         assert!(matches!(e, HspError::MissingGroundTruth { .. }));
         let e: HspError = SolveError::SparseCapacity { nnz: 9, cap: 4 }.into();
         assert_eq!(e, HspError::SparseCapacity { nnz: 9, cap: 4 });
+        let e: HspError = SolveError::CliffordUnsupported { site_dim: 6 }.into();
+        assert_eq!(e, HspError::CliffordUnsupported { site_dim: 6 });
     }
 }

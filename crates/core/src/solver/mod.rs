@@ -72,6 +72,7 @@ pub struct HspSolver {
     query_budget: Option<u64>,
     backend: Backend,
     max_rounds: usize,
+    sparse_nnz_cap: usize,
     seed: u64,
     parallelism: usize,
     verify: bool,
@@ -85,6 +86,7 @@ impl Default for HspSolver {
             query_budget: None,
             backend: Backend::Auto,
             max_rounds: 0,
+            sparse_nnz_cap: nahsp_abelian::hsp::SPARSE_NNZ_CAP,
             seed: 0,
             parallelism: 0,
             verify: true,
@@ -141,6 +143,16 @@ impl HspSolverBuilder {
     /// Round cap for the Abelian engine's Las Vegas loop (0 = automatic).
     pub fn max_rounds(mut self, max_rounds: usize) -> Self {
         self.solver.max_rounds = max_rounds;
+        self
+    }
+
+    /// Memory budget for the sparse simulator backend: the peak nonzero
+    /// count (`|H| · max_site_dim`) one Fourier round may allocate.
+    /// Defaults to `nahsp_abelian::hsp::SPARSE_NNZ_CAP`. Instances past
+    /// the budget surface the typed [`HspError::SparseCapacity`]
+    /// (`Backend::Auto` falls back to the ideal sampler when it can).
+    pub fn sparse_nnz_cap(mut self, cap: usize) -> Self {
+        self.solver.sparse_nnz_cap = cap;
         self
     }
 
@@ -292,12 +304,12 @@ impl HspSolver {
                 Strategy::Auto => classify::classify_with_cache(self, instance)?,
                 s => (s, None),
             };
-            let (generators, order, detail) =
+            let (generators, order, detail, backend) =
                 self.run(strategy, instance, gprime, &gates, &mut rng)?;
             let verdict = self.verify_result(instance, &generators)?;
-            Ok((strategy, generators, order, detail, verdict))
+            Ok((strategy, generators, order, detail, backend, verdict))
         }));
-        let (strategy, generators, order, detail, verdict) = match outcome {
+        let (strategy, generators, order, detail, backend, verdict) = match outcome {
             Ok(Ok(v)) => v,
             Ok(Err(e)) => return Err(e),
             Err(payload) => {
@@ -320,6 +332,7 @@ impl HspSolver {
             generators,
             order,
             detail,
+            backend,
             verdict,
             queries: QueryStats {
                 oracle: oracle_spent,
@@ -330,10 +343,13 @@ impl HspSolver {
         })
     }
 
-    /// Dispatch a resolved strategy.
     /// Dispatch a resolved strategy. `gprime` is the commutator subgroup
     /// when the Auto classifier already enumerated it (black-box fallback),
-    /// so the small-commutator path does not pay the closure twice.
+    /// so the small-commutator path does not pay the closure twice. The
+    /// fourth tuple slot is the resolved sampling backend when one engine
+    /// solve served the whole instance (the direct Abelian path); composed
+    /// and engine-free strategies report `None`.
+    #[allow(clippy::type_complexity)]
     fn run<G, F>(
         &self,
         strategy: Strategy,
@@ -341,22 +357,29 @@ impl HspSolver {
         gprime: Option<Vec<G::Elem>>,
         gates: &GateCounter,
         rng: &mut StdRng,
-    ) -> Result<(Vec<G::Elem>, Option<u64>, StrategyDetail), HspError>
+    ) -> Result<(Vec<G::Elem>, Option<u64>, StrategyDetail, Option<Backend>), HspError>
     where
         G: Group + 'static,
         G::Elem: 'static,
         F: HidingFunction<G>,
     {
+        let engineless = |r: Result<(Vec<G::Elem>, Option<u64>, StrategyDetail), HspError>| {
+            r.map(|(g, o, d)| (g, o, d, None))
+        };
         match strategy {
             Strategy::Auto => unreachable!("Auto is resolved before dispatch"),
             Strategy::Abelian => self.run_abelian(instance, gates, rng),
-            Strategy::NormalSubgroup => self.run_normal(instance, gates, rng),
-            Strategy::SmallCommutator => self.run_small_commutator(instance, gprime, gates, rng),
-            Strategy::Ea2Cyclic => self.run_ea2(instance, true, gates, rng),
-            Strategy::Ea2General => self.run_ea2(instance, false, gates, rng),
-            Strategy::EttingerHoyerDihedral => self.run_ettinger_hoyer(instance, gates, rng),
-            Strategy::ExhaustiveScan => self.run_scan(instance),
-            Strategy::BirthdayCollision => self.run_birthday(instance, rng),
+            Strategy::NormalSubgroup => engineless(self.run_normal(instance, gates, rng)),
+            Strategy::SmallCommutator => {
+                engineless(self.run_small_commutator(instance, gprime, gates, rng))
+            }
+            Strategy::Ea2Cyclic => engineless(self.run_ea2(instance, true, gates, rng)),
+            Strategy::Ea2General => engineless(self.run_ea2(instance, false, gates, rng)),
+            Strategy::EttingerHoyerDihedral => {
+                engineless(self.run_ettinger_hoyer(instance, gates, rng))
+            }
+            Strategy::ExhaustiveScan => engineless(self.run_scan(instance)),
+            Strategy::BirthdayCollision => engineless(self.run_birthday(instance, rng)),
         }
     }
 
@@ -373,6 +396,7 @@ impl HspSolver {
             backend,
             max_rounds: self.max_rounds,
             gates: gates.clone(),
+            sparse_nnz_cap: self.sparse_nnz_cap,
         }
     }
 
@@ -384,15 +408,17 @@ impl HspSolver {
             backend: self.backend,
             max_rounds: self.max_rounds,
             gates: gates.clone(),
+            sparse_nnz_cap: self.sparse_nnz_cap,
         }
     }
 
+    #[allow(clippy::type_complexity)]
     fn run_abelian<G, F>(
         &self,
         instance: &HspInstance<G, F>,
         gates: &GateCounter,
         rng: &mut StdRng,
-    ) -> Result<(Vec<G::Elem>, Option<u64>, StrategyDetail), HspError>
+    ) -> Result<(Vec<G::Elem>, Option<u64>, StrategyDetail, Option<Backend>), HspError>
     where
         G: Group + 'static,
         G::Elem: 'static,
@@ -425,6 +451,7 @@ impl HspSolver {
             StrategyDetail::Normal {
                 quotient_order: seeds.quotient_order,
             },
+            None,
         ))
     }
 
@@ -438,7 +465,7 @@ impl HspSolver {
         instance: &HspInstance<G, F>,
         gates: &GateCounter,
         rng: &mut StdRng,
-    ) -> Result<Option<(Vec<G::Elem>, Option<u64>, StrategyDetail)>, HspError>
+    ) -> Result<Option<(Vec<G::Elem>, Option<u64>, StrategyDetail, Option<Backend>)>, HspError>
     where
         G: Group + 'static,
         G::Elem: 'static,
@@ -511,6 +538,7 @@ impl HspSolver {
             StrategyDetail::Normal {
                 quotient_order: ambient_order / order.max(1),
             },
+            result.backend,
         )))
     }
 
@@ -641,7 +669,14 @@ impl HspSolver {
     {
         let group = instance.group();
         let coords = self.ea2_coords(instance)?;
-        let truth = if self.backend == Backend::Ideal {
+        // `Ideal` cannot run without truth; `Auto`/`Stabilizer` use it when
+        // present — the Theorem 13 per-z instances are all-qubit, so a
+        // spanning set routes their Fourier rounds onto the stabilizer
+        // tableau instead of the dense simulator.
+        let wants_truth = self.backend == Backend::Ideal
+            || (matches!(self.backend, Backend::Auto | Backend::Stabilizer)
+                && instance.ground_truth().is_some());
+        let truth = if wants_truth {
             Some(self.ea2_truth(instance, &coords)?)
         } else {
             None
@@ -1052,6 +1087,7 @@ mod tests {
             .query_budget(10_000)
             .backend(Backend::Ideal)
             .max_rounds(64)
+            .sparse_nnz_cap(1 << 10)
             .seed(7)
             .parallelism(2)
             .verify(false)
@@ -1061,6 +1097,7 @@ mod tests {
         assert_eq!(solver.query_budget, Some(10_000));
         assert_eq!(solver.backend, Backend::Ideal);
         assert_eq!(solver.max_rounds, 64);
+        assert_eq!(solver.sparse_nnz_cap, 1 << 10);
         assert_eq!(solver.seed, 7);
         assert_eq!(solver.parallelism, 2);
         assert!(!solver.verify);
@@ -1117,6 +1154,76 @@ mod tests {
             .expect("Ideal without truth downgrades to the coset simulator");
         assert_eq!(report.strategy, Strategy::Abelian);
         assert_eq!(report.order, Some(2));
+    }
+
+    /// The report names the backend that actually sampled after `Auto`
+    /// resolution: a 2-group instance with ground truth routes onto the
+    /// stabilizer tableau on the direct Abelian path.
+    #[test]
+    fn report_names_stabilizer_backend_after_auto_resolution() {
+        use nahsp_groups::AbelianProduct;
+        let g = AbelianProduct::new(vec![2; 10]);
+        let mut h = vec![0u64; 10];
+        h[0] = 1;
+        h[9] = 1;
+        let oracle = CosetTableOracle::new(g.clone(), &[h.clone()], 1 << 12);
+        let instance = HspInstance::new(g, oracle).with_ground_truth(vec![h]);
+        let report = HspSolver::new().solve(&instance).unwrap();
+        assert_eq!(report.strategy, Strategy::Abelian);
+        assert_eq!(report.backend, Some(Backend::Stabilizer));
+        assert_eq!(report.order, Some(2));
+        assert_eq!(report.verdict, Verdict::VerifiedExact);
+        assert!(report.summary().contains("backend=Stabilizer"));
+    }
+
+    /// Explicitly requesting the stabilizer backend on a non-2-group
+    /// surfaces the typed error, not a panic.
+    #[test]
+    fn stabilizer_backend_on_non_2_group_is_a_typed_error() {
+        use nahsp_groups::AbelianProduct;
+        let g = AbelianProduct::new(vec![2, 6]);
+        let oracle = CosetTableOracle::new(g.clone(), &[vec![0u64, 3]], 100);
+        let instance = HspInstance::new(g, oracle);
+        let err = HspSolver::builder()
+            .backend(Backend::Stabilizer)
+            .build()
+            .solve(&instance)
+            .expect_err("site of dimension 6 is not Clifford-expressible");
+        assert_eq!(err, HspError::CliffordUnsupported { site_dim: 6 });
+    }
+
+    /// The builder's sparse memory budget reaches the engine: an instance
+    /// whose coset fibers exceed a tiny cap is rejected with the typed
+    /// SparseCapacity error instead of allocating past the budget.
+    #[test]
+    fn sparse_nnz_cap_budget_reaches_the_engine() {
+        use nahsp_groups::AbelianProduct;
+        // Z4^6 with |H| = 4^4 = 256: the sparse round needs
+        // 256 · 4 = 1024 nonzeros, past a budget of 100.
+        let g = AbelianProduct::new(vec![4; 6]);
+        let truth: Vec<Vec<u64>> = (0..4)
+            .map(|i| {
+                let mut v = vec![0u64; 6];
+                v[i] = 1;
+                v
+            })
+            .collect();
+        let oracle = CosetTableOracle::new(g.clone(), &truth, 1 << 13);
+        let instance = HspInstance::new(g, oracle).with_ground_truth(truth);
+        let err = HspSolver::builder()
+            .backend(Backend::SimulatorSparse)
+            .sparse_nnz_cap(100)
+            .verify(false)
+            .build()
+            .solve(&instance)
+            .expect_err("fiber nonzeros exceed the configured budget");
+        assert_eq!(
+            err,
+            HspError::SparseCapacity {
+                nnz: 1024,
+                cap: 100
+            }
+        );
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! The uniform result type every strategy returns.
 
 use super::Strategy;
+use nahsp_abelian::Backend;
 use nahsp_groups::Group;
 use std::time::Duration;
 
@@ -67,6 +68,12 @@ pub struct HspReport<G: Group> {
     pub order: Option<u64>,
     /// Strategy-specific diagnostics.
     pub detail: StrategyDetail,
+    /// The quantum backend that actually sampled, after `Backend::Auto`
+    /// resolution — surfaced on the direct Abelian path (where one engine
+    /// solve serves the whole instance). `None` for strategies that run no
+    /// engine, compose several engine solves (Theorem 13's per-coset
+    /// instances), or verify without sampling.
+    pub backend: Option<Backend>,
     /// Verification verdict for `generators`.
     pub verdict: Verdict,
     /// Query and gate accounting.
@@ -81,12 +88,15 @@ impl<G: Group> HspReport<G> {
     /// One human-readable line for examples and logs.
     pub fn summary(&self) -> String {
         format!(
-            "{}strategy={:?} |H|={} gens={} queries={} gates={} wall={:?} verdict={:?}",
+            "{}strategy={:?}{} |H|={} gens={} queries={} gates={} wall={:?} verdict={:?}",
             self.instance_label
                 .as_deref()
                 .map(|l| format!("[{l}] "))
                 .unwrap_or_default(),
             self.strategy,
+            self.backend
+                .map(|b| format!(" backend={b:?}"))
+                .unwrap_or_default(),
             self.order
                 .map(|o| o.to_string())
                 .unwrap_or_else(|| "?".into()),

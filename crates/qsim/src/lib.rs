@@ -22,6 +22,11 @@
 //!   same [`layout::Layout`] semantics) and sparse kernels; memory scales
 //!   with the number of nonzero amplitudes instead of the Hilbert dimension,
 //!   which is what coset states actually need (`|H|` nonzeros out of `|A|`);
+//! - [`stabilizer`] — an Aaronson–Gottesman stabilizer tableau for
+//!   Clifford-only circuits on qubit registers (bit-packed binary symplectic
+//!   generators); the Z₂-flavored instances — Simon-style Abelian, EA2-Z₂,
+//!   extraspecial `p = 2` — run entirely on it, polynomial in the number of
+//!   qubits instead of exponential;
 //! - [`counter`] — thread-safe oracle-query counters and the per-run
 //!   [`counter::GateCounter`] every state records gate applications into.
 //!
@@ -43,10 +48,12 @@ pub mod measure;
 pub mod oracle;
 pub mod qft;
 pub mod sparse;
+pub mod stabilizer;
 pub mod state;
 
 pub use complex::Complex;
 pub use counter::{GateCounter, QueryCounter};
 pub use layout::{Layout, LayoutError};
 pub use sparse::SparseState;
+pub use stabilizer::Tableau;
 pub use state::State;

@@ -1,0 +1,600 @@
+//! Stabilizer-tableau simulation of Clifford circuits (Aaronson–Gottesman).
+//!
+//! Every Z₂-flavored workload in the paper — Simon-style Abelian instances,
+//! the Z₂ wreath/EA2 cases of Theorem 13, extraspecial p = 2 — runs
+//! Clifford-only circuits: per-site DFT over Z₂ is the Hadamard, the hiding
+//! oracle loads its ancillas through a CNOT network, and the final
+//! measurement is Pauli-Z. Such circuits need no amplitudes at all: the
+//! state is tracked as a *stabilizer tableau* ([`Tableau`]), the binary
+//! symplectic matrix of `n` stabilizer and `n` destabilizer Pauli
+//! generators, bit-packed into `u64` row words. Gates and measurements are
+//! `O(n)`–`O(n²)` bit operations, so instances like `Z₂^100` — a Hilbert
+//! space of dimension `2^100` that no amplitude simulator can touch — run
+//! in microseconds per round.
+//!
+//! The representation is the CHP one (Aaronson & Gottesman, *Improved
+//! simulation of stabilizer circuits*, quant-ph/0406196): row `i < n` is
+//! the `i`-th destabilizer, row `n + i` the `i`-th stabilizer, each row a
+//! pair of bit vectors (X part, Z part) plus a sign bit. The tableau starts
+//! at `|0…0⟩` (destabilizers `Xᵢ`, stabilizers `Zᵢ`, all signs `+`) and is
+//! updated in place:
+//!
+//! - [`Tableau::h`], [`Tableau::s`], [`Tableau::cnot`], [`Tableau::x`],
+//!   [`Tableau::z`] — Clifford generators, `O(n)` word operations each,
+//!   recorded into the tableau's [`GateCounter`];
+//! - [`Tableau::measure`] — Pauli-Z measurement of one qubit with
+//!   postselection-free collapse: deterministic outcomes are read off the
+//!   destabilizer rows in `O(n²)` without touching the state, random
+//!   outcomes collapse the tableau in place (no rejected branches, no
+//!   renormalization);
+//! - [`Tableau::outcome_space`] — the *measured coset space*: the affine
+//!   subspace `y₀ ⊕ span(V)` of possible full Pauli-Z outcomes, extracted
+//!   by Gaussian elimination over the stabilizer X parts. For the Fourier
+//!   sampling rounds this is exactly the coset structure the algorithm
+//!   consumes — the state's support is `x₀ + H` and the post-Hadamard
+//!   outcome space is `H^⊥`.
+//!
+//! The Z₂ Fourier-sampling lowering itself (uniform superposition = `H^n`,
+//! hiding-oracle ancilla load = CNOT network from a basis of `H^⊥`, QFT =
+//! `H^n`, measure) lives in `nahsp_abelian::hsp` next to the dense and
+//! sparse rounds; this module is the circuit substrate.
+
+use crate::counter::GateCounter;
+use rand::Rng;
+
+/// Outcome of one Pauli-Z measurement on a [`Tableau`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Measurement {
+    /// The measured bit.
+    pub outcome: bool,
+    /// `true` when the state already had a definite value on the qubit (the
+    /// tableau was not modified); `false` when the outcome was uniformly
+    /// random and the state collapsed.
+    pub deterministic: bool,
+}
+
+/// Stabilizer state of `n` qubits as a binary symplectic tableau.
+///
+/// Rows `0..n` are destabilizer generators, rows `n..2n` stabilizer
+/// generators; one extra scratch row backs deterministic measurements. X
+/// and Z parts are bit-packed 64 bits per word, so every gate is a strided
+/// word sweep.
+#[derive(Clone, Debug)]
+pub struct Tableau {
+    n: usize,
+    words: usize,
+    /// X bits, `(2n + 1) * words`, row-major.
+    x: Vec<u64>,
+    /// Z bits, same shape.
+    z: Vec<u64>,
+    /// Sign bits (`true` = −1), one per row.
+    r: Vec<bool>,
+    gates: GateCounter,
+}
+
+impl Tableau {
+    /// The `n`-qubit `|0…0⟩` tableau: destabilizers `Xᵢ`, stabilizers `Zᵢ`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "tableau needs at least one qubit");
+        let words = n.div_ceil(64);
+        let mut t = Tableau {
+            n,
+            words,
+            x: vec![0; (2 * n + 1) * words],
+            z: vec![0; (2 * n + 1) * words],
+            r: vec![false; 2 * n + 1],
+            gates: GateCounter::new(),
+        };
+        for i in 0..n {
+            let (w, m) = (i / 64, 1u64 << (i % 64));
+            t.x[i * words + w] |= m; // destabilizer i = X_i
+            t.z[(n + i) * words + w] |= m; // stabilizer i = Z_i
+        }
+        t
+    }
+
+    /// Attach a shared per-run gate counter (clone-and-share, like the
+    /// dense and sparse states).
+    pub fn with_gate_counter(mut self, gates: GateCounter) -> Self {
+        self.gates = gates;
+        self
+    }
+
+    /// The gate counter this tableau records into.
+    pub fn gate_counter(&self) -> &GateCounter {
+        &self.gates
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    fn xbit(&self, row: usize, q: usize) -> bool {
+        self.x[row * self.words + q / 64] >> (q % 64) & 1 == 1
+    }
+
+    /// Hadamard on qubit `q`: swaps the X and Z columns, flipping signs
+    /// where both bits are set (`HXH = Z`, `HZH = X`, `HYH = −Y`).
+    pub fn h(&mut self, q: usize) {
+        let (w, m) = (q / 64, 1u64 << (q % 64));
+        for row in 0..2 * self.n {
+            let xi = row * self.words + w;
+            let xb = self.x[xi] & m;
+            let zb = self.z[xi] & m;
+            self.r[row] ^= xb != 0 && zb != 0;
+            self.x[xi] ^= xb ^ zb;
+            self.z[xi] ^= xb ^ zb;
+        }
+        self.gates.record(1);
+    }
+
+    /// Phase gate on qubit `q` (`S = diag(1, i)`): `SXS† = Y`, `SZS† = Z`.
+    pub fn s(&mut self, q: usize) {
+        let (w, m) = (q / 64, 1u64 << (q % 64));
+        for row in 0..2 * self.n {
+            let xi = row * self.words + w;
+            let xb = self.x[xi] & m;
+            let zb = self.z[xi] & m;
+            self.r[row] ^= xb != 0 && zb != 0;
+            self.z[xi] ^= xb;
+        }
+        self.gates.record(1);
+    }
+
+    /// CNOT with control `c` and target `t`: `X_c → X_c X_t`,
+    /// `Z_t → Z_c Z_t`.
+    pub fn cnot(&mut self, c: usize, t: usize) {
+        assert_ne!(c, t, "CNOT control and target must differ");
+        let (wc, mc) = (c / 64, 1u64 << (c % 64));
+        let (wt, mt) = (t / 64, 1u64 << (t % 64));
+        for row in 0..2 * self.n {
+            let base = row * self.words;
+            let xc = self.x[base + wc] & mc != 0;
+            let zc = self.z[base + wc] & mc != 0;
+            let xt = self.x[base + wt] & mt != 0;
+            let zt = self.z[base + wt] & mt != 0;
+            self.r[row] ^= xc && zt && (xt == zc);
+            if xc {
+                self.x[base + wt] ^= mt;
+            }
+            if zt {
+                self.z[base + wc] ^= mc;
+            }
+        }
+        self.gates.record(1);
+    }
+
+    /// Pauli X on qubit `q` (flips signs of rows anticommuting with `X_q`).
+    pub fn x(&mut self, q: usize) {
+        let (w, m) = (q / 64, 1u64 << (q % 64));
+        for row in 0..2 * self.n {
+            self.r[row] ^= self.z[row * self.words + w] & m != 0;
+        }
+        self.gates.record(1);
+    }
+
+    /// Pauli Z on qubit `q`.
+    pub fn z(&mut self, q: usize) {
+        let (w, m) = (q / 64, 1u64 << (q % 64));
+        for row in 0..2 * self.n {
+            self.r[row] ^= self.x[row * self.words + w] & m != 0;
+        }
+        self.gates.record(1);
+    }
+
+    /// Multiply row `i` into row `h` (CHP `rowsum`): `P_h ← P_i · P_h`,
+    /// with the sign tracked exactly. The per-qubit phase exponents are
+    /// summed word-wise with popcounts.
+    fn rowmult(&mut self, h: usize, i: usize) {
+        let (hb, ib) = (h * self.words, i * self.words);
+        let mut plus = 0i64;
+        let mut minus = 0i64;
+        for w in 0..self.words {
+            let x1 = self.x[ib + w];
+            let z1 = self.z[ib + w];
+            let x2 = self.x[hb + w];
+            let z2 = self.z[hb + w];
+            // Exponent of i contributed by multiplying P1 (row i) by P2
+            // (row h) at each qubit: +1 for Y·Z, X·Y, Z·X; −1 for Y·X,
+            // X·Z, Z·Y. Every mask term requires an x1/z1 bit, so padding
+            // bits past n never contribute.
+            plus += ((x1 & z1 & !x2 & z2) | (x1 & !z1 & x2 & z2) | (!x1 & z1 & x2 & !z2))
+                .count_ones() as i64;
+            minus += ((x1 & z1 & x2 & !z2) | (x1 & !z1 & !x2 & z2) | (!x1 & z1 & x2 & z2))
+                .count_ones() as i64;
+        }
+        let total = 2 * (self.r[h] as i64) + 2 * (self.r[i] as i64) + plus - minus;
+        let total = total.rem_euclid(4);
+        // Stabilizer and scratch rows only ever multiply commuting Paulis,
+        // so their sign stays real. Destabilizer rows may absorb an
+        // anticommuting pivot during collapse; their sign is bookkeeping
+        // the algorithm never reads, so the odd case is resolved
+        // arbitrarily (as in CHP).
+        debug_assert!(
+            h < self.n || total % 2 == 0,
+            "commuting Pauli products have real sign"
+        );
+        self.r[h] = total == 2;
+        for w in 0..self.words {
+            self.x[hb + w] ^= self.x[ib + w];
+            self.z[hb + w] ^= self.z[ib + w];
+        }
+    }
+
+    /// Measure qubit `q` in the Pauli-Z basis.
+    ///
+    /// Deterministic outcomes (no stabilizer anticommutes with `Z_q`) are
+    /// computed from the destabilizer bookkeeping without touching the
+    /// state. Random outcomes are drawn from `rng` and the tableau
+    /// collapses in place — postselection-free: no branch is simulated and
+    /// discarded.
+    pub fn measure(&mut self, q: usize, rng: &mut impl Rng) -> Measurement {
+        match self.anticommuting_stabilizer(q) {
+            Some(p) => {
+                let outcome = rng.gen_range(0..2u32) == 1;
+                self.collapse(q, p, outcome);
+                Measurement {
+                    outcome,
+                    deterministic: false,
+                }
+            }
+            None => Measurement {
+                outcome: self.deterministic_outcome(q),
+                deterministic: true,
+            },
+        }
+    }
+
+    /// Measure every qubit in order, returning the outcome bits.
+    pub fn measure_all(&mut self, rng: &mut impl Rng) -> Vec<bool> {
+        (0..self.n).map(|q| self.measure(q, rng).outcome).collect()
+    }
+
+    /// First stabilizer row with an X bit on `q`, i.e. a generator
+    /// anticommuting with `Z_q` — present iff the outcome is random.
+    fn anticommuting_stabilizer(&self, q: usize) -> Option<usize> {
+        (self.n..2 * self.n).find(|&row| self.xbit(row, q))
+    }
+
+    /// CHP deterministic branch: accumulate into the scratch row the
+    /// stabilizer product that equals `±Z_q`; its sign is the outcome.
+    fn deterministic_outcome(&mut self, q: usize) -> bool {
+        let scratch = 2 * self.n;
+        let base = scratch * self.words;
+        self.x[base..base + self.words].fill(0);
+        self.z[base..base + self.words].fill(0);
+        self.r[scratch] = false;
+        for i in 0..self.n {
+            if self.xbit(i, q) {
+                self.rowmult(scratch, self.n + i);
+            }
+        }
+        self.r[scratch]
+    }
+
+    /// CHP random branch: collapse onto the `outcome` eigenspace of `Z_q`,
+    /// with `p` the anticommuting stabilizer row.
+    fn collapse(&mut self, q: usize, p: usize, outcome: bool) {
+        for row in 0..2 * self.n {
+            if row != p && self.xbit(row, q) {
+                self.rowmult(row, p);
+            }
+        }
+        // The destabilizer paired with p becomes the old stabilizer; the
+        // stabilizer becomes ±Z_q.
+        let (db, pb) = ((p - self.n) * self.words, p * self.words);
+        for w in 0..self.words {
+            self.x[db + w] = self.x[pb + w];
+            self.z[db + w] = self.z[pb + w];
+            self.x[pb + w] = 0;
+            self.z[pb + w] = 0;
+        }
+        self.r[p - self.n] = self.r[p];
+        self.z[pb + q / 64] = 1u64 << (q % 64);
+        self.r[p] = outcome;
+    }
+
+    /// The affine space of possible full Pauli-Z measurement outcomes —
+    /// the *measured coset space* `y₀ ⊕ span(basis)`.
+    ///
+    /// The state's computational support is a coset of the GF(2) span of
+    /// the stabilizer X parts (a Z-type generator constrains, an X-type
+    /// generator translates), so the basis falls out of one Gaussian
+    /// elimination over those rows; the offset is a forced-zero measurement
+    /// sweep on a clone. Measuring all qubits yields the uniform
+    /// distribution over exactly this space. Pure linear algebra — the
+    /// tableau itself is not collapsed.
+    pub fn outcome_space(&self) -> (Vec<bool>, Vec<Vec<bool>>) {
+        // Offset: measure every qubit on a clone, pinning each random
+        // outcome to 0 (probability ½ each, so the result is reachable).
+        let mut probe = self.clone();
+        let offset: Vec<bool> = (0..self.n)
+            .map(|q| match probe.anticommuting_stabilizer(q) {
+                Some(p) => {
+                    probe.collapse(q, p, false);
+                    false
+                }
+                None => probe.deterministic_outcome(q),
+            })
+            .collect();
+        // Basis: eliminate the stabilizer X parts to row echelon.
+        let mut rows: Vec<Vec<u64>> = (self.n..2 * self.n)
+            .map(|row| self.x[row * self.words..(row + 1) * self.words].to_vec())
+            .collect();
+        let mut basis = Vec::new();
+        for col in 0..self.n {
+            let (w, m) = (col / 64, 1u64 << (col % 64));
+            let Some(pivot) = rows.iter().position(|r| r[w] & m != 0) else {
+                continue;
+            };
+            let prow = rows.swap_remove(pivot);
+            for r in rows.iter_mut() {
+                if r[w] & m != 0 {
+                    for (a, b) in r.iter_mut().zip(&prow) {
+                        *a ^= b;
+                    }
+                }
+            }
+            basis.push(
+                (0..self.n)
+                    .map(|q| prow[q / 64] >> (q % 64) & 1 == 1)
+                    .collect(),
+            );
+        }
+        (offset, basis)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::Complex;
+    use crate::gates::{apply_site_unitary, controlled_phase, hadamard};
+    use crate::layout::Layout;
+    use crate::state::State;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn symplectic(t: &Tableau, a: usize, b: usize) -> u32 {
+        let mut acc = 0u32;
+        for w in 0..t.words {
+            acc ^= (t.x[a * t.words + w] & t.z[b * t.words + w]).count_ones() & 1;
+            acc ^= (t.z[a * t.words + w] & t.x[b * t.words + w]).count_ones() & 1;
+        }
+        acc
+    }
+
+    fn check_invariants(t: &Tableau, ctx: &str) {
+        let n = t.n;
+        for i in 0..n {
+            for j in 0..n {
+                assert_eq!(
+                    symplectic(t, n + i, n + j),
+                    0,
+                    "{ctx}: stab {i} vs stab {j}"
+                );
+                assert_eq!(symplectic(t, i, j), 0, "{ctx}: destab {i} vs destab {j}");
+                let want = (i == j) as u32;
+                assert_eq!(
+                    symplectic(t, i, n + j),
+                    want,
+                    "{ctx}: destab {i} vs stab {j}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn random_circuits_preserve_symplectic_invariants() {
+        let n = 5;
+        for seed in 0..10u64 {
+            let mut rng = StdRng::seed_from_u64(900 + seed);
+            let mut t = Tableau::new(n);
+            for step in 0..40 {
+                match rng.gen_range(0..4u32) {
+                    0 => t.h(rng.gen_range(0..n)),
+                    1 => t.s(rng.gen_range(0..n)),
+                    2 => {
+                        let c = rng.gen_range(0..n);
+                        let tq = (c + 1 + rng.gen_range(0..n - 1)) % n;
+                        t.cnot(c, tq);
+                    }
+                    _ => {
+                        let q = rng.gen_range(0..n);
+                        t.measure(q, &mut rng);
+                    }
+                }
+                check_invariants(&t, &format!("seed {seed} step {step}"));
+            }
+        }
+    }
+
+    #[test]
+    fn fresh_tableau_measures_all_zero_deterministically() {
+        let mut t = Tableau::new(70); // spans two words
+        let mut rng = StdRng::seed_from_u64(1);
+        for q in 0..70 {
+            let m = t.measure(q, &mut rng);
+            assert!(m.deterministic);
+            assert!(!m.outcome);
+        }
+    }
+
+    #[test]
+    fn pauli_x_flips_deterministic_outcomes() {
+        let mut t = Tableau::new(3);
+        let mut rng = StdRng::seed_from_u64(2);
+        t.x(1);
+        assert_eq!(
+            t.measure_all(&mut rng),
+            vec![false, true, false],
+            "X_1 |000⟩ = |010⟩"
+        );
+    }
+
+    #[test]
+    fn hssh_equals_x() {
+        // H S S H = H Z H = X, phases included.
+        let mut t = Tableau::new(2);
+        let mut rng = StdRng::seed_from_u64(3);
+        t.h(0);
+        t.s(0);
+        t.s(0);
+        t.h(0);
+        let m = t.measure(0, &mut rng);
+        assert!(m.deterministic);
+        assert!(m.outcome);
+    }
+
+    #[test]
+    fn bell_pair_correlates_and_is_random() {
+        let mut seen = [false; 2];
+        for seed in 0..32 {
+            let mut t = Tableau::new(2);
+            let mut rng = StdRng::seed_from_u64(seed);
+            t.h(0);
+            t.cnot(0, 1);
+            let a = t.measure(0, &mut rng);
+            let b = t.measure(1, &mut rng);
+            assert!(!a.deterministic, "first Bell measurement is random");
+            assert!(b.deterministic, "second is pinned by the first");
+            assert_eq!(a.outcome, b.outcome, "Bell outcomes correlate");
+            seen[a.outcome as usize] = true;
+        }
+        assert!(seen[0] && seen[1], "both Bell branches occur");
+    }
+
+    #[test]
+    fn ghz_across_word_boundary() {
+        // 80-qubit GHZ chain: all outcomes equal, both branches reachable.
+        let n = 80;
+        let mut seen = [false; 2];
+        for seed in 0..16 {
+            let mut t = Tableau::new(n);
+            let mut rng = StdRng::seed_from_u64(100 + seed);
+            t.h(0);
+            for q in 1..n {
+                t.cnot(q - 1, q);
+            }
+            let bits = t.measure_all(&mut rng);
+            assert!(bits.iter().all(|&b| b == bits[0]));
+            seen[bits[0] as usize] = true;
+        }
+        assert!(seen[0] && seen[1]);
+    }
+
+    #[test]
+    fn remeasurement_is_stable() {
+        let mut t = Tableau::new(5);
+        let mut rng = StdRng::seed_from_u64(7);
+        for q in 0..5 {
+            t.h(q);
+        }
+        let first = t.measure_all(&mut rng);
+        let second = t.measure_all(&mut rng);
+        assert_eq!(first, second, "collapsed state re-measures identically");
+    }
+
+    #[test]
+    fn outcome_space_of_bell_state() {
+        let mut t = Tableau::new(2);
+        t.h(0);
+        t.cnot(0, 1);
+        let (offset, basis) = t.outcome_space();
+        assert_eq!(offset, vec![false, false]);
+        assert_eq!(basis, vec![vec![true, true]], "space is 00 and 11");
+    }
+
+    #[test]
+    fn gate_counter_tallies_clifford_gates() {
+        let gc = GateCounter::new();
+        let mut t = Tableau::new(3).with_gate_counter(gc.clone());
+        t.h(0);
+        t.cnot(0, 1);
+        t.s(2);
+        t.x(1);
+        t.z(0);
+        assert_eq!(gc.count(), 5);
+        let mut rng = StdRng::seed_from_u64(9);
+        t.measure_all(&mut rng);
+        assert_eq!(gc.count(), 5, "measurements are not gates");
+    }
+
+    /// Dense cross-check: random Clifford circuits applied to both the
+    /// tableau and the amplitude simulator must agree on the support of
+    /// the final state (uniform over the tableau's outcome space) and on
+    /// every deterministic measurement.
+    #[test]
+    fn random_clifford_circuits_agree_with_dense_simulator() {
+        let h_mat = {
+            let s = Complex::new(1.0 / 2f64.sqrt(), 0.0);
+            vec![s, s, s, Complex::new(-1.0 / 2f64.sqrt(), 0.0)]
+        };
+        let s_mat = vec![
+            Complex::ONE,
+            Complex::ZERO,
+            Complex::ZERO,
+            Complex::new(0.0, 1.0),
+        ];
+        let n = 4usize;
+        for seed in 0..20u64 {
+            let mut rng = StdRng::seed_from_u64(400 + seed);
+            let mut t = Tableau::new(n);
+            let mut dense = State::zero(Layout::qubits(n));
+            for _ in 0..24 {
+                match rng.gen_range(0..3u32) {
+                    0 => {
+                        let q = rng.gen_range(0..n);
+                        t.h(q);
+                        hadamard(&mut dense, q);
+                    }
+                    1 => {
+                        let q = rng.gen_range(0..n);
+                        t.s(q);
+                        apply_site_unitary(&mut dense, q, &s_mat);
+                    }
+                    _ => {
+                        let c = rng.gen_range(0..n);
+                        let tq = (c + 1 + rng.gen_range(0..n - 1)) % n;
+                        // CNOT = H_t · CZ · H_t on the dense state.
+                        t.cnot(c, tq);
+                        apply_site_unitary(&mut dense, tq, &h_mat);
+                        controlled_phase(&mut dense, c, tq, std::f64::consts::PI);
+                        apply_site_unitary(&mut dense, tq, &h_mat);
+                    }
+                }
+            }
+            // Enumerate the tableau's outcome space as basis indices.
+            let (offset, basis) = t.outcome_space();
+            let layout = Layout::qubits(n);
+            let to_idx = |bits: &[bool]| {
+                let coords: Vec<usize> = bits.iter().map(|&b| b as usize).collect();
+                layout.encode(&coords)
+            };
+            let mut support = std::collections::BTreeSet::new();
+            for mask in 0..(1usize << basis.len()) {
+                let mut y = offset.clone();
+                for (j, b) in basis.iter().enumerate() {
+                    if mask >> j & 1 == 1 {
+                        for (yi, &bi) in y.iter_mut().zip(b) {
+                            *yi ^= bi;
+                        }
+                    }
+                }
+                support.insert(to_idx(&y));
+            }
+            // Dense support must be uniform over exactly that set.
+            let expect = 1.0 / support.len() as f64;
+            for idx in 0..dense.dim() {
+                let p = dense.probability(idx);
+                if support.contains(&idx) {
+                    assert!((p - expect).abs() < 1e-9, "seed {seed}: bad mass at {idx}");
+                } else {
+                    assert!(p < 1e-12, "seed {seed}: leakage at {idx}");
+                }
+            }
+        }
+    }
+}

@@ -221,11 +221,14 @@ proptest! {
         family in 0usize..5,
         h_sel in 0u64..64,
         strat_sel in 0usize..8,
+        backend_sel in 0usize..2,
         seed in 0u64..10_000,
     ) {
-        // Every (instance, strategy) pairing — including deliberately
-        // mismatched ones — must come back as Ok(report) or a typed
-        // HspError. An unwind escaping `solve` is the bug this guards.
+        // Every (instance, strategy, backend) pairing — including
+        // deliberately mismatched ones (Backend::Stabilizer on groups with
+        // non-2 sites must surface HspError::CliffordUnsupported) — must
+        // come back as Ok(report) or a typed HspError. An unwind escaping
+        // `solve` is the bug this guards.
         let strategies = [
             Strategy::Auto,
             Strategy::Abelian,
@@ -238,6 +241,7 @@ proptest! {
         ];
         let solver = HspSolver::builder()
             .strategy(strategies[strat_sel])
+            .backend([Backend::Auto, Backend::Stabilizer][backend_sel])
             .seed(seed)
             .enumeration_limit(1 << 10)
             .build();

@@ -350,6 +350,14 @@ fn bench_solver_json(smoke: bool) {
     }
     json.push_str("  }\n}\n");
     let out = std::env::var("BENCH_SOLVER_OUT").unwrap_or_else(|_| "BENCH_solver.json".into());
+    // The `load-gen` bin owns the single-line "service" entry; rewriting
+    // the strategy rows must not drop it.
+    if let Some(service) = std::fs::read_to_string(&out)
+        .ok()
+        .and_then(|old| extract_service_line(&old))
+    {
+        json = splice_service_line(&json, &service);
+    }
     std::fs::write(&out, &json).expect("write bench output");
     println!("\nbench-solver: wrote {} strategies to {out}", rows.len());
     print!("{json}");

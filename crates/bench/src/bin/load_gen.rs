@@ -1,0 +1,396 @@
+//! Service load generator: drives ~1M mixed small instances — all five
+//! strategy families across several backends — through
+//! `nahsp_core::service::SolverService` and records throughput plus
+//! p50/p95/p99 submission-to-completion latency into the single-line
+//! `"service"` entry of `BENCH_solver.json`.
+//!
+//! Run with `cargo run --release -p nahsp-bench --bin load-gen`.
+//!
+//! Flags: `--smoke` (20k instances + regression gate against the committed
+//! baseline's service line), `--instances N`, `--workers W` (0 =
+//! hardware), `--queue C` (admission bound).
+//!
+//! Env vars (matching the `experiments` bin): `BENCH_SOLVER_OUT` is the
+//! JSON document to splice the service line into (default
+//! `BENCH_solver.json`), `BENCH_SOLVER_BASELINE` the committed document
+//! the smoke gate compares against.
+
+use nahsp_abelian::Backend;
+use nahsp_bench::{extract_service_line, json_number_field, percentile, splice_service_line};
+use nahsp_core::oracle::CosetTableOracle;
+use nahsp_core::service::{SolverService, SubmitOptions, Ticket};
+use nahsp_core::solver::{HspInstance, HspSolver, Strategy};
+use nahsp_groups::dihedral::Dihedral;
+use nahsp_groups::extraspecial::Extraspecial;
+use nahsp_groups::perm::PermGroup;
+use nahsp_groups::semidirect::Semidirect;
+use nahsp_groups::{AbelianProduct, CyclicGroup, Group};
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Deferred completion for one ticket, type-erased across the instance
+/// families: returns (solved ok, submission-to-completion latency).
+type Waiter = Box<dyn FnOnce() -> (bool, Duration) + Send>;
+
+fn waiter<G>(ticket: Ticket<G>) -> Waiter
+where
+    G: Group + 'static,
+    G::Elem: 'static,
+{
+    Box::new(move || {
+        let ok = ticket.wait().is_ok();
+        (ok, ticket.latency().expect("finished ticket has a latency"))
+    })
+}
+
+/// The workload mix, weighted per 1000 submissions. Small instances on
+/// purpose: the paper's solves are each cheap once classified, so the
+/// serving bottleneck this bin measures is many mixed solves, not one big
+/// simulation. Each family keeps a pool of independently constructed
+/// oracles so their label-interner locks don't serialize the workers.
+struct Mix {
+    /// 400‰ — `Z₂⁶` Simon instances with ground truth: `Strategy::Auto`
+    /// routes them onto the stabilizer tableau.
+    stabilizer: Vec<Arc<HspInstance<AbelianProduct, CosetTableOracle<AbelianProduct>>>>,
+    /// 300‰ — `Z₆₄` cyclic instances on the dense coset simulator.
+    dense: Vec<Arc<HspInstance<CyclicGroup, CosetTableOracle<CyclicGroup>>>>,
+    /// 100‰ — `Z₄³` instances forced onto the sparse backend per request.
+    sparse: Vec<Arc<HspInstance<AbelianProduct, CosetTableOracle<AbelianProduct>>>>,
+    /// 100‰ — classical exhaustive scan over `Z₃₂`.
+    scan: Vec<Arc<HspInstance<CyclicGroup, CosetTableOracle<CyclicGroup>>>>,
+    /// 50‰ — classical birthday collision over `Z₃₂`.
+    birthday: Vec<Arc<HspInstance<CyclicGroup, CosetTableOracle<CyclicGroup>>>>,
+    /// 20‰ — Corollary 12 on the Heisenberg group of order 27.
+    extraspecial: Vec<Arc<HspInstance<Extraspecial, CosetTableOracle<Extraspecial>>>>,
+    /// 15‰ — Theorem 13 (cyclic) on `Z₂² ≀ Z₂`.
+    wreath: Vec<Arc<HspInstance<Semidirect, CosetTableOracle<Semidirect>>>>,
+    /// 10‰ — Theorem 13 (general) on `Z₂³ ⋊ Z₇`.
+    semidirect: Vec<Arc<HspInstance<Semidirect, CosetTableOracle<Semidirect>>>>,
+    /// 4‰ — Theorem 8 on `A₄ ⊴ S₄` (Schreier–Sims fast path).
+    perm: Vec<Arc<HspInstance<PermGroup, nahsp_core::oracle::PermCosetOracle>>>,
+    /// 1‰ — Ettinger–Høyer baseline on `D₁₆`.
+    dihedral: Vec<Arc<HspInstance<Dihedral, CosetTableOracle<Dihedral>>>>,
+}
+
+#[derive(Clone, Copy)]
+enum Family {
+    Stabilizer,
+    Dense,
+    Sparse,
+    Scan,
+    Birthday,
+    Extraspecial,
+    Wreath,
+    Semidirect,
+    Perm,
+    Dihedral,
+}
+
+fn schedule() -> Vec<Family> {
+    let weights: [(Family, usize); 10] = [
+        (Family::Stabilizer, 400),
+        (Family::Dense, 300),
+        (Family::Sparse, 100),
+        (Family::Scan, 100),
+        (Family::Birthday, 50),
+        (Family::Extraspecial, 20),
+        (Family::Wreath, 15),
+        (Family::Semidirect, 10),
+        (Family::Perm, 4),
+        (Family::Dihedral, 1),
+    ];
+    let mut plan = Vec::with_capacity(1000);
+    for (family, weight) in weights {
+        plan.extend(std::iter::repeat_n(family, weight));
+    }
+    assert_eq!(plan.len(), 1000);
+    plan
+}
+
+fn build_mix() -> Mix {
+    let stabilizer = (0..48)
+        .map(|v| {
+            // Rank-3 hidden subgroups of Z2^6, three rotated pairings.
+            let g = AbelianProduct::new(vec![2u64; 6]);
+            let h: Vec<Vec<u64>> = (0..3)
+                .map(|i| {
+                    let mut e = vec![0u64; 6];
+                    e[(i + v) % 6] = 1;
+                    e[(5 - i + v) % 6] = 1;
+                    if e.iter().all(|&b| b == 0) {
+                        e[(i + v) % 6] = 1;
+                    }
+                    e
+                })
+                .collect();
+            Arc::new(HspInstance::with_coset_oracle(g, &h, 128).expect("Z2^6 oracle"))
+        })
+        .collect();
+    let dense = (0..64)
+        .map(|v| {
+            let g = CyclicGroup::new(64);
+            let d = [2u64, 4, 8, 16][v % 4];
+            Arc::new(HspInstance::with_coset_oracle(g, &[d], 80).expect("Z64 oracle"))
+        })
+        .collect();
+    let sparse = (0..32)
+        .map(|v| {
+            let g = AbelianProduct::new(vec![4u64; 3]);
+            let h: Vec<Vec<u64>> = match v % 3 {
+                0 => vec![vec![1, 0, 0], vec![0, 1, 0]],
+                1 => vec![vec![0, 1, 0], vec![0, 0, 1]],
+                _ => vec![vec![1, 0, 0], vec![0, 0, 2]],
+            };
+            Arc::new(HspInstance::with_coset_oracle(g, &h, 80).expect("Z4^3 oracle"))
+        })
+        .collect();
+    let cyclic32 = || {
+        let g = CyclicGroup::new(32);
+        Arc::new(HspInstance::with_coset_oracle(g, &[4u64], 40).expect("Z32 oracle"))
+    };
+    let scan = (0..32).map(|_| cyclic32()).collect();
+    let birthday = (0..32).map(|_| cyclic32()).collect();
+    let extraspecial = (0..16)
+        .map(|_| {
+            let (g, oracle) = nahsp_bench::extraspecial_instance(3);
+            Arc::new(HspInstance::new(g, oracle))
+        })
+        .collect();
+    let wreath = (0..16)
+        .map(|_| {
+            let (g, oracle, _coords, _h) = nahsp_bench::wreath_instance(2);
+            Arc::new(HspInstance::new(g, oracle))
+        })
+        .collect();
+    let semidirect = (0..16)
+        .map(|_| {
+            let (g, oracle, _coords) = nahsp_bench::semidirect_instance(3, 7, 0b011);
+            Arc::new(HspInstance::new(g, oracle))
+        })
+        .collect();
+    let perm = (0..8)
+        .map(|_| {
+            let (s4, oracle) = nahsp_bench::perm_instance(4);
+            Arc::new(HspInstance::new(s4, oracle).promise_normal())
+        })
+        .collect();
+    let dihedral = (0..4)
+        .map(|_| {
+            let g = Dihedral::new(16);
+            Arc::new(HspInstance::with_coset_oracle(g, &[(3u64, true)], 40).expect("D16 oracle"))
+        })
+        .collect();
+    Mix {
+        stabilizer,
+        dense,
+        sparse,
+        scan,
+        birthday,
+        extraspecial,
+        wreath,
+        semidirect,
+        perm,
+        dihedral,
+    }
+}
+
+/// Submit the `i`-th request of its family; `submit_blocking` provides the
+/// backpressure (the admission queue is the only bound).
+fn submit(service: &SolverService, mix: &Mix, family: Family, i: usize) -> Waiter {
+    fn go<G, F>(
+        service: &SolverService,
+        pool: &[Arc<HspInstance<G, F>>],
+        i: usize,
+        opts: SubmitOptions,
+    ) -> Waiter
+    where
+        G: Group + 'static,
+        G::Elem: 'static,
+        F: nahsp_core::oracle::HidingFunction<G> + Send + Sync + 'static,
+    {
+        let instance = pool[i % pool.len()].clone();
+        waiter(
+            service
+                .submit_blocking(instance, opts)
+                .expect("service accepts while running"),
+        )
+    }
+    let opts = SubmitOptions::new();
+    match family {
+        Family::Stabilizer => go(service, &mix.stabilizer, i, opts),
+        Family::Dense => go(service, &mix.dense, i, opts),
+        Family::Sparse => go(
+            service,
+            &mix.sparse,
+            i,
+            opts.backend(Backend::SimulatorSparse),
+        ),
+        Family::Scan => go(
+            service,
+            &mix.scan,
+            i,
+            opts.strategy(Strategy::ExhaustiveScan),
+        ),
+        Family::Birthday => go(
+            service,
+            &mix.birthday,
+            i,
+            opts.strategy(Strategy::BirthdayCollision),
+        ),
+        Family::Extraspecial => go(
+            service,
+            &mix.extraspecial,
+            i,
+            opts.strategy(Strategy::SmallCommutator),
+        ),
+        Family::Wreath => go(service, &mix.wreath, i, opts.strategy(Strategy::Ea2Cyclic)),
+        Family::Semidirect => go(
+            service,
+            &mix.semidirect,
+            i,
+            opts.strategy(Strategy::Ea2General),
+        ),
+        Family::Perm => go(service, &mix.perm, i, opts),
+        Family::Dihedral => go(
+            service,
+            &mix.dihedral,
+            i,
+            opts.strategy(Strategy::EttingerHoyerDihedral),
+        ),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|p| args.get(p + 1))
+            .and_then(|v| v.parse::<usize>().ok())
+    };
+    let instances = flag("--instances").unwrap_or(if smoke { 20_000 } else { 1_000_000 });
+    let workers = flag("--workers").unwrap_or(0);
+    let queue = flag("--queue").unwrap_or(1024);
+    let mode = if smoke { "smoke" } else { "full" };
+
+    let out = std::env::var("BENCH_SOLVER_OUT").unwrap_or_else(|_| "BENCH_solver.json".into());
+    let baseline_path =
+        std::env::var("BENCH_SOLVER_BASELINE").unwrap_or_else(|_| "BENCH_solver.json".into());
+    // Read the committed baseline before the output path (possibly the
+    // same file) is rewritten below.
+    let baseline_service = std::fs::read_to_string(&baseline_path)
+        .ok()
+        .and_then(|doc| extract_service_line(&doc));
+
+    let service = SolverService::builder()
+        .solver(HspSolver::builder().seed(20_000).build())
+        .workers(workers)
+        .queue_capacity(queue)
+        .build();
+    let plan = schedule();
+    let mix = build_mix();
+    println!(
+        "load-gen ({mode}): {instances} instances, {} workers, queue capacity {queue}",
+        service.workers()
+    );
+
+    let window = (2 * queue).max(128);
+    let mut pending: VecDeque<Waiter> = VecDeque::new();
+    let mut latencies_us: Vec<f64> = Vec::with_capacity(instances);
+    let mut ok = 0u64;
+    let mut errors = 0u64;
+    let t0 = Instant::now();
+    let finish = |w: Waiter, latencies_us: &mut Vec<f64>, ok: &mut u64, errors: &mut u64| {
+        let (solved, latency) = w();
+        if solved {
+            *ok += 1;
+        } else {
+            *errors += 1;
+        }
+        latencies_us.push(latency.as_secs_f64() * 1e6);
+    };
+    for i in 0..instances {
+        pending.push_back(submit(&service, &mix, plan[i % plan.len()], i));
+        if pending.len() >= window {
+            let w = pending.pop_front().expect("nonempty window");
+            finish(w, &mut latencies_us, &mut ok, &mut errors);
+        }
+        if i > 0 && i.is_multiple_of(100_000) {
+            println!(
+                "  submitted {i}/{instances}, completed {}, elapsed {:.1}s",
+                latencies_us.len(),
+                t0.elapsed().as_secs_f64()
+            );
+        }
+    }
+    for w in std::mem::take(&mut pending) {
+        finish(w, &mut latencies_us, &mut ok, &mut errors);
+    }
+    let wall = t0.elapsed();
+    service.stop();
+    service.join();
+
+    latencies_us.sort_by(|a, b| a.partial_cmp(b).expect("no NaN latencies"));
+    let throughput = ok as f64 / wall.as_secs_f64();
+    let p50 = percentile(&latencies_us, 50.0);
+    let p95 = percentile(&latencies_us, 95.0);
+    let p99 = percentile(&latencies_us, 99.0);
+    println!(
+        "load-gen ({mode}): {ok} solved, {errors} errors in {:.1}s = {throughput:.0}/s; \
+         latency p50 {p50:.1}µs p95 {p95:.1}µs p99 {p99:.1}µs",
+        wall.as_secs_f64()
+    );
+
+    let service_object = format!(
+        "{{ \"mode\": \"{mode}\", \"instances\": {instances}, \"workers\": {}, \
+         \"queue\": {queue}, \"errors\": {errors}, \"throughput_per_s\": {throughput:.1}, \
+         \"p50_us\": {p50:.1}, \"p95_us\": {p95:.1}, \"p99_us\": {p99:.1} }}",
+        service.workers()
+    );
+    let doc = std::fs::read_to_string(&out).unwrap_or_else(|_| "{\n}\n".into());
+    std::fs::write(&out, splice_service_line(&doc, &service_object)).expect("write bench output");
+    println!("load-gen: spliced service line into {out}");
+
+    // Solves are Las Vegas with generous caps: a failure is noise-level
+    // rare. More than 0.1% typed errors means something is actually broken.
+    if errors * 1000 > instances as u64 {
+        println!("load-gen: error rate above 0.1%");
+        std::process::exit(1);
+    }
+
+    // Smoke mode doubles as CI's service-trajectory gate, mirroring the
+    // per-strategy gate in `experiments bench-solver --smoke`: the mix is
+    // identical to full mode (only the instance count shrinks), so an
+    // honest build stays near the committed figures; a halved throughput
+    // or doubled p95 is a real serving-layer regression.
+    if smoke {
+        match baseline_service {
+            None => println!(
+                "load-gen --smoke: no committed service line in {baseline_path}; skipping gate"
+            ),
+            Some(base) => {
+                let base_tp = json_number_field(&base, "throughput_per_s").unwrap_or(0.0);
+                let base_p95 = json_number_field(&base, "p95_us").unwrap_or(f64::INFINITY);
+                println!(
+                    "regression gate vs {baseline_path}: throughput {throughput:.0}/s vs \
+                     committed {base_tp:.0}/s, p95 {p95:.1}µs vs committed {base_p95:.1}µs"
+                );
+                let mut regressed = false;
+                if base_tp > 0.0 && throughput < base_tp / 2.0 {
+                    println!("load-gen --smoke: throughput REGRESSED (<0.5x committed)");
+                    regressed = true;
+                }
+                if base_p95.is_finite() && p95 > 2.0 * base_p95 {
+                    println!("load-gen --smoke: p95 latency REGRESSED (>2x committed)");
+                    regressed = true;
+                }
+                if regressed {
+                    std::process::exit(1);
+                }
+                println!("load-gen --smoke: within gate");
+            }
+        }
+    }
+}

@@ -110,6 +110,67 @@ pub fn perm_instance(n: usize) -> (PermGroup, nahsp_core::oracle::PermCosetOracl
     (sn, oracle)
 }
 
+// ------------------------------------------------------------------------
+// BENCH_solver.json plumbing shared by the `experiments` and `load-gen`
+// bins (hand-rolled and line-based: the offline workspace has no serde).
+// The `"service"` entry is kept on a single line so either bin can splice
+// it in or out without understanding the rest of the document.
+// ------------------------------------------------------------------------
+
+/// Insert or replace the single-line `"service"` entry of a
+/// `BENCH_solver.json` document, preserving every other line.
+/// `service_object` is the brace-delimited JSON object (one line).
+pub fn splice_service_line(doc: &str, service_object: &str) -> String {
+    let mut lines: Vec<String> = doc
+        .lines()
+        .filter(|l| !l.trim_start().starts_with("\"service\":"))
+        .map(str::to_string)
+        .collect();
+    while lines.last().is_some_and(|l| l.trim().is_empty()) {
+        lines.pop();
+    }
+    // Insert just before the document's closing brace; the entry that
+    // precedes the insertion point needs a trailing comma.
+    let close = lines.len().saturating_sub(1);
+    if close > 0 {
+        let prev = lines[close - 1].trim_end().to_string();
+        if !prev.ends_with(',') && !prev.ends_with('{') {
+            lines[close - 1] = format!("{prev},");
+        }
+    }
+    lines.insert(close, format!("  \"service\": {service_object}"));
+    lines.join("\n") + "\n"
+}
+
+/// The single-line `"service"` object of a `BENCH_solver.json` document,
+/// if one is present.
+pub fn extract_service_line(doc: &str) -> Option<String> {
+    doc.lines().find_map(|l| {
+        l.trim()
+            .strip_prefix("\"service\":")
+            .map(|rest| rest.trim().trim_end_matches(',').to_string())
+    })
+}
+
+/// Pull one numeric field out of a single-line JSON object.
+pub fn json_number_field(object: &str, field: &str) -> Option<f64> {
+    let key = format!("\"{field}\":");
+    let pos = object.find(&key)?;
+    let rest = object[pos + key.len()..].trim_start();
+    let num: String = rest
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+        .collect();
+    num.parse().ok()
+}
+
+/// Nearest-rank percentile (`p` in 0–100) of an ascending-sorted slice.
+pub fn percentile(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of an empty sample");
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
 /// Simple fixed-width table printer for the experiments binary.
 pub struct Table {
     headers: Vec<String>,
@@ -181,5 +242,44 @@ mod tests {
         let mut t = Table::new(&["a", "bb"]);
         t.row(&["1".into(), "2".into()]);
         t.print();
+    }
+
+    #[test]
+    fn service_line_splices_into_fresh_and_existing_documents() {
+        let doc = "{\n  \"schema\": \"v1\",\n  \"strategies\": {\n    \"Abelian\": { \"wall_us_median\": 1.0 }\n  }\n}\n";
+        let service = "{ \"throughput_per_s\": 1000.0, \"p95_us\": 7.5 }";
+        let spliced = splice_service_line(doc, service);
+        // The strategies block gains a trailing comma; the service line is
+        // last before the closing brace.
+        assert!(spliced.contains("  },\n  \"service\": { \"throughput_per_s\": 1000.0"));
+        assert!(spliced.ends_with("}\n"));
+        assert_eq!(extract_service_line(&spliced).unwrap(), service);
+        // Re-splicing replaces rather than duplicates.
+        let again = splice_service_line(&spliced, "{ \"throughput_per_s\": 2000.0 }");
+        assert_eq!(again.matches("\"service\":").count(), 1);
+        assert!(extract_service_line(&again).unwrap().contains("2000.0"));
+        // The strategy rows survive both splices verbatim.
+        assert!(again.contains("\"Abelian\": { \"wall_us_median\": 1.0 }"));
+        // A minimal document works too (no comma after the opening brace).
+        let minimal = splice_service_line("{\n}\n", service);
+        assert_eq!(minimal, format!("{{\n  \"service\": {service}\n}}\n"));
+    }
+
+    #[test]
+    fn json_number_field_parses_inline_objects() {
+        let obj = "{ \"mode\": \"full\", \"throughput_per_s\": 12345.6, \"p99_us\": 42 }";
+        assert_eq!(json_number_field(obj, "throughput_per_s"), Some(12345.6));
+        assert_eq!(json_number_field(obj, "p99_us"), Some(42.0));
+        assert_eq!(json_number_field(obj, "missing"), None);
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let v: Vec<f64> = (1..=100).map(|x| x as f64).collect();
+        assert_eq!(percentile(&v, 50.0), 50.0);
+        assert_eq!(percentile(&v, 95.0), 95.0);
+        assert_eq!(percentile(&v, 99.0), 99.0);
+        assert_eq!(percentile(&v, 100.0), 100.0);
+        assert_eq!(percentile(&[7.0], 50.0), 7.0);
     }
 }

@@ -89,6 +89,26 @@ pub enum HspError {
         /// The configured budget.
         budget: u64,
     },
+    /// The solve spent more simulated gates than the per-request budget.
+    GateBudgetExceeded {
+        /// Gates actually applied.
+        spent: u64,
+        /// The configured budget.
+        budget: u64,
+    },
+    /// The request was cancelled (its service ticket's cancellation flag
+    /// was raised before or during the solve).
+    Cancelled,
+    /// The service's bounded admission queue is full; the submission was
+    /// rejected without queuing. Back off and retry.
+    Overloaded {
+        /// Tickets in flight (queued + running) at rejection time.
+        in_flight: usize,
+        /// The service's configured queue capacity.
+        capacity: usize,
+    },
+    /// The service has been stopped; it no longer accepts submissions.
+    ServiceStopped,
     /// Post-solve verification rejected the recovered subgroup.
     VerificationFailed {
         /// What the check observed.
@@ -140,6 +160,18 @@ impl std::fmt::Display for HspError {
             HspError::QueryBudgetExceeded { spent, budget } => {
                 write!(f, "query budget exceeded: spent {spent} of {budget}")
             }
+            HspError::GateBudgetExceeded { spent, budget } => {
+                write!(f, "gate budget exceeded: spent {spent} of {budget}")
+            }
+            HspError::Cancelled => write!(f, "solve cancelled by caller"),
+            HspError::Overloaded {
+                in_flight,
+                capacity,
+            } => write!(
+                f,
+                "service overloaded: {in_flight} tickets in flight at capacity {capacity}"
+            ),
+            HspError::ServiceStopped => write!(f, "service stopped; submissions are closed"),
             HspError::VerificationFailed { context } => {
                 write!(f, "verification failed: {context}")
             }
@@ -187,6 +219,18 @@ mod tests {
             budget: 10,
         };
         assert!(e.to_string().contains("12"));
+        let e = HspError::GateBudgetExceeded {
+            spent: 900,
+            budget: 512,
+        };
+        assert!(e.to_string().contains("900"));
+        assert!(HspError::Cancelled.to_string().contains("cancelled"));
+        let e = HspError::Overloaded {
+            in_flight: 64,
+            capacity: 64,
+        };
+        assert!(e.to_string().contains("overloaded"));
+        assert!(HspError::ServiceStopped.to_string().contains("stopped"));
     }
 
     #[test]

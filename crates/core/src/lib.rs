@@ -26,6 +26,11 @@
 //! so experiments can report the quantities the theorems bound. The
 //! pre-solver free functions (`hsp_small_commutator`, …) remain as thin
 //! deprecated shims over their `try_*` twins.
+//!
+//! For many-caller throughput workloads, the [`service`] module wraps the
+//! solver in a persistent worker pool — ticketed non-blocking submission,
+//! per-request budgets, cooperative cancellation, and bounded-queue
+//! backpressure — with reports identical to the sequential solver's.
 
 pub mod baseline;
 pub mod ea2;
@@ -36,6 +41,7 @@ pub mod normal_hsp;
 pub mod oracle;
 pub mod presentation;
 pub mod quotient;
+pub mod service;
 pub mod small_commutator;
 pub mod solver;
 pub mod watrous;
@@ -43,4 +49,5 @@ pub mod watrous;
 pub use error::HspError;
 pub use oracle::{CosetTableOracle, HidingFunction, PermCosetOracle};
 pub use quotient::HiddenQuotient;
+pub use service::{SolverService, SolverServiceBuilder, SubmitOptions, Ticket, TicketStatus};
 pub use solver::{HspInstance, HspReport, HspSolver, Strategy};

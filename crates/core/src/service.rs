@@ -1,0 +1,736 @@
+//! A persistent solver service: sharded worker pool, ticketed submission,
+//! budgets, cancellation, and backpressure over [`HspSolver`].
+//!
+//! [`HspSolver::solve_batch`] is fork-join: one caller hands over a slice
+//! and blocks until every solve returns. A serving system needs the
+//! opposite shape — many callers submitting mixed instances over time,
+//! with admission control and latency visibility. [`SolverService`] is
+//! that layer:
+//!
+//! ```
+//! use nahsp_core::service::SolverService;
+//! use nahsp_core::solver::HspInstance;
+//! use nahsp_groups::CyclicGroup;
+//! use std::sync::Arc;
+//!
+//! let service = SolverService::builder().workers(2).build();
+//! let g = CyclicGroup::new(12);
+//! let instance = Arc::new(HspInstance::with_coset_oracle(g, &[4u64], 100).unwrap());
+//! let ticket = service.submit(instance).unwrap();
+//! let report = ticket.wait().unwrap();
+//! assert_eq!(report.order, Some(3));
+//! ```
+//!
+//! # Semantics
+//!
+//! - **Non-blocking submission.** [`SolverService::submit`] never blocks:
+//!   it either admits the instance and returns a [`Ticket`], or rejects it
+//!   with a typed error — [`HspError::Overloaded`] when the bounded queue
+//!   is full (back off and retry; [`SolverService::submit_blocking`] does
+//!   exactly that), [`HspError::ServiceStopped`] after
+//!   [`SolverService::stop`].
+//! - **Determinism.** Each ticket solves with the RNG stream
+//!   [`HspSolver::instance_seed`]`(seq)` of its admission sequence number
+//!   (or an explicit [`SubmitOptions::seed`]), and every solve owns a
+//!   per-run gate counter — so a service report is
+//!   [`HspReport::same_outcome`] with the sequential
+//!   [`HspSolver::solve_seeded`] of the same instance construction and
+//!   seed, regardless of worker count, scheduling, or backpressure.
+//! - **Per-request budgets.** [`SubmitOptions`] can override the solver's
+//!   strategy, backend, query/gate budgets, and sparse memory budget
+//!   (`sparse_nnz_cap`) for one ticket; overrides win over the builder
+//!   defaults. Budget exhaustion surfaces as the typed
+//!   [`HspError::QueryBudgetExceeded`] / [`HspError::GateBudgetExceeded`] /
+//!   [`HspError::SparseCapacity`] — the worker survives and takes the next
+//!   ticket.
+//! - **Cooperative cancellation.** [`Ticket::cancel`] raises a flag the
+//!   solve polls at its checkpoints; a cancelled run reports
+//!   [`HspError::Cancelled`]. Cancellation is advisory — a solve that
+//!   finishes before noticing the flag returns its report, which is
+//!   exactly the sequential one.
+//! - **Graceful shutdown.** Dropping the service drains every admitted
+//!   ticket (the pool finishes queued jobs before its workers exit), so an
+//!   admitted submission is never silently lost.
+
+use crate::error::HspError;
+use crate::oracle::HidingFunction;
+use crate::solver::{HspInstance, HspReport, HspSolver, Strategy};
+use nahsp_abelian::Backend;
+use rayon::{ThreadPool, ThreadPoolBuilder};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Builder for [`SolverService`].
+#[derive(Clone, Debug)]
+pub struct SolverServiceBuilder {
+    solver: HspSolver,
+    workers: usize,
+    queue_capacity: usize,
+}
+
+impl Default for SolverServiceBuilder {
+    fn default() -> Self {
+        SolverServiceBuilder {
+            solver: HspSolver::new(),
+            workers: 0,
+            queue_capacity: 1024,
+        }
+    }
+}
+
+impl SolverServiceBuilder {
+    /// The solver configuration every ticket starts from (per-request
+    /// [`SubmitOptions`] overrides are applied on top). Default:
+    /// [`HspSolver::new`].
+    pub fn solver(mut self, solver: HspSolver) -> Self {
+        self.solver = solver;
+        self
+    }
+
+    /// Worker-thread count; 0 (the default) means hardware parallelism.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Admission bound: the maximum number of tickets in flight (queued +
+    /// running). Submissions past the bound are rejected with
+    /// [`HspError::Overloaded`]. Default 1024.
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity.max(1);
+        self
+    }
+
+    pub fn build(self) -> SolverService {
+        let pool = ThreadPoolBuilder::new()
+            .num_threads(self.workers)
+            .build()
+            .expect("pool construction is infallible");
+        SolverService {
+            inner: Arc::new(ServiceCore {
+                pool,
+                solver: self.solver,
+                queue_capacity: self.queue_capacity,
+                stats: Arc::new(ServiceStats {
+                    in_flight: AtomicUsize::new(0),
+                    drain_lock: Mutex::new(()),
+                    drain_cv: Condvar::new(),
+                }),
+                next_seq: AtomicU64::new(0),
+                stopped: AtomicBool::new(false),
+            }),
+        }
+    }
+}
+
+/// Completion bookkeeping shared between the service handle and the worker
+/// jobs. Jobs capture *only* this (never `ServiceCore`): a job holding the
+/// last `Arc<ServiceCore>` would drop the pool from inside a pool worker,
+/// which would then try to join itself.
+struct ServiceStats {
+    in_flight: AtomicUsize,
+    drain_lock: Mutex<()>,
+    drain_cv: Condvar,
+}
+
+struct ServiceCore {
+    pool: ThreadPool,
+    solver: HspSolver,
+    queue_capacity: usize,
+    stats: Arc<ServiceStats>,
+    next_seq: AtomicU64,
+    stopped: AtomicBool,
+}
+
+/// A persistent, shareable solver service; see the module docs for the
+/// full semantics. Cloning the handle shares the same pool and queue.
+#[derive(Clone)]
+pub struct SolverService {
+    inner: Arc<ServiceCore>,
+}
+
+/// Per-request overrides: seed, strategy, backend, and budgets for one
+/// ticket. `None` fields (the default) inherit the service's solver
+/// configuration.
+#[derive(Clone, Debug, Default)]
+pub struct SubmitOptions {
+    seed: Option<u64>,
+    strategy: Option<Strategy>,
+    backend: Option<Backend>,
+    query_budget: Option<u64>,
+    gate_budget: Option<u64>,
+    sparse_nnz_cap: Option<usize>,
+}
+
+impl SubmitOptions {
+    pub fn new() -> Self {
+        SubmitOptions::default()
+    }
+
+    /// Explicit RNG seed for this ticket instead of the service's
+    /// per-sequence-number stream.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Strategy override for this ticket.
+    pub fn strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = Some(strategy);
+        self
+    }
+
+    /// Backend override for this ticket.
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = Some(backend);
+        self
+    }
+
+    /// Oracle-query budget for this ticket (see
+    /// [`crate::solver::HspSolverBuilder::query_budget`]).
+    pub fn query_budget(mut self, budget: u64) -> Self {
+        self.query_budget = Some(budget);
+        self
+    }
+
+    /// Simulator-gate budget for this ticket (see
+    /// [`crate::solver::HspSolverBuilder::gate_budget`]).
+    pub fn gate_budget(mut self, budget: u64) -> Self {
+        self.gate_budget = Some(budget);
+        self
+    }
+
+    /// Sparse-backend memory budget (peak nonzero count) for this ticket.
+    /// Wins over the service solver's builder default, so memory limits
+    /// flow from the request, not the process configuration.
+    pub fn sparse_nnz_cap(mut self, cap: usize) -> Self {
+        self.sparse_nnz_cap = Some(cap);
+        self
+    }
+}
+
+/// Where a ticket currently is in its lifecycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TicketStatus {
+    /// Admitted, waiting for a worker.
+    Queued,
+    /// A worker is solving it.
+    Running,
+    /// The result is ready; [`Ticket::poll`] or [`Ticket::wait`] will
+    /// return it.
+    Done,
+    /// The result was already taken.
+    Taken,
+}
+
+enum Slot<G: nahsp_groups::Group> {
+    Queued,
+    Running,
+    Done(Result<HspReport<G>, HspError>),
+    Taken,
+}
+
+struct TicketState<G: nahsp_groups::Group> {
+    cancel: AtomicBool,
+    latency_nanos: AtomicU64,
+    slot: Mutex<Slot<G>>,
+    done_cv: Condvar,
+}
+
+/// Handle to one admitted submission. Clones share the same underlying
+/// slot; the result can be taken exactly once (by `poll` or `wait`).
+pub struct Ticket<G: nahsp_groups::Group> {
+    seq: u64,
+    seed: u64,
+    state: Arc<TicketState<G>>,
+}
+
+impl<G: nahsp_groups::Group> std::fmt::Debug for Ticket<G> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ticket")
+            .field("seq", &self.seq)
+            .field("seed", &self.seed)
+            .field("status", &self.status())
+            .finish()
+    }
+}
+
+impl<G: nahsp_groups::Group> Clone for Ticket<G> {
+    fn clone(&self) -> Self {
+        Ticket {
+            seq: self.seq,
+            seed: self.seed,
+            state: self.state.clone(),
+        }
+    }
+}
+
+impl<G: nahsp_groups::Group> Ticket<G> {
+    /// Admission sequence number (0-based, service-wide).
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// The RNG seed this ticket's solve runs with — by default
+    /// [`HspSolver::instance_seed`] of [`Ticket::seq`], so the sequential
+    /// replay `solver.solve_seeded(&instance, ticket.seed())` reproduces
+    /// the service report exactly.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Raise the cooperative cancellation flag. The solve polls it at its
+    /// checkpoints and reports [`HspError::Cancelled`]; a solve that
+    /// finishes first returns its (deterministic) report instead.
+    pub fn cancel(&self) {
+        self.state.cancel.store(true, Ordering::Relaxed);
+    }
+
+    /// Non-blocking lifecycle probe.
+    pub fn status(&self) -> TicketStatus {
+        match *self.state.slot.lock().expect("ticket slot poisoned") {
+            Slot::Queued => TicketStatus::Queued,
+            Slot::Running => TicketStatus::Running,
+            Slot::Done(_) => TicketStatus::Done,
+            Slot::Taken => TicketStatus::Taken,
+        }
+    }
+
+    /// Take the result if it is ready. Returns `None` while the ticket is
+    /// queued or running, and also after the result was already taken
+    /// (check [`Ticket::status`] to tell the two apart).
+    pub fn poll(&self) -> Option<Result<HspReport<G>, HspError>> {
+        let mut slot = self.state.slot.lock().expect("ticket slot poisoned");
+        match &*slot {
+            Slot::Done(_) => match std::mem::replace(&mut *slot, Slot::Taken) {
+                Slot::Done(result) => Some(result),
+                _ => unreachable!("matched Done above"),
+            },
+            _ => None,
+        }
+    }
+
+    /// Block until the result is ready, then take it. Waiting on a ticket
+    /// whose result was already taken returns [`HspError::Internal`].
+    pub fn wait(&self) -> Result<HspReport<G>, HspError> {
+        let mut slot = self.state.slot.lock().expect("ticket slot poisoned");
+        loop {
+            match &*slot {
+                Slot::Done(_) => match std::mem::replace(&mut *slot, Slot::Taken) {
+                    Slot::Done(result) => return result,
+                    _ => unreachable!("matched Done above"),
+                },
+                Slot::Taken => {
+                    return Err(HspError::Internal {
+                        context: "ticket result was already taken".into(),
+                    })
+                }
+                _ => {
+                    slot = self.state.done_cv.wait(slot).expect("ticket slot poisoned");
+                }
+            }
+        }
+    }
+
+    /// Submission-to-completion latency, once the solve has finished
+    /// (`None` while queued or running). Includes queue wait, so this is
+    /// the figure a latency percentile should be computed over.
+    pub fn latency(&self) -> Option<Duration> {
+        match self.state.latency_nanos.load(Ordering::Relaxed) {
+            0 => None,
+            n => Some(Duration::from_nanos(n)),
+        }
+    }
+}
+
+/// Runs the ticket's completion protocol exactly once, even if the solve
+/// escapes the façade's containment net: publish a result, wake waiters,
+/// release the admission slot.
+struct CompletionGuard<G: nahsp_groups::Group> {
+    state: Arc<TicketState<G>>,
+    stats: Arc<ServiceStats>,
+}
+
+impl<G: nahsp_groups::Group> Drop for CompletionGuard<G> {
+    fn drop(&mut self) {
+        {
+            let mut slot = self
+                .state
+                .slot
+                .lock()
+                .unwrap_or_else(|poison| poison.into_inner());
+            if !matches!(*slot, Slot::Done(_) | Slot::Taken) {
+                *slot = Slot::Done(Err(HspError::Internal {
+                    context: "service job aborted before publishing a result".into(),
+                }));
+            }
+        }
+        self.state.done_cv.notify_all();
+        // Release the admission slot under the drain lock so a blocked
+        // submitter (or `join`) between its check and its wait cannot miss
+        // the wakeup.
+        let _guard = self
+            .stats
+            .drain_lock
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner());
+        self.stats.in_flight.fetch_sub(1, Ordering::SeqCst);
+        self.stats.drain_cv.notify_all();
+    }
+}
+
+impl SolverService {
+    /// A service with default configuration (default solver, hardware
+    /// worker count, queue capacity 1024).
+    pub fn new() -> Self {
+        Self::builder().build()
+    }
+
+    /// Start building a configured service.
+    pub fn builder() -> SolverServiceBuilder {
+        SolverServiceBuilder::default()
+    }
+
+    /// The solver configuration tickets start from.
+    pub fn solver(&self) -> &HspSolver {
+        &self.inner.solver
+    }
+
+    /// Worker-thread count.
+    pub fn workers(&self) -> usize {
+        self.inner.pool.current_num_threads()
+    }
+
+    /// Admission bound (tickets in flight).
+    pub fn queue_capacity(&self) -> usize {
+        self.inner.queue_capacity
+    }
+
+    /// Tickets currently in flight (queued + running).
+    pub fn in_flight(&self) -> usize {
+        self.inner.stats.in_flight.load(Ordering::SeqCst)
+    }
+
+    /// Claim an admission slot or fail with the typed rejection.
+    fn try_admit(&self) -> Result<(), HspError> {
+        if self.inner.stopped.load(Ordering::SeqCst) {
+            return Err(HspError::ServiceStopped);
+        }
+        let in_flight = &self.inner.stats.in_flight;
+        let mut current = in_flight.load(Ordering::SeqCst);
+        loop {
+            if current >= self.inner.queue_capacity {
+                return Err(HspError::Overloaded {
+                    in_flight: current,
+                    capacity: self.inner.queue_capacity,
+                });
+            }
+            match in_flight.compare_exchange(
+                current,
+                current + 1,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => return Ok(()),
+                Err(observed) => current = observed,
+            }
+        }
+    }
+
+    /// Submit one instance with default options. Non-blocking; see
+    /// [`SolverService::submit_with`].
+    pub fn submit<G, F>(&self, instance: Arc<HspInstance<G, F>>) -> Result<Ticket<G>, HspError>
+    where
+        G: nahsp_groups::Group + 'static,
+        G::Elem: 'static,
+        F: HidingFunction<G> + Send + Sync + 'static,
+    {
+        self.submit_with(instance, SubmitOptions::default())
+    }
+
+    /// Submit one instance with per-request overrides. Never blocks:
+    /// either the ticket is admitted (and will be solved, even if the
+    /// service is dropped), or a typed [`HspError::Overloaded`] /
+    /// [`HspError::ServiceStopped`] rejection comes back immediately.
+    pub fn submit_with<G, F>(
+        &self,
+        instance: Arc<HspInstance<G, F>>,
+        opts: SubmitOptions,
+    ) -> Result<Ticket<G>, HspError>
+    where
+        G: nahsp_groups::Group + 'static,
+        G::Elem: 'static,
+        F: HidingFunction<G> + Send + Sync + 'static,
+    {
+        self.try_admit()?;
+        let seq = self.inner.next_seq.fetch_add(1, Ordering::SeqCst);
+        let seed = opts
+            .seed
+            .unwrap_or_else(|| self.inner.solver.instance_seed(seq as usize));
+        let derived = self.inner.solver.with_request_overrides(
+            opts.strategy,
+            opts.backend,
+            opts.query_budget,
+            opts.gate_budget,
+            opts.sparse_nnz_cap,
+        );
+        let state = Arc::new(TicketState {
+            cancel: AtomicBool::new(false),
+            latency_nanos: AtomicU64::new(0),
+            slot: Mutex::new(Slot::Queued),
+            done_cv: Condvar::new(),
+        });
+        let job_state = state.clone();
+        let guard = CompletionGuard {
+            state: state.clone(),
+            stats: self.inner.stats.clone(),
+        };
+        let enqueued = Instant::now();
+        self.inner.pool.spawn(move || {
+            let _guard = guard;
+            *job_state.slot.lock().expect("ticket slot poisoned") = Slot::Running;
+            let result = if job_state.cancel.load(Ordering::Relaxed) {
+                Err(HspError::Cancelled)
+            } else {
+                derived.solve_seeded_with_cancel(&instance, seed, Some(&job_state.cancel))
+            };
+            // Latency is queue wait + solve; clamp to 1ns so a stored value
+            // is distinguishable from "not finished".
+            let nanos = enqueued.elapsed().as_nanos().clamp(1, u64::MAX as u128) as u64;
+            job_state.latency_nanos.store(nanos, Ordering::Relaxed);
+            *job_state.slot.lock().expect("ticket slot poisoned") = Slot::Done(result);
+            // _guard drops here: wakes waiters, releases the admission slot.
+        });
+        Ok(Ticket { seq, seed, state })
+    }
+
+    /// [`SolverService::submit_with`], but on [`HspError::Overloaded`] park
+    /// until a slot frees up instead of failing. Still fails fast with
+    /// [`HspError::ServiceStopped`] once the service is stopped.
+    pub fn submit_blocking<G, F>(
+        &self,
+        instance: Arc<HspInstance<G, F>>,
+        opts: SubmitOptions,
+    ) -> Result<Ticket<G>, HspError>
+    where
+        G: nahsp_groups::Group + 'static,
+        G::Elem: 'static,
+        F: HidingFunction<G> + Send + Sync + 'static,
+    {
+        loop {
+            match self.submit_with(instance.clone(), opts.clone()) {
+                Err(HspError::Overloaded { .. }) => {
+                    let stats = &self.inner.stats;
+                    let mut guard = stats.drain_lock.lock().expect("drain lock poisoned");
+                    while stats.in_flight.load(Ordering::SeqCst) >= self.inner.queue_capacity
+                        && !self.inner.stopped.load(Ordering::SeqCst)
+                    {
+                        guard = stats.drain_cv.wait(guard).expect("drain wait poisoned");
+                    }
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// Stream a batch through the service: submissions flow with
+    /// backpressure (window = `2 × workers`), results arrive on the channel
+    /// in input order as `(index, result)`. Each index solves with the seed
+    /// [`HspSolver::instance_seed`]`(index)`, so the streamed results are
+    /// exactly [`HspSolver::solve_batch`] of the same instances.
+    pub fn stream<G, F>(
+        &self,
+        instances: Vec<Arc<HspInstance<G, F>>>,
+    ) -> mpsc::Receiver<(usize, Result<HspReport<G>, HspError>)>
+    where
+        G: nahsp_groups::Group + 'static,
+        G::Elem: 'static,
+        F: HidingFunction<G> + Send + Sync + 'static,
+    {
+        let (tx, rx) = mpsc::channel();
+        let service = self.clone();
+        let window = service.workers().saturating_mul(2).max(1);
+        std::thread::spawn(move || {
+            let mut pending: VecDeque<(usize, Ticket<G>)> = VecDeque::new();
+            for (i, instance) in instances.into_iter().enumerate() {
+                let opts = SubmitOptions::new().seed(service.inner.solver.instance_seed(i));
+                match service.submit_blocking(instance, opts) {
+                    Ok(ticket) => pending.push_back((i, ticket)),
+                    Err(e) => {
+                        if tx.send((i, Err(e))).is_err() {
+                            return;
+                        }
+                    }
+                }
+                while pending.len() >= window {
+                    let (idx, ticket) = pending.pop_front().expect("nonempty window");
+                    if tx.send((idx, ticket.wait())).is_err() {
+                        return;
+                    }
+                }
+            }
+            for (idx, ticket) in pending {
+                if tx.send((idx, ticket.wait())).is_err() {
+                    return;
+                }
+            }
+        });
+        rx
+    }
+
+    /// Close admissions: subsequent submissions fail with
+    /// [`HspError::ServiceStopped`]. Already-admitted tickets still run to
+    /// completion ([`SolverService::join`] waits for them).
+    pub fn stop(&self) {
+        self.inner.stopped.store(true, Ordering::SeqCst);
+        let _guard = self
+            .inner
+            .stats
+            .drain_lock
+            .lock()
+            .expect("drain lock poisoned");
+        self.inner.stats.drain_cv.notify_all();
+    }
+
+    /// Block until every in-flight ticket has completed.
+    pub fn join(&self) {
+        let stats = &self.inner.stats;
+        let mut guard = stats.drain_lock.lock().expect("drain lock poisoned");
+        while stats.in_flight.load(Ordering::SeqCst) > 0 {
+            guard = stats.drain_cv.wait(guard).expect("drain wait poisoned");
+        }
+    }
+}
+
+impl Default for SolverService {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::CosetTableOracle;
+    use nahsp_groups::{AbelianProduct, CyclicGroup};
+
+    fn cyclic_instance() -> Arc<HspInstance<CyclicGroup, CosetTableOracle<CyclicGroup>>> {
+        let g = CyclicGroup::new(12);
+        Arc::new(HspInstance::with_coset_oracle(g, &[4u64], 100).unwrap())
+    }
+
+    #[test]
+    fn submit_poll_wait_round_trip() {
+        let service = SolverService::builder().workers(2).build();
+        let ticket = service.submit(cyclic_instance()).unwrap();
+        let report = ticket.wait().unwrap();
+        assert_eq!(report.order, Some(3));
+        // The result is taken exactly once.
+        assert_eq!(ticket.status(), TicketStatus::Taken);
+        assert!(ticket.poll().is_none());
+        assert!(ticket.latency().unwrap() > Duration::ZERO);
+    }
+
+    #[test]
+    fn service_report_matches_sequential_solve_seeded() {
+        let service = SolverService::builder().workers(4).build();
+        let ticket = service.submit(cyclic_instance()).unwrap();
+        let seed = ticket.seed();
+        assert_eq!(seed, service.solver().instance_seed(ticket.seq() as usize));
+        let service_report = ticket.wait().unwrap();
+        let sequential = service
+            .solver()
+            .solve_seeded(&cyclic_instance(), seed)
+            .unwrap();
+        assert!(service_report.same_outcome(&sequential));
+    }
+
+    #[test]
+    fn stopped_service_rejects_with_typed_error() {
+        let service = SolverService::builder().workers(1).build();
+        service.stop();
+        let err = service.submit(cyclic_instance()).unwrap_err();
+        assert_eq!(err, HspError::ServiceStopped);
+    }
+
+    #[test]
+    fn pre_cancelled_ticket_reports_cancelled() {
+        // One worker pinned on a first ticket guarantees the second is
+        // still queued when we cancel it.
+        let service = SolverService::builder().workers(1).build();
+        let first = service.submit(cyclic_instance()).unwrap();
+        let second = service.submit(cyclic_instance()).unwrap();
+        second.cancel();
+        let _ = first.wait();
+        assert_eq!(second.wait().unwrap_err(), HspError::Cancelled);
+    }
+
+    #[test]
+    fn per_request_sparse_budget_wins_over_builder_default() {
+        // Z4^6 with |H| = 256 needs 1024 nonzeros. The service default cap
+        // is generous; the request's 100 must win.
+        let g = AbelianProduct::new(vec![4; 6]);
+        let truth: Vec<Vec<u64>> = (0..4)
+            .map(|i| {
+                let mut v = vec![0u64; 6];
+                v[i] = 1;
+                v
+            })
+            .collect();
+        let oracle = CosetTableOracle::new(g.clone(), &truth, 1 << 13);
+        let instance = Arc::new(HspInstance::new(g, oracle).with_ground_truth(truth));
+        let solver = HspSolver::builder()
+            .backend(nahsp_abelian::Backend::SimulatorSparse)
+            .verify(false)
+            .build();
+        let service = SolverService::builder().solver(solver).workers(1).build();
+        let err = service
+            .submit_with(instance, SubmitOptions::new().sparse_nnz_cap(100))
+            .unwrap()
+            .wait()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            HspError::SparseCapacity {
+                nnz: 1024,
+                cap: 100
+            }
+        );
+    }
+
+    #[test]
+    fn stream_matches_solve_batch_exactly() {
+        let instances: Vec<_> = (0..16).map(|_| cyclic_instance()).collect();
+        let batch_instances: Vec<_> = (0..16)
+            .map(|_| {
+                let g = CyclicGroup::new(12);
+                HspInstance::with_coset_oracle(g, &[4u64], 100).unwrap()
+            })
+            .collect();
+        let service = SolverService::builder().workers(3).build();
+        let mut streamed: Vec<_> = service.stream(instances).iter().collect();
+        streamed.sort_by_key(|(i, _)| *i);
+        let batch = service.solver().solve_batch(&batch_instances);
+        assert_eq!(streamed.len(), batch.len());
+        for ((i, s), b) in streamed.iter().zip(batch.iter()) {
+            let (s, b) = (s.as_ref().unwrap(), b.as_ref().unwrap());
+            assert!(s.same_outcome(b), "stream item {i} diverged from batch");
+        }
+    }
+
+    #[test]
+    fn join_waits_for_all_in_flight_tickets() {
+        let service = SolverService::builder().workers(2).build();
+        let tickets: Vec<_> = (0..32)
+            .map(|_| service.submit(cyclic_instance()).unwrap())
+            .collect();
+        service.join();
+        assert_eq!(service.in_flight(), 0);
+        for t in tickets {
+            assert_eq!(t.status(), TicketStatus::Done);
+        }
+    }
+}

@@ -70,6 +70,7 @@ pub struct HspSolver {
     strategy: Strategy,
     enumeration_limit: usize,
     query_budget: Option<u64>,
+    gate_budget: Option<u64>,
     backend: Backend,
     max_rounds: usize,
     sparse_nnz_cap: usize,
@@ -84,6 +85,7 @@ impl Default for HspSolver {
             strategy: Strategy::Auto,
             enumeration_limit: 1 << 16,
             query_budget: None,
+            gate_budget: None,
             backend: Backend::Auto,
             max_rounds: 0,
             sparse_nnz_cap: nahsp_abelian::hsp::SPARSE_NNZ_CAP,
@@ -122,6 +124,15 @@ impl HspSolverBuilder {
     /// sampling. Default: unlimited.
     pub fn query_budget(mut self, budget: u64) -> Self {
         self.solver.query_budget = Some(budget);
+        self
+    }
+
+    /// Hard cap on elementary simulator gates. A run that applied more
+    /// returns [`HspError::GateBudgetExceeded`] instead of a report (also
+    /// checked at the solve's cancellation checkpoints, so a runaway
+    /// simulation is cut off mid-solve). Default: unlimited.
+    pub fn gate_budget(mut self, budget: u64) -> Self {
+        self.solver.gate_budget = Some(budget);
         self
     }
 
@@ -267,9 +278,11 @@ impl HspSolver {
             .collect()
     }
 
-    /// SplitMix64 step: one well-mixed, index-separated stream per
-    /// batch slot.
-    fn instance_seed(&self, index: usize) -> u64 {
+    /// SplitMix64 step: one well-mixed, index-separated stream per batch
+    /// slot. Public because the serving layer ([`crate::service`]) derives
+    /// the same stream per ticket sequence number — a service solve of
+    /// submission `i` and `solve_batch` slot `i` see identical randomness.
+    pub fn instance_seed(&self, index: usize) -> u64 {
         let mut z = self
             .seed
             .wrapping_add((index as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
@@ -278,10 +291,39 @@ impl HspSolver {
         z ^ (z >> 31)
     }
 
-    fn solve_seeded<G, F>(
+    /// Solve one instance with an explicit RNG seed — the deterministic
+    /// primitive behind [`HspSolver::solve`] (which passes the solver
+    /// seed), [`HspSolver::solve_batch`] (which passes
+    /// [`HspSolver::instance_seed`] of the slot index), and the
+    /// [`crate::service`] layer (which passes `instance_seed` of the ticket
+    /// sequence number). Two calls with the same solver configuration,
+    /// instance construction, and seed produce identical reports (modulo
+    /// wall time).
+    pub fn solve_seeded<G, F>(
         &self,
         instance: &HspInstance<G, F>,
         seed: u64,
+    ) -> Result<HspReport<G>, HspError>
+    where
+        G: Group + 'static,
+        G::Elem: 'static,
+        F: HidingFunction<G>,
+    {
+        self.solve_seeded_with_cancel(instance, seed, None)
+    }
+
+    /// [`HspSolver::solve_seeded`] plus a cooperative cancellation flag.
+    /// The flag is polled at the solve's checkpoints (entry, after
+    /// classification, before verification); a raised flag surfaces as
+    /// [`HspError::Cancelled`]. The checkpoints consume no randomness, so a
+    /// run that is *not* cancelled reports exactly what `solve_seeded`
+    /// would. The same checkpoints also enforce the query and gate budgets
+    /// mid-solve, cutting off runaway requests before completion.
+    pub(crate) fn solve_seeded_with_cancel<G, F>(
+        &self,
+        instance: &HspInstance<G, F>,
+        seed: u64,
+        cancel: Option<&std::sync::atomic::AtomicBool>,
     ) -> Result<HspReport<G>, HspError>
     where
         G: Group + 'static,
@@ -294,18 +336,39 @@ impl HspSolver {
         // circuit this solve creates, so the report's gate delta is exact
         // even when `solve_batch` interleaves solves across threads.
         let gates = GateCounter::new();
+        let checkpoint = |gates: &GateCounter| -> Result<(), HspError> {
+            if cancel.is_some_and(|c| c.load(std::sync::atomic::Ordering::Relaxed)) {
+                return Err(HspError::Cancelled);
+            }
+            if let Some(budget) = self.query_budget {
+                let spent = instance.oracle().queries().saturating_sub(q0);
+                if spent > budget {
+                    return Err(HspError::QueryBudgetExceeded { spent, budget });
+                }
+            }
+            if let Some(budget) = self.gate_budget {
+                let spent = gates.count();
+                if spent > budget {
+                    return Err(HspError::GateBudgetExceeded { spent, budget });
+                }
+            }
+            Ok(())
+        };
         // Containment net: algorithm internals that still assert (deep
         // simulator/linear-algebra invariants) become HspError::Internal
         // instead of unwinding through the façade. Verification runs inside
         // the net too — it re-queries the (possibly adversarial) oracle.
         let outcome = catch_unwind(AssertUnwindSafe(|| {
+            checkpoint(&gates)?;
             let mut rng = StdRng::seed_from_u64(seed);
             let (strategy, gprime) = match self.strategy {
                 Strategy::Auto => classify::classify_with_cache(self, instance)?,
                 s => (s, None),
             };
+            checkpoint(&gates)?;
             let (generators, order, detail, backend) =
                 self.run(strategy, instance, gprime, &gates, &mut rng)?;
+            checkpoint(&gates)?;
             let verdict = self.verify_result(instance, &generators)?;
             Ok((strategy, generators, order, detail, backend, verdict))
         }));
@@ -327,6 +390,12 @@ impl HspSolver {
                 });
             }
         }
+        if let Some(budget) = self.gate_budget {
+            let spent = gates.count();
+            if spent > budget {
+                return Err(HspError::GateBudgetExceeded { spent, budget });
+            }
+        }
         Ok(HspReport {
             strategy,
             generators,
@@ -341,6 +410,39 @@ impl HspSolver {
             wall: t0.elapsed(),
             instance_label: instance.label().map(str::to_owned),
         })
+    }
+
+    /// A derived solver with per-request overrides applied — the
+    /// [`crate::service`] layer's seam for per-ticket strategy, backend,
+    /// and budget selection. `None` fields keep this solver's value; a
+    /// `Some` override wins over the builder default (including
+    /// `sparse_nnz_cap`, so per-request memory budgets reach the sparse
+    /// backend).
+    pub(crate) fn with_request_overrides(
+        &self,
+        strategy: Option<Strategy>,
+        backend: Option<Backend>,
+        query_budget: Option<u64>,
+        gate_budget: Option<u64>,
+        sparse_nnz_cap: Option<usize>,
+    ) -> HspSolver {
+        let mut derived = self.clone();
+        if let Some(s) = strategy {
+            derived.strategy = s;
+        }
+        if let Some(b) = backend {
+            derived.backend = b;
+        }
+        if let Some(q) = query_budget {
+            derived.query_budget = Some(q);
+        }
+        if let Some(g) = gate_budget {
+            derived.gate_budget = Some(g);
+        }
+        if let Some(c) = sparse_nnz_cap {
+            derived.sparse_nnz_cap = c;
+        }
+        derived
     }
 
     /// Dispatch a resolved strategy. `gprime` is the commutator subgroup
@@ -1085,6 +1187,7 @@ mod tests {
             .strategy(Strategy::SmallCommutator)
             .enumeration_limit(500)
             .query_budget(10_000)
+            .gate_budget(1 << 30)
             .backend(Backend::Ideal)
             .max_rounds(64)
             .sparse_nnz_cap(1 << 10)
@@ -1095,12 +1198,95 @@ mod tests {
         assert_eq!(solver.strategy, Strategy::SmallCommutator);
         assert_eq!(solver.enumeration_limit(), 500);
         assert_eq!(solver.query_budget, Some(10_000));
+        assert_eq!(solver.gate_budget, Some(1 << 30));
         assert_eq!(solver.backend, Backend::Ideal);
         assert_eq!(solver.max_rounds, 64);
         assert_eq!(solver.sparse_nnz_cap, 1 << 10);
         assert_eq!(solver.seed, 7);
         assert_eq!(solver.parallelism, 2);
         assert!(!solver.verify);
+    }
+
+    #[test]
+    fn request_overrides_win_over_builder_defaults() {
+        let base = HspSolver::builder()
+            .strategy(Strategy::Abelian)
+            .backend(Backend::SimulatorFull)
+            .sparse_nnz_cap(1 << 20)
+            .seed(9)
+            .build();
+        let derived = base.with_request_overrides(
+            Some(Strategy::ExhaustiveScan),
+            Some(Backend::SimulatorSparse),
+            Some(77),
+            Some(88),
+            Some(100),
+        );
+        assert_eq!(derived.strategy, Strategy::ExhaustiveScan);
+        assert_eq!(derived.backend, Backend::SimulatorSparse);
+        assert_eq!(derived.query_budget, Some(77));
+        assert_eq!(derived.gate_budget, Some(88));
+        assert_eq!(derived.sparse_nnz_cap, 100);
+        // Untouched knobs keep the base configuration.
+        assert_eq!(derived.seed, 9);
+        let same = base.with_request_overrides(None, None, None, None, None);
+        assert_eq!(same.strategy, base.strategy);
+        assert_eq!(same.backend, base.backend);
+        assert_eq!(same.sparse_nnz_cap, base.sparse_nnz_cap);
+    }
+
+    #[test]
+    fn gate_budget_is_enforced() {
+        use nahsp_groups::AbelianProduct;
+        let g = AbelianProduct::new(vec![2; 6]);
+        let mut h = vec![0u64; 6];
+        h[0] = 1;
+        let oracle = CosetTableOracle::new(g.clone(), &[h], 1 << 10);
+        let instance = HspInstance::new(g, oracle);
+        // A Fourier-sampling solve applies far more than 3 gates.
+        let err = HspSolver::builder()
+            .backend(Backend::SimulatorCoset)
+            .gate_budget(3)
+            .build()
+            .solve(&instance)
+            .expect_err("gate budget must trip");
+        assert!(matches!(
+            err,
+            HspError::GateBudgetExceeded { budget: 3, .. }
+        ));
+    }
+
+    #[test]
+    fn pre_raised_cancel_flag_short_circuits_the_solve() {
+        use std::sync::atomic::AtomicBool;
+        let g = CyclicGroup::new(12);
+        let oracle = CosetTableOracle::new(g.clone(), &[4u64], 100);
+        let instance = HspInstance::new(g, oracle);
+        let q_before = instance.oracle().queries();
+        let cancel = AtomicBool::new(true);
+        let err = HspSolver::new()
+            .solve_seeded_with_cancel(&instance, 0, Some(&cancel))
+            .expect_err("raised flag cancels at the entry checkpoint");
+        assert_eq!(err, HspError::Cancelled);
+        // The entry checkpoint fires before any oracle work.
+        assert_eq!(instance.oracle().queries(), q_before);
+    }
+
+    #[test]
+    fn uncancelled_flag_leaves_reports_identical_to_solve_seeded() {
+        use std::sync::atomic::AtomicBool;
+        let g = Extraspecial::heisenberg(3);
+        // Two identically-constructed instances: oracle query counters are
+        // per-instance, so parity needs fresh oracles on both sides.
+        let a = HspInstance::with_coset_oracle(g.clone(), &[g.center_generator()], 1000).unwrap();
+        let b = HspInstance::with_coset_oracle(g.clone(), &[g.center_generator()], 1000).unwrap();
+        let solver = HspSolver::new();
+        let plain = solver.solve_seeded(&a, 1234).unwrap();
+        let cancel = AtomicBool::new(false);
+        let flagged = solver
+            .solve_seeded_with_cancel(&b, 1234, Some(&cancel))
+            .unwrap();
+        assert!(plain.same_outcome(&flagged));
     }
 
     #[test]

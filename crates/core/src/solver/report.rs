@@ -85,6 +85,23 @@ pub struct HspReport<G: Group> {
 }
 
 impl<G: Group> HspReport<G> {
+    /// Whether two reports describe the same solve outcome: every field is
+    /// compared except `wall`, the one quantity that legitimately varies
+    /// between identical runs. This is the equality the service layer's
+    /// determinism guarantee is stated in — a service solve must be
+    /// `same_outcome` with the sequential [`super::HspSolver::solve_seeded`]
+    /// of the same instance and seed.
+    pub fn same_outcome(&self, other: &HspReport<G>) -> bool {
+        self.strategy == other.strategy
+            && self.generators == other.generators
+            && self.order == other.order
+            && self.detail == other.detail
+            && self.backend == other.backend
+            && self.verdict == other.verdict
+            && self.queries == other.queries
+            && self.instance_label == other.instance_label
+    }
+
     /// One human-readable line for examples and logs.
     pub fn summary(&self) -> String {
         format!(

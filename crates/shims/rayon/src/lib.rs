@@ -9,6 +9,19 @@
 //! kernels already pick chunk sizes that balance load, so block-per-thread
 //! scheduling loses nothing against rayon's work stealing at the sizes the
 //! simulator reaches.
+//!
+//! The [`pool`] module adds the persistent side of the API —
+//! [`ThreadPool`]/[`ThreadPoolBuilder`] with `spawn` — backed by a sharded
+//! work-stealing deque: one deque per worker, round-robin external
+//! injection, owner pops from the front of its own shard, idle workers
+//! steal from the back of the others. This is the scheduler seam the
+//! `nahsp_core::service` serving layer runs on; the API shape mirrors real
+//! rayon (`ThreadPoolBuilder::new().num_threads(n).build()`, `pool.spawn`)
+//! so the shim remains a one-line swap for the real crate.
+
+pub mod pool;
+
+pub use pool::{ThreadPool, ThreadPoolBuildError, ThreadPoolBuilder};
 
 use std::num::NonZeroUsize;
 

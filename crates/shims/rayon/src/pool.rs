@@ -1,0 +1,307 @@
+//! Persistent worker pool over a sharded work-stealing deque.
+//!
+//! Mirrors the subset of real rayon's pool API a serving layer needs:
+//!
+//! ```
+//! let pool = rayon::ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+//! let flag = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+//! let f2 = flag.clone();
+//! pool.spawn(move || f2.store(true, std::sync::atomic::Ordering::SeqCst));
+//! drop(pool); // joins workers; every spawned job has run
+//! assert!(flag.load(std::sync::atomic::Ordering::SeqCst));
+//! ```
+//!
+//! Scheduling: every worker owns one deque shard. External `spawn`s are
+//! injected round-robin across shards; a worker pops from the *front* of
+//! its own shard (FIFO, so a service's tickets start roughly in submission
+//! order) and steals from the *back* of other shards when its own is dry —
+//! the classic owner/thief split that keeps contention off the hot end.
+//! Idle workers park on a condvar and are woken per-spawn; dropping the
+//! pool drains every remaining job before the workers exit, so `spawn` is
+//! never silently lost.
+//!
+//! A panicking job is contained (`catch_unwind`) and the worker moves on
+//! to the next job — one poisoned request cannot take a pool thread down.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Builder matching real rayon's `ThreadPoolBuilder` surface.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+/// Pool construction failure (the shim's construction is infallible, but
+/// the real crate's `build()` returns `Result`, so the signature matches).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Worker count; 0 (the default) means hardware parallelism.
+    pub fn num_threads(mut self, num_threads: usize) -> Self {
+        self.num_threads = num_threads;
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let workers = if self.num_threads == 0 {
+            crate::current_num_threads()
+        } else {
+            self.num_threads
+        }
+        .max(1);
+        Ok(ThreadPool::with_workers(workers))
+    }
+}
+
+struct PoolShared {
+    /// One work deque per worker: owner pops the front, thieves the back.
+    shards: Vec<Mutex<VecDeque<Job>>>,
+    /// Jobs pushed but not yet claimed by a worker. Incremented *before*
+    /// the push so a worker that observes 0 under the idle lock can safely
+    /// park (a concurrent spawner has not yet made work visible, and its
+    /// notify comes after our wait begins).
+    pending: AtomicUsize,
+    /// Round-robin injection cursor.
+    next_shard: AtomicUsize,
+    shutdown: AtomicBool,
+    idle_lock: Mutex<()>,
+    idle_cv: Condvar,
+}
+
+impl PoolShared {
+    /// Claim one job: own shard's front first, then steal from the back of
+    /// the other shards.
+    fn find_job(&self, me: usize) -> Option<Job> {
+        if let Some(job) = self.shards[me].lock().expect("shard poisoned").pop_front() {
+            return Some(job);
+        }
+        let n = self.shards.len();
+        for off in 1..n {
+            let victim = (me + off) % n;
+            if let Some(job) = self.shards[victim]
+                .lock()
+                .expect("shard poisoned")
+                .pop_back()
+            {
+                return Some(job);
+            }
+        }
+        None
+    }
+}
+
+/// A persistent worker pool; see the module docs for the scheduling model.
+pub struct ThreadPool {
+    shared: Arc<PoolShared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    fn with_workers(workers: usize) -> Self {
+        let shared = Arc::new(PoolShared {
+            shards: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            pending: AtomicUsize::new(0),
+            next_shard: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            idle_lock: Mutex::new(()),
+            idle_cv: Condvar::new(),
+        });
+        let handles = (0..workers)
+            .map(|me| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("nahsp-pool-{me}"))
+                    .spawn(move || worker_loop(&shared, me))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        ThreadPool { shared, handles }
+    }
+
+    /// Number of worker threads.
+    pub fn current_num_threads(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Enqueue a job. Never blocks; the job runs on some pool worker.
+    /// Admission control (bounded queues, typed rejection) belongs to the
+    /// caller — the pool itself accepts everything handed to it.
+    pub fn spawn(&self, job: impl FnOnce() + Send + 'static) {
+        let shard =
+            self.shared.next_shard.fetch_add(1, Ordering::Relaxed) % self.shared.shards.len();
+        // pending is raised before the push (see its doc comment).
+        self.shared.pending.fetch_add(1, Ordering::SeqCst);
+        self.shared.shards[shard]
+            .lock()
+            .expect("shard poisoned")
+            .push_back(Box::new(job));
+        // Notify under the idle lock so a worker between its pending check
+        // and its wait cannot miss the wakeup.
+        let _guard = self.shared.idle_lock.lock().expect("idle lock poisoned");
+        self.shared.idle_cv.notify_one();
+    }
+}
+
+impl Drop for ThreadPool {
+    /// Graceful shutdown: workers drain every queued job, then exit.
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        {
+            let _guard = self.shared.idle_lock.lock().expect("idle lock poisoned");
+            self.shared.idle_cv.notify_all();
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &PoolShared, me: usize) {
+    loop {
+        if let Some(job) = shared.find_job(me) {
+            shared.pending.fetch_sub(1, Ordering::SeqCst);
+            // Containment: a panicking job must not kill the worker.
+            let _ = catch_unwind(AssertUnwindSafe(job));
+            continue;
+        }
+        let guard = shared.idle_lock.lock().expect("idle lock poisoned");
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        if shared.pending.load(Ordering::SeqCst) > 0 {
+            // A spawner raised pending but its push may not be visible in
+            // the shard scan we just finished; rescan instead of parking.
+            continue;
+        }
+        let _guard = shared.idle_cv.wait(guard).expect("idle wait poisoned");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn every_spawned_job_runs_exactly_once() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let counter = Arc::new(AtomicU64::new(0));
+        for _ in 0..10_000 {
+            let c = counter.clone();
+            pool.spawn(move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        drop(pool); // drains
+        assert_eq!(counter.load(Ordering::SeqCst), 10_000);
+    }
+
+    #[test]
+    fn zero_threads_means_hardware_parallelism() {
+        let pool = ThreadPoolBuilder::new().build().unwrap();
+        assert!(pool.current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn idle_workers_steal_from_loaded_shards() {
+        // One shard receives a long job; the round-robin injection plus
+        // stealing must still let other workers drain the rest promptly.
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let slow_gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let done = Arc::new(AtomicU64::new(0));
+        {
+            let gate = slow_gate.clone();
+            pool.spawn(move || {
+                let (lock, cv) = &*gate;
+                let mut released = lock.lock().unwrap();
+                while !*released {
+                    released = cv.wait(released).unwrap();
+                }
+            });
+        }
+        for _ in 0..256 {
+            let d = done.clone();
+            pool.spawn(move || {
+                d.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        // The blocked worker holds one shard hostage; the other three
+        // workers must finish all 256 fast jobs anyway.
+        let t0 = std::time::Instant::now();
+        while done.load(Ordering::SeqCst) < 256 {
+            assert!(
+                t0.elapsed() < std::time::Duration::from_secs(30),
+                "work stealing failed to drain shards around a blocked worker"
+            );
+            std::thread::yield_now();
+        }
+        let (lock, cv) = &*slow_gate;
+        *lock.lock().unwrap() = true;
+        cv.notify_all();
+        drop(pool);
+    }
+
+    #[test]
+    fn panicking_job_does_not_kill_the_worker() {
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        pool.spawn(|| panic!("job panic"));
+        let ok = Arc::new(AtomicBool::new(false));
+        let ok2 = ok.clone();
+        pool.spawn(move || ok2.store(true, Ordering::SeqCst));
+        drop(pool);
+        assert!(ok.load(Ordering::SeqCst), "worker died with the panic");
+    }
+
+    #[test]
+    fn drop_drains_queued_jobs_before_exit() {
+        let counter = Arc::new(AtomicU64::new(0));
+        {
+            let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+            for _ in 0..500 {
+                let c = counter.clone();
+                pool.spawn(move || {
+                    c.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+            // Drop immediately: jobs still queued must run, not vanish.
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 500);
+    }
+
+    #[test]
+    fn parked_workers_wake_on_late_spawns() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(20)); // let them park
+        let done = Arc::new(AtomicBool::new(false));
+        let d = done.clone();
+        pool.spawn(move || d.store(true, Ordering::SeqCst));
+        let t0 = std::time::Instant::now();
+        while !done.load(Ordering::SeqCst) {
+            assert!(
+                t0.elapsed() < std::time::Duration::from_secs(10),
+                "parked worker never woke for a late spawn"
+            );
+            std::thread::yield_now();
+        }
+        drop(pool);
+    }
+}

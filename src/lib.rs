@@ -61,6 +61,23 @@
 //! }
 //! ```
 //!
+//! For many-caller serving workloads, [`hsp::service::SolverService`] wraps
+//! the solver in a persistent worker pool: non-blocking ticketed
+//! submission, per-request budgets, cooperative cancellation, and
+//! bounded-queue backpressure — with reports identical to the sequential
+//! solver's:
+//!
+//! ```
+//! use nahsp::prelude::*;
+//! use std::sync::Arc;
+//!
+//! let service = SolverService::builder().workers(2).build();
+//! let g = CyclicGroup::new(12);
+//! let instance = Arc::new(HspInstance::with_coset_oracle(g, &[4u64], 100).unwrap());
+//! let ticket = service.submit(instance).unwrap();
+//! assert_eq!(ticket.wait().unwrap().order, Some(3));
+//! ```
+//!
 //! The per-theorem entry points remain available as `try_*` functions (and
 //! deprecated panicking shims) in [`hsp`] for code that wants one specific
 //! pipeline.
@@ -119,6 +136,9 @@ pub mod prelude {
         present_abelian, present_by_enumeration, QuotientPresentation,
     };
     pub use nahsp_core::quotient::HiddenQuotient;
+    pub use nahsp_core::service::{
+        SolverService, SolverServiceBuilder, SubmitOptions, Ticket, TicketStatus,
+    };
     pub use nahsp_core::small_commutator::try_hsp_small_commutator;
     pub use nahsp_core::solver::{
         HspInstance, HspReport, HspSolver, HspSolverBuilder, QueryStats, Strategy, StrategyDetail,

@@ -1,0 +1,280 @@
+//! Fuzz battery for the solver service: random instance × strategy ×
+//! backend × budget combinations, submitted both to a live
+//! `SolverService` and to the equivalent sequential solver.
+//!
+//! Invariants under fuzz:
+//!   1. nothing panics — every outcome is `Ok(report)` or a typed
+//!      [`HspError`] (the façade's catch_unwind containment surfaces
+//!      worker panics as `HspError::Internal`, which still counts);
+//!   2. the service's per-request overrides are *exactly* equivalent to
+//!      building a sequential solver with the same configuration — same
+//!      report (`same_outcome`) or the same typed error, byte for byte;
+//!   3. a worker that just rejected a request over budget keeps serving.
+//!
+//! Failing seeds are pinned in `proptest-regressions/fuzz_solver.txt` and
+//! replayed first on every run.
+
+use nahsp::hsp::solver::Strategy;
+use nahsp::prelude::*;
+use proptest::prelude::*;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+/// Solve one instance twice — sequentially with a builder-configured
+/// solver, and through `service` with the same configuration applied as
+/// per-request `SubmitOptions` — and require identical outcomes.
+///
+/// `make` is called once per path: the oracles' query counters (and the
+/// `identity_label` caches behind them) are per-instance state, so the two
+/// paths must each get a fresh, identically-constructed instance for the
+/// reports' query accounting to be comparable.
+#[allow(clippy::too_many_arguments)]
+fn service_matches_sequential<G, F>(
+    service: &SolverService,
+    make: &dyn Fn() -> Result<HspInstance<G, F>, HspError>,
+    strategy: Strategy,
+    backend: Backend,
+    query_budget: Option<u64>,
+    gate_budget: Option<u64>,
+    sparse_cap: Option<usize>,
+    seed: u64,
+) -> Result<(), TestCaseError>
+where
+    G: Group + 'static,
+    G::Elem: 'static,
+    F: HidingFunction<G> + Send + Sync + 'static,
+{
+    let (Ok(seq_instance), Ok(svc_instance)) = (make(), make()) else {
+        // Construction itself rejected the draw (oracle limit, bad
+        // generators): typed, and identical for both paths by definition.
+        return Ok(());
+    };
+
+    let mut builder = HspSolver::builder()
+        .strategy(strategy)
+        .backend(backend)
+        .enumeration_limit(1 << 10);
+    if let Some(q) = query_budget {
+        builder = builder.query_budget(q);
+    }
+    if let Some(g) = gate_budget {
+        builder = builder.gate_budget(g);
+    }
+    if let Some(c) = sparse_cap {
+        builder = builder.sparse_nnz_cap(c);
+    }
+    let sequential = builder.build();
+
+    let seq = catch_unwind(AssertUnwindSafe(|| {
+        sequential.solve_seeded(&seq_instance, seed)
+    }));
+    prop_assert!(seq.is_ok(), "sequential solve let a panic escape");
+    let seq = seq.unwrap();
+
+    let mut opts = SubmitOptions::new()
+        .seed(seed)
+        .strategy(strategy)
+        .backend(backend);
+    if let Some(q) = query_budget {
+        opts = opts.query_budget(q);
+    }
+    if let Some(g) = gate_budget {
+        opts = opts.gate_budget(g);
+    }
+    if let Some(c) = sparse_cap {
+        opts = opts.sparse_nnz_cap(c);
+    }
+    let ticket = service
+        .submit_with(Arc::new(svc_instance), opts)
+        .expect("running service accepts submissions");
+    let svc = ticket.wait();
+
+    match (seq, svc) {
+        (Ok(a), Ok(b)) => prop_assert!(
+            a.same_outcome(&b),
+            "reports diverge: sequential order {:?} / queries {:?} vs service order {:?} / queries {:?}",
+            a.order,
+            a.queries,
+            b.order,
+            b.queries
+        ),
+        (Err(a), Err(b)) => prop_assert_eq!(a.to_string(), b.to_string()),
+        (a, b) => prop_assert!(
+            false,
+            "paths disagree on success: sequential {:?} vs service {:?}",
+            a.map(|r| r.order),
+            b.map(|r| r.order)
+        ),
+    }
+    Ok(())
+}
+
+const STRATEGIES: [Strategy; 9] = [
+    Strategy::Auto,
+    Strategy::Abelian,
+    Strategy::NormalSubgroup,
+    Strategy::SmallCommutator,
+    Strategy::Ea2Cyclic,
+    Strategy::Ea2General,
+    Strategy::EttingerHoyerDihedral,
+    Strategy::ExhaustiveScan,
+    Strategy::BirthdayCollision,
+];
+
+const BACKENDS: [Backend; 6] = [
+    Backend::Auto,
+    Backend::SimulatorFull,
+    Backend::SimulatorCoset,
+    Backend::SimulatorSparse,
+    Backend::Stabilizer,
+    Backend::Ideal,
+];
+
+/// (query budget, gate budget, sparse nnz cap): unset, starved in each
+/// dimension, and generous-everything.
+const BUDGETS: [(Option<u64>, Option<u64>, Option<usize>); 5] = [
+    (None, None, None),
+    (Some(2), None, None),
+    (None, Some(5), None),
+    (None, None, Some(4)),
+    (Some(10_000), Some(10_000_000), Some(1 << 16)),
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn fuzz_service_matches_sequential_under_mixed_config(
+        family in 0usize..6,
+        h_sel in 0u64..64,
+        strat_sel in 0usize..9,
+        backend_sel in 0usize..6,
+        budget_sel in 0usize..5,
+        seed in 0u64..10_000,
+    ) {
+        let strategy = STRATEGIES[strat_sel];
+        let backend = BACKENDS[backend_sel];
+        let (qb, gb, cap) = BUDGETS[budget_sel];
+        let service = SolverService::builder().workers(2).build();
+        match family {
+            0 => service_matches_sequential(
+                &service,
+                &move || {
+                    let h = h_sel % 12;
+                    let gens = if h == 0 { vec![] } else { vec![h] };
+                    HspInstance::with_coset_oracle(CyclicGroup::new(12), &gens, 100)
+                },
+                strategy, backend, qb, gb, cap, seed,
+            )?,
+            1 => service_matches_sequential(
+                &service,
+                &move || {
+                    let g = Dihedral::new(8);
+                    let h = (h_sel % 8, h_sel % 2 == 1);
+                    let gens = if g.is_identity(&h) { vec![] } else { vec![h] };
+                    HspInstance::with_coset_oracle(g, &gens, 100)
+                },
+                strategy, backend, qb, gb, cap, seed,
+            )?,
+            2 => service_matches_sequential(
+                &service,
+                &move || {
+                    let g = Extraspecial::heisenberg(3);
+                    let h = vec![h_sel % 3, (h_sel / 3) % 3, (h_sel / 9) % 3];
+                    let gens = if h.iter().all(|&c| c == 0) { vec![] } else { vec![h] };
+                    HspInstance::with_coset_oracle(g, &gens, 1000)
+                },
+                strategy, backend, qb, gb, cap, seed,
+            )?,
+            3 => service_matches_sequential(
+                &service,
+                &move || {
+                    let g = Semidirect::wreath_z2(2);
+                    let h = (h_sel % 16, (h_sel / 16) % 2);
+                    let gens = if g.is_identity(&h) { vec![] } else { vec![h] };
+                    HspInstance::with_coset_oracle(g, &gens, 1 << 10)
+                },
+                strategy, backend, qb, gb, cap, seed,
+            )?,
+            4 => service_matches_sequential(
+                &service,
+                &move || {
+                    // Z4^2 with a cyclic hidden subgroup — the family the
+                    // sparse backend (and its nnz cap) actually bites on.
+                    let g = AbelianProduct::new(vec![4, 4]);
+                    let h = vec![h_sel % 4, (h_sel / 4) % 4];
+                    let gens = if h.iter().all(|&c| c == 0) { vec![] } else { vec![h] };
+                    HspInstance::with_coset_oracle(g, &gens, 64)
+                },
+                strategy, backend, qb, gb, cap, seed,
+            )?,
+            _ => service_matches_sequential(
+                &service,
+                &move || {
+                    let s4 = PermGroup::symmetric(4);
+                    let v4 = vec![
+                        Perm::from_cycles(4, &[&[0, 1], &[2, 3]]),
+                        Perm::from_cycles(4, &[&[0, 2], &[1, 3]]),
+                    ];
+                    let gens = if h_sel.is_multiple_of(2) { v4 } else { vec![] };
+                    Ok(HspInstance::with_coset_oracle(s4, &gens, 100)?.promise_normal())
+                },
+                strategy, backend, qb, gb, cap, seed,
+            )?,
+        }
+        service.stop();
+        service.join();
+    }
+
+    #[test]
+    fn fuzz_starved_budgets_reject_typed_and_worker_survives(
+        h_sel in 1u64..12,
+        starve_sel in 0usize..2,
+        seed in 0u64..10_000,
+    ) {
+        // One worker, so the follow-up solve is handled by the very thread
+        // that just surfaced the budget rejection.
+        let service = SolverService::builder().workers(1).build();
+        let make = || {
+            let h = h_sel % 12;
+            let gens = if h == 0 { vec![] } else { vec![h] };
+            Arc::new(HspInstance::with_coset_oracle(CyclicGroup::new(12), &gens, 100).unwrap())
+        };
+        let opts = if starve_sel == 1 {
+            SubmitOptions::new().seed(seed).gate_budget(1)
+        } else {
+            SubmitOptions::new().seed(seed).query_budget(0)
+        };
+        let starved = service
+            .submit_with(make(), opts)
+            .expect("running service accepts submissions")
+            .wait();
+        match starved {
+            Err(HspError::QueryBudgetExceeded { spent, budget }) => {
+                prop_assert!(spent > budget);
+            }
+            Err(HspError::GateBudgetExceeded { spent, budget }) => {
+                prop_assert!(spent > budget);
+            }
+            Err(other) => prop_assert!(
+                false,
+                "starved request surfaced a non-budget error: {other}"
+            ),
+            // A strategy that needs no gates/queries beyond the budget may
+            // legitimately finish; the worker-survival check below is the
+            // invariant either way.
+            Ok(_) => {}
+        }
+        let follow_up = service
+            .submit_with(make(), SubmitOptions::new().seed(seed))
+            .expect("worker keeps accepting after a budget rejection")
+            .wait();
+        prop_assert!(
+            follow_up.is_ok(),
+            "worker died after budget rejection: {:?}",
+            follow_up.err()
+        );
+        service.stop();
+        service.join();
+    }
+}

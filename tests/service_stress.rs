@@ -1,0 +1,268 @@
+//! Concurrency stress and backpressure battery for
+//! [`nahsp::hsp::service::SolverService`].
+//!
+//! The headline test pushes 10 000 submissions through 8 workers with
+//! mid-flight cancellations and requires every non-cancelled result to be
+//! *exactly* the sequential solver's report for the same instance and
+//! seed. The rest pin the typed rejection surface: a full admission queue
+//! answers `Overloaded` (never blocks, never drops), budget exhaustion
+//! answers with the budget error while the worker keeps serving, and a
+//! stopped service answers `ServiceStopped`.
+
+use nahsp::hsp::solver::Strategy;
+use nahsp::prelude::*;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+type CyclicInstance = HspInstance<CyclicGroup, CosetTableOracle<CyclicGroup>>;
+
+/// The i-th stress workload: small cyclic instances, rotating hidden
+/// subgroups, a 1-in-10 slice on the quantum Auto path and the rest split
+/// between the two classical baselines so the 10k round stays fast while
+/// still crossing strategy families.
+fn stress_instance(i: usize) -> CyclicInstance {
+    let h = [2u64, 3, 4, 6][i % 4];
+    HspInstance::with_coset_oracle(CyclicGroup::new(12), &[h], 100).expect("Z12 oracle")
+}
+
+fn stress_strategy(i: usize) -> Strategy {
+    if i.is_multiple_of(10) {
+        Strategy::Auto
+    } else if i.is_multiple_of(2) {
+        Strategy::ExhaustiveScan
+    } else {
+        Strategy::BirthdayCollision
+    }
+}
+
+#[test]
+fn stress_10k_submissions_with_cancellations_match_sequential_exactly() {
+    const N: usize = 10_000;
+    let solver = HspSolver::builder().seed(99).build();
+
+    // Sequential ground truth. The service gets its own identically
+    // constructed instances below: oracle query counters (and the cached
+    // identity label behind them) are per-instance state, so sharing one
+    // copy would skew the reports' query accounting.
+    let sequential: Vec<_> = (0..N)
+        .map(|i| {
+            let per_strategy = HspSolver::builder()
+                .seed(99)
+                .strategy(stress_strategy(i))
+                .build();
+            per_strategy
+                .solve_seeded(&stress_instance(i), solver.instance_seed(i))
+                .expect("sequential stress solve succeeds")
+        })
+        .collect();
+
+    let service = SolverService::builder()
+        .solver(solver.clone())
+        .workers(8)
+        .queue_capacity(512)
+        .build();
+    assert_eq!(service.workers(), 8);
+
+    let mut tickets = Vec::with_capacity(N);
+    let mut cancelled = vec![false; N];
+    for i in 0..N {
+        let opts = SubmitOptions::new()
+            .seed(solver.instance_seed(i))
+            .strategy(stress_strategy(i));
+        let ticket = service
+            .submit_blocking(Arc::new(stress_instance(i)), opts)
+            .expect("running service admits (blocking on backpressure)");
+        tickets.push(ticket);
+        // Mid-flight cancellation: reach back to a ticket submitted a
+        // window ago — by now it is queued, running, or already done, so
+        // the cancel races every phase of the lifecycle.
+        if i.is_multiple_of(7) && i >= 64 {
+            let target = i - 64;
+            tickets[target].cancel();
+            cancelled[target] = true;
+        }
+    }
+
+    let mut cancels_observed = 0usize;
+    for (i, ticket) in tickets.iter().enumerate() {
+        match ticket.wait() {
+            Ok(report) => assert!(
+                report.same_outcome(&sequential[i]),
+                "ticket {i}: service report diverged from sequential \
+                 (service order {:?} queries {:?}, sequential order {:?} queries {:?})",
+                report.order,
+                report.queries,
+                sequential[i].order,
+                sequential[i].queries
+            ),
+            Err(HspError::Cancelled) => {
+                assert!(cancelled[i], "ticket {i} cancelled but never asked to be");
+                cancels_observed += 1;
+            }
+            Err(other) => panic!("ticket {i}: unexpected error {other}"),
+        }
+    }
+    // The cancellation checkpoints are best-effort (a fast solve can finish
+    // before noticing), but across ~1.4k cancels some must land.
+    assert!(
+        cancels_observed > 0,
+        "no cancellation was ever observed across {} cancel calls",
+        cancelled.iter().filter(|&&c| c).count()
+    );
+    service.stop();
+    service.join();
+    assert_eq!(service.in_flight(), 0);
+}
+
+/// A hiding function that parks every evaluation until the test flips
+/// `release` — pins workers mid-solve so queue states are deterministic.
+fn gated_instance(
+    release: &Arc<AtomicBool>,
+) -> Arc<HspInstance<CyclicGroup, FnOracle<CyclicGroup, u64, impl Fn(&u64) -> u64 + Send + Sync>>> {
+    let release = release.clone();
+    let f = move |x: &u64| {
+        while !release.load(Ordering::SeqCst) {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        *x % 4
+    };
+    Arc::new(HspInstance::new(CyclicGroup::new(12), FnOracle::new(f)))
+}
+
+#[test]
+fn full_queue_rejects_overloaded_and_recovers_after_drain() {
+    let release = Arc::new(AtomicBool::new(false));
+    let service = SolverService::builder()
+        .workers(1)
+        .queue_capacity(2)
+        .build();
+
+    // First fills the (single) worker, second fills the queue.
+    let t1 = service.submit(gated_instance(&release)).unwrap();
+    let t2 = service.submit(gated_instance(&release)).unwrap();
+    let rejected = service.submit(gated_instance(&release)).unwrap_err();
+    match rejected {
+        HspError::Overloaded {
+            in_flight,
+            capacity,
+        } => {
+            assert_eq!(in_flight, 2);
+            assert_eq!(capacity, 2);
+        }
+        other => panic!("expected Overloaded, got {other}"),
+    }
+
+    // Draining the queue restores admission — same service, same worker.
+    release.store(true, Ordering::SeqCst);
+    assert!(t1.wait().is_ok());
+    assert!(t2.wait().is_ok());
+    let t3 = service.submit(gated_instance(&release)).unwrap();
+    assert!(t3.wait().is_ok());
+    service.stop();
+    assert!(matches!(
+        service.submit(gated_instance(&release)),
+        Err(HspError::ServiceStopped)
+    ));
+    service.join();
+}
+
+#[test]
+fn cancelling_a_parked_solve_surfaces_cancelled_and_frees_the_worker() {
+    let release = Arc::new(AtomicBool::new(false));
+    let service = SolverService::builder().workers(1).build();
+    let parked = service.submit(gated_instance(&release)).unwrap();
+    // Raise the flag while the solve is (or is about to be) blocked inside
+    // the oracle, then let it run into the next checkpoint.
+    parked.cancel();
+    release.store(true, Ordering::SeqCst);
+    assert!(matches!(parked.wait(), Err(HspError::Cancelled)));
+
+    // The worker that serviced the cancellation keeps serving.
+    let next = service.submit(Arc::new(stress_instance(1))).unwrap().wait();
+    assert!(next.is_ok(), "worker died after a cancellation: {next:?}");
+    service.stop();
+    service.join();
+}
+
+#[test]
+fn budget_exhaustion_is_typed_and_the_worker_survives() {
+    let service = SolverService::builder().workers(1).build();
+
+    let starved_queries = service
+        .submit_with(
+            Arc::new(stress_instance(0)),
+            SubmitOptions::new().query_budget(0),
+        )
+        .unwrap()
+        .wait();
+    assert!(matches!(
+        starved_queries,
+        Err(HspError::QueryBudgetExceeded { budget: 0, .. })
+    ));
+
+    let starved_gates = service
+        .submit_with(
+            Arc::new(stress_instance(0)),
+            SubmitOptions::new()
+                .gate_budget(0)
+                .strategy(Strategy::Abelian),
+        )
+        .unwrap()
+        .wait();
+    assert!(matches!(
+        starved_gates,
+        Err(HspError::GateBudgetExceeded { budget: 0, .. })
+    ));
+
+    // Same single worker, unconstrained request: still healthy.
+    let healthy = service.submit(Arc::new(stress_instance(0))).unwrap().wait();
+    assert!(
+        healthy.is_ok(),
+        "worker died after budget rejections: {healthy:?}"
+    );
+    service.stop();
+    service.join();
+}
+
+#[test]
+fn per_request_sparse_budget_beats_builder_default_through_the_facade() {
+    // ROADMAP item 5 seam: the sparse backend's nnz cap flows from the
+    // per-request budget, not the builder default. A Z4^6 instance whose
+    // hidden subgroup has 256 cosets needs 1024 nonzeros; the builder-level
+    // solver is configured generously, the request starves it.
+    let g = AbelianProduct::new(vec![4u64; 6]);
+    let h: Vec<Vec<u64>> = (0..4)
+        .map(|i| {
+            let mut e = vec![0u64; 6];
+            e[i] = 1;
+            e
+        })
+        .collect();
+    let make = || Arc::new(HspInstance::with_coset_oracle(g.clone(), &h, 4096).expect("Z4^6"));
+
+    let solver = HspSolver::builder()
+        .backend(Backend::SimulatorSparse)
+        .sparse_nnz_cap(1 << 20)
+        .build();
+    let service = SolverService::builder().solver(solver).workers(1).build();
+
+    // Builder default: plenty of room, solves fine.
+    let roomy = service.submit(make()).unwrap().wait();
+    assert!(roomy.is_ok(), "generous builder cap failed: {roomy:?}");
+
+    // Per-request cap of 100 wins over the builder's 2^20 and trips.
+    let capped = service
+        .submit_with(make(), SubmitOptions::new().sparse_nnz_cap(100))
+        .unwrap()
+        .wait();
+    match capped {
+        Err(HspError::SparseCapacity { nnz, cap }) => {
+            assert_eq!(cap, 100);
+            assert!(nnz > cap, "cap tripped below the reported nnz");
+        }
+        other => panic!("expected SparseCapacity from the per-request cap, got {other:?}"),
+    }
+    service.stop();
+    service.join();
+}

@@ -295,29 +295,56 @@ impl AbelianHsp {
         let mut resolved: Option<Backend> = None;
         let mut identity_fiber: Option<Vec<Vec<u64>>> = None;
         let mut stab_plan: Option<StabilizerPlan> = None;
+        let mut ideal_hperp: Option<SubgroupLattice> = None;
+        // Candidate Ĥ = (samples)^⊥ — always a supergroup of H. `perp`
+        // returns the canonical Howell basis, so an unchanged generator
+        // list means an unchanged candidate. The full cyclic decomposition
+        // (`SubgroupLattice::from_generators` runs Hermite + Smith + a
+        // unimodular inverse) is deferred to the one round that verifies:
+        // membership `g ∈ H` is `f(g) = f(0)` on each basis row directly,
+        // and H being a subgroup makes checking generators sufficient.
+        let mut cand_gens = perp(&a, &samples);
+        let mut need_verify = true;
 
         for round in 1..=max_rounds {
-            // Candidate Ĥ = (samples)^⊥ — always a supergroup of H.
-            let cand_gens = perp(&a, &samples);
-            let cand = SubgroupLattice::from_generators(&a, &cand_gens);
-            // Verify Ĥ ⊆ H by evaluating f on candidate generators.
-            let mut ok = true;
-            for (g, _) in cand.cyclic_generators() {
-                classical_queries += 1;
-                if oracle.label(g) != id_label {
-                    ok = false;
-                    break;
+            if need_verify {
+                // Verify Ĥ ⊆ H by evaluating f on candidate generators
+                // (H ⊆ Ĥ holds unconditionally: samples lie in H^⊥).
+                let mut ok = true;
+                for g in &cand_gens {
+                    classical_queries += 1;
+                    if oracle.label(g) != id_label {
+                        ok = false;
+                        break;
+                    }
                 }
-            }
-            if ok {
-                return Ok(HspResult {
-                    subgroup: cand,
-                    rounds: round - 1,
-                    quantum_queries,
-                    classical_queries,
-                    gates: self.gates.count().saturating_sub(g0),
-                    backend: resolved,
-                });
+                if ok {
+                    // The basis rows collide with f(0); certify the
+                    // canonical cyclic decomposition too before returning.
+                    // Under a broken promise the label need not be constant
+                    // on ⟨cand_gens⟩, and the contract is that the
+                    // *returned* generators never contradict the oracle.
+                    let cand = SubgroupLattice::from_generators(&a, &cand_gens);
+                    let mut cyc_ok = true;
+                    for (g, _) in cand.cyclic_generators() {
+                        classical_queries += 1;
+                        if oracle.label(g) != id_label {
+                            cyc_ok = false;
+                            break;
+                        }
+                    }
+                    if cyc_ok {
+                        return Ok(HspResult {
+                            subgroup: cand,
+                            rounds: round - 1,
+                            quantum_queries,
+                            classical_queries,
+                            gates: self.gates.count().saturating_sub(g0),
+                            backend: resolved,
+                        });
+                    }
+                }
+                need_verify = false;
             }
             // Fourier-sample one more element of H^⊥. Capacity and
             // ground-truth preconditions are checked here — lazily, so
@@ -387,11 +414,18 @@ impl AbelianHsp {
                     plan.sample(&self.gates, rng)
                 }
                 Backend::Ideal => {
-                    let Some(truth) = oracle.ground_truth() else {
-                        return Err(SolveError::MissingGroundTruth);
+                    let hperp = match &ideal_hperp {
+                        Some(h) => h,
+                        None => {
+                            let Some(truth) = oracle.ground_truth() else {
+                                return Err(SolveError::MissingGroundTruth);
+                            };
+                            ideal_hperp =
+                                Some(SubgroupLattice::from_generators(&a, &perp(&a, &truth)));
+                            ideal_hperp.as_ref().expect("just built")
+                        }
                     };
                     quantum_queries += 1;
-                    let hperp = SubgroupLattice::from_generators(&a, &perp(&a, &truth));
                     hperp.random_element(rng)
                 }
             };
@@ -401,6 +435,17 @@ impl AbelianHsp {
             // not a panic. The backend-agreement tests pin each sampler's
             // support to exactly `H^⊥` against honest oracles.
             samples.push(y);
+            let new_gens = perp(&a, &samples);
+            if new_gens == cand_gens {
+                // Dependent sample: the candidate is unchanged, so
+                // re-verifying would fail identically (labels are
+                // deterministic). Drop it to keep perp's input at most the
+                // span's rank.
+                samples.pop();
+            } else {
+                cand_gens = new_gens;
+                need_verify = true;
+            }
         }
         Err(SolveError::SamplingCapExhausted { max_rounds })
     }

@@ -378,7 +378,9 @@ fn bench_solver_json(smoke: bool) {
                 let mut regressed = false;
                 println!("\nregression gate vs {baseline} (fail at >2.0x):");
                 for row in &rows {
-                    let Some((_, base)) = committed.iter().find(|(n, _)| n == row.strategy) else {
+                    let Some((_, base, base_gates)) =
+                        committed.iter().find(|(n, _, _)| n == row.strategy)
+                    else {
                         println!("  {:<22} (no committed median; skipped)", row.strategy);
                         continue;
                     };
@@ -393,9 +395,29 @@ fn bench_solver_json(smoke: bool) {
                         "  {:<22} smoke {:>10.1} µs vs committed {:>10.1} µs = {ratio:.2}x {verdict}",
                         row.strategy, row.wall_us, base
                     );
+                    // Gate counts are machine-independent, so they make a
+                    // sharper tripwire than wall time for algorithmic
+                    // regressions. The Stabilizer line is the one whose gate
+                    // budget the hot-path work targets; its smoke instance
+                    // (k=16) is strictly smaller than the committed full one
+                    // (k=64), so exceeding 2x the committed count means the
+                    // circuit itself grew, not the machine slowed down.
+                    if row.strategy == "Stabilizer" && *base_gates > 0.0 {
+                        let gratio = row.gates as f64 / base_gates;
+                        let gverdict = if gratio > 2.0 {
+                            regressed = true;
+                            "REGRESSED"
+                        } else {
+                            "ok"
+                        };
+                        println!(
+                            "  {:<22} smoke {:>10} gates vs committed {:>10.0} = {gratio:.2}x {gverdict}",
+                            "Stabilizer (gates)", row.gates, base_gates
+                        );
+                    }
                 }
                 if regressed {
-                    println!("bench-solver --smoke: wall-time regression detected");
+                    println!("bench-solver --smoke: regression detected");
                     std::process::exit(1);
                 }
             }
@@ -403,10 +425,21 @@ fn bench_solver_json(smoke: bool) {
     }
 }
 
-/// Parse `(strategy, wall_us_median)` pairs out of a committed
-/// `BENCH_solver.json` (hand-rolled: the offline workspace has no serde).
-fn baseline_medians(path: &str) -> Option<Vec<(String, f64)>> {
+/// Parse `(strategy, wall_us_median, gates_median)` triples out of a
+/// committed `BENCH_solver.json` (hand-rolled: the offline workspace has no
+/// serde). A row without a `gates_median` field reports 0.0 gates, which the
+/// gate-count check treats as "no baseline".
+fn baseline_medians(path: &str) -> Option<Vec<(String, f64, f64)>> {
     let text = std::fs::read_to_string(path).ok()?;
+    let field = |t: &str, key: &str| -> Option<f64> {
+        let pos = t.find(key)?;
+        let rest = t[pos + key.len()..].trim_start();
+        let num: String = rest
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || *c == '.')
+            .collect();
+        num.parse::<f64>().ok()
+    };
     let mut out = Vec::new();
     for line in text.lines() {
         let t = line.trim_start();
@@ -415,15 +448,9 @@ fn baseline_medians(path: &str) -> Option<Vec<(String, f64)>> {
         }
         let name_end = t[1..].find('"')?;
         let name = &t[1..1 + name_end];
-        let pos = t.find("\"wall_us_median\":")?;
-        let rest = t[pos + "\"wall_us_median\":".len()..].trim_start();
-        let num: String = rest
-            .chars()
-            .take_while(|c| c.is_ascii_digit() || *c == '.')
-            .collect();
-        if let Ok(v) = num.parse::<f64>() {
-            out.push((name.to_string(), v));
-        }
+        let wall = field(t, "\"wall_us_median\":")?;
+        let gates = field(t, "\"gates_median\":").unwrap_or(0.0);
+        out.push((name.to_string(), wall, gates));
     }
     Some(out)
 }

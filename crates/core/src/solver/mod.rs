@@ -1052,6 +1052,38 @@ impl HspSolver {
         }
         let group = instance.group();
         if let Some(truth_gens) = instance.ground_truth() {
+            // Lattice fast path: over a literal AbelianProduct, subgroup
+            // equality is a Hermite/Smith computation on the two generator
+            // matrices (`same_subgroup`) — polynomial in the rank, no
+            // element enumeration. This certifies exactly at any subgroup
+            // order, where the BFS below would both burn `enumeration_limit`
+            // work twice and then fail to certify past the limit.
+            if let Some(ap) = cast_ref::<G, AbelianProduct>(group) {
+                let coords = |es: &[G::Elem]| -> Option<Vec<Vec<u64>>> {
+                    es.iter()
+                        .map(|e| cast_ref::<G::Elem, Vec<u64>>(e).cloned())
+                        .collect()
+                };
+                if let (Some(rec), Some(exp)) = (coords(generators), coords(truth_gens)) {
+                    let rec = SubgroupLattice::from_generators(ap, &rec);
+                    let exp = SubgroupLattice::from_generators(ap, &exp);
+                    if rec.same_subgroup(&exp) {
+                        return Ok(Verdict::VerifiedExact);
+                    }
+                    let ord = |l: &SubgroupLattice| {
+                        l.cyclic_generators()
+                            .iter()
+                            .fold(1u64, |p, &(_, d)| p.saturating_mul(d))
+                    };
+                    return Err(HspError::VerificationFailed {
+                        context: format!(
+                            "recovered subgroup has order {} but ground truth has order {}",
+                            ord(&rec),
+                            ord(&exp)
+                        ),
+                    });
+                }
+            }
             let recovered = closure_set(group, generators, self.enumeration_limit);
             let expected = closure_set(group, truth_gens, self.enumeration_limit);
             if let (Some(recovered), Some(expected)) = (recovered, expected) {

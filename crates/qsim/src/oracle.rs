@@ -16,11 +16,14 @@ use crate::state::State;
 /// it may carry mutable caches.
 pub fn apply_basis_permutation<F: FnMut(usize) -> usize>(state: &mut State, mut perm: F) {
     let dim = state.dim();
-    let mut out = vec![Complex::ZERO; dim];
     #[cfg(debug_assertions)]
     let mut seen = vec![false; dim];
-    let amps = state.amplitudes().to_vec();
-    for (i, amp) in amps.into_iter().enumerate() {
+    // Out-of-place into the state's spare buffer, then swap it in — the old
+    // buffer becomes the spare, so repeated permutations never reallocate.
+    let (amps, out) = state.amps_and_spare();
+    out.clear();
+    out.resize(dim, Complex::ZERO);
+    for (i, &amp) in amps.iter().enumerate() {
         let j = perm(i);
         debug_assert!(j < dim, "permutation out of range: {i} -> {j}");
         #[cfg(debug_assertions)]
@@ -30,7 +33,7 @@ pub fn apply_basis_permutation<F: FnMut(usize) -> usize>(state: &mut State, mut 
         }
         out[j] = amp;
     }
-    state.replace_amps(out);
+    state.promote_spare();
 }
 
 /// Apply a classical function oracle: for each basis state, read the digits

@@ -3,8 +3,7 @@
 //! Coset states — the workhorse of every Fourier-sampling round in the
 //! paper — have exactly `|H|` nonzero amplitudes out of `|A|`, so dense
 //! storage wastes a factor `|A|/|H|`. [`SparseState`] stores only the
-//! nonzeros (`basis index → amplitude`, ordered map for deterministic
-//! iteration) over the same [`Layout`] mixed-radix semantics as the dense
+//! nonzeros over the same [`Layout`] mixed-radix semantics as the dense
 //! [`State`], and the kernels here mirror the dense ones:
 //!
 //! - per-site unitaries / DFTs ([`apply_site_unitary_sparse`],
@@ -13,9 +12,26 @@
 //!   [`controlled_phase_sparse`]) — `O(nnz)`;
 //! - shifts and reversible oracles ([`shift_site_sparse`],
 //!   [`apply_basis_permutation_sparse`], [`apply_function_oracle_sparse`])
-//!   — `O(nnz)` basis permutations;
+//!   — `O(nnz)` / `O(nnz log nnz)` basis permutations;
 //! - marginals, sampling and collapse ([`marginal_distribution_sparse`],
 //!   [`measure_sites_sparse`], [`collapse_sparse`]).
+//!
+//! ## Storage layout
+//!
+//! Nonzeros live in two parallel vectors — `Vec<u64>` basis indices in
+//! ascending order plus a matching `Vec<Complex>` of amplitudes — instead
+//! of an ordered map. Sweeps are linear scans over contiguous memory with
+//! no per-entry allocation or pointer chase; [`SparseState::amplitude`] is
+//! a binary search. The spreading kernel ([`apply_site_unitary_sparse`])
+//! exploits that sorted order directly: entries of one `d·stride` block
+//! form a contiguous run, the per-digit sub-runs inside it are merged
+//! `d`-way by their intra-stride offset to gather each output's `d` input
+//! coefficients, and results are emitted digit-major — already in final
+//! sorted order, so the whole gate is one merge pass with no sort.
+//! Permutation-style kernels write the state's spare index/amplitude
+//! buffers and swap them in, so repeated gates recycle two allocations.
+//! [`collapse_sparse`] on a leading-sites measurement reduces to a
+//! galloping (binary-search) range extraction instead of a full scan.
 //!
 //! A per-site DFT multiplies the nonzero count by at most the site
 //! dimension; measuring the transformed site immediately collapses it back
@@ -26,8 +42,6 @@
 //!
 //! Gate accounting matches the dense kernels one-for-one: each logical gate
 //! records once into the state's [`GateCounter`].
-
-use std::collections::BTreeMap;
 
 use crate::complex::Complex;
 use crate::counter::GateCounter;
@@ -40,32 +54,73 @@ use rand::Rng;
 /// Amplitudes with squared modulus below this are dropped after spreading
 /// kernels (site unitaries). Exact character cancellations leave residues
 /// around `1e-32`; genuine amplitudes in any state we simulate are far
-/// larger, so pruning at `1e-24` only removes floating-point dust.
+/// larger, so pruning at `1e-24` only removes floating-point dust. Whenever
+/// the dropped mass is nonzero the kernel renormalizes, so pruning can
+/// never compound into norm drift across long gate chains.
 const PRUNE_NORM_SQR: f64 = 1e-24;
 
-/// Pure quantum state stored sparsely: only nonzero amplitudes are kept.
+/// Reusable working memory for the sparse kernels: output index/amplitude
+/// buffers that get swapped with the live storage (so consecutive gates
+/// recycle each other's allocations), plus the small per-block merge state
+/// of the spreading kernel.
+#[derive(Debug, Default)]
+struct Scratch {
+    idxs: Vec<u64>,
+    amps: Vec<Complex>,
+    pairs: Vec<(u64, Complex)>,
+    inners: Vec<u64>,
+    coeffs: Vec<Complex>,
+    runs: Vec<usize>,
+    pos: Vec<usize>,
+}
+
+/// Pure quantum state stored sparsely: only nonzero amplitudes are kept, as
+/// parallel sorted-index / amplitude vectors (see the module docs for the
+/// kernel-facing consequences).
 ///
 /// Iteration order (and therefore every accumulation the kernels perform)
 /// is by ascending basis index — deterministic, so seeded runs reproduce
 /// exactly like their dense counterparts.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct SparseState {
     layout: Layout,
-    amps: BTreeMap<usize, Complex>,
+    idxs: Vec<u64>,
+    amps: Vec<Complex>,
     gates: GateCounter,
+    scratch: Scratch,
+}
+
+impl Clone for SparseState {
+    fn clone(&self) -> Self {
+        SparseState {
+            layout: self.layout.clone(),
+            idxs: self.idxs.clone(),
+            amps: self.amps.clone(),
+            // The clone belongs to the same run: share the counter.
+            gates: self.gates.clone(),
+            // Scratch is per-state working memory, never cloned.
+            scratch: Scratch::default(),
+        }
+    }
 }
 
 impl SparseState {
+    fn from_sorted(layout: Layout, idxs: Vec<u64>, amps: Vec<Complex>) -> Self {
+        debug_assert!(idxs.windows(2).all(|w| w[0] < w[1]));
+        debug_assert_eq!(idxs.len(), amps.len());
+        SparseState {
+            layout,
+            idxs,
+            amps,
+            gates: GateCounter::new(),
+            scratch: Scratch::default(),
+        }
+    }
+
     /// The computational basis state `|idx⟩`.
     pub fn basis_index(layout: Layout, idx: usize) -> Self {
         assert!(idx < layout.dim());
-        let mut amps = BTreeMap::new();
-        amps.insert(idx, Complex::ONE);
-        SparseState {
-            layout,
-            amps,
-            gates: GateCounter::new(),
-        }
+        Self::from_sorted(layout, vec![idx as u64], vec![Complex::ONE])
     }
 
     /// Uniform superposition over a subset of basis indices (coset states
@@ -74,16 +129,19 @@ impl SparseState {
     pub fn uniform_over(layout: Layout, indices: &[usize]) -> Self {
         assert!(!indices.is_empty(), "uniform_over of empty set");
         let a = Complex::new(1.0 / (indices.len() as f64).sqrt(), 0.0);
-        let mut amps = BTreeMap::new();
-        for &i in indices {
-            assert!(i < layout.dim(), "index {i} out of range");
-            assert!(amps.insert(i, a).is_none(), "duplicate index {i}");
+        let mut idxs: Vec<u64> = indices
+            .iter()
+            .map(|&i| {
+                assert!(i < layout.dim(), "index {i} out of range");
+                i as u64
+            })
+            .collect();
+        idxs.sort_unstable();
+        if let Some(w) = idxs.windows(2).find(|w| w[0] == w[1]) {
+            panic!("duplicate index {}", w[0]);
         }
-        SparseState {
-            layout,
-            amps,
-            gates: GateCounter::new(),
-        }
+        let n = idxs.len();
+        Self::from_sorted(layout, idxs, vec![a; n])
     }
 
     /// Build from `(index, amplitude)` pairs, normalizing. Panics on the
@@ -92,22 +150,23 @@ impl SparseState {
         layout: Layout,
         entries: impl IntoIterator<Item = (usize, Complex)>,
     ) -> Self {
-        let mut amps = BTreeMap::new();
-        for (i, a) in entries {
-            assert!(i < layout.dim(), "index {i} out of range");
-            assert!(amps.insert(i, a).is_none(), "duplicate index {i}");
+        let mut pairs: Vec<(u64, Complex)> = entries
+            .into_iter()
+            .map(|(i, a)| {
+                assert!(i < layout.dim(), "index {i} out of range");
+                (i as u64, a)
+            })
+            .collect();
+        pairs.sort_unstable_by_key(|&(i, _)| i);
+        if let Some(w) = pairs.windows(2).find(|w| w[0].0 == w[1].0) {
+            panic!("duplicate index {}", w[0].0);
         }
-        let n2: f64 = amps.values().map(|a| a.norm_sqr()).sum();
+        let n2: f64 = pairs.iter().map(|(_, a)| a.norm_sqr()).sum();
         assert!(n2 > 1e-300, "cannot normalize zero vector");
         let s = 1.0 / n2.sqrt();
-        for a in amps.values_mut() {
-            *a = a.scale(s);
-        }
-        SparseState {
-            layout,
-            amps,
-            gates: GateCounter::new(),
-        }
+        let idxs = pairs.iter().map(|&(i, _)| i).collect();
+        let amps = pairs.iter().map(|&(_, a)| a.scale(s)).collect();
+        Self::from_sorted(layout, idxs, amps)
     }
 
     /// Replace this state's gate counter with a shared per-run handle.
@@ -136,13 +195,16 @@ impl SparseState {
     /// Number of stored (nonzero) amplitudes.
     #[inline]
     pub fn nnz(&self) -> usize {
-        self.amps.len()
+        self.idxs.len()
     }
 
-    /// Amplitude of basis index `idx` (zero if not stored).
+    /// Amplitude of basis index `idx` (zero if not stored). Binary search.
     #[inline]
     pub fn amplitude(&self, idx: usize) -> Complex {
-        self.amps.get(&idx).copied().unwrap_or(Complex::ZERO)
+        match self.idxs.binary_search(&(idx as u64)) {
+            Ok(k) => self.amps[k],
+            Err(_) => Complex::ZERO,
+        }
     }
 
     /// Probability of measuring basis index `idx`.
@@ -153,60 +215,150 @@ impl SparseState {
 
     /// Stored entries in ascending basis-index order.
     pub fn entries(&self) -> impl Iterator<Item = (usize, Complex)> + '_ {
-        self.amps.iter().map(|(&i, &a)| (i, a))
+        self.idxs
+            .iter()
+            .zip(&self.amps)
+            .map(|(&i, &a)| (i as usize, a))
     }
 
     /// Squared 2-norm (should always be ≈ 1).
     pub fn norm_sqr(&self) -> f64 {
-        self.amps.values().map(|a| a.norm_sqr()).sum()
+        self.amps.iter().map(|a| a.norm_sqr()).sum()
     }
 
     /// Densify (for tests and cross-checks; requires the full dimension to
     /// be allocatable).
     pub fn to_dense(&self) -> State {
         let mut amps = vec![Complex::ZERO; self.layout.dim()];
-        for (&i, &a) in &self.amps {
-            amps[i] = a;
+        for (&i, &a) in self.idxs.iter().zip(&self.amps) {
+            amps[i as usize] = a;
         }
         State::from_amplitudes(self.layout.clone(), amps).with_gate_counter(self.gates.clone())
     }
 
-    fn replace_amps(&mut self, amps: BTreeMap<usize, Complex>) {
-        self.amps = amps;
+    /// Swap the freshly written scratch output buffers into place; the old
+    /// storage becomes the next gate's output buffer.
+    fn promote_scratch(&mut self, mut sc: Scratch) {
+        std::mem::swap(&mut self.idxs, &mut sc.idxs);
+        std::mem::swap(&mut self.amps, &mut sc.amps);
+        self.scratch = sc;
     }
 
     fn renormalize(&mut self) {
         let n2 = self.norm_sqr();
         assert!(n2 > 1e-300, "collapse to zero vector");
         let s = 1.0 / n2.sqrt();
-        for a in self.amps.values_mut() {
+        for a in &mut self.amps {
             *a = a.scale(s);
         }
     }
 }
 
-/// Apply a dense `d × d` unitary `u` (row-major) to one site. `O(nnz · d)`;
-/// the result is pruned of amplitudes below the cancellation threshold.
+/// Apply a dense `d × d` unitary `u` (row-major) to one site. `O(nnz · d)`
+/// via one block-local `d`-way merge pass (module docs); the result is
+/// pruned of amplitudes below the cancellation threshold and renormalized
+/// whenever the pruned mass is nonzero.
 pub fn apply_site_unitary_sparse(state: &mut SparseState, site: usize, u: &[Complex]) {
     state.gate_counter().record(1);
-    let layout = state.layout.clone();
-    let d = layout.site_dim(site);
+    let d = state.layout.site_dim(site);
     assert_eq!(u.len(), d * d, "unitary size mismatch");
-    let stride = layout.stride(site);
-    let mut out: BTreeMap<usize, Complex> = BTreeMap::new();
-    for (&idx, &a) in &state.amps {
-        let x = layout.digit(idx, site);
-        let base = idx - x * stride;
-        for r in 0..d {
-            let coeff = u[r * d + x];
-            if coeff == Complex::ZERO {
-                continue;
+    let stride = state.layout.stride(site) as u64;
+    let block = stride * d as u64;
+    let d64 = d as u64;
+    let n = state.idxs.len();
+
+    let mut sc = std::mem::take(&mut state.scratch);
+    sc.idxs.clear();
+    sc.amps.clear();
+    sc.idxs.reserve(n);
+    sc.amps.reserve(n);
+    let mut kept = 0.0f64;
+    let mut dropped = 0.0f64;
+
+    let mut s = 0usize;
+    while s < n {
+        let b = state.idxs[s] / block;
+        let mut e = s + 1;
+        while e < n && state.idxs[e] / block == b {
+            e += 1;
+        }
+        // Per-digit sub-runs of this block: runs[x]..runs[x+1] holds the
+        // entries whose site digit is `x` (contiguous because the sort key
+        // is (block, digit, inner)).
+        sc.runs.clear();
+        sc.runs.resize(d + 1, e);
+        sc.runs[0] = s;
+        {
+            let mut x = 0usize;
+            for k in s..e {
+                let dg = ((state.idxs[k] / stride) % d64) as usize;
+                while x < dg {
+                    x += 1;
+                    sc.runs[x] = k;
+                }
             }
-            *out.entry(base + r * stride).or_insert(Complex::ZERO) += coeff * a;
+        }
+        // d-way merge by intra-stride offset: gather, for each distinct
+        // offset, the d input coefficients feeding its output column.
+        sc.inners.clear();
+        sc.coeffs.clear();
+        sc.pos.clear();
+        sc.pos.extend_from_slice(&sc.runs[..d]);
+        loop {
+            let mut min_inner = u64::MAX;
+            for x in 0..d {
+                if sc.pos[x] < sc.runs[x + 1] {
+                    min_inner = min_inner.min(state.idxs[sc.pos[x]] % stride);
+                }
+            }
+            if min_inner == u64::MAX {
+                break;
+            }
+            sc.inners.push(min_inner);
+            let cbase = sc.coeffs.len();
+            sc.coeffs.resize(cbase + d, Complex::ZERO);
+            for x in 0..d {
+                let p = sc.pos[x];
+                if p < sc.runs[x + 1] && state.idxs[p] % stride == min_inner {
+                    sc.coeffs[cbase + x] = state.amps[p];
+                    sc.pos[x] = p + 1;
+                }
+            }
+        }
+        // Emit digit-major: output order (r, inner) is exactly ascending
+        // index order within the block.
+        let base0 = b * block;
+        for r in 0..d {
+            let urow = &u[r * d..r * d + d];
+            for (j, &inner) in sc.inners.iter().enumerate() {
+                let cf = &sc.coeffs[j * d..j * d + d];
+                let mut acc = Complex::ZERO;
+                for x in 0..d {
+                    acc += urow[x] * cf[x];
+                }
+                let p = acc.norm_sqr();
+                if p > PRUNE_NORM_SQR {
+                    sc.idxs.push(base0 + r as u64 * stride + inner);
+                    sc.amps.push(acc);
+                    kept += p;
+                } else {
+                    dropped += p;
+                }
+            }
+        }
+        s = e;
+    }
+
+    state.promote_scratch(sc);
+    if dropped > 0.0 {
+        // Restore unit norm after pruning (the unitary preserved it, so the
+        // kept mass is exactly 1 − dropped up to fp error).
+        assert!(kept > 1e-300, "pruning removed the entire state");
+        let scale = 1.0 / kept.sqrt();
+        for a in &mut state.amps {
+            *a = a.scale(scale);
         }
     }
-    out.retain(|_, a| a.norm_sqr() > PRUNE_NORM_SQR);
-    state.replace_amps(out);
 }
 
 /// Exact DFT over `Z_d` on one site (sparse mirror of
@@ -229,62 +381,113 @@ pub fn qft_product_group_sparse(state: &mut SparseState, sites: &[usize], invers
 /// unitary (must return unit-modulus values to preserve norm). `O(nnz)`.
 pub fn apply_diagonal_sparse<F: Fn(usize) -> Complex>(state: &mut SparseState, phase: F) {
     state.gate_counter().record(1);
-    for (&idx, a) in state.amps.iter_mut() {
-        *a *= phase(idx);
+    for (&i, a) in state.idxs.iter().zip(state.amps.iter_mut()) {
+        *a *= phase(i as usize);
     }
 }
 
 /// Controlled phase `e^{iθ·a·b}` on two distinct sites (sparse mirror of
-/// [`crate::gates::controlled_phase`]).
+/// [`crate::gates::controlled_phase`]). The `d_a·d_b` distinct phases come
+/// from a table built once per gate — no per-entry `sin`/`cos`.
 pub fn controlled_phase_sparse(state: &mut SparseState, site_a: usize, site_b: usize, theta: f64) {
     assert_ne!(site_a, site_b, "controlled phase needs two distinct sites");
     let layout = state.layout().clone();
-    apply_diagonal_sparse(state, |idx| {
-        let a = layout.digit(idx, site_a);
-        let b = layout.digit(idx, site_b);
-        if a == 0 || b == 0 {
-            Complex::ONE
-        } else {
-            Complex::cis(theta * (a * b) as f64)
-        }
-    });
+    let (sa, da) = (layout.stride(site_a), layout.site_dim(site_a));
+    let (sb, db) = (layout.stride(site_b), layout.site_dim(site_b));
+    let table: Vec<Complex> = (0..da * db)
+        .map(|v| {
+            let (a, b) = (v / db, v % db);
+            if a == 0 || b == 0 {
+                Complex::ONE
+            } else {
+                Complex::cis(theta * (a * b) as f64)
+            }
+        })
+        .collect();
+    apply_diagonal_sparse(state, |idx| table[(idx / sa % da) * db + (idx / sb % db)]);
 }
 
-/// Pauli-X generalization `|x⟩ → |x + shift mod d⟩` on one site. `O(nnz)`.
+/// Pauli-X generalization `|x⟩ → |x + shift mod d⟩` on one site. `O(nnz)`:
+/// within each block the per-digit sub-runs are re-emitted in rotated digit
+/// order, which is already the output's sorted order — no sort, no map.
 pub fn shift_site_sparse(state: &mut SparseState, site: usize, shift: usize) {
-    let layout = state.layout().clone();
-    let d = layout.site_dim(site);
+    let d = state.layout.site_dim(site);
     let shift = shift % d;
     if shift == 0 {
         return;
     }
     state.gate_counter().record(1);
-    let mut out = BTreeMap::new();
-    for (&idx, &a) in &state.amps {
-        let x = layout.digit(idx, site);
-        out.insert(layout.with_digit(idx, site, (x + shift) % d), a);
+    let stride = state.layout.stride(site) as u64;
+    let block = stride * d as u64;
+    let d64 = d as u64;
+    let n = state.idxs.len();
+
+    let mut sc = std::mem::take(&mut state.scratch);
+    sc.idxs.clear();
+    sc.amps.clear();
+    sc.idxs.reserve(n);
+    sc.amps.reserve(n);
+
+    let mut s = 0usize;
+    while s < n {
+        let b = state.idxs[s] / block;
+        let mut e = s + 1;
+        while e < n && state.idxs[e] / block == b {
+            e += 1;
+        }
+        sc.runs.clear();
+        sc.runs.resize(d + 1, e);
+        sc.runs[0] = s;
+        {
+            let mut x = 0usize;
+            for k in s..e {
+                let dg = ((state.idxs[k] / stride) % d64) as usize;
+                while x < dg {
+                    x += 1;
+                    sc.runs[x] = k;
+                }
+            }
+        }
+        for xp in 0..d {
+            let x = (xp + d - shift) % d;
+            let delta = (xp as i64 - x as i64) * stride as i64;
+            for k in sc.runs[x]..sc.runs[x + 1] {
+                sc.idxs.push((state.idxs[k] as i64 + delta) as u64);
+                sc.amps.push(state.amps[k]);
+            }
+        }
+        s = e;
     }
-    state.replace_amps(out);
+    state.promote_scratch(sc);
 }
 
 /// Apply a basis permutation `|i⟩ → |π(i)⟩` to the stored support. `perm`
 /// must be injective on the support (checked); sequential, so the closure
-/// may carry mutable caches.
+/// may carry mutable caches. `O(nnz log nnz)` — the permuted support is
+/// re-sorted.
 pub fn apply_basis_permutation_sparse<F: FnMut(usize) -> usize>(
     state: &mut SparseState,
     mut perm: F,
 ) {
     let dim = state.dim();
-    let mut out = BTreeMap::new();
-    for (&idx, &a) in &state.amps {
+    let mut sc = std::mem::take(&mut state.scratch);
+    sc.pairs.clear();
+    sc.pairs.reserve(state.idxs.len());
+    for (&i, &a) in state.idxs.iter().zip(&state.amps) {
+        let idx = i as usize;
         let j = perm(idx);
         assert!(j < dim, "permutation out of range: {idx} -> {j}");
-        assert!(
-            out.insert(j, a).is_none(),
-            "not injective on support: {j} hit twice"
-        );
+        sc.pairs.push((j as u64, a));
     }
-    state.replace_amps(out);
+    sc.pairs.sort_unstable_by_key(|&(j, _)| j);
+    if let Some(w) = sc.pairs.windows(2).find(|w| w[0].0 == w[1].0) {
+        panic!("not injective on support: {} hit twice", w[0].0);
+    }
+    sc.idxs.clear();
+    sc.amps.clear();
+    sc.idxs.extend(sc.pairs.iter().map(|&(j, _)| j));
+    sc.amps.extend(sc.pairs.iter().map(|&(_, a)| a));
+    state.promote_scratch(sc);
 }
 
 /// Reversible function oracle on the stored support: read the digits of
@@ -336,10 +539,10 @@ pub fn marginal_distribution_sparse(state: &SparseState, sites: &[usize]) -> Vec
     let layout = state.layout();
     let gdim = layout.group_dim(sites);
     let mut probs = vec![0.0f64; gdim];
-    for (&idx, a) in &state.amps {
+    for (&idx, a) in state.idxs.iter().zip(&state.amps) {
         let p = a.norm_sqr();
         if p > 0.0 {
-            probs[layout.group_value(idx, sites)] += p;
+            probs[layout.group_value(idx as usize, sites)] += p;
         }
     }
     probs
@@ -358,11 +561,38 @@ pub fn measure_sites_sparse(state: &mut SparseState, sites: &[usize], rng: &mut 
 /// Project onto the subspace where `sites` read `outcome`, then
 /// renormalize. Entries outside the outcome are removed from storage, so
 /// the nonzero count only ever shrinks here.
+///
+/// When `sites` is a leading prefix `[0, 1, …]` of the layout, the matching
+/// support is a single contiguous index range (the outcome is the
+/// most-significant digits), located by two binary searches on the sorted
+/// index vector — `O(log nnz)` plus the retained entries, no scan.
 pub fn collapse_sparse(state: &mut SparseState, sites: &[usize], outcome: usize) {
-    let layout = state.layout().clone();
-    state
-        .amps
-        .retain(|&idx, _| layout.group_value(idx, sites) == outcome);
+    let is_prefix = !sites.is_empty() && sites.iter().enumerate().all(|(k, &s)| s == k);
+    if is_prefix {
+        // Index = outcome · tail + rest, with tail the stride of the last
+        // prefix site: the kept entries are exactly [lo, hi).
+        let tail = state.layout.stride(sites[sites.len() - 1]) as u64;
+        let lo = outcome as u64 * tail;
+        let hi = lo + tail;
+        let a = state.idxs.partition_point(|&i| i < lo);
+        let b = state.idxs.partition_point(|&i| i < hi);
+        state.idxs.truncate(b);
+        state.amps.truncate(b);
+        state.idxs.drain(..a);
+        state.amps.drain(..a);
+    } else {
+        let layout = state.layout.clone();
+        let mut w = 0usize;
+        for k in 0..state.idxs.len() {
+            if layout.group_value(state.idxs[k] as usize, sites) == outcome {
+                state.idxs[w] = state.idxs[k];
+                state.amps[w] = state.amps[k];
+                w += 1;
+            }
+        }
+        state.idxs.truncate(w);
+        state.amps.truncate(w);
+    }
     state.renormalize();
 }
 
@@ -419,6 +649,97 @@ mod tests {
             assert!((s.probability(idx) - 1.0).abs() < 1e-10, "idx={idx}");
             // Pruning must have removed the cancelled intermediate mass.
             assert_eq!(s.nnz(), 1, "idx={idx}: nnz={}", s.nnz());
+        }
+    }
+
+    #[test]
+    fn entries_stay_sorted_and_unique_through_kernels() {
+        let l = Layout::new(vec![4, 3, 5]);
+        let support = [2usize, 7, 11, 31, 44, 59];
+        let mut s = SparseState::uniform_over(l.clone(), &support);
+        let mut rng = Rng64::seed_from_u64(3);
+        for site in 0..3 {
+            dft_site_sparse(&mut s, site, false);
+            let ids: Vec<usize> = s.entries().map(|(i, _)| i).collect();
+            assert!(ids.windows(2).all(|w| w[0] < w[1]), "unsorted after dft");
+            shift_site_sparse(&mut s, site, 1);
+            let ids: Vec<usize> = s.entries().map(|(i, _)| i).collect();
+            assert!(ids.windows(2).all(|w| w[0] < w[1]), "unsorted after shift");
+        }
+        measure_sites_sparse(&mut s, &[1], &mut rng);
+        let ids: Vec<usize> = s.entries().map(|(i, _)| i).collect();
+        assert!(
+            ids.windows(2).all(|w| w[0] < w[1]),
+            "unsorted after measure"
+        );
+    }
+
+    #[test]
+    fn prune_renormalizes_dropped_mass() {
+        // An amplitude below the prune threshold is dropped by the next
+        // site unitary; the survivors must be renormalized, not left with
+        // norm² = 1 − dropped.
+        let l = Layout::new(vec![2, 2]);
+        let tiny = Complex::new(1e-13, 0.0); // norm² = 1e-26 < PRUNE_NORM_SQR
+        let mut s = SparseState::from_entries(l.clone(), [(0usize, Complex::ONE), (3usize, tiny)]);
+        let id = [Complex::ONE, Complex::ZERO, Complex::ZERO, Complex::ONE];
+        apply_site_unitary_sparse(&mut s, 0, &id);
+        assert_eq!(s.nnz(), 1, "tiny amplitude must be pruned");
+        assert!(
+            (s.norm_sqr() - 1.0).abs() < 1e-15,
+            "norm not restored after prune: {}",
+            s.norm_sqr()
+        );
+    }
+
+    #[test]
+    fn long_random_kernel_chain_keeps_unit_norm() {
+        // Property test (prune-renormalize regression): hundreds of random
+        // DFT/phase/shift/controlled-phase kernels — each DFT pruning
+        // cancellation dust — must keep the norm within 1e-10 of 1.
+        let l = Layout::new(vec![2, 3, 2, 4]);
+        let support = [0usize, 5, 13, 21, 30, 41];
+        let mut s = SparseState::uniform_over(l.clone(), &support);
+        let mut rng = Rng64::seed_from_u64(77);
+        for step in 0..400 {
+            let site = rng.gen_range(0..4usize);
+            match step % 4 {
+                0 => dft_site_sparse(&mut s, site, step % 8 == 4),
+                1 => shift_site_sparse(&mut s, site, 1 + step % 3),
+                2 => {
+                    let other = (site + 1 + step % 3) % 4;
+                    controlled_phase_sparse(&mut s, site, other, 0.1 + (step as f64) * 0.013);
+                }
+                _ => apply_diagonal_sparse(&mut s, |i| Complex::cis(i as f64 * 0.21)),
+            }
+            assert!(
+                (s.norm_sqr() - 1.0).abs() < 1e-10,
+                "norm drifted to {} at step {step}",
+                s.norm_sqr()
+            );
+        }
+    }
+
+    #[test]
+    fn collapse_prefix_fast_path_matches_scan() {
+        let l = Layout::new(vec![3, 2, 4]);
+        let support: Vec<usize> = (0..l.dim()).step_by(2).collect();
+        for outcome in 0..6 {
+            // Prefix path: sites [0, 1].
+            let mut fast = SparseState::uniform_over(l.clone(), &support);
+            dft_site_sparse(&mut fast, 2, false);
+            collapse_sparse(&mut fast, &[0, 1], outcome);
+            // Same collapse through the generic scan: sites [1, 0] reorder
+            // the outcome digits, so remap the outcome accordingly.
+            let (a, b) = (outcome / 2, outcome % 2);
+            let mut slow = SparseState::uniform_over(l.clone(), &support);
+            dft_site_sparse(&mut slow, 2, false);
+            collapse_sparse(&mut slow, &[1, 0], b * 3 + a);
+            assert_eq!(fast.nnz(), slow.nnz(), "outcome={outcome}");
+            for (x, y) in fast.entries().zip(slow.entries()) {
+                assert_eq!(x.0, y.0);
+                assert!(x.1.approx_eq(y.1, 1e-12));
+            }
         }
     }
 

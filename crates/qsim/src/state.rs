@@ -15,11 +15,37 @@ use crate::layout::Layout;
 /// Constructors attach a fresh counter; a run that wants one tally across
 /// several states shares a handle via [`State::with_gate_counter`]. Clones
 /// share the counter (the clone belongs to the same run).
-#[derive(Clone, Debug)]
+///
+/// Besides the amplitude vector the state owns two reusable buffers so the
+/// hot kernels never allocate per gate:
+///
+/// - `scratch`: f64 working area for the split re/im panels of the dense
+///   site-unitary kernel (sequential path);
+/// - `spare`: a second amplitude buffer that out-of-place basis
+///   permutations write into and then swap with `amps`.
+///
+/// Neither buffer carries state between gates; clones start with empty
+/// buffers (cloning a state must not duplicate scratch memory).
+#[derive(Debug)]
 pub struct State {
     layout: Layout,
     amps: Vec<Complex>,
     gates: GateCounter,
+    scratch: Vec<f64>,
+    spare: Vec<Complex>,
+}
+
+impl Clone for State {
+    fn clone(&self) -> Self {
+        State {
+            layout: self.layout.clone(),
+            amps: self.amps.clone(),
+            // The clone belongs to the same run: share the counter.
+            gates: self.gates.clone(),
+            scratch: Vec::new(),
+            spare: Vec::new(),
+        }
+    }
 }
 
 impl State {
@@ -79,6 +105,8 @@ impl State {
             layout,
             amps,
             gates: GateCounter::new(),
+            scratch: Vec::new(),
+            spare: Vec::new(),
         }
     }
 
@@ -115,11 +143,26 @@ impl State {
         &mut self.amps
     }
 
-    /// Replace the amplitude buffer (same length). Internal plumbing for
-    /// gates that compute out-of-place.
-    pub(crate) fn replace_amps(&mut self, amps: Vec<Complex>) {
-        debug_assert_eq!(amps.len(), self.amps.len());
-        self.amps = amps;
+    /// Simultaneous access to the amplitudes and the f64 scratch area —
+    /// the dense site-unitary kernel needs both at once.
+    #[inline]
+    pub(crate) fn amps_and_scratch(&mut self) -> (&mut [Complex], &mut Vec<f64>) {
+        (&mut self.amps, &mut self.scratch)
+    }
+
+    /// Simultaneous access to the amplitudes and the spare amplitude
+    /// buffer. Out-of-place permutations write the spare, then call
+    /// [`State::promote_spare`]; the old buffer is recycled, so repeated
+    /// permutations allocate at most once.
+    #[inline]
+    pub(crate) fn amps_and_spare(&mut self) -> (&[Complex], &mut Vec<Complex>) {
+        (&self.amps, &mut self.spare)
+    }
+
+    /// Swap the spare buffer (freshly written by a permutation) into place.
+    pub(crate) fn promote_spare(&mut self) {
+        debug_assert_eq!(self.spare.len(), self.amps.len());
+        std::mem::swap(&mut self.amps, &mut self.spare);
     }
 
     /// Squared 2-norm (should always be ≈ 1).

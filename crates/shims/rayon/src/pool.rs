@@ -261,6 +261,72 @@ mod tests {
     }
 
     #[test]
+    fn steal_path_drains_pinned_shard_backlog_at_width() {
+        // Width stress for the stealing path: 8 workers, one of which gets
+        // pinned by a job that blocks on a gate while a deep backlog
+        // accumulates — round-robin injection keeps landing every 8th
+        // spawn on the pinned worker's shard, strictly behind the blocked
+        // job. The other seven workers must steal that backlog from the
+        // back of the hostage shard and drain all of it while the owner is
+        // still blocked (asserted via the gate: the slow job provably has
+        // not finished when the backlog completes).
+        const WIDTH: usize = 8;
+        const JOBS: u64 = 2048;
+        let pool = ThreadPoolBuilder::new().num_threads(WIDTH).build().unwrap();
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let slow_running = Arc::new(AtomicBool::new(false));
+        let slow_done = Arc::new(AtomicBool::new(false));
+        {
+            let gate = gate.clone();
+            let running = slow_running.clone();
+            let sdone = slow_done.clone();
+            pool.spawn(move || {
+                running.store(true, Ordering::SeqCst);
+                let (lock, cv) = &*gate;
+                let mut released = lock.lock().unwrap();
+                while !*released {
+                    released = cv.wait(released).unwrap();
+                }
+                sdone.store(true, Ordering::SeqCst);
+            });
+        }
+        // Only enqueue the backlog once the slow job occupies its worker,
+        // so jobs routed to that worker's shard sit behind a blocked owner.
+        let t0 = std::time::Instant::now();
+        while !slow_running.load(Ordering::SeqCst) {
+            assert!(
+                t0.elapsed() < std::time::Duration::from_secs(10),
+                "slow job never started"
+            );
+            std::thread::yield_now();
+        }
+        let done = Arc::new(AtomicU64::new(0));
+        for _ in 0..JOBS {
+            let d = done.clone();
+            pool.spawn(move || {
+                d.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        let t0 = std::time::Instant::now();
+        while done.load(Ordering::SeqCst) < JOBS {
+            assert!(
+                t0.elapsed() < std::time::Duration::from_secs(30),
+                "steal path stalled: {} of {JOBS} jobs drained around the pinned shard",
+                done.load(Ordering::SeqCst)
+            );
+            std::thread::yield_now();
+        }
+        assert!(
+            !slow_done.load(Ordering::SeqCst),
+            "gate still held, so the pinned shard's backlog must have drained via steals"
+        );
+        let (lock, cv) = &*gate;
+        *lock.lock().unwrap() = true;
+        cv.notify_all();
+        drop(pool);
+    }
+
+    #[test]
     fn panicking_job_does_not_kill_the_worker() {
         let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
         pool.spawn(|| panic!("job panic"));

@@ -39,6 +39,7 @@
 
 use crate::dual::perp;
 use crate::lattice::{self, SubgroupLattice};
+use crate::vote::{VoteLedger, VotedOracle};
 use nahsp_groups::gf2::{BitVec, Gf2Space};
 use nahsp_groups::AbelianProduct;
 use nahsp_qsim::counter::GateCounter;
@@ -216,6 +217,17 @@ pub struct AbelianHsp {
     /// tighten (or loosen) the budget per solver. Exceeding it surfaces as
     /// the typed [`SolveError::SparseCapacity`].
     pub sparse_nnz_cap: usize,
+    /// Ballots per label query: a value `≥ 2` routes every
+    /// [`HidingOracle::label`] call this solve makes through a majority
+    /// vote of that many independent ballots (margins recorded in
+    /// `votes`), which is the engine's defense against noisy oracles.
+    /// `0` or `1` (the default) queries the oracle directly.
+    pub repetitions: usize,
+    /// Per-run vote ledger: every majority decision of a voted solve is
+    /// recorded here. Clones share the tally (like `gates`), so a caller
+    /// that threads one handle through the engine can derive a
+    /// statistical confidence for the run afterwards.
+    pub votes: VoteLedger,
 }
 
 impl Default for AbelianHsp {
@@ -225,6 +237,8 @@ impl Default for AbelianHsp {
             max_rounds: 0, // 0 = auto
             gates: GateCounter::new(),
             sparse_nnz_cap: SPARSE_NNZ_CAP,
+            repetitions: 1,
+            votes: VoteLedger::new(),
         }
     }
 }
@@ -233,9 +247,7 @@ impl AbelianHsp {
     pub fn new(backend: Backend) -> Self {
         AbelianHsp {
             backend,
-            max_rounds: 0,
-            gates: GateCounter::new(),
-            sparse_nnz_cap: SPARSE_NNZ_CAP,
+            ..AbelianHsp::default()
         }
     }
 
@@ -248,6 +260,19 @@ impl AbelianHsp {
     /// Override the sparse backend's nonzero-count memory budget.
     pub fn with_sparse_nnz_cap(mut self, cap: usize) -> Self {
         self.sparse_nnz_cap = cap;
+        self
+    }
+
+    /// Decide every label query by a majority of `k` ballots (see
+    /// [`AbelianHsp::repetitions`]).
+    pub fn with_repetitions(mut self, k: usize) -> Self {
+        self.repetitions = k;
+        self
+    }
+
+    /// Share a caller-owned per-run vote ledger.
+    pub fn with_votes(mut self, votes: VoteLedger) -> Self {
+        self.votes = votes;
         self
     }
 
@@ -267,7 +292,31 @@ impl AbelianHsp {
 
     /// [`AbelianHsp::solve`] with every failure mode surfaced as a typed
     /// [`SolveError`] instead of a panic.
+    ///
+    /// With `repetitions ≥ 2` the whole solve — sampling, the identity
+    /// label, and the Las Vegas verification loop — runs behind a
+    /// [`VotedOracle`], so each logical label decision casts that many
+    /// underlying ballots (all of them reflected in
+    /// [`HspResult::classical_queries`]) and its margin lands in `votes`.
     pub fn try_solve<O: HidingOracle + ?Sized>(
+        &self,
+        oracle: &O,
+        rng: &mut impl Rng,
+    ) -> Result<HspResult, SolveError> {
+        if self.repetitions > 1 {
+            let voted = VotedOracle::new(oracle, self.repetitions, self.votes.clone());
+            let mut res = self.sampling_loop(&voted, rng)?;
+            // Every logical classical decision cast exactly `repetitions`
+            // underlying ballots; report the true query cost.
+            res.classical_queries = res
+                .classical_queries
+                .saturating_mul(self.repetitions as u64);
+            return Ok(res);
+        }
+        self.sampling_loop(oracle, rng)
+    }
+
+    fn sampling_loop<O: HidingOracle + ?Sized>(
         &self,
         oracle: &O,
         rng: &mut impl Rng,

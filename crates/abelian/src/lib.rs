@@ -32,7 +32,9 @@ pub mod lattice;
 pub mod orderfind;
 pub mod snf;
 pub mod structure;
+pub mod vote;
 
 pub use hsp::{AbelianHsp, Backend, HidingOracle, SolveError, SubgroupOracle};
 pub use lattice::SubgroupLattice;
 pub use orderfind::OrderFinder;
+pub use vote::{VoteLedger, VoteSummary, VotedOracle};

@@ -1,0 +1,296 @@
+//! Majority-vote repetition over a [`HidingOracle`] and the vote ledger
+//! that statistical confidence verdicts are computed from.
+//!
+//! A noisy hiding function (see `nahsp_core::noise`) answers wrongly with
+//! some per-query probability ε. The classical defense is repetition:
+//! decide every label by a majority of `k` independent ballots. This
+//! module supplies the two pieces the engine needs for that:
+//!
+//! - [`VotedOracle`]: a transparent [`HidingOracle`] wrapper that casts
+//!   `k` ballots per [`HidingOracle::label`] call and returns the winner.
+//!   Structural assistance ([`HidingOracle::ground_truth`],
+//!   [`HidingOracle::coset_fiber`]) passes through untouched — it is
+//!   caller-claimed data, not a query, and a lying claim is still caught
+//!   by the Las Vegas verification loop.
+//! - [`VoteLedger`]: shared-handle accounting of every vote's margin
+//!   (clones share the tally, mirroring `GateCounter`), from which
+//!   [`VoteSummary::confidence`] derives a union-bound lower bound on the
+//!   probability that *every* majority decision of the run was correct.
+//!
+//! The ballots are ordinary sequential oracle queries, so a voted solve
+//! with a deterministic noisy oracle is itself deterministic.
+
+use crate::hsp::HidingOracle;
+use nahsp_groups::AbelianProduct;
+use std::sync::{Arc, Mutex};
+
+/// Per-run majority-vote accounting. Clones share the tally, so a caller
+/// that threads one handle through an engine (and its sub-solves) reads
+/// the exact per-run vote record — the same sharing discipline as the
+/// engine's `GateCounter`.
+#[derive(Clone, Debug, Default)]
+pub struct VoteLedger {
+    inner: Arc<Mutex<VoteData>>,
+}
+
+#[derive(Clone, Debug, Default)]
+struct VoteData {
+    votes: u64,
+    ballots: u64,
+    dissents: u64,
+    /// `(k, winner_count) -> votes decided at that margin`. `k` is tiny
+    /// (single digits) so a linear scan beats a map.
+    margins: Vec<(usize, usize, u64)>,
+}
+
+impl VoteLedger {
+    pub fn new() -> Self {
+        VoteLedger::default()
+    }
+
+    /// Record one majority decision: `k` ballots were cast and the winning
+    /// label received `winner` of them.
+    pub fn record(&self, k: usize, winner: usize) {
+        let winner = winner.min(k);
+        let mut d = self.inner.lock().expect("vote ledger poisoned");
+        d.votes += 1;
+        d.ballots += k as u64;
+        d.dissents += (k - winner) as u64;
+        match d
+            .margins
+            .iter_mut()
+            .find(|(kk, m, _)| *kk == k && *m == winner)
+        {
+            Some(entry) => entry.2 += 1,
+            None => d.margins.push((k, winner, 1)),
+        }
+    }
+
+    /// A point-in-time copy of the tally.
+    pub fn snapshot(&self) -> VoteSummary {
+        let d = self.inner.lock().expect("vote ledger poisoned");
+        VoteSummary {
+            votes: d.votes,
+            ballots: d.ballots,
+            dissents: d.dissents,
+            margins: d.margins.clone(),
+        }
+    }
+}
+
+/// A snapshot of a [`VoteLedger`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct VoteSummary {
+    /// Majority decisions taken.
+    pub votes: u64,
+    /// Underlying oracle queries cast as ballots.
+    pub ballots: u64,
+    /// Ballots that disagreed with their vote's winner.
+    pub dissents: u64,
+    /// `(k, winner_count, votes)` — how many votes were decided with each
+    /// observed ballot count and winning margin.
+    pub margins: Vec<(usize, usize, u64)>,
+}
+
+impl VoteSummary {
+    /// Laplace-smoothed empirical ballot-corruption rate,
+    /// `(dissents + 1) / (ballots + 2)`. Never 0 or 1, so it is safe to
+    /// use as a binomial parameter even on an all-clean run.
+    pub fn empirical_error_rate(&self) -> f64 {
+        (self.dissents as f64 + 1.0) / (self.ballots as f64 + 2.0)
+    }
+
+    /// Lower bound on the probability that every recorded vote's winner is
+    /// the true label, for ballots independently corrupted with
+    /// probability at most `eps`: a vote whose winner got `m` of `k`
+    /// ballots is wrong only if at least `m` ballots were corrupted (and
+    /// colluded), so its error is at most `P(Bin(k, eps) ≥ m)`; a union
+    /// bound sums these over every vote. Returns 0 when no votes were
+    /// recorded — with no margins there is no statistical evidence.
+    pub fn confidence(&self, eps: f64) -> f64 {
+        if self.votes == 0 {
+            return 0.0;
+        }
+        let eps = eps.clamp(0.0, 1.0);
+        let mut err = 0.0f64;
+        for &(k, m, count) in &self.margins {
+            err += count as f64 * binomial_tail(k, m, eps);
+        }
+        (1.0 - err).max(0.0)
+    }
+}
+
+/// Decide one label by a majority of `k` ballots drawn from `ballot`,
+/// recording the decision's margin in `ledger`. This is the decision rule
+/// of [`VotedOracle::label`], exposed as a free function for callers that
+/// vote over non-Abelian hiding functions (the façade's Ettinger–Høyer
+/// membership scan and post-solve verification). Ties (possible only for
+/// even `k`) break deterministically toward the first label reaching the
+/// maximal count in ballot order.
+pub fn majority_of(k: usize, ledger: &VoteLedger, mut ballot: impl FnMut() -> u64) -> u64 {
+    let k = k.max(1);
+    let mut counts: Vec<(u64, usize)> = Vec::with_capacity(2);
+    for _ in 0..k {
+        let l = ballot();
+        match counts.iter_mut().find(|(v, _)| *v == l) {
+            Some(entry) => entry.1 += 1,
+            None => counts.push((l, 1)),
+        }
+    }
+    let (mut winner, mut m) = counts[0];
+    for &(v, c) in &counts[1..] {
+        if c > m {
+            winner = v;
+            m = c;
+        }
+    }
+    ledger.record(k, m);
+    winner
+}
+
+/// `P(Bin(k, p) ≥ m)`, evaluated directly (k is single digits here).
+fn binomial_tail(k: usize, m: usize, p: f64) -> f64 {
+    if m == 0 {
+        return 1.0;
+    }
+    if p <= 0.0 {
+        return 0.0;
+    }
+    let mut tail = 0.0f64;
+    for j in m..=k {
+        let mut term = 1.0f64;
+        // C(k, j) built incrementally to stay in f64 range.
+        for i in 0..j {
+            term *= (k - i) as f64 / (i + 1) as f64;
+        }
+        term *= p.powi(j as i32) * (1.0 - p).powi((k - j) as i32);
+        tail += term;
+    }
+    tail.min(1.0)
+}
+
+/// A [`HidingOracle`] whose every label query is decided by a majority of
+/// `k` independent ballots cast against the wrapped oracle, with each
+/// decision's margin recorded in a [`VoteLedger`].
+///
+/// Ties (possible only for even `k`) break deterministically toward the
+/// first label reaching the maximal count in ballot order.
+pub struct VotedOracle<'a, O: HidingOracle + ?Sized> {
+    inner: &'a O,
+    k: usize,
+    ledger: VoteLedger,
+}
+
+impl<'a, O: HidingOracle + ?Sized> VotedOracle<'a, O> {
+    pub fn new(inner: &'a O, k: usize, ledger: VoteLedger) -> Self {
+        VotedOracle {
+            inner,
+            k: k.max(1),
+            ledger,
+        }
+    }
+}
+
+impl<O: HidingOracle + ?Sized> HidingOracle for VotedOracle<'_, O> {
+    fn ambient(&self) -> &AbelianProduct {
+        self.inner.ambient()
+    }
+
+    fn label(&self, x: &[u64]) -> u64 {
+        majority_of(self.k, &self.ledger, || self.inner.label(x))
+    }
+
+    fn ground_truth(&self) -> Option<Vec<Vec<u64>>> {
+        self.inner.ground_truth()
+    }
+
+    fn coset_fiber(&self, x0: &[u64], max_len: usize) -> Option<Vec<Vec<u64>>> {
+        self.inner.coset_fiber(x0, max_len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hsp::SubgroupOracle;
+    use nahsp_groups::AbelianProduct;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn voted_oracle_outvotes_a_minority_of_bad_ballots() {
+        // An oracle that answers wrongly on every third query.
+        struct Flaky {
+            ambient: AbelianProduct,
+            calls: AtomicU64,
+        }
+        impl HidingOracle for Flaky {
+            fn ambient(&self) -> &AbelianProduct {
+                &self.ambient
+            }
+            fn label(&self, x: &[u64]) -> u64 {
+                let n = self.calls.fetch_add(1, Ordering::Relaxed);
+                if n % 3 == 2 {
+                    0xDEAD_0000 + n // fresh garbage each time
+                } else {
+                    x[0] % 2
+                }
+            }
+        }
+        let flaky = Flaky {
+            ambient: AbelianProduct::new(vec![4]),
+            calls: AtomicU64::new(0),
+        };
+        let ledger = VoteLedger::new();
+        let voted = VotedOracle::new(&flaky, 5, ledger.clone());
+        for x in 0..4u64 {
+            assert_eq!(voted.label(&[x]), x % 2, "majority must recover x={x}");
+        }
+        let s = ledger.snapshot();
+        assert_eq!(s.votes, 4);
+        assert_eq!(s.ballots, 20);
+        assert!(
+            s.dissents > 0,
+            "the flaky ballots must register as dissents"
+        );
+    }
+
+    #[test]
+    fn ledger_margins_and_confidence_are_consistent() {
+        let ledger = VoteLedger::new();
+        for _ in 0..10 {
+            ledger.record(5, 5); // unanimous
+        }
+        ledger.record(5, 4);
+        let s = ledger.snapshot();
+        assert_eq!(s.votes, 11);
+        assert_eq!(s.ballots, 55);
+        assert_eq!(s.dissents, 1);
+        // err <= 10 * eps^5 + P(Bin(5, eps) >= 4) at eps = 0.05.
+        let c = s.confidence(0.05);
+        assert!(c > 0.999, "got {c}");
+        // Clean stream at eps = 0 is certain; no votes means no evidence.
+        assert_eq!(s.confidence(0.0), 1.0);
+        assert_eq!(VoteSummary::default().confidence(0.05), 0.0);
+    }
+
+    #[test]
+    fn binomial_tail_matches_hand_values() {
+        assert!((binomial_tail(5, 5, 0.5) - 0.03125).abs() < 1e-12);
+        assert!((binomial_tail(5, 0, 0.3) - 1.0).abs() < 1e-12);
+        assert!((binomial_tail(3, 2, 0.1) - (3.0 * 0.01 * 0.9 + 0.001)).abs() < 1e-12);
+        assert_eq!(binomial_tail(7, 4, 0.0), 0.0);
+    }
+
+    #[test]
+    fn voting_passes_structural_assistance_through() {
+        let a = AbelianProduct::new(vec![2; 4]);
+        let oracle = SubgroupOracle::new(a, &[vec![1, 1, 0, 0]]);
+        let voted = VotedOracle::new(&oracle, 3, VoteLedger::new());
+        assert_eq!(voted.ground_truth(), oracle.ground_truth());
+        assert_eq!(
+            voted.coset_fiber(&[0, 0, 0, 0], 16),
+            oracle.coset_fiber(&[0, 0, 0, 0], 16)
+        );
+        assert_eq!(voted.ambient().moduli, oracle.ambient().moduli);
+    }
+}

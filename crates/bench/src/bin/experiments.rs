@@ -18,6 +18,7 @@ use nahsp_bench::*;
 use nahsp_core::baseline::{birthday_collision, ettinger_hoyer_dihedral, try_exhaustive_scan};
 use nahsp_core::lemma9::{solve_state_hsp, Lemma9Backend, PerturbedOracle};
 use nahsp_core::membership::abelian_membership;
+use nahsp_core::noise::{NoiseConfig, NoisyOracle};
 use nahsp_core::oracle::CosetTableOracle;
 use nahsp_core::solver::{HspInstance, HspSolver, Strategy, StrategyDetail};
 use nahsp_core::watrous::{quotient_order, CosetStates};
@@ -230,6 +231,44 @@ fn bench_solver_json(smoke: bool) {
             format!("Z2^{k}, |H| = 2^{}", k / 2),
             reps,
         ));
+    }
+
+    // Noisy robust solving: the Abelian product instance again, but behind
+    // a `NoisyOracle` flipping every classical label with probability 5%.
+    // The solver declares the noise, so labels are answered by 5-fold
+    // majority voting — the query median prices the robustness overhead
+    // against the clean Abelian row above.
+    {
+        let k = if smoke { 8 } else { 12 };
+        let g = AbelianProduct::new(vec![2u64; k]);
+        let mut h = vec![0u64; k];
+        h[0] = 1;
+        h[k - 1] = 1;
+        let oracle = CosetTableOracle::new(g.clone(), &[h.clone()], 1 << (k + 1));
+        let cfg = NoiseConfig::new().flip(0.05).seed(40);
+        let instance =
+            HspInstance::new(g, NoisyOracle::new(oracle, cfg)).with_ground_truth(vec![h]);
+        let mut walls = Vec::with_capacity(reps);
+        let mut queries = Vec::with_capacity(reps);
+        let mut gates = Vec::with_capacity(reps);
+        for rep in 0..reps {
+            let solver = HspSolver::builder()
+                .strategy(Strategy::Abelian)
+                .noise(cfg)
+                .seed(1000 + rep as u64)
+                .build();
+            let report = solver.solve(&instance).expect("bench-solver noisy solve");
+            walls.push(report.wall.as_secs_f64() * 1e6);
+            queries.push(report.queries.oracle);
+            gates.push(report.queries.gates);
+        }
+        rows.push(StrategyFigures {
+            strategy: "Noisy",
+            instance: format!("Z2^{k}, eps = 0.05, 5-vote majority"),
+            wall_us: median_f64(walls),
+            oracle_queries: median_u64(queries),
+            gates: median_u64(gates),
+        });
     }
 
     // NormalSubgroup (Thm 8, Schreier–Sims fast path): A_n inside S_n.

@@ -109,6 +109,13 @@ pub enum HspError {
     },
     /// The service has been stopped; it no longer accepts submissions.
     ServiceStopped,
+    /// A noisy oracle raised a transient fault on its fallible query
+    /// surface (see [`crate::noise::OracleFault`]). The query was consumed
+    /// but answered nothing; the caller may retry.
+    OracleFault {
+        /// Index of the failed query in the wrapper's noise stream.
+        query_index: u64,
+    },
     /// Post-solve verification rejected the recovered subgroup.
     VerificationFailed {
         /// What the check observed.
@@ -172,6 +179,10 @@ impl std::fmt::Display for HspError {
                 "service overloaded: {in_flight} tickets in flight at capacity {capacity}"
             ),
             HspError::ServiceStopped => write!(f, "service stopped; submissions are closed"),
+            HspError::OracleFault { query_index } => write!(
+                f,
+                "transient oracle fault at noise-stream index {query_index} (retry the query)"
+            ),
             HspError::VerificationFailed { context } => {
                 write!(f, "verification failed: {context}")
             }
@@ -183,6 +194,14 @@ impl std::fmt::Display for HspError {
 }
 
 impl std::error::Error for HspError {}
+
+impl From<crate::noise::OracleFault> for HspError {
+    fn from(e: crate::noise::OracleFault) -> Self {
+        HspError::OracleFault {
+            query_index: e.query_index,
+        }
+    }
+}
 
 impl From<SolveError> for HspError {
     fn from(e: SolveError) -> Self {

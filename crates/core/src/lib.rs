@@ -37,6 +37,7 @@ pub mod ea2;
 pub mod error;
 pub mod lemma9;
 pub mod membership;
+pub mod noise;
 pub mod normal_hsp;
 pub mod oracle;
 pub mod presentation;
@@ -47,7 +48,10 @@ pub mod solver;
 pub mod watrous;
 
 pub use error::HspError;
+pub use noise::{NoiseConfig, NoisyOracle, OracleFault};
 pub use oracle::{CosetTableOracle, HidingFunction, PermCosetOracle};
 pub use quotient::HiddenQuotient;
-pub use service::{SolverService, SolverServiceBuilder, SubmitOptions, Ticket, TicketStatus};
+pub use service::{
+    ServiceStatsSnapshot, SolverService, SolverServiceBuilder, SubmitOptions, Ticket, TicketStatus,
+};
 pub use solver::{HspInstance, HspReport, HspSolver, Strategy};

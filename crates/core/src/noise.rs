@@ -1,0 +1,482 @@
+//! Configurable oracle faults: label flips, transient failures, and bursts.
+//!
+//! Every solver in this crate assumes the hiding function answers
+//! perfectly; a serving system cannot. This module supplies the fault
+//! model: [`NoiseConfig`] describes *how* an oracle misbehaves and
+//! [`NoisyOracle`] wraps any oracle — both the façade's
+//! [`HidingFunction`] implementations and the Abelian engine's
+//! [`HidingOracle`](nahsp_abelian::hsp::HidingOracle) — with exactly that
+//! misbehavior. Labels are corrupted at the oracle boundary, so every
+//! backend (dense, sparse, stabilizer, classical baselines) sees the same
+//! noise without knowing about it.
+//!
+//! Three failure modes, all off by default:
+//!
+//! - **Label flips** ([`NoiseConfig::flip`]): with probability ε a query
+//!   answers a fresh garbage label (a spurious "distinct coset") instead
+//!   of the true one. Repeating the query re-rolls the corruption, which
+//!   is what makes majority-vote repetition (the solver's `.repetitions`
+//!   knob) effective.
+//! - **Transient faults** ([`NoiseConfig::faults`]): with probability φ a
+//!   query fails outright. The fallible surface ([`NoisyOracle::try_eval`]
+//!   / [`NoisyOracle::try_label`]) reports the typed [`OracleFault`]; the
+//!   infallible trait surface retries (each retry is a counted underlying
+//!   query) and, after [`FAULT_RETRY_CAP`] consecutive faults, degrades to
+//!   a garbage label — fail-noisy, surfaced downstream as an inconsistent
+//!   oracle, never a panic.
+//! - **Bursts** ([`NoiseConfig::burst`]): corruption arrives in runs of
+//!   `len` consecutive queries (triggered at rate ε/len, so the marginal
+//!   corruption rate stays ≈ ε), modeling correlated failures.
+//!
+//! All randomness comes from a private SplitMix64 stream indexed by a
+//! per-query counter, so a sequentially-queried noisy oracle is
+//! byte-reproducible from [`NoiseConfig::seed`]: two identically
+//! constructed and identically queried wrappers corrupt identically.
+//!
+//! Declaring the same config on the solver (`HspSolverBuilder::noise`)
+//! turns on majority-vote robust solving and statistical verdicts:
+//!
+//! ```
+//! use nahsp_core::noise::{NoiseConfig, NoisyOracle};
+//! use nahsp_core::oracle::CosetTableOracle;
+//! use nahsp_core::solver::{HspInstance, HspSolver, Verdict};
+//! use nahsp_groups::AbelianProduct;
+//!
+//! let g = AbelianProduct::new(vec![2; 6]);
+//! let h = vec![vec![1u64, 0, 0, 0, 0, 1]];
+//! let noise = NoiseConfig::new().flip(0.05).seed(7);
+//! let oracle = NoisyOracle::new(
+//!     CosetTableOracle::new(g.clone(), &h, 1 << 8),
+//!     noise,
+//! );
+//! let instance = HspInstance::new(g, oracle).with_ground_truth(h);
+//! let report = HspSolver::builder()
+//!     .noise(noise) // declare the noise -> vote every label query
+//!     .seed(3)
+//!     .build()
+//!     .solve(&instance)
+//!     .unwrap();
+//! assert_eq!(report.order, Some(2));
+//! match report.verdict {
+//!     Verdict::VerifiedStatistical { confidence } => assert!(confidence > 0.9),
+//!     v => panic!("expected a statistical verdict, got {v:?}"),
+//! }
+//! ```
+
+use crate::oracle::HidingFunction;
+use nahsp_abelian::hsp::HidingOracle as AbelianHidingOracle;
+use nahsp_groups::{AbelianProduct, Group};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// Consecutive transient faults the infallible trait surface retries
+/// before degrading the query to a garbage label (probability
+/// `φ^(FAULT_RETRY_CAP + 1)` per query).
+pub const FAULT_RETRY_CAP: u32 = 8;
+
+/// Description of how a wrapped oracle misbehaves. Plain copyable data;
+/// the same value configures both the wrapper ([`NoisyOracle::new`]) and
+/// the solver's robust mode (`HspSolverBuilder::noise`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NoiseConfig {
+    /// Per-query probability ε that the answered label is garbage.
+    pub label_flip_prob: f64,
+    /// Per-query probability φ of a transient failure ([`OracleFault`]).
+    pub fault_prob: f64,
+    /// Corruption burst length (1 = independent per-query corruption).
+    pub burst_len: u32,
+    /// Seed of the wrapper's private SplitMix64 decision stream.
+    pub seed: u64,
+}
+
+impl Default for NoiseConfig {
+    fn default() -> Self {
+        NoiseConfig {
+            label_flip_prob: 0.0,
+            fault_prob: 0.0,
+            burst_len: 1,
+            seed: 0,
+        }
+    }
+}
+
+impl NoiseConfig {
+    /// A clean configuration (ε = φ = 0): the wrapper is transparent.
+    pub fn new() -> Self {
+        NoiseConfig::default()
+    }
+
+    /// Set the per-query label-flip probability ε (clamped to `[0, 1]`).
+    pub fn flip(mut self, eps: f64) -> Self {
+        self.label_flip_prob = eps.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Set the per-query transient-failure probability φ (clamped to
+    /// `[0, 1]`).
+    pub fn faults(mut self, prob: f64) -> Self {
+        self.fault_prob = prob.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Corrupt in bursts of `len` consecutive queries instead of
+    /// independently (triggered at rate ε/len so the marginal corruption
+    /// rate stays ≈ ε). `len ≤ 1` restores independent corruption.
+    pub fn burst(mut self, len: u32) -> Self {
+        self.burst_len = len.max(1);
+        self
+    }
+
+    /// Seed the deterministic decision stream.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Whether this configuration can corrupt anything at all. A clean
+    /// config short-circuits the wrapper entirely — no counter bump, no
+    /// stream draw — so an ε = 0 wrapper is byte-transparent.
+    pub fn is_noisy(&self) -> bool {
+        self.label_flip_prob > 0.0 || self.fault_prob > 0.0
+    }
+}
+
+/// Typed transient oracle failure, raised by the fallible query surface
+/// ([`NoisyOracle::try_eval`] / [`NoisyOracle::try_label`]). The query
+/// was consumed (and counted) but produced no answer; retrying draws the
+/// next decision from the stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OracleFault {
+    /// Index of the failed query in the wrapper's decision stream.
+    pub query_index: u64,
+}
+
+impl std::fmt::Display for OracleFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "transient oracle fault at noise-stream index {} (retry the query)",
+            self.query_index
+        )
+    }
+}
+
+impl std::error::Error for OracleFault {}
+
+/// SplitMix64 of `seed + index` — one well-mixed 64-bit draw per query.
+fn splitmix64(seed: u64, index: u64) -> u64 {
+    let mut z = seed.wrapping_add((index.wrapping_add(1)).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Map 32 random bits to a uniform draw in `[0, 1)`.
+fn unit(bits: u32) -> f64 {
+    bits as f64 / (1u64 << 32) as f64
+}
+
+/// A hiding oracle that misbehaves exactly as its [`NoiseConfig`] says.
+///
+/// Implements both oracle traits of the workspace — [`HidingFunction`]
+/// when the wrapped oracle does, and the Abelian engine's
+/// [`HidingOracle`](nahsp_abelian::hsp::HidingOracle) likewise — so one
+/// wrapper composes with every backend and strategy. Only *labels* are
+/// corrupted; query counting delegates to the wrapped oracle (a clean
+/// pass-through adds zero queries), and structural assistance
+/// (`ground_truth` / `coset_fiber`) passes through untouched, because it
+/// is caller-claimed data rather than a query.
+///
+/// The identity label is cached in a `OnceLock` exactly like the concrete
+/// oracles in [`crate::oracle`]: the first `identity_label` call pays
+/// (and counts, and *noises*) one query, every later call returns the
+/// same value — so the one counted identity query can never be corrupted
+/// inconsistently across rounds within a solve.
+pub struct NoisyOracle<O> {
+    inner: O,
+    config: NoiseConfig,
+    counter: AtomicU64,
+    burst_left: AtomicU64,
+    corrupted: AtomicU64,
+    faults: AtomicU64,
+    id_label: OnceLock<u64>,
+}
+
+impl<O> NoisyOracle<O> {
+    pub fn new(inner: O, config: NoiseConfig) -> Self {
+        NoisyOracle {
+            inner,
+            config,
+            counter: AtomicU64::new(0),
+            burst_left: AtomicU64::new(0),
+            corrupted: AtomicU64::new(0),
+            faults: AtomicU64::new(0),
+            id_label: OnceLock::new(),
+        }
+    }
+
+    /// The wrapped oracle.
+    pub fn inner(&self) -> &O {
+        &self.inner
+    }
+
+    /// Unwrap.
+    pub fn into_inner(self) -> O {
+        self.inner
+    }
+
+    pub fn config(&self) -> &NoiseConfig {
+        &self.config
+    }
+
+    /// Labels answered as garbage so far (telemetry for tests/benches).
+    pub fn corrupted_labels(&self) -> u64 {
+        self.corrupted.load(Ordering::Relaxed)
+    }
+
+    /// Transient faults raised so far (including retried ones).
+    pub fn faults_raised(&self) -> u64 {
+        self.faults.load(Ordering::Relaxed)
+    }
+
+    /// A fresh garbage label for stream index `i`: high bit set (interned
+    /// real labels are small integers, so collisions are practically
+    /// impossible) and distinct per index, so two corruptions of the same
+    /// element disagree with each other too — a spurious new coset each
+    /// time, the worst case for a reconstruction algorithm.
+    fn garbage(&self, i: u64) -> u64 {
+        splitmix64(self.config.seed ^ 0xD1B5_4A32_D192_ED03, i) | (1 << 63)
+    }
+
+    /// One noisy attempt around one underlying query. The underlying
+    /// oracle is always invoked (a faulted query is consumed and counted,
+    /// it just answers nothing), then the stream decides fault / flip.
+    fn attempt(&self, value: &dyn Fn() -> u64) -> Result<u64, OracleFault> {
+        let i = self.counter.fetch_add(1, Ordering::Relaxed);
+        let r = splitmix64(self.config.seed, i);
+        let v = value();
+        if unit((r >> 32) as u32) < self.config.fault_prob {
+            self.faults.fetch_add(1, Ordering::Relaxed);
+            return Err(OracleFault { query_index: i });
+        }
+        let flip = if self.config.burst_len > 1 {
+            // Inside a burst every query corrupts; otherwise a fresh
+            // burst starts at rate eps / burst_len.
+            let in_burst = self
+                .burst_left
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |b| b.checked_sub(1))
+                .is_ok();
+            if in_burst {
+                true
+            } else {
+                let rate = self.config.label_flip_prob / self.config.burst_len as f64;
+                let starts = unit((r & 0xFFFF_FFFF) as u32) < rate;
+                if starts {
+                    self.burst_left
+                        .store(self.config.burst_len as u64 - 1, Ordering::Relaxed);
+                }
+                starts
+            }
+        } else {
+            unit((r & 0xFFFF_FFFF) as u32) < self.config.label_flip_prob
+        };
+        if flip {
+            self.corrupted.fetch_add(1, Ordering::Relaxed);
+            return Ok(self.garbage(i));
+        }
+        Ok(v)
+    }
+
+    /// The infallible surface: retry transient faults up to
+    /// [`FAULT_RETRY_CAP`] times, then degrade to a garbage label.
+    fn robust(&self, value: &dyn Fn() -> u64) -> u64 {
+        let mut last_index = 0;
+        for _ in 0..=FAULT_RETRY_CAP {
+            match self.attempt(value) {
+                Ok(v) => return v,
+                Err(fault) => last_index = fault.query_index,
+            }
+        }
+        self.corrupted.fetch_add(1, Ordering::Relaxed);
+        self.garbage(last_index)
+    }
+
+    /// Fallible evaluation through the façade-oracle trait: one underlying
+    /// query, surfacing a transient failure as the typed [`OracleFault`]
+    /// instead of retrying.
+    pub fn try_eval<G: Group>(&self, g: &G::Elem) -> Result<u64, OracleFault>
+    where
+        O: HidingFunction<G>,
+    {
+        if !self.config.is_noisy() {
+            return Ok(self.inner.eval(g));
+        }
+        self.attempt(&|| self.inner.eval(g))
+    }
+
+    /// Fallible evaluation through the Abelian engine's oracle trait.
+    pub fn try_label(&self, x: &[u64]) -> Result<u64, OracleFault>
+    where
+        O: AbelianHidingOracle,
+    {
+        if !self.config.is_noisy() {
+            return Ok(self.inner.label(x));
+        }
+        self.attempt(&|| self.inner.label(x))
+    }
+}
+
+impl<G: Group, O: HidingFunction<G>> HidingFunction<G> for NoisyOracle<O> {
+    fn eval(&self, g: &G::Elem) -> u64 {
+        if !self.config.is_noisy() {
+            return self.inner.eval(g);
+        }
+        self.robust(&|| self.inner.eval(g))
+    }
+
+    fn queries(&self) -> u64 {
+        self.inner.queries()
+    }
+
+    fn identity_label(&self, group: &G) -> u64 {
+        *self.id_label.get_or_init(|| self.eval(&group.identity()))
+    }
+}
+
+impl<O: AbelianHidingOracle> AbelianHidingOracle for NoisyOracle<O> {
+    fn ambient(&self) -> &AbelianProduct {
+        self.inner.ambient()
+    }
+
+    fn label(&self, x: &[u64]) -> u64 {
+        if !self.config.is_noisy() {
+            return self.inner.label(x);
+        }
+        self.robust(&|| self.inner.label(x))
+    }
+
+    fn ground_truth(&self) -> Option<Vec<Vec<u64>>> {
+        self.inner.ground_truth()
+    }
+
+    fn coset_fiber(&self, x0: &[u64], max_len: usize) -> Option<Vec<Vec<u64>>> {
+        self.inner.coset_fiber(x0, max_len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::CosetTableOracle;
+    use nahsp_groups::CyclicGroup;
+
+    fn oracle_z12() -> CosetTableOracle<CyclicGroup> {
+        CosetTableOracle::new(CyclicGroup::new(12), &[4u64], 100)
+    }
+
+    #[test]
+    fn clean_wrapper_is_byte_transparent() {
+        let plain = oracle_z12();
+        let wrapped = NoisyOracle::new(oracle_z12(), NoiseConfig::new());
+        for x in 0..12u64 {
+            assert_eq!(plain.eval(&x), wrapped.eval(&x));
+        }
+        assert_eq!(plain.queries(), wrapped.queries());
+        assert_eq!(wrapped.corrupted_labels(), 0);
+        assert_eq!(wrapped.faults_raised(), 0);
+    }
+
+    #[test]
+    fn flips_are_deterministic_from_the_seed_and_rerolled_per_query() {
+        let a = NoisyOracle::new(oracle_z12(), NoiseConfig::new().flip(0.3).seed(11));
+        let b = NoisyOracle::new(oracle_z12(), NoiseConfig::new().flip(0.3).seed(11));
+        let seq_a: Vec<u64> = (0..200).map(|x| a.eval(&(x % 12))).collect();
+        let seq_b: Vec<u64> = (0..200).map(|x| b.eval(&(x % 12))).collect();
+        assert_eq!(seq_a, seq_b, "same seed, same query order => same stream");
+        assert!(a.corrupted_labels() > 0, "eps = 0.3 over 200 queries");
+        // Corrupted answers are distinct garbage, not a sticky wrong label:
+        // querying the same element repeatedly must not repeat garbage.
+        let garbage: Vec<u64> = seq_a.iter().copied().filter(|l| l >> 63 == 1).collect();
+        let unique: std::collections::HashSet<u64> = garbage.iter().copied().collect();
+        assert_eq!(garbage.len(), unique.len());
+        // A different seed corrupts differently.
+        let c = NoisyOracle::new(oracle_z12(), NoiseConfig::new().flip(0.3).seed(12));
+        let seq_c: Vec<u64> = (0..200).map(|x| c.eval(&(x % 12))).collect();
+        assert_ne!(seq_a, seq_c);
+    }
+
+    #[test]
+    fn try_eval_surfaces_typed_faults_and_counts_the_query() {
+        let o = NoisyOracle::new(oracle_z12(), NoiseConfig::new().faults(1.0).seed(5));
+        let before = o.queries();
+        let err = o.try_eval::<CyclicGroup>(&3u64).unwrap_err();
+        assert_eq!(o.queries(), before + 1, "a faulted query is still counted");
+        assert_eq!(err, OracleFault { query_index: 0 });
+        assert!(err.to_string().contains("transient oracle fault"));
+        // The infallible surface retries then degrades to garbage.
+        let l = HidingFunction::<CyclicGroup>::eval(&o, &3u64);
+        assert_eq!(l >> 63, 1, "fault-cap exhaustion degrades to garbage");
+        assert_eq!(
+            o.queries(),
+            before + 2 + FAULT_RETRY_CAP as u64,
+            "every retry is a counted underlying query"
+        );
+    }
+
+    #[test]
+    fn transient_faults_retry_through_on_the_infallible_surface() {
+        // phi = 0.5: a run of 9 consecutive faults is rare, so most evals
+        // come back as real labels despite heavy faulting.
+        let o = NoisyOracle::new(oracle_z12(), NoiseConfig::new().faults(0.5).seed(9));
+        let truth = oracle_z12();
+        let mut clean = 0;
+        for x in 0..12u64 {
+            if HidingFunction::<CyclicGroup>::eval(&o, &x) == truth.eval(&x) {
+                clean += 1;
+            }
+        }
+        assert!(clean >= 10, "got {clean}/12 clean labels");
+        assert!(o.faults_raised() > 0);
+    }
+
+    #[test]
+    fn burst_mode_corrupts_consecutive_queries() {
+        let cfg = NoiseConfig::new().flip(0.2).burst(4).seed(3);
+        let o = NoisyOracle::new(oracle_z12(), cfg);
+        let labels: Vec<u64> = (0..400).map(|x| o.eval(&(x % 12))).collect();
+        let corrupt: Vec<bool> = labels.iter().map(|l| l >> 63 == 1).collect();
+        let total = corrupt.iter().filter(|&&c| c).count();
+        assert!(total > 0, "eps = 0.2 over 400 queries must corrupt");
+        // Every corruption run has length >= burst_len except possibly the
+        // final (truncated) one.
+        let mut runs = Vec::new();
+        let mut len = 0usize;
+        for &c in &corrupt {
+            if c {
+                len += 1;
+            } else if len > 0 {
+                runs.push(len);
+                len = 0;
+            }
+        }
+        assert!(!runs.is_empty());
+        assert!(
+            runs.iter().all(|&r| r % 4 == 0),
+            "bursts of 4 (back-to-back bursts merge): {runs:?}"
+        );
+    }
+
+    #[test]
+    fn identity_label_is_cached_even_under_total_corruption() {
+        let g = CyclicGroup::new(12);
+        // eps = 1: every fresh query is distinct garbage, so only the
+        // OnceLock cache can keep the identity label self-consistent.
+        let o = NoisyOracle::new(oracle_z12(), NoiseConfig::new().flip(1.0).seed(2));
+        let q0 = o.queries();
+        let a = o.identity_label(&g);
+        assert_eq!(o.queries(), q0 + 1, "first call pays exactly one query");
+        let b = o.identity_label(&g);
+        assert_eq!(o.queries(), q0 + 1, "repeat calls are free");
+        assert_eq!(a, b, "cached identity label never flips mid-solve");
+    }
+}

@@ -53,6 +53,7 @@
 //!   admitted submission is never silently lost.
 
 use crate::error::HspError;
+use crate::noise::NoiseConfig;
 use crate::oracle::HidingFunction;
 use crate::solver::{HspInstance, HspReport, HspSolver, Strategy};
 use nahsp_abelian::Backend;
@@ -116,6 +117,9 @@ impl SolverServiceBuilder {
                 queue_capacity: self.queue_capacity,
                 stats: Arc::new(ServiceStats {
                     in_flight: AtomicUsize::new(0),
+                    submitted: AtomicU64::new(0),
+                    completed: AtomicU64::new(0),
+                    latency_hist: std::array::from_fn(|_| AtomicU64::new(0)),
                     drain_lock: Mutex::new(()),
                     drain_cv: Condvar::new(),
                 }),
@@ -132,8 +136,84 @@ impl SolverServiceBuilder {
 /// which would then try to join itself.
 struct ServiceStats {
     in_flight: AtomicUsize,
+    /// Tickets ever admitted.
+    submitted: AtomicU64,
+    /// Tickets whose job has published a result (ok or error).
+    completed: AtomicU64,
+    /// Fixed log2-bucket latency histogram: bucket `b` counts completions
+    /// whose submission-to-completion latency was in `[2^b, 2^(b+1))`
+    /// nanoseconds (bucket 63 covers everything from `2^63` up).
+    /// Fixed-size atomics — recording a completion allocates nothing.
+    latency_hist: [AtomicU64; 64],
     drain_lock: Mutex<()>,
     drain_cv: Condvar,
+}
+
+impl ServiceStats {
+    fn record_latency(&self, nanos: u64) {
+        // nanos >= 1 (the job clamps), so bit_length - 1 is in 0..=63.
+        let bucket = 63 - nanos.leading_zeros() as usize;
+        self.latency_hist[bucket].fetch_add(1, Ordering::Relaxed);
+        self.completed.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time copy of a [`SolverService`]'s counters and latency
+/// histogram, from [`SolverService::stats`].
+#[derive(Clone, Debug)]
+pub struct ServiceStatsSnapshot {
+    /// Tickets ever admitted.
+    pub submitted: u64,
+    /// Tickets whose result has been published (taken or not).
+    pub completed: u64,
+    /// Tickets in flight (queued + running) at snapshot time.
+    pub in_flight: usize,
+    /// Submission-to-completion latency histogram: `latency_buckets[b]`
+    /// counts completions in `[2^b, 2^(b+1))` nanoseconds (`b = 63`
+    /// absorbs the top).
+    pub latency_buckets: [u64; 64],
+}
+
+impl ServiceStatsSnapshot {
+    /// The `p`-th percentile (0 < p ≤ 100) of completion latency, as the
+    /// upper bound of the histogram bucket the rank falls in. `None` when
+    /// nothing has completed yet or `p` is out of range. Bucket resolution
+    /// is a factor of 2 — right for dashboards and regressions, not for
+    /// microbenchmarks.
+    pub fn latency_percentile(&self, p: f64) -> Option<Duration> {
+        if !(0.0..=100.0).contains(&p) || p == 0.0 {
+            return None;
+        }
+        let total: u64 = self.latency_buckets.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let rank = ((p / 100.0) * total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (b, &count) in self.latency_buckets.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                let upper = if b >= 63 { u64::MAX } else { 1u64 << (b + 1) };
+                return Some(Duration::from_nanos(upper));
+            }
+        }
+        None
+    }
+
+    /// Median completion latency (bucket upper bound).
+    pub fn latency_p50(&self) -> Option<Duration> {
+        self.latency_percentile(50.0)
+    }
+
+    /// 95th-percentile completion latency (bucket upper bound).
+    pub fn latency_p95(&self) -> Option<Duration> {
+        self.latency_percentile(95.0)
+    }
+
+    /// 99th-percentile completion latency (bucket upper bound).
+    pub fn latency_p99(&self) -> Option<Duration> {
+        self.latency_percentile(99.0)
+    }
 }
 
 struct ServiceCore {
@@ -163,6 +243,8 @@ pub struct SubmitOptions {
     query_budget: Option<u64>,
     gate_budget: Option<u64>,
     sparse_nnz_cap: Option<usize>,
+    noise: Option<NoiseConfig>,
+    repetitions: Option<usize>,
 }
 
 impl SubmitOptions {
@@ -208,6 +290,21 @@ impl SubmitOptions {
     /// flow from the request, not the process configuration.
     pub fn sparse_nnz_cap(mut self, cap: usize) -> Self {
         self.sparse_nnz_cap = Some(cap);
+        self
+    }
+
+    /// Declare this ticket's oracle noise model, switching its solve into
+    /// robust majority-vote mode (see
+    /// [`crate::solver::HspSolverBuilder::noise`]).
+    pub fn noise(mut self, config: NoiseConfig) -> Self {
+        self.noise = Some(config);
+        self
+    }
+
+    /// Ballots per majority-voted label decision for this ticket (see
+    /// [`crate::solver::HspSolverBuilder::repetitions`]).
+    pub fn repetitions(mut self, k: usize) -> Self {
+        self.repetitions = Some(k);
         self
     }
 }
@@ -414,6 +511,22 @@ impl SolverService {
         self.inner.stats.in_flight.load(Ordering::SeqCst)
     }
 
+    /// A point-in-time copy of the service's counters and its
+    /// submission-to-completion latency histogram. Reading the snapshot
+    /// takes no locks; concurrent completions may be counted in
+    /// `completed` slightly before their histogram bucket (or vice versa),
+    /// so totals are exact only once the service is quiescent
+    /// ([`SolverService::join`]).
+    pub fn stats(&self) -> ServiceStatsSnapshot {
+        let stats = &self.inner.stats;
+        ServiceStatsSnapshot {
+            submitted: stats.submitted.load(Ordering::Relaxed),
+            completed: stats.completed.load(Ordering::Relaxed),
+            in_flight: stats.in_flight.load(Ordering::SeqCst),
+            latency_buckets: std::array::from_fn(|b| stats.latency_hist[b].load(Ordering::Relaxed)),
+        }
+    }
+
     /// Claim an admission slot or fail with the typed rejection.
     fn try_admit(&self) -> Result<(), HspError> {
         if self.inner.stopped.load(Ordering::SeqCst) {
@@ -466,6 +579,7 @@ impl SolverService {
         F: HidingFunction<G> + Send + Sync + 'static,
     {
         self.try_admit()?;
+        self.inner.stats.submitted.fetch_add(1, Ordering::Relaxed);
         let seq = self.inner.next_seq.fetch_add(1, Ordering::SeqCst);
         let seed = opts
             .seed
@@ -476,6 +590,8 @@ impl SolverService {
             opts.query_budget,
             opts.gate_budget,
             opts.sparse_nnz_cap,
+            opts.noise,
+            opts.repetitions,
         );
         let state = Arc::new(TicketState {
             cancel: AtomicBool::new(false),
@@ -490,7 +606,7 @@ impl SolverService {
         };
         let enqueued = Instant::now();
         self.inner.pool.spawn(move || {
-            let _guard = guard;
+            let guard = guard;
             *job_state.slot.lock().expect("ticket slot poisoned") = Slot::Running;
             let result = if job_state.cancel.load(Ordering::Relaxed) {
                 Err(HspError::Cancelled)
@@ -501,8 +617,9 @@ impl SolverService {
             // is distinguishable from "not finished".
             let nanos = enqueued.elapsed().as_nanos().clamp(1, u64::MAX as u128) as u64;
             job_state.latency_nanos.store(nanos, Ordering::Relaxed);
+            guard.stats.record_latency(nanos);
             *job_state.slot.lock().expect("ticket slot poisoned") = Slot::Done(result);
-            // _guard drops here: wakes waiters, releases the admission slot.
+            // guard drops here: wakes waiters, releases the admission slot.
         });
         Ok(Ticket { seq, seed, state })
     }
@@ -719,6 +836,73 @@ mod tests {
             let (s, b) = (s.as_ref().unwrap(), b.as_ref().unwrap());
             assert!(s.same_outcome(b), "stream item {i} diverged from batch");
         }
+    }
+
+    #[test]
+    fn stats_count_submissions_and_order_percentiles() {
+        let service = SolverService::builder().workers(2).build();
+        assert!(
+            service.stats().latency_p50().is_none(),
+            "no completions yet"
+        );
+        let tickets: Vec<_> = (0..24)
+            .map(|_| service.submit(cyclic_instance()).unwrap())
+            .collect();
+        service.join();
+        let stats = service.stats();
+        assert_eq!(stats.submitted, 24);
+        assert_eq!(stats.completed, 24);
+        assert_eq!(stats.in_flight, 0);
+        assert_eq!(stats.latency_buckets.iter().sum::<u64>(), 24);
+        let (p50, p95, p99) = (
+            stats.latency_p50().unwrap(),
+            stats.latency_p95().unwrap(),
+            stats.latency_p99().unwrap(),
+        );
+        assert!(p50 <= p95 && p95 <= p99);
+        // Bucket upper bounds bracket the true per-ticket latencies.
+        let max_latency = tickets.iter().map(|t| t.latency().unwrap()).max().unwrap();
+        assert!(p99 >= max_latency / 2, "p99 {p99:?} vs max {max_latency:?}");
+        assert!(stats.latency_percentile(0.0).is_none());
+        assert!(stats.latency_percentile(101.0).is_none());
+    }
+
+    #[test]
+    fn per_request_noise_overrides_reach_the_solve() {
+        // A clean oracle solved with declared noise must still find H, but
+        // report a statistical verdict (the service billed the voted
+        // repeats), matching the sequential solver's robust mode.
+        use crate::solver::Verdict;
+        let service = SolverService::builder().workers(1).build();
+        let opts = SubmitOptions::new()
+            .seed(5)
+            .noise(NoiseConfig::new().flip(0.05).seed(1))
+            .repetitions(3);
+        let report = service
+            .submit_with(cyclic_instance(), opts)
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(report.order, Some(3));
+        assert!(
+            matches!(report.verdict, Verdict::VerifiedStatistical { confidence } if confidence > 0.9),
+            "got {:?}",
+            report.verdict
+        );
+        let sequential = service
+            .solver()
+            .with_request_overrides(
+                None,
+                None,
+                None,
+                None,
+                None,
+                Some(NoiseConfig::new().flip(0.05).seed(1)),
+                Some(3),
+            )
+            .solve_seeded(&cyclic_instance(), 5)
+            .unwrap();
+        assert!(report.same_outcome(&sequential));
     }
 
     #[test]

@@ -42,12 +42,14 @@ pub use report::{HspReport, QueryStats, StrategyDetail, Verdict};
 use crate::baseline::{birthday_collision, ettinger_hoyer_dihedral, try_exhaustive_scan};
 use crate::ea2::{try_hsp_ea2_cyclic, try_hsp_ea2_general, Ea2GroundTruth, N2Coords};
 use crate::error::HspError;
+use crate::noise::NoiseConfig;
 use crate::normal_hsp::{try_hidden_normal_subgroup, try_normal_subgroup_seeds, QuotientEngine};
 use crate::oracle::HidingFunction;
 use crate::small_commutator::try_hsp_small_commutator_with;
 use classify::{cast_clone, cast_ref, dihedral_reflection_slope};
 use nahsp_abelian::hsp::HidingOracle as AbelianHidingOracle;
 use nahsp_abelian::lattice;
+use nahsp_abelian::vote::{majority_of, VoteLedger};
 use nahsp_abelian::{AbelianHsp, Backend, SubgroupLattice};
 use nahsp_groups::closure::{commutator_subgroup, enumerate_subgroup, normal_closure_generators};
 use nahsp_groups::dihedral::Dihedral;
@@ -77,7 +79,13 @@ pub struct HspSolver {
     seed: u64,
     parallelism: usize,
     verify: bool,
+    noise: Option<NoiseConfig>,
+    repetitions: usize,
 }
+
+/// Ballots per label query when noise is declared and the caller did not
+/// pick a repetition count explicitly.
+const DEFAULT_NOISY_REPETITIONS: usize = 5;
 
 impl Default for HspSolver {
     fn default() -> Self {
@@ -92,6 +100,8 @@ impl Default for HspSolver {
             seed: 0,
             parallelism: 0,
             verify: true,
+            noise: None,
+            repetitions: 0,
         }
     }
 }
@@ -188,6 +198,32 @@ impl HspSolverBuilder {
     /// reports [`Verdict::Unverified`].
     pub fn verify(mut self, verify: bool) -> Self {
         self.solver.verify = verify;
+        self
+    }
+
+    /// Declare the oracle's noise model (typically the same
+    /// [`NoiseConfig`] its [`crate::noise::NoisyOracle`] wrapper was built
+    /// with) and switch the solver into robust mode: every classical label
+    /// decision — in the Abelian engine, the Theorem 13 per-coset
+    /// instances, the Ettinger–Høyer membership scan, and post-solve
+    /// verification — is taken by majority vote over
+    /// [`HspSolverBuilder::repetitions`] ballots, repeated queries are
+    /// billed to [`QueryStats`] and bounded by the query budget, and a
+    /// passing verification reports [`Verdict::VerifiedStatistical`] with
+    /// a confidence derived from the vote margins instead of claiming
+    /// exactness. Default: no declared noise (single-ballot queries,
+    /// exact verdicts).
+    pub fn noise(mut self, config: NoiseConfig) -> Self {
+        self.solver.noise = Some(config);
+        self
+    }
+
+    /// Ballots per majority-voted label decision in robust mode. `0` (the
+    /// default) resolves automatically: 1 ballot without declared noise,
+    /// 5 with. Setting 1 under declared noise disables voting — the run
+    /// then has no margins and its statistical confidence is 0.
+    pub fn repetitions(mut self, k: usize) -> Self {
+        self.solver.repetitions = k;
         self
     }
 
@@ -336,6 +372,10 @@ impl HspSolver {
         // circuit this solve creates, so the report's gate delta is exact
         // even when `solve_batch` interleaves solves across threads.
         let gates = GateCounter::new();
+        // Per-run vote ledger (same sharing discipline): every majority
+        // decision taken in robust mode records its margin here, and the
+        // statistical verdict's confidence is computed from the snapshot.
+        let votes = VoteLedger::new();
         let checkpoint = |gates: &GateCounter| -> Result<(), HspError> {
             if cancel.is_some_and(|c| c.load(std::sync::atomic::Ordering::Relaxed)) {
                 return Err(HspError::Cancelled);
@@ -367,9 +407,9 @@ impl HspSolver {
             };
             checkpoint(&gates)?;
             let (generators, order, detail, backend) =
-                self.run(strategy, instance, gprime, &gates, &mut rng)?;
+                self.run(strategy, instance, gprime, &gates, &votes, &mut rng)?;
             checkpoint(&gates)?;
-            let verdict = self.verify_result(instance, &generators)?;
+            let verdict = self.verify_result(instance, &generators, &votes)?;
             Ok((strategy, generators, order, detail, backend, verdict))
         }));
         let (strategy, generators, order, detail, backend, verdict) = match outcome {
@@ -418,6 +458,7 @@ impl HspSolver {
     /// `Some` override wins over the builder default (including
     /// `sparse_nnz_cap`, so per-request memory budgets reach the sparse
     /// backend).
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn with_request_overrides(
         &self,
         strategy: Option<Strategy>,
@@ -425,6 +466,8 @@ impl HspSolver {
         query_budget: Option<u64>,
         gate_budget: Option<u64>,
         sparse_nnz_cap: Option<usize>,
+        noise: Option<NoiseConfig>,
+        repetitions: Option<usize>,
     ) -> HspSolver {
         let mut derived = self.clone();
         if let Some(s) = strategy {
@@ -442,7 +485,42 @@ impl HspSolver {
         if let Some(c) = sparse_nnz_cap {
             derived.sparse_nnz_cap = c;
         }
+        if let Some(n) = noise {
+            derived.noise = Some(n);
+        }
+        if let Some(r) = repetitions {
+            derived.repetitions = r;
+        }
         derived
+    }
+
+    /// Ballots per majority-voted label decision for this configuration:
+    /// the explicit [`HspSolverBuilder::repetitions`] if set, else 1 for a
+    /// clean oracle and [`DEFAULT_NOISY_REPETITIONS`] under declared noise.
+    fn effective_repetitions(&self) -> usize {
+        match self.repetitions {
+            0 if self.noise.is_some() => DEFAULT_NOISY_REPETITIONS,
+            0 => 1,
+            k => k,
+        }
+    }
+
+    /// Map a passing verification onto the final verdict. Without declared
+    /// noise the exact verdict stands; with it, the run's vote margins are
+    /// converted into [`Verdict::VerifiedStatistical`] at a corruption rate
+    /// of `max(declared flip rate, smoothed empirical dissent rate)` — an
+    /// oracle noisier than declared still degrades the reported confidence.
+    fn certified_verdict(&self, votes: &VoteLedger, exact: Verdict) -> Verdict {
+        match self.noise {
+            None => exact,
+            Some(cfg) => {
+                let s = votes.snapshot();
+                let eps = cfg.label_flip_prob.max(s.empirical_error_rate());
+                Verdict::VerifiedStatistical {
+                    confidence: s.confidence(eps),
+                }
+            }
+        }
     }
 
     /// Dispatch a resolved strategy. `gprime` is the commutator subgroup
@@ -458,6 +536,7 @@ impl HspSolver {
         instance: &HspInstance<G, F>,
         gprime: Option<Vec<G::Elem>>,
         gates: &GateCounter,
+        votes: &VoteLedger,
         rng: &mut StdRng,
     ) -> Result<(Vec<G::Elem>, Option<u64>, StrategyDetail, Option<Backend>), HspError>
     where
@@ -470,15 +549,15 @@ impl HspSolver {
         };
         match strategy {
             Strategy::Auto => unreachable!("Auto is resolved before dispatch"),
-            Strategy::Abelian => self.run_abelian(instance, gates, rng),
-            Strategy::NormalSubgroup => engineless(self.run_normal(instance, gates, rng)),
+            Strategy::Abelian => self.run_abelian(instance, gates, votes, rng),
+            Strategy::NormalSubgroup => engineless(self.run_normal(instance, gates, votes, rng)),
             Strategy::SmallCommutator => {
-                engineless(self.run_small_commutator(instance, gprime, gates, rng))
+                engineless(self.run_small_commutator(instance, gprime, gates, votes, rng))
             }
-            Strategy::Ea2Cyclic => engineless(self.run_ea2(instance, true, gates, rng)),
-            Strategy::Ea2General => engineless(self.run_ea2(instance, false, gates, rng)),
+            Strategy::Ea2Cyclic => engineless(self.run_ea2(instance, true, gates, votes, rng)),
+            Strategy::Ea2General => engineless(self.run_ea2(instance, false, gates, votes, rng)),
             Strategy::EttingerHoyerDihedral => {
-                engineless(self.run_ettinger_hoyer(instance, gates, rng))
+                engineless(self.run_ettinger_hoyer(instance, gates, votes, rng))
             }
             Strategy::ExhaustiveScan => engineless(self.run_scan(instance)),
             Strategy::BirthdayCollision => engineless(self.run_birthday(instance, rng)),
@@ -489,7 +568,7 @@ impl HspSolver {
     /// ground truth there, so `Ideal` downgrades to the coset simulator;
     /// `Auto` resolves per instance inside the engine). The run's gate
     /// counter is shared into the engine so simulated rounds bill this run.
-    fn presentation_engine(&self, gates: &GateCounter) -> AbelianHsp {
+    fn presentation_engine(&self, gates: &GateCounter, votes: &VoteLedger) -> AbelianHsp {
         let backend = match self.backend {
             Backend::Ideal => Backend::SimulatorCoset,
             b => b,
@@ -499,18 +578,22 @@ impl HspSolver {
             max_rounds: self.max_rounds,
             gates: gates.clone(),
             sparse_nnz_cap: self.sparse_nnz_cap,
+            repetitions: self.effective_repetitions(),
+            votes: votes.clone(),
         }
     }
 
     /// Abelian engine for the direct Abelian path and the Theorem 13
     /// per-coset instances (these *can* consume instance ground truth, so
     /// `Ideal` passes through).
-    fn truth_engine(&self, gates: &GateCounter) -> AbelianHsp {
+    fn truth_engine(&self, gates: &GateCounter, votes: &VoteLedger) -> AbelianHsp {
         AbelianHsp {
             backend: self.backend,
             max_rounds: self.max_rounds,
             gates: gates.clone(),
             sparse_nnz_cap: self.sparse_nnz_cap,
+            repetitions: self.effective_repetitions(),
+            votes: votes.clone(),
         }
     }
 
@@ -519,6 +602,7 @@ impl HspSolver {
         &self,
         instance: &HspInstance<G, F>,
         gates: &GateCounter,
+        votes: &VoteLedger,
         rng: &mut StdRng,
     ) -> Result<(Vec<G::Elem>, Option<u64>, StrategyDetail, Option<Backend>), HspError>
     where
@@ -533,14 +617,14 @@ impl HspSolver {
         // the sparse backend (so `Auto` lifts the dense `|A|` caps whenever
         // the promised `|H|` keeps the nonzero count small) and generator
         // sets for the ideal sampler.
-        if let Some(out) = self.run_abelian_direct(instance, gates, rng)? {
+        if let Some(out) = self.run_abelian_direct(instance, gates, votes, rng)? {
             return Ok(out);
         }
         let seeds = try_normal_subgroup_seeds(
             group,
             instance.oracle(),
             QuotientEngine::Abelian,
-            &self.presentation_engine(gates),
+            &self.presentation_engine(gates, votes),
             rng,
         )?;
         // In an Abelian group conjugation is trivial, so the seeds plainly
@@ -566,6 +650,7 @@ impl HspSolver {
         &self,
         instance: &HspInstance<G, F>,
         gates: &GateCounter,
+        votes: &VoteLedger,
         rng: &mut StdRng,
     ) -> Result<Option<(Vec<G::Elem>, Option<u64>, StrategyDetail, Option<Backend>)>, HspError>
     where
@@ -617,7 +702,7 @@ impl HspSolver {
         // Without ground truth the ideal sampler has nothing to draw from;
         // downgrade to the dense coset simulator — the same behavior the
         // presentation path has always had for `Backend::Ideal`.
-        let mut engine = self.truth_engine(gates);
+        let mut engine = self.truth_engine(gates, votes);
         if engine.backend == Backend::Ideal && !has_truth {
             engine.backend = Backend::SimulatorCoset;
         }
@@ -648,6 +733,7 @@ impl HspSolver {
         &self,
         instance: &HspInstance<G, F>,
         gates: &GateCounter,
+        votes: &VoteLedger,
         rng: &mut StdRng,
     ) -> Result<(Vec<G::Elem>, Option<u64>, StrategyDetail), HspError>
     where
@@ -656,7 +742,7 @@ impl HspSolver {
         F: HidingFunction<G>,
     {
         let group = instance.group();
-        let engine = self.presentation_engine(gates);
+        let engine = self.presentation_engine(gates, votes);
         let qe = QuotientEngine::Auto {
             limit: self.enumeration_limit,
         };
@@ -721,6 +807,7 @@ impl HspSolver {
         instance: &HspInstance<G, F>,
         gprime: Option<Vec<G::Elem>>,
         gates: &GateCounter,
+        votes: &VoteLedger,
         rng: &mut StdRng,
     ) -> Result<(Vec<G::Elem>, Option<u64>, StrategyDetail), HspError>
     where
@@ -742,7 +829,7 @@ impl HspSolver {
             group,
             instance.oracle(),
             gprime,
-            &self.presentation_engine(gates),
+            &self.presentation_engine(gates, votes),
             rng,
         )?;
         let generators = dedupe_generators(group, result.h_generators);
@@ -762,6 +849,7 @@ impl HspSolver {
         instance: &HspInstance<G, F>,
         cyclic: bool,
         gates: &GateCounter,
+        votes: &VoteLedger,
         rng: &mut StdRng,
     ) -> Result<(Vec<G::Elem>, Option<u64>, StrategyDetail), HspError>
     where
@@ -783,7 +871,7 @@ impl HspSolver {
         } else {
             None
         };
-        let engine = self.truth_engine(gates);
+        let engine = self.truth_engine(gates, votes);
         let result = if cyclic {
             try_hsp_ea2_cyclic(
                 group,
@@ -924,6 +1012,7 @@ impl HspSolver {
         &self,
         instance: &HspInstance<G, F>,
         gates: &GateCounter,
+        votes: &VoteLedger,
         rng: &mut StdRng,
     ) -> Result<(Vec<G::Elem>, Option<u64>, StrategyDetail), HspError>
     where
@@ -957,7 +1046,17 @@ impl HspSolver {
             });
         }
         let f = instance.oracle();
-        let id_label = f.identity_label(group);
+        // In robust mode the classical membership scan votes every label:
+        // the identity's label is re-derived by fresh majority ballots
+        // (bypassing the oracle's identity-label cache, which a noisy
+        // wrapper pins to its first — possibly corrupted — answer), and
+        // each candidate's label is voted against it.
+        let k = self.effective_repetitions();
+        let id_label = if k > 1 {
+            majority_of(k, votes, || f.eval(&group.identity()))
+        } else {
+            f.identity_label(group)
+        };
         let samples = 12 * (64 - dihedral.n.leading_zeros()) as usize;
         let result = ettinger_hoyer_dihedral(
             dihedral,
@@ -966,7 +1065,11 @@ impl HspSolver {
             |cand| {
                 let e = cast_clone::<(u64, bool), G::Elem>(&(cand, true))
                     .expect("dihedral element type");
-                f.eval(&e) == id_label
+                if k > 1 {
+                    majority_of(k, votes, || f.eval(&e)) == id_label
+                } else {
+                    f.eval(&e) == id_label
+                }
             },
             gates,
             rng,
@@ -1036,11 +1139,16 @@ impl HspSolver {
     }
 
     /// Post-solve certification. Exact when ground truth is enumerable;
-    /// otherwise every returned generator is re-queried against `f(1)`.
+    /// otherwise every returned generator is re-queried against `f(1)`. In
+    /// robust mode the re-queries are majority-voted and a passing check
+    /// reports [`Verdict::VerifiedStatistical`] (the candidate being
+    /// certified was produced through noisy queries, so even a ground-truth
+    /// match is a statistical claim about this run).
     fn verify_result<G, F>(
         &self,
         instance: &HspInstance<G, F>,
         generators: &[G::Elem],
+        votes: &VoteLedger,
     ) -> Result<Verdict, HspError>
     where
         G: Group + 'static,
@@ -1068,7 +1176,7 @@ impl HspSolver {
                     let rec = SubgroupLattice::from_generators(ap, &rec);
                     let exp = SubgroupLattice::from_generators(ap, &exp);
                     if rec.same_subgroup(&exp) {
-                        return Ok(Verdict::VerifiedExact);
+                        return Ok(self.certified_verdict(votes, Verdict::VerifiedExact));
                     }
                     let ord = |l: &SubgroupLattice| {
                         l.cyclic_generators()
@@ -1088,7 +1196,7 @@ impl HspSolver {
             let expected = closure_set(group, truth_gens, self.enumeration_limit);
             if let (Some(recovered), Some(expected)) = (recovered, expected) {
                 if recovered == expected {
-                    return Ok(Verdict::VerifiedExact);
+                    return Ok(self.certified_verdict(votes, Verdict::VerifiedExact));
                 }
                 return Err(HspError::VerificationFailed {
                     context: format!(
@@ -1100,15 +1208,26 @@ impl HspSolver {
             }
             // Truth too large to enumerate: fall through to consistency.
         }
-        let id_label = instance.oracle().identity_label(group);
+        let f = instance.oracle();
+        let k = self.effective_repetitions();
+        let id_label = if k > 1 {
+            majority_of(k, votes, || f.eval(&group.identity()))
+        } else {
+            f.identity_label(group)
+        };
         for g in generators {
-            if instance.oracle().eval(g) != id_label {
+            let label = if k > 1 {
+                majority_of(k, votes, || f.eval(g))
+            } else {
+                f.eval(g)
+            };
+            if label != id_label {
                 return Err(HspError::VerificationFailed {
                     context: "a recovered generator does not collide with f(1)".into(),
                 });
             }
         }
-        Ok(Verdict::GeneratorsConsistent)
+        Ok(self.certified_verdict(votes, Verdict::GeneratorsConsistent))
     }
 }
 
@@ -1215,6 +1334,7 @@ mod tests {
 
     #[test]
     fn builder_round_trip() {
+        let noise = NoiseConfig::new().flip(0.05).seed(11);
         let solver = HspSolver::builder()
             .strategy(Strategy::SmallCommutator)
             .enumeration_limit(500)
@@ -1226,6 +1346,8 @@ mod tests {
             .seed(7)
             .parallelism(2)
             .verify(false)
+            .noise(noise)
+            .repetitions(3)
             .build();
         assert_eq!(solver.strategy, Strategy::SmallCommutator);
         assert_eq!(solver.enumeration_limit(), 500);
@@ -1237,6 +1359,23 @@ mod tests {
         assert_eq!(solver.seed, 7);
         assert_eq!(solver.parallelism, 2);
         assert!(!solver.verify);
+        assert_eq!(solver.noise, Some(noise));
+        assert_eq!(solver.repetitions, 3);
+        assert_eq!(solver.effective_repetitions(), 3);
+    }
+
+    #[test]
+    fn repetitions_resolve_from_the_declared_noise() {
+        // No noise, no explicit repetitions: single-ballot queries.
+        assert_eq!(HspSolver::new().effective_repetitions(), 1);
+        // Declared noise turns voting on automatically.
+        let noisy = HspSolver::builder()
+            .noise(NoiseConfig::new().flip(0.1))
+            .build();
+        assert_eq!(noisy.effective_repetitions(), DEFAULT_NOISY_REPETITIONS);
+        // An explicit count always wins.
+        let explicit = HspSolver::builder().repetitions(9).build();
+        assert_eq!(explicit.effective_repetitions(), 9);
     }
 
     #[test]
@@ -1253,18 +1392,24 @@ mod tests {
             Some(77),
             Some(88),
             Some(100),
+            Some(NoiseConfig::new().flip(0.01)),
+            Some(7),
         );
         assert_eq!(derived.strategy, Strategy::ExhaustiveScan);
         assert_eq!(derived.backend, Backend::SimulatorSparse);
         assert_eq!(derived.query_budget, Some(77));
         assert_eq!(derived.gate_budget, Some(88));
         assert_eq!(derived.sparse_nnz_cap, 100);
+        assert_eq!(derived.noise, Some(NoiseConfig::new().flip(0.01)));
+        assert_eq!(derived.repetitions, 7);
         // Untouched knobs keep the base configuration.
         assert_eq!(derived.seed, 9);
-        let same = base.with_request_overrides(None, None, None, None, None);
+        let same = base.with_request_overrides(None, None, None, None, None, None, None);
         assert_eq!(same.strategy, base.strategy);
         assert_eq!(same.backend, base.backend);
         assert_eq!(same.sparse_nnz_cap, base.sparse_nnz_cap);
+        assert_eq!(same.noise, None);
+        assert_eq!(same.repetitions, 0);
     }
 
     #[test]

@@ -19,11 +19,31 @@ pub struct QueryStats {
 }
 
 /// How strongly the returned generators are certified.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+///
+/// Not `Eq`: the statistical verdict carries an `f64` confidence. The
+/// derived `PartialEq` still compares exactly, which is what
+/// [`HspReport::same_outcome`] (and the service determinism guarantee)
+/// relies on — identically seeded runs produce bit-identical confidences.
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum Verdict {
     /// Instance ground truth was available and `⟨generators⟩` matched it
     /// element-for-element.
     VerifiedExact,
+    /// The solver ran with a declared noise model (`builder().noise(..)`)
+    /// and verification passed under majority voting. `confidence` is a
+    /// union-bound lower bound on the probability that every majority
+    /// decision of the run answered the true label, computed from the
+    /// recorded vote margins and the larger of the declared flip rate and
+    /// the run's smoothed empirical dissent rate. Under declared noise
+    /// the solver never claims exactness — even a ground-truth match is
+    /// reported statistically, because the candidate it certifies was
+    /// produced through noisy queries.
+    VerifiedStatistical {
+        /// Lower bound on `P(every voted label decision was correct)`,
+        /// in `[0, 1]`. Zero when no votes were recorded (repetitions
+        /// forced to 1), i.e. no statistical evidence exists.
+        confidence: f64,
+    },
     /// No ground truth (or it was too large to enumerate); every returned
     /// generator was re-queried and collides with `f(1)`, so
     /// `⟨generators⟩ ⊆ H` is certified.
@@ -102,10 +122,17 @@ impl<G: Group> HspReport<G> {
             && self.instance_label == other.instance_label
     }
 
-    /// One human-readable line for examples and logs.
+    /// One human-readable line for examples and logs. Statistical
+    /// verdicts print their confidence.
     pub fn summary(&self) -> String {
+        let verdict = match self.verdict {
+            Verdict::VerifiedStatistical { confidence } => {
+                format!("VerifiedStatistical(confidence={confidence:.4})")
+            }
+            v => format!("{v:?}"),
+        };
         format!(
-            "{}strategy={:?}{} |H|={} gens={} queries={} gates={} wall={:?} verdict={:?}",
+            "{}strategy={:?}{} |H|={} gens={} queries={} gates={} wall={:?} verdict={}",
             self.instance_label
                 .as_deref()
                 .map(|l| format!("[{l}] "))
@@ -121,7 +148,7 @@ impl<G: Group> HspReport<G> {
             self.queries.oracle,
             self.queries.gates,
             self.wall,
-            self.verdict,
+            verdict,
         )
     }
 }

@@ -117,6 +117,7 @@ pub use nahsp_qsim as qsim;
 /// substrate types ride along for callers that need one specific pipeline.
 pub mod prelude {
     pub use nahsp_abelian::hsp::{AbelianHsp, Backend, HidingOracle, SolveError, SubgroupOracle};
+    pub use nahsp_abelian::vote::{VoteLedger, VoteSummary, VotedOracle};
     pub use nahsp_abelian::{OrderFinder, SubgroupLattice};
     pub use nahsp_core::baseline::{
         birthday_collision, ettinger_hoyer_dihedral, try_exhaustive_scan,
@@ -127,6 +128,7 @@ pub mod prelude {
     pub use nahsp_core::error::HspError;
     pub use nahsp_core::lemma9::{solve_state_hsp, Lemma9Backend};
     pub use nahsp_core::membership::{abelian_membership, abelian_membership_slp, discrete_log};
+    pub use nahsp_core::noise::{NoiseConfig, NoisyOracle, OracleFault};
     pub use nahsp_core::normal_hsp::{
         try_hidden_normal_subgroup, try_hidden_normal_subgroup_perm, try_normal_subgroup_seeds,
         QuotientEngine,
@@ -137,7 +139,8 @@ pub mod prelude {
     };
     pub use nahsp_core::quotient::HiddenQuotient;
     pub use nahsp_core::service::{
-        SolverService, SolverServiceBuilder, SubmitOptions, Ticket, TicketStatus,
+        ServiceStatsSnapshot, SolverService, SolverServiceBuilder, SubmitOptions, Ticket,
+        TicketStatus,
     };
     pub use nahsp_core::small_commutator::try_hsp_small_commutator;
     pub use nahsp_core::solver::{

@@ -249,6 +249,146 @@ fn solver_contains_oracle_panics_as_internal_errors() {
     assert!(matches!(err, HspError::Internal { .. }), "{err}");
 }
 
+// ------------------------------------------------ noisy oracles --
+// The `nahsp_core::noise` wrapper injects label flips and transient
+// faults at the oracle boundary; the solver's robust mode must ride
+// through declared noise with majority voting and qualify its claims
+// statistically — and a clean wrapper must be invisible.
+
+fn z2n_noisy_instance(
+    n: usize,
+    cfg: NoiseConfig,
+) -> HspInstance<AbelianProduct, NoisyOracle<CosetTableOracle<AbelianProduct>>> {
+    let g = AbelianProduct::new(vec![2; n]);
+    let mut h = vec![0u64; n];
+    h[0] = 1;
+    h[n - 1] = 1;
+    let oracle = CosetTableOracle::new(g.clone(), &[h.clone()], 1 << (n + 1));
+    HspInstance::new(g, NoisyOracle::new(oracle, cfg)).with_ground_truth(vec![h])
+}
+
+/// The PR's acceptance instance: Z2^12 behind a seeded ε = 0.05 noisy
+/// wrapper must still recover the planted subgroup, report
+/// `VerifiedStatistical` with confidence ≥ 0.99, and be byte-reproducible
+/// across two identically-seeded runs.
+#[test]
+fn noisy_z2_12_solves_statistically_and_reproducibly() {
+    let cfg = NoiseConfig::new().flip(0.05).seed(40);
+    let solver = HspSolver::builder().noise(cfg).seed(7).build();
+    let a = solver
+        .solve(&z2n_noisy_instance(12, cfg))
+        .expect("robust solve under 5% label flips");
+    let b = solver.solve(&z2n_noisy_instance(12, cfg)).unwrap();
+    assert_eq!(a.order, Some(2), "the planted subgroup was not recovered");
+    match a.verdict {
+        Verdict::VerifiedStatistical { confidence } => {
+            assert!(confidence >= 0.99, "confidence {confidence} below 0.99");
+        }
+        v => panic!("declared noise must yield a statistical verdict, got {v:?}"),
+    }
+    // Deterministic noise stream + deterministic voting: bit-identical
+    // reports (including the f64 confidence) from the same seeds.
+    assert!(a.same_outcome(&b), "same-seed noisy runs diverged");
+    assert!(a.summary().contains("VerifiedStatistical(confidence="));
+}
+
+/// ε = 0 and no declared noise: the wrapper short-circuits and the report
+/// is identical to the unwrapped oracle's, still `VerifiedExact`.
+#[test]
+fn zero_noise_wrapper_is_report_transparent() {
+    let solver = HspSolver::builder().seed(3).build();
+    let wrapped = solver
+        .solve(&z2n_noisy_instance(6, NoiseConfig::new()))
+        .unwrap();
+    // The identical construction without the wrapper.
+    let g = AbelianProduct::new(vec![2; 6]);
+    let mut h = vec![0u64; 6];
+    h[0] = 1;
+    h[5] = 1;
+    let bare = solver
+        .solve(
+            &HspInstance::new(g.clone(), CosetTableOracle::new(g, &[h.clone()], 1 << 7))
+                .with_ground_truth(vec![h]),
+        )
+        .unwrap();
+    assert_eq!(wrapped.verdict, Verdict::VerifiedExact);
+    assert!(
+        wrapped.same_outcome(&bare),
+        "an ε = 0 wrapper must be byte-transparent"
+    );
+}
+
+/// Sweep ε ∈ {0, 0.01, 0.1} across seeds: solves never panic, and every
+/// success under declared noise is confidence-qualified.
+#[test]
+fn noise_sweep_never_panics_and_qualifies_reports() {
+    for eps in [0.0, 0.01, 0.1] {
+        for noise_seed in [1u64, 2, 3] {
+            let cfg = NoiseConfig::new().flip(eps).seed(noise_seed);
+            let g = CyclicGroup::new(12);
+            let oracle = NoisyOracle::new(CosetTableOracle::new(g.clone(), &[4u64], 100), cfg);
+            let instance = HspInstance::new(g, oracle).with_ground_truth(vec![4u64]);
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                HspSolver::builder().noise(cfg).build().solve(&instance)
+            }))
+            .expect("noisy solve must not panic");
+            match outcome {
+                Ok(report) => assert!(
+                    matches!(report.verdict, Verdict::VerifiedStatistical { .. }),
+                    "ε={eps} seed={noise_seed}: unqualified verdict {:?}",
+                    report.verdict
+                ),
+                // A typed refusal (verification caught residual corruption)
+                // is an acceptable outcome at high ε; a panic is not.
+                Err(e) => {
+                    let _ = e.to_string();
+                }
+            }
+        }
+    }
+}
+
+/// Voted repeats are billed queries: a budget sized for single-ballot
+/// solving trips the typed exhaustion once every label costs 5 ballots.
+#[test]
+fn voted_repeats_bill_the_query_budget() {
+    let cfg = NoiseConfig::new().flip(0.02).seed(5);
+    let g = CyclicGroup::new(12);
+    let oracle = NoisyOracle::new(CosetTableOracle::new(g.clone(), &[4u64], 100), cfg);
+    let instance = HspInstance::new(g, oracle);
+    let err = HspSolver::builder()
+        .noise(cfg)
+        .repetitions(5)
+        .query_budget(20)
+        .build()
+        .solve(&instance)
+        .expect_err("5-ballot voting blows a 20-query budget");
+    assert!(matches!(
+        err,
+        HspError::QueryBudgetExceeded { budget: 20, .. }
+    ));
+}
+
+/// Transient faults retry through the infallible surface: a solve against
+/// a 20%-fault oracle still recovers the subgroup, statistically.
+#[test]
+fn solver_rides_through_transient_faults() {
+    let cfg = NoiseConfig::new().faults(0.2).seed(9);
+    let g = CyclicGroup::new(12);
+    let oracle = NoisyOracle::new(CosetTableOracle::new(g.clone(), &[4u64], 100), cfg);
+    let instance = HspInstance::new(g, oracle).with_ground_truth(vec![4u64]);
+    let report = HspSolver::builder()
+        .noise(cfg)
+        .build()
+        .solve(&instance)
+        .expect("fault retries ride through");
+    assert_eq!(report.order, Some(3));
+    assert!(matches!(
+        report.verdict,
+        Verdict::VerifiedStatistical { .. }
+    ));
+}
+
 #[test]
 fn solver_budget_violations_surface_after_the_fact() {
     let g = Extraspecial::heisenberg(3);

@@ -109,6 +109,77 @@ where
     Ok(())
 }
 
+/// Solve one noisy instance three times — twice sequentially with the same
+/// seed (byte-reproducibility of the deterministic noise stream + voting),
+/// and once through `service` with the noise model applied as per-request
+/// `SubmitOptions` — and require identical outcomes everywhere. Every
+/// success under a declared noise model must be confidence-qualified.
+fn noisy_roundtrip<G, F>(
+    service: &SolverService,
+    make: &dyn Fn() -> HspInstance<G, F>,
+    cfg: NoiseConfig,
+    reps: usize,
+    seed: u64,
+) -> Result<(), TestCaseError>
+where
+    G: Group + 'static,
+    G::Elem: 'static,
+    F: HidingFunction<G> + Send + Sync + 'static,
+{
+    let solver = HspSolver::builder()
+        .noise(cfg)
+        .repetitions(reps)
+        .enumeration_limit(1 << 10)
+        .build();
+    let a = catch_unwind(AssertUnwindSafe(|| solver.solve_seeded(&make(), seed)));
+    prop_assert!(a.is_ok(), "noisy sequential solve let a panic escape");
+    let a = a.unwrap();
+    let b = solver.solve_seeded(&make(), seed);
+    match (&a, &b) {
+        (Ok(x), Ok(y)) => prop_assert!(
+            x.same_outcome(y),
+            "same-seed noisy runs diverged: {:?} vs {:?}",
+            x.verdict,
+            y.verdict
+        ),
+        (Err(x), Err(y)) => prop_assert_eq!(x.to_string(), y.to_string()),
+        _ => prop_assert!(false, "same-seed noisy runs disagree on success"),
+    }
+    let ticket = service
+        .submit_with(
+            Arc::new(make()),
+            SubmitOptions::new().seed(seed).noise(cfg).repetitions(reps),
+        )
+        .expect("running service accepts submissions");
+    match (a, ticket.wait()) {
+        (Ok(x), Ok(y)) => {
+            prop_assert!(
+                x.same_outcome(&y),
+                "service noisy report diverged from sequential"
+            );
+            // Noise was declared, so a success is never claimed exact.
+            prop_assert!(
+                matches!(y.verdict, Verdict::VerifiedStatistical { .. }),
+                "unqualified verdict under declared noise: {:?}",
+                y.verdict
+            );
+        }
+        (Err(x), Err(y)) => prop_assert_eq!(x.to_string(), y.to_string()),
+        (x, y) => prop_assert!(
+            false,
+            "paths disagree on success: sequential {:?} vs service {:?}",
+            x.map(|r| r.order),
+            y.map(|r| r.order)
+        ),
+    }
+    Ok(())
+}
+
+/// ε levels the noisy fuzz sweeps (0 = a declared-but-clean noise model).
+const NOISE_EPS: [f64; 3] = [0.0, 0.01, 0.1];
+/// Ballot counts: 0 = auto-resolve, 1 = voting disabled, 5 = explicit.
+const NOISE_REPS: [usize; 3] = [0, 1, 5];
+
 const STRATEGIES: [Strategy; 9] = [
     Strategy::Auto,
     Strategy::Abelian,
@@ -221,6 +292,49 @@ proptest! {
                 },
                 strategy, backend, qb, gb, cap, seed,
             )?,
+        }
+        service.stop();
+        service.join();
+    }
+
+    #[test]
+    fn fuzz_noisy_solver_never_panics_and_is_reproducible(
+        family in 0usize..2,
+        h_sel in 0u64..64,
+        eps_sel in 0usize..3,
+        reps_sel in 0usize..3,
+        noise_seed in 0u64..1_000,
+        seed in 0u64..10_000,
+    ) {
+        let cfg = NoiseConfig::new().flip(NOISE_EPS[eps_sel]).seed(noise_seed);
+        let reps = NOISE_REPS[reps_sel];
+        let service = SolverService::builder().workers(2).build();
+        if family == 0 {
+            noisy_roundtrip(
+                &service,
+                &move || {
+                    let g = CyclicGroup::new(12);
+                    let h = h_sel % 12;
+                    let gens = if h == 0 { vec![] } else { vec![h] };
+                    let oracle =
+                        NoisyOracle::new(CosetTableOracle::new(g.clone(), &gens, 100), cfg);
+                    HspInstance::new(g, oracle).with_ground_truth(gens)
+                },
+                cfg, reps, seed,
+            )?;
+        } else {
+            noisy_roundtrip(
+                &service,
+                &move || {
+                    let g = AbelianProduct::new(vec![2; 6]);
+                    let h: Vec<u64> = (0..6).map(|i| (h_sel >> i) & 1).collect();
+                    let gens = if h.iter().all(|&c| c == 0) { vec![] } else { vec![h] };
+                    let oracle =
+                        NoisyOracle::new(CosetTableOracle::new(g.clone(), &gens, 1 << 7), cfg);
+                    HspInstance::new(g, oracle).with_ground_truth(gens)
+                },
+                cfg, reps, seed,
+            )?;
         }
         service.stop();
         service.join();

@@ -1,0 +1,209 @@
+//! Per-solve execution context shared between the Abelian engine and its
+//! callers.
+//!
+//! The engine historically took its cross-cutting concerns — gate
+//! accounting, vote accounting, repetition count — as individual fields on
+//! [`AbelianHsp`](crate::hsp::AbelianHsp), and anything the *caller* needed
+//! mid-solve (cancellation, gate budgets, which backend actually sampled)
+//! had to be checked from outside, between engine calls. [`EngineContext`]
+//! bundles all of it into one clonable handle that rides inside the engine:
+//!
+//! - [`nahsp_qsim::counter::GateCounter`] and [`crate::vote::VoteLedger`]
+//!   — clone-shared tallies (clones share the underlying counter, so a
+//!   caller that threads one context through an engine and its sub-solves
+//!   reads exact per-run figures);
+//! - a [`CancelToken`] polled once per sampling round, so a cooperative
+//!   cancellation raised by a serving layer cuts the Las Vegas loop off
+//!   mid-solve instead of waiting for the next caller-side checkpoint;
+//! - an optional gate budget enforced at the same per-round checkpoint;
+//! - a [`BackendSink`] into which the sampling loop records which backend
+//!   actually performed the Fourier rounds after [`Backend::Auto`]
+//!   resolution — the caller reads it back after the solve (or observes it
+//!   empty, meaning no quantum round ever ran).
+//!
+//! The checkpoints consume no randomness and no oracle queries, so a solve
+//! that is neither cancelled nor over budget behaves exactly as it would
+//! without the context.
+
+use crate::hsp::{Backend, SolveError};
+use crate::vote::VoteLedger;
+use nahsp_qsim::counter::GateCounter;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Cooperative cancellation flag. Clones share the flag; an *inert* token
+/// (the default) can never be raised and costs one branch to poll, so
+/// uncancellable solves pass it freely.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Option<Arc<AtomicBool>>,
+}
+
+impl CancelToken {
+    /// An inert token: [`CancelToken::is_cancelled`] is permanently false
+    /// and [`CancelToken::raise`] is a no-op. Use for solves that nothing
+    /// can cancel.
+    pub fn none() -> Self {
+        CancelToken { flag: None }
+    }
+
+    /// An armed token: some clone may later [`CancelToken::raise`] it.
+    pub fn new() -> Self {
+        CancelToken {
+            flag: Some(Arc::new(AtomicBool::new(false))),
+        }
+    }
+
+    /// Request cancellation. Every clone of an armed token observes it at
+    /// its next poll; raising an inert token does nothing.
+    pub fn raise(&self) {
+        if let Some(flag) = &self.flag {
+            flag.store(true, Ordering::Relaxed);
+        }
+    }
+
+    /// Has cancellation been requested?
+    pub fn is_cancelled(&self) -> bool {
+        self.flag
+            .as_ref()
+            .is_some_and(|flag| flag.load(Ordering::Relaxed))
+    }
+}
+
+/// Write-once record of the backend that actually sampled. Clones share
+/// the slot; the first [`BackendSink::record`] wins (a solve resolves its
+/// backend exactly once, but sub-solves sharing the context must not
+/// overwrite the answer the caller is interested in).
+#[derive(Clone, Debug, Default)]
+pub struct BackendSink {
+    slot: Arc<Mutex<Option<Backend>>>,
+}
+
+impl BackendSink {
+    /// Record the resolved backend, unless one was already recorded.
+    pub fn record(&self, backend: Backend) {
+        let mut slot = self.slot.lock().expect("backend sink poisoned");
+        if slot.is_none() {
+            *slot = Some(backend);
+        }
+    }
+
+    /// The recorded backend, or `None` when no sampling round ever
+    /// resolved one (the solve verified classically).
+    pub fn get(&self) -> Option<Backend> {
+        *self.slot.lock().expect("backend sink poisoned")
+    }
+}
+
+/// Everything a solve carries across engine boundaries: shared accounting,
+/// repetition policy, cancellation, the gate budget, and the resolved
+/// backend. Clones share every tally (each field is `Arc`-backed or plain
+/// data), so handing a clone to a sub-solve keeps one per-run record.
+#[derive(Clone, Debug)]
+pub struct EngineContext {
+    /// Per-run gate counter; every simulator state the engine creates
+    /// records into it.
+    pub gates: GateCounter,
+    /// Per-run vote ledger; every majority decision records its margin.
+    pub votes: VoteLedger,
+    /// Ballots per label query: `≥ 2` routes every label decision through
+    /// a majority vote, `0`/`1` queries the oracle directly.
+    pub repetitions: usize,
+    /// Cooperative cancellation, polled once per sampling round.
+    pub cancel: CancelToken,
+    /// Hard cap on `gates.count()`, enforced at the same per-round poll.
+    /// `None` = unlimited.
+    pub gate_budget: Option<u64>,
+    /// Where the sampling loop records which backend actually sampled.
+    pub resolved: BackendSink,
+}
+
+impl Default for EngineContext {
+    fn default() -> Self {
+        EngineContext {
+            gates: GateCounter::new(),
+            votes: VoteLedger::new(),
+            repetitions: 1,
+            cancel: CancelToken::none(),
+            gate_budget: None,
+            resolved: BackendSink::default(),
+        }
+    }
+}
+
+impl EngineContext {
+    pub fn new() -> Self {
+        EngineContext::default()
+    }
+
+    /// The cancellation / gate-budget poll. Consumes no randomness and no
+    /// oracle queries, so un-cancelled, un-budgeted solves are bitwise
+    /// unaffected by where it is called.
+    pub fn checkpoint(&self) -> Result<(), SolveError> {
+        if self.cancel.is_cancelled() {
+            return Err(SolveError::Cancelled);
+        }
+        if let Some(budget) = self.gate_budget {
+            let spent = self.gates.count();
+            if spent > budget {
+                return Err(SolveError::GateBudgetExceeded { spent, budget });
+            }
+        }
+        Ok(())
+    }
+
+    /// The backend recorded by this run's sampling loop, if any round ran.
+    pub fn resolved_backend(&self) -> Option<Backend> {
+        self.resolved.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inert_token_never_cancels() {
+        let t = CancelToken::none();
+        t.raise();
+        assert!(!t.is_cancelled());
+    }
+
+    #[test]
+    fn armed_token_shares_the_flag_across_clones() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        assert!(!c.is_cancelled());
+        t.raise();
+        assert!(c.is_cancelled());
+    }
+
+    #[test]
+    fn sink_is_first_write_wins_and_shared() {
+        let s = BackendSink::default();
+        let c = s.clone();
+        assert_eq!(s.get(), None);
+        c.record(Backend::Stabilizer);
+        c.record(Backend::Ideal);
+        assert_eq!(s.get(), Some(Backend::Stabilizer));
+    }
+
+    #[test]
+    fn checkpoint_enforces_cancel_then_gate_budget() {
+        let mut ctx = EngineContext::new();
+        assert_eq!(ctx.checkpoint(), Ok(()));
+        ctx.gate_budget = Some(0);
+        assert_eq!(ctx.checkpoint(), Ok(()), "0 gates is within a 0 budget");
+        ctx.gates.record(3);
+        assert_eq!(
+            ctx.checkpoint(),
+            Err(SolveError::GateBudgetExceeded {
+                spent: 3,
+                budget: 0
+            })
+        );
+        ctx.cancel = CancelToken::new();
+        ctx.cancel.raise();
+        assert_eq!(ctx.checkpoint(), Err(SolveError::Cancelled));
+    }
+}

@@ -37,6 +37,7 @@
 //! `H ⊆ Ĥ` holds unconditionally since samples lie in `H^⊥`), so a returned
 //! answer is always exactly `H`.
 
+use crate::context::EngineContext;
 use crate::dual::perp;
 use crate::lattice::{self, SubgroupLattice};
 use crate::vote::{VoteLedger, VotedOracle};
@@ -125,6 +126,12 @@ pub enum Backend {
     Stabilizer,
     /// Sample the proven output distribution directly.
     Ideal,
+    /// Report-level marker, not a sampling backend: the solve completed
+    /// through classical work alone (baselines, or a Las Vegas loop that
+    /// verified its candidate before any quantum round ran). Requesting it
+    /// as a sampling backend is a typed error
+    /// ([`SolveError::BackendUnavailable`]).
+    Classical,
 }
 
 /// Why an Abelian HSP solve could not complete. Every failure mode of
@@ -146,6 +153,15 @@ pub enum SolveError {
     /// [`Backend::Stabilizer`] was selected but a site has dimension ≠ 2,
     /// so the Fourier round is not a Clifford circuit.
     CliffordUnsupported { site_dim: usize },
+    /// The requested backend cannot perform Fourier-sampling rounds at all
+    /// (today: [`Backend::Classical`], which exists only as a report
+    /// marker).
+    BackendUnavailable { requested: Backend },
+    /// The context's [`crate::context::CancelToken`] was raised; the
+    /// sampling loop stopped at its next per-round poll.
+    Cancelled,
+    /// The context's gate budget was exceeded mid-solve.
+    GateBudgetExceeded { spent: u64, budget: u64 },
 }
 
 impl std::fmt::Display for SolveError {
@@ -172,6 +188,18 @@ impl std::fmt::Display for SolveError {
                 "stabilizer backend needs all site dimensions = 2 (found {site_dim}); \
                  the Fourier round is Clifford only over Z_2 sites"
             ),
+            SolveError::BackendUnavailable { requested } => write!(
+                f,
+                "backend {requested:?} cannot run Fourier-sampling rounds \
+                 (it is a report-level marker, not a sampler)"
+            ),
+            SolveError::Cancelled => write!(f, "solve cancelled by caller"),
+            SolveError::GateBudgetExceeded { spent, budget } => {
+                write!(
+                    f,
+                    "gate budget exceeded mid-solve: spent {spent} of {budget}"
+                )
+            }
         }
     }
 }
@@ -205,29 +233,21 @@ pub struct AbelianHsp {
     pub backend: Backend,
     /// Hard cap on sampling rounds before giving up (the Las Vegas loop
     /// finishes in `log₂|A| + O(1)` rounds with overwhelming probability).
+    /// 0 = automatic.
     pub max_rounds: usize,
-    /// Per-run gate counter: every simulator state this engine creates
-    /// records into it. Clones share the tally, so a caller that threads
-    /// one handle through an engine reads exact per-run gate deltas no
-    /// matter how many concurrent solves are in flight elsewhere.
-    pub gates: GateCounter,
     /// Memory budget for the sparse backend: peak nonzero count
     /// (`|H| · max_site_dim`) a round may allocate. Defaults to
     /// [`SPARSE_NNZ_CAP`]; the façade's builder exposes it so callers can
     /// tighten (or loosen) the budget per solver. Exceeding it surfaces as
     /// the typed [`SolveError::SparseCapacity`].
     pub sparse_nnz_cap: usize,
-    /// Ballots per label query: a value `≥ 2` routes every
-    /// [`HidingOracle::label`] call this solve makes through a majority
-    /// vote of that many independent ballots (margins recorded in
-    /// `votes`), which is the engine's defense against noisy oracles.
-    /// `0` or `1` (the default) queries the oracle directly.
-    pub repetitions: usize,
-    /// Per-run vote ledger: every majority decision of a voted solve is
-    /// recorded here. Clones share the tally (like `gates`), so a caller
-    /// that threads one handle through the engine can derive a
-    /// statistical confidence for the run afterwards.
-    pub votes: VoteLedger,
+    /// Per-solve execution context: clone-shared gate and vote tallies,
+    /// the majority-vote repetition count, cooperative cancellation, the
+    /// gate budget, and the sink recording which backend actually sampled.
+    /// A caller that threads one context through an engine (and its
+    /// sub-solves) reads exact per-run figures no matter how many
+    /// concurrent solves are in flight elsewhere.
+    pub ctx: EngineContext,
 }
 
 impl Default for AbelianHsp {
@@ -235,10 +255,8 @@ impl Default for AbelianHsp {
         AbelianHsp {
             backend: Backend::SimulatorCoset,
             max_rounds: 0, // 0 = auto
-            gates: GateCounter::new(),
             sparse_nnz_cap: SPARSE_NNZ_CAP,
-            repetitions: 1,
-            votes: VoteLedger::new(),
+            ctx: EngineContext::new(),
         }
     }
 }
@@ -251,9 +269,16 @@ impl AbelianHsp {
         }
     }
 
+    /// Run with a caller-owned execution context (shared accounting,
+    /// cancellation, budgets, backend sink).
+    pub fn with_context(mut self, ctx: EngineContext) -> Self {
+        self.ctx = ctx;
+        self
+    }
+
     /// Share a caller-owned per-run gate counter.
     pub fn with_gates(mut self, gates: GateCounter) -> Self {
-        self.gates = gates;
+        self.ctx.gates = gates;
         self
     }
 
@@ -264,15 +289,15 @@ impl AbelianHsp {
     }
 
     /// Decide every label query by a majority of `k` ballots (see
-    /// [`AbelianHsp::repetitions`]).
+    /// [`EngineContext::repetitions`]).
     pub fn with_repetitions(mut self, k: usize) -> Self {
-        self.repetitions = k;
+        self.ctx.repetitions = k;
         self
     }
 
     /// Share a caller-owned per-run vote ledger.
     pub fn with_votes(mut self, votes: VoteLedger) -> Self {
-        self.votes = votes;
+        self.ctx.votes = votes;
         self
     }
 
@@ -293,24 +318,25 @@ impl AbelianHsp {
     /// [`AbelianHsp::solve`] with every failure mode surfaced as a typed
     /// [`SolveError`] instead of a panic.
     ///
-    /// With `repetitions ≥ 2` the whole solve — sampling, the identity
+    /// With `ctx.repetitions ≥ 2` the whole solve — sampling, the identity
     /// label, and the Las Vegas verification loop — runs behind a
     /// [`VotedOracle`], so each logical label decision casts that many
     /// underlying ballots (all of them reflected in
-    /// [`HspResult::classical_queries`]) and its margin lands in `votes`.
+    /// [`HspResult::classical_queries`]) and its margin lands in the
+    /// context's vote ledger.
     pub fn try_solve<O: HidingOracle + ?Sized>(
         &self,
         oracle: &O,
         rng: &mut impl Rng,
     ) -> Result<HspResult, SolveError> {
-        if self.repetitions > 1 {
-            let voted = VotedOracle::new(oracle, self.repetitions, self.votes.clone());
+        if self.ctx.repetitions > 1 {
+            let voted = VotedOracle::from_context(&self.ctx, oracle);
             let mut res = self.sampling_loop(&voted, rng)?;
             // Every logical classical decision cast exactly `repetitions`
             // underlying ballots; report the true query cost.
             res.classical_queries = res
                 .classical_queries
-                .saturating_mul(self.repetitions as u64);
+                .saturating_mul(self.ctx.repetitions as u64);
             return Ok(res);
         }
         self.sampling_loop(oracle, rng)
@@ -329,7 +355,7 @@ impl AbelianHsp {
         } else {
             (64 - order.leading_zeros() as usize) * 4 + 48
         };
-        let g0 = self.gates.count();
+        let g0 = self.ctx.gates.count();
         let mut samples: Vec<Vec<u64>> = Vec::new();
         let mut quantum_queries = 0u64;
         let mut classical_queries = 0u64;
@@ -356,6 +382,10 @@ impl AbelianHsp {
         let mut need_verify = true;
 
         for round in 1..=max_rounds {
+            // One cancellation / gate-budget poll per Las Vegas round. The
+            // poll consumes no randomness and no queries, so solves that
+            // trip neither condition are bitwise unaffected.
+            self.ctx.checkpoint()?;
             if need_verify {
                 // Verify Ĥ ⊆ H by evaluating f on candidate generators
                 // (H ⊆ Ĥ holds unconditionally: samples lie in H^⊥).
@@ -388,7 +418,7 @@ impl AbelianHsp {
                             rounds: round - 1,
                             quantum_queries,
                             classical_queries,
-                            gates: self.gates.count().saturating_sub(g0),
+                            gates: self.ctx.gates.count().saturating_sub(g0),
                             backend: resolved,
                         });
                     }
@@ -411,12 +441,21 @@ impl AbelianHsp {
                     let (b, fiber) =
                         resolve_backend(self.backend, oracle, adim, self.sparse_nnz_cap)?;
                     resolved = Some(b);
+                    // Publish the resolution to the context so façade-level
+                    // callers learn which backend actually sampled even
+                    // when this loop runs deep inside a composed strategy.
+                    self.ctx.resolved.record(b);
                     identity_fiber = fiber;
                     b
                 }
             };
             let y = match backend {
-                Backend::Auto => unreachable!("Auto is resolved before sampling"),
+                // Auto is resolved above; Classical is rejected by
+                // `resolve_backend`. Degrade to a typed error rather than a
+                // panic if either ever leaks through.
+                Backend::Auto | Backend::Classical => {
+                    return Err(SolveError::BackendUnavailable { requested: backend })
+                }
                 Backend::SimulatorFull => {
                     if adim > FULL_CAP {
                         return Err(SolveError::SimulatorCapacity {
@@ -425,7 +464,7 @@ impl AbelianHsp {
                         });
                     }
                     quantum_queries += 1;
-                    fourier_sample_full(oracle, &self.gates, rng)
+                    fourier_sample_full(oracle, &self.ctx.gates, rng)
                 }
                 Backend::SimulatorCoset => {
                     if adim > COSET_CAP {
@@ -435,7 +474,7 @@ impl AbelianHsp {
                         });
                     }
                     quantum_queries += 1;
-                    fourier_sample_coset(oracle, &self.gates, rng)
+                    fourier_sample_coset(oracle, &self.ctx.gates, rng)
                 }
                 Backend::SimulatorSparse => {
                     quantum_queries += 1;
@@ -443,7 +482,7 @@ impl AbelianHsp {
                         oracle,
                         identity_fiber.as_deref(),
                         self.sparse_nnz_cap,
-                        &self.gates,
+                        &self.ctx.gates,
                         rng,
                     )?
                 }
@@ -460,7 +499,7 @@ impl AbelianHsp {
                         }
                     };
                     quantum_queries += 1;
-                    plan.sample(&self.gates, rng)
+                    plan.sample(&self.ctx.gates, rng)
                 }
                 Backend::Ideal => {
                     let hperp = match &ideal_hperp {
@@ -620,6 +659,8 @@ fn resolve_backend<O: HidingOracle + ?Sized>(
             let fiber = probe().or_else(|| scan_identity_fiber(oracle, adim));
             return Ok((Backend::SimulatorSparse, fiber));
         }
+        // A report marker, not a sampler: reject before any round runs.
+        Backend::Classical => return Err(SolveError::BackendUnavailable { requested }),
         Backend::Auto => {}
         b => return Ok((b, None)),
     }
@@ -1188,7 +1229,7 @@ mod tests {
         assert!(res.subgroup.same_subgroup(oracle.hidden_subgroup()));
         assert!(res.quantum_queries > 0, "must actually Fourier-sample");
         assert!(res.gates > 0, "sparse rounds apply counted gates");
-        assert_eq!(res.gates, engine.gates.count());
+        assert_eq!(res.gates, engine.ctx.gates.count());
     }
 
     #[test]

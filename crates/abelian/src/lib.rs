@@ -25,6 +25,7 @@
 //!   quantum simulator and emulated exactly (the substitution recorded in
 //!   DESIGN.md).
 
+pub mod context;
 pub mod dual;
 pub mod howell;
 pub mod hsp;
@@ -34,6 +35,7 @@ pub mod snf;
 pub mod structure;
 pub mod vote;
 
+pub use context::{BackendSink, CancelToken, EngineContext};
 pub use hsp::{AbelianHsp, Backend, HidingOracle, SolveError, SubgroupOracle};
 pub use lattice::SubgroupLattice;
 pub use orderfind::OrderFinder;

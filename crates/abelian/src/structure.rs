@@ -10,7 +10,7 @@
 //! `G ≅ Z_{d1} ⊕ … ⊕ Z_{dt}` with `d₁ | d₂ | …`, refinable to prime-power
 //! factors by CRT.
 
-use crate::hsp::{AbelianHsp, HidingOracle};
+use crate::hsp::{AbelianHsp, HidingOracle, SolveError};
 use crate::lattice::SubgroupLattice;
 use crate::orderfind::OrderFinder;
 use crate::snf::{smith_normal_form, IMat};
@@ -141,6 +141,23 @@ pub fn decompose<G: Group>(
     orders: &OrderFinder,
     rng: &mut impl Rng,
 ) -> AbelianStructure<G::Elem> {
+    match try_decompose(group, gens, hsp, orders, rng) {
+        Ok(s) => s,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// [`decompose`] with the relation-kernel solve's failure modes (including
+/// mid-round cancellation and gate-budget exhaustion) surfaced as a typed
+/// [`SolveError`] instead of a panic. Library code running under a
+/// [`crate::CancelToken`] or gate budget must use this variant.
+pub fn try_decompose<G: Group>(
+    group: &G,
+    gens: &[G::Elem],
+    hsp: &AbelianHsp,
+    orders: &OrderFinder,
+    rng: &mut impl Rng,
+) -> Result<AbelianStructure<G::Elem>, SolveError> {
     assert!(!gens.is_empty(), "need at least one generator");
     let generator_orders: Vec<u64> = gens.iter().map(|g| orders.find(group, g, rng)).collect();
     let kept: Vec<usize> = generator_orders
@@ -153,12 +170,12 @@ pub fn decompose<G: Group>(
         // Every generator is the identity: the trivial group. No ambient
         // register, no sampling — and no Z_1 site construction to abort on.
         let ambient = AbelianProduct::new(vec![1]);
-        return AbelianStructure {
+        return Ok(AbelianStructure {
             invariant_factors: Vec::new(),
             new_generators: Vec::new(),
             kernel: SubgroupLattice::from_generators(&ambient, &[]),
             generator_orders,
-        };
+        });
     }
     let kept_gens: Vec<G::Elem> = kept.iter().map(|&i| gens[i].clone()).collect();
     let kept_orders: Vec<u64> = kept.iter().map(|&i| generator_orders[i]).collect();
@@ -169,10 +186,10 @@ pub fn decompose<G: Group>(
         ambient: ambient.clone(),
         intern: std::sync::Mutex::new(std::collections::HashMap::new()),
     };
-    let result = hsp.solve(&oracle, rng);
+    let result = hsp.try_solve(&oracle, rng)?;
     let mut s = structure_from_kernel(group, &kept_gens, &ambient, result.subgroup, kept_orders);
     s.generator_orders = generator_orders;
-    s
+    Ok(s)
 }
 
 /// Same decomposition when the caller already knows the kernel (used by

@@ -20,6 +20,7 @@
 //! The ballots are ordinary sequential oracle queries, so a voted solve
 //! with a deterministic noisy oracle is itself deterministic.
 
+use crate::context::EngineContext;
 use crate::hsp::HidingOracle;
 use nahsp_groups::AbelianProduct;
 use std::sync::{Arc, Mutex};
@@ -188,6 +189,13 @@ impl<'a, O: HidingOracle + ?Sized> VotedOracle<'a, O> {
             k: k.max(1),
             ledger,
         }
+    }
+
+    /// Vote with an [`EngineContext`]'s repetition policy, recording every
+    /// margin into its shared ledger — the constructor engines use so a
+    /// context threaded through sub-solves keeps one per-run vote record.
+    pub fn from_context(ctx: &EngineContext, inner: &'a O) -> Self {
+        VotedOracle::new(inner, ctx.repetitions, ctx.votes.clone())
     }
 }
 

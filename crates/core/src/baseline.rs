@@ -136,6 +136,9 @@ pub struct EttingerHoyerResult {
     /// Candidates examined by the classical post-processing — `n`
     /// (exponential in the input size `log n`).
     pub candidates_scanned: u64,
+    /// Whether the coset states were run through the dense simulator
+    /// (small `n`) or sampled from the proven closed-form distribution.
+    pub simulated: bool,
 }
 
 /// Ettinger–Høyer for the dihedral group `D_n` with hidden reflection
@@ -223,6 +226,7 @@ pub fn ettinger_hoyer_dihedral(
         d,
         quantum_queries: samples as u64 + extra,
         candidates_scanned: n,
+        simulated: simulate,
     }
 }
 

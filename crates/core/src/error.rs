@@ -218,6 +218,17 @@ impl From<SolveError> for HspError {
             SolveError::CliffordUnsupported { site_dim } => {
                 HspError::CliffordUnsupported { site_dim }
             }
+            SolveError::BackendUnavailable { requested } => HspError::StrategyUnavailable {
+                strategy: "Abelian",
+                reason: format!(
+                    "backend {requested:?} cannot run Fourier-sampling rounds \
+                     (it is a report-level marker, not a sampler)"
+                ),
+            },
+            SolveError::Cancelled => HspError::Cancelled,
+            SolveError::GateBudgetExceeded { spent, budget } => {
+                HspError::GateBudgetExceeded { spent, budget }
+            }
         }
     }
 }

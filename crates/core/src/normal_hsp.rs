@@ -24,7 +24,7 @@
 //! membership instead of enumeration.
 
 use crate::error::HspError;
-use crate::membership::abelian_membership;
+use crate::membership::try_abelian_membership;
 use crate::oracle::HidingFunction;
 use crate::quotient::HiddenQuotient;
 use nahsp_abelian::{AbelianHsp, OrderFinder};
@@ -164,7 +164,7 @@ fn seeds_by_abelian_presentation<G: Group, F: HidingFunction<G>>(
     rng: &mut impl Rng,
 ) -> Result<NormalHspSeeds<G>, HspError> {
     let orders = OrderFinder::Exact;
-    let structure = nahsp_abelian::structure::decompose(q, &q.generators(), hsp, &orders, rng);
+    let structure = nahsp_abelian::structure::try_decompose(q, &q.generators(), hsp, &orders, rng)?;
     let ts = structure.new_generators.clone();
     let ds = structure.invariant_factors.clone();
     let mut seeds: Vec<G::Elem> = Vec::new();
@@ -193,7 +193,7 @@ fn seeds_by_abelian_presentation<G: Group, F: HidingFunction<G>>(
             }
             continue;
         }
-        let exps = abelian_membership(q, &ts, &x, hsp, &orders, rng).ok_or_else(|| {
+        let exps = try_abelian_membership(q, &ts, &x, hsp, &orders, rng)?.ok_or_else(|| {
             HspError::OracleInconsistent {
                 context: "presentation generators do not span the quotient".into(),
             }

@@ -43,11 +43,13 @@
 //!   [`HspError::QueryBudgetExceeded`] / [`HspError::GateBudgetExceeded`] /
 //!   [`HspError::SparseCapacity`] — the worker survives and takes the next
 //!   ticket.
-//! - **Cooperative cancellation.** [`Ticket::cancel`] raises a flag the
-//!   solve polls at its checkpoints; a cancelled run reports
-//!   [`HspError::Cancelled`]. Cancellation is advisory — a solve that
-//!   finishes before noticing the flag returns its report, which is
-//!   exactly the sequential one.
+//! - **Cooperative cancellation.** [`Ticket::cancel`] raises a
+//!   [`CancelToken`] the worker threads into the ticket's
+//!   [`crate::solver::SolveContext`]; the solve polls it at the façade
+//!   checkpoints and once per Abelian Fourier-sampling round, and a
+//!   cancelled run reports [`HspError::Cancelled`]. Cancellation is
+//!   advisory — a solve that finishes before noticing the flag returns its
+//!   report, which is exactly the sequential one.
 //! - **Graceful shutdown.** Dropping the service drains every admitted
 //!   ticket (the pool finishes queued jobs before its workers exit), so an
 //!   admitted submission is never silently lost.
@@ -56,7 +58,7 @@ use crate::error::HspError;
 use crate::noise::NoiseConfig;
 use crate::oracle::HidingFunction;
 use crate::solver::{HspInstance, HspReport, HspSolver, Strategy};
-use nahsp_abelian::Backend;
+use nahsp_abelian::{Backend, CancelToken};
 use rayon::{ThreadPool, ThreadPoolBuilder};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -331,7 +333,7 @@ enum Slot<G: nahsp_groups::Group> {
 }
 
 struct TicketState<G: nahsp_groups::Group> {
-    cancel: AtomicBool,
+    cancel: CancelToken,
     latency_nanos: AtomicU64,
     slot: Mutex<Slot<G>>,
     done_cv: Condvar,
@@ -379,11 +381,12 @@ impl<G: nahsp_groups::Group> Ticket<G> {
         self.seed
     }
 
-    /// Raise the cooperative cancellation flag. The solve polls it at its
-    /// checkpoints and reports [`HspError::Cancelled`]; a solve that
-    /// finishes first returns its (deterministic) report instead.
+    /// Raise the cooperative cancellation token. The solve polls it at
+    /// its checkpoints (including once per Abelian Fourier-sampling
+    /// round) and reports [`HspError::Cancelled`]; a solve that finishes
+    /// first returns its (deterministic) report instead.
     pub fn cancel(&self) {
-        self.state.cancel.store(true, Ordering::Relaxed);
+        self.state.cancel.raise();
     }
 
     /// Non-blocking lifecycle probe.
@@ -594,7 +597,7 @@ impl SolverService {
             opts.repetitions,
         );
         let state = Arc::new(TicketState {
-            cancel: AtomicBool::new(false),
+            cancel: CancelToken::new(),
             latency_nanos: AtomicU64::new(0),
             slot: Mutex::new(Slot::Queued),
             done_cv: Condvar::new(),
@@ -608,10 +611,11 @@ impl SolverService {
         self.inner.pool.spawn(move || {
             let guard = guard;
             *job_state.slot.lock().expect("ticket slot poisoned") = Slot::Running;
-            let result = if job_state.cancel.load(Ordering::Relaxed) {
+            let result = if job_state.cancel.is_cancelled() {
                 Err(HspError::Cancelled)
             } else {
-                derived.solve_seeded_with_cancel(&instance, seed, Some(&job_state.cancel))
+                let ctx = derived.context_with_cancel(seed, job_state.cancel.clone());
+                derived.solve_in(&instance, ctx)
             };
             // Latency is queue wait + solve; clamp to 1ns so a stored value
             // is distinguishable from "not finished".

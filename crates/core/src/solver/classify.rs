@@ -1,25 +1,15 @@
-//! Instance classification: which theorem applies?
+//! The [`Strategy`] vocabulary and the typed-cast helpers structural
+//! probes are built from.
 //!
-//! `Strategy::Auto` mirrors the paper's case analysis (and the way Lomont's
-//! HSP survey organizes it): Abelian groups go to the Abelian engine, a
-//! declared normal-subgroup promise goes to Theorem 8, extraspecial groups
-//! to Corollary 12, `Z₂^k ⋊ Z_m` families to Theorem 13, dihedral
-//! reflection instances to the Ettinger–Høyer baseline, and anything else
-//! is probed for a small commutator subgroup (Theorem 11) before giving up.
-//!
-//! Classification is two-layered: a *structural* layer recognizes concrete
-//! group families by type (zero oracle queries), and a *black-box* layer
-//! falls back to generator probes that any `Group` supports.
+//! `Strategy::Auto` resolution itself lives in
+//! [`super::engines::classify_walk`]: an ordered walk over the registered
+//! engines' capability probes that mirrors the paper's case analysis (and
+//! the way Lomont's HSP survey organizes it). This module keeps the
+//! strategy enum plus the runtime type tests (`cast_ref` / `cast_clone` /
+//! `dihedral_reflection_slope`) that let fully generic probes recognize
+//! concrete group families without widening the `Group` trait.
 
-use super::instance::HspInstance;
-use super::HspSolver;
-use crate::error::HspError;
-use crate::oracle::HidingFunction;
-use nahsp_groups::closure::commutator_subgroup;
 use nahsp_groups::dihedral::Dihedral;
-use nahsp_groups::extraspecial::Extraspecial;
-use nahsp_groups::semidirect::Semidirect;
-use nahsp_groups::Group;
 use std::any::Any;
 
 /// Every solve strategy the façade can run: the paper's results plus the
@@ -106,81 +96,10 @@ pub(super) fn dihedral_reflection_slope<E: Any>(group: &Dihedral, truth: &[E]) -
     slope
 }
 
-/// Resolve `Strategy::Auto` for an instance.
-pub(super) fn classify<G, F>(
-    solver: &HspSolver,
-    instance: &HspInstance<G, F>,
-) -> Result<Strategy, HspError>
-where
-    G: Group + 'static,
-    G::Elem: 'static,
-    F: HidingFunction<G>,
-{
-    classify_with_cache(solver, instance).map(|(s, _)| s)
-}
-
-/// [`classify`] plus the commutator subgroup the black-box fallback had to
-/// enumerate to decide applicability, so the dispatched small-commutator
-/// run can reuse it instead of paying the closure twice.
-pub(super) fn classify_with_cache<G, F>(
-    solver: &HspSolver,
-    instance: &HspInstance<G, F>,
-) -> Result<(Strategy, Option<Vec<G::Elem>>), HspError>
-where
-    G: Group + 'static,
-    G::Elem: 'static,
-    F: HidingFunction<G>,
-{
-    let group = instance.group();
-    // 1. Abelian groups: the Abelian engine handles every subgroup.
-    if group.generators_commute() {
-        return Ok((Strategy::Abelian, None));
-    }
-    // 2. A declared normal-subgroup promise: Theorem 8.
-    if instance.normal_promise() {
-        return Ok((Strategy::NormalSubgroup, None));
-    }
-    // 3. Structural families.
-    if cast_ref::<G, Extraspecial>(group).is_some() {
-        return Ok((Strategy::SmallCommutator, None)); // Corollary 12
-    }
-    if cast_ref::<G, Semidirect>(group).is_some() {
-        return Ok((Strategy::Ea2Cyclic, None)); // Theorem 13, G/N = Z_m cyclic
-    }
-    if let Some(d) = cast_ref::<G, Dihedral>(group) {
-        let is_reflection_instance = instance
-            .ground_truth()
-            .and_then(|t| dihedral_reflection_slope(d, t))
-            .is_some();
-        if is_reflection_instance {
-            return Ok((Strategy::EttingerHoyerDihedral, None));
-        }
-        // Rotation/trivial/full subgroups: G' = ⟨ρ²⟩ is enumerable, so
-        // Theorem 11 solves them within the poly(n) budget.
-        return Ok((Strategy::SmallCommutator, None));
-    }
-    // 4. A declared elementary Abelian normal 2-subgroup: Theorem 13
-    //    (general case — the quotient shape is unknown).
-    if instance.ea2_normal_gens().is_some() {
-        return Ok((Strategy::Ea2General, None));
-    }
-    // 5. Black-box fallback: probe for a small commutator subgroup, and
-    //    hand the enumeration to the dispatched run.
-    if let Some(gprime) = commutator_subgroup(group, solver.enumeration_limit()) {
-        return Ok((Strategy::SmallCommutator, Some(gprime)));
-    }
-    Err(HspError::Unclassifiable {
-        reason: format!(
-            "group is non-Abelian, declares no promises, matches no structural family, \
-             and its commutator subgroup exceeds {} elements",
-            solver.enumeration_limit()
-        ),
-    })
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use nahsp_groups::extraspecial::Extraspecial;
 
     #[test]
     fn reflection_slope_recognition() {

@@ -1,0 +1,200 @@
+//! The unified per-solve execution context every strategy engine runs
+//! over.
+//!
+//! Historically each `run_*` method of the façade took an ad-hoc
+//! `(gates, votes, rng)` triple and the cancellation/budget state lived in
+//! a closure inside `solve_seeded_with_cancel`. [`SolveContext`] bundles
+//! all of it — the seeded RNG stream, the clone-shared
+//! [`nahsp_abelian::EngineContext`] (gate counter, vote ledger, repetition
+//! policy, cancellation token, gate budget, resolved-backend sink), the
+//! query budget, and the solver's per-solve configuration snapshot — so an
+//! engine's entire execution environment travels as one value.
+//!
+//! A context is built by [`HspSolver::context`] (or
+//! [`HspSolver::context_with_cancel`] to arm cooperative cancellation) and
+//! consumed by [`HspSolver::solve_in`]. The serving layer builds one per
+//! ticket, threading the ticket's [`CancelToken`] straight into the
+//! Abelian engine's per-round checkpoint — a cancelled ticket cuts its
+//! Fourier-sampling loop off mid-solve instead of waiting for the next
+//! façade-level checkpoint.
+
+use super::HspSolver;
+use crate::error::HspError;
+use nahsp_abelian::{AbelianHsp, Backend, BackendSink, CancelToken, EngineContext, VoteLedger};
+use nahsp_qsim::GateCounter;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Everything one solve carries across engine boundaries: the seeded RNG
+/// stream, shared accounting, cancellation, budgets, and the configuration
+/// snapshot engines read instead of reaching back into the solver.
+pub struct SolveContext {
+    /// The solve's deterministic RNG stream. Engines draw from it in a
+    /// fixed order, so two contexts with the same seed replay identically.
+    pub(crate) rng: StdRng,
+    /// Clone-shared accounting and control handles; sub-solves (quotient
+    /// presentations, Theorem 13 per-coset instances) receive clones and
+    /// bill the same per-run tallies.
+    pub(crate) engine: EngineContext,
+    /// Requested sampling backend (before per-instance `Auto` resolution).
+    pub(crate) backend: Backend,
+    /// Round cap for the Abelian engine's Las Vegas loop (0 = automatic).
+    pub(crate) max_rounds: usize,
+    /// Memory budget for the sparse simulator backend.
+    pub(crate) sparse_nnz_cap: usize,
+    /// Element budget for every enumeration on the solve path.
+    pub(crate) enumeration_limit: usize,
+    /// Hard cap on hiding-function queries, enforced at the façade
+    /// checkpoints against `q0`.
+    pub(crate) query_budget: Option<u64>,
+    /// The instance oracle's query counter at solve entry.
+    pub(crate) q0: u64,
+}
+
+impl HspSolver {
+    /// Build the execution context [`HspSolver::solve_seeded`] runs in: a
+    /// fresh RNG stream for `seed`, fresh per-run accounting, and this
+    /// solver's configuration snapshot. No cancellation is armed.
+    pub fn context(&self, seed: u64) -> SolveContext {
+        self.context_with_cancel(seed, CancelToken::none())
+    }
+
+    /// [`HspSolver::context`] with a caller-supplied [`CancelToken`]. The
+    /// token is polled at the façade checkpoints *and* once per Abelian
+    /// Fourier-sampling round; raising it surfaces as
+    /// [`HspError::Cancelled`]. The polls consume no randomness and no
+    /// queries, so an un-raised token leaves the report identical to
+    /// [`HspSolver::solve_seeded`]'s.
+    pub fn context_with_cancel(&self, seed: u64, cancel: CancelToken) -> SolveContext {
+        SolveContext {
+            rng: StdRng::seed_from_u64(seed),
+            engine: EngineContext {
+                gates: GateCounter::new(),
+                votes: VoteLedger::new(),
+                repetitions: self.effective_repetitions(),
+                cancel,
+                gate_budget: self.gate_budget,
+                resolved: BackendSink::default(),
+            },
+            backend: self.backend,
+            max_rounds: self.max_rounds,
+            sparse_nnz_cap: self.sparse_nnz_cap,
+            enumeration_limit: self.enumeration_limit,
+            query_budget: self.query_budget,
+            q0: 0,
+        }
+    }
+}
+
+impl SolveContext {
+    /// The façade-level cancellation / budget poll: cancellation and the
+    /// gate budget (via the shared [`EngineContext`]), then the query
+    /// budget against the caller-observed oracle counter. Consumes no
+    /// randomness and no queries.
+    pub fn checkpoint(&self, queries_now: u64) -> Result<(), HspError> {
+        self.engine.checkpoint()?;
+        if let Some(budget) = self.query_budget {
+            let spent = queries_now.saturating_sub(self.q0);
+            if spent > budget {
+                return Err(HspError::QueryBudgetExceeded { spent, budget });
+            }
+        }
+        Ok(())
+    }
+
+    /// The backend that actually performed Fourier-sampling rounds, if any
+    /// quantum round ran (`None` means the solve was served classically).
+    pub fn resolved_backend(&self) -> Option<Backend> {
+        self.engine.resolved_backend()
+    }
+
+    /// Abelian engine for the quotient presentation machinery: no ground
+    /// truth exists there, so [`Backend::Ideal`] downgrades to the coset
+    /// simulator. The context's shared accounting rides inside.
+    pub(crate) fn presentation_engine(&self) -> AbelianHsp {
+        let backend = match self.backend {
+            Backend::Ideal => Backend::SimulatorCoset,
+            b => b,
+        };
+        AbelianHsp {
+            backend,
+            max_rounds: self.max_rounds,
+            sparse_nnz_cap: self.sparse_nnz_cap,
+            ctx: self.engine.clone(),
+        }
+    }
+
+    /// Abelian engine for paths that *can* consume instance ground truth
+    /// (the direct Abelian path, the Theorem 13 per-coset instances), so
+    /// [`Backend::Ideal`] passes through.
+    pub(crate) fn truth_engine(&self) -> AbelianHsp {
+        AbelianHsp {
+            backend: self.backend,
+            max_rounds: self.max_rounds,
+            sparse_nnz_cap: self.sparse_nnz_cap,
+            ctx: self.engine.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{HspInstance, HspSolver};
+    use crate::error::HspError;
+    use crate::oracle::{CosetTableOracle, HidingFunction};
+    use nahsp_abelian::{Backend, CancelToken};
+    use nahsp_groups::extraspecial::Extraspecial;
+    use nahsp_groups::{AbelianProduct, CyclicGroup};
+
+    #[test]
+    fn gate_budget_is_enforced() {
+        let g = AbelianProduct::new(vec![2; 6]);
+        let mut h = vec![0u64; 6];
+        h[0] = 1;
+        let oracle = CosetTableOracle::new(g.clone(), &[h], 1 << 10);
+        let instance = HspInstance::new(g, oracle);
+        // A Fourier-sampling solve applies far more than 3 gates.
+        let err = HspSolver::builder()
+            .backend(Backend::SimulatorCoset)
+            .gate_budget(3)
+            .build()
+            .solve(&instance)
+            .expect_err("gate budget must trip");
+        assert!(matches!(
+            err,
+            HspError::GateBudgetExceeded { budget: 3, .. }
+        ));
+    }
+
+    #[test]
+    fn pre_raised_cancel_flag_short_circuits_the_solve() {
+        let g = CyclicGroup::new(12);
+        let oracle = CosetTableOracle::new(g.clone(), &[4u64], 100);
+        let instance = HspInstance::new(g, oracle);
+        let q_before = instance.oracle().queries();
+        let solver = HspSolver::new();
+        let token = CancelToken::new();
+        token.raise();
+        let err = solver
+            .solve_in(&instance, solver.context_with_cancel(0, token))
+            .expect_err("raised token cancels at the entry checkpoint");
+        assert_eq!(err, HspError::Cancelled);
+        // The entry checkpoint fires before any oracle work.
+        assert_eq!(instance.oracle().queries(), q_before);
+    }
+
+    #[test]
+    fn uncancelled_token_leaves_reports_identical_to_solve_seeded() {
+        let g = Extraspecial::heisenberg(3);
+        // Two identically-constructed instances: oracle query counters are
+        // per-instance, so parity needs fresh oracles on both sides.
+        let a = HspInstance::with_coset_oracle(g.clone(), &[g.center_generator()], 1000).unwrap();
+        let b = HspInstance::with_coset_oracle(g.clone(), &[g.center_generator()], 1000).unwrap();
+        let solver = HspSolver::new();
+        let plain = solver.solve_seeded(&a, 1234).unwrap();
+        let flagged = solver
+            .solve_in(&b, solver.context_with_cancel(1234, CancelToken::new()))
+            .unwrap();
+        assert!(plain.same_outcome(&flagged));
+    }
+}

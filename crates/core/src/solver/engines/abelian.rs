@@ -1,0 +1,290 @@
+//! [`Strategy::Abelian`]: the Theorem 3 substrate.
+//!
+//! Concrete Abelian products and cyclic groups map straight onto the
+//! Abelian HSP engine (the direct path, where instance ground truth can
+//! reach the ideal sampler and the sparse backend's coset fibers); every
+//! other commuting group goes through the quotient presentation machinery
+//! with the trivial quotient.
+
+use super::super::classify::{cast_clone, cast_ref};
+use super::super::context::SolveContext;
+use super::super::instance::HspInstance;
+use super::super::report::StrategyDetail;
+use super::super::{dedupe_generators, subgroup_order, Strategy};
+use super::{Probe, StrategyEngine, StrategyOutcome};
+use crate::error::HspError;
+use crate::normal_hsp::{try_normal_subgroup_seeds, QuotientEngine};
+use crate::oracle::HidingFunction;
+use nahsp_abelian::hsp::HidingOracle as AbelianHidingOracle;
+use nahsp_abelian::{lattice, Backend, SubgroupLattice};
+use nahsp_groups::{AbelianProduct, CyclicGroup, Group};
+
+/// Engine for [`Strategy::Abelian`] — probes for commuting generators.
+pub struct AbelianEngine;
+
+impl<G, F> StrategyEngine<G, F> for AbelianEngine
+where
+    G: Group + 'static,
+    G::Elem: 'static,
+    F: HidingFunction<G>,
+{
+    fn strategy(&self) -> Strategy {
+        Strategy::Abelian
+    }
+
+    fn probe(&self, instance: &HspInstance<G, F>) -> Probe<G> {
+        if instance.group().generators_commute() {
+            Probe::Yes
+        } else {
+            Probe::No
+        }
+    }
+
+    fn solve(
+        &self,
+        ctx: &mut SolveContext,
+        instance: &HspInstance<G, F>,
+        _gprime: Option<Vec<G::Elem>>,
+    ) -> Result<StrategyOutcome<G>, HspError> {
+        let group = instance.group();
+        if let Some(out) = solve_direct(ctx, instance)? {
+            return Ok(out);
+        }
+        let engine = ctx.presentation_engine();
+        let seeds = try_normal_subgroup_seeds(
+            group,
+            instance.oracle(),
+            QuotientEngine::Abelian,
+            &engine,
+            &mut ctx.rng,
+        )?;
+        // In an Abelian group conjugation is trivial, so the seeds plainly
+        // generate H — no normal closure needed.
+        let generators = dedupe_generators(group, seeds.seeds);
+        let order = subgroup_order(group, &generators, ctx.enumeration_limit);
+        Ok(StrategyOutcome {
+            generators,
+            order,
+            detail: StrategyDetail::Normal {
+                quotient_order: seeds.quotient_order,
+            },
+        })
+    }
+}
+
+/// The structural fast path: when the group is literally an
+/// [`AbelianProduct`] or [`CyclicGroup`], the instance *is* an Abelian HSP
+/// instance — hand it to the engine directly. Returns `Ok(None)` for every
+/// other group type. This is also the path where instance ground truth
+/// reaches the engine: coset fibers for the sparse backend (so `Auto`
+/// lifts the dense `|A|` caps whenever the promised `|H|` keeps the
+/// nonzero count small) and generator sets for the ideal sampler.
+fn solve_direct<G, F>(
+    ctx: &mut SolveContext,
+    instance: &HspInstance<G, F>,
+) -> Result<Option<StrategyOutcome<G>>, HspError>
+where
+    G: Group + 'static,
+    G::Elem: 'static,
+    F: HidingFunction<G>,
+{
+    let group = instance.group();
+    // Coordinate bridge per concrete family.
+    let (ambient, to_elem): (AbelianProduct, Box<dyn Fn(&[u64]) -> G::Elem + Sync + '_>) =
+        if let Some(ap) = cast_ref::<G, AbelianProduct>(group) {
+            (
+                ap.clone(),
+                Box::new(|x: &[u64]| {
+                    cast_clone::<Vec<u64>, G::Elem>(&x.to_vec()).expect("product element")
+                }),
+            )
+        } else if let Some(cg) = cast_ref::<G, CyclicGroup>(group) {
+            (
+                AbelianProduct::new(vec![cg.n]),
+                Box::new(|x: &[u64]| cast_clone::<u64, G::Elem>(&x[0]).expect("cyclic element")),
+            )
+        } else {
+            return Ok(None);
+        };
+    let elem_coords = |e: &G::Elem| -> Vec<u64> {
+        if let Some(v) = cast_ref::<G::Elem, Vec<u64>>(e) {
+            v.clone()
+        } else {
+            vec![*cast_ref::<G::Elem, u64>(e).expect("cyclic element")]
+        }
+    };
+    let truth_coords: Option<Vec<Vec<u64>>> = instance
+        .ground_truth()
+        .map(|t| t.iter().map(&elem_coords).collect());
+    let truth_lattice = truth_coords
+        .as_ref()
+        .map(|t| SubgroupLattice::from_generators(&ambient, t));
+    let eval_fn = |coords: &[u64]| instance.oracle().eval(&to_elem(coords));
+    let has_truth = truth_coords.is_some();
+    let oracle = DirectAbelianOracle {
+        ambient: ambient.clone(),
+        eval: &eval_fn,
+        truth_coords,
+        truth_lattice,
+    };
+    // Without ground truth the ideal sampler has nothing to draw from;
+    // downgrade to the dense coset simulator — the same behavior the
+    // presentation path has always had for `Backend::Ideal`.
+    let mut engine = ctx.truth_engine();
+    if engine.backend == Backend::Ideal && !has_truth {
+        engine.backend = Backend::SimulatorCoset;
+    }
+    let result = engine.try_solve(&oracle, &mut ctx.rng)?;
+    let order = result.subgroup.order();
+    let generators: Vec<G::Elem> = result
+        .subgroup
+        .cyclic_generators()
+        .iter()
+        .map(|(g, _)| to_elem(g))
+        .collect();
+    let generators = dedupe_generators(group, generators);
+    let ambient_order = ambient
+        .moduli
+        .iter()
+        .fold(1u64, |acc, &m| acc.saturating_mul(m));
+    Ok(Some(StrategyOutcome {
+        generators,
+        order: Some(order),
+        detail: StrategyDetail::Normal {
+            quotient_order: ambient_order / order.max(1),
+        },
+    }))
+}
+
+/// Engine-level view of a façade instance over a concrete Abelian group:
+/// labels come from the instance's hiding function through the coordinate
+/// bridge, and instance ground truth (when present) backs both the ideal
+/// sampler and the sparse backend's coset fibers.
+struct DirectAbelianOracle<'a> {
+    ambient: AbelianProduct,
+    eval: &'a (dyn Fn(&[u64]) -> u64 + Sync),
+    truth_coords: Option<Vec<Vec<u64>>>,
+    truth_lattice: Option<SubgroupLattice>,
+}
+
+impl AbelianHidingOracle for DirectAbelianOracle<'_> {
+    fn ambient(&self) -> &AbelianProduct {
+        &self.ambient
+    }
+
+    fn label(&self, x: &[u64]) -> u64 {
+        (self.eval)(x)
+    }
+
+    fn ground_truth(&self) -> Option<Vec<Vec<u64>>> {
+        self.truth_coords.clone()
+    }
+
+    fn coset_fiber(&self, x0: &[u64], max_len: usize) -> Option<Vec<Vec<u64>>> {
+        let lat = self.truth_lattice.as_ref()?;
+        if lat.order() > max_len as u64 {
+            return None;
+        }
+        Some(
+            lat.elements()
+                .into_iter()
+                .map(|h| lattice::add(&self.ambient, x0, &h))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::error::HspError;
+    use crate::oracle::CosetTableOracle;
+    use crate::solver::{HspInstance, HspSolver, Strategy, Verdict};
+    use nahsp_abelian::Backend;
+    use nahsp_groups::AbelianProduct;
+
+    /// Review-finding regression: `Backend::Ideal` on a concrete Abelian
+    /// instance with *no* ground truth must downgrade to the coset
+    /// simulator on the direct path (as the presentation path always did),
+    /// not fail with MissingGroundTruth.
+    #[test]
+    fn ideal_backend_without_truth_downgrades_on_direct_abelian_path() {
+        let g = AbelianProduct::new(vec![4, 4]);
+        let oracle = CosetTableOracle::new(g.clone(), &[vec![2u64, 0]], 100);
+        let instance = HspInstance::new(g, oracle); // no with_ground_truth
+        let report = HspSolver::builder()
+            .backend(Backend::Ideal)
+            .build()
+            .solve(&instance)
+            .expect("Ideal without truth downgrades to the coset simulator");
+        assert_eq!(report.strategy, Strategy::Abelian);
+        assert_eq!(report.order, Some(2));
+        assert_eq!(report.backend, Some(Backend::SimulatorCoset));
+    }
+
+    /// The report names the backend that actually sampled after `Auto`
+    /// resolution: a 2-group instance with ground truth routes onto the
+    /// stabilizer tableau on the direct Abelian path.
+    #[test]
+    fn report_names_stabilizer_backend_after_auto_resolution() {
+        let g = AbelianProduct::new(vec![2; 10]);
+        let mut h = vec![0u64; 10];
+        h[0] = 1;
+        h[9] = 1;
+        let oracle = CosetTableOracle::new(g.clone(), &[h.clone()], 1 << 12);
+        let instance = HspInstance::new(g, oracle).with_ground_truth(vec![h]);
+        let report = HspSolver::new().solve(&instance).unwrap();
+        assert_eq!(report.strategy, Strategy::Abelian);
+        assert_eq!(report.backend, Some(Backend::Stabilizer));
+        assert_eq!(report.order, Some(2));
+        assert_eq!(report.verdict, Verdict::VerifiedExact);
+        assert!(report.summary().contains("backend=Stabilizer"));
+    }
+
+    /// Explicitly requesting the stabilizer backend on a non-2-group
+    /// surfaces the typed error, not a panic.
+    #[test]
+    fn stabilizer_backend_on_non_2_group_is_a_typed_error() {
+        let g = AbelianProduct::new(vec![2, 6]);
+        let oracle = CosetTableOracle::new(g.clone(), &[vec![0u64, 3]], 100);
+        let instance = HspInstance::new(g, oracle);
+        let err = HspSolver::builder()
+            .backend(Backend::Stabilizer)
+            .build()
+            .solve(&instance)
+            .expect_err("site of dimension 6 is not Clifford-expressible");
+        assert_eq!(err, HspError::CliffordUnsupported { site_dim: 6 });
+    }
+
+    /// The builder's sparse memory budget reaches the engine: an instance
+    /// whose coset fibers exceed a tiny cap is rejected with the typed
+    /// SparseCapacity error instead of allocating past the budget.
+    #[test]
+    fn sparse_nnz_cap_budget_reaches_the_engine() {
+        // Z4^6 with |H| = 4^4 = 256: the sparse round needs
+        // 256 · 4 = 1024 nonzeros, past a budget of 100.
+        let g = AbelianProduct::new(vec![4; 6]);
+        let truth: Vec<Vec<u64>> = (0..4)
+            .map(|i| {
+                let mut v = vec![0u64; 6];
+                v[i] = 1;
+                v
+            })
+            .collect();
+        let oracle = CosetTableOracle::new(g.clone(), &truth, 1 << 13);
+        let instance = HspInstance::new(g, oracle).with_ground_truth(truth);
+        let err = HspSolver::builder()
+            .backend(Backend::SimulatorSparse)
+            .sparse_nnz_cap(100)
+            .verify(false)
+            .build()
+            .solve(&instance)
+            .expect_err("fiber nonzeros exceed the configured budget");
+        assert_eq!(
+            err,
+            HspError::SparseCapacity {
+                nnz: 1024,
+                cap: 100
+            }
+        );
+    }
+}

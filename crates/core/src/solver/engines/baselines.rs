@@ -1,0 +1,103 @@
+//! [`Strategy::ExhaustiveScan`] / [`Strategy::BirthdayCollision`]: the
+//! classical baselines.
+//!
+//! Both engines probe [`Probe::No`] — they exist for explicit requests
+//! (experiments comparing classical query counts against the paper's
+//! quantum bounds), never for `Strategy::Auto` dispatch.
+
+use super::super::context::SolveContext;
+use super::super::instance::HspInstance;
+use super::super::report::StrategyDetail;
+use super::super::{dedupe_generators, minimal_generators, subgroup_order, Strategy};
+use super::{Probe, StrategyEngine, StrategyOutcome};
+use crate::baseline::{birthday_collision, try_exhaustive_scan};
+use crate::error::HspError;
+use crate::oracle::HidingFunction;
+use nahsp_groups::closure::enumerate_subgroup;
+use nahsp_groups::Group;
+
+/// Engine for [`Strategy::ExhaustiveScan`] — query every group element.
+pub struct ScanEngine;
+
+/// Engine for [`Strategy::BirthdayCollision`] — random sampling until
+/// label collisions converge.
+pub struct BirthdayEngine;
+
+impl<G, F> StrategyEngine<G, F> for ScanEngine
+where
+    G: Group + 'static,
+    G::Elem: 'static,
+    F: HidingFunction<G>,
+{
+    fn strategy(&self) -> Strategy {
+        Strategy::ExhaustiveScan
+    }
+
+    fn probe(&self, _instance: &HspInstance<G, F>) -> Probe<G> {
+        Probe::No // explicit requests only
+    }
+
+    fn solve(
+        &self,
+        ctx: &mut SolveContext,
+        instance: &HspInstance<G, F>,
+        _gprime: Option<Vec<G::Elem>>,
+    ) -> Result<StrategyOutcome<G>, HspError> {
+        let group = instance.group();
+        let (h_elems, _queries) =
+            try_exhaustive_scan(group, instance.oracle(), ctx.enumeration_limit)?;
+        let order = h_elems.len() as u64;
+        let generators = minimal_generators(group, &h_elems, ctx.enumeration_limit)?;
+        Ok(StrategyOutcome {
+            generators,
+            order: Some(order),
+            detail: StrategyDetail::General,
+        })
+    }
+}
+
+impl<G, F> StrategyEngine<G, F> for BirthdayEngine
+where
+    G: Group + 'static,
+    G::Elem: 'static,
+    F: HidingFunction<G>,
+{
+    fn strategy(&self) -> Strategy {
+        Strategy::BirthdayCollision
+    }
+
+    fn probe(&self, _instance: &HspInstance<G, F>) -> Probe<G> {
+        Probe::No // explicit requests only
+    }
+
+    fn solve(
+        &self,
+        ctx: &mut SolveContext,
+        instance: &HspInstance<G, F>,
+        _gprime: Option<Vec<G::Elem>>,
+    ) -> Result<StrategyOutcome<G>, HspError> {
+        let group = instance.group();
+        let elements = enumerate_subgroup(group, &group.generators(), ctx.enumeration_limit)
+            .ok_or(HspError::EnumerationLimit {
+                what: "whole group (birthday sampling domain)".into(),
+                limit: ctx.enumeration_limit,
+            })?;
+        let max_queries = ctx.query_budget.unwrap_or(1 << 20);
+        let result = birthday_collision(
+            group,
+            instance.oracle(),
+            &elements,
+            max_queries,
+            &mut ctx.rng,
+        );
+        let generators = dedupe_generators(group, result.generators);
+        let order = subgroup_order(group, &generators, ctx.enumeration_limit);
+        Ok(StrategyOutcome {
+            generators,
+            order,
+            detail: StrategyDetail::Birthday {
+                converged: result.converged,
+            },
+        })
+    }
+}

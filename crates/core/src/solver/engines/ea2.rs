@@ -1,0 +1,249 @@
+//! [`Strategy::Ea2Cyclic`] / [`Strategy::Ea2General`]: Theorem 13 —
+//! groups with an elementary Abelian normal 2-subgroup `N`.
+//!
+//! The cyclic engine probes for the `Semidirect` structural family
+//! (`Z₂^k ⋊ Z_m`, wreath products — `G/N` cyclic, O(1) coordinates); the
+//! general engine probes for a declared `N` generator promise and pays a
+//! full transversal instead.
+
+use super::super::classify::{cast_clone, cast_ref};
+use super::super::context::SolveContext;
+use super::super::instance::HspInstance;
+use super::super::report::StrategyDetail;
+use super::super::{dedupe_generators, subgroup_order, Strategy};
+use super::{Probe, StrategyEngine, StrategyOutcome};
+use crate::ea2::{try_hsp_ea2_cyclic, try_hsp_ea2_general, Ea2GroundTruth, N2Coords};
+use crate::error::HspError;
+use crate::oracle::HidingFunction;
+use nahsp_abelian::Backend;
+use nahsp_groups::closure::enumerate_subgroup;
+use nahsp_groups::semidirect::Semidirect;
+use nahsp_groups::Group;
+use std::collections::HashSet;
+
+/// Engine for [`Strategy::Ea2Cyclic`] — probes for the `Semidirect`
+/// structural family.
+pub struct Ea2CyclicEngine;
+
+/// Engine for [`Strategy::Ea2General`] — probes for a declared elementary
+/// Abelian normal 2-subgroup.
+pub struct Ea2GeneralEngine;
+
+impl<G, F> StrategyEngine<G, F> for Ea2CyclicEngine
+where
+    G: Group + 'static,
+    G::Elem: 'static,
+    F: HidingFunction<G>,
+{
+    fn strategy(&self) -> Strategy {
+        Strategy::Ea2Cyclic
+    }
+
+    fn probe(&self, instance: &HspInstance<G, F>) -> Probe<G> {
+        if cast_ref::<G, Semidirect>(instance.group()).is_some() {
+            Probe::Yes // Theorem 13, G/N = Z_m cyclic
+        } else {
+            Probe::No
+        }
+    }
+
+    fn solve(
+        &self,
+        ctx: &mut SolveContext,
+        instance: &HspInstance<G, F>,
+        _gprime: Option<Vec<G::Elem>>,
+    ) -> Result<StrategyOutcome<G>, HspError> {
+        solve_ea2(ctx, instance, true)
+    }
+}
+
+impl<G, F> StrategyEngine<G, F> for Ea2GeneralEngine
+where
+    G: Group + 'static,
+    G::Elem: 'static,
+    F: HidingFunction<G>,
+{
+    fn strategy(&self) -> Strategy {
+        Strategy::Ea2General
+    }
+
+    fn probe(&self, instance: &HspInstance<G, F>) -> Probe<G> {
+        if instance.ea2_normal_gens().is_some() {
+            Probe::Yes // Theorem 13, general case: quotient shape unknown
+        } else {
+            Probe::No
+        }
+    }
+
+    fn solve(
+        &self,
+        ctx: &mut SolveContext,
+        instance: &HspInstance<G, F>,
+        _gprime: Option<Vec<G::Elem>>,
+    ) -> Result<StrategyOutcome<G>, HspError> {
+        solve_ea2(ctx, instance, false)
+    }
+}
+
+fn solve_ea2<G, F>(
+    ctx: &mut SolveContext,
+    instance: &HspInstance<G, F>,
+    cyclic: bool,
+) -> Result<StrategyOutcome<G>, HspError>
+where
+    G: Group + 'static,
+    G::Elem: 'static,
+    F: HidingFunction<G>,
+{
+    let group = instance.group();
+    let coords = ea2_coords(instance, ctx.enumeration_limit)?;
+    // `Ideal` cannot run without truth; `Auto`/`Stabilizer` use it when
+    // present — the Theorem 13 per-z instances are all-qubit, so a
+    // spanning set routes their Fourier rounds onto the stabilizer
+    // tableau instead of the dense simulator.
+    let wants_truth = ctx.backend == Backend::Ideal
+        || (matches!(ctx.backend, Backend::Auto | Backend::Stabilizer)
+            && instance.ground_truth().is_some());
+    let truth = if wants_truth {
+        Some(ea2_truth(instance, &coords, ctx.enumeration_limit)?)
+    } else {
+        None
+    };
+    let engine = ctx.truth_engine();
+    let result = if cyclic {
+        try_hsp_ea2_cyclic(
+            group,
+            instance.oracle(),
+            &coords,
+            &engine,
+            truth.as_ref(),
+            &mut ctx.rng,
+        )?
+    } else {
+        try_hsp_ea2_general(
+            group,
+            instance.oracle(),
+            &coords,
+            &engine,
+            truth.as_ref(),
+            ctx.enumeration_limit,
+            &mut ctx.rng,
+        )?
+    };
+    let generators = dedupe_generators(group, result.h_generators);
+    let order = subgroup_order(group, &generators, ctx.enumeration_limit);
+    Ok(StrategyOutcome {
+        generators,
+        order,
+        detail: StrategyDetail::Ea2 {
+            v_size: result.v_size,
+            hsp_instances: result.hsp_instances,
+        },
+    })
+}
+
+/// Coordinates on `N ≅ Z₂^k`: structural (O(1)) for `Semidirect`,
+/// enumerated from the instance's declared `N` generators otherwise.
+fn ea2_coords<G, F>(
+    instance: &HspInstance<G, F>,
+    enumeration_limit: usize,
+) -> Result<N2Coords<G>, HspError>
+where
+    G: Group + 'static,
+    G::Elem: 'static,
+    F: HidingFunction<G>,
+{
+    if let Some(sd) = cast_ref::<G, Semidirect>(instance.group()) {
+        let k = sd.k;
+        return Ok(N2Coords::new(
+            k,
+            |e: &G::Elem| {
+                let p = cast_ref::<G::Elem, (u64, u64)>(e).expect("semidirect element");
+                if p.1 == 0 {
+                    Some(p.0)
+                } else {
+                    None
+                }
+            },
+            |v: u64| cast_clone::<(u64, u64), G::Elem>(&(v, 0u64)).expect("semidirect element"),
+        ));
+    }
+    if let Some(n_gens) = instance.ea2_normal_gens() {
+        return N2Coords::try_enumerated(instance.group(), n_gens, enumeration_limit);
+    }
+    Err(HspError::StrategyUnavailable {
+        strategy: "Ea2",
+        reason: "no elementary Abelian normal 2-subgroup is known for this group \
+                 (use a Semidirect group or promise_ea2_normal_subgroup)"
+            .into(),
+    })
+}
+
+/// Assemble the ideal backend's [`Ea2GroundTruth`] from the instance's
+/// hidden-subgroup generators.
+fn ea2_truth<G, F>(
+    instance: &HspInstance<G, F>,
+    coords: &N2Coords<G>,
+    enumeration_limit: usize,
+) -> Result<Ea2GroundTruth<G>, HspError>
+where
+    G: Group + 'static,
+    G::Elem: 'static,
+    F: HidingFunction<G>,
+{
+    let group = instance.group();
+    let truth_gens = instance
+        .ground_truth()
+        .ok_or(HspError::MissingGroundTruth {
+            context: "ideal sampling backend for Theorem 13".into(),
+        })?;
+    let h_elems = if truth_gens.is_empty() {
+        vec![group.canonical(&group.identity())]
+    } else {
+        enumerate_subgroup(group, truth_gens, enumeration_limit).ok_or(
+            HspError::EnumerationLimit {
+                what: "ground-truth hidden subgroup".into(),
+                limit: enumeration_limit,
+            },
+        )?
+    };
+    let hn_basis: Vec<u64> = h_elems
+        .iter()
+        .filter_map(|h| coords.to_vec(h))
+        .filter(|&m| m != 0)
+        .collect();
+    // The witness closure needs its own N-membership test (it outlives
+    // the borrowed coords): structural for Semidirect, enumerated set
+    // otherwise.
+    let in_n: Box<dyn Fn(&G::Elem) -> bool + Sync + Send> =
+        if cast_ref::<G, Semidirect>(group).is_some() {
+            Box::new(|e: &G::Elem| {
+                cast_ref::<G::Elem, (u64, u64)>(e)
+                    .expect("semidirect element")
+                    .1
+                    == 0
+            })
+        } else {
+            let n_gens = instance.ea2_normal_gens().unwrap_or_default().to_vec();
+            let n_set: HashSet<G::Elem> = enumerate_subgroup(group, &n_gens, enumeration_limit)
+                .ok_or(HspError::EnumerationLimit {
+                    what: "elementary Abelian normal 2-subgroup N".into(),
+                    limit: enumeration_limit,
+                })?
+                .into_iter()
+                .collect();
+            let g2 = group.clone();
+            Box::new(move |e: &G::Elem| n_set.contains(&g2.canonical(e)))
+        };
+    let g2 = group.clone();
+    Ok(Ea2GroundTruth {
+        hn_basis,
+        witness: Box::new(move |z: &G::Elem| {
+            let zinv = g2.inverse(z);
+            h_elems
+                .iter()
+                .find(|h| in_n(&g2.multiply(&zinv, h)))
+                .cloned()
+        }),
+    })
+}

@@ -1,0 +1,223 @@
+//! The pluggable strategy-engine registry: one engine per paper case.
+//!
+//! Each of the paper's special cases (and each classical baseline) is an
+//! implementation of [`StrategyEngine`]: a capability probe plus a solve
+//! body over the unified [`SolveContext`]. `Strategy::Auto` is an ordered
+//! walk over the registered engines' probes — the registry order *is* the
+//! paper's case analysis:
+//!
+//! | order | engine | paper case | structural probe |
+//! |---|---|---|---|
+//! | 1 | [`AbelianEngine`] | Theorem 3 substrate | generators commute |
+//! | 2 | [`NormalEngine`] | Theorem 8 | declared normal-subgroup promise |
+//! | 3 | [`SmallCommutatorEngine`] | Thm 11 / Cor 12 | extraspecial, or dihedral without a reflection instance |
+//! | 4 | [`Ea2CyclicEngine`] | Theorem 13 (cyclic quotient) | `Semidirect` group |
+//! | 5 | [`EttingerHoyerEngine`] | EH dihedral baseline | dihedral reflection ground truth |
+//! | 6 | [`Ea2GeneralEngine`] | Theorem 13 (general) | declared elementary Abelian normal 2-subgroup |
+//! | 7 | [`ScanEngine`] | classical baseline | explicit request only |
+//! | 8 | [`BirthdayEngine`] | classical baseline | explicit request only |
+//!
+//! When no structural probe matches, a second *fallback* pass runs the
+//! probes that cost real work — today only [`SmallCommutatorEngine`]'s
+//! commutator-subgroup enumeration (Theorem 11's black-box applicability
+//! test), which hands the enumerated `G′` to the dispatched solve so the
+//! closure is never paid twice.
+//!
+//! Explicitly requested strategies resolve through the same registry
+//! lookup; a strategy with no registered engine is a typed
+//! [`HspError::Internal`] — a dispatch-table regression, not a panic.
+
+mod abelian;
+mod baselines;
+mod ea2;
+mod ettinger_hoyer;
+mod normal;
+mod small_commutator;
+
+pub use abelian::AbelianEngine;
+pub use baselines::{BirthdayEngine, ScanEngine};
+pub use ea2::{Ea2CyclicEngine, Ea2GeneralEngine};
+pub use ettinger_hoyer::EttingerHoyerEngine;
+pub use normal::NormalEngine;
+pub use small_commutator::SmallCommutatorEngine;
+
+use super::context::SolveContext;
+use super::instance::HspInstance;
+use super::report::StrategyDetail;
+use super::{HspSolver, Strategy};
+use crate::error::HspError;
+use crate::oracle::HidingFunction;
+use nahsp_groups::Group;
+
+/// What a capability probe reports for an instance.
+pub enum Probe<G: Group> {
+    /// The engine does not apply.
+    No,
+    /// The engine applies.
+    Yes,
+    /// The engine applies, and the probe already computed the commutator
+    /// subgroup `G′` — forwarded to the solve so it is not enumerated
+    /// twice.
+    YesWith {
+        /// Elements of `G′`, enumerated within the solver's budget.
+        gprime: Vec<G::Elem>,
+    },
+}
+
+/// What an engine's solve returns; the façade wraps it into the uniform
+/// [`super::HspReport`] together with accounting, the resolved backend,
+/// and the verification verdict.
+pub struct StrategyOutcome<G: Group> {
+    /// Generators spanning the recovered hidden subgroup.
+    pub generators: Vec<G::Elem>,
+    /// `|H|` when enumerable within the budget.
+    pub order: Option<u64>,
+    /// Strategy-specific diagnostics.
+    pub detail: StrategyDetail,
+}
+
+/// One solve strategy: which [`Strategy`] it serves, whether it applies to
+/// an instance, and how to run it over a [`SolveContext`].
+pub trait StrategyEngine<G, F>
+where
+    G: Group + 'static,
+    G::Elem: 'static,
+    F: HidingFunction<G>,
+{
+    /// The strategy this engine serves (never [`Strategy::Auto`]).
+    fn strategy(&self) -> Strategy;
+
+    /// Structural applicability test: recognizes concrete group families
+    /// and declared promises. Costs no oracle queries and no enumeration.
+    fn probe(&self, instance: &HspInstance<G, F>) -> Probe<G>;
+
+    /// Expensive applicability test, consulted only after every structural
+    /// probe said [`Probe::No`]. May enumerate up to `limit` elements.
+    /// Default: does not apply.
+    fn fallback_probe(&self, _instance: &HspInstance<G, F>, _limit: usize) -> Probe<G> {
+        Probe::No
+    }
+
+    /// Run the strategy. `gprime` carries the commutator subgroup when the
+    /// dispatching probe already enumerated it.
+    fn solve(
+        &self,
+        ctx: &mut SolveContext,
+        instance: &HspInstance<G, F>,
+        gprime: Option<Vec<G::Elem>>,
+    ) -> Result<StrategyOutcome<G>, HspError>;
+}
+
+/// The registered engines, in classification order.
+pub(in crate::solver) fn registry<G, F>() -> Vec<Box<dyn StrategyEngine<G, F>>>
+where
+    G: Group + 'static,
+    G::Elem: 'static,
+    F: HidingFunction<G>,
+{
+    vec![
+        Box::new(AbelianEngine),
+        Box::new(NormalEngine),
+        Box::new(SmallCommutatorEngine),
+        Box::new(Ea2CyclicEngine),
+        Box::new(EttingerHoyerEngine),
+        Box::new(Ea2GeneralEngine),
+        Box::new(ScanEngine),
+        Box::new(BirthdayEngine),
+    ]
+}
+
+/// Resolve `Strategy::Auto`: walk the structural probes in registration
+/// order, then the fallback probes, and give up with the typed
+/// [`HspError::Unclassifiable`].
+pub(in crate::solver) fn classify_walk<G, F>(
+    engines: &[Box<dyn StrategyEngine<G, F>>],
+    solver: &HspSolver,
+    instance: &HspInstance<G, F>,
+) -> Result<(Strategy, Option<Vec<G::Elem>>), HspError>
+where
+    G: Group + 'static,
+    G::Elem: 'static,
+    F: HidingFunction<G>,
+{
+    for engine in engines {
+        match engine.probe(instance) {
+            Probe::Yes => return Ok((engine.strategy(), None)),
+            Probe::YesWith { gprime } => return Ok((engine.strategy(), Some(gprime))),
+            Probe::No => {}
+        }
+    }
+    for engine in engines {
+        match engine.fallback_probe(instance, solver.enumeration_limit()) {
+            Probe::Yes => return Ok((engine.strategy(), None)),
+            Probe::YesWith { gprime } => return Ok((engine.strategy(), Some(gprime))),
+            Probe::No => {}
+        }
+    }
+    Err(HspError::Unclassifiable {
+        reason: format!(
+            "group is non-Abelian, declares no promises, matches no structural family, \
+             and its commutator subgroup exceeds {} elements",
+            solver.enumeration_limit()
+        ),
+    })
+}
+
+/// Look up the engine serving a resolved strategy. A miss is a dispatch
+/// regression (every constructible [`Strategy`] except `Auto` must have a
+/// registered engine) and surfaces as the typed [`HspError::Internal`].
+pub(in crate::solver) fn engine_for<G, F>(
+    engines: &[Box<dyn StrategyEngine<G, F>>],
+    strategy: Strategy,
+) -> Result<&dyn StrategyEngine<G, F>, HspError>
+where
+    G: Group + 'static,
+    G::Elem: 'static,
+    F: HidingFunction<G>,
+{
+    engines
+        .iter()
+        .find(|e| e.strategy() == strategy)
+        .map(|e| e.as_ref())
+        .ok_or_else(|| HspError::Internal {
+            context: format!(
+                "no engine registered for strategy {strategy} (dispatch-table regression)"
+            ),
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::CosetTableOracle;
+    use nahsp_groups::CyclicGroup;
+
+    #[test]
+    fn registry_serves_every_strategy_except_auto() {
+        let engines = registry::<CyclicGroup, CosetTableOracle<CyclicGroup>>();
+        for s in [
+            Strategy::Abelian,
+            Strategy::NormalSubgroup,
+            Strategy::SmallCommutator,
+            Strategy::Ea2Cyclic,
+            Strategy::Ea2General,
+            Strategy::EttingerHoyerDihedral,
+            Strategy::ExhaustiveScan,
+            Strategy::BirthdayCollision,
+        ] {
+            let e = engine_for(&engines, s).expect("registered engine");
+            assert_eq!(e.strategy(), s);
+        }
+    }
+
+    #[test]
+    fn auto_has_no_engine_and_reports_the_typed_internal_error() {
+        let engines = registry::<CyclicGroup, CosetTableOracle<CyclicGroup>>();
+        let err = match engine_for(&engines, Strategy::Auto) {
+            Err(e) => e,
+            Ok(_) => panic!("Auto never dispatches"),
+        };
+        assert!(matches!(err, HspError::Internal { .. }));
+        assert!(err.to_string().contains("dispatch-table regression"));
+    }
+}

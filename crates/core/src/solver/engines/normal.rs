@@ -1,0 +1,110 @@
+//! [`Strategy::NormalSubgroup`]: Theorem 8 — hidden *normal* subgroups.
+//!
+//! Quotient presentation seeds plus closure: Schreier–Sims normal closure
+//! for permutation groups (never enumerates `N`, so it scales to huge
+//! degrees), enumerated closure for everything else.
+
+use super::super::classify::cast_ref;
+use super::super::context::SolveContext;
+use super::super::instance::HspInstance;
+use super::super::report::StrategyDetail;
+use super::super::{minimal_generators, Strategy};
+use super::{Probe, StrategyEngine, StrategyOutcome};
+use crate::error::HspError;
+use crate::normal_hsp::{try_hidden_normal_subgroup, try_normal_subgroup_seeds, QuotientEngine};
+use crate::oracle::HidingFunction;
+use nahsp_groups::closure::normal_closure_generators;
+use nahsp_groups::stabchain::StabilizerChain;
+use nahsp_groups::{Group, Perm};
+use std::any::TypeId;
+
+/// Engine for [`Strategy::NormalSubgroup`] — probes for the declared
+/// normal-subgroup promise.
+pub struct NormalEngine;
+
+impl<G, F> StrategyEngine<G, F> for NormalEngine
+where
+    G: Group + 'static,
+    G::Elem: 'static,
+    F: HidingFunction<G>,
+{
+    fn strategy(&self) -> Strategy {
+        Strategy::NormalSubgroup
+    }
+
+    fn probe(&self, instance: &HspInstance<G, F>) -> Probe<G> {
+        if instance.normal_promise() {
+            Probe::Yes
+        } else {
+            Probe::No
+        }
+    }
+
+    fn solve(
+        &self,
+        ctx: &mut SolveContext,
+        instance: &HspInstance<G, F>,
+        _gprime: Option<Vec<G::Elem>>,
+    ) -> Result<StrategyOutcome<G>, HspError> {
+        let group = instance.group();
+        let engine = ctx.presentation_engine();
+        let qe = QuotientEngine::Auto {
+            limit: ctx.enumeration_limit,
+        };
+        if TypeId::of::<G::Elem>() == TypeId::of::<Perm>() {
+            // Permutation fast path: Schreier–Sims normal closure — N is
+            // never enumerated, so this scales to huge degrees.
+            let seeds =
+                try_normal_subgroup_seeds(group, instance.oracle(), qe, &engine, &mut ctx.rng)?;
+            let degree = cast_ref::<G::Elem, Perm>(&group.identity())
+                .expect("checked Elem == Perm")
+                .degree();
+            let member = |gens: &[G::Elem], x: &G::Elem| {
+                let px = cast_ref::<G::Elem, Perm>(x).expect("perm element");
+                if gens.is_empty() {
+                    return px.is_identity();
+                }
+                let pgens: Vec<Perm> = gens
+                    .iter()
+                    .map(|e| cast_ref::<G::Elem, Perm>(e).expect("perm element").clone())
+                    .collect();
+                StabilizerChain::new(degree, &pgens).contains(px)
+            };
+            let generators =
+                normal_closure_generators(group, &seeds.seeds, &group.generators(), member);
+            let order = if generators.is_empty() {
+                1
+            } else {
+                let pgens: Vec<Perm> = generators
+                    .iter()
+                    .map(|e| cast_ref::<G::Elem, Perm>(e).expect("perm element").clone())
+                    .collect();
+                StabilizerChain::new(degree, &pgens).order()
+            };
+            return Ok(StrategyOutcome {
+                generators,
+                order: Some(order),
+                detail: StrategyDetail::Normal {
+                    quotient_order: seeds.quotient_order,
+                },
+            });
+        }
+        let (seeds, elems) = try_hidden_normal_subgroup(
+            group,
+            instance.oracle(),
+            qe,
+            ctx.enumeration_limit,
+            &engine,
+            &mut ctx.rng,
+        )?;
+        let order = elems.len() as u64;
+        let generators = minimal_generators(group, &elems, ctx.enumeration_limit)?;
+        Ok(StrategyOutcome {
+            generators,
+            order: Some(order),
+            detail: StrategyDetail::Normal {
+                quotient_order: seeds.quotient_order,
+            },
+        })
+    }
+}

@@ -1,0 +1,93 @@
+//! [`Strategy::SmallCommutator`]: Theorem 11 / Corollary 12 — groups with
+//! a small (enumerable) commutator subgroup `G′`.
+//!
+//! The structural probe recognizes extraspecial groups (Corollary 12) and
+//! dihedral instances that are *not* in the Ettinger–Høyer reflection
+//! form (their `G′ = ⟨ρ²⟩` is enumerable, so Theorem 11 solves them within
+//! the poly(n) budget). The fallback probe is the paper's black-box
+//! applicability test: enumerate `G′` within the element budget, and hand
+//! the enumeration to the dispatched solve so the closure is paid once.
+
+use super::super::classify::{cast_ref, dihedral_reflection_slope};
+use super::super::context::SolveContext;
+use super::super::instance::HspInstance;
+use super::super::report::StrategyDetail;
+use super::super::{dedupe_generators, subgroup_order, Strategy};
+use super::{Probe, StrategyEngine, StrategyOutcome};
+use crate::error::HspError;
+use crate::oracle::HidingFunction;
+use crate::small_commutator::try_hsp_small_commutator_with;
+use nahsp_groups::closure::commutator_subgroup;
+use nahsp_groups::dihedral::Dihedral;
+use nahsp_groups::extraspecial::Extraspecial;
+use nahsp_groups::Group;
+
+/// Engine for [`Strategy::SmallCommutator`].
+pub struct SmallCommutatorEngine;
+
+impl<G, F> StrategyEngine<G, F> for SmallCommutatorEngine
+where
+    G: Group + 'static,
+    G::Elem: 'static,
+    F: HidingFunction<G>,
+{
+    fn strategy(&self) -> Strategy {
+        Strategy::SmallCommutator
+    }
+
+    fn probe(&self, instance: &HspInstance<G, F>) -> Probe<G> {
+        let group = instance.group();
+        if cast_ref::<G, Extraspecial>(group).is_some() {
+            return Probe::Yes; // Corollary 12
+        }
+        if let Some(d) = cast_ref::<G, Dihedral>(group) {
+            let is_reflection_instance = instance
+                .ground_truth()
+                .and_then(|t| dihedral_reflection_slope(d, t))
+                .is_some();
+            if !is_reflection_instance {
+                // Rotation/trivial/full subgroups: G' = ⟨ρ²⟩ is enumerable.
+                return Probe::Yes;
+            }
+        }
+        Probe::No
+    }
+
+    fn fallback_probe(&self, instance: &HspInstance<G, F>, limit: usize) -> Probe<G> {
+        match commutator_subgroup(instance.group(), limit) {
+            Some(gprime) => Probe::YesWith { gprime },
+            None => Probe::No,
+        }
+    }
+
+    fn solve(
+        &self,
+        ctx: &mut SolveContext,
+        instance: &HspInstance<G, F>,
+        gprime: Option<Vec<G::Elem>>,
+    ) -> Result<StrategyOutcome<G>, HspError> {
+        let group = instance.group();
+        let gprime = match gprime {
+            Some(g) => g,
+            None => commutator_subgroup(group, ctx.enumeration_limit).ok_or(
+                HspError::EnumerationLimit {
+                    what: "commutator subgroup G'".into(),
+                    limit: ctx.enumeration_limit,
+                },
+            )?,
+        };
+        let engine = ctx.presentation_engine();
+        let result =
+            try_hsp_small_commutator_with(group, instance.oracle(), gprime, &engine, &mut ctx.rng)?;
+        let generators = dedupe_generators(group, result.h_generators);
+        let order = subgroup_order(group, &generators, ctx.enumeration_limit);
+        Ok(StrategyOutcome {
+            generators,
+            order,
+            detail: StrategyDetail::SmallCommutator {
+                commutator_order: result.commutator_order,
+                abelian_quotient_order: result.abelian_quotient_order,
+            },
+        })
+    }
+}

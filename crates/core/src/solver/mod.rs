@@ -1,5 +1,6 @@
 //! The unified HSP façade: one typed entry point over every result of the
-//! paper, with automatic theorem dispatch, budgets, and batch execution.
+//! paper, with registry-based theorem dispatch, budgets, and batch
+//! execution.
 //!
 //! The paper is a family of special cases (Theorems 6–13) and the rest of
 //! this crate faithfully mirrors that as free functions with per-theorem
@@ -21,6 +22,13 @@
 //! assert!(report.queries.oracle > 0);
 //! ```
 //!
+//! Every strategy is served by a pluggable [`engines::StrategyEngine`]
+//! registered in [`engines`] — one engine per paper case, each running
+//! over the unified [`SolveContext`] ([`HspSolver::context`]) that bundles
+//! the solve's RNG stream, shared gate/vote accounting, cancellation
+//! token, budgets, and resolved-backend sink. [`Strategy::Auto`] is an
+//! ordered walk over the registered engines' capability probes.
+//!
 //! Throughput workloads hand the solver a slice of instances;
 //! [`HspSolver::solve_batch`] fans them across threads (rayon-style
 //! data parallelism) with a deterministic per-instance RNG stream.
@@ -32,35 +40,25 @@
 //! path never unwinds.
 
 mod classify;
+mod context;
+pub mod engines;
 mod instance;
 mod report;
+mod verify;
 
 pub use classify::Strategy;
+pub use context::SolveContext;
+pub use engines::{Probe, StrategyEngine, StrategyOutcome};
 pub use instance::HspInstance;
 pub use report::{HspReport, QueryStats, StrategyDetail, Verdict};
 
-use crate::baseline::{birthday_collision, ettinger_hoyer_dihedral, try_exhaustive_scan};
-use crate::ea2::{try_hsp_ea2_cyclic, try_hsp_ea2_general, Ea2GroundTruth, N2Coords};
 use crate::error::HspError;
 use crate::noise::NoiseConfig;
-use crate::normal_hsp::{try_hidden_normal_subgroup, try_normal_subgroup_seeds, QuotientEngine};
 use crate::oracle::HidingFunction;
-use crate::small_commutator::try_hsp_small_commutator_with;
-use classify::{cast_clone, cast_ref, dihedral_reflection_slope};
-use nahsp_abelian::hsp::HidingOracle as AbelianHidingOracle;
-use nahsp_abelian::lattice;
-use nahsp_abelian::vote::{majority_of, VoteLedger};
-use nahsp_abelian::{AbelianHsp, Backend, SubgroupLattice};
-use nahsp_groups::closure::{commutator_subgroup, enumerate_subgroup, normal_closure_generators};
-use nahsp_groups::dihedral::Dihedral;
-use nahsp_groups::semidirect::Semidirect;
-use nahsp_groups::stabchain::StabilizerChain;
-use nahsp_groups::{AbelianProduct, CyclicGroup, Group, Perm};
-use nahsp_qsim::GateCounter;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use nahsp_abelian::Backend;
+use nahsp_groups::closure::enumerate_subgroup;
+use nahsp_groups::Group;
 use rayon::prelude::ParallelSliceMut;
-use std::any::TypeId;
 use std::collections::HashSet;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
@@ -139,8 +137,9 @@ impl HspSolverBuilder {
 
     /// Hard cap on elementary simulator gates. A run that applied more
     /// returns [`HspError::GateBudgetExceeded`] instead of a report (also
-    /// checked at the solve's cancellation checkpoints, so a runaway
-    /// simulation is cut off mid-solve). Default: unlimited.
+    /// checked at the solve's cancellation checkpoints — including the
+    /// Abelian engine's per-round poll — so a runaway simulation is cut
+    /// off mid-solve). Default: unlimited.
     pub fn gate_budget(mut self, budget: u64) -> Self {
         self.solver.gate_budget = Some(budget);
         self
@@ -155,7 +154,9 @@ impl HspSolverBuilder {
     /// truth, so [`Backend::Ideal`] downgrades to
     /// [`Backend::SimulatorCoset`] there and applies only to the direct
     /// Abelian path and the Theorem 13 per-coset instances (which can
-    /// consume instance ground truth).
+    /// consume instance ground truth). [`Backend::Classical`] is a
+    /// report-level marker, not a sampler — requesting it is a typed
+    /// error on any path that runs Fourier rounds.
     pub fn backend(mut self, backend: Backend) -> Self {
         self.solver.backend = backend;
         self
@@ -249,7 +250,8 @@ impl HspSolver {
     }
 
     /// Resolve the strategy `solve` would run for this instance without
-    /// running it. Costs no oracle queries.
+    /// running it — the same ordered probe walk over the engine registry
+    /// the solve performs. Costs no oracle queries.
     pub fn classify<G, F>(&self, instance: &HspInstance<G, F>) -> Result<Strategy, HspError>
     where
         G: Group + 'static,
@@ -257,7 +259,10 @@ impl HspSolver {
         F: HidingFunction<G>,
     {
         match self.strategy {
-            Strategy::Auto => classify::classify(self, instance),
+            Strategy::Auto => {
+                let registry = engines::registry::<G, F>();
+                engines::classify_walk(&registry, self, instance).map(|(s, _)| s)
+            }
             s => Ok(s),
         }
     }
@@ -345,21 +350,23 @@ impl HspSolver {
         G::Elem: 'static,
         F: HidingFunction<G>,
     {
-        self.solve_seeded_with_cancel(instance, seed, None)
+        self.solve_in(instance, self.context(seed))
     }
 
-    /// [`HspSolver::solve_seeded`] plus a cooperative cancellation flag.
-    /// The flag is polled at the solve's checkpoints (entry, after
-    /// classification, before verification); a raised flag surfaces as
-    /// [`HspError::Cancelled`]. The checkpoints consume no randomness, so a
-    /// run that is *not* cancelled reports exactly what `solve_seeded`
-    /// would. The same checkpoints also enforce the query and gate budgets
-    /// mid-solve, cutting off runaway requests before completion.
-    pub(crate) fn solve_seeded_with_cancel<G, F>(
+    /// Run one solve inside an explicit [`SolveContext`] (built by
+    /// [`HspSolver::context`] or [`HspSolver::context_with_cancel`]) — the
+    /// primitive every entry point lowers onto, and the serving layer's
+    /// seam for threading a ticket's cancellation token into the engines.
+    ///
+    /// The context's checkpoints fire at entry, after classification,
+    /// after the engine solve, before verification, and once per Abelian
+    /// Fourier-sampling round; they consume no randomness and no queries,
+    /// so a run that is neither cancelled nor over budget reports exactly
+    /// what [`HspSolver::solve_seeded`] would.
+    pub fn solve_in<G, F>(
         &self,
         instance: &HspInstance<G, F>,
-        seed: u64,
-        cancel: Option<&std::sync::atomic::AtomicBool>,
+        mut ctx: SolveContext,
     ) -> Result<HspReport<G>, HspError>
     where
         G: Group + 'static,
@@ -367,52 +374,27 @@ impl HspSolver {
         F: HidingFunction<G>,
     {
         let t0 = Instant::now();
-        let q0 = instance.oracle().queries();
-        // Per-run gate counter: threaded into every engine and simulated
-        // circuit this solve creates, so the report's gate delta is exact
-        // even when `solve_batch` interleaves solves across threads.
-        let gates = GateCounter::new();
-        // Per-run vote ledger (same sharing discipline): every majority
-        // decision taken in robust mode records its margin here, and the
-        // statistical verdict's confidence is computed from the snapshot.
-        let votes = VoteLedger::new();
-        let checkpoint = |gates: &GateCounter| -> Result<(), HspError> {
-            if cancel.is_some_and(|c| c.load(std::sync::atomic::Ordering::Relaxed)) {
-                return Err(HspError::Cancelled);
-            }
-            if let Some(budget) = self.query_budget {
-                let spent = instance.oracle().queries().saturating_sub(q0);
-                if spent > budget {
-                    return Err(HspError::QueryBudgetExceeded { spent, budget });
-                }
-            }
-            if let Some(budget) = self.gate_budget {
-                let spent = gates.count();
-                if spent > budget {
-                    return Err(HspError::GateBudgetExceeded { spent, budget });
-                }
-            }
-            Ok(())
-        };
+        ctx.q0 = instance.oracle().queries();
+        let registry = engines::registry::<G, F>();
         // Containment net: algorithm internals that still assert (deep
         // simulator/linear-algebra invariants) become HspError::Internal
         // instead of unwinding through the façade. Verification runs inside
         // the net too — it re-queries the (possibly adversarial) oracle.
+        let ctx_ref = &mut ctx;
         let outcome = catch_unwind(AssertUnwindSafe(|| {
-            checkpoint(&gates)?;
-            let mut rng = StdRng::seed_from_u64(seed);
+            ctx_ref.checkpoint(instance.oracle().queries())?;
             let (strategy, gprime) = match self.strategy {
-                Strategy::Auto => classify::classify_with_cache(self, instance)?,
+                Strategy::Auto => engines::classify_walk(&registry, self, instance)?,
                 s => (s, None),
             };
-            checkpoint(&gates)?;
-            let (generators, order, detail, backend) =
-                self.run(strategy, instance, gprime, &gates, &votes, &mut rng)?;
-            checkpoint(&gates)?;
-            let verdict = self.verify_result(instance, &generators, &votes)?;
-            Ok((strategy, generators, order, detail, backend, verdict))
+            ctx_ref.checkpoint(instance.oracle().queries())?;
+            let engine = engines::engine_for(&registry, strategy)?;
+            let out = engine.solve(ctx_ref, instance, gprime)?;
+            ctx_ref.checkpoint(instance.oracle().queries())?;
+            let verdict = verify::verify_result(self, ctx_ref, instance, &out.generators)?;
+            Ok((strategy, out, verdict))
         }));
-        let (strategy, generators, order, detail, backend, verdict) = match outcome {
+        let (strategy, out, verdict) = match outcome {
             Ok(Ok(v)) => v,
             Ok(Err(e)) => return Err(e),
             Err(payload) => {
@@ -421,7 +403,7 @@ impl HspSolver {
                 })
             }
         };
-        let oracle_spent = instance.oracle().queries().saturating_sub(q0);
+        let oracle_spent = instance.oracle().queries().saturating_sub(ctx.q0);
         if let Some(budget) = self.query_budget {
             if oracle_spent > budget {
                 return Err(HspError::QueryBudgetExceeded {
@@ -431,21 +413,24 @@ impl HspSolver {
             }
         }
         if let Some(budget) = self.gate_budget {
-            let spent = gates.count();
+            let spent = ctx.engine.gates.count();
             if spent > budget {
                 return Err(HspError::GateBudgetExceeded { spent, budget });
             }
         }
         Ok(HspReport {
             strategy,
-            generators,
-            order,
-            detail,
-            backend,
+            generators: out.generators,
+            order: out.order,
+            detail: out.detail,
+            // Every successful report names a backend: the one the sink
+            // recorded when a Fourier round ran, or the explicit Classical
+            // marker when the whole solve was served classically.
+            backend: Some(ctx.resolved_backend().unwrap_or(Backend::Classical)),
             verdict,
             queries: QueryStats {
                 oracle: oracle_spent,
-                gates: gates.count(),
+                gates: ctx.engine.gates.count(),
             },
             wall: t0.elapsed(),
             instance_label: instance.label().map(str::to_owned),
@@ -503,769 +488,6 @@ impl HspSolver {
             0 => 1,
             k => k,
         }
-    }
-
-    /// Map a passing verification onto the final verdict. Without declared
-    /// noise the exact verdict stands; with it, the run's vote margins are
-    /// converted into [`Verdict::VerifiedStatistical`] at a corruption rate
-    /// of `max(declared flip rate, smoothed empirical dissent rate)` — an
-    /// oracle noisier than declared still degrades the reported confidence.
-    fn certified_verdict(&self, votes: &VoteLedger, exact: Verdict) -> Verdict {
-        match self.noise {
-            None => exact,
-            Some(cfg) => {
-                let s = votes.snapshot();
-                let eps = cfg.label_flip_prob.max(s.empirical_error_rate());
-                Verdict::VerifiedStatistical {
-                    confidence: s.confidence(eps),
-                }
-            }
-        }
-    }
-
-    /// Dispatch a resolved strategy. `gprime` is the commutator subgroup
-    /// when the Auto classifier already enumerated it (black-box fallback),
-    /// so the small-commutator path does not pay the closure twice. The
-    /// fourth tuple slot is the resolved sampling backend when one engine
-    /// solve served the whole instance (the direct Abelian path); composed
-    /// and engine-free strategies report `None`.
-    #[allow(clippy::type_complexity)]
-    fn run<G, F>(
-        &self,
-        strategy: Strategy,
-        instance: &HspInstance<G, F>,
-        gprime: Option<Vec<G::Elem>>,
-        gates: &GateCounter,
-        votes: &VoteLedger,
-        rng: &mut StdRng,
-    ) -> Result<(Vec<G::Elem>, Option<u64>, StrategyDetail, Option<Backend>), HspError>
-    where
-        G: Group + 'static,
-        G::Elem: 'static,
-        F: HidingFunction<G>,
-    {
-        let engineless = |r: Result<(Vec<G::Elem>, Option<u64>, StrategyDetail), HspError>| {
-            r.map(|(g, o, d)| (g, o, d, None))
-        };
-        match strategy {
-            Strategy::Auto => unreachable!("Auto is resolved before dispatch"),
-            Strategy::Abelian => self.run_abelian(instance, gates, votes, rng),
-            Strategy::NormalSubgroup => engineless(self.run_normal(instance, gates, votes, rng)),
-            Strategy::SmallCommutator => {
-                engineless(self.run_small_commutator(instance, gprime, gates, votes, rng))
-            }
-            Strategy::Ea2Cyclic => engineless(self.run_ea2(instance, true, gates, votes, rng)),
-            Strategy::Ea2General => engineless(self.run_ea2(instance, false, gates, votes, rng)),
-            Strategy::EttingerHoyerDihedral => {
-                engineless(self.run_ettinger_hoyer(instance, gates, votes, rng))
-            }
-            Strategy::ExhaustiveScan => engineless(self.run_scan(instance)),
-            Strategy::BirthdayCollision => engineless(self.run_birthday(instance, rng)),
-        }
-    }
-
-    /// Abelian engine configuration for the presentation machinery (no
-    /// ground truth there, so `Ideal` downgrades to the coset simulator;
-    /// `Auto` resolves per instance inside the engine). The run's gate
-    /// counter is shared into the engine so simulated rounds bill this run.
-    fn presentation_engine(&self, gates: &GateCounter, votes: &VoteLedger) -> AbelianHsp {
-        let backend = match self.backend {
-            Backend::Ideal => Backend::SimulatorCoset,
-            b => b,
-        };
-        AbelianHsp {
-            backend,
-            max_rounds: self.max_rounds,
-            gates: gates.clone(),
-            sparse_nnz_cap: self.sparse_nnz_cap,
-            repetitions: self.effective_repetitions(),
-            votes: votes.clone(),
-        }
-    }
-
-    /// Abelian engine for the direct Abelian path and the Theorem 13
-    /// per-coset instances (these *can* consume instance ground truth, so
-    /// `Ideal` passes through).
-    fn truth_engine(&self, gates: &GateCounter, votes: &VoteLedger) -> AbelianHsp {
-        AbelianHsp {
-            backend: self.backend,
-            max_rounds: self.max_rounds,
-            gates: gates.clone(),
-            sparse_nnz_cap: self.sparse_nnz_cap,
-            repetitions: self.effective_repetitions(),
-            votes: votes.clone(),
-        }
-    }
-
-    #[allow(clippy::type_complexity)]
-    fn run_abelian<G, F>(
-        &self,
-        instance: &HspInstance<G, F>,
-        gates: &GateCounter,
-        votes: &VoteLedger,
-        rng: &mut StdRng,
-    ) -> Result<(Vec<G::Elem>, Option<u64>, StrategyDetail, Option<Backend>), HspError>
-    where
-        G: Group + 'static,
-        G::Elem: 'static,
-        F: HidingFunction<G>,
-    {
-        let group = instance.group();
-        // Concrete Abelian products and cyclic groups map straight onto the
-        // Abelian HSP engine — no presentation detour. This is also the path
-        // where instance ground truth reaches the engine: coset fibers for
-        // the sparse backend (so `Auto` lifts the dense `|A|` caps whenever
-        // the promised `|H|` keeps the nonzero count small) and generator
-        // sets for the ideal sampler.
-        if let Some(out) = self.run_abelian_direct(instance, gates, votes, rng)? {
-            return Ok(out);
-        }
-        let seeds = try_normal_subgroup_seeds(
-            group,
-            instance.oracle(),
-            QuotientEngine::Abelian,
-            &self.presentation_engine(gates, votes),
-            rng,
-        )?;
-        // In an Abelian group conjugation is trivial, so the seeds plainly
-        // generate H — no normal closure needed.
-        let generators = dedupe_generators(group, seeds.seeds);
-        let order = subgroup_order(group, &generators, self.enumeration_limit);
-        Ok((
-            generators,
-            order,
-            StrategyDetail::Normal {
-                quotient_order: seeds.quotient_order,
-            },
-            None,
-        ))
-    }
-
-    /// The structural fast path of [`HspSolver::run_abelian`]: when the
-    /// group is literally an [`AbelianProduct`] or [`CyclicGroup`], the
-    /// instance *is* an Abelian HSP instance — hand it to the engine
-    /// directly. Returns `Ok(None)` for every other group type.
-    #[allow(clippy::type_complexity)]
-    fn run_abelian_direct<G, F>(
-        &self,
-        instance: &HspInstance<G, F>,
-        gates: &GateCounter,
-        votes: &VoteLedger,
-        rng: &mut StdRng,
-    ) -> Result<Option<(Vec<G::Elem>, Option<u64>, StrategyDetail, Option<Backend>)>, HspError>
-    where
-        G: Group + 'static,
-        G::Elem: 'static,
-        F: HidingFunction<G>,
-    {
-        let group = instance.group();
-        // Coordinate bridge per concrete family.
-        let (ambient, to_elem): (AbelianProduct, Box<dyn Fn(&[u64]) -> G::Elem + Sync + '_>) =
-            if let Some(ap) = cast_ref::<G, AbelianProduct>(group) {
-                (
-                    ap.clone(),
-                    Box::new(|x: &[u64]| {
-                        cast_clone::<Vec<u64>, G::Elem>(&x.to_vec()).expect("product element")
-                    }),
-                )
-            } else if let Some(cg) = cast_ref::<G, CyclicGroup>(group) {
-                (
-                    AbelianProduct::new(vec![cg.n]),
-                    Box::new(|x: &[u64]| {
-                        cast_clone::<u64, G::Elem>(&x[0]).expect("cyclic element")
-                    }),
-                )
-            } else {
-                return Ok(None);
-            };
-        let elem_coords = |e: &G::Elem| -> Vec<u64> {
-            if let Some(v) = cast_ref::<G::Elem, Vec<u64>>(e) {
-                v.clone()
-            } else {
-                vec![*cast_ref::<G::Elem, u64>(e).expect("cyclic element")]
-            }
-        };
-        let truth_coords: Option<Vec<Vec<u64>>> = instance
-            .ground_truth()
-            .map(|t| t.iter().map(&elem_coords).collect());
-        let truth_lattice = truth_coords
-            .as_ref()
-            .map(|t| SubgroupLattice::from_generators(&ambient, t));
-        let eval_fn = |coords: &[u64]| instance.oracle().eval(&to_elem(coords));
-        let has_truth = truth_coords.is_some();
-        let oracle = DirectAbelianOracle {
-            ambient: ambient.clone(),
-            eval: &eval_fn,
-            truth_coords,
-            truth_lattice,
-        };
-        // Without ground truth the ideal sampler has nothing to draw from;
-        // downgrade to the dense coset simulator — the same behavior the
-        // presentation path has always had for `Backend::Ideal`.
-        let mut engine = self.truth_engine(gates, votes);
-        if engine.backend == Backend::Ideal && !has_truth {
-            engine.backend = Backend::SimulatorCoset;
-        }
-        let result = engine.try_solve(&oracle, rng)?;
-        let order = result.subgroup.order();
-        let generators: Vec<G::Elem> = result
-            .subgroup
-            .cyclic_generators()
-            .iter()
-            .map(|(g, _)| to_elem(g))
-            .collect();
-        let generators = dedupe_generators(group, generators);
-        let ambient_order = ambient
-            .moduli
-            .iter()
-            .fold(1u64, |acc, &m| acc.saturating_mul(m));
-        Ok(Some((
-            generators,
-            Some(order),
-            StrategyDetail::Normal {
-                quotient_order: ambient_order / order.max(1),
-            },
-            result.backend,
-        )))
-    }
-
-    fn run_normal<G, F>(
-        &self,
-        instance: &HspInstance<G, F>,
-        gates: &GateCounter,
-        votes: &VoteLedger,
-        rng: &mut StdRng,
-    ) -> Result<(Vec<G::Elem>, Option<u64>, StrategyDetail), HspError>
-    where
-        G: Group + 'static,
-        G::Elem: 'static,
-        F: HidingFunction<G>,
-    {
-        let group = instance.group();
-        let engine = self.presentation_engine(gates, votes);
-        let qe = QuotientEngine::Auto {
-            limit: self.enumeration_limit,
-        };
-        if TypeId::of::<G::Elem>() == TypeId::of::<Perm>() {
-            // Permutation fast path: Schreier–Sims normal closure — N is
-            // never enumerated, so this scales to huge degrees.
-            let seeds = try_normal_subgroup_seeds(group, instance.oracle(), qe, &engine, rng)?;
-            let degree = cast_ref::<G::Elem, Perm>(&group.identity())
-                .expect("checked Elem == Perm")
-                .degree();
-            let member = |gens: &[G::Elem], x: &G::Elem| {
-                let px = cast_ref::<G::Elem, Perm>(x).expect("perm element");
-                if gens.is_empty() {
-                    return px.is_identity();
-                }
-                let pgens: Vec<Perm> = gens
-                    .iter()
-                    .map(|e| cast_ref::<G::Elem, Perm>(e).expect("perm element").clone())
-                    .collect();
-                StabilizerChain::new(degree, &pgens).contains(px)
-            };
-            let generators =
-                normal_closure_generators(group, &seeds.seeds, &group.generators(), member);
-            let order = if generators.is_empty() {
-                1
-            } else {
-                let pgens: Vec<Perm> = generators
-                    .iter()
-                    .map(|e| cast_ref::<G::Elem, Perm>(e).expect("perm element").clone())
-                    .collect();
-                StabilizerChain::new(degree, &pgens).order()
-            };
-            return Ok((
-                generators,
-                Some(order),
-                StrategyDetail::Normal {
-                    quotient_order: seeds.quotient_order,
-                },
-            ));
-        }
-        let (seeds, elems) = try_hidden_normal_subgroup(
-            group,
-            instance.oracle(),
-            qe,
-            self.enumeration_limit,
-            &engine,
-            rng,
-        )?;
-        let order = elems.len() as u64;
-        let generators = minimal_generators(group, &elems, self.enumeration_limit)?;
-        Ok((
-            generators,
-            Some(order),
-            StrategyDetail::Normal {
-                quotient_order: seeds.quotient_order,
-            },
-        ))
-    }
-
-    fn run_small_commutator<G, F>(
-        &self,
-        instance: &HspInstance<G, F>,
-        gprime: Option<Vec<G::Elem>>,
-        gates: &GateCounter,
-        votes: &VoteLedger,
-        rng: &mut StdRng,
-    ) -> Result<(Vec<G::Elem>, Option<u64>, StrategyDetail), HspError>
-    where
-        G: Group + 'static,
-        G::Elem: 'static,
-        F: HidingFunction<G>,
-    {
-        let group = instance.group();
-        let gprime = match gprime {
-            Some(g) => g,
-            None => commutator_subgroup(group, self.enumeration_limit).ok_or(
-                HspError::EnumerationLimit {
-                    what: "commutator subgroup G'".into(),
-                    limit: self.enumeration_limit,
-                },
-            )?,
-        };
-        let result = try_hsp_small_commutator_with(
-            group,
-            instance.oracle(),
-            gprime,
-            &self.presentation_engine(gates, votes),
-            rng,
-        )?;
-        let generators = dedupe_generators(group, result.h_generators);
-        let order = subgroup_order(group, &generators, self.enumeration_limit);
-        Ok((
-            generators,
-            order,
-            StrategyDetail::SmallCommutator {
-                commutator_order: result.commutator_order,
-                abelian_quotient_order: result.abelian_quotient_order,
-            },
-        ))
-    }
-
-    fn run_ea2<G, F>(
-        &self,
-        instance: &HspInstance<G, F>,
-        cyclic: bool,
-        gates: &GateCounter,
-        votes: &VoteLedger,
-        rng: &mut StdRng,
-    ) -> Result<(Vec<G::Elem>, Option<u64>, StrategyDetail), HspError>
-    where
-        G: Group + 'static,
-        G::Elem: 'static,
-        F: HidingFunction<G>,
-    {
-        let group = instance.group();
-        let coords = self.ea2_coords(instance)?;
-        // `Ideal` cannot run without truth; `Auto`/`Stabilizer` use it when
-        // present — the Theorem 13 per-z instances are all-qubit, so a
-        // spanning set routes their Fourier rounds onto the stabilizer
-        // tableau instead of the dense simulator.
-        let wants_truth = self.backend == Backend::Ideal
-            || (matches!(self.backend, Backend::Auto | Backend::Stabilizer)
-                && instance.ground_truth().is_some());
-        let truth = if wants_truth {
-            Some(self.ea2_truth(instance, &coords)?)
-        } else {
-            None
-        };
-        let engine = self.truth_engine(gates, votes);
-        let result = if cyclic {
-            try_hsp_ea2_cyclic(
-                group,
-                instance.oracle(),
-                &coords,
-                &engine,
-                truth.as_ref(),
-                rng,
-            )?
-        } else {
-            try_hsp_ea2_general(
-                group,
-                instance.oracle(),
-                &coords,
-                &engine,
-                truth.as_ref(),
-                self.enumeration_limit,
-                rng,
-            )?
-        };
-        let generators = dedupe_generators(group, result.h_generators);
-        let order = subgroup_order(group, &generators, self.enumeration_limit);
-        Ok((
-            generators,
-            order,
-            StrategyDetail::Ea2 {
-                v_size: result.v_size,
-                hsp_instances: result.hsp_instances,
-            },
-        ))
-    }
-
-    /// Coordinates on `N ≅ Z₂^k`: structural (O(1)) for `Semidirect`,
-    /// enumerated from the instance's declared `N` generators otherwise.
-    fn ea2_coords<G, F>(&self, instance: &HspInstance<G, F>) -> Result<N2Coords<G>, HspError>
-    where
-        G: Group + 'static,
-        G::Elem: 'static,
-        F: HidingFunction<G>,
-    {
-        if let Some(sd) = cast_ref::<G, Semidirect>(instance.group()) {
-            let k = sd.k;
-            return Ok(N2Coords::new(
-                k,
-                |e: &G::Elem| {
-                    let p = cast_ref::<G::Elem, (u64, u64)>(e).expect("semidirect element");
-                    if p.1 == 0 {
-                        Some(p.0)
-                    } else {
-                        None
-                    }
-                },
-                |v: u64| cast_clone::<(u64, u64), G::Elem>(&(v, 0u64)).expect("semidirect element"),
-            ));
-        }
-        if let Some(n_gens) = instance.ea2_normal_gens() {
-            return N2Coords::try_enumerated(instance.group(), n_gens, self.enumeration_limit);
-        }
-        Err(HspError::StrategyUnavailable {
-            strategy: "Ea2",
-            reason: "no elementary Abelian normal 2-subgroup is known for this group \
-                     (use a Semidirect group or promise_ea2_normal_subgroup)"
-                .into(),
-        })
-    }
-
-    /// Assemble the ideal backend's [`Ea2GroundTruth`] from the instance's
-    /// hidden-subgroup generators.
-    fn ea2_truth<G, F>(
-        &self,
-        instance: &HspInstance<G, F>,
-        coords: &N2Coords<G>,
-    ) -> Result<Ea2GroundTruth<G>, HspError>
-    where
-        G: Group + 'static,
-        G::Elem: 'static,
-        F: HidingFunction<G>,
-    {
-        let group = instance.group();
-        let truth_gens = instance
-            .ground_truth()
-            .ok_or(HspError::MissingGroundTruth {
-                context: "ideal sampling backend for Theorem 13".into(),
-            })?;
-        let h_elems = if truth_gens.is_empty() {
-            vec![group.canonical(&group.identity())]
-        } else {
-            enumerate_subgroup(group, truth_gens, self.enumeration_limit).ok_or(
-                HspError::EnumerationLimit {
-                    what: "ground-truth hidden subgroup".into(),
-                    limit: self.enumeration_limit,
-                },
-            )?
-        };
-        let hn_basis: Vec<u64> = h_elems
-            .iter()
-            .filter_map(|h| coords.to_vec(h))
-            .filter(|&m| m != 0)
-            .collect();
-        // The witness closure needs its own N-membership test (it outlives
-        // the borrowed coords): structural for Semidirect, enumerated set
-        // otherwise.
-        let in_n: Box<dyn Fn(&G::Elem) -> bool + Sync + Send> =
-            if cast_ref::<G, Semidirect>(group).is_some() {
-                Box::new(|e: &G::Elem| {
-                    cast_ref::<G::Elem, (u64, u64)>(e)
-                        .expect("semidirect element")
-                        .1
-                        == 0
-                })
-            } else {
-                let n_gens = instance.ea2_normal_gens().unwrap_or_default().to_vec();
-                let n_set: HashSet<G::Elem> =
-                    enumerate_subgroup(group, &n_gens, self.enumeration_limit)
-                        .ok_or(HspError::EnumerationLimit {
-                            what: "elementary Abelian normal 2-subgroup N".into(),
-                            limit: self.enumeration_limit,
-                        })?
-                        .into_iter()
-                        .collect();
-                let g2 = group.clone();
-                Box::new(move |e: &G::Elem| n_set.contains(&g2.canonical(e)))
-            };
-        let g2 = group.clone();
-        Ok(Ea2GroundTruth {
-            hn_basis,
-            witness: Box::new(move |z: &G::Elem| {
-                let zinv = g2.inverse(z);
-                h_elems
-                    .iter()
-                    .find(|h| in_n(&g2.multiply(&zinv, h)))
-                    .cloned()
-            }),
-        })
-    }
-
-    fn run_ettinger_hoyer<G, F>(
-        &self,
-        instance: &HspInstance<G, F>,
-        gates: &GateCounter,
-        votes: &VoteLedger,
-        rng: &mut StdRng,
-    ) -> Result<(Vec<G::Elem>, Option<u64>, StrategyDetail), HspError>
-    where
-        G: Group + 'static,
-        G::Elem: 'static,
-        F: HidingFunction<G>,
-    {
-        let group = instance.group();
-        let Some(dihedral) = cast_ref::<G, Dihedral>(group) else {
-            return Err(HspError::StrategyUnavailable {
-                strategy: "EttingerHoyerDihedral",
-                reason: "the Ettinger–Høyer baseline runs on Dihedral groups only".into(),
-            });
-        };
-        // The simulated coset-state preparation needs the planted slope.
-        let truth = instance
-            .ground_truth()
-            .ok_or(HspError::MissingGroundTruth {
-                context: "Ettinger–Høyer coset-state preparation".into(),
-            })?;
-        let d_truth = dihedral_reflection_slope(dihedral, truth).ok_or_else(|| {
-            HspError::StrategyUnavailable {
-                strategy: "EttingerHoyerDihedral",
-                reason: "ground truth is not a reflection subgroup {1, ρ^d σ}".into(),
-            }
-        })?;
-        if dihedral.n < 2 {
-            return Err(HspError::StrategyUnavailable {
-                strategy: "EttingerHoyerDihedral",
-                reason: "needs n >= 2".into(),
-            });
-        }
-        let f = instance.oracle();
-        // In robust mode the classical membership scan votes every label:
-        // the identity's label is re-derived by fresh majority ballots
-        // (bypassing the oracle's identity-label cache, which a noisy
-        // wrapper pins to its first — possibly corrupted — answer), and
-        // each candidate's label is voted against it.
-        let k = self.effective_repetitions();
-        let id_label = if k > 1 {
-            majority_of(k, votes, || f.eval(&group.identity()))
-        } else {
-            f.identity_label(group)
-        };
-        let samples = 12 * (64 - dihedral.n.leading_zeros()) as usize;
-        let result = ettinger_hoyer_dihedral(
-            dihedral,
-            d_truth,
-            samples,
-            |cand| {
-                let e = cast_clone::<(u64, bool), G::Elem>(&(cand, true))
-                    .expect("dihedral element type");
-                if k > 1 {
-                    majority_of(k, votes, || f.eval(&e)) == id_label
-                } else {
-                    f.eval(&e) == id_label
-                }
-            },
-            gates,
-            rng,
-        );
-        if result.d != d_truth {
-            return Err(HspError::SamplingCapExhausted {
-                context: "Ettinger–Høyer maximum-likelihood slope recovery".into(),
-                max_rounds: samples,
-            });
-        }
-        let gen =
-            cast_clone::<(u64, bool), G::Elem>(&(result.d, true)).expect("dihedral element type");
-        Ok((
-            vec![gen],
-            Some(2),
-            StrategyDetail::EttingerHoyer {
-                slope: result.d,
-                candidates_scanned: result.candidates_scanned,
-            },
-        ))
-    }
-
-    fn run_scan<G, F>(
-        &self,
-        instance: &HspInstance<G, F>,
-    ) -> Result<(Vec<G::Elem>, Option<u64>, StrategyDetail), HspError>
-    where
-        G: Group + 'static,
-        G::Elem: 'static,
-        F: HidingFunction<G>,
-    {
-        let group = instance.group();
-        let (h_elems, _queries) =
-            try_exhaustive_scan(group, instance.oracle(), self.enumeration_limit)?;
-        let order = h_elems.len() as u64;
-        let generators = minimal_generators(group, &h_elems, self.enumeration_limit)?;
-        Ok((generators, Some(order), StrategyDetail::General))
-    }
-
-    fn run_birthday<G, F>(
-        &self,
-        instance: &HspInstance<G, F>,
-        rng: &mut StdRng,
-    ) -> Result<(Vec<G::Elem>, Option<u64>, StrategyDetail), HspError>
-    where
-        G: Group + 'static,
-        G::Elem: 'static,
-        F: HidingFunction<G>,
-    {
-        let group = instance.group();
-        let elements = enumerate_subgroup(group, &group.generators(), self.enumeration_limit)
-            .ok_or(HspError::EnumerationLimit {
-                what: "whole group (birthday sampling domain)".into(),
-                limit: self.enumeration_limit,
-            })?;
-        let max_queries = self.query_budget.unwrap_or(1 << 20);
-        let result = birthday_collision(group, instance.oracle(), &elements, max_queries, rng);
-        let generators = dedupe_generators(group, result.generators);
-        let order = subgroup_order(group, &generators, self.enumeration_limit);
-        Ok((
-            generators,
-            order,
-            StrategyDetail::Birthday {
-                converged: result.converged,
-            },
-        ))
-    }
-
-    /// Post-solve certification. Exact when ground truth is enumerable;
-    /// otherwise every returned generator is re-queried against `f(1)`. In
-    /// robust mode the re-queries are majority-voted and a passing check
-    /// reports [`Verdict::VerifiedStatistical`] (the candidate being
-    /// certified was produced through noisy queries, so even a ground-truth
-    /// match is a statistical claim about this run).
-    fn verify_result<G, F>(
-        &self,
-        instance: &HspInstance<G, F>,
-        generators: &[G::Elem],
-        votes: &VoteLedger,
-    ) -> Result<Verdict, HspError>
-    where
-        G: Group + 'static,
-        G::Elem: 'static,
-        F: HidingFunction<G>,
-    {
-        if !self.verify {
-            return Ok(Verdict::Unverified);
-        }
-        let group = instance.group();
-        if let Some(truth_gens) = instance.ground_truth() {
-            // Lattice fast path: over a literal AbelianProduct, subgroup
-            // equality is a Hermite/Smith computation on the two generator
-            // matrices (`same_subgroup`) — polynomial in the rank, no
-            // element enumeration. This certifies exactly at any subgroup
-            // order, where the BFS below would both burn `enumeration_limit`
-            // work twice and then fail to certify past the limit.
-            if let Some(ap) = cast_ref::<G, AbelianProduct>(group) {
-                let coords = |es: &[G::Elem]| -> Option<Vec<Vec<u64>>> {
-                    es.iter()
-                        .map(|e| cast_ref::<G::Elem, Vec<u64>>(e).cloned())
-                        .collect()
-                };
-                if let (Some(rec), Some(exp)) = (coords(generators), coords(truth_gens)) {
-                    let rec = SubgroupLattice::from_generators(ap, &rec);
-                    let exp = SubgroupLattice::from_generators(ap, &exp);
-                    if rec.same_subgroup(&exp) {
-                        return Ok(self.certified_verdict(votes, Verdict::VerifiedExact));
-                    }
-                    let ord = |l: &SubgroupLattice| {
-                        l.cyclic_generators()
-                            .iter()
-                            .fold(1u64, |p, &(_, d)| p.saturating_mul(d))
-                    };
-                    return Err(HspError::VerificationFailed {
-                        context: format!(
-                            "recovered subgroup has order {} but ground truth has order {}",
-                            ord(&rec),
-                            ord(&exp)
-                        ),
-                    });
-                }
-            }
-            let recovered = closure_set(group, generators, self.enumeration_limit);
-            let expected = closure_set(group, truth_gens, self.enumeration_limit);
-            if let (Some(recovered), Some(expected)) = (recovered, expected) {
-                if recovered == expected {
-                    return Ok(self.certified_verdict(votes, Verdict::VerifiedExact));
-                }
-                return Err(HspError::VerificationFailed {
-                    context: format!(
-                        "recovered subgroup has order {} but ground truth has order {}",
-                        recovered.len(),
-                        expected.len()
-                    ),
-                });
-            }
-            // Truth too large to enumerate: fall through to consistency.
-        }
-        let f = instance.oracle();
-        let k = self.effective_repetitions();
-        let id_label = if k > 1 {
-            majority_of(k, votes, || f.eval(&group.identity()))
-        } else {
-            f.identity_label(group)
-        };
-        for g in generators {
-            let label = if k > 1 {
-                majority_of(k, votes, || f.eval(g))
-            } else {
-                f.eval(g)
-            };
-            if label != id_label {
-                return Err(HspError::VerificationFailed {
-                    context: "a recovered generator does not collide with f(1)".into(),
-                });
-            }
-        }
-        Ok(self.certified_verdict(votes, Verdict::GeneratorsConsistent))
-    }
-}
-
-/// Engine-level view of a façade instance over a concrete Abelian group:
-/// labels come from the instance's hiding function through the coordinate
-/// bridge, and instance ground truth (when present) backs both the ideal
-/// sampler and the sparse backend's coset fibers.
-struct DirectAbelianOracle<'a> {
-    ambient: AbelianProduct,
-    eval: &'a (dyn Fn(&[u64]) -> u64 + Sync),
-    truth_coords: Option<Vec<Vec<u64>>>,
-    truth_lattice: Option<SubgroupLattice>,
-}
-
-impl AbelianHidingOracle for DirectAbelianOracle<'_> {
-    fn ambient(&self) -> &AbelianProduct {
-        &self.ambient
-    }
-
-    fn label(&self, x: &[u64]) -> u64 {
-        (self.eval)(x)
-    }
-
-    fn ground_truth(&self) -> Option<Vec<Vec<u64>>> {
-        self.truth_coords.clone()
-    }
-
-    fn coset_fiber(&self, x0: &[u64], max_len: usize) -> Option<Vec<Vec<u64>>> {
-        let lat = self.truth_lattice.as_ref()?;
-        if lat.order() > max_len as u64 {
-            return None;
-        }
-        Some(
-            lat.elements()
-                .into_iter()
-                .map(|h| lattice::add(&self.ambient, x0, &h))
-                .collect(),
-        )
     }
 }
 
@@ -1413,60 +635,6 @@ mod tests {
     }
 
     #[test]
-    fn gate_budget_is_enforced() {
-        use nahsp_groups::AbelianProduct;
-        let g = AbelianProduct::new(vec![2; 6]);
-        let mut h = vec![0u64; 6];
-        h[0] = 1;
-        let oracle = CosetTableOracle::new(g.clone(), &[h], 1 << 10);
-        let instance = HspInstance::new(g, oracle);
-        // A Fourier-sampling solve applies far more than 3 gates.
-        let err = HspSolver::builder()
-            .backend(Backend::SimulatorCoset)
-            .gate_budget(3)
-            .build()
-            .solve(&instance)
-            .expect_err("gate budget must trip");
-        assert!(matches!(
-            err,
-            HspError::GateBudgetExceeded { budget: 3, .. }
-        ));
-    }
-
-    #[test]
-    fn pre_raised_cancel_flag_short_circuits_the_solve() {
-        use std::sync::atomic::AtomicBool;
-        let g = CyclicGroup::new(12);
-        let oracle = CosetTableOracle::new(g.clone(), &[4u64], 100);
-        let instance = HspInstance::new(g, oracle);
-        let q_before = instance.oracle().queries();
-        let cancel = AtomicBool::new(true);
-        let err = HspSolver::new()
-            .solve_seeded_with_cancel(&instance, 0, Some(&cancel))
-            .expect_err("raised flag cancels at the entry checkpoint");
-        assert_eq!(err, HspError::Cancelled);
-        // The entry checkpoint fires before any oracle work.
-        assert_eq!(instance.oracle().queries(), q_before);
-    }
-
-    #[test]
-    fn uncancelled_flag_leaves_reports_identical_to_solve_seeded() {
-        use std::sync::atomic::AtomicBool;
-        let g = Extraspecial::heisenberg(3);
-        // Two identically-constructed instances: oracle query counters are
-        // per-instance, so parity needs fresh oracles on both sides.
-        let a = HspInstance::with_coset_oracle(g.clone(), &[g.center_generator()], 1000).unwrap();
-        let b = HspInstance::with_coset_oracle(g.clone(), &[g.center_generator()], 1000).unwrap();
-        let solver = HspSolver::new();
-        let plain = solver.solve_seeded(&a, 1234).unwrap();
-        let cancel = AtomicBool::new(false);
-        let flagged = solver
-            .solve_seeded_with_cancel(&b, 1234, Some(&cancel))
-            .unwrap();
-        assert!(plain.same_outcome(&flagged));
-    }
-
-    #[test]
     fn per_instance_seeds_are_distinct_and_deterministic() {
         let solver = HspSolver::builder().seed(42).build();
         let a = solver.instance_seed(0);
@@ -1500,103 +668,20 @@ mod tests {
         ));
     }
 
-    /// Review-finding regression: `Backend::Ideal` on a concrete Abelian
-    /// instance with *no* ground truth must downgrade to the coset
-    /// simulator on the direct path (as the presentation path always did),
-    /// not fail with MissingGroundTruth.
+    /// Satellite regression: requesting the report-level Classical marker
+    /// as a sampling backend is a typed error on a Fourier-sampling path,
+    /// not a panic.
     #[test]
-    fn ideal_backend_without_truth_downgrades_on_direct_abelian_path() {
-        use nahsp_groups::AbelianProduct;
-        let g = AbelianProduct::new(vec![4, 4]);
-        let oracle = CosetTableOracle::new(g.clone(), &[vec![2u64, 0]], 100);
-        let instance = HspInstance::new(g, oracle); // no with_ground_truth
-        let report = HspSolver::builder()
-            .backend(Backend::Ideal)
-            .build()
-            .solve(&instance)
-            .expect("Ideal without truth downgrades to the coset simulator");
-        assert_eq!(report.strategy, Strategy::Abelian);
-        assert_eq!(report.order, Some(2));
-    }
-
-    /// The report names the backend that actually sampled after `Auto`
-    /// resolution: a 2-group instance with ground truth routes onto the
-    /// stabilizer tableau on the direct Abelian path.
-    #[test]
-    fn report_names_stabilizer_backend_after_auto_resolution() {
-        use nahsp_groups::AbelianProduct;
-        let g = AbelianProduct::new(vec![2; 10]);
-        let mut h = vec![0u64; 10];
-        h[0] = 1;
-        h[9] = 1;
-        let oracle = CosetTableOracle::new(g.clone(), &[h.clone()], 1 << 12);
-        let instance = HspInstance::new(g, oracle).with_ground_truth(vec![h]);
-        let report = HspSolver::new().solve(&instance).unwrap();
-        assert_eq!(report.strategy, Strategy::Abelian);
-        assert_eq!(report.backend, Some(Backend::Stabilizer));
-        assert_eq!(report.order, Some(2));
-        assert_eq!(report.verdict, Verdict::VerifiedExact);
-        assert!(report.summary().contains("backend=Stabilizer"));
-    }
-
-    /// Explicitly requesting the stabilizer backend on a non-2-group
-    /// surfaces the typed error, not a panic.
-    #[test]
-    fn stabilizer_backend_on_non_2_group_is_a_typed_error() {
-        use nahsp_groups::AbelianProduct;
-        let g = AbelianProduct::new(vec![2, 6]);
-        let oracle = CosetTableOracle::new(g.clone(), &[vec![0u64, 3]], 100);
+    fn classical_backend_request_is_a_typed_error() {
+        let g = CyclicGroup::new(12);
+        let oracle = CosetTableOracle::new(g.clone(), &[4u64], 100);
         let instance = HspInstance::new(g, oracle);
         let err = HspSolver::builder()
-            .backend(Backend::Stabilizer)
+            .backend(Backend::Classical)
             .build()
             .solve(&instance)
-            .expect_err("site of dimension 6 is not Clifford-expressible");
-        assert_eq!(err, HspError::CliffordUnsupported { site_dim: 6 });
-    }
-
-    /// The builder's sparse memory budget reaches the engine: an instance
-    /// whose coset fibers exceed a tiny cap is rejected with the typed
-    /// SparseCapacity error instead of allocating past the budget.
-    #[test]
-    fn sparse_nnz_cap_budget_reaches_the_engine() {
-        use nahsp_groups::AbelianProduct;
-        // Z4^6 with |H| = 4^4 = 256: the sparse round needs
-        // 256 · 4 = 1024 nonzeros, past a budget of 100.
-        let g = AbelianProduct::new(vec![4; 6]);
-        let truth: Vec<Vec<u64>> = (0..4)
-            .map(|i| {
-                let mut v = vec![0u64; 6];
-                v[i] = 1;
-                v
-            })
-            .collect();
-        let oracle = CosetTableOracle::new(g.clone(), &truth, 1 << 13);
-        let instance = HspInstance::new(g, oracle).with_ground_truth(truth);
-        let err = HspSolver::builder()
-            .backend(Backend::SimulatorSparse)
-            .sparse_nnz_cap(100)
-            .verify(false)
-            .build()
-            .solve(&instance)
-            .expect_err("fiber nonzeros exceed the configured budget");
-        assert_eq!(
-            err,
-            HspError::SparseCapacity {
-                nnz: 1024,
-                cap: 100
-            }
-        );
-    }
-
-    #[test]
-    fn verification_catches_a_lying_oracle_truth() {
-        // Instance whose declared ground truth disagrees with the oracle:
-        // the report must be refused, not returned.
-        let g = CyclicGroup::new(12);
-        let oracle = CosetTableOracle::new(g.clone(), &[4u64], 100); // H = <4>
-        let instance = HspInstance::new(g, oracle).with_ground_truth(vec![6u64]); // claims <6>
-        let err = HspSolver::new().solve(&instance).expect_err("mismatch");
-        assert!(matches!(err, HspError::VerificationFailed { .. }));
+            .expect_err("Classical is a marker, not a sampler");
+        assert!(matches!(err, HspError::StrategyUnavailable { .. }));
+        assert!(err.to_string().contains("report-level marker"));
     }
 }

@@ -89,10 +89,13 @@ pub struct HspReport<G: Group> {
     /// Strategy-specific diagnostics.
     pub detail: StrategyDetail,
     /// The quantum backend that actually sampled, after `Backend::Auto`
-    /// resolution — surfaced on the direct Abelian path (where one engine
-    /// solve serves the whole instance). `None` for strategies that run no
-    /// engine, compose several engine solves (Theorem 13's per-coset
-    /// instances), or verify without sampling.
+    /// resolution. Always `Some` on a successful solve: the first backend
+    /// the run's resolved-backend sink recorded when any Fourier round ran
+    /// (including rounds inside quotient presentations and Theorem 13's
+    /// per-coset instances), or the explicit [`Backend::Classical`] marker
+    /// when the whole solve was served classically (the exhaustive-scan
+    /// and birthday baselines, trivial Abelian instances that never reach
+    /// a sampling round).
     pub backend: Option<Backend>,
     /// Verification verdict for `generators`.
     pub verdict: Verdict,

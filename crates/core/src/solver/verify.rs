@@ -1,0 +1,152 @@
+//! Post-solve certification of recovered generators.
+//!
+//! Exact when ground truth is enumerable (with a lattice fast path over
+//! literal Abelian products); otherwise every returned generator is
+//! re-queried against `f(1)`. In robust mode the re-queries are
+//! majority-voted and a passing check reports
+//! [`Verdict::VerifiedStatistical`].
+
+use super::classify::cast_ref;
+use super::context::SolveContext;
+use super::instance::HspInstance;
+use super::report::Verdict;
+use super::{closure_set, HspSolver};
+use crate::error::HspError;
+use crate::oracle::HidingFunction;
+use nahsp_abelian::vote::majority_of;
+use nahsp_abelian::{SubgroupLattice, VoteLedger};
+use nahsp_groups::{AbelianProduct, Group};
+
+/// Post-solve certification. Exact when ground truth is enumerable;
+/// otherwise every returned generator is re-queried against `f(1)`. In
+/// robust mode the re-queries are majority-voted and a passing check
+/// reports [`Verdict::VerifiedStatistical`] (the candidate being
+/// certified was produced through noisy queries, so even a ground-truth
+/// match is a statistical claim about this run).
+pub(super) fn verify_result<G, F>(
+    solver: &HspSolver,
+    ctx: &SolveContext,
+    instance: &HspInstance<G, F>,
+    generators: &[G::Elem],
+) -> Result<Verdict, HspError>
+where
+    G: Group + 'static,
+    G::Elem: 'static,
+    F: HidingFunction<G>,
+{
+    if !solver.verify {
+        return Ok(Verdict::Unverified);
+    }
+    let votes = &ctx.engine.votes;
+    let group = instance.group();
+    if let Some(truth_gens) = instance.ground_truth() {
+        // Lattice fast path: over a literal AbelianProduct, subgroup
+        // equality is a Hermite/Smith computation on the two generator
+        // matrices (`same_subgroup`) — polynomial in the rank, no
+        // element enumeration. This certifies exactly at any subgroup
+        // order, where the BFS below would both burn `enumeration_limit`
+        // work twice and then fail to certify past the limit.
+        if let Some(ap) = cast_ref::<G, AbelianProduct>(group) {
+            let coords = |es: &[G::Elem]| -> Option<Vec<Vec<u64>>> {
+                es.iter()
+                    .map(|e| cast_ref::<G::Elem, Vec<u64>>(e).cloned())
+                    .collect()
+            };
+            if let (Some(rec), Some(exp)) = (coords(generators), coords(truth_gens)) {
+                let rec = SubgroupLattice::from_generators(ap, &rec);
+                let exp = SubgroupLattice::from_generators(ap, &exp);
+                if rec.same_subgroup(&exp) {
+                    return Ok(certified_verdict(solver, votes, Verdict::VerifiedExact));
+                }
+                let ord = |l: &SubgroupLattice| {
+                    l.cyclic_generators()
+                        .iter()
+                        .fold(1u64, |p, &(_, d)| p.saturating_mul(d))
+                };
+                return Err(HspError::VerificationFailed {
+                    context: format!(
+                        "recovered subgroup has order {} but ground truth has order {}",
+                        ord(&rec),
+                        ord(&exp)
+                    ),
+                });
+            }
+        }
+        let recovered = closure_set(group, generators, solver.enumeration_limit);
+        let expected = closure_set(group, truth_gens, solver.enumeration_limit);
+        if let (Some(recovered), Some(expected)) = (recovered, expected) {
+            if recovered == expected {
+                return Ok(certified_verdict(solver, votes, Verdict::VerifiedExact));
+            }
+            return Err(HspError::VerificationFailed {
+                context: format!(
+                    "recovered subgroup has order {} but ground truth has order {}",
+                    recovered.len(),
+                    expected.len()
+                ),
+            });
+        }
+        // Truth too large to enumerate: fall through to consistency.
+    }
+    let f = instance.oracle();
+    let k = ctx.engine.repetitions;
+    let id_label = if k > 1 {
+        majority_of(k, votes, || f.eval(&group.identity()))
+    } else {
+        f.identity_label(group)
+    };
+    for g in generators {
+        let label = if k > 1 {
+            majority_of(k, votes, || f.eval(g))
+        } else {
+            f.eval(g)
+        };
+        if label != id_label {
+            return Err(HspError::VerificationFailed {
+                context: "a recovered generator does not collide with f(1)".into(),
+            });
+        }
+    }
+    Ok(certified_verdict(
+        solver,
+        votes,
+        Verdict::GeneratorsConsistent,
+    ))
+}
+
+/// Map a passing verification onto the final verdict. Without declared
+/// noise the exact verdict stands; with it, the run's vote margins are
+/// converted into [`Verdict::VerifiedStatistical`] at a corruption rate
+/// of `max(declared flip rate, smoothed empirical dissent rate)` — an
+/// oracle noisier than declared still degrades the reported confidence.
+fn certified_verdict(solver: &HspSolver, votes: &VoteLedger, exact: Verdict) -> Verdict {
+    match solver.noise {
+        None => exact,
+        Some(cfg) => {
+            let s = votes.snapshot();
+            let eps = cfg.label_flip_prob.max(s.empirical_error_rate());
+            Verdict::VerifiedStatistical {
+                confidence: s.confidence(eps),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{HspInstance, HspSolver};
+    use crate::error::HspError;
+    use crate::oracle::CosetTableOracle;
+    use nahsp_groups::CyclicGroup;
+
+    #[test]
+    fn verification_catches_a_lying_oracle_truth() {
+        // Instance whose declared ground truth disagrees with the oracle:
+        // the report must be refused, not returned.
+        let g = CyclicGroup::new(12);
+        let oracle = CosetTableOracle::new(g.clone(), &[4u64], 100); // H = <4>
+        let instance = HspInstance::new(g, oracle).with_ground_truth(vec![6u64]); // claims <6>
+        let err = HspSolver::new().solve(&instance).expect_err("mismatch");
+        assert!(matches!(err, HspError::VerificationFailed { .. }));
+    }
+}

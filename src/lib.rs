@@ -118,7 +118,9 @@ pub use nahsp_qsim as qsim;
 pub mod prelude {
     pub use nahsp_abelian::hsp::{AbelianHsp, Backend, HidingOracle, SolveError, SubgroupOracle};
     pub use nahsp_abelian::vote::{VoteLedger, VoteSummary, VotedOracle};
-    pub use nahsp_abelian::{OrderFinder, SubgroupLattice};
+    pub use nahsp_abelian::{
+        BackendSink, CancelToken, EngineContext, OrderFinder, SubgroupLattice,
+    };
     pub use nahsp_core::baseline::{
         birthday_collision, ettinger_hoyer_dihedral, try_exhaustive_scan,
     };
@@ -144,8 +146,8 @@ pub mod prelude {
     };
     pub use nahsp_core::small_commutator::try_hsp_small_commutator;
     pub use nahsp_core::solver::{
-        HspInstance, HspReport, HspSolver, HspSolverBuilder, QueryStats, Strategy, StrategyDetail,
-        Verdict,
+        HspInstance, HspReport, HspSolver, HspSolverBuilder, Probe, QueryStats, SolveContext,
+        Strategy, StrategyDetail, StrategyEngine, StrategyOutcome, Verdict,
     };
     pub use nahsp_core::watrous::{quotient_abelian_membership, quotient_order, CosetStates};
     pub use nahsp_groups::closure::enumerate_subgroup;

@@ -1,0 +1,344 @@
+//! Dispatch-parity battery: the registry-dispatched solve path must
+//! reproduce the pre-refactor monolith's reports byte-for-byte.
+//!
+//! Every `Strategy × Backend` combination is run on a representative
+//! instance under a pinned seed and fingerprinted (every report field
+//! except `wall` and `backend` — the backend field's semantics were
+//! deliberately extended by the same PR that introduced the registry, so
+//! it is asserted separately in `backend_is_reported_on_every_path`).
+//! The fingerprints are pinned against golden strings captured from the
+//! pre-refactor solver, so a registry regression — wrong engine chosen,
+//! RNG stream perturbed, accounting drifted — shows up as a diff here.
+
+use nahsp::prelude::*;
+use nahsp_testkit::symmetric_wreath_element;
+
+/// Everything observable but wall time and backend, as one comparable
+/// line. Errors are fingerprinted too: a typed failure is as much a
+/// contract as a report.
+fn fingerprint<G: Group>(r: &Result<HspReport<G>, HspError>) -> String {
+    match r {
+        Ok(r) => format!(
+            "OK strategy={:?} gens={:?} order={:?} detail={:?} verdict={:?} oracle={} gates={}",
+            r.strategy,
+            r.generators,
+            r.order,
+            r.detail,
+            r.verdict,
+            r.queries.oracle,
+            r.queries.gates
+        ),
+        Err(e) => format!("ERR {e:?}"),
+    }
+}
+
+const BACKENDS: [Backend; 6] = [
+    Backend::Auto,
+    Backend::SimulatorFull,
+    Backend::SimulatorCoset,
+    Backend::SimulatorSparse,
+    Backend::Stabilizer,
+    Backend::Ideal,
+];
+
+/// Run one family's instance through every backend (plus one Auto-strategy
+/// classification run) and append `case-name => fingerprint` lines.
+fn matrix_lines<G, F, M>(name: &str, strategy: Strategy, seed: u64, make: M, out: &mut Vec<String>)
+where
+    G: Group + 'static,
+    G::Elem: 'static,
+    F: HidingFunction<G>,
+    M: Fn() -> HspInstance<G, F>,
+{
+    for backend in BACKENDS {
+        let solver = HspSolver::builder()
+            .strategy(strategy)
+            .backend(backend)
+            .seed(seed)
+            .build();
+        let r = solver.solve(&make());
+        out.push(format!(
+            "{name}/{strategy:?}/{backend:?} => {}",
+            fingerprint(&r)
+        ));
+    }
+    let auto = HspSolver::builder().seed(seed).build().solve(&make());
+    out.push(format!("{name}/Auto/Auto => {}", fingerprint(&auto)));
+}
+
+fn golden_matrix() -> Vec<String> {
+    let mut out = Vec::new();
+    matrix_lines(
+        "cyclic60",
+        Strategy::Abelian,
+        101,
+        || {
+            let g = CyclicGroup::new(60);
+            HspInstance::with_coset_oracle(g, &[12u64], 100).expect("oracle")
+        },
+        &mut out,
+    );
+    matrix_lines(
+        "z2_8",
+        Strategy::Abelian,
+        102,
+        || {
+            let g = AbelianProduct::new(vec![2; 8]);
+            let h = vec![vec![1u64, 0, 1, 0, 0, 1, 0, 1]];
+            HspInstance::with_coset_oracle(g, &h, 1 << 9).expect("oracle")
+        },
+        &mut out,
+    );
+    matrix_lines(
+        "s4_normal",
+        Strategy::NormalSubgroup,
+        103,
+        || {
+            let s4 = PermGroup::symmetric(4);
+            let v4 = vec![
+                Perm::from_cycles(4, &[&[0, 1], &[2, 3]]),
+                Perm::from_cycles(4, &[&[0, 2], &[1, 3]]),
+            ];
+            let oracle = PermCosetOracle::new(4, &v4);
+            HspInstance::new(s4, oracle)
+                .promise_normal()
+                .with_ground_truth(v4)
+        },
+        &mut out,
+    );
+    matrix_lines(
+        "heisenberg3",
+        Strategy::SmallCommutator,
+        104,
+        || {
+            let g = Extraspecial::heisenberg(3);
+            let h = vec![vec![0u64, 1, 0], g.center_generator()];
+            HspInstance::with_coset_oracle(g, &h, 1000).expect("oracle")
+        },
+        &mut out,
+    );
+    matrix_lines(
+        "wreath3_cyclic",
+        Strategy::Ea2Cyclic,
+        105,
+        || {
+            let g = Semidirect::wreath_z2(3);
+            let h = vec![symmetric_wreath_element(3, 0b101)];
+            HspInstance::with_coset_oracle(g, &h, 1 << 12).expect("oracle")
+        },
+        &mut out,
+    );
+    matrix_lines(
+        "wreath3_general",
+        Strategy::Ea2General,
+        106,
+        || {
+            let g = Semidirect::wreath_z2(3);
+            let h = vec![symmetric_wreath_element(3, 0b011)];
+            HspInstance::with_coset_oracle(g, &h, 1 << 12).expect("oracle")
+        },
+        &mut out,
+    );
+    matrix_lines(
+        "dihedral16_reflection",
+        Strategy::EttingerHoyerDihedral,
+        107,
+        || {
+            let g = Dihedral::new(16);
+            HspInstance::with_coset_oracle(g, &[(5u64, true)], 200).expect("oracle")
+        },
+        &mut out,
+    );
+    matrix_lines(
+        "cyclic12_scan",
+        Strategy::ExhaustiveScan,
+        108,
+        || {
+            let g = CyclicGroup::new(12);
+            HspInstance::with_coset_oracle(g, &[4u64], 100).expect("oracle")
+        },
+        &mut out,
+    );
+    matrix_lines(
+        "cyclic12_birthday",
+        Strategy::BirthdayCollision,
+        109,
+        || {
+            let g = CyclicGroup::new(12);
+            HspInstance::with_coset_oracle(g, &[4u64], 100).expect("oracle")
+        },
+        &mut out,
+    );
+    // Noisy (ε > 0) robust-mode lines: majority voting, repeat billing,
+    // and the statistical verdict's exact confidence are all pinned.
+    for (name, reps) in [("noisy_k3", 3usize), ("noisy_k5", 0usize)] {
+        let cfg = NoiseConfig::new().flip(0.05).seed(11);
+        let make = || {
+            let g = AbelianProduct::new(vec![2; 6]);
+            let h = vec![vec![1u64, 0, 0, 1, 0, 1]];
+            let oracle = NoisyOracle::new(
+                CosetTableOracle::new(AbelianProduct::new(vec![2; 6]), &h, 1 << 7),
+                cfg,
+            );
+            HspInstance::new(g, oracle).with_ground_truth(h)
+        };
+        for backend in [Backend::Auto, Backend::SimulatorCoset] {
+            let mut b = HspSolver::builder().backend(backend).seed(110).noise(cfg);
+            if reps > 0 {
+                b = b.repetitions(reps);
+            }
+            let r = b.build().solve(&make());
+            out.push(format!("{name}/{backend:?} => {}", fingerprint(&r)));
+        }
+    }
+    out
+}
+
+/// Pre-refactor golden fingerprints (captured from the monolithic
+/// dispatcher at the commit that introduced this file, seeds as above).
+/// One deliberate post-capture edit: `heisenberg3/SmallCommutator/
+/// Stabilizer` previously failed via a panic inside the presentation
+/// machinery (surfaced as `Internal`); the registry refactor routes that
+/// path through typed errors, so the line now pins the proper
+/// `CliffordUnsupported { site_dim: 3 }`. Every other byte is pre-refactor
+/// output.
+const GOLDEN: &str = include_str!("dispatch_parity_golden.txt");
+
+#[test]
+fn registry_dispatch_matches_pre_refactor_reports_byte_for_byte() {
+    let got = golden_matrix().join("\n") + "\n";
+    let want = GOLDEN;
+    if got != want {
+        let diffs: Vec<String> = want
+            .lines()
+            .zip(got.lines())
+            .filter(|(w, g)| w != g)
+            .map(|(w, g)| format!("- {w}\n+ {g}"))
+            .collect();
+        panic!(
+            "dispatch fingerprints diverged from the pre-refactor golden set \
+             ({} lines differ):\n{}",
+            diffs.len(),
+            diffs.join("\n")
+        );
+    }
+}
+
+#[test]
+#[ignore = "regenerates the golden file contents on stdout"]
+fn print_golden() {
+    print!("{}", golden_matrix().join("\n") + "\n");
+}
+
+/// Satellite: every successful solve names its backend — the resolved
+/// sampler when any Fourier round ran, the explicit `Classical` marker
+/// when the whole solve was served classically.
+#[test]
+fn backend_is_reported_on_every_path() {
+    // Classical baselines: no quantum round ever runs.
+    for strategy in [Strategy::ExhaustiveScan, Strategy::BirthdayCollision] {
+        let g = CyclicGroup::new(12);
+        let inst = HspInstance::with_coset_oracle(g, &[4u64], 100).expect("oracle");
+        let r = HspSolver::builder()
+            .strategy(strategy)
+            .build()
+            .solve(&inst)
+            .expect("baseline solves");
+        assert_eq!(r.backend, Some(Backend::Classical), "{strategy:?}");
+    }
+    // Ettinger–Høyer at n = 16: coset states come from the dense circuit.
+    let d = Dihedral::new(16);
+    let inst = HspInstance::with_coset_oracle(d, &[(5u64, true)], 200).expect("oracle");
+    let r = HspSolver::new().solve(&inst).expect("EH solves");
+    assert_eq!(r.strategy, Strategy::EttingerHoyerDihedral);
+    assert_eq!(r.backend, Some(Backend::SimulatorFull));
+    // Explicit stabilizer request on a 2-group is reported back verbatim.
+    let g = AbelianProduct::new(vec![2; 8]);
+    let h = vec![vec![1u64, 0, 1, 0, 0, 1, 0, 1]];
+    let inst = HspInstance::with_coset_oracle(g, &h, 1 << 9).expect("oracle");
+    let r = HspSolver::builder()
+        .backend(Backend::Stabilizer)
+        .build()
+        .solve(&inst)
+        .expect("stabilizer solves");
+    assert_eq!(r.backend, Some(Backend::Stabilizer));
+    // Auto dispatch across every registered family: backend is never None.
+    fn assert_backend_named<G, F>(name: &str, inst: &HspInstance<G, F>)
+    where
+        G: Group + 'static,
+        G::Elem: 'static,
+        F: HidingFunction<G>,
+    {
+        let r = HspSolver::new().solve(inst).expect("auto solve succeeds");
+        assert!(r.backend.is_some(), "{name} reported no backend");
+    }
+    let g = CyclicGroup::new(60);
+    let inst = HspInstance::with_coset_oracle(g, &[12u64], 100).expect("oracle");
+    assert_backend_named("cyclic60", &inst);
+    let g = Extraspecial::heisenberg(3);
+    let inst =
+        HspInstance::with_coset_oracle(g.clone(), &[g.center_generator()], 1000).expect("oracle");
+    assert_backend_named("heisenberg3", &inst);
+    let g = Semidirect::wreath_z2(3);
+    let inst = HspInstance::with_coset_oracle(g, &[symmetric_wreath_element(3, 0b101)], 1 << 12)
+        .expect("oracle");
+    assert_backend_named("wreath3", &inst);
+}
+
+/// An oracle that raises a [`CancelToken`] after a fixed number of
+/// evaluations — models a client cancelling while the solve is mid-flight.
+struct TripwireOracle<G: Group> {
+    inner: CosetTableOracle<G>,
+    token: CancelToken,
+    evals: std::sync::atomic::AtomicU64,
+    fuse: u64,
+}
+
+impl<G: Group> HidingFunction<G> for TripwireOracle<G> {
+    fn eval(&self, g: &G::Elem) -> u64 {
+        let n = self
+            .evals
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+            + 1;
+        if n >= self.fuse {
+            self.token.raise();
+        }
+        self.inner.eval(g)
+    }
+
+    fn queries(&self) -> u64 {
+        self.inner.queries()
+    }
+
+    fn identity_label(&self, group: &G) -> u64 {
+        self.inner.identity_label(group)
+    }
+}
+
+/// Satellite: cancellation raised mid-solve is caught at a checkpoint and
+/// surfaces as the typed [`HspError::Cancelled`], deterministically — two
+/// identically seeded runs stop at the same query count.
+#[test]
+fn cancellation_mid_solve_is_typed_and_deterministic() {
+    let run = || {
+        let g = Extraspecial::heisenberg(3);
+        let token = CancelToken::new();
+        let oracle = TripwireOracle {
+            inner: CosetTableOracle::new(g.clone(), &[g.center_generator()], 1000),
+            token: token.clone(),
+            evals: std::sync::atomic::AtomicU64::new(0),
+            fuse: 5,
+        };
+        let instance = HspInstance::new(g, oracle);
+        let solver = HspSolver::new();
+        let err = solver
+            .solve_in(&instance, solver.context_with_cancel(42, token))
+            .expect_err("the tripwire cancels before the solve can finish");
+        (err, instance.oracle().queries())
+    };
+    let (e1, q1) = run();
+    let (e2, q2) = run();
+    assert_eq!(e1, HspError::Cancelled);
+    assert_eq!(e2, HspError::Cancelled);
+    assert_eq!(q1, q2, "cancellation point must be deterministic");
+}
